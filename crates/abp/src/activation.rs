@@ -1,0 +1,75 @@
+//! Filter activation records — the unit of measurement in the paper's
+//! site survey (§5): every time a filter matches a request or an element,
+//! the instrumented browser records one activation.
+
+use crate::list::ListSource;
+use serde::{Deserialize, Serialize};
+
+/// What kind of match produced an activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// A blocking request filter matched (content would be blocked).
+    BlockRequest,
+    /// An exception request filter matched (content allowed, overriding
+    /// any blocking matches).
+    AllowRequest,
+    /// An element-hiding rule matched a page element.
+    HideElement,
+    /// An element-hide exception cancelled a hiding rule.
+    AllowElement,
+    /// A `$document` exception allowlisted the whole page.
+    DocumentAllow,
+    /// An `$elemhide` exception disabled element hiding on the page.
+    ElemhideAllow,
+    /// A sitekey exception activated via a verified key.
+    SitekeyAllow,
+}
+
+impl MatchKind {
+    /// Whether the activation comes from an exception (whitelist-style)
+    /// filter.
+    pub fn is_exception(self) -> bool {
+        matches!(
+            self,
+            MatchKind::AllowRequest
+                | MatchKind::AllowElement
+                | MatchKind::DocumentAllow
+                | MatchKind::ElemhideAllow
+                | MatchKind::SitekeyAllow
+        )
+    }
+}
+
+/// One recorded filter activation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Activation {
+    /// The filter's verbatim text.
+    pub filter: String,
+    /// Which list the filter came from.
+    pub source: ListSource,
+    /// The kind of match.
+    pub kind: MatchKind,
+    /// The URL (for request matches) or selector (for element matches)
+    /// that triggered the activation.
+    pub subject: String,
+    /// Whether the filter carried the `donottrack` option (Appendix
+    /// A.4's DNT-header mechanism).
+    #[serde(default)]
+    pub donottrack: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exception_kinds() {
+        assert!(MatchKind::AllowRequest.is_exception());
+        assert!(MatchKind::DocumentAllow.is_exception());
+        assert!(MatchKind::SitekeyAllow.is_exception());
+        assert!(MatchKind::AllowElement.is_exception());
+        assert!(MatchKind::ElemhideAllow.is_exception());
+        assert!(!MatchKind::BlockRequest.is_exception());
+        assert!(!MatchKind::HideElement.is_exception());
+    }
+}

@@ -1,0 +1,126 @@
+//! `abp-check` — a command-line filter debugger.
+//!
+//! ```text
+//! abp-check --list easylist.txt [--whitelist exceptions.txt] \
+//!           --url http://ads.example/banner.js \
+//!           [--first-party news.example] [--type script]
+//! ```
+//!
+//! Prints the decision and every matching filter with its list of
+//! origin — the command-line analogue of the "Blockable Items" view the
+//! paper recommends (§8).
+
+use abp::{Engine, FilterList, ListSource, Request, ResourceType};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: abp-check --list FILE [--whitelist FILE] --url URL \
+         [--first-party HOST] [--type TYPE] [--sitekey KEY]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_type(s: &str) -> Option<ResourceType> {
+    ResourceType::ALL
+        .into_iter()
+        .find(|t| t.keyword() == s.to_ascii_lowercase())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut list_path = None;
+    let mut whitelist_path = None;
+    let mut url = None;
+    let mut first_party: Option<String> = None;
+    let mut rtype = ResourceType::Other;
+    let mut sitekey: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--list" => list_path = Some(value(&mut i)),
+            "--whitelist" => whitelist_path = Some(value(&mut i)),
+            "--url" => url = Some(value(&mut i)),
+            "--first-party" => first_party = Some(value(&mut i)),
+            "--type" => {
+                let t = value(&mut i);
+                rtype = match parse_type(&t) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!("unknown resource type {t:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--sitekey" => sitekey = Some(value(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (Some(list_path), Some(url)) = (list_path, url) else {
+        usage()
+    };
+
+    let mut engine = Engine::new();
+    match std::fs::read_to_string(&list_path) {
+        Ok(text) => engine.add_list(&FilterList::parse(ListSource::EasyList, &text)),
+        Err(e) => {
+            eprintln!("cannot read {list_path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = whitelist_path {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => engine.add_list(&FilterList::parse(ListSource::AcceptableAds, &text)),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let first_party = first_party.unwrap_or_else(|| {
+        urlkit::Url::parse(&url)
+            .map(|u| u.host().to_string())
+            .unwrap_or_default()
+    });
+    let mut request = match Request::new(&url, &first_party, rtype) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("invalid URL {url:?}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(key) = sitekey {
+        request.verified_sitekey = Some(key);
+    }
+
+    let outcome = engine.match_request(&request);
+    println!(
+        "{url} [{ty}] from {fp} ({party}-party)",
+        ty = rtype.keyword(),
+        fp = request.first_party,
+        party = if request.third_party {
+            "third"
+        } else {
+            "first"
+        },
+    );
+    println!("decision: {:?}", outcome.decision);
+    for a in &outcome.activations {
+        println!("  [{:<25}] {:?}: {}", a.source.name(), a.kind, a.filter);
+    }
+    if outcome.activations.is_empty() {
+        println!("  (no matching filters)");
+    }
+
+    match outcome.decision {
+        abp::Decision::Block => ExitCode::from(1),
+        _ => ExitCode::SUCCESS,
+    }
+}

@@ -1,0 +1,752 @@
+//! The matching engine: combines filter lists, indexes request filters by
+//! token, and evaluates requests, documents, and element hiding.
+//!
+//! ## Decision semantics (mirroring Adblock Plus)
+//!
+//! * If any **exception** filter matches a request, the request is
+//!   allowed, *regardless of any blocking filter matches* (§2.1.1 of the
+//!   paper).
+//! * Otherwise, if any blocking filter matches, the request is blocked.
+//! * A `$document` exception matching the top-level page disables *all*
+//!   blocking on that page; `$elemhide` disables element hiding.
+//! * An element is hidden when a `##` rule applies on the first-party
+//!   domain and no `#@#` exception with the same selector applies.
+//!
+//! ## Instrumentation
+//!
+//! The paper's survey records *every* filter activation, not just the
+//! final decision — including exceptions that "activate needlessly"
+//! (match content no blocking filter would have blocked). The engine
+//! therefore reports all matching filters on both sides.
+
+use crate::activation::{Activation, MatchKind};
+use crate::filter::{ElementFilter, FilterAction, FilterBody, RequestFilter};
+use crate::list::{FilterList, ListSource};
+use crate::request::Request;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The engine's verdict on a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// No filter matched; the request proceeds.
+    NoMatch,
+    /// A blocking filter matched and no exception overrode it.
+    Block,
+    /// At least one exception matched (overriding any blocks).
+    AllowedByException,
+}
+
+/// Outcome of evaluating one request: the decision plus every activation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// Final verdict.
+    pub decision: Decision,
+    /// All filter activations, blocking and exception.
+    pub activations: Vec<Activation>,
+}
+
+impl RequestOutcome {
+    /// Whether the request would be fetched.
+    pub fn is_allowed(&self) -> bool {
+        self.decision != Decision::Block
+    }
+
+    /// Whether a matched `$donottrack` filter asks the browser to send a
+    /// `DNT: 1` header with this request (Appendix A.4: sent "as long as
+    /// there is no matching exception rule with a 'donottrack' option").
+    pub fn send_do_not_track(&self) -> bool {
+        let requested = self
+            .activations
+            .iter()
+            .any(|a| a.kind == MatchKind::BlockRequest && a.donottrack);
+        let excepted = self
+            .activations
+            .iter()
+            .any(|a| a.kind.is_exception() && a.donottrack);
+        requested && !excepted
+    }
+
+    /// Exceptions that activated *needlessly*: they matched even though no
+    /// blocking filter would have blocked the request (§5 of the paper).
+    pub fn needless_exceptions(&self) -> impl Iterator<Item = &Activation> {
+        let any_block = self
+            .activations
+            .iter()
+            .any(|a| a.kind == MatchKind::BlockRequest);
+        self.activations
+            .iter()
+            .filter(move |a| a.kind.is_exception() && !any_block)
+    }
+}
+
+/// Page-level gates derived from `$document` / `$elemhide` exceptions and
+/// sitekey filters evaluated against the top-level document request.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DocumentStatus {
+    /// Activations of exceptions with the `document` option: the whole
+    /// page is allowlisted (nothing is blocked or hidden).
+    pub document_allow: Vec<Activation>,
+    /// Activations of exceptions with the `elemhide` option: element
+    /// hiding is disabled on the page.
+    pub elemhide_allow: Vec<Activation>,
+}
+
+impl DocumentStatus {
+    /// Whether all blocking is disabled on this page.
+    pub fn whole_page_allowed(&self) -> bool {
+        !self.document_allow.is_empty()
+    }
+
+    /// Whether element hiding is disabled on this page.
+    pub fn hiding_disabled(&self) -> bool {
+        self.whole_page_allowed() || !self.elemhide_allow.is_empty()
+    }
+}
+
+/// An element-hiding selector in force on a page, or an exception that
+/// cancels one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HidingOutcome {
+    /// Selectors that will hide matching elements, with their source rule.
+    pub active: Vec<(String, Activation)>,
+    /// Element-exception rules applicable on this domain (they produce an
+    /// activation only when the selector matches an element — the caller
+    /// owning the DOM decides).
+    pub exceptions: Vec<(String, Activation)>,
+}
+
+#[derive(Debug, Clone)]
+struct StoredRequestFilter {
+    filter: RequestFilter,
+    raw: String,
+    source: ListSource,
+}
+
+#[derive(Debug, Clone)]
+struct StoredElementRule {
+    rule: ElementFilter,
+    raw: String,
+    source: ListSource,
+}
+
+/// Token-bucketed index over request filters.
+#[derive(Debug, Default, Clone)]
+struct TokenIndex {
+    by_token: HashMap<u64, Vec<u32>>,
+    untokenized: Vec<u32>,
+}
+
+impl TokenIndex {
+    fn insert(&mut self, id: u32, tokens: &[String]) {
+        // Pick the rarest token (fewest existing entries; ties broken by
+        // longer token, then first).
+        let mut best: Option<&String> = None;
+        for t in tokens {
+            best = match best {
+                None => Some(t),
+                Some(b) => {
+                    let cb = self.by_token.get(&hash_token(b)).map_or(0, Vec::len);
+                    let ct = self.by_token.get(&hash_token(t)).map_or(0, Vec::len);
+                    if ct < cb || (ct == cb && t.len() > b.len()) {
+                        Some(t)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        match best {
+            Some(t) => self.by_token.entry(hash_token(t)).or_default().push(id),
+            None => self.untokenized.push(id),
+        }
+    }
+
+    fn candidates<'a>(&'a self, url_tokens: &'a [u64]) -> impl Iterator<Item = u32> + 'a {
+        url_tokens
+            .iter()
+            .filter_map(|t| self.by_token.get(t))
+            .flatten()
+            .copied()
+            .chain(self.untokenized.iter().copied())
+    }
+}
+
+fn hash_token(token: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in token.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Extract the token hashes of a lowercased URL (maximal `[a-z0-9%]` runs
+/// of length ≥ 2).
+fn url_token_hashes(url_lower: &str) -> Vec<u64> {
+    let bytes = url_lower.as_bytes();
+    let mut out = Vec::with_capacity(16);
+    let mut start = None;
+    for i in 0..=bytes.len() {
+        let tokenish = i < bytes.len()
+            && (bytes[i].is_ascii_lowercase() || bytes[i].is_ascii_digit() || bytes[i] == b'%');
+        match (tokenish, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                if i - s >= 2 {
+                    out.push(hash_token(&url_lower[s..i]));
+                }
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The filter-matching engine.
+///
+/// ```
+/// use abp::{Decision, Engine, FilterList, ListSource, Request, ResourceType};
+///
+/// let blacklist = FilterList::parse(ListSource::EasyList, "||ads.example^$third-party\n");
+/// let whitelist = FilterList::parse(
+///     ListSource::AcceptableAds,
+///     "@@||ads.example/acceptable/$domain=news.example\n",
+/// );
+/// let engine = Engine::from_lists([&blacklist, &whitelist]);
+///
+/// let req = Request::new(
+///     "http://ads.example/acceptable/unit.js",
+///     "news.example",
+///     ResourceType::Script,
+/// )
+/// .unwrap();
+/// let outcome = engine.match_request(&req);
+/// assert_eq!(outcome.decision, Decision::AllowedByException);
+/// assert_eq!(outcome.activations.len(), 2); // the block and the exception
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Engine {
+    request_filters: Vec<StoredRequestFilter>,
+    element_rules: Vec<StoredElementRule>,
+    block_index: TokenIndex,
+    allow_index: TokenIndex,
+}
+
+impl Engine {
+    /// An engine with no filters.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Build an engine from filter lists.
+    pub fn from_lists<'a>(lists: impl IntoIterator<Item = &'a FilterList>) -> Self {
+        let mut e = Engine::new();
+        for list in lists {
+            e.add_list(list);
+        }
+        e
+    }
+
+    /// Add every filter of a list.
+    pub fn add_list(&mut self, list: &FilterList) {
+        for f in list.filters() {
+            self.add_filter_body(&f.body, &f.raw, list.source);
+        }
+    }
+
+    /// Add a single parsed filter.
+    pub fn add_filter(&mut self, filter: &crate::Filter, source: ListSource) {
+        self.add_filter_body(&filter.body, &filter.raw, source);
+    }
+
+    fn add_filter_body(&mut self, body: &FilterBody, raw: &str, source: ListSource) {
+        match body {
+            FilterBody::Request(rf) => {
+                let id = self.request_filters.len() as u32;
+                let tokens = rf.pattern.tokens();
+                match rf.action {
+                    FilterAction::Block => self.block_index.insert(id, &tokens),
+                    FilterAction::Allow => self.allow_index.insert(id, &tokens),
+                }
+                self.request_filters.push(StoredRequestFilter {
+                    filter: rf.clone(),
+                    raw: raw.to_string(),
+                    source,
+                });
+            }
+            FilterBody::Element(ef) => {
+                self.element_rules.push(StoredElementRule {
+                    rule: ef.clone(),
+                    raw: raw.to_string(),
+                    source,
+                });
+            }
+        }
+    }
+
+    /// Number of request filters loaded.
+    pub fn request_filter_count(&self) -> usize {
+        self.request_filters.len()
+    }
+
+    /// Number of element rules loaded.
+    pub fn element_rule_count(&self) -> usize {
+        self.element_rules.len()
+    }
+
+    /// Evaluate a request, returning the decision and all activations.
+    pub fn match_request(&self, req: &Request) -> RequestOutcome {
+        let tokens = url_token_hashes(&req.url_lower);
+        let mut activations = Vec::new();
+        let mut any_block = false;
+        let mut any_allow = false;
+
+        let mut seen: Vec<u32> = Vec::new();
+        for id in self.block_index.candidates(&tokens) {
+            if seen.contains(&id) {
+                continue;
+            }
+            seen.push(id);
+            let sf = &self.request_filters[id as usize];
+            if sf.filter.matches(req) {
+                any_block = true;
+                activations.push(Activation {
+                    filter: sf.raw.clone(),
+                    source: sf.source,
+                    kind: MatchKind::BlockRequest,
+                    subject: req.url.as_str().to_string(),
+                    donottrack: sf.filter.options.donottrack,
+                });
+            }
+        }
+        seen.clear();
+        for id in self.allow_index.candidates(&tokens) {
+            if seen.contains(&id) {
+                continue;
+            }
+            seen.push(id);
+            let sf = &self.request_filters[id as usize];
+            if sf.filter.matches(req) {
+                any_allow = true;
+                let kind = if sf.filter.is_sitekey() {
+                    MatchKind::SitekeyAllow
+                } else {
+                    MatchKind::AllowRequest
+                };
+                activations.push(Activation {
+                    filter: sf.raw.clone(),
+                    source: sf.source,
+                    kind,
+                    subject: req.url.as_str().to_string(),
+                    donottrack: sf.filter.options.donottrack,
+                });
+            }
+        }
+
+        let decision = if any_allow {
+            Decision::AllowedByException
+        } else if any_block {
+            Decision::Block
+        } else {
+            Decision::NoMatch
+        };
+        RequestOutcome {
+            decision,
+            activations,
+        }
+    }
+
+    /// Evaluate page-level gates (`$document`, `$elemhide`, sitekeys)
+    /// against the top-level document request.
+    pub fn document_allowlist(&self, doc_req: &Request) -> DocumentStatus {
+        let mut status = DocumentStatus::default();
+        for sf in &self.request_filters {
+            if sf.filter.action != FilterAction::Allow {
+                continue;
+            }
+            if !(sf.filter.options.document || sf.filter.options.elemhide) {
+                continue;
+            }
+            if !sf.filter.matches_ignoring_type(doc_req) {
+                continue;
+            }
+            let kind = if sf.filter.is_sitekey() {
+                MatchKind::SitekeyAllow
+            } else {
+                MatchKind::DocumentAllow
+            };
+            if sf.filter.options.document {
+                status.document_allow.push(Activation {
+                    filter: sf.raw.clone(),
+                    source: sf.source,
+                    kind,
+                    subject: doc_req.url.as_str().to_string(),
+                    donottrack: sf.filter.options.donottrack,
+                });
+            }
+            if sf.filter.options.elemhide {
+                status.elemhide_allow.push(Activation {
+                    filter: sf.raw.clone(),
+                    source: sf.source,
+                    kind: MatchKind::ElemhideAllow,
+                    subject: doc_req.url.as_str().to_string(),
+                    donottrack: sf.filter.options.donottrack,
+                });
+            }
+        }
+        status
+    }
+
+    /// Borrowed, allocation-light variant of [`Engine::hiding_for_domain`]
+    /// for crawl-scale use: returns `(rule index, selector, action)` for
+    /// every element rule applicable on the domain, with exceptions'
+    /// selector cancellation already applied to the hide rules.
+    pub fn hiding_refs_for_domain(&self, first_party: &str) -> Vec<(u32, &str, FilterAction)> {
+        let mut excepted: Vec<&str> = Vec::new();
+        let mut out: Vec<(u32, &str, FilterAction)> = Vec::new();
+        for (i, sr) in self.element_rules.iter().enumerate() {
+            if sr.rule.action == FilterAction::Allow && sr.rule.applies_on(first_party) {
+                excepted.push(sr.rule.selector.as_str());
+                out.push((i as u32, sr.rule.selector.as_str(), FilterAction::Allow));
+            }
+        }
+        for (i, sr) in self.element_rules.iter().enumerate() {
+            if sr.rule.action == FilterAction::Block
+                && sr.rule.applies_on(first_party)
+                && !excepted.contains(&sr.rule.selector.as_str())
+            {
+                out.push((i as u32, sr.rule.selector.as_str(), FilterAction::Block));
+            }
+        }
+        out
+    }
+
+    /// Build the activation record for element rule `idx` (as returned by
+    /// [`Engine::hiding_refs_for_domain`]).
+    pub fn element_rule_activation(&self, idx: u32) -> Activation {
+        let sr = &self.element_rules[idx as usize];
+        Activation {
+            filter: sr.raw.clone(),
+            source: sr.source,
+            kind: if sr.rule.action == FilterAction::Allow {
+                MatchKind::AllowElement
+            } else {
+                MatchKind::HideElement
+            },
+            subject: sr.rule.selector.clone(),
+            donottrack: false,
+        }
+    }
+
+    /// Iterate over every element-rule selector with its index (used by
+    /// callers that pre-parse selectors once per engine).
+    pub fn element_selectors(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.element_rules
+            .iter()
+            .enumerate()
+            .map(|(i, sr)| (i as u32, sr.rule.selector.as_str()))
+    }
+
+    /// Compute the element-hiding state for a first-party domain:
+    /// selectors that will hide elements, and the applicable exceptions.
+    pub fn hiding_for_domain(&self, first_party: &str) -> HidingOutcome {
+        let mut active = Vec::new();
+        let mut exceptions = Vec::new();
+
+        // Collect applicable exception selectors first.
+        let mut excepted: Vec<&str> = Vec::new();
+        for sr in &self.element_rules {
+            if sr.rule.action == FilterAction::Allow && sr.rule.applies_on(first_party) {
+                excepted.push(sr.rule.selector.as_str());
+                exceptions.push((
+                    sr.rule.selector.clone(),
+                    Activation {
+                        filter: sr.raw.clone(),
+                        source: sr.source,
+                        kind: MatchKind::AllowElement,
+                        subject: sr.rule.selector.clone(),
+                        donottrack: false,
+                    },
+                ));
+            }
+        }
+        for sr in &self.element_rules {
+            if sr.rule.action == FilterAction::Block
+                && sr.rule.applies_on(first_party)
+                && !excepted.contains(&sr.rule.selector.as_str())
+            {
+                active.push((
+                    sr.rule.selector.clone(),
+                    Activation {
+                        filter: sr.raw.clone(),
+                        source: sr.source,
+                        kind: MatchKind::HideElement,
+                        subject: sr.rule.selector.clone(),
+                        donottrack: false,
+                    },
+                ));
+            }
+        }
+        HidingOutcome { active, exceptions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::{FilterList, ListSource};
+    use crate::options::ResourceType;
+    use crate::request::Request;
+
+    fn easylist() -> FilterList {
+        FilterList::parse(
+            ListSource::EasyList,
+            "\
+||adzerk.net^$third-party
+||doubleclick.net^
+||googleadservices.com^$third-party
+/banner/ads/*
+reddit.com###siteTable_organic
+##.ButtonAd
+",
+        )
+    }
+
+    fn whitelist() -> FilterList {
+        FilterList::parse(
+            ListSource::AcceptableAds,
+            "\
+@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com
+@@||stats.g.doubleclick.net^$script,image
+@@$sitekey=MFwwTESTKEY,document
+reddit.com#@##siteTable_organic
+#@##influads_block
+",
+        )
+    }
+
+    fn engine() -> Engine {
+        Engine::from_lists([&easylist(), &whitelist()])
+    }
+
+    fn req(url: &str, first: &str, ty: ResourceType) -> Request {
+        Request::new(url, first, ty).unwrap()
+    }
+
+    #[test]
+    fn blocks_third_party_ad_request() {
+        let e = engine();
+        let out = e.match_request(&req(
+            "http://ad.doubleclick.net/x.js",
+            "example.com",
+            ResourceType::Script,
+        ));
+        assert_eq!(out.decision, Decision::Block);
+        assert!(!out.is_allowed());
+        assert_eq!(out.activations.len(), 1);
+        assert_eq!(out.activations[0].source, ListSource::EasyList);
+    }
+
+    #[test]
+    fn exception_overrides_block_on_reddit() {
+        // Paper §2.1: on reddit.com the Adzerk frame is blocked by
+        // EasyList but allowed by the whitelist exception.
+        let e = engine();
+        let out = e.match_request(&req(
+            "http://static.adzerk.net/reddit/ads.html",
+            "www.reddit.com",
+            ResourceType::Subdocument,
+        ));
+        assert_eq!(out.decision, Decision::AllowedByException);
+        assert!(out.is_allowed());
+        let kinds: Vec<MatchKind> = out.activations.iter().map(|a| a.kind).collect();
+        assert!(kinds.contains(&MatchKind::BlockRequest));
+        assert!(kinds.contains(&MatchKind::AllowRequest));
+        // Not needless: a blocking filter did match.
+        assert_eq!(out.needless_exceptions().count(), 0);
+    }
+
+    #[test]
+    fn same_request_blocked_elsewhere() {
+        let e = engine();
+        let out = e.match_request(&req(
+            "http://static.adzerk.net/reddit/ads.html",
+            "example.com",
+            ResourceType::Subdocument,
+        ));
+        assert_eq!(out.decision, Decision::Block);
+    }
+
+    #[test]
+    fn needless_exception_detected() {
+        // stats.g.doubleclick.net^$script,image as an exception; EasyList's
+        // ||doubleclick.net^ *does* block it, so not needless. But a
+        // request only matched by the exception (no block) is needless.
+        let mut e = Engine::new();
+        let wl = FilterList::parse(ListSource::AcceptableAds, "@@||gstatic.com^$third-party\n");
+        e.add_list(&wl);
+        let out = e.match_request(&req(
+            "https://fonts.gstatic.com/s/roboto.woff",
+            "example.com",
+            ResourceType::Other,
+        ));
+        assert_eq!(out.decision, Decision::AllowedByException);
+        assert_eq!(out.needless_exceptions().count(), 1);
+    }
+
+    #[test]
+    fn no_match_allows() {
+        let e = engine();
+        let out = e.match_request(&req(
+            "https://example.com/style.css",
+            "example.com",
+            ResourceType::Stylesheet,
+        ));
+        assert_eq!(out.decision, Decision::NoMatch);
+        assert!(out.activations.is_empty());
+    }
+
+    #[test]
+    fn sitekey_document_gate() {
+        let e = engine();
+        // Parked domain presents the verified key on its document request.
+        let doc = req("http://reddit.cm/", "reddit.cm", ResourceType::Document)
+            .with_sitekey("MFwwTESTKEY");
+        let status = e.document_allowlist(&doc);
+        assert!(status.whole_page_allowed());
+        assert!(status.hiding_disabled());
+        assert_eq!(status.document_allow[0].kind, MatchKind::SitekeyAllow);
+
+        // Without the key, no gate.
+        let doc = req("http://reddit.cm/", "reddit.cm", ResourceType::Document);
+        let status = e.document_allowlist(&doc);
+        assert!(!status.whole_page_allowed());
+        assert!(!status.hiding_disabled());
+    }
+
+    #[test]
+    fn document_exception_restricted_to_domain() {
+        let mut e = Engine::new();
+        let wl = FilterList::parse(
+            ListSource::AcceptableAds,
+            "@@||ask.com^$elemhide\n@@||example.com^$document\n",
+        );
+        e.add_list(&wl);
+
+        let doc = Request::document("http://www.ask.com/").unwrap();
+        let status = e.document_allowlist(&doc);
+        assert!(!status.whole_page_allowed());
+        assert!(status.hiding_disabled());
+
+        let doc = Request::document("http://example.com/").unwrap();
+        let status = e.document_allowlist(&doc);
+        assert!(status.whole_page_allowed());
+
+        let doc = Request::document("http://other.com/").unwrap();
+        let status = e.document_allowlist(&doc);
+        assert!(!status.whole_page_allowed());
+        assert!(!status.hiding_disabled());
+    }
+
+    #[test]
+    fn element_hiding_with_exception() {
+        let e = engine();
+        // On reddit.com: #siteTable_organic is excepted, .ButtonAd active.
+        let h = e.hiding_for_domain("www.reddit.com");
+        let active: Vec<&str> = h.active.iter().map(|(s, _)| s.as_str()).collect();
+        assert!(active.contains(&".ButtonAd"));
+        assert!(!active.contains(&"#siteTable_organic"));
+        let exc: Vec<&str> = h.exceptions.iter().map(|(s, _)| s.as_str()).collect();
+        assert!(exc.contains(&"#siteTable_organic"));
+        assert!(exc.contains(&"#influads_block"));
+
+        // Elsewhere: #siteTable_organic rule doesn't apply anyway.
+        let h = e.hiding_for_domain("example.com");
+        let active: Vec<&str> = h.active.iter().map(|(s, _)| s.as_str()).collect();
+        assert!(active.contains(&".ButtonAd"));
+        assert!(!active.contains(&"#siteTable_organic"));
+    }
+
+    #[test]
+    fn counts() {
+        let e = engine();
+        assert_eq!(e.request_filter_count(), 7);
+        assert_eq!(e.element_rule_count(), 4);
+    }
+
+    #[test]
+    fn donottrack_header_semantics() {
+        // Appendix A.4: a matched `donottrack` filter sends the DNT
+        // header unless an exception with `donottrack` also matches.
+        let bl = FilterList::parse(ListSource::EasyList, "||tracker.example^$donottrack\n");
+        let wl = FilterList::parse(
+            ListSource::AcceptableAds,
+            "@@||tracker.example/optout/$donottrack\n",
+        );
+        let e = Engine::from_lists([&bl, &wl]);
+
+        let plain = req(
+            "http://tracker.example/t.gif",
+            "news.example",
+            ResourceType::Image,
+        );
+        assert!(e.match_request(&plain).send_do_not_track());
+
+        let excepted = req(
+            "http://tracker.example/optout/t.gif",
+            "news.example",
+            ResourceType::Image,
+        );
+        assert!(!e.match_request(&excepted).send_do_not_track());
+
+        let unrelated = req(
+            "http://cdn.example/x.gif",
+            "news.example",
+            ResourceType::Image,
+        );
+        assert!(!e.match_request(&unrelated).send_do_not_track());
+    }
+
+    #[test]
+    fn token_index_prunes_but_never_misses() {
+        // Build a large engine and verify index-based matching agrees with
+        // brute force on a sample of URLs.
+        let mut text = String::new();
+        for i in 0..500 {
+            text.push_str(&format!("||adnet{i}.example^$third-party\n"));
+        }
+        text.push_str("/implicit-wildcards/\n");
+        let list = FilterList::parse(ListSource::EasyList, &text);
+        let e = Engine::from_lists([&list]);
+
+        for i in (0..500).step_by(37) {
+            let r = req(
+                &format!("http://cdn.adnet{i}.example/x.gif"),
+                "news.site",
+                ResourceType::Image,
+            );
+            let out = e.match_request(&r);
+            assert_eq!(out.decision, Decision::Block, "adnet{i}");
+            assert_eq!(out.activations.len(), 1);
+        }
+        let r = req(
+            "http://x.example/implicit-wildcards/y",
+            "news.site",
+            ResourceType::Image,
+        );
+        assert_eq!(e.match_request(&r).decision, Decision::Block);
+    }
+
+    #[test]
+    fn wildcard_pattern_reachable_via_untokenized_bucket() {
+        // A filter whose only literal parts touch wildcards has no tokens;
+        // it must still match via the untokenized bucket.
+        let list = FilterList::parse(ListSource::EasyList, "a*z\n");
+        let e = Engine::from_lists([&list]);
+        let r = req("http://q.example/a-z", "q.example", ResourceType::Image);
+        assert_eq!(e.match_request(&r).decision, Decision::Block);
+    }
+}

@@ -1,0 +1,261 @@
+//! Typed filter representations: request filters, element-hiding filters,
+//! and the action (block vs. allow) they carry.
+
+use crate::options::{DomainConstraint, FilterOptions};
+use crate::pattern::Pattern;
+use crate::request::Request;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a filter blocks content or excepts (allows) it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FilterAction {
+    /// A blocking filter (no `@@` / `##`).
+    Block,
+    /// An exception filter (`@@` request exceptions, `#@#` element
+    /// exceptions) that overrides matching blocking filters.
+    Allow,
+}
+
+/// A request filter: pattern + options, matching web requests by URL.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestFilter {
+    /// Block or allow.
+    pub action: FilterAction,
+    /// Compiled URL pattern.
+    pub pattern: Pattern,
+    /// Parsed option set.
+    pub options: FilterOptions,
+}
+
+impl RequestFilter {
+    /// Whether this filter matches the given request, considering the
+    /// pattern, resource type, party-ness, `domain=` constraint and
+    /// sitekey gate.
+    pub fn matches(&self, req: &Request) -> bool {
+        if !self.options.types.contains(req.resource_type) {
+            return false;
+        }
+        self.matches_ignoring_type(req)
+    }
+
+    /// Like [`RequestFilter::matches`] but without the resource-type
+    /// check. Used for page-level gates: an `@@||ask.com^$elemhide`
+    /// exception applies to the *document* even though `document` is not
+    /// in its type mask (Adblock Plus treats `elemhide`/`document` as
+    /// whitelist-only pseudo-types).
+    pub fn matches_ignoring_type(&self, req: &Request) -> bool {
+        if let Some(want_third) = self.options.third_party {
+            if req.third_party != want_third {
+                return false;
+            }
+        }
+        if !self.options.domains.allows(&req.first_party) {
+            return false;
+        }
+        if !self.options.sitekeys.is_empty() {
+            match &req.verified_sitekey {
+                Some(key) if self.options.sitekeys.iter().any(|k| k == key) => {}
+                _ => return false,
+            }
+        }
+        self.pattern
+            .matches_prepared(&req.url_lower, req.url.as_str())
+    }
+
+    /// Whether the filter is a *sitekey filter* in the paper's taxonomy:
+    /// its applicability is delegated to publishers holding a key.
+    pub fn is_sitekey(&self) -> bool {
+        !self.options.sitekeys.is_empty()
+    }
+
+    /// Whether this is a *restricted* filter (Fig 4): its `domain=` option
+    /// explicitly enumerates first-party domains.
+    pub fn is_restricted(&self) -> bool {
+        self.options.domains.is_restricted()
+    }
+}
+
+/// An element-hiding filter (`##`) or element-hide exception (`#@#`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElementFilter {
+    /// Hide (Block) or except (Allow).
+    pub action: FilterAction,
+    /// First-party domain constraint from the prefix before `##`.
+    pub domains: DomainConstraint,
+    /// The raw CSS selector after `##` / `#@#`.
+    pub selector: String,
+}
+
+impl ElementFilter {
+    /// Whether this element rule applies on a page served from
+    /// `first_party`.
+    pub fn applies_on(&self, first_party: &str) -> bool {
+        self.domains.allows(first_party)
+    }
+
+    /// Whether this is a *restricted* element rule (domain prefix present).
+    pub fn is_restricted(&self) -> bool {
+        self.domains.is_restricted()
+    }
+}
+
+/// The body of a parsed filter: request- or element-flavored.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FilterBody {
+    /// A request (URL) filter.
+    Request(RequestFilter),
+    /// An element-hiding rule.
+    Element(ElementFilter),
+}
+
+/// A complete parsed filter: body plus the verbatim source line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Filter {
+    /// The filter line exactly as written in the list.
+    pub raw: String,
+    /// The parsed body.
+    pub body: FilterBody,
+}
+
+impl Filter {
+    /// Block or allow, regardless of flavor.
+    pub fn action(&self) -> FilterAction {
+        match &self.body {
+            FilterBody::Request(r) => r.action,
+            FilterBody::Element(e) => e.action,
+        }
+    }
+
+    /// Whether the filter is an exception (`@@` / `#@#`).
+    pub fn is_exception(&self) -> bool {
+        self.action() == FilterAction::Allow
+    }
+
+    /// The request filter body, if this is a request filter.
+    pub fn as_request(&self) -> Option<&RequestFilter> {
+        match &self.body {
+            FilterBody::Request(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The element filter body, if this is an element rule.
+    pub fn as_element(&self) -> Option<&ElementFilter> {
+        match &self.body {
+            FilterBody::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_filter;
+    use crate::request::Request;
+    use crate::ResourceType;
+
+    fn req(url: &str, first: &str, ty: ResourceType) -> Request {
+        Request::new(url, first, ty).unwrap()
+    }
+
+    #[test]
+    fn paper_adzerk_blocking_filter() {
+        // ||adzerk.net^$third-party — blocks third-party requests to
+        // adzerk.net or any subdomain (Section 2.1.1).
+        let f = parse_filter("||adzerk.net^$third-party").unwrap();
+        let rf = f.as_request().unwrap();
+        assert_eq!(rf.action, FilterAction::Block);
+        assert!(rf.matches(&req(
+            "http://static.adzerk.net/reddit/ads.html",
+            "reddit.com",
+            ResourceType::Subdocument
+        )));
+        // First-party request to adzerk.net itself: not third-party.
+        assert!(!rf.matches(&req(
+            "http://adzerk.net/x.js",
+            "adzerk.net",
+            ResourceType::Script
+        )));
+    }
+
+    #[test]
+    fn paper_reddit_restricted_exception() {
+        // @@||adzerk.net/reddit/$subdocument,document,domain=reddit.com
+        let f =
+            parse_filter("@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com").unwrap();
+        let rf = f.as_request().unwrap();
+        assert_eq!(rf.action, FilterAction::Allow);
+        assert!(rf.is_restricted());
+        assert!(!rf.is_sitekey());
+        assert!(rf.matches(&req(
+            "http://static.adzerk.net/reddit/ads.html",
+            "www.reddit.com",
+            ResourceType::Subdocument
+        )));
+        // Same URL from another site: domain constraint fails.
+        assert!(!rf.matches(&req(
+            "http://static.adzerk.net/reddit/ads.html",
+            "example.com",
+            ResourceType::Subdocument
+        )));
+        // Wrong type.
+        assert!(!rf.matches(&req(
+            "http://static.adzerk.net/reddit/ads.html",
+            "reddit.com",
+            ResourceType::Image
+        )));
+    }
+
+    #[test]
+    fn sitekey_filter_gates_on_verified_key() {
+        let f = parse_filter("@@$sitekey=MFwwDQYJKtest,document").unwrap();
+        let rf = f.as_request().unwrap();
+        assert!(rf.is_sitekey());
+        assert!(!rf.is_restricted());
+        let mut r = req("http://reddit.cm/", "reddit.cm", ResourceType::Document);
+        assert!(!rf.matches(&r));
+        r.verified_sitekey = Some("MFwwDQYJKtest".to_string());
+        assert!(rf.matches(&r));
+        r.verified_sitekey = Some("MFwwDQYJKother".to_string());
+        assert!(!rf.matches(&r));
+    }
+
+    #[test]
+    fn element_filter_domain_scoping() {
+        // reddit.com#@##ad_main (restricted element exception, §4.2.1)
+        let f = parse_filter("reddit.com#@##ad_main").unwrap();
+        let ef = f.as_element().unwrap();
+        assert_eq!(ef.action, FilterAction::Allow);
+        assert_eq!(ef.selector, "#ad_main");
+        assert!(ef.is_restricted());
+        assert!(ef.applies_on("reddit.com"));
+        assert!(ef.applies_on("www.reddit.com"));
+        assert!(!ef.applies_on("example.com"));
+    }
+
+    #[test]
+    fn unrestricted_element_exception_influads() {
+        // #@##influads_block — the whitelist's only unrestricted element
+        // exception (§4.2.2).
+        let f = parse_filter("#@##influads_block").unwrap();
+        let ef = f.as_element().unwrap();
+        assert!(!ef.is_restricted());
+        assert!(ef.applies_on("absolutely-any-site.example"));
+        assert_eq!(ef.selector, "#influads_block");
+    }
+
+    #[test]
+    fn display_round_trips_raw() {
+        let raw = "@@||pagefair.net^$third-party";
+        let f = parse_filter(raw).unwrap();
+        assert_eq!(f.to_string(), raw);
+    }
+}

@@ -1,0 +1,237 @@
+//! Filter lists: named collections of parsed lines, loadable from the
+//! textual format users subscribe to.
+
+use crate::parser::{parse_line, ParsedLine};
+use crate::Filter;
+use serde::{Deserialize, Serialize};
+
+/// Which subscription a filter list represents. The paper's measurements
+/// distinguish the EasyList blacklist from the Acceptable Ads whitelist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ListSource {
+    /// The EasyList-style blocking list.
+    EasyList,
+    /// The Acceptable Ads exception list ("the whitelist").
+    AcceptableAds,
+    /// Any other/custom subscription.
+    Custom,
+}
+
+impl ListSource {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ListSource::EasyList => "EasyList",
+            ListSource::AcceptableAds => "Acceptable Ads whitelist",
+            ListSource::Custom => "custom",
+        }
+    }
+}
+
+/// Metadata published in a list's `! Key: value` header comments.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ListMetadata {
+    /// `! Title:`.
+    pub title: Option<String>,
+    /// `! Homepage:`.
+    pub homepage: Option<String>,
+    /// `! Version:`.
+    pub version: Option<String>,
+    /// `! Expires:` normalized to hours.
+    pub expires_hours: Option<u32>,
+}
+
+/// A parsed filter list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterList {
+    /// Which subscription this is.
+    pub source: ListSource,
+    /// All lines, in order, including comments and invalid entries.
+    pub lines: Vec<ParsedLine>,
+}
+
+impl FilterList {
+    /// Parse a list from its textual form.
+    pub fn parse(source: ListSource, text: &str) -> Self {
+        FilterList {
+            source,
+            lines: text.lines().map(parse_line).collect(),
+        }
+    }
+
+    /// An empty list.
+    pub fn empty(source: ListSource) -> Self {
+        FilterList {
+            source,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Iterate over the well-formed filters.
+    pub fn filters(&self) -> impl Iterator<Item = &Filter> {
+        self.lines.iter().filter_map(|l| l.filter())
+    }
+
+    /// Number of well-formed filters.
+    pub fn filter_count(&self) -> usize {
+        self.filters().count()
+    }
+
+    /// Iterate over the comment lines (useful for §7 provenance: `!A29`
+    /// markers and forum links live in comments).
+    pub fn comments(&self) -> impl Iterator<Item = &str> {
+        self.lines.iter().filter_map(|l| match l {
+            ParsedLine::Comment(c) => Some(c.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The invalid (malformed) lines, for the §8 hygiene analysis.
+    pub fn invalid_lines(&self) -> impl Iterator<Item = &str> {
+        self.lines.iter().filter_map(|l| match l {
+            ParsedLine::Invalid { raw, .. } => Some(raw.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Parse the `! Key: value` metadata comments real filter lists
+    /// carry (EasyList publishes `Title`, `Homepage`, `Expires`,
+    /// `Version`, …). Unknown keys are ignored.
+    pub fn metadata(&self) -> ListMetadata {
+        let mut meta = ListMetadata::default();
+        for comment in self.comments() {
+            let Some((key, value)) = comment.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            match key.trim().to_ascii_lowercase().as_str() {
+                "title" => meta.title = Some(value.to_string()),
+                "homepage" => meta.homepage = Some(value.to_string()),
+                "version" => meta.version = Some(value.to_string()),
+                "expires" => {
+                    // "4 days" / "12 hours" / bare number of days.
+                    let mut parts = value.split_whitespace();
+                    if let Some(n) = parts.next().and_then(|n| n.parse::<u32>().ok()) {
+                        let unit = parts.next().unwrap_or("days");
+                        meta.expires_hours =
+                            Some(if unit.starts_with("hour") { n } else { n * 24 });
+                    }
+                }
+                _ => {}
+            }
+        }
+        meta
+    }
+
+    /// Serialize back to text. Comments and ordering are preserved;
+    /// invalid lines round-trip verbatim.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            match line {
+                ParsedLine::Empty => {}
+                ParsedLine::Comment(c) => {
+                    out.push('!');
+                    if !c.is_empty() {
+                        out.push(' ');
+                        out.push_str(c);
+                    }
+                }
+                ParsedLine::Header(h) => {
+                    out.push('[');
+                    out.push_str(h);
+                    out.push(']');
+                }
+                ParsedLine::Filter(f) => out.push_str(&f.raw),
+                ParsedLine::Invalid { raw, .. } => out.push_str(raw),
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+[Adblock Plus 2.0]
+! Acceptable Ads whitelist excerpt
+@@||pagefair.net^$third-party
+@@||tracking.admarketplace.net^$third-party
+!A29
+@@||google.com/adsense/search/ads.js$domain=search.comcast.net
+#@##influads_block
+reddit.com#@##ad_main
+
+bad-selector.example##
+";
+
+    #[test]
+    fn parse_counts() {
+        let list = FilterList::parse(ListSource::AcceptableAds, SAMPLE);
+        assert_eq!(list.filter_count(), 5);
+        assert_eq!(list.comments().count(), 2);
+        assert_eq!(list.invalid_lines().count(), 1);
+    }
+
+    #[test]
+    fn comments_preserved_for_provenance() {
+        let list = FilterList::parse(ListSource::AcceptableAds, SAMPLE);
+        let comments: Vec<&str> = list.comments().collect();
+        assert!(comments.contains(&"A29"));
+    }
+
+    #[test]
+    fn round_trip_preserves_filters_and_comments() {
+        let list = FilterList::parse(ListSource::AcceptableAds, SAMPLE);
+        let text = list.to_text();
+        let reparsed = FilterList::parse(ListSource::AcceptableAds, &text);
+        assert_eq!(list.filter_count(), reparsed.filter_count());
+        assert_eq!(
+            list.comments().collect::<Vec<_>>(),
+            reparsed.comments().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            list.invalid_lines().collect::<Vec<_>>(),
+            reparsed.invalid_lines().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn metadata_parsing() {
+        let list = FilterList::parse(
+            ListSource::EasyList,
+            "\
+[Adblock Plus 2.0]
+! Title: EasyList
+! Homepage: https://easylist.to/
+! Version: 201504280000
+! Expires: 4 days
+||ads.example^
+",
+        );
+        let m = list.metadata();
+        assert_eq!(m.title.as_deref(), Some("EasyList"));
+        assert_eq!(m.homepage.as_deref(), Some("https://easylist.to/"));
+        assert_eq!(m.version.as_deref(), Some("201504280000"));
+        assert_eq!(m.expires_hours, Some(96));
+    }
+
+    #[test]
+    fn metadata_expires_hours_and_defaults() {
+        let list = FilterList::parse(ListSource::Custom, "! Expires: 12 hours\n");
+        assert_eq!(list.metadata().expires_hours, Some(12));
+        let list = FilterList::parse(ListSource::Custom, "! Expires: 3\n");
+        assert_eq!(list.metadata().expires_hours, Some(72));
+        let empty = FilterList::parse(ListSource::Custom, "||x.example^\n");
+        assert_eq!(empty.metadata(), ListMetadata::default());
+    }
+
+    #[test]
+    fn source_names() {
+        assert_eq!(ListSource::EasyList.name(), "EasyList");
+        assert_eq!(ListSource::AcceptableAds.name(), "Acceptable Ads whitelist");
+    }
+}

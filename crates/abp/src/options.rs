@@ -1,0 +1,524 @@
+//! Filter options: the `$`-suffixed modifiers of request filters.
+//!
+//! Appendix A.4 of the paper enumerates them; this module parses and
+//! models the full set, including negation (`~script`), non-negatable
+//! options (`domain=`, `sitekey=`, `match-case`, `donottrack`), and the
+//! deprecated compatibility options (`background`, `xbl`, `ping`, `dtd`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A request's resource type, as inferred by the browser from the element
+/// initiating the load. Filters restrict themselves to types via options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResourceType {
+    /// External script loads (`<script src>`).
+    Script,
+    /// Image loads (`<img>`, CSS images).
+    Image,
+    /// Stylesheet loads (`<link rel=stylesheet>`).
+    Stylesheet,
+    /// Content handled by a plugin (Flash, Java).
+    Object,
+    /// Requests issued by `XMLHttpRequest`.
+    XmlHttpRequest,
+    /// Requests started by plugins.
+    ObjectSubrequest,
+    /// Embedded pages, usually HTML frames.
+    Subdocument,
+    /// The top-level document itself.
+    Document,
+    /// Anything not covered by the other types.
+    Other,
+    /// Deprecated: background images (old Firefox versions).
+    Background,
+    /// Deprecated: XBL bindings.
+    Xbl,
+    /// Deprecated: `<a ping>` loads.
+    Ping,
+    /// Deprecated: DTD loads.
+    Dtd,
+}
+
+impl ResourceType {
+    /// All non-deprecated concrete resource types a request can carry.
+    pub const ALL: [ResourceType; 9] = [
+        ResourceType::Script,
+        ResourceType::Image,
+        ResourceType::Stylesheet,
+        ResourceType::Object,
+        ResourceType::XmlHttpRequest,
+        ResourceType::ObjectSubrequest,
+        ResourceType::Subdocument,
+        ResourceType::Document,
+        ResourceType::Other,
+    ];
+
+    /// The option keyword for this type, as written in filter lists.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ResourceType::Script => "script",
+            ResourceType::Image => "image",
+            ResourceType::Stylesheet => "stylesheet",
+            ResourceType::Object => "object",
+            ResourceType::XmlHttpRequest => "xmlhttprequest",
+            ResourceType::ObjectSubrequest => "object-subrequest",
+            ResourceType::Subdocument => "subdocument",
+            ResourceType::Document => "document",
+            ResourceType::Other => "other",
+            ResourceType::Background => "background",
+            ResourceType::Xbl => "xbl",
+            ResourceType::Ping => "ping",
+            ResourceType::Dtd => "dtd",
+        }
+    }
+
+    fn from_keyword(kw: &str) -> Option<Self> {
+        Some(match kw {
+            "script" => ResourceType::Script,
+            "image" => ResourceType::Image,
+            "stylesheet" => ResourceType::Stylesheet,
+            "object" => ResourceType::Object,
+            "xmlhttprequest" => ResourceType::XmlHttpRequest,
+            "object-subrequest" => ResourceType::ObjectSubrequest,
+            "subdocument" => ResourceType::Subdocument,
+            "document" => ResourceType::Document,
+            "other" => ResourceType::Other,
+            "background" => ResourceType::Background,
+            "xbl" => ResourceType::Xbl,
+            "ping" => ResourceType::Ping,
+            "dtd" => ResourceType::Dtd,
+            _ => return None,
+        })
+    }
+
+    fn bit(self) -> u16 {
+        match self {
+            ResourceType::Script => 1 << 0,
+            ResourceType::Image => 1 << 1,
+            ResourceType::Stylesheet => 1 << 2,
+            ResourceType::Object => 1 << 3,
+            ResourceType::XmlHttpRequest => 1 << 4,
+            ResourceType::ObjectSubrequest => 1 << 5,
+            ResourceType::Subdocument => 1 << 6,
+            ResourceType::Document => 1 << 7,
+            ResourceType::Other => 1 << 8,
+            ResourceType::Background => 1 << 9,
+            ResourceType::Xbl => 1 << 10,
+            ResourceType::Ping => 1 << 11,
+            ResourceType::Dtd => 1 << 12,
+        }
+    }
+}
+
+impl fmt::Display for ResourceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A bit set of [`ResourceType`]s a filter applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeMask(u16);
+
+/// Every type bit, including deprecated ones.
+const ALL_TYPE_BITS: u16 = (1 << 13) - 1;
+
+impl TypeMask {
+    /// Mask applied when a filter names no type options: everything except
+    /// `document` (page-level allowlisting must be opted into explicitly,
+    /// matching Adblock Plus).
+    pub fn default_mask() -> Self {
+        TypeMask(ALL_TYPE_BITS & !ResourceType::Document.bit())
+    }
+
+    /// The empty mask.
+    pub fn empty() -> Self {
+        TypeMask(0)
+    }
+
+    /// Insert one type.
+    pub fn insert(&mut self, t: ResourceType) {
+        self.0 |= t.bit();
+    }
+
+    /// Remove one type.
+    pub fn remove(&mut self, t: ResourceType) {
+        self.0 &= !t.bit();
+    }
+
+    /// Whether the mask contains `t`.
+    pub fn contains(self, t: ResourceType) -> bool {
+        self.0 & t.bit() != 0
+    }
+
+    /// Whether no type is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// The `domain=` option: per-filter first-party domain constraints with
+/// optional negations (`domain=example.com|~shop.example.com`).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DomainConstraint {
+    /// Domains (and their subdomains) the filter is restricted to. Empty
+    /// means "all domains" (subject to `exclude`).
+    pub include: Vec<String>,
+    /// Domains (and their subdomains) the filter must *not* apply to.
+    pub exclude: Vec<String>,
+}
+
+impl DomainConstraint {
+    /// A constraint that applies everywhere.
+    pub fn any() -> Self {
+        DomainConstraint::default()
+    }
+
+    /// Whether this constraint restricts the filter to an explicit set of
+    /// first-party domains. This is the paper's *restricted* vs
+    /// *unrestricted* distinction (Fig 4): a filter is restricted iff its
+    /// include list is non-empty.
+    pub fn is_restricted(&self) -> bool {
+        !self.include.is_empty()
+    }
+
+    /// Evaluate the constraint against a first-party domain.
+    pub fn allows(&self, first_party: &str) -> bool {
+        if self
+            .exclude
+            .iter()
+            .any(|d| urlkit::is_same_or_subdomain_of(first_party, d))
+        {
+            return false;
+        }
+        if self.include.is_empty() {
+            return true;
+        }
+        self.include
+            .iter()
+            .any(|d| urlkit::is_same_or_subdomain_of(first_party, d))
+    }
+
+    /// Parse the `|`-separated domain list of a `domain=` option.
+    pub fn parse(value: &str) -> Self {
+        let mut c = DomainConstraint::default();
+        for part in value.split('|') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some(neg) = part.strip_prefix('~') {
+                if !neg.is_empty() {
+                    c.exclude.push(neg.to_ascii_lowercase());
+                }
+            } else {
+                c.include.push(part.to_ascii_lowercase());
+            }
+        }
+        c
+    }
+}
+
+/// The parsed option set of a request filter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterOptions {
+    /// Which resource types the filter applies to.
+    pub types: TypeMask,
+    /// `third-party` / `~third-party`: `Some(true)` restricts to
+    /// third-party requests, `Some(false)` to first-party, `None` to both.
+    pub third_party: Option<bool>,
+    /// The `domain=` constraint.
+    pub domains: DomainConstraint,
+    /// `sitekey=` public keys (base64 DER); the filter matches only when
+    /// the document presented a verified signature for one of them.
+    pub sitekeys: Vec<String>,
+    /// `match-case`: pattern matching is case-sensitive.
+    pub match_case: bool,
+    /// `document` option present (page-level allowlisting for exceptions).
+    pub document: bool,
+    /// `elemhide` option present (disables element hiding for exceptions).
+    pub elemhide: bool,
+    /// `collapse` / `~collapse`.
+    pub collapse: Option<bool>,
+    /// `donottrack` present.
+    pub donottrack: bool,
+    /// Unknown or malformed option keywords, preserved verbatim for the
+    /// §8 hygiene analysis.
+    pub unknown: Vec<String>,
+}
+
+impl Default for FilterOptions {
+    fn default() -> Self {
+        FilterOptions {
+            types: TypeMask::default_mask(),
+            third_party: None,
+            domains: DomainConstraint::any(),
+            sitekeys: Vec::new(),
+            match_case: false,
+            document: false,
+            elemhide: false,
+            collapse: None,
+            donottrack: false,
+            unknown: Vec::new(),
+        }
+    }
+}
+
+impl FilterOptions {
+    /// Parse a comma-separated option list (the text after `$`).
+    ///
+    /// Type options compose Adblock Plus-style: naming any positive type
+    /// narrows the default everything-mask to the named set; `~type`
+    /// removes from the mask; `document`/`elemhide` are tracked both as
+    /// flags and (for `document`) as a type bit.
+    pub fn parse(option_list: &str) -> Self {
+        let mut opts = FilterOptions::default();
+        let mut positive_types: Vec<ResourceType> = Vec::new();
+        let mut negative_types: Vec<ResourceType> = Vec::new();
+        let mut elemhide_named = false;
+
+        for raw in option_list.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let (negated, body) = match raw.strip_prefix('~') {
+                Some(b) => (true, b),
+                None => (false, raw),
+            };
+            let lower = body.to_ascii_lowercase();
+
+            if let Some(value) = lower.strip_prefix("domain=") {
+                // Preserve original case for the value slice (domains are
+                // case-insensitive anyway; lowercase is fine).
+                opts.domains = DomainConstraint::parse(value);
+                if negated {
+                    opts.unknown.push(raw.to_string());
+                }
+                continue;
+            }
+            if lower.starts_with("sitekey=") {
+                // Sitekey values are case-sensitive base64: slice from the
+                // original body, not the lowercased copy.
+                let value = &body["sitekey=".len()..];
+                for key in value.split('|') {
+                    let key = key.trim();
+                    if !key.is_empty() {
+                        opts.sitekeys.push(key.to_string());
+                    }
+                }
+                if negated {
+                    opts.unknown.push(raw.to_string());
+                }
+                continue;
+            }
+
+            match lower.as_str() {
+                "third-party" => opts.third_party = Some(!negated),
+                "match-case" => {
+                    if negated {
+                        opts.unknown.push(raw.to_string());
+                    } else {
+                        opts.match_case = true;
+                    }
+                }
+                "collapse" => opts.collapse = Some(!negated),
+                "donottrack" => {
+                    if negated {
+                        opts.unknown.push(raw.to_string());
+                    } else {
+                        opts.donottrack = true;
+                    }
+                }
+                "document" => {
+                    opts.document = !negated;
+                    if negated {
+                        negative_types.push(ResourceType::Document);
+                    } else {
+                        positive_types.push(ResourceType::Document);
+                    }
+                }
+                "elemhide" => {
+                    if negated {
+                        opts.unknown.push(raw.to_string());
+                    } else {
+                        opts.elemhide = true;
+                        elemhide_named = true;
+                    }
+                }
+                other => match ResourceType::from_keyword(other) {
+                    Some(t) => {
+                        if negated {
+                            negative_types.push(t);
+                        } else {
+                            positive_types.push(t);
+                        }
+                    }
+                    None => opts.unknown.push(raw.to_string()),
+                },
+            }
+        }
+
+        if !positive_types.is_empty() {
+            let mut mask = TypeMask::empty();
+            for t in positive_types {
+                mask.insert(t);
+            }
+            opts.types = mask;
+        } else if elemhide_named {
+            // `$elemhide` is a whitelist-only pseudo-type: a filter with
+            // only `elemhide` (e.g. `@@||ask.com^$elemhide`) applies at
+            // the page level and matches no ordinary resource request.
+            opts.types = TypeMask::empty();
+        }
+        for t in negative_types {
+            opts.types.remove(t);
+        }
+        opts
+    }
+
+    /// Whether the option set references any resource-type restriction,
+    /// i.e. differs from the default mask.
+    pub fn restricts_types(&self) -> bool {
+        self.types != TypeMask::default_mask()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mask_excludes_document() {
+        let m = TypeMask::default_mask();
+        assert!(m.contains(ResourceType::Script));
+        assert!(m.contains(ResourceType::Image));
+        assert!(m.contains(ResourceType::Other));
+        assert!(!m.contains(ResourceType::Document));
+    }
+
+    #[test]
+    fn parse_third_party() {
+        let o = FilterOptions::parse("third-party");
+        assert_eq!(o.third_party, Some(true));
+        let o = FilterOptions::parse("~third-party");
+        assert_eq!(o.third_party, Some(false));
+    }
+
+    #[test]
+    fn parse_positive_types_narrow_mask() {
+        let o = FilterOptions::parse("script,image");
+        assert!(o.types.contains(ResourceType::Script));
+        assert!(o.types.contains(ResourceType::Image));
+        assert!(!o.types.contains(ResourceType::Stylesheet));
+        assert!(!o.types.contains(ResourceType::Document));
+    }
+
+    #[test]
+    fn parse_negative_type_removes_from_default() {
+        let o = FilterOptions::parse("~image");
+        assert!(!o.types.contains(ResourceType::Image));
+        assert!(o.types.contains(ResourceType::Script));
+    }
+
+    #[test]
+    fn parse_domain_option_with_negation() {
+        let o = FilterOptions::parse("domain=reddit.com|~static.reddit.com");
+        assert_eq!(o.domains.include, vec!["reddit.com"]);
+        assert_eq!(o.domains.exclude, vec!["static.reddit.com"]);
+        assert!(o.domains.is_restricted());
+        assert!(o.domains.allows("www.reddit.com"));
+        assert!(!o.domains.allows("static.reddit.com"));
+        assert!(!o.domains.allows("example.com"));
+    }
+
+    #[test]
+    fn parse_paper_reddit_exception_options() {
+        // @@||adzerk.net/reddit/$subdocument,document,domain=reddit.com
+        let o = FilterOptions::parse("subdocument,document,domain=reddit.com");
+        assert!(o.document);
+        assert!(o.types.contains(ResourceType::Subdocument));
+        assert!(o.types.contains(ResourceType::Document));
+        assert!(!o.types.contains(ResourceType::Image));
+        assert_eq!(o.domains.include, vec!["reddit.com"]);
+    }
+
+    #[test]
+    fn parse_sitekey_option() {
+        let o = FilterOptions::parse("sitekey=MFwwDQYJKabc|MFwwDQYJKdef,document");
+        assert_eq!(o.sitekeys, vec!["MFwwDQYJKabc", "MFwwDQYJKdef"]);
+        assert!(o.document);
+    }
+
+    #[test]
+    fn sitekey_value_preserves_case() {
+        let o = FilterOptions::parse("sitekey=AbCdEf");
+        assert_eq!(o.sitekeys, vec!["AbCdEf"]);
+    }
+
+    #[test]
+    fn parse_match_case_and_collapse() {
+        let o = FilterOptions::parse("match-case,~collapse");
+        assert!(o.match_case);
+        assert_eq!(o.collapse, Some(false));
+    }
+
+    #[test]
+    fn parse_donottrack() {
+        let o = FilterOptions::parse("donottrack");
+        assert!(o.donottrack);
+    }
+
+    #[test]
+    fn elemhide_only_filter_matches_no_request_type() {
+        // `@@||ask.com^$elemhide` (Fig 11) applies at the page level
+        // only.
+        let o = FilterOptions::parse("elemhide");
+        assert!(o.elemhide);
+        assert!(o.types.is_empty());
+        // With a concrete type it matches that type too.
+        let o = FilterOptions::parse("script,elemhide");
+        assert!(o.elemhide);
+        assert!(o.types.contains(ResourceType::Script));
+        assert!(!o.types.contains(ResourceType::Image));
+    }
+
+    #[test]
+    fn deprecated_options_still_parse() {
+        let o = FilterOptions::parse("background,xbl,ping,dtd");
+        assert!(o.types.contains(ResourceType::Background));
+        assert!(o.types.contains(ResourceType::Ping));
+        assert!(o.unknown.is_empty());
+    }
+
+    #[test]
+    fn unknown_options_preserved() {
+        let o = FilterOptions::parse("script,bogus-option,another");
+        assert_eq!(o.unknown, vec!["bogus-option", "another"]);
+    }
+
+    #[test]
+    fn negated_nonnegatable_goes_to_unknown() {
+        let o = FilterOptions::parse("~match-case,~donottrack,~elemhide");
+        assert_eq!(o.unknown.len(), 3);
+        assert!(!o.match_case);
+    }
+
+    #[test]
+    fn domain_constraint_exclude_only_allows_everything_else() {
+        let c = DomainConstraint::parse("~ads.example.com");
+        assert!(!c.is_restricted());
+        assert!(c.allows("example.org"));
+        assert!(!c.allows("ads.example.com"));
+        assert!(!c.allows("deep.ads.example.com"));
+    }
+
+    #[test]
+    fn empty_option_segments_ignored() {
+        let o = FilterOptions::parse("script,,image,");
+        assert!(o.types.contains(ResourceType::Script));
+        assert!(o.types.contains(ResourceType::Image));
+        assert!(o.unknown.is_empty());
+    }
+}

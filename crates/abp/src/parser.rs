@@ -1,0 +1,382 @@
+//! Lenient, total parsing of filter-list lines.
+//!
+//! Every line of a filter list parses to a [`ParsedLine`]: a comment, a
+//! metadata header, an empty line, a well-formed [`Filter`], or an
+//! `Invalid` record preserving the text and the reason. Nothing is ever
+//! dropped — the paper's hygiene analysis (§8) counts malformed filters,
+//! so the representation must keep them.
+
+use crate::filter::{ElementFilter, Filter, FilterAction, FilterBody, RequestFilter};
+use crate::options::{DomainConstraint, FilterOptions};
+use crate::pattern::Pattern;
+use serde::{Deserialize, Serialize};
+
+/// Why a line failed to parse as a filter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParseOutcome {
+    /// An element rule with an empty selector (e.g. a truncated filter).
+    EmptySelector,
+    /// A request filter that is empty after removing prefixes/options and
+    /// carries no options either.
+    EmptyFilter,
+    /// An element-exception marker appeared with nothing before or after
+    /// in a way that cannot be interpreted.
+    MalformedElementRule,
+}
+
+/// One parsed line of a filter list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParsedLine {
+    /// A blank line.
+    Empty,
+    /// A `!` comment (also covers the `!A1`-style markers of §7).
+    Comment(String),
+    /// A `[Adblock Plus 2.0]`-style header.
+    Header(String),
+    /// A well-formed filter.
+    Filter(Filter),
+    /// A line that looks like a filter but is malformed; kept verbatim.
+    Invalid {
+        /// The offending line.
+        raw: String,
+        /// The reason parsing failed.
+        reason: ParseOutcome,
+    },
+}
+
+impl ParsedLine {
+    /// The contained filter, if this line is one.
+    pub fn filter(&self) -> Option<&Filter> {
+        match self {
+            ParsedLine::Filter(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one line of a filter list.
+pub fn parse_line(line: &str) -> ParsedLine {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return ParsedLine::Empty;
+    }
+    if let Some(comment) = trimmed.strip_prefix('!') {
+        return ParsedLine::Comment(comment.trim().to_string());
+    }
+    if trimmed.starts_with('[') && trimmed.ends_with(']') {
+        return ParsedLine::Header(trimmed[1..trimmed.len() - 1].to_string());
+    }
+    match parse_filter(trimmed) {
+        Ok(f) => ParsedLine::Filter(f),
+        Err(reason) => ParsedLine::Invalid {
+            raw: trimmed.to_string(),
+            reason,
+        },
+    }
+}
+
+/// Parse a single filter line (no comments/headers).
+///
+/// Recognized shapes, in precedence order:
+///
+/// 1. element exception  — `domains#@#selector`
+/// 2. element hiding     — `domains##selector`
+/// 3. request exception  — `@@pattern[$options]`
+/// 4. request blocking   — `pattern[$options]`
+pub fn parse_filter(line: &str) -> Result<Filter, ParseOutcome> {
+    let raw = line.to_string();
+
+    // Element rules first: the `##`/`#@#` markers take precedence over `$`
+    // (a selector may contain `$`).
+    if let Some(idx) = find_marker(line, "#@#") {
+        let (domains, selector) = (&line[..idx], &line[idx + 3..]);
+        return element_rule(raw, domains, selector, FilterAction::Allow);
+    }
+    if let Some(idx) = find_marker(line, "##") {
+        let (domains, selector) = (&line[..idx], &line[idx + 2..]);
+        return element_rule(raw, domains, selector, FilterAction::Block);
+    }
+
+    let (action, rest) = match line.strip_prefix("@@") {
+        Some(r) => (FilterAction::Allow, r),
+        None => (FilterAction::Block, line),
+    };
+
+    // Split pattern from options at the *last* unescaped `$` that is
+    // followed by plausible option text. ABP uses the last `$` so that
+    // patterns containing `$` (rare) still work.
+    let (pattern_text, option_text) = split_options(rest);
+
+    let options = match option_text {
+        Some(o) => FilterOptions::parse(o),
+        None => FilterOptions::default(),
+    };
+
+    if pattern_text.is_empty() && option_text.is_none() {
+        return Err(ParseOutcome::EmptyFilter);
+    }
+
+    let pattern = Pattern::compile(pattern_text, options.match_case);
+    Ok(Filter {
+        raw,
+        body: FilterBody::Request(RequestFilter {
+            action,
+            pattern,
+            options,
+        }),
+    })
+}
+
+/// Locate an element-rule marker, making sure we don't mistake the `#@#`
+/// inside a longer run for `##` (check `#@#` before calling with `##`).
+fn find_marker(line: &str, marker: &str) -> Option<usize> {
+    line.find(marker)
+}
+
+fn element_rule(
+    raw: String,
+    domains: &str,
+    selector: &str,
+    action: FilterAction,
+) -> Result<Filter, ParseOutcome> {
+    let selector = selector.trim();
+    if selector.is_empty() {
+        return Err(ParseOutcome::EmptySelector);
+    }
+    let mut constraint = DomainConstraint::default();
+    for part in domains.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some(neg) = part.strip_prefix('~') {
+            if neg.is_empty() {
+                return Err(ParseOutcome::MalformedElementRule);
+            }
+            constraint.exclude.push(neg.to_ascii_lowercase());
+        } else {
+            constraint.include.push(part.to_ascii_lowercase());
+        }
+    }
+    Ok(Filter {
+        raw,
+        body: FilterBody::Element(ElementFilter {
+            action,
+            domains: constraint,
+            selector: selector.to_string(),
+        }),
+    })
+}
+
+/// Split `pattern$options`. Returns `(pattern, Some(options))` when a `$`
+/// introduces an option list, `(whole, None)` otherwise.
+fn split_options(text: &str) -> (&str, Option<&str>) {
+    // Find the last '$' such that the tail looks like an option list:
+    // non-empty, and every comma-separated piece matches option syntax.
+    let mut idx = text.len();
+    while let Some(d) = text[..idx].rfind('$') {
+        let tail = &text[d + 1..];
+        if !tail.is_empty() && looks_like_options(tail) {
+            return (&text[..d], Some(tail));
+        }
+        idx = d;
+        if idx == 0 {
+            break;
+        }
+    }
+    (text, None)
+}
+
+/// Heuristic used by ABP-family parsers: an option list is a
+/// comma-separated sequence of `~?[a-zA-Z-]+(=[^,]*)?` pieces.
+fn looks_like_options(tail: &str) -> bool {
+    tail.split(',').all(|piece| {
+        let piece = piece.trim();
+        let piece = piece.strip_prefix('~').unwrap_or(piece);
+        if piece.is_empty() {
+            return false;
+        }
+        let (name, _value) = match piece.split_once('=') {
+            Some((n, v)) => (n, Some(v)),
+            None => (piece, None),
+        };
+        !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::ResourceType;
+
+    #[test]
+    fn comment_lines() {
+        assert_eq!(
+            parse_line("! Text ads on Sedo parking domains"),
+            ParsedLine::Comment("Text ads on Sedo parking domains".into())
+        );
+        // §7 A-filter markers are comments.
+        assert_eq!(parse_line("!A29"), ParsedLine::Comment("A29".into()));
+    }
+
+    #[test]
+    fn header_line() {
+        assert_eq!(
+            parse_line("[Adblock Plus 2.0]"),
+            ParsedLine::Header("Adblock Plus 2.0".into())
+        );
+    }
+
+    #[test]
+    fn empty_line() {
+        assert_eq!(parse_line("   "), ParsedLine::Empty);
+    }
+
+    #[test]
+    fn blocking_request_filter() {
+        let f = parse_filter("||adzerk.net^$third-party").unwrap();
+        let rf = f.as_request().unwrap();
+        assert_eq!(rf.action, FilterAction::Block);
+        assert_eq!(rf.options.third_party, Some(true));
+    }
+
+    #[test]
+    fn exception_request_filter() {
+        let f = parse_filter("@@||googleadservices.com^$third-party").unwrap();
+        assert!(f.is_exception());
+    }
+
+    #[test]
+    fn element_hide_with_domain() {
+        // From §2.1.2: reddit.com###siteTable_organic
+        let f = parse_filter("reddit.com###siteTable_organic").unwrap();
+        let ef = f.as_element().unwrap();
+        assert_eq!(ef.action, FilterAction::Block);
+        assert_eq!(ef.selector, "#siteTable_organic");
+        assert_eq!(ef.domains.include, vec!["reddit.com"]);
+    }
+
+    #[test]
+    fn element_exception_precedence_over_hide() {
+        // `#@#` must be recognized before `##` (it contains it).
+        let f = parse_filter("reddit.com#@##ad_main").unwrap();
+        let ef = f.as_element().unwrap();
+        assert_eq!(ef.action, FilterAction::Allow);
+        assert_eq!(ef.selector, "#ad_main");
+    }
+
+    #[test]
+    fn multi_domain_element_rule() {
+        // Appendix: mnn.com,streamtuner.me###adv
+        let f = parse_filter("mnn.com,streamtuner.me###adv").unwrap();
+        let ef = f.as_element().unwrap();
+        assert_eq!(ef.domains.include, vec!["mnn.com", "streamtuner.me"]);
+        assert_eq!(ef.selector, "#adv");
+    }
+
+    #[test]
+    fn negated_domain_element_rule() {
+        let f = parse_filter("example.com,~shop.example.com##.ad").unwrap();
+        let ef = f.as_element().unwrap();
+        assert_eq!(ef.domains.include, vec!["example.com"]);
+        assert_eq!(ef.domains.exclude, vec!["shop.example.com"]);
+    }
+
+    #[test]
+    fn class_selector_element_rule() {
+        let f = parse_filter("##.ButtonAd").unwrap();
+        assert_eq!(f.as_element().unwrap().selector, ".ButtonAd");
+    }
+
+    #[test]
+    fn options_split_on_last_dollar() {
+        let f = parse_filter("/ad$system/$script,third-party").unwrap();
+        let rf = f.as_request().unwrap();
+        assert_eq!(rf.pattern.raw, "/ad$system/");
+        assert!(rf.options.types.contains(ResourceType::Script));
+    }
+
+    #[test]
+    fn dollar_without_options_stays_in_pattern() {
+        let f = parse_filter("/cgi$bin/ads/").unwrap();
+        let rf = f.as_request().unwrap();
+        // "$bin/ads/" is not a valid option list ('/' in name).
+        assert_eq!(rf.pattern.raw, "/cgi$bin/ads/");
+    }
+
+    #[test]
+    fn sitekey_exception_filter() {
+        let f = parse_filter("@@$sitekey=MFwwDQYJKoZIhvcNAQEBBQADSwAwSA,document").unwrap();
+        let rf = f.as_request().unwrap();
+        assert!(rf.is_sitekey());
+        assert!(rf.options.document);
+        assert!(rf.pattern.is_match_all());
+    }
+
+    #[test]
+    fn empty_selector_is_invalid() {
+        match parse_line("example.com##") {
+            ParsedLine::Invalid { reason, .. } => assert_eq!(reason, ParseOutcome::EmptySelector),
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lone_atat_is_invalid() {
+        assert_eq!(parse_filter("@@"), Err(ParseOutcome::EmptyFilter));
+    }
+
+    #[test]
+    fn golem_de_filters_from_section7() {
+        let f = parse_filter(
+            "@@||google.com/ads/search/module/ads/*/search.js$domain=suche.golem.de|www.google.com",
+        )
+        .unwrap();
+        let rf = f.as_request().unwrap();
+        assert!(rf.is_restricted());
+        assert_eq!(
+            rf.options.domains.include,
+            vec!["suche.golem.de", "www.google.com"]
+        );
+
+        let f = parse_filter("www.google.com#@##adBlock").unwrap();
+        let ef = f.as_element().unwrap();
+        assert_eq!(ef.action, FilterAction::Allow);
+        assert_eq!(ef.domains.include, vec!["www.google.com"]);
+        assert_eq!(ef.selector, "#adBlock");
+    }
+
+    #[test]
+    fn comcast_a29_filters_from_figure11() {
+        for line in [
+            "@@||google.com/adsense/search/ads.js$domain=search.comcast.net",
+            "@@||google.com/ads/search/module/ads/*/search.js$script,domain=search.comcast.net",
+            "@@||google.com/afs/$script,subdocument,document,domain=search.comcast.net",
+        ] {
+            let f = parse_filter(line).unwrap();
+            assert!(f.is_exception(), "{line}");
+            assert!(f.as_request().unwrap().is_restricted(), "{line}");
+        }
+    }
+
+    #[test]
+    fn elemhide_exception_filters_from_figure11() {
+        let f = parse_filter("@@||ask.com^$elemhide").unwrap();
+        let rf = f.as_request().unwrap();
+        assert!(rf.options.elemhide);
+        assert!(!rf.is_restricted());
+    }
+
+    #[test]
+    fn raw_text_is_preserved_verbatim() {
+        let line = "@@||stats.g.doubleclick.net^$script,image";
+        assert_eq!(parse_filter(line).unwrap().raw, line);
+    }
+
+    #[test]
+    fn parse_line_never_panics_on_junk() {
+        for junk in ["####", "#@#", "$$$$", "||", "@@$", "~", "a##b##c", "\u{0}"] {
+            let _ = parse_line(junk);
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! Request-filter pattern compilation and matching.
+//!
+//! A pattern is the `⟨request-match⟩` production of the paper's BNF
+//! (Fig 12): an implicit-wildcard "regular expression" over URLs with
+//!
+//! * `||` — hostname anchor: matches at the start of the host or at any
+//!   label boundary within it (so `||example.com^` covers
+//!   `https://good.example.com/…` too);
+//! * `|` at the start — absolute start anchor;
+//! * `|` at the end — absolute end anchor;
+//! * `*` — wildcard over any substring;
+//! * `^` — a single separator character (per [`urlkit::is_separator`]),
+//!   which additionally matches the end of the URL.
+//!
+//! Patterns compile to a small element sequence matched with backtracking
+//! (patterns are short; URLs are short; the engine's token index keeps
+//! the number of candidate patterns per request tiny).
+
+use serde::{Deserialize, Serialize};
+
+/// One element of a compiled pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Element {
+    /// A literal substring (lowercased unless the filter is `match-case`).
+    Literal(String),
+    /// `*`: zero or more arbitrary characters.
+    Wildcard,
+    /// `^`: exactly one separator character, or the end of the URL.
+    Separator,
+}
+
+/// Where the pattern is anchored on the left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeftAnchor {
+    /// No anchor: the pattern may match anywhere.
+    None,
+    /// `|`: the pattern must match at the very start of the URL.
+    Start,
+    /// `||`: the pattern must match at the start of the hostname or at a
+    /// label boundary inside it.
+    Hostname,
+}
+
+/// A compiled request-match pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pattern {
+    /// Original pattern text as written in the list (without options).
+    pub raw: String,
+    /// Left anchoring mode.
+    pub left: LeftAnchor,
+    /// Whether a trailing `|` requires the match to end at URL end.
+    pub end_anchor: bool,
+    /// The element sequence between the anchors.
+    pub elements: Vec<Element>,
+    /// Whether matching preserves case (`match-case` option).
+    pub match_case: bool,
+}
+
+impl Pattern {
+    /// Compile pattern text. `match_case` controls literal normalization.
+    pub fn compile(text: &str, match_case: bool) -> Pattern {
+        let raw = text.to_string();
+        let mut rest = text;
+        let left = if let Some(r) = rest.strip_prefix("||") {
+            rest = r;
+            LeftAnchor::Hostname
+        } else if let Some(r) = rest.strip_prefix('|') {
+            rest = r;
+            LeftAnchor::Start
+        } else {
+            LeftAnchor::None
+        };
+        let end_anchor = if let Some(r) = rest.strip_suffix('|') {
+            rest = r;
+            true
+        } else {
+            false
+        };
+
+        let mut elements = Vec::new();
+        let mut lit = String::new();
+        for c in rest.chars() {
+            match c {
+                '*' => {
+                    if !lit.is_empty() {
+                        elements.push(Element::Literal(std::mem::take(&mut lit)));
+                    }
+                    // Collapse consecutive wildcards.
+                    if elements.last() != Some(&Element::Wildcard) {
+                        elements.push(Element::Wildcard);
+                    }
+                }
+                '^' => {
+                    if !lit.is_empty() {
+                        elements.push(Element::Literal(std::mem::take(&mut lit)));
+                    }
+                    elements.push(Element::Separator);
+                }
+                _ => {
+                    if match_case {
+                        lit.push(c);
+                    } else {
+                        lit.push(c.to_ascii_lowercase());
+                    }
+                }
+            }
+        }
+        if !lit.is_empty() {
+            elements.push(Element::Literal(lit));
+        }
+
+        Pattern {
+            raw,
+            left,
+            end_anchor,
+            elements,
+            match_case,
+        }
+    }
+
+    /// Whether the pattern matches nothing in particular (empty element
+    /// list, no anchors) — e.g. the pattern of a pure sitekey filter
+    /// `@@$sitekey=…,document`, which matches every URL.
+    pub fn is_match_all(&self) -> bool {
+        self.elements.is_empty() && self.left == LeftAnchor::None && !self.end_anchor
+    }
+
+    /// Match the pattern against a URL string.
+    ///
+    /// `url` must be the full URL; when the pattern is case-insensitive
+    /// the caller should pass a pre-lowercased copy for speed (see
+    /// [`Pattern::matches_prepared`]); this convenience method handles
+    /// the normalization itself.
+    pub fn matches(&self, url: &str) -> bool {
+        if self.match_case {
+            self.matches_prepared(url, url)
+        } else {
+            let lower = url.to_ascii_lowercase();
+            self.matches_prepared(&lower, url)
+        }
+    }
+
+    /// Match against a pre-normalized URL.
+    ///
+    /// `normalized` must be `url.to_ascii_lowercase()` when the pattern is
+    /// case-insensitive, and the raw URL otherwise. `original` is the raw
+    /// URL and is only used to locate the hostname for `||` anchoring
+    /// (scheme and host are lowercase in both forms).
+    pub fn matches_prepared(&self, normalized: &str, original: &str) -> bool {
+        let text = if self.match_case {
+            original
+        } else {
+            normalized
+        };
+        let bytes = text.as_bytes();
+        match self.left {
+            LeftAnchor::Start => self.match_elements(bytes, 0),
+            LeftAnchor::Hostname => {
+                for start in hostname_anchor_positions(text) {
+                    if self.match_elements(bytes, start) {
+                        return true;
+                    }
+                }
+                false
+            }
+            LeftAnchor::None => {
+                if self.elements.is_empty() {
+                    // Match-all (or pure end anchor): end anchor alone is
+                    // trivially satisfiable at the end of the text.
+                    return true;
+                }
+                // Try every start position; the first element being a
+                // literal lets us skip with substring search.
+                match &self.elements[0] {
+                    Element::Literal(first) => {
+                        let mut from = 0;
+                        while let Some(idx) = find_from(text, first, from) {
+                            if self.match_elements(bytes, idx) {
+                                return true;
+                            }
+                            from = idx + 1;
+                            if from > bytes.len() {
+                                break;
+                            }
+                        }
+                        false
+                    }
+                    _ => (0..=bytes.len()).any(|i| self.match_elements(bytes, i)),
+                }
+            }
+        }
+    }
+
+    /// Backtracking element matcher starting at byte offset `pos`.
+    fn match_elements(&self, text: &[u8], pos: usize) -> bool {
+        self.match_rec(text, pos, 0)
+    }
+
+    fn match_rec(&self, text: &[u8], pos: usize, elem: usize) -> bool {
+        if elem == self.elements.len() {
+            return !self.end_anchor || pos == text.len();
+        }
+        match &self.elements[elem] {
+            Element::Literal(lit) => {
+                let lb = lit.as_bytes();
+                if pos + lb.len() <= text.len() && &text[pos..pos + lb.len()] == lb {
+                    self.match_rec(text, pos + lb.len(), elem + 1)
+                } else {
+                    false
+                }
+            }
+            Element::Separator => {
+                // `^` matches one separator byte, or the end of the URL
+                // (in which case it consumes nothing and everything after
+                // it must also be satisfiable at end — ABP only allows ^
+                // at the end to match EOL, and subsequent elements would
+                // fail anyway unless they also accept emptiness).
+                if pos < text.len() && urlkit::separator::is_separator_byte(text[pos]) {
+                    if self.match_rec(text, pos + 1, elem + 1) {
+                        return true;
+                    }
+                }
+                pos == text.len() && self.match_rec(text, pos, elem + 1)
+            }
+            Element::Wildcard => {
+                // Greedy would be fine; use first-match semantics with
+                // substring search when a literal follows.
+                if elem + 1 == self.elements.len() {
+                    // Trailing wildcard consumes the rest of the URL, which
+                    // also satisfies an end anchor.
+                    return true;
+                }
+                match &self.elements[elem + 1] {
+                    Element::Literal(lit) => {
+                        let mut from = pos;
+                        let s = match std::str::from_utf8(&text[..]) {
+                            Ok(s) => s,
+                            Err(_) => return false,
+                        };
+                        while let Some(idx) = find_from(s, lit, from) {
+                            if self.match_rec(text, idx, elem + 1) {
+                                return true;
+                            }
+                            from = idx + 1;
+                        }
+                        false
+                    }
+                    _ => (pos..=text.len()).any(|i| self.match_rec(text, i, elem + 1)),
+                }
+            }
+        }
+    }
+
+    /// Extract the indexable tokens of this pattern: maximal runs of
+    /// `[a-z0-9%]` within literals, excluding runs that touch a wildcard
+    /// boundary (they may be partial). Used by the engine's token index.
+    pub fn tokens(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, e) in self.elements.iter().enumerate() {
+            if let Element::Literal(lit) = e {
+                let lower = lit.to_ascii_lowercase();
+                let mut runs: Vec<(usize, usize)> = Vec::new();
+                let mut start = None;
+                for (j, b) in lower.bytes().enumerate() {
+                    let tokenish = b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'%';
+                    match (tokenish, start) {
+                        (true, None) => start = Some(j),
+                        (false, Some(s)) => {
+                            runs.push((s, j));
+                            start = None;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(s) = start {
+                    runs.push((s, lower.len()));
+                }
+                let wild_before = i > 0 && self.elements[i - 1] == Element::Wildcard;
+                let wild_after =
+                    i + 1 < self.elements.len() && self.elements[i + 1] == Element::Wildcard;
+                for (s, e_) in runs {
+                    // A run touching the start of a literal preceded by a
+                    // wildcard (or pattern start without anchor) could be a
+                    // partial token in the URL; skip those for safety.
+                    let touches_start =
+                        s == 0 && (wild_before || (i == 0 && self.left == LeftAnchor::None));
+                    let touches_end = e_ == lower.len()
+                        && (wild_after || (i + 1 == self.elements.len() && !self.end_anchor));
+                    if touches_start || touches_end {
+                        continue;
+                    }
+                    if e_ - s >= 2 {
+                        out.push(lower[s..e_].to_string());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Candidate match-start offsets for a `||` hostname anchor: the start of
+/// the host, plus the position after each `.` inside the host.
+fn hostname_anchor_positions(url: &str) -> Vec<usize> {
+    let mut positions = Vec::new();
+    let Some(scheme_end) = url.find("://") else {
+        return positions;
+    };
+    let host_start = scheme_end + 3;
+    let host_end = url[host_start..]
+        .find(['/', '?', '#', ':'])
+        .map(|i| host_start + i)
+        .unwrap_or(url.len());
+    positions.push(host_start);
+    for (i, b) in url.as_bytes()[host_start..host_end].iter().enumerate() {
+        if *b == b'.' {
+            positions.push(host_start + i + 1);
+        }
+    }
+    positions
+}
+
+/// `str::find` starting at byte offset `from`. Offsets landing inside a
+/// multi-byte character (possible when the caller advances byte-wise
+/// through non-ASCII URLs) are snapped forward to the next boundary.
+fn find_from(haystack: &str, needle: &str, mut from: usize) -> Option<usize> {
+    if from > haystack.len() {
+        return None;
+    }
+    while from < haystack.len() && !haystack.is_char_boundary(from) {
+        from += 1;
+    }
+    haystack[from..].find(needle).map(|i| i + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, url: &str) -> bool {
+        Pattern::compile(pattern, false).matches(url)
+    }
+
+    #[test]
+    fn plain_substring_matches_anywhere() {
+        assert!(m("/ad-frame/", "http://example.com/ad-frame/x.gif"));
+        assert!(m("/ad-frame/", "http://other.net/path/ad-frame/y"));
+        assert!(!m("/ad-frame/", "http://other.net/adframe/y"));
+    }
+
+    #[test]
+    fn paper_appendix_gif_example() {
+        assert!(m(
+            "http://example.com/ads/advert777.gif",
+            "http://example.com/ads/advert777.gif"
+        ));
+        // Implicit wildcards: also matches when embedded.
+        assert!(m(
+            "http://example.com/ads/advert777.gif",
+            "http://example.com/ads/advert777.gif?x=1"
+        ));
+    }
+
+    #[test]
+    fn hostname_anchor_covers_subdomains_and_schemes() {
+        // Paper: `||example.com/ad.jpg|` matches
+        // http://good.example.com/ad.jpg and https://example.com/ad.jpg
+        // but not https://example.com/ad.jpg.exe
+        let p = "||example.com/ad.jpg|";
+        assert!(m(p, "http://good.example.com/ad.jpg"));
+        assert!(m(p, "https://example.com/ad.jpg"));
+        assert!(!m(p, "https://example.com/ad.jpg.exe"));
+    }
+
+    #[test]
+    fn hostname_anchor_rejects_embedded_hosts() {
+        assert!(!m("||adzerk.net^", "http://example.com/adzerk.net/x"));
+        assert!(!m(
+            "||adzerk.net^",
+            "http://notadzerk.net.evil.com/x".replace("x", "p").as_str()
+        ));
+        assert!(m(
+            "||adzerk.net^",
+            "http://static.adzerk.net/reddit/ads.html"
+        ));
+        assert!(m("||adzerk.net^", "https://adzerk.net/"));
+    }
+
+    #[test]
+    fn hostname_anchor_label_boundary_only() {
+        // "goodexample.com" must not match ||example.com
+        assert!(!m("||example.com^", "http://goodexample.com/"));
+        assert!(m("||example.com^", "http://sub.example.com/"));
+    }
+
+    #[test]
+    fn separator_semantics_from_paper() {
+        // Paper: `||^www.google.com^` — wait, paper writes `|^www.google.com^`
+        // as matching http://www.google.com/#q=foo but not
+        // http://scholar.google.com. We test the canonical `|` + `^` form.
+        let p = "|http://www.google.com^";
+        assert!(m(p, "http://www.google.com/#q=foo"));
+        assert!(!m(p, "http://scholar.google.com/"));
+    }
+
+    #[test]
+    fn separator_matches_end_of_url() {
+        assert!(m("||example.com^", "http://example.com"));
+        assert!(m("||example.com^", "http://example.com/"));
+        assert!(!m("||example.com^", "http://example.company/"));
+    }
+
+    #[test]
+    fn separator_does_not_match_token_chars() {
+        assert!(!m("ads^", "http://x.com/adsy"));
+        assert!(m("ads^", "http://x.com/ads/banner"));
+        assert!(m("ads^", "http://x.com/ads"));
+        assert!(!m("ads^", "http://x.com/ads-top")); // '-' is not a separator
+        assert!(!m("ads^", "http://x.com/ads.gif")); // '.' is not a separator
+    }
+
+    #[test]
+    fn start_anchor() {
+        assert!(m("|http://ads.", "http://ads.example.com/"));
+        assert!(!m(
+            "|http://ads.",
+            "https://x.com/?u=http://ads.example.com/"
+        ));
+    }
+
+    #[test]
+    fn end_anchor() {
+        assert!(m("swf|", "http://example.com/annoyingflash.swf"));
+        assert!(!m("swf|", "http://example.com/swf/index.html"));
+    }
+
+    #[test]
+    fn wildcards() {
+        assert!(m(
+            "google.com/ads/search/module/ads/*/search.js",
+            "http://www.google.com/ads/search/module/ads/v2/search.js"
+        ));
+        assert!(!m(
+            "google.com/ads/search/module/ads/*/search.js",
+            "http://www.google.com/ads/search/module/ads/search.js-not"
+        ));
+        assert!(m("a*c*e", "http://x.com/abcde"));
+        assert!(!m("a*q*e", "http://x.com/abcde"));
+    }
+
+    #[test]
+    fn consecutive_wildcards_collapse() {
+        let p = Pattern::compile("a**b", false);
+        assert_eq!(
+            p.elements,
+            vec![
+                Element::Literal("a".into()),
+                Element::Wildcard,
+                Element::Literal("b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn case_insensitive_by_default() {
+        assert!(m("/ADS/", "http://x.com/ads/a.gif"));
+        assert!(m("/ads/", "http://x.com/ADS/a.gif"));
+        let p = Pattern::compile("/ADS/", true);
+        assert!(!p.matches("http://x.com/ads/a.gif"));
+        assert!(p.matches("http://x.com/ADS/a.gif"));
+    }
+
+    #[test]
+    fn match_all_pattern() {
+        let p = Pattern::compile("", false);
+        assert!(p.is_match_all());
+        assert!(p.matches("http://anything.example/"));
+    }
+
+    #[test]
+    fn tokens_extracted_conservatively() {
+        let p = Pattern::compile("||adzerk.net^", false);
+        let toks = p.tokens();
+        assert!(toks.contains(&"adzerk".to_string()));
+        assert!(toks.contains(&"net".to_string()));
+
+        // Trailing unanchored literal run is skipped (could be partial).
+        let p = Pattern::compile("/banner/ad", false);
+        let toks = p.tokens();
+        assert!(toks.contains(&"banner".to_string()));
+        assert!(!toks.contains(&"ad".to_string()));
+
+        // Runs adjacent to wildcards are skipped.
+        let p = Pattern::compile("||x.com/a*cde^", false);
+        let toks = p.tokens();
+        assert!(!toks.iter().any(|t| t == "cde"));
+    }
+
+    #[test]
+    fn stats_doubleclick_filter_from_table4() {
+        // @@||stats.g.doubleclick.net^$script,image — pattern part.
+        let p = "||stats.g.doubleclick.net^";
+        assert!(m(p, "https://stats.g.doubleclick.net/dc.js"));
+        assert!(!m(p, "https://ad.doubleclick.net/dc.js"));
+    }
+
+    #[test]
+    fn end_anchor_with_separator() {
+        // `^` before end anchor: separator or EOL then end.
+        assert!(m("||example.com^|", "http://example.com/"));
+        assert!(m("||example.com^|", "http://example.com"));
+        assert!(!m("||example.com^|", "http://example.com/x"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based tests for the filter language and engine invariants.
+
+use crate::engine::{Decision, Engine};
+use crate::list::{FilterList, ListSource};
+use crate::options::ResourceType;
+use crate::parser::{parse_filter, parse_line};
+use crate::pattern::Pattern;
+use crate::request::Request;
+use proptest::prelude::*;
+
+fn host() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z]{2,8}", 2..4).prop_map(|ls| ls.join("."))
+}
+
+proptest! {
+    /// Parsing never panics on arbitrary lines.
+    #[test]
+    fn parse_line_total(line in ".{0,300}") {
+        let _ = parse_line(&line);
+    }
+
+    /// Every parsed filter preserves its raw text exactly.
+    #[test]
+    fn raw_preserved(line in "[!-~]{1,80}") {
+        if let Ok(f) = parse_filter(&line) {
+            prop_assert_eq!(f.raw, line.trim().to_string());
+        }
+    }
+
+    /// A `||host^` filter matches requests to that host and all its
+    /// subdomains, and never matches unrelated hosts.
+    #[test]
+    fn host_anchor_soundness(h in host(), sub in "[a-z]{2,6}", other in host()) {
+        let f = parse_filter(&format!("||{h}^")).unwrap();
+        let rf = f.as_request().unwrap();
+
+        let direct = Request::new(&format!("http://{h}/x.png"), "firstparty.example", ResourceType::Image).unwrap();
+        prop_assert!(rf.matches(&direct));
+
+        let subdomain = Request::new(&format!("http://{sub}.{h}/x.png"), "firstparty.example", ResourceType::Image).unwrap();
+        prop_assert!(rf.matches(&subdomain));
+
+        if !other.ends_with(&h) && !h.ends_with(&other) && other != h {
+            let unrelated = Request::new(&format!("http://{other}/x.png"), "firstparty.example", ResourceType::Image).unwrap();
+            prop_assert!(!rf.matches(&unrelated), "{} matched ||{}^", other, h);
+        }
+    }
+
+    /// Pattern matching is invariant under URL case when `match-case` is
+    /// off.
+    #[test]
+    fn case_insensitive_matching(pat in "[a-z/.]{3,12}", url_path in "[a-zA-Z0-9/._-]{0,30}") {
+        let p = Pattern::compile(&pat, false);
+        let url = format!("http://example.com/{url_path}");
+        prop_assert_eq!(p.matches(&url), p.matches(&url.to_ascii_uppercase().to_ascii_lowercase()));
+        prop_assert_eq!(p.matches(&url), p.matches(&url.to_ascii_uppercase()));
+    }
+
+    /// Engine invariant: exceptions always override blocks — if both
+    /// sides match, the decision is AllowedByException; a Block decision
+    /// implies no exception matched.
+    #[test]
+    fn exceptions_override_blocks(h in host(), ty in prop::sample::select(&ResourceType::ALL[..])) {
+        let text = format!("||{h}^\n");
+        let wl_text = format!("@@||{h}^\n");
+        let bl = FilterList::parse(ListSource::EasyList, &text);
+        let wl = FilterList::parse(ListSource::AcceptableAds, &wl_text);
+        let e = Engine::from_lists([&bl, &wl]);
+        let r = Request::new(&format!("https://{h}/ad.js"), "elsewhere.example", ty).unwrap();
+        let out = e.match_request(&r);
+        if ty == ResourceType::Document {
+            // Default masks exclude `document`; neither side matches.
+            prop_assert_eq!(out.decision, Decision::NoMatch);
+        } else {
+            prop_assert_eq!(out.decision, Decision::AllowedByException);
+        }
+    }
+
+    /// Engine equivalence: the token index never loses a match relative
+    /// to brute-force evaluation of every filter.
+    #[test]
+    fn index_complete(hosts in proptest::collection::vec(host(), 1..20), probe in 0usize..20) {
+        let mut text = String::new();
+        for h in &hosts {
+            text.push_str(&format!("||{h}^\n"));
+        }
+        let list = FilterList::parse(ListSource::EasyList, &text);
+        let e = Engine::from_lists([&list]);
+        let target = &hosts[probe % hosts.len()];
+        let r = Request::new(&format!("http://{target}/x"), "firstparty.example", ResourceType::Image).unwrap();
+        let out = e.match_request(&r);
+        prop_assert_eq!(out.decision, Decision::Block);
+        // Brute force count of matching filters must equal activations.
+        let brute = list
+            .filters()
+            .filter(|f| f.as_request().map(|rf| rf.matches(&r)).unwrap_or(false))
+            .count();
+        prop_assert_eq!(out.activations.len(), brute);
+    }
+
+    /// List round-trip: parse → to_text → parse preserves filter count.
+    #[test]
+    fn list_roundtrip(lines in proptest::collection::vec("[!-~]{0,60}", 0..30)) {
+        let text = lines.join("\n");
+        let list = FilterList::parse(ListSource::Custom, &text);
+        let list2 = FilterList::parse(ListSource::Custom, &list.to_text());
+        prop_assert_eq!(list.filter_count(), list2.filter_count());
+    }
+}
+
+#[cfg(test)]
+mod pattern_metamorphic {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    fn url_strategy() -> impl Strategy<Value = String> {
+        (host(), "[a-z0-9/._-]{0,24}").prop_map(|(h, p)| format!("http://{h}/{p}"))
+    }
+
+    proptest! {
+        /// Any literal substring of a URL, used as a pattern, matches it.
+        #[test]
+        fn substring_always_matches(url in url_strategy(), start in 0usize..10, len in 1usize..12) {
+            let start = start.min(url.len() - 1);
+            let end = (start + len).min(url.len());
+            let needle = &url[start..end];
+            // Skip slices containing pattern metacharacters.
+            prop_assume!(!needle.contains(['*', '^', '|', '$']));
+            prop_assume!(!needle.is_empty());
+            let p = Pattern::compile(needle, false);
+            prop_assert!(p.matches(&url), "{needle:?} should match {url:?}");
+        }
+
+        /// Inserting `*` between two halves of a matching literal keeps it
+        /// matching (wildcards only weaken a pattern).
+        #[test]
+        fn wildcard_insertion_weakens(url in url_strategy(), cut in 2usize..10) {
+            let tail_start = url.len().saturating_sub(8);
+            let needle = &url[tail_start..];
+            prop_assume!(!needle.contains(['*', '^', '|', '$']) && needle.len() >= 4);
+            let cut = cut.min(needle.len() - 1).max(1);
+            let weakened = format!("{}*{}", &needle[..cut], &needle[cut..]);
+            let p = Pattern::compile(&weakened, false);
+            prop_assert!(p.matches(&url), "{weakened:?} should match {url:?}");
+        }
+
+        /// A pattern equal to the whole URL with both `|` anchors matches
+        /// exactly that URL and not the URL with a suffix.
+        #[test]
+        fn full_anchored_pattern_is_exact(url in url_strategy()) {
+            prop_assume!(!url.contains(['*', '^', '$']));
+            let p = Pattern::compile(&format!("|{url}|"), false);
+            prop_assert!(p.matches(&url));
+            let suffixed = format!("{url}x");
+            let prefixed = format!("x{url}");
+            prop_assert!(!p.matches(&suffixed));
+            prop_assert!(!p.matches(&prefixed));
+        }
+
+        /// `||host^` is equivalent to matching the URL's host label
+        /// boundary: it matches iff host equals or is a suffix-label of
+        /// the URL's host.
+        #[test]
+        fn host_anchor_equivalence(h in host(), url in url_strategy()) {
+            let p = Pattern::compile(&format!("||{h}^"), false);
+            let parsed = urlkit::Url::parse(&url).unwrap();
+            let expected = urlkit::is_same_or_subdomain_of(parsed.host(), &h);
+            prop_assert_eq!(p.matches(&url), expected, "||{}^ vs {}", h, url);
+        }
+
+        /// Compilation is total and matching never panics for arbitrary
+        /// pattern/URL pairs.
+        #[test]
+        fn compile_and_match_total(pat in ".{0,60}", url in ".{0,120}") {
+            let p = Pattern::compile(&pat, false);
+            let _ = p.matches(&url);
+            let _ = p.tokens();
+        }
+
+        /// Every extracted token is present in any URL the pattern
+        /// matches (the token-index soundness property the engine relies
+        /// on).
+        #[test]
+        fn tokens_sound_for_index(h in host(), path in "[a-z0-9/]{0,16}") {
+            let pattern_text = format!("||{h}/{path}");
+            let p = Pattern::compile(&pattern_text, false);
+            let url = format!("https://sub.{h}/{path}tail");
+            if p.matches(&url) {
+                let lower = url.to_ascii_lowercase();
+                for token in p.tokens() {
+                    prop_assert!(
+                        lower.contains(&token),
+                        "token {token:?} missing from matching url {url:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod elem_props {
+    use super::*;
+
+    proptest! {
+        /// An element rule restricted to a domain applies on that domain
+        /// and its subdomains only.
+        #[test]
+        fn element_domain_scope(h in host(), sub in "[a-z]{2,5}", other in host()) {
+            let f = parse_filter(&format!("{h}##.ad")).unwrap();
+            let ef = f.as_element().unwrap();
+            prop_assert!(ef.applies_on(&h));
+            let subhost = format!("{sub}.{h}");
+            prop_assert!(ef.applies_on(&subhost));
+            if other != h && !other.ends_with(&format!(".{h}")) {
+                prop_assert!(!ef.applies_on(&other));
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the engine's **token index** vs brute-force evaluation of every
+//!   request filter;
+//! * the crawler's **selector-cache + vocabulary prefilter** vs querying
+//!   every applicable cosmetic selector against the DOM;
+//! * **short-division fast path** (single-limb divisor) vs full
+//!   Knuth-D in the bignum (division dominates modexp).
+
+use abp::{Engine, Filter, Request, ResourceType};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sitekey::bigint::BigUint;
+use sitekey::rng::SplitMix64;
+use std::hint::black_box;
+
+/// Brute force: evaluate the request against every filter of both lists
+/// (what the engine would cost without its token index).
+fn brute_force_match(filters: &[&Filter], req: &Request) -> (usize, usize) {
+    let mut blocks = 0;
+    let mut allows = 0;
+    for f in filters {
+        if let Some(rf) = f.as_request() {
+            if rf.matches(req) {
+                match rf.action {
+                    abp::FilterAction::Block => blocks += 1,
+                    abp::FilterAction::Allow => allows += 1,
+                }
+            }
+        }
+    }
+    (blocks, allows)
+}
+
+fn token_index_ablation(c: &mut Criterion) {
+    let corpus = bench::corpus();
+    let engine = Engine::from_lists([&corpus.easylist, &corpus.whitelist]);
+    let filters: Vec<&Filter> = corpus
+        .easylist
+        .filters()
+        .chain(corpus.whitelist.filters())
+        .collect();
+
+    let requests: Vec<Request> = [
+        ("http://stats.g.doubleclick.net/dc.js", ResourceType::Script),
+        ("http://benign.example/static/app.js", ResourceType::Script),
+        ("http://adserver007.adnet.example/x", ResourceType::Image),
+        ("http://gstatic.com/fonts/roboto.woff", ResourceType::Image),
+    ]
+    .iter()
+    .map(|(u, t)| Request::new(u, "example.com", *t).unwrap())
+    .collect();
+
+    // Correctness cross-check before timing: the index must agree with
+    // brute force on match counts.
+    for req in &requests {
+        let outcome = engine.match_request(req);
+        let (blocks, allows) = brute_force_match(&filters, req);
+        assert_eq!(
+            outcome.activations.len(),
+            blocks + allows,
+            "index/brute-force disagreement on {}",
+            req.url
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_token_index");
+    group.bench_function("indexed_engine", |b| {
+        b.iter(|| {
+            for req in &requests {
+                black_box(engine.match_request(black_box(req)));
+            }
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("brute_force_25k_filters", |b| {
+        b.iter(|| {
+            for req in &requests {
+                black_box(brute_force_match(black_box(&filters), black_box(req)));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn selector_prefilter_ablation(c: &mut Criterion) {
+    let corpus = bench::corpus();
+    let engine = Engine::from_lists([&corpus.easylist, &corpus.whitelist]);
+    let cache = crawler::SelectorCache::build(&engine);
+    let web = bench::web();
+    let resp = web.get(&websim::HttpRequest::browser("http://reddit.com/"));
+    let dom = cssdom::parse_html(&resp.body);
+    let refs = engine.hiding_refs_for_domain("reddit.com");
+
+    let mut group = c.benchmark_group("ablation_selector_prefilter");
+    group.bench_function("with_vocab_prefilter", |b| {
+        b.iter(|| {
+            let vocab = crawler::PageVocab::of(&dom);
+            let mut hits = 0usize;
+            for (_, sel_text, _) in &refs {
+                if let Some(cached) = cache.get(sel_text) {
+                    if vocab.maybe_matches(cached) {
+                        hits += cssdom::query_all(&dom, &cached.selector).len();
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.sample_size(20);
+    group.bench_function("query_every_selector", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (_, sel_text, _) in &refs {
+                if let Some(cached) = cache.get(sel_text) {
+                    hits += cssdom::query_all(&dom, &cached.selector).len();
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn division_fast_path(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(3);
+    let a = BigUint::random_bits(512, &mut rng);
+    let single_limb = BigUint::from_u64(0xFFFF_FFFD);
+    let multi_limb = BigUint::random_bits(256, &mut rng);
+
+    let mut group = c.benchmark_group("ablation_division");
+    group.bench_function("short_division_single_limb", |b| {
+        b.iter(|| black_box(&a).div_rem(black_box(&single_limb)))
+    });
+    group.bench_function("knuth_d_multi_limb", |b| {
+        b.iter(|| black_box(&a).div_rem(black_box(&multi_limb)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    token_index_ablation,
+    selector_prefilter_ablation,
+    division_fast_path
+);
+criterion_main!(ablations);

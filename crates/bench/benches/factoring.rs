@@ -1,0 +1,102 @@
+//! §4.2.3's factoring experiment: wall-clock factoring time vs modulus
+//! size at executable scales, printed with the NFS model's
+//! extrapolation to the paper's 512-bit / one-week observation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sitekey::factor::{break_rsa_modulus, factor, FactorResult};
+use sitekey::nfs_model;
+use sitekey::rng::SplitMix64;
+use sitekey::rsa::RsaKeyPair;
+use std::hint::black_box;
+use std::sync::Once;
+
+fn factoring_by_bits(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    PRINTED.call_once(|| {
+        println!("\n== Factoring cost vs modulus size ==");
+        println!(
+            "(measured: Pollard rho on this machine; model: GNFS on the paper's 8-desktop cluster)"
+        );
+        for bits in [32u32, 40, 48, 56, 64] {
+            let kp = RsaKeyPair::generate(bits as usize, &mut SplitMix64::new(bits as u64));
+            let started = std::time::Instant::now();
+            let ok = break_rsa_modulus(
+                &kp.public.n,
+                &kp.public.e,
+                1_000_000_000,
+                &mut SplitMix64::new(7),
+            )
+            .is_some();
+            println!(
+                "{bits:>4} bits: measured {:>9.4}s (ok={ok}), model(512-calibrated) {}",
+                started.elapsed().as_secs_f64(),
+                nfs_model::humanize_seconds(nfs_model::predicted_seconds(bits, 8)),
+            );
+        }
+        println!(
+            "512 bits: model {} on 8 desktops (paper: ~1 week)\n",
+            nfs_model::humanize_seconds(nfs_model::predicted_seconds(512, 8))
+        );
+    });
+
+    let mut group = c.benchmark_group("factor_modulus");
+    group.sample_size(10);
+    for bits in [32usize, 40, 48, 56] {
+        let kp = RsaKeyPair::generate(bits, &mut SplitMix64::new(bits as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &kp, |b, kp| {
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                let mut rng = SplitMix64::new(round);
+                match factor(black_box(&kp.public.n), 1_000_000_000, &mut rng) {
+                    FactorResult::Composite(p, q) => (p, q),
+                    other => panic!("expected factors, got {other:?}"),
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn key_reconstruction(c: &mut Criterion) {
+    // Given the factors, reconstructing the private key and forging a
+    // signature is instant — the point of §4.2.3.
+    let victim = RsaKeyPair::generate(64, &mut SplitMix64::new(5));
+    c.bench_function("reconstruct_private_key_from_factors", |b| {
+        b.iter(|| {
+            RsaKeyPair::from_factors(
+                black_box(victim.p.clone()),
+                black_box(victim.q.clone()),
+                victim.public.e.clone(),
+            )
+            .expect("valid factors")
+        })
+    });
+    let forged =
+        RsaKeyPair::from_factors(victim.p.clone(), victim.q.clone(), victim.public.e.clone())
+            .unwrap();
+    c.bench_function("forge_sitekey_token", |b| {
+        b.iter(|| {
+            sitekey::protocol::issue_token(
+                black_box(&forged),
+                "/",
+                "attacker.example",
+                "Mozilla/5.0",
+            )
+        })
+    });
+}
+
+fn nfs_model_eval(c: &mut Criterion) {
+    c.bench_function("nfs_cost_model_table", |b| {
+        b.iter(|| nfs_model::cost_table(black_box(&[64, 128, 256, 384, 512, 768, 1024, 2048])))
+    });
+}
+
+criterion_group!(
+    factoring,
+    factoring_by_bits,
+    key_reconstruction,
+    nfs_model_eval
+);
+criterion_main!(factoring);

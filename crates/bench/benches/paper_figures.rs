@@ -1,0 +1,255 @@
+//! Regeneration benches for every *figure* in the paper's evaluation:
+//! Fig 3 (growth), Fig 4 (scope hierarchy), Fig 5 (sitekey exploit),
+//! Fig 6 (top-50 matches), Fig 7 (ECDF), Fig 8 (per-stratum rates),
+//! Fig 9 (user perception), Fig 11 (A-filter groups).
+
+use acceptable_ads::exploit::{run_exploit, ExploitConfig};
+use acceptable_ads::history::mine_history;
+use acceptable_ads::perception::run_perception_survey;
+use acceptable_ads::scope::classify_whitelist;
+use acceptable_ads::undocumented::detect_undocumented;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+use survey::questionnaire::Statement;
+
+fn figure3(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    let store = bench::history_store();
+    PRINTED.call_once(|| {
+        let h = mine_history(store);
+        println!("\n== Figure 3: whitelist growth (every 100th revision) ==");
+        for p in h.growth.iter().step_by(100).chain(h.growth.last()) {
+            println!(
+                "rev {:>4} {}  {:>5} filters",
+                p.rev,
+                revstore::date::ymd_from_unix(p.timestamp),
+                p.filters
+            );
+        }
+        println!(
+            "largest jump: {:?} (paper: Rev 200, +1,262)\n",
+            h.largest_jumps(1)
+        );
+    });
+    let mut group = c.benchmark_group("figure3");
+    group.sample_size(10);
+    group.bench_function("growth_series", |b| {
+        b.iter(|| mine_history(black_box(store)).growth.len())
+    });
+    group.finish();
+}
+
+fn figure4(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    let corpus = bench::corpus();
+    PRINTED.call_once(|| {
+        let s = classify_whitelist(&corpus.whitelist);
+        println!("== Figure 4: filter-type hierarchy ==");
+        println!("restricted request: {:>5}", s.restricted_request);
+        println!("restricted element: {:>5}", s.restricted_element);
+        println!(
+            "unrestricted request: {:>3} (paper: 156 incl. element)",
+            s.unrestricted_request
+        );
+        println!(
+            "unrestricted element: {:>3} (paper: 1 — influads)",
+            s.unrestricted_element
+        );
+        println!(
+            "sitekey filters: {:>8} over {} keys (paper: 25 / 4)",
+            s.sitekey_filters, s.distinct_sitekeys
+        );
+        println!(
+            "restricted share: {:.1}% (paper text: 89%; paper's own counts imply {:.1}%)\n",
+            100.0 * s.restricted_share(),
+            100.0 * (5_936.0 - 181.0) / 5_936.0
+        );
+    });
+    c.bench_function("figure4_classification", |b| {
+        b.iter(|| classify_whitelist(black_box(&corpus.whitelist)))
+    });
+}
+
+fn figure5(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    let corpus = bench::corpus();
+    PRINTED.call_once(|| {
+        let r = run_exploit(&ExploitConfig::default(), &corpus.easylist);
+        println!(
+            "== Figure 5: sitekey exploit ({}–bit demo key) ==",
+            r.key_bits
+        );
+        println!(
+            "(a) without sitekey: {}/{} requests blocked",
+            r.blocked_without_sitekey, r.page_requests
+        );
+        println!(
+            "(b) with forged sitekey: {}/{} blocked (token verified: {})",
+            r.blocked_with_sitekey, r.page_requests, r.forged_token_verified
+        );
+        println!(
+            "factored in {:.3}s; NFS model puts 512-bit at {} on the paper's cluster\n",
+            r.factoring_seconds,
+            sitekey::nfs_model::humanize_seconds(r.nfs_predicted_seconds_512)
+        );
+    });
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+    group.bench_function("full_exploit_48bit", |b| {
+        let cfg = ExploitConfig {
+            key_bits: 48,
+            ..Default::default()
+        };
+        b.iter(|| run_exploit(black_box(&cfg), black_box(&corpus.easylist)))
+    });
+    group.finish();
+}
+
+fn figures_6_7_8(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    let survey = bench::site_survey();
+    PRINTED.call_once(|| {
+        println!("== Figure 6: top activating sites (bold=explicit) ==");
+        for s in survey.figure6_rows(20) {
+            let b = if s.explicit { "**" } else { "  " };
+            println!(
+                "{b}{:<22} r{:<6} wl {:>3}  el(with) {:>3}  el(only) {:>3}",
+                s.domain, s.rank, s.whitelist_total, s.easylist_total_with, s.easylist_only_total
+            );
+        }
+
+        let (totals, distincts) = survey.ecdf_points();
+        println!(
+            "\n== Figure 7: ECDF of whitelist matches ({} sites ≥1; paper 2,934) ==",
+            totals.len()
+        );
+        for q in [0.5, 0.75, 0.9, 0.95, 1.0] {
+            let i = ((totals.len() as f64 * q).ceil() as usize).min(totals.len()) - 1;
+            println!(
+                "p{:<3} total {:>3}  distinct {:>2}",
+                (q * 100.0) as u32,
+                totals[i],
+                distincts[i]
+            );
+        }
+        println!(
+            "mean distinct {:.2} (paper 2.6); heaviest {} {}/{} (paper toyota.com 83/8)",
+            survey.mean_distinct_whitelist(),
+            survey
+                .heaviest_site()
+                .map(|s| s.domain.as_str())
+                .unwrap_or("-"),
+            survey
+                .heaviest_site()
+                .map(|s| s.whitelist_total)
+                .unwrap_or(0),
+            survey
+                .heaviest_site()
+                .map(|s| s.whitelist_distinct)
+                .unwrap_or(0),
+        );
+
+        let filters: Vec<String> = survey
+            .top_whitelist_filters(10)
+            .into_iter()
+            .map(|(f, _)| f)
+            .collect();
+        println!("\n== Figure 8: per-group activation rates (top 10 whitelist filters) ==");
+        for (group, counts) in survey.figure8_matrix(&filters) {
+            let size = if group == "Top 5K" {
+                survey.top_sites.len()
+            } else {
+                survey.config.stratum_sample
+            };
+            let rates: Vec<String> = counts
+                .iter()
+                .map(|n| format!("{:>5.1}", 100.0 * *n as f64 / size as f64))
+                .collect();
+            println!("{:<9} {}", group, rates.join(" "));
+        }
+        println!();
+    });
+    let filters: Vec<String> = survey
+        .top_whitelist_filters(10)
+        .into_iter()
+        .map(|(f, _)| f)
+        .collect();
+    c.bench_function("figure7_ecdf", |b| b.iter(|| survey.ecdf_points()));
+    c.bench_function("figure8_matrix", |b| {
+        b.iter(|| survey.figure8_matrix(black_box(&filters)))
+    });
+}
+
+fn figure9(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    PRINTED.call_once(|| {
+        let r = run_perception_survey(&survey::sim::SurveyConfig::default());
+        println!("== Figure 9(d): mean per ad class (paper in parens) ==");
+        for row in &r.figure_9d {
+            print!("{:<44}", row.class.name());
+            for s in Statement::ALL {
+                print!(
+                    " {:?} {:+.2} ({:+.2})",
+                    s,
+                    row.mean(s),
+                    acceptable_ads::perception::paper_mean(row.class, s)
+                );
+            }
+            println!();
+        }
+        for h in &r.headlines {
+            println!(
+                "headline {}: measured {:.0}% (paper {:.0}%)",
+                h.label,
+                h.measured_rate * 100.0,
+                h.paper_rate * 100.0
+            );
+        }
+        println!();
+    });
+    let mut group = c.benchmark_group("figure9");
+    group.sample_size(10);
+    group.bench_function("perception_survey_305", |b| {
+        b.iter(|| run_perception_survey(black_box(&survey::sim::SurveyConfig::default())))
+    });
+    group.finish();
+}
+
+fn figure11(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    let store = bench::history_store();
+    PRINTED.call_once(|| {
+        let u = detect_undocumented(store);
+        println!("== Section 7 / Figure 11: A-filter groups ==");
+        println!(
+            "ever {} (paper 61); head {} ; removed {:?}; boilerplate commits {}",
+            u.a_groups_ever.len(),
+            u.a_groups_in_head.len(),
+            u.a_groups_removed,
+            u.boilerplate_revisions.len()
+        );
+        println!("unrestricted in A-groups: {:?}", u.unrestricted_in_a_groups);
+        println!(
+            "golem-style anomalies: {}\n",
+            u.google_domain_anomalies.len()
+        );
+    });
+    let mut group = c.benchmark_group("figure11");
+    group.sample_size(10);
+    group.bench_function("a_filter_detection", |b| {
+        b.iter(|| detect_undocumented(black_box(store)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    figure3,
+    figure4,
+    figure5,
+    figures_6_7_8,
+    figure9,
+    figure11
+);
+criterion_main!(figures);

@@ -1,0 +1,140 @@
+//! Regeneration benches for every *table* in the paper's evaluation:
+//! Table 1 (yearly whitelist activity), Table 2 (Alexa partitions),
+//! Table 3 (parked domains), Table 4 (most common whitelist filters).
+//! Each bench prints the regenerated rows next to the paper's values,
+//! then times the analysis.
+
+use acceptable_ads::history::mine_history;
+use acceptable_ads::parked::scan_table3;
+use acceptable_ads::partitions::partition_table;
+use acceptable_ads::scope::classify_whitelist;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+fn print_once(f: impl FnOnce()) {
+    // Each bench target prints its artifact exactly once per run.
+    f();
+}
+
+fn table1(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    let store = bench::history_store();
+    PRINTED.call_once(|| {
+        print_once(|| {
+            let h = mine_history(store);
+            println!("\n== Table 1: yearly whitelist activity (paper values in parens) ==");
+            let paper: [(u32, u32, u32); 5] = [
+                (26, 25, 17),
+                (47, 225, 30),
+                (311, 5_152, 1_555),
+                (386, 2_179, 775),
+                (219, 1_227, 495),
+            ];
+            for (row, (p_rev, p_add, p_rem)) in h.yearly.iter().zip(paper) {
+                println!(
+                    "{}: revisions {} ({p_rev})  added {} ({p_add})  removed {} ({p_rem})  domains +{} -{}",
+                    row.year, row.revisions, row.filters_added, row.filters_removed,
+                    row.domains_added, row.domains_removed
+                );
+            }
+            let t = h.totals();
+            println!(
+                "total: revisions {} (989)  added {} (8,808)  removed {} (2,872)\n",
+                t.revisions, t.filters_added, t.filters_removed
+            );
+        });
+    });
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("mine_history_989_revisions", |b| {
+        b.iter(|| mine_history(black_box(store)))
+    });
+    group.finish();
+}
+
+fn table2(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    let corpus = bench::corpus();
+    let web = bench::web();
+    PRINTED.call_once(|| {
+        let scope = classify_whitelist(&corpus.whitelist);
+        let t = partition_table(&scope, web);
+        println!("== Table 2: whitelisted domains by Alexa partition (paper in parens) ==");
+        let paper = [1_990usize, 1_286, 316, 167, 112, 33];
+        for (row, p) in t.rows.iter().zip(paper) {
+            match row.percent {
+                Some(pct) => println!("{:<16} {:>5} ({p})  {pct:.2}%", row.label, row.count),
+                None => println!("{:<16} {:>5} ({p})", row.label, row.count),
+            }
+        }
+        println!("FQDNs: {} (3,544)\n", t.fqdn_count);
+    });
+    let scope = classify_whitelist(&corpus.whitelist);
+    c.bench_function("table2_partition_join", |b| {
+        b.iter(|| partition_table(black_box(&scope), black_box(web)))
+    });
+    c.bench_function("table2_scope_census", |b| {
+        b.iter(|| classify_whitelist(black_box(&corpus.whitelist)))
+    });
+}
+
+fn table3(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    let web = bench::web();
+    PRINTED.call_once(|| {
+        let t = scan_table3(web);
+        println!(
+            "== Table 3: parked domains per service (scale 1:{}) ==",
+            t.scale_divisor
+        );
+        for row in &t.rows {
+            println!(
+                "{:<12} {}  confirmed {:>6}  extrapolated {:>9}  paper {:>9}{}",
+                row.service,
+                row.whitelisted,
+                row.confirmed,
+                row.extrapolated,
+                row.paper,
+                if row.active { "" } else { "  [removed]" }
+            );
+        }
+        println!(
+            "total extrapolated {} vs paper {}\n",
+            t.total_extrapolated(),
+            t.paper_total()
+        );
+    });
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("zone_scan_and_probe", |b| {
+        b.iter(|| scan_table3(black_box(web)))
+    });
+    group.finish();
+}
+
+fn table4(c: &mut Criterion) {
+    static PRINTED: Once = Once::new();
+    let survey = bench::site_survey();
+    PRINTED.call_once(|| {
+        println!("== Table 4: 20 most common whitelist filters on the top 5,000 ==");
+        println!(
+            "(paper leaders: stats.g.doubleclick 1,559; googleadservices 1,535; gstatic 1,282)"
+        );
+        for (i, (filter, count)) in survey.top_whitelist_filters(20).iter().enumerate() {
+            let show: String = filter.chars().take(60).collect();
+            println!("{:>2}. {count:>5}  {show}", i + 1);
+        }
+        println!(
+            "sites with whitelist activations: {}/{} (paper 2,934/5,000)\n",
+            survey.sites_with_whitelist_activation(),
+            survey.top_sites.len()
+        );
+    });
+    c.bench_function("table4_top_filters", |b| {
+        b.iter(|| survey.top_whitelist_filters(black_box(20)))
+    });
+}
+
+criterion_group!(tables, table1, table2, table3, table4);
+criterion_main!(tables);

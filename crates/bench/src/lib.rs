@@ -1,0 +1,62 @@
+//! # bench — the benchmark/regeneration harness
+//!
+//! One Criterion bench per table and figure of the paper (see
+//! `benches/paper_tables.rs` and `benches/paper_figures.rs`), plus
+//! micro-benchmarks of the filter engine (`benches/engine_micro.rs`)
+//! and the factoring attack (`benches/factoring.rs`).
+//!
+//! Each paper bench *prints the regenerated artifact* (the same rows or
+//! series the paper reports, side by side with the paper's values)
+//! before timing the regeneration, so `cargo bench` doubles as the
+//! experiment runner. Shared fixtures live here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+use websim::{Scale, Web, WebConfig};
+
+/// The reproduction's shared seed.
+pub const SEED: u64 = 2015;
+
+/// Shared generated corpus.
+pub fn corpus() -> &'static corpus::Corpus {
+    static C: OnceLock<corpus::Corpus> = OnceLock::new();
+    C.get_or_init(|| corpus::Corpus::generate(SEED))
+}
+
+/// Shared default-scale world (1:1000 parked domains).
+pub fn web() -> &'static Web {
+    static W: OnceLock<Web> = OnceLock::new();
+    W.get_or_init(|| {
+        Web::build(WebConfig {
+            seed: SEED,
+            scale: Scale::Default,
+        })
+    })
+}
+
+/// Shared revision history.
+pub fn history_store() -> &'static revstore::RevStore {
+    static H: OnceLock<revstore::RevStore> = OnceLock::new();
+    H.get_or_init(|| corpus::history::build_history(SEED, &corpus().final_whitelist))
+}
+
+/// Shared full-size site survey (the §5 crawl: top 5,000 + 3×1,000).
+pub fn site_survey() -> &'static acceptable_ads::survey_exp::SiteSurveyReport {
+    static S: OnceLock<acceptable_ads::survey_exp::SiteSurveyReport> = OnceLock::new();
+    S.get_or_init(|| {
+        let cfg = acceptable_ads::survey_exp::SiteSurveyConfig {
+            top_n: 5_000,
+            stratum_sample: 1_000,
+            threads: 8,
+            seed: SEED,
+        };
+        acceptable_ads::survey_exp::run_site_survey(
+            web(),
+            &corpus().easylist,
+            &corpus().whitelist,
+            &cfg,
+        )
+    })
+}

@@ -1,0 +1,86 @@
+use std::collections::HashMap;
+
+fn main() {
+    let c = corpus::Corpus::generate(2015);
+    // --- Table 1 debug: find lines whose first-add revision year differs from metadata
+    let store = corpus::history::build_history(2015, &c.final_whitelist);
+    let mut meta: HashMap<&str, u16> = HashMap::new();
+    for e in c.final_whitelist.entries.iter() {
+        if matches!(e.kind, corpus::whitelist::EntryKind::Filter) {
+            meta.insert(e.text.as_str(), e.add_year);
+        }
+    }
+    for t in &c.final_whitelist.transients {
+        if !t.text.starts_with('!') {
+            meta.insert(t.text.as_str(), t.add_year);
+        }
+    }
+    let mut live: HashMap<String, u32> = HashMap::new();
+    for (parent, rev) in store.iter_pairs() {
+        let year = revstore::date::ymd_from_unix(rev.timestamp).year as u16;
+        let old = parent.map(|p| p.content.as_str()).unwrap_or("");
+        let d = revstore::diff::diff_lines(old, &rev.content);
+        for line in &d.added {
+            if !matches!(abp::parse_line(line), abp::ParsedLine::Filter(_)) {
+                continue;
+            }
+            let c2 = live.entry(line.clone()).or_insert(0);
+            *c2 += 1;
+            if *c2 == 1 {
+                match meta.get(line.as_str()) {
+                    Some(y) if *y != year => println!(
+                        "YEAR MISMATCH rev {} ({} vs meta {}): {}",
+                        rev.id,
+                        year,
+                        y,
+                        &line[..70.min(line.len())]
+                    ),
+                    None => println!(
+                        "NOT IN META rev {} ({}): {}",
+                        rev.id,
+                        year,
+                        &line[..70.min(line.len())]
+                    ),
+                    _ => {}
+                }
+            }
+        }
+        for line in &d.removed {
+            if !matches!(abp::parse_line(line), abp::ParsedLine::Filter(_)) {
+                continue;
+            }
+            if let Some(c2) = live.get_mut(line.as_str()) {
+                if *c2 > 0 {
+                    *c2 -= 1;
+                }
+            }
+        }
+    }
+    // --- toyota debug
+    let web = websim::Web::build(websim::WebConfig {
+        seed: 2015,
+        scale: websim::Scale::Smoke,
+    });
+    let both = abp::Engine::from_lists([&c.easylist, &c.whitelist]);
+    let only = abp::Engine::from_lists([&c.easylist]);
+    let visit = crawler::visit_site(
+        &web,
+        1288,
+        &[
+            crawler::EngineConfig::simple("whitelist+easylist", &both),
+            crawler::EngineConfig::simple("easylist-only", &only),
+        ],
+    );
+    let rec = visit.record("whitelist+easylist").unwrap();
+    let mut counts: HashMap<&str, u32> = HashMap::new();
+    for a in rec.activations.iter().filter(|a| a.kind.is_exception()) {
+        *counts.entry(a.filter.as_str()).or_default() += 1;
+    }
+    println!(
+        "toyota whitelist activations: {}",
+        counts.values().sum::<u32>()
+    );
+    for (f, n) in &counts {
+        println!("  {n:3}  {}", &f[..70.min(f.len())]);
+    }
+}

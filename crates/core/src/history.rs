@@ -1,0 +1,336 @@
+//! §4.1 — mining the whitelist's revision history: Fig 3 (growth) and
+//! Table 1 (yearly churn).
+//!
+//! The paper counts *distinct* filters ("the most recent version
+//! comprises 5,936 distinct filters"), so the miner uses set semantics:
+//! a filter exists when its exact text is present at least once;
+//! duplicate lines and comments do not create filters. Domains are the
+//! explicit first-party domains of filters' include lists, reference-
+//! counted across the filter set so a domain is "added" when its first
+//! referencing filter lands and "removed" when its last one leaves.
+
+use abp::parser::{parse_line, ParsedLine};
+use revstore::date::ymd_from_unix;
+use revstore::diff::diff_lines;
+use revstore::store::RevStore;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One point of the Fig 3 growth curve.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrowthPoint {
+    /// Revision id.
+    pub rev: u32,
+    /// Commit timestamp (Unix seconds).
+    pub timestamp: i64,
+    /// Distinct filters in the list at this revision.
+    pub filters: u32,
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct YearRow {
+    /// Calendar year.
+    pub year: u16,
+    /// Revisions committed.
+    pub revisions: u32,
+    /// Distinct filters added (modifications count as new filters).
+    pub filters_added: u32,
+    /// Distinct filters removed.
+    pub filters_removed: u32,
+    /// Explicit first-party domains newly referenced.
+    pub domains_added: u32,
+    /// Explicit domains whose last reference disappeared.
+    pub domains_removed: u32,
+}
+
+/// The full history report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryReport {
+    /// Fig 3's growth series, one point per revision.
+    pub growth: Vec<GrowthPoint>,
+    /// Table 1's yearly rows.
+    pub yearly: Vec<YearRow>,
+    /// Mean days between revisions (paper: 1.5).
+    pub mean_interval_days: f64,
+    /// Mean filters added-or-modified per revision (paper: 11.4).
+    pub mean_filters_changed_per_revision: f64,
+}
+
+impl HistoryReport {
+    /// Totals row of Table 1.
+    pub fn totals(&self) -> YearRow {
+        let mut t = YearRow {
+            year: 0,
+            ..Default::default()
+        };
+        for r in &self.yearly {
+            t.revisions += r.revisions;
+            t.filters_added += r.filters_added;
+            t.filters_removed += r.filters_removed;
+            t.domains_added += r.domains_added;
+            t.domains_removed += r.domains_removed;
+        }
+        t
+    }
+
+    /// Filter count at the head revision.
+    pub fn head_filters(&self) -> u32 {
+        self.growth.last().map(|g| g.filters).unwrap_or(0)
+    }
+
+    /// The largest single-revision filter increase — Fig 3's "two large
+    /// jumps" detector. Returns `(rev, added)` pairs sorted descending.
+    pub fn largest_jumps(&self, n: usize) -> Vec<(u32, u32)> {
+        let mut jumps: Vec<(u32, u32)> = self
+            .growth
+            .windows(2)
+            .filter_map(|w| {
+                let delta = w[1].filters.saturating_sub(w[0].filters);
+                (delta > 0).then_some((w[1].rev, delta))
+            })
+            .collect();
+        jumps.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        jumps.truncate(n);
+        jumps
+    }
+}
+
+/// The explicit-domain include list of a filter line, or empty.
+fn line_domains(line: &str) -> Vec<String> {
+    match parse_line(line) {
+        ParsedLine::Filter(f) => match &f.body {
+            abp::FilterBody::Request(rf) => rf.options.domains.include.clone(),
+            abp::FilterBody::Element(ef) => ef.domains.include.clone(),
+        },
+        _ => Vec::new(),
+    }
+}
+
+/// Whether a line is a well-formed filter.
+fn is_filter_line(line: &str) -> bool {
+    matches!(parse_line(line), ParsedLine::Filter(_))
+}
+
+/// Mine a revision store into the full history report.
+pub fn mine_history(store: &RevStore) -> HistoryReport {
+    let mut growth = Vec::with_capacity(store.len());
+    let mut yearly: BTreeMap<u16, YearRow> = BTreeMap::new();
+
+    // Live filter multiset (text → line count) and domain refcounts.
+    let mut live: HashMap<String, u32> = HashMap::new();
+    let mut domain_refs: HashMap<String, u32> = HashMap::new();
+    let mut total_changed: u64 = 0;
+
+    for (parent, rev) in store.iter_pairs() {
+        let year = ymd_from_unix(rev.timestamp).year as u16;
+        let row = yearly.entry(year).or_insert_with(|| YearRow {
+            year,
+            ..Default::default()
+        });
+        row.revisions += 1;
+
+        let old = parent.map(|p| p.content.as_str()).unwrap_or("");
+        let diff = diff_lines(old, &rev.content);
+
+        // Distinct-set semantics over the multiset diff.
+        let mut added_distinct: HashSet<&str> = HashSet::new();
+        let mut removed_distinct: HashSet<&str> = HashSet::new();
+
+        for line in &diff.added {
+            if !is_filter_line(line) {
+                continue;
+            }
+            let count = live.entry(line.clone()).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                added_distinct.insert(line);
+                for d in line_domains(line) {
+                    let c = domain_refs.entry(d).or_insert(0);
+                    *c += 1;
+                    if *c == 1 {
+                        row.domains_added += 1;
+                    }
+                }
+            }
+        }
+        for line in &diff.removed {
+            if !is_filter_line(line) {
+                continue;
+            }
+            match live.get_mut(line.as_str()) {
+                Some(count) if *count > 0 => {
+                    *count -= 1;
+                    if *count == 0 {
+                        live.remove(line.as_str());
+                        removed_distinct.insert(line);
+                        for d in line_domains(line) {
+                            if let Some(c) = domain_refs.get_mut(&d) {
+                                *c -= 1;
+                                if *c == 0 {
+                                    domain_refs.remove(&d);
+                                    row.domains_removed += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        row.filters_added += added_distinct.len() as u32;
+        row.filters_removed += removed_distinct.len() as u32;
+        total_changed += (added_distinct.len() + removed_distinct.len()) as u64;
+
+        growth.push(GrowthPoint {
+            rev: rev.id,
+            timestamp: rev.timestamp,
+            filters: live.len() as u32,
+        });
+    }
+
+    let mean_interval_days = match (store.rev(0), store.head()) {
+        (Some(first), Some(last)) if store.len() > 1 => {
+            (last.timestamp - first.timestamp) as f64 / 86_400.0 / (store.len() - 1) as f64
+        }
+        _ => 0.0,
+    };
+
+    HistoryReport {
+        mean_interval_days,
+        mean_filters_changed_per_revision: if store.is_empty() {
+            0.0
+        } else {
+            total_changed as f64 / store.len() as f64
+        },
+        growth,
+        yearly: yearly.into_values().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use std::sync::OnceLock;
+
+    fn report() -> &'static HistoryReport {
+        static CACHE: OnceLock<HistoryReport> = OnceLock::new();
+        CACHE.get_or_init(|| {
+            let c = testutil::corpus();
+            let store = corpus::history::build_history(testutil::SEED, &c.final_whitelist);
+            mine_history(&store)
+        })
+    }
+
+    #[test]
+    fn table1_yearly_rows_match_paper() {
+        let r = report();
+        let expect: [(u16, u32, u32, u32); 5] = [
+            (2011, 26, 25, 17),
+            (2012, 47, 225, 30),
+            (2013, 311, 5_152, 1_555),
+            (2014, 386, 2_179, 775),
+            (2015, 219, 1_227, 495),
+        ];
+        assert_eq!(r.yearly.len(), 5);
+        for ((year, revs, added, removed), row) in expect.iter().zip(&r.yearly) {
+            assert_eq!(row.year, *year);
+            assert_eq!(row.revisions, *revs, "{year} revisions");
+            assert_eq!(row.filters_added, *added, "{year} added");
+            assert_eq!(row.filters_removed, *removed, "{year} removed");
+        }
+    }
+
+    #[test]
+    fn table1_totals_match_paper() {
+        let r = report();
+        let t = r.totals();
+        assert_eq!(t.revisions, 989);
+        assert_eq!(t.filters_added, 8_808);
+        assert_eq!(t.filters_removed, 2_872);
+        // Head count: adds − removes = 5,936.
+        assert_eq!(r.head_filters(), 5_936);
+    }
+
+    #[test]
+    fn domain_columns_roughly_match_paper() {
+        // Paper totals: 3,542 added / 410 removed. (The paper's own
+        // numbers cannot balance exactly: 3,542 − 410 = 3,132, yet
+        // Table 2 reports 3,544 FQDNs live at Rev 988. Our corpus keeps
+        // the head at 3,544 and the removals at ~410, which puts
+        // lifetime additions near 3,960.)
+        let r = report();
+        let t = r.totals();
+        assert!(
+            (3_900..=4_100).contains(&t.domains_added),
+            "domains added {}",
+            t.domains_added
+        );
+        assert!(
+            (400..=440).contains(&t.domains_removed),
+            "domains removed {}",
+            t.domains_removed
+        );
+        // 2013 dominates (google + about land that year).
+        let y2013 = &r.yearly[2];
+        assert!(y2013.domains_added > 1_500, "{}", y2013.domains_added);
+    }
+
+    #[test]
+    fn growth_curve_shape() {
+        let r = report();
+        assert_eq!(r.growth.len(), 989);
+        // Monotone timestamps; final value is the head count.
+        assert!(r
+            .growth
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
+        assert_eq!(r.growth.last().unwrap().filters, 5_936);
+        // Fig 3's biggest jump is Google's Rev 200 (+~1,262).
+        let jumps = r.largest_jumps(2);
+        assert_eq!(jumps[0].0, 200, "largest jump at Rev 200: {jumps:?}");
+        assert!(jumps[0].1 >= 1_262);
+    }
+
+    #[test]
+    fn cadence_matches_paper_headlines() {
+        let r = report();
+        // Paper: "updated every 1.5 days" (Oct 2011 → Apr 2015, 989 revs
+        // ≈ 1.31; the paper rounds from its own span) — accept the band.
+        assert!(
+            (1.1..=1.7).contains(&r.mean_interval_days),
+            "{}",
+            r.mean_interval_days
+        );
+        // Paper: "adding or modifying 11.4 filters" per update.
+        // Set-semantics: (8,808 + 2,872) / 989 = 11.8.
+        assert!(
+            (10.5..=12.5).contains(&r.mean_filters_changed_per_revision),
+            "{}",
+            r.mean_filters_changed_per_revision
+        );
+    }
+
+    #[test]
+    fn empty_store() {
+        let r = mine_history(&RevStore::new());
+        assert!(r.growth.is_empty());
+        assert!(r.yearly.is_empty());
+        assert_eq!(r.head_filters(), 0);
+    }
+
+    #[test]
+    fn modification_counts_as_add_and_remove() {
+        let mut s = RevStore::new();
+        s.commit(0, "a", "@@||x.example^$domain=a.example\n");
+        s.commit(86_400, "b", "@@||x.example^$domain=a.example|b.example\n");
+        let r = mine_history(&s);
+        let total = r.totals();
+        assert_eq!(total.filters_added, 2);
+        assert_eq!(total.filters_removed, 1);
+        assert_eq!(total.domains_added, 2); // a.example, then b.example
+        assert_eq!(total.domains_removed, 0); // a.example stays referenced
+    }
+}

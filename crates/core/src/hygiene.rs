@@ -1,0 +1,147 @@
+//! §8 — whitelist hygiene: duplicate, malformed, and obsolete filters.
+//!
+//! "The whitelist contains redundant, obsolete, and malformed filters.
+//! In addition to 35 duplicate filters, we observed at least 8
+//! malformed exception filters, all of which appear to have been
+//! erroneously truncated … at a max length of 4095 characters.
+//! Similarly, AdSense for search exceptions are no longer required for
+//! individual domains."
+
+use abp::parser::ParsedLine;
+use abp::FilterList;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The hygiene census.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HygieneReport {
+    /// Lines that appear more than once (count of surplus copies —
+    /// the paper's "35 duplicate filters").
+    pub duplicate_lines: usize,
+    /// Malformed (unparseable) filter lines.
+    pub malformed_lines: usize,
+    /// Malformed lines exactly 4,095 characters long (the truncation
+    /// artifact).
+    pub truncated_at_4095: usize,
+    /// Restricted per-domain AdSense-for-search exceptions made
+    /// redundant by an unrestricted AdSense filter.
+    pub obsolete_adsense: usize,
+    /// The offending duplicate texts (for the report).
+    pub duplicate_examples: Vec<String>,
+}
+
+/// Run the hygiene census over a whitelist.
+pub fn audit(list: &FilterList) -> HygieneReport {
+    let mut report = HygieneReport::default();
+
+    // Duplicates: surplus copies of identical filter lines.
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for line in &list.lines {
+        if let ParsedLine::Filter(f) = line {
+            *counts.entry(f.raw.as_str()).or_default() += 1;
+        }
+    }
+    let mut dup_examples: Vec<&str> = Vec::new();
+    for (text, count) in &counts {
+        if *count > 1 {
+            report.duplicate_lines += count - 1;
+            dup_examples.push(text);
+        }
+    }
+    dup_examples.sort_unstable();
+    report.duplicate_examples = dup_examples
+        .into_iter()
+        .take(5)
+        .map(str::to_string)
+        .collect();
+
+    // Malformed lines + the 4,095 truncation signature.
+    for line in &list.lines {
+        if let ParsedLine::Invalid { raw, .. } = line {
+            report.malformed_lines += 1;
+            if raw.len() == 4_095 {
+                report.truncated_at_4095 += 1;
+            }
+        }
+    }
+
+    // Obsolete: restricted AdSense-for-search exceptions when an
+    // unrestricted one exists.
+    let has_unrestricted_adsense = list.filters().any(|f| {
+        f.as_request().is_some_and(|rf| {
+            !rf.is_restricted()
+                && !rf.is_sitekey()
+                && (f.raw.contains("google.com/afs/") || f.raw.contains("adsense"))
+        })
+    });
+    if has_unrestricted_adsense {
+        report.obsolete_adsense = list
+            .filters()
+            .filter(|f| {
+                f.as_request().is_some_and(|rf| rf.is_restricted())
+                    && (f.raw.contains("google.com/afs/")
+                        || f.raw.contains("google.com/adsense/")
+                        || f.raw.contains("/ads/search/module/"))
+            })
+            .count();
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use abp::ListSource;
+
+    #[test]
+    fn paper_section8_counts() {
+        let c = testutil::corpus();
+        let r = audit(&c.whitelist);
+        assert_eq!(r.duplicate_lines, 35);
+        assert_eq!(r.malformed_lines, 8);
+        assert_eq!(r.truncated_at_4095, 8);
+        assert!(!r.duplicate_examples.is_empty());
+    }
+
+    #[test]
+    fn synthetic_cases() {
+        let list = FilterList::parse(
+            ListSource::AcceptableAds,
+            "\
+@@||a.example^
+@@||a.example^
+@@||a.example^
+@@||google.com/afs/$script
+@@||google.com/afs/ads$domain=pub.example
+bad.example##
+",
+        );
+        let r = audit(&list);
+        assert_eq!(r.duplicate_lines, 2); // three copies → two surplus
+        assert_eq!(r.malformed_lines, 1);
+        assert_eq!(r.truncated_at_4095, 0);
+        assert_eq!(r.obsolete_adsense, 1);
+    }
+
+    #[test]
+    fn no_obsolete_without_unrestricted_cover() {
+        let list = FilterList::parse(
+            ListSource::AcceptableAds,
+            "@@||google.com/afs/ads$domain=pub.example\n",
+        );
+        let r = audit(&list);
+        assert_eq!(r.obsolete_adsense, 0);
+    }
+
+    #[test]
+    fn clean_list_is_clean() {
+        let list = FilterList::parse(ListSource::AcceptableAds, "@@||x.example^\n");
+        let r = audit(&list);
+        assert_eq!(
+            r.duplicate_lines + r.malformed_lines + r.obsolete_adsense,
+            0
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Extension experiment — *behavioral* whitelist impact over time.
+//!
+//! Fig 3 charts the whitelist's size; the natural follow-up question
+//! (the paper's own: "How do we measure the impact of the whitelist?")
+//! is how the *experienced* impact grew: how many of the sites a user
+//! visits would have shown whitelisted content at each point in the
+//! program's history. This experiment replays historical whitelist
+//! revisions against a fixed site sample: for each sampled revision,
+//! build an engine from EasyList + the whitelist *as of that revision*
+//! and crawl the same sites.
+
+use abp::{Engine, FilterList, ListSource};
+use crawler::parallel::{crawl_ranks, NamedEngine};
+use revstore::store::RevStore;
+use serde::{Deserialize, Serialize};
+use websim::Web;
+
+/// One sampled point of the impact timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImpactPoint {
+    /// Revision replayed.
+    pub rev: u32,
+    /// Its commit timestamp.
+    pub timestamp: i64,
+    /// Whitelist filters live at this revision.
+    pub whitelist_filters: u32,
+    /// Sites (of the fixed sample) with ≥1 whitelist activation.
+    pub sites_affected: usize,
+    /// Total whitelist activations across the sample.
+    pub total_activations: u64,
+}
+
+/// Replay `revisions` of the whitelist history against a fixed crawl
+/// sample. The same EasyList is used throughout (the paper's survey
+/// design), so every change in the series is attributable to whitelist
+/// evolution.
+pub fn impact_timeline(
+    web: &Web,
+    easylist: &FilterList,
+    store: &RevStore,
+    revisions: &[u32],
+    sample_ranks: &[u32],
+    threads: usize,
+) -> Vec<ImpactPoint> {
+    let mut out = Vec::with_capacity(revisions.len());
+    for &rev_id in revisions {
+        let Some(rev) = store.rev(rev_id) else {
+            continue;
+        };
+        let whitelist = FilterList::parse(ListSource::AcceptableAds, &rev.content);
+        let engines = vec![NamedEngine::new(
+            "historical",
+            Engine::from_lists([easylist, &whitelist]),
+        )];
+        let visits = crawl_ranks(web, &engines, sample_ranks, threads);
+
+        let mut sites_affected = 0usize;
+        let mut total_activations = 0u64;
+        for visit in &visits {
+            let record = visit.record("historical").expect("config present");
+            let wl = record.whitelist_activations().count();
+            if wl > 0 {
+                sites_affected += 1;
+            }
+            total_activations += wl as u64;
+        }
+        out.push(ImpactPoint {
+            rev: rev_id,
+            timestamp: rev.timestamp,
+            whitelist_filters: whitelist.filter_count() as u32,
+            sites_affected,
+            total_activations,
+        });
+    }
+    out
+}
+
+/// Evenly spaced revision sample including the first and head revisions.
+pub fn sample_revisions(store: &RevStore, points: usize) -> Vec<u32> {
+    let n = store.len() as u32;
+    if n == 0 || points == 0 {
+        return Vec::new();
+    }
+    let points = points.max(2).min(n as usize);
+    let mut out: Vec<u32> = (0..points)
+        .map(|i| ((n - 1) as u64 * i as u64 / (points - 1) as u64) as u32)
+        .collect();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use std::sync::OnceLock;
+
+    fn timeline() -> &'static Vec<ImpactPoint> {
+        static CACHE: OnceLock<Vec<ImpactPoint>> = OnceLock::new();
+        CACHE.get_or_init(|| {
+            let c = testutil::corpus();
+            let store = corpus::history::build_history(testutil::SEED, &c.final_whitelist);
+            let revisions = sample_revisions(&store, 6);
+            let ranks: Vec<u32> = (1..=150).collect();
+            impact_timeline(testutil::web(), &c.easylist, &store, &revisions, &ranks, 8)
+        })
+    }
+
+    #[test]
+    fn covers_first_and_head_revisions() {
+        let t = timeline();
+        assert_eq!(t.first().unwrap().rev, 0);
+        assert_eq!(t.last().unwrap().rev, 988);
+        assert!(t.len() >= 5);
+    }
+
+    #[test]
+    fn impact_grows_with_the_program() {
+        let t = timeline();
+        let first = t.first().unwrap();
+        let last = t.last().unwrap();
+        // 2011: a handful of sitekey filters + reddit — none of which
+        // trigger on the generic top-150 sample.
+        assert!(
+            first.sites_affected < last.sites_affected / 4,
+            "early impact {} vs head {}",
+            first.sites_affected,
+            last.sites_affected
+        );
+        // By the head, a majority of the sample is affected.
+        assert!(last.sites_affected * 2 > 150, "{}", last.sites_affected);
+        // Filter counts track Fig 3.
+        assert!(first.whitelist_filters < 10);
+        assert_eq!(last.whitelist_filters, 5_936 + 35); // incl. duplicate lines
+    }
+
+    #[test]
+    fn behavioral_jump_at_rev_200() {
+        // The Google addition should move *behavior*, not just size:
+        // compare the revision just before and just after 200.
+        let c = testutil::corpus();
+        let store = corpus::history::build_history(testutil::SEED, &c.final_whitelist);
+        let ranks: Vec<u32> = (1..=100).collect();
+        let t = impact_timeline(testutil::web(), &c.easylist, &store, &[199, 200], &ranks, 8);
+        assert_eq!(t.len(), 2);
+        assert!(
+            t[1].total_activations > t[0].total_activations,
+            "rev 200 must add measurable activations: {} -> {}",
+            t[0].total_activations,
+            t[1].total_activations
+        );
+    }
+
+    #[test]
+    fn sample_revisions_shape() {
+        let c = testutil::corpus();
+        let store = corpus::history::build_history(testutil::SEED, &c.final_whitelist);
+        let s = sample_revisions(&store, 10);
+        assert_eq!(s.first(), Some(&0));
+        assert_eq!(s.last(), Some(&988));
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(sample_revisions(&RevStore::new(), 5).is_empty());
+    }
+}

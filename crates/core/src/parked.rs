@@ -1,0 +1,165 @@
+//! Table 3 — parked domains per sitekey parking service.
+//!
+//! Pipeline (§4.2.3): join the `.com` zone against parking-service
+//! nameservers, browse each candidate with the instrumented browser
+//! (traversing ParkingCrew's UA gate and Uniregistry's cookie redirect),
+//! verify the presented sitekey cryptographically, and count.
+
+use crawler::BrowserProbe;
+use serde::{Deserialize, Serialize};
+use websim::Web;
+use zonedb::scan::scan_parked_domains;
+
+/// One row of Table 3, scale-aware.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Parking company.
+    pub service: String,
+    /// Whitelisting date.
+    pub whitelisted: String,
+    /// Whether the service's sitekey is still in the whitelist.
+    pub active: bool,
+    /// Confirmed domains at the simulated scale.
+    pub confirmed: u64,
+    /// Scale-corrected estimate (`confirmed × divisor`).
+    pub extrapolated: u64,
+    /// The paper's reported count.
+    pub paper: u64,
+}
+
+/// The full Table 3 report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table3Report {
+    /// Per-service rows in whitelist-introduction order.
+    pub rows: Vec<Table3Row>,
+    /// The parked-population divisor the world was built with.
+    pub scale_divisor: u64,
+}
+
+impl Table3Report {
+    /// Total confirmed (simulated scale).
+    pub fn total_confirmed(&self) -> u64 {
+        self.rows.iter().map(|r| r.confirmed).sum()
+    }
+
+    /// Total extrapolated to full scale.
+    pub fn total_extrapolated(&self) -> u64 {
+        self.rows.iter().map(|r| r.extrapolated).sum()
+    }
+
+    /// The paper's Table 3 total (2,676,165 — the table sums all five
+    /// rows, RookMedia included, even though the prose attributes the
+    /// figure to "the four active sitekeys").
+    pub fn paper_total(&self) -> u64 {
+        self.rows.iter().map(|r| r.paper).sum()
+    }
+}
+
+/// Run the Table 3 scan against a world.
+pub fn scan_table3(web: &Web) -> Table3Report {
+    let mut probe = BrowserProbe::new(web);
+    let scan = scan_parked_domains(&web.zone, &web.registry, &mut probe);
+    let divisor = web.config.scale.parked_divisor();
+
+    let rows = scan
+        .rows
+        .iter()
+        .map(|row| {
+            let svc = web
+                .registry
+                .by_name(&row.service)
+                .expect("service in registry");
+            let paper = websim::world::PARKED_FULL_COUNTS
+                .iter()
+                .find(|(n, _)| *n == row.service)
+                .map(|(_, c)| *c)
+                .unwrap_or(0);
+            Table3Row {
+                service: row.service.clone(),
+                whitelisted: row.whitelisted.clone(),
+                active: svc.is_active(),
+                confirmed: row.confirmed,
+                extrapolated: row.confirmed * divisor,
+                paper,
+            }
+        })
+        .collect();
+
+    Table3Report {
+        rows,
+        scale_divisor: divisor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    fn report() -> Table3Report {
+        scan_table3(testutil::web())
+    }
+
+    #[test]
+    fn five_services_in_order() {
+        let r = report();
+        let names: Vec<&str> = r.rows.iter().map(|x| x.service.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Sedo",
+                "ParkingCrew",
+                "RookMedia",
+                "Uniregistry",
+                "Digimedia"
+            ]
+        );
+        assert!(!r.rows[2].active, "RookMedia removed (Rev 656)");
+        assert_eq!(r.rows.iter().filter(|x| x.active).count(), 4);
+    }
+
+    #[test]
+    fn confirmed_counts_scale_with_divisor() {
+        let r = report();
+        for row in &r.rows {
+            let expected = (row.paper / r.scale_divisor).max(1);
+            assert_eq!(row.confirmed, expected, "{}", row.service);
+            assert_eq!(row.extrapolated, expected * r.scale_divisor);
+        }
+    }
+
+    #[test]
+    fn paper_totals_recorded() {
+        let r = report();
+        assert_eq!(r.paper_total(), 2_676_165);
+        // The extrapolation lands in the paper's ballpark at any scale
+        // where rounding losses are bounded (here 1:100,000 smoke →
+        // crude, so just require the same order of magnitude).
+        assert!(r.total_extrapolated() >= 1_000_000);
+    }
+
+    /// Full-scale run: materializes all 2,676,165 parked domains and
+    /// probes every one (several minutes + ~1 GiB). Run explicitly with
+    /// `cargo test -p acceptable-ads --release -- --ignored table3_full`.
+    #[test]
+    #[ignore = "full-scale world: minutes of runtime; run with --ignored"]
+    fn table3_full_scale_exact() {
+        let web = websim::Web::build(websim::WebConfig {
+            seed: crate::testutil::SEED,
+            scale: websim::Scale::Full,
+        });
+        let r = scan_table3(&web);
+        assert_eq!(r.scale_divisor, 1);
+        assert_eq!(r.total_confirmed(), 2_676_165);
+        for row in &r.rows {
+            assert_eq!(row.confirmed, row.paper, "{}", row.service);
+        }
+    }
+
+    #[test]
+    fn whitelisted_dates_match_table3() {
+        let r = report();
+        assert_eq!(r.rows[0].whitelisted, "2011-11-30");
+        assert_eq!(r.rows[4].whitelisted, "2014-07-02");
+    }
+}

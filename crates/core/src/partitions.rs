@@ -1,0 +1,132 @@
+//! Table 2 — explicitly whitelisted domains by Alexa partition.
+//!
+//! The measurement join: reduce the whitelist's explicit FQDNs to
+//! effective second-level domains, then look each up in the (simulated)
+//! Alexa ranking and bucket by partition bound.
+
+use crate::scope::ScopeReport;
+use serde::{Deserialize, Serialize};
+use websim::Web;
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionRow {
+    /// Partition label (`"Top 5,000"`, `"All"`, …).
+    pub label: String,
+    /// Rank bound (`None` for "All").
+    pub bound: Option<u32>,
+    /// Whitelisted e2LDs within the partition.
+    pub count: usize,
+    /// Percentage of the partition's size (None for "All").
+    pub percent: Option<f64>,
+}
+
+/// The full Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Report {
+    /// Rows in paper order (All, 1M, 5K, 1K, 500, 100).
+    pub rows: Vec<PartitionRow>,
+    /// Total explicit FQDNs (the caption's 3,544).
+    pub fqdn_count: usize,
+}
+
+impl Table2Report {
+    /// The count for a partition bound.
+    pub fn count_within(&self, bound: u32) -> Option<usize> {
+        self.rows
+            .iter()
+            .find(|r| r.bound == Some(bound))
+            .map(|r| r.count)
+    }
+}
+
+/// The paper's partition bounds.
+pub const PARTITIONS: [(&str, u32); 5] = [
+    ("Top 1,000,000", 1_000_000),
+    ("Top 5,000", 5_000),
+    ("Top 1,000", 1_000),
+    ("Top 500", 500),
+    ("Top 100", 100),
+];
+
+/// Build Table 2 from a scope census and the ranking.
+pub fn partition_table(scope: &ScopeReport, web: &Web) -> Table2Report {
+    let e2lds = scope.explicit_e2lds();
+    // The join: rank of each whitelisted e2LD, when ranked.
+    let ranks: Vec<u32> = e2lds.iter().filter_map(|d| web.rank_of_host(d)).collect();
+
+    let mut rows = vec![PartitionRow {
+        label: "All".to_string(),
+        bound: None,
+        count: e2lds.len(),
+        percent: None,
+    }];
+    for (label, bound) in PARTITIONS {
+        let count = ranks.iter().filter(|r| **r <= bound).count();
+        rows.push(PartitionRow {
+            label: label.to_string(),
+            bound: Some(bound),
+            count,
+            percent: Some(100.0 * count as f64 / bound as f64),
+        });
+    }
+    Table2Report {
+        rows,
+        fqdn_count: scope.explicit_fqdns.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::classify_whitelist;
+    use crate::testutil;
+
+    fn table() -> Table2Report {
+        let c = testutil::corpus();
+        let scope = classify_whitelist(&c.whitelist);
+        partition_table(&scope, testutil::web())
+    }
+
+    #[test]
+    fn matches_paper_table2_exactly() {
+        let t = table();
+        assert_eq!(t.fqdn_count, 3_544);
+        assert_eq!(t.rows[0].count, 1_990); // All
+        assert_eq!(t.count_within(1_000_000), Some(1_286));
+        assert_eq!(t.count_within(5_000), Some(316));
+        assert_eq!(t.count_within(1_000), Some(167));
+        assert_eq!(t.count_within(500), Some(112));
+        assert_eq!(t.count_within(100), Some(33));
+    }
+
+    #[test]
+    fn percentages_match_paper() {
+        let t = table();
+        let pct = |bound: u32| {
+            t.rows
+                .iter()
+                .find(|r| r.bound == Some(bound))
+                .unwrap()
+                .percent
+                .unwrap()
+        };
+        assert!((pct(100) - 33.0).abs() < 1e-9);
+        assert!((pct(500) - 22.4).abs() < 1e-9);
+        assert!((pct(1_000) - 16.7).abs() < 1e-9);
+        assert!((pct(5_000) - 6.32).abs() < 1e-9);
+        assert!((pct(1_000_000) - 0.1286).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rows_ordered_and_monotone() {
+        let t = table();
+        assert_eq!(t.rows.len(), 6);
+        // Counts must be monotone in the bound.
+        let mut prev = usize::MAX;
+        for row in &t.rows {
+            assert!(row.count <= prev);
+            prev = row.count;
+        }
+    }
+}

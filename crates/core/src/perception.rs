@@ -1,0 +1,95 @@
+//! §6 / Fig 9 — the user-perception survey, end to end.
+
+use serde::{Deserialize, Serialize};
+use survey::questionnaire::{AdClass, Statement};
+use survey::sim::{run_survey, SurveyConfig, SurveyResults};
+use survey::stats::{figure_9d, headlines, ClassSummary, Headline};
+
+/// Paper-reported Fig 9(d) means, for side-by-side reporting.
+pub fn paper_mean(class: AdClass, statement: Statement) -> f64 {
+    survey::respondent::class_mean(class, statement)
+}
+
+/// The full perception report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerceptionReport {
+    /// Raw survey results (distributions per ad × statement).
+    pub results: SurveyResults,
+    /// Fig 9(d): per-class mean/variance rows.
+    pub figure_9d: Vec<ClassSummary>,
+    /// The §6 prose headlines, paper vs measured.
+    pub headlines: Vec<Headline>,
+}
+
+impl PerceptionReport {
+    /// Share of respondents who had used ad blocking (paper: 50%).
+    pub fn adblock_share(&self) -> f64 {
+        self.results.adblock_users as f64 / self.results.respondents as f64
+    }
+}
+
+/// Run the §6 experiment.
+pub fn run_perception_survey(config: &SurveyConfig) -> PerceptionReport {
+    let results = run_survey(config);
+    let figure_9d = figure_9d(&results);
+    let headlines = headlines(&results);
+    PerceptionReport {
+        figure_9d,
+        headlines,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PerceptionReport {
+        run_perception_survey(&SurveyConfig::default())
+    }
+
+    #[test]
+    fn full_pipeline_shapes() {
+        let r = report();
+        assert_eq!(r.results.respondents, 305);
+        assert_eq!(r.figure_9d.len(), 3);
+        assert_eq!(r.headlines.len(), 4);
+        assert!((r.adblock_share() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn signs_track_figure_9d() {
+        // The qualitative story: banner ads are seen as distinguished
+        // and non-obscuring; content ads as NOT distinguished; the
+        // signs must reproduce.
+        let r = report();
+        for row in &r.figure_9d {
+            for s in Statement::ALL {
+                let paper = paper_mean(row.class, s);
+                let measured = row.mean(s);
+                if paper.abs() > 0.3 {
+                    assert_eq!(
+                        paper.signum(),
+                        measured.signum(),
+                        "{:?}/{s:?}: paper {paper}, measured {measured}",
+                        row.class
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn headline_rates_close() {
+        let r = report();
+        for h in &r.headlines {
+            assert!(
+                (h.measured_rate - h.paper_rate).abs() < 0.35,
+                "{}: paper {}, measured {}",
+                h.label,
+                h.paper_rate,
+                h.measured_rate
+            );
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Extension experiment — Acceptable Ads vs. tracking protection.
+//!
+//! The paper's §2 defers other filter lists ("disabling tracking, …")
+//! to future work, while its §5 finds that the most-activated whitelist
+//! filters are *conversion tracking*, not visible ads. Put together,
+//! those two observations predict a collision: a user running EasyList
+//! + EasyPrivacy + Acceptable Ads has tracking protection silently
+//! disabled wherever an Acceptable Ads exception covers a tracker —
+//! exceptions override *all* blocking filters, whatever list they come
+//! from. This module measures that collision.
+
+use crate::survey_exp::{CONFIG_BOTH, CONFIG_EASYLIST_ONLY};
+use abp::{Engine, FilterList, MatchKind};
+use crawler::parallel::{crawl_ranks, NamedEngine};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use websim::Web;
+
+/// Engine configuration labels for this experiment.
+pub const CONFIG_WITH_PRIVACY: &str = "easylist+easyprivacy";
+/// All three lists (the collision configuration).
+pub const CONFIG_ALL: &str = "easylist+easyprivacy+whitelist";
+
+/// The collision report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrivacyConflictReport {
+    /// Sites crawled.
+    pub sites: usize,
+    /// Sites where tracking protection blocked at least one request.
+    pub sites_with_tracking_blocked: usize,
+    /// Sites where an Acceptable Ads exception *unblocked* at least one
+    /// request that tracking protection had blocked.
+    pub sites_with_tracking_unblocked: usize,
+    /// Total tracker requests unblocked by the whitelist.
+    pub tracking_requests_unblocked: u64,
+    /// Whitelist filters responsible, with affected-site counts.
+    pub per_filter: Vec<(String, usize)>,
+}
+
+/// Run the collision measurement over the top `n` sites.
+pub fn run_privacy_conflict(
+    web: &Web,
+    easylist: &FilterList,
+    easyprivacy: &FilterList,
+    whitelist: &FilterList,
+    top_n: u32,
+    threads: usize,
+) -> PrivacyConflictReport {
+    let engines = vec![
+        NamedEngine::new(
+            CONFIG_WITH_PRIVACY,
+            Engine::from_lists([easylist, easyprivacy]),
+        ),
+        NamedEngine::new(
+            CONFIG_ALL,
+            Engine::from_lists([easylist, easyprivacy, whitelist]),
+        ),
+    ];
+    let ranks: Vec<u32> = (1..=top_n).collect();
+    let visits = crawl_ranks(web, &engines, &ranks, threads);
+
+    let mut report = PrivacyConflictReport {
+        sites: visits.len(),
+        sites_with_tracking_blocked: 0,
+        sites_with_tracking_unblocked: 0,
+        tracking_requests_unblocked: 0,
+        per_filter: Vec::new(),
+    };
+    let mut per_filter: BTreeMap<String, usize> = BTreeMap::new();
+
+    for visit in &visits {
+        let without = visit.record(CONFIG_WITH_PRIVACY).expect("config present");
+        let with = visit.record(CONFIG_ALL).expect("config present");
+
+        if without.blocked_requests > 0 {
+            report.sites_with_tracking_blocked += 1;
+        }
+        // Requests blocked under EL+EP whose subject carries an
+        // overriding exception under all three lists.
+        let mut subjects: Vec<&str> = without
+            .activations
+            .iter()
+            .filter(|a| a.kind == MatchKind::BlockRequest)
+            .map(|a| a.subject.as_str())
+            .filter(|subject| {
+                with.activations
+                    .iter()
+                    .any(|a| a.kind == MatchKind::AllowRequest && a.subject == *subject)
+            })
+            .collect();
+        subjects.sort_unstable();
+        subjects.dedup();
+
+        let mut site_counted = false;
+        for subject in subjects {
+            // Confirm: allowed in ALL config (exception fired).
+            let exception = with
+                .activations
+                .iter()
+                .find(|a| a.kind == MatchKind::AllowRequest && a.subject == subject);
+            if let Some(exc) = exception {
+                report.tracking_requests_unblocked += 1;
+                if !site_counted {
+                    report.sites_with_tracking_unblocked += 1;
+                    site_counted = true;
+                }
+                *per_filter.entry(exc.filter.clone()).or_default() += 1;
+            }
+        }
+    }
+
+    let mut per_filter: Vec<(String, usize)> = per_filter.into_iter().collect();
+    per_filter.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    report.per_filter = per_filter;
+    report
+}
+
+// Re-export the standard configs for callers comparing against §5 runs.
+pub use crate::survey_exp::SiteSurveyConfig as _SurveyConfigAlias;
+const _: (&str, &str) = (CONFIG_BOTH, CONFIG_EASYLIST_ONLY);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use abp::ListSource;
+    use std::sync::OnceLock;
+
+    fn report() -> &'static PrivacyConflictReport {
+        static CACHE: OnceLock<PrivacyConflictReport> = OnceLock::new();
+        CACHE.get_or_init(|| {
+            let c = testutil::corpus();
+            let ep = FilterList::parse(
+                ListSource::Custom,
+                &corpus::easyprivacy::generate_easyprivacy(testutil::SEED),
+            );
+            run_privacy_conflict(testutil::web(), &c.easylist, &ep, &c.whitelist, 500, 8)
+        })
+    }
+
+    #[test]
+    fn whitelist_unblocks_tracking() {
+        let r = report();
+        assert_eq!(r.sites, 500);
+        assert!(r.sites_with_tracking_blocked > 200, "{r:?}");
+        // The headline of the extension: a substantial share of sites
+        // have tracking protection silently disabled.
+        assert!(
+            r.sites_with_tracking_unblocked * 3 > r.sites_with_tracking_blocked,
+            "unblocked {} of blocked {}",
+            r.sites_with_tracking_unblocked,
+            r.sites_with_tracking_blocked
+        );
+        assert!(r.tracking_requests_unblocked > 0);
+    }
+
+    #[test]
+    fn conversion_filters_lead_the_collision() {
+        let r = report();
+        assert!(!r.per_filter.is_empty());
+        // The top offender is a conversion-tracking exception.
+        let (top, _) = &r.per_filter[0];
+        assert!(
+            top.contains("doubleclick")
+                || top.contains("conversion")
+                || top.contains("googleadservices") // covers /pagead/conversion
+                || top.contains("bat.bing"),
+            "unexpected top collision filter: {top}"
+        );
+    }
+
+    #[test]
+    fn gstatic_not_in_collision() {
+        // gstatic serves resources, not tracking: EasyPrivacy does not
+        // block it, so its exception cannot "unblock tracking".
+        let r = report();
+        assert!(!r.per_filter.iter().any(|(f, _)| f.contains("gstatic")));
+    }
+}

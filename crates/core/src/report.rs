@@ -1,0 +1,194 @@
+//! Rendering: paper-vs-measured tables in plain text, plus JSON dumps.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One paper-vs-measured row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Comparison {
+    /// What is being compared.
+    pub metric: String,
+    /// The paper's reported value, rendered.
+    pub paper: String,
+    /// This run's measured value, rendered.
+    pub measured: String,
+}
+
+impl Comparison {
+    /// Build a row from displayable values.
+    pub fn new(
+        metric: impl Into<String>,
+        paper: impl std::fmt::Display,
+        measured: impl std::fmt::Display,
+    ) -> Self {
+        Comparison {
+            metric: metric.into(),
+            paper: paper.to_string(),
+            measured: measured.to_string(),
+        }
+    }
+}
+
+/// Render rows as an aligned text table.
+pub fn render_comparisons(title: &str, rows: &[Comparison]) -> String {
+    let metric_w = rows
+        .iter()
+        .map(|r| r.metric.len())
+        .chain(["metric".len()])
+        .max()
+        .unwrap_or(6);
+    let paper_w = rows
+        .iter()
+        .map(|r| r.paper.len())
+        .chain(["paper".len()])
+        .max()
+        .unwrap_or(5);
+    let measured_w = rows
+        .iter()
+        .map(|r| r.measured.len())
+        .chain(["measured".len()])
+        .max()
+        .unwrap_or(8);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<metric_w$}  {:>paper_w$}  {:>measured_w$}",
+        "metric", "paper", "measured"
+    );
+    let _ = writeln!(
+        out,
+        "{}  {}  {}",
+        "-".repeat(metric_w),
+        "-".repeat(paper_w),
+        "-".repeat(measured_w)
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<metric_w$}  {:>paper_w$}  {:>measured_w$}",
+            r.metric, r.paper, r.measured
+        );
+    }
+    out
+}
+
+/// Render a generic two-column table.
+pub fn render_table(title: &str, header: (&str, &str), rows: &[(String, String)]) -> String {
+    let w0 = rows
+        .iter()
+        .map(|r| r.0.len())
+        .chain([header.0.len()])
+        .max()
+        .unwrap_or(4);
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(out, "{:<w0$}  {}", header.0, header.1);
+    for (a, b) in rows {
+        let _ = writeln!(out, "{a:<w0$}  {b}");
+    }
+    out
+}
+
+/// Serialize any report to pretty JSON (for EXPERIMENTS.md artifacts).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+}
+
+/// Render a numeric series as an ASCII bar chart (one row per point).
+pub fn ascii_series(title: &str, points: &[(String, f64)], width: usize) -> String {
+    let max = points.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
+    let label_w = points.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    for (label, value) in points {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} {value:>10.1} |{}",
+            "#".repeat(bar_len)
+        );
+    }
+    out
+}
+
+/// Percent with one decimal.
+pub fn pct(numerator: usize, denominator: usize) -> String {
+    if denominator == 0 {
+        return "n/a".to_string();
+    }
+    format!("{:.1}%", 100.0 * numerator as f64 / denominator as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_table_renders_aligned() {
+        let rows = vec![
+            Comparison::new("filters at Rev 988", 5_936, 5_936),
+            Comparison::new("restricted share", "89%", "97.0%"),
+        ];
+        let text = render_comparisons("Fig 4", &rows);
+        assert!(text.contains("== Fig 4 =="));
+        assert!(text.contains("5936"));
+        assert!(text.lines().count() >= 5);
+        // Columns aligned: every data line has the same width prefix.
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        let header_cols = lines[0].find("paper").unwrap();
+        assert!(lines[2].len() >= header_cols);
+    }
+
+    #[test]
+    fn pct_rendering() {
+        assert_eq!(pct(59, 100), "59.0%");
+        assert_eq!(pct(2_934, 5_000), "58.7%");
+        assert_eq!(pct(1, 0), "n/a");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rows = vec![Comparison::new("x", 1, 2)];
+        let json = to_json(&rows);
+        assert!(json.contains("\"metric\": \"x\""));
+    }
+
+    #[test]
+    fn ascii_series_scales_bars() {
+        let s = ascii_series(
+            "growth",
+            &[("2011".to_string(), 9.0), ("2015".to_string(), 5936.0)],
+            40,
+        );
+        assert!(s.contains("== growth =="));
+        let lines: Vec<&str> = s.lines().collect();
+        let bars: Vec<usize> = lines[1..]
+            .iter()
+            .map(|l| l.chars().filter(|c| *c == '#').count())
+            .collect();
+        assert!(bars[0] < bars[1]);
+        assert_eq!(bars[1], 40);
+    }
+
+    #[test]
+    fn ascii_series_handles_zeros() {
+        let s = ascii_series("flat", &[("a".to_string(), 0.0)], 10);
+        assert!(!s.contains('#'));
+    }
+
+    #[test]
+    fn generic_table() {
+        let t = render_table(
+            "Table 3",
+            ("service", "domains"),
+            &[("Sedo".into(), "1060129".into())],
+        );
+        assert!(t.contains("Sedo"));
+    }
+}

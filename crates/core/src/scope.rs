@@ -1,0 +1,238 @@
+//! §4.2 — whitelist scope: the Fig 4 hierarchy of filter types and the
+//! explicit publisher domains restricted filters name.
+
+use abp::{Filter, FilterList};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The Fig 4 leaf a filter falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterScope {
+    /// Request filter with an explicit `domain=` include list.
+    RestrictedRequest,
+    /// Element rule with a domain prefix.
+    RestrictedElement,
+    /// Request filter applicable on any first-party domain.
+    UnrestrictedRequest,
+    /// Element rule applicable on any domain (the paper found exactly
+    /// one: `#@##influads_block`).
+    UnrestrictedElement,
+    /// Filter gated on a `$sitekey=` public key.
+    Sitekey,
+}
+
+/// The first-party host a page-level (`$document`/`$elemhide`) exception
+/// is anchored to, when its pattern pins one: `@@||ask.com^$elemhide`
+/// activates only on ask.com pages, so the paper counts ask.com as
+/// explicitly listed even though no `domain=` option appears.
+pub fn anchored_first_party(rf: &abp::RequestFilter) -> Option<String> {
+    use abp::pattern::{Element, LeftAnchor};
+    if !(rf.options.document || rf.options.elemhide) {
+        return None;
+    }
+    if rf.pattern.left != LeftAnchor::Hostname {
+        return None;
+    }
+    let Some(Element::Literal(first)) = rf.pattern.elements.first() else {
+        return None;
+    };
+    let host = first.split('/').next().unwrap_or("");
+    (host.contains('.')
+        && host
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '-')))
+    .then(|| host.to_string())
+}
+
+/// Classify one filter.
+pub fn classify(filter: &Filter) -> FilterScope {
+    match &filter.body {
+        abp::FilterBody::Request(rf) => {
+            if rf.is_sitekey() {
+                FilterScope::Sitekey
+            } else if rf.is_restricted() || anchored_first_party(rf).is_some() {
+                FilterScope::RestrictedRequest
+            } else {
+                FilterScope::UnrestrictedRequest
+            }
+        }
+        abp::FilterBody::Element(ef) => {
+            if ef.is_restricted() {
+                FilterScope::RestrictedElement
+            } else {
+                FilterScope::UnrestrictedElement
+            }
+        }
+    }
+}
+
+/// The Fig 4 census of a whitelist.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScopeReport {
+    /// Distinct well-formed filters.
+    pub total_distinct: usize,
+    /// Restricted request filters.
+    pub restricted_request: usize,
+    /// Restricted element rules.
+    pub restricted_element: usize,
+    /// Unrestricted request filters.
+    pub unrestricted_request: usize,
+    /// Unrestricted element rules.
+    pub unrestricted_element: usize,
+    /// Sitekey filters.
+    pub sitekey_filters: usize,
+    /// Distinct sitekey public keys.
+    pub distinct_sitekeys: usize,
+    /// Explicit first-party FQDNs named by restricted filters.
+    pub explicit_fqdns: BTreeSet<String>,
+}
+
+impl ScopeReport {
+    /// Restricted filters (request + element).
+    pub fn restricted(&self) -> usize {
+        self.restricted_request + self.restricted_element
+    }
+
+    /// Unrestricted filters (request + element; the paper's "156").
+    pub fn unrestricted(&self) -> usize {
+        self.unrestricted_request + self.unrestricted_element
+    }
+
+    /// Share of restricted filters (paper: "89% of the whitelist").
+    pub fn restricted_share(&self) -> f64 {
+        if self.total_distinct == 0 {
+            return 0.0;
+        }
+        self.restricted() as f64 / self.total_distinct as f64
+    }
+
+    /// The explicit effective-second-level domains (Table 2's
+    /// reduction).
+    pub fn explicit_e2lds(&self) -> BTreeSet<String> {
+        self.explicit_fqdns
+            .iter()
+            .filter_map(|f| urlkit::registrable_domain(f))
+            .collect()
+    }
+}
+
+/// Classify a whole whitelist and collect its explicit domains.
+/// Duplicate lines are counted once (the paper reports *distinct*
+/// filters).
+pub fn classify_whitelist(list: &FilterList) -> ScopeReport {
+    let mut report = ScopeReport::default();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut keys: BTreeSet<&str> = BTreeSet::new();
+
+    for filter in list.filters() {
+        if !seen.insert(filter.raw.as_str()) {
+            continue; // duplicate line
+        }
+        report.total_distinct += 1;
+        match classify(filter) {
+            FilterScope::RestrictedRequest => report.restricted_request += 1,
+            FilterScope::RestrictedElement => report.restricted_element += 1,
+            FilterScope::UnrestrictedRequest => report.unrestricted_request += 1,
+            FilterScope::UnrestrictedElement => report.unrestricted_element += 1,
+            FilterScope::Sitekey => report.sitekey_filters += 1,
+        }
+        // Explicit domains from include lists (and page-level anchors).
+        match &filter.body {
+            abp::FilterBody::Request(rf) => {
+                for d in &rf.options.domains.include {
+                    report.explicit_fqdns.insert(d.clone());
+                }
+                if let Some(host) = anchored_first_party(rf) {
+                    report.explicit_fqdns.insert(host);
+                }
+                for k in &rf.options.sitekeys {
+                    keys.insert(k);
+                }
+            }
+            abp::FilterBody::Element(ef) => {
+                for d in &ef.domains.include {
+                    report.explicit_fqdns.insert(d.clone());
+                }
+            }
+        }
+    }
+    report.distinct_sitekeys = keys.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use abp::{parse_filter, ListSource};
+
+    #[test]
+    fn classify_individual_filters() {
+        use FilterScope::*;
+        let cases = [
+            (
+                "@@||adzerk.net/reddit/$subdocument,domain=reddit.com",
+                RestrictedRequest,
+            ),
+            ("@@||pagefair.net^$third-party", UnrestrictedRequest),
+            ("reddit.com#@##ad_main", RestrictedElement),
+            ("#@##influads_block", UnrestrictedElement),
+            ("@@$sitekey=MFwwKEY,document", Sitekey),
+            // Exclusion-only domain lists are still unrestricted.
+            ("@@||cdn.example^$domain=~foo.example", UnrestrictedRequest),
+        ];
+        for (text, expected) in cases {
+            let f = parse_filter(text).unwrap();
+            assert_eq!(classify(&f), expected, "{text}");
+        }
+    }
+
+    #[test]
+    fn paper_figure4_census_on_generated_whitelist() {
+        let c = testutil::corpus();
+        let report = classify_whitelist(&c.whitelist);
+        // §4.1: 5,936 distinct filters at Rev 988.
+        assert_eq!(report.total_distinct, 5_936);
+        // §4.2.2: 156 unrestricted filters, exactly one of them an
+        // element exception.
+        assert_eq!(report.unrestricted(), 156);
+        assert_eq!(report.unrestricted_element, 1);
+        // §4.2.3: 25 sitekey filters over 4 keys.
+        assert_eq!(report.sitekey_filters, 25);
+        assert_eq!(report.distinct_sitekeys, 4);
+        // Restricted = the rest.
+        assert_eq!(report.restricted(), 5_936 - 156 - 25);
+    }
+
+    #[test]
+    fn explicit_domains_match_table2_totals() {
+        let c = testutil::corpus();
+        let report = classify_whitelist(&c.whitelist);
+        // Table 2: 3,544 FQDNs → 1,990 e2LDs.
+        assert_eq!(report.explicit_fqdns.len(), 3_544);
+        assert_eq!(report.explicit_e2lds().len(), 1_990);
+        // The paper's named examples.
+        assert!(report.explicit_fqdns.contains("cars.about.com"));
+        assert!(report.explicit_fqdns.contains("reddit.com"));
+        assert!(report.explicit_e2lds().contains("google.co.uk"));
+    }
+
+    #[test]
+    fn duplicates_counted_once() {
+        let list = abp::FilterList::parse(
+            ListSource::AcceptableAds,
+            "@@||a.example^$domain=x.example\n@@||a.example^$domain=x.example\n",
+        );
+        let report = classify_whitelist(&list);
+        assert_eq!(report.total_distinct, 1);
+        assert_eq!(report.restricted_request, 1);
+    }
+
+    #[test]
+    fn empty_list() {
+        let list = abp::FilterList::empty(ListSource::AcceptableAds);
+        let report = classify_whitelist(&list);
+        assert_eq!(report.total_distinct, 0);
+        assert_eq!(report.restricted_share(), 0.0);
+    }
+}

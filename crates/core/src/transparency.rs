@@ -1,0 +1,233 @@
+//! §8 — "Increasing Transparency", as an executable lint.
+//!
+//! The paper closes with five recommendations for the whitelisting
+//! process. This module turns each into a check over the whitelist and
+//! its history, producing the report a list maintainer (or watchdog)
+//! would run:
+//!
+//! 1. *Document all whitelist modifications* — revisions that added
+//!    filters without a forum link;
+//! 2. *Avoid overly general filters* — unrestricted and sitekey filters
+//!    whose scope cannot be determined from the list alone;
+//! 3. *Identify whitelisted advertisements* — covered by the crawler's
+//!    `blockable_items` view (referenced, not duplicated, here);
+//! 4. *Practice good whitelist hygiene* — duplicates, malformed and
+//!    obsolete filters (via [`crate::hygiene`]);
+//! 5. *Disclose financial entanglements* — out of a lint's reach, but
+//!    the undisclosed-addition count (§7's A-groups) is its measurable
+//!    proxy.
+
+use crate::hygiene::{audit, HygieneReport};
+use crate::scope::{classify, classify_whitelist, FilterScope};
+use crate::undocumented::{detect_undocumented, UndocumentedReport};
+use abp::FilterList;
+use revstore::store::RevStore;
+use serde::{Deserialize, Serialize};
+
+/// Severity of a transparency finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational.
+    Info,
+    /// Worth fixing.
+    Warning,
+    /// Undermines the program's stated transparency goals.
+    Critical,
+}
+
+/// One finding of the lint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Which §8 recommendation the finding falls under.
+    pub recommendation: String,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// How many list entries / revisions are affected.
+    pub count: usize,
+}
+
+/// The full transparency report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransparencyReport {
+    /// All findings, most severe first.
+    pub findings: Vec<Finding>,
+    /// The underlying §7 analysis.
+    pub undocumented: UndocumentedReport,
+    /// The underlying §8 hygiene audit.
+    pub hygiene: HygieneReport,
+}
+
+impl TransparencyReport {
+    /// Findings at or above a severity.
+    pub fn at_least(&self, severity: Severity) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.severity >= severity)
+    }
+}
+
+/// Run the §8 lint over a whitelist and its history.
+pub fn transparency_report(whitelist: &FilterList, history: &RevStore) -> TransparencyReport {
+    let mut findings = Vec::new();
+    let undocumented = detect_undocumented(history);
+    let hygiene = audit(whitelist);
+    let scope = classify_whitelist(whitelist);
+
+    // 1. Document all modifications.
+    if !undocumented.unlinked_addition_revisions.is_empty() {
+        findings.push(Finding {
+            recommendation: "Document all whitelist modifications".into(),
+            severity: Severity::Critical,
+            message: "revisions added filters without linking a forum discussion".into(),
+            count: undocumented.unlinked_addition_revisions.len(),
+        });
+    }
+    if !undocumented.a_groups_ever.is_empty() {
+        findings.push(Finding {
+            recommendation: "Disclose financial entanglements".into(),
+            severity: Severity::Critical,
+            message: "nondescript A-filter groups added without community vetting".into(),
+            count: undocumented.a_groups_ever.len(),
+        });
+    }
+
+    // 2. Avoid overly general filters.
+    let overly_general = scope.unrestricted() + scope.sitekey_filters;
+    if overly_general > 0 {
+        findings.push(Finding {
+            recommendation: "Avoid overly general filters".into(),
+            severity: Severity::Warning,
+            message:
+                "unrestricted or sitekey filters whose full scope cannot be determined from the list"
+                    .into(),
+            count: overly_general,
+        });
+    }
+    let unrestricted_elements = whitelist
+        .filters()
+        .filter(|f| classify(f) == FilterScope::UnrestrictedElement)
+        .count();
+    if unrestricted_elements > 0 {
+        findings.push(Finding {
+            recommendation: "Avoid overly general filters".into(),
+            severity: Severity::Warning,
+            message: "unrestricted element exceptions (\"possibly an oversight\", §4.2.2)".into(),
+            count: unrestricted_elements,
+        });
+    }
+
+    // 4. Hygiene.
+    if hygiene.duplicate_lines > 0 {
+        findings.push(Finding {
+            recommendation: "Practice good whitelist hygiene".into(),
+            severity: Severity::Info,
+            message: "duplicate filter lines".into(),
+            count: hygiene.duplicate_lines,
+        });
+    }
+    if hygiene.malformed_lines > 0 {
+        findings.push(Finding {
+            recommendation: "Practice good whitelist hygiene".into(),
+            severity: Severity::Warning,
+            message: "malformed filters (truncation artifacts)".into(),
+            count: hygiene.malformed_lines,
+        });
+    }
+    if hygiene.obsolete_adsense > 0 {
+        findings.push(Finding {
+            recommendation: "Practice good whitelist hygiene".into(),
+            severity: Severity::Info,
+            message: "per-domain AdSense exceptions superseded by an unrestricted filter".into(),
+            count: hygiene.obsolete_adsense,
+        });
+    }
+
+    findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(b.count.cmp(&a.count)));
+    TransparencyReport {
+        findings,
+        undocumented,
+        hygiene,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use std::sync::OnceLock;
+
+    fn report() -> &'static TransparencyReport {
+        static CACHE: OnceLock<TransparencyReport> = OnceLock::new();
+        CACHE.get_or_init(|| {
+            let c = testutil::corpus();
+            let store = corpus::history::build_history(testutil::SEED, &c.final_whitelist);
+            transparency_report(&c.whitelist, &store)
+        })
+    }
+
+    #[test]
+    fn all_five_recommendation_areas_fire_on_the_2015_whitelist() {
+        let r = report();
+        let recs: Vec<&str> = r
+            .findings
+            .iter()
+            .map(|f| f.recommendation.as_str())
+            .collect();
+        assert!(recs.contains(&"Document all whitelist modifications"));
+        assert!(recs.contains(&"Disclose financial entanglements"));
+        assert!(recs.contains(&"Avoid overly general filters"));
+        assert!(recs.contains(&"Practice good whitelist hygiene"));
+    }
+
+    #[test]
+    fn severities_ordered_and_counts_match_sections() {
+        let r = report();
+        // Sorted most-severe first.
+        assert!(r
+            .findings
+            .windows(2)
+            .all(|w| w[0].severity >= w[1].severity));
+        // The A-group finding carries §7's count.
+        let a = r
+            .findings
+            .iter()
+            .find(|f| f.message.contains("A-filter"))
+            .unwrap();
+        assert_eq!(a.count, 61);
+        // The overly-general finding carries Fig 4's 156 + 25.
+        let g = r
+            .findings
+            .iter()
+            .find(|f| f.message.contains("unrestricted or sitekey"))
+            .unwrap();
+        assert_eq!(g.count, 181);
+    }
+
+    #[test]
+    fn critical_filter() {
+        let r = report();
+        let critical = r.at_least(Severity::Critical).count();
+        assert!(critical >= 2);
+        assert!(r.at_least(Severity::Info).count() >= critical);
+    }
+
+    #[test]
+    fn clean_list_produces_minimal_findings() {
+        let list = abp::FilterList::parse(
+            abp::ListSource::AcceptableAds,
+            "@@||ads.example/ok/$domain=pub.example\n",
+        );
+        let mut store = RevStore::new();
+        store.commit(
+            0,
+            "Added pub.example (https://adblockplus.org/forum/viewtopic.php?t=1)",
+            "@@||ads.example/ok/$domain=pub.example\n",
+        );
+        let r = transparency_report(&list, &store);
+        assert!(
+            r.at_least(Severity::Warning).next().is_none(),
+            "clean list should have no warnings: {:?}",
+            r.findings
+        );
+    }
+}

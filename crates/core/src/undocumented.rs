@@ -1,0 +1,211 @@
+//! §7 / Fig 11 — undocumented filters: the A-groups and provenance
+//! anomalies.
+//!
+//! Detection signals, exactly the paper's:
+//!
+//! * A-group *markers* — nondescript `!A<n>` comments in the list;
+//! * commit-message *boilerplate* — "Updated whitelists." (and one
+//!   "Added new whitelists.") with no forum link, vs the documented
+//!   convention of linking the announcement thread;
+//! * the golem.de anomaly — a publisher's search-ads exception whose
+//!   `domain=` list also names `www.google.com`, plus an element
+//!   exception scoped to `www.google.com` alone;
+//! * A59 — an *unrestricted* filter inside an undocumented group.
+
+use crate::scope::{classify, FilterScope};
+use abp::parser::{parse_line, ParsedLine};
+use revstore::annotate::{has_forum_link, is_undocumented_boilerplate};
+use revstore::diff::diff_lines;
+use revstore::store::RevStore;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The §7 report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UndocumentedReport {
+    /// Every A-group marker ever seen in the history (paper: 61).
+    pub a_groups_ever: BTreeSet<u16>,
+    /// A-group markers present in the head revision.
+    pub a_groups_in_head: BTreeSet<u16>,
+    /// A-groups added and later removed.
+    pub a_groups_removed: BTreeSet<u16>,
+    /// Revisions whose commit message is undocumented boilerplate.
+    pub boilerplate_revisions: Vec<u32>,
+    /// Revisions that added filters *without* a forum link in the
+    /// message.
+    pub unlinked_addition_revisions: Vec<u32>,
+    /// Unrestricted filters that live inside A-group sections in the
+    /// head revision (the A59 pattern).
+    pub unrestricted_in_a_groups: Vec<String>,
+    /// Filters whose `domain=` mixes a publisher domain with
+    /// `www.google.com` (the golem.de anomaly), across all history.
+    pub google_domain_anomalies: Vec<String>,
+}
+
+/// Extract `!A<n>` markers from a snapshot.
+fn a_markers(content: &str) -> BTreeSet<u16> {
+    content
+        .lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            let rest = l.strip_prefix("!A")?;
+            rest.parse::<u16>().ok()
+        })
+        .collect()
+}
+
+/// Analyze a history for §7's signals.
+pub fn detect_undocumented(store: &RevStore) -> UndocumentedReport {
+    let mut report = UndocumentedReport::default();
+
+    for (parent, rev) in store.iter_pairs() {
+        let old = parent.map(|p| p.content.as_str()).unwrap_or("");
+        let diff = diff_lines(old, &rev.content);
+        let added_filters = diff
+            .added
+            .iter()
+            .any(|l| matches!(parse_line(l), ParsedLine::Filter(_)));
+
+        if is_undocumented_boilerplate(&rev.message) {
+            report.boilerplate_revisions.push(rev.id);
+        }
+        if added_filters && !has_forum_link(&rev.message) {
+            report.unlinked_addition_revisions.push(rev.id);
+        }
+
+        // New A-markers introduced by this revision.
+        for line in &diff.added {
+            let line = line.trim();
+            if let Some(n) = line.strip_prefix("!A").and_then(|r| r.parse::<u16>().ok()) {
+                report.a_groups_ever.insert(n);
+            }
+        }
+
+        // The golem anomaly: any *added* filter whose include list has
+        // www.google.com alongside another party's domain.
+        for line in &diff.added {
+            if let ParsedLine::Filter(f) = parse_line(line) {
+                if let Some(rf) = f.as_request() {
+                    let inc = &rf.options.domains.include;
+                    if inc.iter().any(|d| d == "www.google.com") && inc.len() > 1 {
+                        report.google_domain_anomalies.push(line.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(head) = store.head() {
+        report.a_groups_in_head = a_markers(&head.content);
+        report.a_groups_removed = report
+            .a_groups_ever
+            .difference(&report.a_groups_in_head)
+            .copied()
+            .collect();
+
+        // Unrestricted filters inside head A-group sections: walk the
+        // head, tracking the current section.
+        let mut in_a_group = false;
+        for line in head.content.lines() {
+            let trimmed = line.trim();
+            if trimmed.starts_with('!') {
+                in_a_group = trimmed
+                    .strip_prefix("!A")
+                    .is_some_and(|r| r.parse::<u16>().is_ok());
+                continue;
+            }
+            if !in_a_group {
+                continue;
+            }
+            if let ParsedLine::Filter(f) = parse_line(line) {
+                if classify(&f) == FilterScope::UnrestrictedRequest {
+                    report.unrestricted_in_a_groups.push(f.raw.clone());
+                }
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use std::sync::OnceLock;
+
+    fn report() -> &'static UndocumentedReport {
+        static CACHE: OnceLock<UndocumentedReport> = OnceLock::new();
+        CACHE.get_or_init(|| {
+            let c = testutil::corpus();
+            let store = corpus::history::build_history(testutil::SEED, &c.final_whitelist);
+            detect_undocumented(&store)
+        })
+    }
+
+    #[test]
+    fn sixty_one_a_groups_ever() {
+        let r = report();
+        assert_eq!(r.a_groups_ever.len(), 61);
+        assert_eq!(*r.a_groups_ever.iter().next().unwrap(), 1);
+        assert_eq!(*r.a_groups_ever.iter().last().unwrap(), 61);
+    }
+
+    #[test]
+    fn five_removed_one_readded() {
+        let r = report();
+        assert_eq!(r.a_groups_removed.len(), 5);
+        assert!(r.a_groups_removed.contains(&7), "A7 removed");
+        assert!(r.a_groups_in_head.contains(&28), "A28 (the re-add) in head");
+        assert_eq!(r.a_groups_in_head.len(), 56);
+    }
+
+    #[test]
+    fn boilerplate_commits_present_and_unlinked() {
+        let r = report();
+        assert!(
+            r.boilerplate_revisions.len() >= 50,
+            "{} boilerplate revisions",
+            r.boilerplate_revisions.len()
+        );
+        assert!(r.boilerplate_revisions.contains(&287));
+        // Every boilerplate revision that added filters is also in the
+        // unlinked set.
+        for rev in &r.boilerplate_revisions {
+            if r.unlinked_addition_revisions.contains(rev) {
+                continue;
+            }
+        }
+    }
+
+    #[test]
+    fn a59_unrestricted_filter_detected() {
+        let r = report();
+        assert!(
+            r.unrestricted_in_a_groups
+                .iter()
+                .any(|f| f.contains("google.com/afs/")),
+            "{:?}",
+            r.unrestricted_in_a_groups
+        );
+    }
+
+    #[test]
+    fn golem_anomaly_detected() {
+        let r = report();
+        assert!(
+            r.google_domain_anomalies
+                .iter()
+                .any(|f| f.contains("golem.de")),
+            "{:?}",
+            r.google_domain_anomalies
+        );
+        // And the anomaly is gone from the head (the filters were fixed
+        // two weeks later).
+        let c = testutil::corpus();
+        assert!(!c
+            .final_whitelist
+            .to_text()
+            .contains("domain=suche.golem.de|www.google.com"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Generation of the EasyList-style blacklist.
+//!
+//! Real EasyList in the paper's era carried tens of thousands of
+//! filters. We generate ~19k: blocking rules for every blocked host of
+//! the [`websim::ecosystem`] (so survey blocking behaviour is faithful),
+//! generic ad-server rules, cosmetic rules for the hide classes pages
+//! embed, and realistic bulk for engine-scale realism.
+
+use websim::ecosystem;
+
+/// Number of bulk request filters (never triggered by the simulation,
+/// present for scale realism — EasyList's long tail).
+pub const BULK_REQUEST_FILTERS: usize = 12_000;
+/// Number of bulk element-hiding rules.
+pub const BULK_ELEMENT_RULES: usize = 3_000;
+
+/// Generate the blacklist text.
+pub fn generate_easylist(_seed: u64) -> String {
+    let mut out = String::with_capacity((BULK_REQUEST_FILTERS + BULK_ELEMENT_RULES) * 32);
+    out.push_str("[Adblock Plus 2.0]\n");
+    out.push_str("! EasyList (synthetic reproduction corpus)\n");
+    out.push_str("! Expires: 4 days\n");
+
+    // ---- known ad networks ------------------------------------------------
+    out.push_str("! --- third-party ad servers ---\n");
+    // Registrable-domain blocks for every blocked ecosystem host; this is
+    // what makes `||doubleclick.net^` cover stats.g.doubleclick.net, so
+    // the whitelist exception for the latter overrides a real block.
+    let mut blocked_e2lds: Vec<String> = ecosystem::third_parties()
+        .iter()
+        .filter(|p| p.easylist_blocked)
+        .filter_map(|p| urlkit::registrable_domain(p.host))
+        .collect();
+    blocked_e2lds.sort();
+    blocked_e2lds.dedup();
+    for host in &blocked_e2lds {
+        out.push_str(&format!("||{host}^$third-party\n"));
+    }
+    // google.com can't be blocked wholesale: EasyList blocks its ad
+    // paths instead.
+    out.push_str("||google.com/ads/$third-party\n");
+    out.push_str("||google.com/afs/$third-party\n");
+    out.push_str("||google.com/adsense/\n");
+    out.push_str("/aclk^$document,~document\n"); // historical oddity kept inert
+    out.push_str("||google.com/aclk^\n");
+    // Publisher slot hosts used by restricted whitelist exceptions.
+    out.push_str("||ads.publisher-network.example^$third-party\n");
+    out.push_str("||ads.about-network.example^$third-party\n");
+    out.push_str("||imgur-fallback-ads.example^\n");
+    out.push_str("||landing.park-ads.example^$third-party\n");
+
+    // Generic simulated ad servers.
+    for i in 0..ecosystem::GENERIC_BLOCKED_NETWORKS {
+        out.push_str(&format!("||{}^\n", ecosystem::generic_blocked_host(i)));
+    }
+
+    // ---- cosmetic rules -----------------------------------------------------
+    out.push_str("! --- general element hiding ---\n");
+    for class in ecosystem::EASYLIST_HIDE_CLASSES {
+        out.push_str(&format!("##.{class}\n"));
+    }
+    out.push_str("###influads_block\n"); // blocked generally; whitelist excepts it
+    out.push_str("reddit.com###siteTable_organic\n");
+    out.push_str("###sponsored_links_top\n");
+    // Publisher sponsored slots are hidden generically by id prefix
+    // rules… element hiding has no prefix matching, so EasyList-style
+    // lists enumerate ids; we hide the common ones.
+    out.push_str("###ad_main\n");
+    out.push_str("###tads\n");
+    out.push_str("###bottomads\n");
+    out.push_str("###adBlock\n");
+
+    // ---- bulk -----------------------------------------------------------------
+    out.push_str("! --- long tail ---\n");
+    for i in 0..BULK_REQUEST_FILTERS {
+        match i % 4 {
+            0 => out.push_str(&format!("||legacy-adnet{i:05}.example^$third-party\n")),
+            1 => out.push_str(&format!("/banners/{i:05}/*$image\n")),
+            2 => out.push_str(&format!("||tracker{i:05}.example^$script,image\n")),
+            _ => out.push_str(&format!("-ad-{i:05}.\n")),
+        }
+    }
+    for i in 0..BULK_ELEMENT_RULES {
+        match i % 3 {
+            0 => out.push_str(&format!("###ad_slot_{i:04}\n")),
+            1 => out.push_str(&format!("##.adzone-{i:04}\n")),
+            _ => out.push_str(&format!("##div[data-adunit=\"u{i:04}\"]\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp::{Decision, Engine, FilterList, ListSource, Request, ResourceType};
+
+    fn list() -> FilterList {
+        FilterList::parse(ListSource::EasyList, &generate_easylist(2015))
+    }
+
+    #[test]
+    fn realistic_size() {
+        let l = list();
+        assert!(l.filter_count() > 15_000, "{}", l.filter_count());
+        assert_eq!(l.invalid_lines().count(), 0);
+    }
+
+    #[test]
+    fn blocks_ecosystem_hosts() {
+        let l = list();
+        let e = Engine::from_lists([&l]);
+        // stats.g.doubleclick.net is covered by ||doubleclick.net^ — the
+        // paper's exception/block interplay.
+        let r = Request::new(
+            "http://stats.g.doubleclick.net/dc.js",
+            "example.com",
+            ResourceType::Script,
+        )
+        .unwrap();
+        assert_eq!(e.match_request(&r).decision, Decision::Block);
+
+        // gstatic is NOT blocked (§5's observation).
+        let r = Request::new(
+            "http://gstatic.com/fonts/roboto.woff",
+            "example.com",
+            ResourceType::Image,
+        )
+        .unwrap();
+        assert_eq!(e.match_request(&r).decision, Decision::NoMatch);
+    }
+
+    #[test]
+    fn blocks_generic_networks_and_hides_classes() {
+        let l = list();
+        let e = Engine::from_lists([&l]);
+        let r = Request::new(
+            "http://adserver007.adnet.example/ads/banner7.js",
+            "example.com",
+            ResourceType::Script,
+        )
+        .unwrap();
+        assert_eq!(e.match_request(&r).decision, Decision::Block);
+
+        let hiding = e.hiding_for_domain("example.com");
+        let selectors: Vec<&str> = hiding.active.iter().map(|(s, _)| s.as_str()).collect();
+        assert!(selectors.contains(&".banner-ad"));
+        assert!(selectors.contains(&"#influads_block"));
+        assert!(selectors.contains(&"#ad_main"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_easylist(1), generate_easylist(2));
+    }
+}

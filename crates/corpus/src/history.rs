@@ -1,0 +1,474 @@
+//! Replay of the whitelist's full revision history (Oct 2011 → Rev 988,
+//! Apr 28 2015), calibrated to Table 1:
+//!
+//! | year | revisions | filters added | filters removed |
+//! |------|-----------|---------------|-----------------|
+//! | 2011 | 26        | 25            | 17              |
+//! | 2012 | 47        | 225           | 30              |
+//! | 2013 | 311       | 5,152         | 1,555           |
+//! | 2014 | 386       | 2,179         | 775             |
+//! | 2015 | 219       | 1,227         | 495             |
+//!
+//! with the paper's named events pinned: Rev 200 (Google's 1,262
+//! filters, 2013-06-21), Rev 287 (first A-groups), Rev 304 ("Added new
+//! whitelists."), Rev 326 (truncated filters), Rev 625 (A28 re-add),
+//! Rev 656 (RookMedia sitekey removal), Rev 955 (A61), Rev 988 (head,
+//! 2015-04-28). A-group sections are committed with the undocumented
+//! boilerplate "Updated whitelists." and no forum link — the signal §7's
+//! detector keys on.
+
+use crate::whitelist::{EntryKind, FinalWhitelist};
+use revstore::date::{unix_from_ymd, Ymd};
+use revstore::store::RevStore;
+use serde::{Deserialize, Serialize};
+use sitekey::rng::SplitMix64;
+
+/// Table 1 calibration: revisions per year, 2011–2015.
+pub const REVISIONS_PER_YEAR: [u32; 5] = [26, 47, 311, 386, 219];
+
+/// Total revisions (ids 0..=988).
+pub const TOTAL_REVISIONS: u32 = 989;
+
+/// Pinned revision ids.
+pub mod pinned {
+    /// Google's whitelisting (2013-06-21).
+    pub const GOOGLE: u32 = 200;
+    /// First A-groups (A1, A2).
+    pub const FIRST_A: u32 = 287;
+    /// The one commit that says "Added new whitelists.".
+    pub const ADDED_NEW: u32 = 304;
+    /// The truncated-filter artifact.
+    pub const TRUNCATED: u32 = 326;
+    /// A28 (re-add of A7's publisher).
+    pub const A28: u32 = 625;
+    /// RookMedia sitekey removal.
+    pub const ROOK_REMOVAL: u32 = 656;
+    /// Last A-group, A61.
+    pub const A61: u32 = 955;
+    /// golem.de's anomalous filters (Dec 2012, §7).
+    pub const GOLEM: u32 = 67;
+    /// The head revision (2015-04-28).
+    pub const HEAD: u32 = 988;
+}
+
+/// Summary of the generated history (used by tests and reports).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistoryTargets {
+    /// First revision id of each year.
+    pub year_start_rev: [u32; 5],
+}
+
+/// First revision id per year, from [`REVISIONS_PER_YEAR`].
+pub fn year_start_revs() -> [u32; 5] {
+    let mut out = [0u32; 5];
+    let mut acc = 0;
+    for (i, n) in REVISIONS_PER_YEAR.iter().enumerate() {
+        out[i] = acc;
+        acc += n;
+    }
+    out
+}
+
+/// Year (2011–2015) of a revision id.
+pub fn year_of_rev(rev: u32) -> u16 {
+    let starts = year_start_revs();
+    for i in (0..5).rev() {
+        if rev >= starts[i] {
+            return 2011 + i as u16;
+        }
+    }
+    2011
+}
+
+/// Timestamp for a revision id: piecewise-linear within its year,
+/// pinned so Rev 200 lands on 2013-06-21 and Rev 988 on 2015-04-28.
+pub fn rev_timestamp(rev: u32) -> i64 {
+    let year = year_of_rev(rev);
+    let starts = year_start_revs();
+    let yi = (year - 2011) as usize;
+    let first = starts[yi];
+    let count = REVISIONS_PER_YEAR[yi];
+
+    let (range_start, range_end) = match year {
+        2011 => (
+            unix_from_ymd(Ymd::new(2011, 10, 1)),
+            unix_from_ymd(Ymd::new(2011, 12, 31)),
+        ),
+        2015 => (
+            unix_from_ymd(Ymd::new(2015, 1, 1)),
+            unix_from_ymd(Ymd::new(2015, 4, 28)),
+        ),
+        y => (
+            unix_from_ymd(Ymd::new(y as i32, 1, 1)),
+            unix_from_ymd(Ymd::new(y as i32, 12, 31)),
+        ),
+    };
+
+    if year == 2013 {
+        // Two segments around the pinned Google revision.
+        let google_ts = unix_from_ymd(Ymd::new(2013, 6, 21));
+        let last = first + count - 1;
+        if rev <= pinned::GOOGLE {
+            lerp(range_start, google_ts, first, pinned::GOOGLE, rev)
+        } else {
+            lerp(google_ts, range_end, pinned::GOOGLE, last, rev)
+        }
+    } else {
+        let last = first + count - 1;
+        lerp(range_start, range_end, first, last, rev)
+    }
+}
+
+fn lerp(t0: i64, t1: i64, r0: u32, r1: u32, rev: u32) -> i64 {
+    if r1 == r0 {
+        return t0;
+    }
+    t0 + (t1 - t0) * (rev - r0) as i64 / (r1 - r0) as i64
+}
+
+/// One scheduled operation on the list.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Activate a final-skeleton line.
+    AddFinal(usize),
+    /// Add a transient line.
+    AddTransient(usize),
+    /// Remove a transient line.
+    RemoveTransient(usize),
+}
+
+/// Build the complete revision store from a generated whitelist.
+pub fn build_history(seed: u64, whitelist: &FinalWhitelist) -> RevStore {
+    let mut rng = SplitMix64::new(seed ^ 0x815_7021);
+    let starts = year_start_revs();
+
+    // ---- schedule ops per revision ---------------------------------------
+    let mut ops: Vec<Vec<Op>> = vec![Vec::new(); TOTAL_REVISIONS as usize];
+    let mut messages: Vec<Option<String>> = vec![None; TOTAL_REVISIONS as usize];
+
+    // Helper: pick an add revision within a year, away from year edges.
+    let pick_rev = |year: u16, rng: &mut SplitMix64, early: bool| -> u32 {
+        let yi = (year - 2011) as usize;
+        let first = starts[yi];
+        let count = REVISIONS_PER_YEAR[yi];
+        let (lo, hi) = if early {
+            (first, first + count * 6 / 10)
+        } else {
+            (first + count * 4 / 10, first + count - 1)
+        };
+        rng.range_inclusive(lo as u64, hi as u64) as u32
+    };
+
+    // --- final entries, grouped into contiguous (section, year) chunks ---
+    // A chunk is a run of consecutive entries sharing add_year (comments
+    // ride with the following filters).
+    {
+        let mut i = 0usize;
+        while i < whitelist.entries.len() {
+            let e = &whitelist.entries[i];
+            let year = e.add_year;
+            let a_group = e.a_group;
+            let mut j = i;
+            while j < whitelist.entries.len()
+                && whitelist.entries[j].add_year == year
+                && whitelist.entries[j].a_group == a_group
+                // Comments open new sections; malformed lines form their
+                // own chunk (the Rev 326 artifact).
+                && !(j > i && whitelist.entries[j].kind == EntryKind::Comment)
+                && !(j > i
+                    && whitelist.entries[j].kind == EntryKind::Malformed
+                    && whitelist.entries[i].kind != EntryKind::Malformed)
+            {
+                j += 1;
+            }
+            let chunk: Vec<usize> = (i..j).collect();
+
+            // Choose the revision for this chunk.
+            let is_google = whitelist.entries[i].text.contains("Google search ads")
+                || (a_group.is_none()
+                    && whitelist.entries[i].text.starts_with("@@||google.")
+                    && year == 2013);
+            let is_malformed = whitelist.entries[i].kind == EntryKind::Malformed;
+            let is_dup_section = whitelist.entries[i].text.contains("merge artifacts")
+                || whitelist.entries[i].kind == EntryKind::Duplicate;
+            let rev = if is_google {
+                pinned::GOOGLE
+            } else if is_malformed || is_dup_section {
+                pinned::TRUNCATED
+            } else if let Some(g) = a_group {
+                match g {
+                    1 | 2 => pinned::FIRST_A,
+                    6 => pinned::TRUNCATED.min(starts[2] + 250), // about.com lands 2013
+                    28 => pinned::A28,
+                    61 => pinned::A61,
+                    g => a_group_rev(g, &starts, &mut rng),
+                }
+            } else if year == 2011 && i == 0 {
+                0 // header opens the repository
+            } else {
+                pick_rev(year, &mut rng, true)
+            };
+
+            for idx in chunk {
+                ops[rev as usize].push(Op::AddFinal(idx));
+            }
+
+            // Commit message conventions.
+            let msg = &mut messages[rev as usize];
+            if msg.is_none() {
+                *msg = Some(if rev == pinned::ADDED_NEW {
+                    "Added new whitelists.".to_string()
+                } else if a_group.is_some() {
+                    "Updated whitelists.".to_string()
+                } else if is_google {
+                    "Added Google search ads (https://adblockplus.org/forum/viewtopic.php?f=12&t=8888)"
+                        .to_string()
+                } else {
+                    section_message(&whitelist.entries[i].text, rev)
+                });
+            }
+            i = j;
+        }
+    }
+
+    // --- transients ---------------------------------------------------------
+    for (ti, t) in whitelist.transients.iter().enumerate() {
+        let add_rev = if t.text.contains("suche.golem.de") || t.text == "www.google.com#@##adBlock"
+        {
+            pinned::GOLEM
+        } else if t.a_group.is_some() {
+            // Removed A-group sections: added after Rev 287, removed
+            // before 2013 ends.
+            pinned::FIRST_A + 1 + (ti as u32 % 40)
+        } else {
+            pick_rev(t.add_year, &mut rng, true)
+        };
+        let remove_rev = if t.text.contains("sitekey") && t.remove_year == 2014 {
+            pinned::ROOK_REMOVAL
+        } else if t.remove_year == t.add_year {
+            // Same-year churn is short-lived (an obsolete exception is
+            // typically retired within a few updates), which keeps the
+            // Fig 3 curve from bulging above its year-end level.
+            let yi = (t.remove_year - 2011) as usize;
+            let last = starts[yi] + REVISIONS_PER_YEAR[yi] - 1;
+            (add_rev + 1 + rng.below(14) as u32).min(last)
+        } else {
+            let candidate = pick_rev(t.remove_year, &mut rng, false);
+            candidate.max(add_rev + 1).min(TOTAL_REVISIONS - 1)
+        };
+        debug_assert!(
+            add_rev < remove_rev,
+            "transient {ti} add {add_rev} >= remove {remove_rev}"
+        );
+        ops[add_rev as usize].push(Op::AddTransient(ti));
+        ops[remove_rev as usize].push(Op::RemoveTransient(ti));
+        if t.a_group.is_some() {
+            messages[add_rev as usize].get_or_insert_with(|| "Updated whitelists.".to_string());
+        }
+    }
+
+    // Rev 304's documented one-off message (§7, footnote 20).
+    messages[pinned::ADDED_NEW as usize] = Some("Added new whitelists.".to_string());
+
+    // ---- replay into snapshots --------------------------------------------
+    let mut store = RevStore::new();
+    let mut final_active = vec![false; whitelist.entries.len()];
+    let mut transient_active = vec![false; whitelist.transients.len()];
+
+    for rev in 0..TOTAL_REVISIONS {
+        let mut removed_any = false;
+        for op in &ops[rev as usize] {
+            match op {
+                Op::AddFinal(i) => final_active[*i] = true,
+                Op::AddTransient(i) => transient_active[*i] = true,
+                Op::RemoveTransient(i) => {
+                    transient_active[*i] = false;
+                    removed_any = true;
+                }
+            }
+        }
+        let mut content = String::with_capacity(64 * 1024);
+        for (i, e) in whitelist.entries.iter().enumerate() {
+            if final_active[i] {
+                content.push_str(&e.text);
+                content.push('\n');
+            }
+        }
+        for (i, t) in whitelist.transients.iter().enumerate() {
+            if transient_active[i] {
+                content.push_str(&t.text);
+                content.push('\n');
+            }
+        }
+        let message = messages[rev as usize].clone().unwrap_or_else(|| {
+            if rev == pinned::ROOK_REMOVAL {
+                "Removed RookMedia sitekey (https://adblockplus.org/forum/viewtopic.php?f=12&t=9011)".to_string()
+            } else if removed_any {
+                format!("Removed obsolete filters (https://adblockplus.org/forum/viewtopic.php?f=12&t={})", 5000 + rev)
+            } else {
+                format!("Updated exception rules (https://adblockplus.org/forum/viewtopic.php?f=12&t={})", 4000 + rev)
+            }
+        });
+        store.commit(rev_timestamp(rev), message, content);
+    }
+    store
+}
+
+/// Deterministic home revision for A-group `g`: A1–A30 in 2013 (after
+/// Rev 287), A31–A55 in 2014, A56–A61 in 2015 (up to Rev 955).
+fn a_group_rev(g: u16, starts: &[u32; 5], rng: &mut SplitMix64) -> u32 {
+    match g {
+        1 | 2 => pinned::FIRST_A,
+        // A59, the unrestricted AdSense group, landed in Rev 789 (§7).
+        59 => 789,
+        3..=30 => {
+            let lo = pinned::FIRST_A + 1;
+            let hi = starts[3] - 1;
+            lo + (rng.below((hi - lo) as u64)) as u32
+        }
+        31..=55 => {
+            let lo = starts[3];
+            let hi = starts[4] - 1;
+            lo + (rng.below((hi - lo) as u64)) as u32
+        }
+        _ => {
+            let lo = starts[4];
+            let hi = pinned::A61;
+            lo + (rng.below((hi - lo) as u64)) as u32
+        }
+    }
+}
+
+fn section_message(first_line: &str, rev: u32) -> String {
+    // Publisher sections open with "! {e2ld} — {forum url}".
+    let name = first_line
+        .trim_start_matches('!')
+        .trim()
+        .split_whitespace()
+        .next()
+        .unwrap_or("filters")
+        .to_string();
+    format!(
+        "Added {name} (https://adblockplus.org/forum/viewtopic.php?f=12&t={})",
+        2000 + rev
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::whitelist::generate_whitelist;
+    use revstore::date::ymd_from_unix;
+    use std::sync::OnceLock;
+
+    fn history() -> &'static (FinalWhitelist, RevStore) {
+        static CACHE: OnceLock<(FinalWhitelist, RevStore)> = OnceLock::new();
+        CACHE.get_or_init(|| {
+            let dir = websim::directory::build_directory(2015);
+            let wl = generate_whitelist(2015, &dir);
+            let store = build_history(2015, &wl);
+            (wl, store)
+        })
+    }
+
+    #[test]
+    fn revision_count_and_head_date() {
+        let (_, store) = history();
+        assert_eq!(store.len(), 989);
+        let head = store.head().unwrap();
+        assert_eq!(head.id, 988);
+        assert_eq!(ymd_from_unix(head.timestamp), Ymd::new(2015, 4, 28));
+    }
+
+    #[test]
+    fn timestamps_monotonic_and_years_match() {
+        let (_, store) = history();
+        let mut prev = i64::MIN;
+        for rev in store.iter() {
+            assert!(rev.timestamp >= prev, "rev {} goes back in time", rev.id);
+            prev = rev.timestamp;
+            let year = ymd_from_unix(rev.timestamp).year as u16;
+            assert_eq!(year, year_of_rev(rev.id), "rev {}", rev.id);
+        }
+    }
+
+    #[test]
+    fn google_revision_pinned() {
+        let (_, store) = history();
+        let rev = store.rev(pinned::GOOGLE).unwrap();
+        assert_eq!(ymd_from_unix(rev.timestamp), Ymd::new(2013, 6, 21));
+        // The Google spike: Rev 200 adds ≥1,262 lines over Rev 199.
+        let parent = store.rev(199).unwrap();
+        let diff = revstore::diff::diff_lines(&parent.content, &rev.content);
+        assert!(
+            diff.added.len() >= 1_262,
+            "google revision adds {} lines",
+            diff.added.len()
+        );
+    }
+
+    #[test]
+    fn head_snapshot_equals_final_whitelist() {
+        let (wl, store) = history();
+        assert_eq!(store.head().unwrap().content, wl.to_text());
+    }
+
+    #[test]
+    fn rook_removed_at_656() {
+        let (_, store) = history();
+        let before = store.rev(pinned::ROOK_REMOVAL - 1).unwrap();
+        let after = store.rev(pinned::ROOK_REMOVAL).unwrap();
+        let rook_key = websim::parked::service_keypair("RookMedia")
+            .public
+            .to_base64();
+        assert!(before.content.contains(&rook_key));
+        assert!(!after.content.contains(&rook_key));
+    }
+
+    #[test]
+    fn a_group_commits_use_boilerplate() {
+        let (_, store) = history();
+        let rev287 = store.rev(pinned::FIRST_A).unwrap();
+        assert_eq!(rev287.message, "Updated whitelists.");
+        let rev304 = store.rev(pinned::ADDED_NEW).unwrap();
+        // 304 may or may not carry an A-group, but when it has a message
+        // it is the paper's variant.
+        assert!(
+            rev304.message == "Added new whitelists." || rev304.message.contains("forum"),
+            "{}",
+            rev304.message
+        );
+    }
+
+    #[test]
+    fn first_revision_is_small_and_2011_ends_with_eight_filters() {
+        let (_, store) = history();
+        let rev0 = store.rev(0).unwrap();
+        assert!(rev0.content.lines().count() < 20);
+
+        // End of 2011 = rev 25.
+        let rev25 = store.rev(25).unwrap();
+        let filters = abp::FilterList::parse(abp::ListSource::AcceptableAds, &rev25.content);
+        // 25 adds − 17 removes = 8 live filters at year end.
+        assert_eq!(filters.filter_count(), 8);
+    }
+
+    #[test]
+    fn cadence_matches_paper_headline() {
+        // "updated every 1.5 days, adding or modifying 11.4 filters".
+        let (_, store) = history();
+        let c = revstore::timeline::cadence(store).unwrap();
+        assert!(
+            (1.1..=1.7).contains(&c.mean_interval_days),
+            "interval {}",
+            c.mean_interval_days
+        );
+        // Mean churn is line-multiset-based; the set-based Table 1 number
+        // is computed in the analysis crate. Sanity band only.
+        assert!(
+            (8.0..=16.0).contains(&c.mean_churn_per_revision),
+            "churn {}",
+            c.mean_churn_per_revision
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! # corpus — the calibrated filter-list and history generator
+//!
+//! The paper's raw inputs are the Acceptable Ads whitelist (all 989
+//! Mercurial revisions of `exceptionrules.txt`) and the EasyList
+//! blacklist. Neither is reachable offline, so this crate *generates*
+//! both, calibrated so that every headline statistic the paper reports
+//! is reproduced by the analysis code in `acceptable-ads` — measured
+//! from the artifact, never echoed (DESIGN.md §2):
+//!
+//! * **Rev 988** carries 5,936 distinct filters: 5,755 restricted,
+//!   155 unrestricted request exceptions, the single unrestricted
+//!   element exception `#@##influads_block`, and 25 sitekey filters
+//!   over the four active parking services (plus 35 duplicate lines
+//!   and 8 filters truncated at 4,095 characters — §8's hygiene
+//!   findings);
+//! * the restricted filters name exactly the publishers of
+//!   [`websim::directory`] (Table 2's 3,544 FQDNs / 1,990 e2LDs);
+//! * the **history** replays Table 1 year by year — 26/47/311/386/219
+//!   revisions adding 25/225/5,152/2,179/1,227 and removing
+//!   17/30/1,555/775/495 filters — including the Rev 200 Google spike
+//!   of 1,262 filters on 2013-06-21, the §7 A-groups committed as
+//!   "Updated whitelists.", and the Rev 656 RookMedia sitekey removal;
+//! * **EasyList** covers the blocked hosts of [`websim::ecosystem`]
+//!   plus realistic bulk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod easylist;
+pub mod easyprivacy;
+pub mod history;
+pub mod whitelist;
+
+pub use easylist::generate_easylist;
+pub use easyprivacy::generate_easyprivacy;
+pub use history::{build_history, HistoryTargets};
+pub use whitelist::{generate_whitelist, EntryKind, FinalWhitelist, WhitelistEntry};
+
+use abp::{FilterList, ListSource};
+
+/// Everything the experiments need, generated once per seed.
+pub struct Corpus {
+    /// The head (Rev 988) Acceptable Ads whitelist.
+    pub whitelist: FilterList,
+    /// The EasyList-style blacklist.
+    pub easylist: FilterList,
+    /// The publisher directory the whitelist was generated against.
+    pub directory: websim::directory::PublisherDirectory,
+    /// The structured form of the whitelist (with per-entry metadata).
+    pub final_whitelist: FinalWhitelist,
+}
+
+impl Corpus {
+    /// Generate the corpus for a seed. The same seed drives
+    /// [`websim::Web::build`], keeping lists and pages consistent.
+    pub fn generate(seed: u64) -> Corpus {
+        let directory = websim::directory::build_directory(seed);
+        let final_whitelist = generate_whitelist(seed, &directory);
+        let whitelist = FilterList::parse(ListSource::AcceptableAds, &final_whitelist.to_text());
+        let easylist = FilterList::parse(ListSource::EasyList, &generate_easylist(seed));
+        Corpus {
+            whitelist,
+            easylist,
+            directory,
+            final_whitelist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_round_trip() {
+        let c = Corpus::generate(2015);
+        assert!(c.whitelist.filter_count() > 5_000);
+        assert!(c.easylist.filter_count() > 10_000);
+    }
+
+    #[test]
+    fn calibration_invariants_hold_for_any_seed() {
+        // The paper-calibrated counts are invariants of the generator,
+        // not accidents of the default seed.
+        for seed in [1u64, 0xDEADBEEF] {
+            let c = Corpus::generate(seed);
+            assert_eq!(
+                c.final_whitelist.distinct_filters(),
+                whitelist::targets::TOTAL_FILTERS,
+                "seed {seed}"
+            );
+            assert_eq!(
+                c.directory.fqdn_count(),
+                websim::directory::targets::TOTAL_FQDNS,
+                "seed {seed}"
+            );
+            assert_eq!(
+                c.directory.ranked_within(100),
+                websim::directory::targets::TOP_100,
+                "seed {seed}"
+            );
+            let transient_filters = c
+                .final_whitelist
+                .transients
+                .iter()
+                .filter(|t| !t.text.starts_with('!'))
+                .count();
+            assert_eq!(transient_filters, 2_872, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_in_content_not_shape() {
+        let a = Corpus::generate(1);
+        let b = Corpus::generate(2);
+        assert_ne!(a.final_whitelist.to_text(), b.final_whitelist.to_text());
+        assert_eq!(
+            a.final_whitelist.distinct_filters(),
+            b.final_whitelist.distinct_filters()
+        );
+    }
+}

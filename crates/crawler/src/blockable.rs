@@ -1,0 +1,207 @@
+//! The "Blockable Items" view — §8's transparency recommendation.
+//!
+//! The paper praises the Firefox Adblock Plus "Blockable Items" toolbar
+//! ("displays a list of page objects along with any triggered filters
+//! and the list from where the filter originates") and recommends every
+//! version gain it, so users can see what was blocked, what was allowed,
+//! and *why*. This module derives exactly that view from a visit's
+//! activation record.
+
+use crate::visit::ConfigRecord;
+use abp::{Activation, MatchKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The final state of one page object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ItemStatus {
+    /// Request blocked by a blocking filter.
+    Blocked,
+    /// Request matched blocking filter(s) but an exception allowed it.
+    AllowedByException,
+    /// Request matched only exception filter(s) — a *needless*
+    /// activation in the paper's §5 sense.
+    AllowedNeedlessly,
+    /// Element hidden by a cosmetic filter.
+    Hidden,
+    /// Element kept visible by an element exception.
+    ElementExcepted,
+    /// Page-level allowlisting (`$document`/sitekey) applied.
+    PageAllowlisted,
+}
+
+/// One row of the Blockable Items view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockableItem {
+    /// The page object: a request URL or an element selector.
+    pub subject: String,
+    /// Final state.
+    pub status: ItemStatus,
+    /// Every triggered filter with its originating list
+    /// (`(filter text, list name)`), in evaluation order.
+    pub filters: Vec<(String, String)>,
+}
+
+/// Build the Blockable Items view for one evaluated visit.
+pub fn blockable_items(record: &ConfigRecord) -> Vec<BlockableItem> {
+    // Group activations by subject, preserving first-seen order.
+    let mut order: Vec<&str> = Vec::new();
+    let mut by_subject: BTreeMap<&str, Vec<&Activation>> = BTreeMap::new();
+    for a in &record.activations {
+        let entry = by_subject.entry(a.subject.as_str()).or_default();
+        if entry.is_empty() {
+            order.push(a.subject.as_str());
+        }
+        entry.push(a);
+    }
+
+    order
+        .into_iter()
+        .map(|subject| {
+            let activations = &by_subject[subject];
+            let kinds: Vec<MatchKind> = activations.iter().map(|a| a.kind).collect();
+            let status = if kinds
+                .iter()
+                .any(|k| matches!(k, MatchKind::DocumentAllow | MatchKind::SitekeyAllow))
+            {
+                ItemStatus::PageAllowlisted
+            } else if kinds.contains(&MatchKind::HideElement) {
+                ItemStatus::Hidden
+            } else if kinds.contains(&MatchKind::AllowElement) {
+                ItemStatus::ElementExcepted
+            } else if kinds.contains(&MatchKind::BlockRequest) {
+                if kinds.iter().any(|k| k.is_exception()) {
+                    ItemStatus::AllowedByException
+                } else {
+                    ItemStatus::Blocked
+                }
+            } else {
+                ItemStatus::AllowedNeedlessly
+            };
+            BlockableItem {
+                subject: subject.to_string(),
+                status,
+                filters: activations
+                    .iter()
+                    .map(|a| (a.filter.clone(), a.source.name().to_string()))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Needless whitelist activations in a record: exceptions on subjects no
+/// blocking filter matched (§5: "whitelist filters activate needlessly").
+pub fn needless_whitelist_filters(record: &ConfigRecord) -> Vec<&Activation> {
+    let items = blockable_items(record);
+    let needless_subjects: Vec<String> = items
+        .into_iter()
+        .filter(|i| i.status == ItemStatus::AllowedNeedlessly)
+        .map(|i| i.subject)
+        .collect();
+    record
+        .activations
+        .iter()
+        .filter(|a| a.kind.is_exception() && needless_subjects.contains(&a.subject))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visit::{visit_site, EngineConfig};
+    use abp::{Engine, FilterList, ListSource};
+    use websim::{Scale, Web, WebConfig};
+
+    fn record() -> ConfigRecord {
+        let web = Web::build(WebConfig {
+            seed: 2015,
+            scale: Scale::Smoke,
+        });
+        let el = FilterList::parse(
+            ListSource::EasyList,
+            "||doubleclick.net^\n##.banner-ad\nreddit.com###siteTable_organic\n",
+        );
+        let wl = FilterList::parse(
+            ListSource::AcceptableAds,
+            "@@||stats.g.doubleclick.net^$script,image\n@@||gstatic.com^$third-party\nreddit.com#@##siteTable_organic\n",
+        );
+        let engine = Engine::from_lists([&el, &wl]);
+        let visit = visit_site(&web, 31, &[EngineConfig::simple("both", &engine)]);
+        visit.records.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn statuses_cover_the_reddit_page() {
+        let rec = record();
+        let items = blockable_items(&rec);
+        assert!(!items.is_empty());
+        // The excepted sponsored-link element.
+        let organic = items
+            .iter()
+            .find(|i| i.subject == "#siteTable_organic")
+            .expect("sponsored element present");
+        assert_eq!(organic.status, ItemStatus::ElementExcepted);
+        assert!(organic.filters.iter().any(|(_, l)| l.contains("whitelist")));
+    }
+
+    #[test]
+    fn needless_vs_covered_exceptions() {
+        let web = Web::build(WebConfig {
+            seed: 2015,
+            scale: Scale::Smoke,
+        });
+        let el = FilterList::parse(ListSource::EasyList, "||doubleclick.net^\n");
+        let wl = FilterList::parse(
+            ListSource::AcceptableAds,
+            "@@||stats.g.doubleclick.net^$script,image\n@@||gstatic.com^$third-party\n",
+        );
+        let engine = Engine::from_lists([&el, &wl]);
+        // Find a top site loading both doubleclick and gstatic.
+        for rank in 1..400 {
+            let visit = visit_site(&web, rank, &[EngineConfig::simple("both", &engine)]);
+            let rec = &visit.records[0];
+            let has_dc = rec
+                .activations
+                .iter()
+                .any(|a| a.subject.contains("doubleclick"));
+            let has_gs = rec
+                .activations
+                .iter()
+                .any(|a| a.subject.contains("gstatic"));
+            if has_dc && has_gs {
+                let needless = needless_whitelist_filters(rec);
+                // gstatic: nothing blocks it → needless.
+                assert!(needless.iter().all(|a| a.filter.contains("gstatic")));
+                assert!(!needless.is_empty());
+                // doubleclick: covered by a block → not needless.
+                assert!(!needless.iter().any(|a| a.filter.contains("doubleclick")));
+                return;
+            }
+        }
+        panic!("no site with both services found");
+    }
+
+    #[test]
+    fn blocked_items_reported_with_their_filters() {
+        let rec = record();
+        let items = blockable_items(&rec);
+        let blocked: Vec<&BlockableItem> = items
+            .iter()
+            .filter(|i| i.status == ItemStatus::Blocked)
+            .collect();
+        for item in blocked {
+            assert!(
+                item.filters.iter().all(|(_, l)| l == "EasyList"),
+                "blocked items triggered only blocking filters: {item:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_record_empty_view() {
+        let rec = ConfigRecord::default();
+        assert!(blockable_items(&rec).is_empty());
+        assert!(needless_whitelist_filters(&rec).is_empty());
+    }
+}

@@ -1,0 +1,288 @@
+//! The headless browser: fetching, cookies, redirects, and sitekey
+//! verification.
+
+use cssdom::{parse_html, Document};
+use sitekey::protocol::{verify_token, SitekeyToken, ADBLOCK_KEY_HEADER};
+use std::collections::BTreeMap;
+use websim::{HttpRequest, HttpResponse, Web};
+
+/// Maximum redirects followed per fetch.
+const MAX_REDIRECTS: usize = 5;
+
+/// The result of fetching a document.
+#[derive(Debug, Clone)]
+pub struct FetchedPage {
+    /// Final URL after redirects.
+    pub final_url: String,
+    /// HTTP status of the final response.
+    pub status: u16,
+    /// Parsed DOM of the body.
+    pub dom: Document,
+    /// Raw response (headers etc.).
+    pub response: HttpResponse,
+    /// The base64 public key of a *cryptographically verified* sitekey
+    /// the page presented, if any.
+    pub verified_sitekey: Option<String>,
+}
+
+/// A stateful headless browser bound to a simulated Web.
+pub struct Browser<'w> {
+    web: &'w Web,
+    /// User-agent presented to servers.
+    pub user_agent: String,
+    /// Per-host cookie jars.
+    jars: BTreeMap<String, Vec<(String, String)>>,
+    /// Whether sites can detect that this browser runs an ad blocker
+    /// (we *are* an instrumented Adblock Plus).
+    pub adblock_detectable: bool,
+}
+
+impl<'w> Browser<'w> {
+    /// A fresh browser with an empty cookie jar.
+    pub fn new(web: &'w Web) -> Self {
+        Browser {
+            web,
+            user_agent: "Mozilla/5.0 (X11; Linux x86_64) ReproBrowser/1.0".to_string(),
+            jars: BTreeMap::new(),
+            adblock_detectable: true,
+        }
+    }
+
+    /// Use a scraping-tool user agent (for countermeasure experiments).
+    pub fn with_curl_ua(mut self) -> Self {
+        self.user_agent = "curl/7.38.0".to_string();
+        self
+    }
+
+    /// Cookies currently stored for a host.
+    pub fn cookies_for(&self, host: &str) -> Vec<(String, String)> {
+        let mut cookies = self.jars.get(host).cloned().unwrap_or_default();
+        if self.adblock_detectable {
+            cookies.push(("abp_detectable".to_string(), "1".to_string()));
+        }
+        cookies
+    }
+
+    /// Clear all cookies.
+    pub fn clear_cookies(&mut self) {
+        self.jars.clear();
+    }
+
+    fn store_cookies(&mut self, host: &str, set: &[(String, String)]) {
+        let jar = self.jars.entry(host.to_string()).or_default();
+        for (name, value) in set {
+            if let Some(existing) = jar.iter_mut().find(|(n, _)| n == name) {
+                existing.1 = value.clone();
+            } else {
+                jar.push((name.clone(), value.clone()));
+            }
+        }
+    }
+
+    /// Fetch a document URL, following redirects and verifying any
+    /// sitekey token the final response presents.
+    pub fn fetch_document(&mut self, url: &str) -> FetchedPage {
+        let mut current = url.to_string();
+        let mut response = HttpResponse::not_found();
+        for _ in 0..=MAX_REDIRECTS {
+            let parsed = match urlkit::Url::parse(&current) {
+                Ok(u) => u,
+                Err(_) => break,
+            };
+            let host = parsed.host().to_string();
+            let req = HttpRequest {
+                url: current.clone(),
+                user_agent: self.user_agent.clone(),
+                cookies: self.cookies_for(&host),
+            };
+            response = self.web.get(&req);
+            self.store_cookies(&host, &response.set_cookies);
+            match (&response.location, response.status) {
+                (Some(loc), 301..=399) => {
+                    current = loc.clone();
+                }
+                _ => break,
+            }
+        }
+
+        let dom = parse_html(&response.body);
+        let verified_sitekey = self.verify_sitekey(&current, &response, &dom);
+        FetchedPage {
+            final_url: current,
+            status: response.status,
+            dom,
+            response,
+            verified_sitekey,
+        }
+    }
+
+    /// Verify a sitekey token from the `X-Adblock-Key` header or the
+    /// root element's `data-adblockkey` attribute. Returns the base64
+    /// public key only when the signature checks out against
+    /// `URI\0host\0user-agent` — forged or replayed tokens fail.
+    fn verify_sitekey(&self, url: &str, response: &HttpResponse, dom: &Document) -> Option<String> {
+        let parsed = urlkit::Url::parse(url).ok()?;
+        let host = parsed.host().to_string();
+        let uri = if parsed.path().is_empty() {
+            "/"
+        } else {
+            parsed.path()
+        };
+
+        let wire = response
+            .header(ADBLOCK_KEY_HEADER)
+            .map(str::to_string)
+            .or_else(|| {
+                dom.elements()
+                    .find_map(|(_, n)| n.attr("data-adblockkey").map(str::to_string))
+            })?;
+        let token = SitekeyToken::from_wire(&wire)?;
+        verify_token(&token, uri, &host, &self.user_agent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websim::{Scale, WebConfig};
+
+    fn web() -> Web {
+        Web::build(WebConfig {
+            seed: 2015,
+            scale: Scale::Smoke,
+        })
+    }
+
+    #[test]
+    fn fetches_and_parses_landing_page() {
+        let w = web();
+        let mut b = Browser::new(&w);
+        let page = b.fetch_document("http://reddit.com/");
+        assert_eq!(page.status, 200);
+        assert!(page.dom.element_by_id("ad_main").is_some());
+        assert!(page.verified_sitekey.is_none());
+    }
+
+    #[test]
+    fn verifies_parked_sitekey() {
+        let w = web();
+        let mut b = Browser::new(&w);
+        let page = b.fetch_document("http://sedopark0.com/");
+        assert_eq!(page.status, 200);
+        let key = page.verified_sitekey.expect("sitekey must verify");
+        assert_eq!(key, w.service_key("Sedo").unwrap().public.to_base64());
+    }
+
+    #[test]
+    fn follows_uniregistry_redirect_and_gets_key() {
+        let w = web();
+        let mut b = Browser::new(&w);
+        let page = b.fetch_document("http://uniregistrypark0.com/");
+        assert_eq!(page.status, 200, "redirect should resolve");
+        assert!(page.final_url.ends_with("/lander"));
+        assert!(page.verified_sitekey.is_some());
+    }
+
+    #[test]
+    fn curl_ua_blocked_by_parkingcrew() {
+        let w = web();
+        let mut b = Browser::new(&w).with_curl_ua();
+        let page = b.fetch_document("http://parkingcrewpark0.com/");
+        assert_eq!(page.status, 403);
+        assert!(page.verified_sitekey.is_none());
+    }
+
+    #[test]
+    fn cookies_persist_across_visits() {
+        let w = web();
+        let mut b = Browser::new(&w);
+        let first = b.fetch_document("http://ask.com/");
+        let second = b.fetch_document("http://ask.com/");
+        // The cookie-less first visit has the quirk's extra ad loads.
+        assert!(first.response.body.len() > second.response.body.len());
+        b.clear_cookies();
+        let third = b.fetch_document("http://ask.com/");
+        assert_eq!(first.response.body.len(), third.response.body.len());
+    }
+
+    #[test]
+    fn sitekey_fails_for_wrong_ua_context() {
+        // Fetch with one UA, verify the token was bound to it: a browser
+        // with a different UA fetching the same page gets a *different*
+        // (still valid) token — but a token replayed across UAs fails.
+        let w = web();
+        let mut b1 = Browser::new(&w);
+        let page1 = b1.fetch_document("http://sedopark1.com/");
+        let wire = page1.response.header(ADBLOCK_KEY_HEADER).unwrap();
+        let token = SitekeyToken::from_wire(wire).unwrap();
+        assert!(
+            sitekey::protocol::verify_token(&token, "/", "sedopark1.com", "OtherAgent/2.0")
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn redirect_loop_terminates() {
+        let w = web();
+        let mut b = Browser::new(&w);
+        let page = b.fetch_document("http://redirect-loop.chaos.example/");
+        // The fetch gives up after MAX_REDIRECTS; the final response is
+        // still the redirect, which the caller sees as a non-200.
+        assert_eq!(page.status, 302);
+        assert!(page.verified_sitekey.is_none());
+    }
+
+    #[test]
+    fn redirect_chain_bounded() {
+        let w = web();
+        let mut b = Browser::new(&w);
+        let page = b.fetch_document("http://redirect-chain.chaos.example/");
+        assert_eq!(page.status, 302);
+        // The chain advanced at most MAX_REDIRECTS hops.
+        let depth: u32 = page
+            .final_url
+            .split("d=")
+            .nth(1)
+            .and_then(|d| d.parse().ok())
+            .unwrap_or(0);
+        // MAX_REDIRECTS + 1 fetches → the depth counter reaches at most 6.
+        assert!(depth <= 6, "chain followed too far: {depth}");
+    }
+
+    #[test]
+    fn server_error_and_garbage_html_handled() {
+        let w = web();
+        let mut b = Browser::new(&w);
+        let err = b.fetch_document("http://server-error.chaos.example/");
+        assert_eq!(err.status, 500);
+
+        let garbage = b.fetch_document("http://garbage-html.chaos.example/");
+        assert_eq!(garbage.status, 200);
+        // The DOM parser recovered something without panicking.
+        assert!(garbage.dom.len() >= 1);
+    }
+
+    #[test]
+    fn unverifiable_sitekey_rejected() {
+        let w = web();
+        let mut b = Browser::new(&w);
+        let page = b.fetch_document("http://bad-sitekey.chaos.example/");
+        assert_eq!(page.status, 200);
+        assert!(
+            page.verified_sitekey.is_none(),
+            "a token that fails RSA verification must not gate anything"
+        );
+    }
+
+    #[test]
+    fn unknown_host_404s() {
+        let w = web();
+        let mut b = Browser::new(&w);
+        let page = b.fetch_document("http://definitely-not-registered.example/");
+        // websim answers unknown hosts with empty 200 (ad hosts), but
+        // malformed URLs 404.
+        assert_eq!(page.status, 200);
+        let page = b.fetch_document("not a url");
+        assert_eq!(page.status, 404);
+    }
+}

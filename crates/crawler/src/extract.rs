@@ -1,0 +1,134 @@
+//! Deriving subresource requests from a parsed page.
+//!
+//! Mirrors how the browser (and thus Adblock Plus) sees loads: each
+//! `<script src>`, `<img src>`, `<iframe src>` and stylesheet `<link>`
+//! becomes a request with the corresponding resource type.
+
+use abp::ResourceType;
+use cssdom::Document;
+
+/// One derived subresource request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subresource {
+    /// Absolute URL (relative URLs are resolved against the page host).
+    pub url: String,
+    /// The resource type Adblock Plus would assign.
+    pub resource_type: ResourceType,
+}
+
+/// Extract all subresource requests from a document.
+pub fn extract_subresources(dom: &Document, page_url: &str) -> Vec<Subresource> {
+    let base_host = urlkit::Url::parse(page_url)
+        .map(|u| u.host().to_string())
+        .unwrap_or_default();
+    let mut out = Vec::new();
+    for (_, node) in dom.elements() {
+        let (attr, rtype) = match node.tag.as_str() {
+            "script" => ("src", ResourceType::Script),
+            "img" => ("src", ResourceType::Image),
+            "iframe" => ("src", ResourceType::Subdocument),
+            "link" => {
+                if node
+                    .attr("rel")
+                    .is_some_and(|r| r.eq_ignore_ascii_case("stylesheet"))
+                {
+                    ("href", ResourceType::Stylesheet)
+                } else {
+                    continue;
+                }
+            }
+            "object" | "embed" => ("src", ResourceType::Object),
+            _ => continue,
+        };
+        let Some(raw) = node.attr(attr) else {
+            continue;
+        };
+        if raw.is_empty() {
+            continue;
+        }
+        let url = absolutize(raw, &base_host);
+        out.push(Subresource {
+            url,
+            resource_type: rtype,
+        });
+    }
+    out
+}
+
+/// Resolve scheme-relative and path-relative URLs against the page host.
+fn absolutize(raw: &str, base_host: &str) -> String {
+    if raw.contains("://") {
+        raw.to_string()
+    } else if let Some(rest) = raw.strip_prefix("//") {
+        format!("http://{rest}")
+    } else if raw.starts_with('/') {
+        format!("http://{base_host}{raw}")
+    } else {
+        format!("http://{base_host}/{raw}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cssdom::parse_html;
+
+    #[test]
+    fn extracts_all_load_kinds() {
+        let dom = parse_html(
+            r#"
+<head><link rel="stylesheet" href="/s.css"><link rel="icon" href="/i.ico"></head>
+<body>
+<script src="http://ads.example/a.js"></script>
+<img src="//cdn.example/pix.gif">
+<iframe src="http://frames.example/f.html"></iframe>
+<object src="http://plugin.example/o.swf"></object>
+<script>inline — no src</script>
+</body>"#,
+        );
+        let subs = extract_subresources(&dom, "http://site.example/");
+        let urls: Vec<&str> = subs.iter().map(|s| s.url.as_str()).collect();
+        assert!(urls.contains(&"http://site.example/s.css"));
+        assert!(
+            !urls.iter().any(|u| u.ends_with("i.ico")),
+            "icon link skipped"
+        );
+        assert!(urls.contains(&"http://ads.example/a.js"));
+        assert!(urls.contains(&"http://cdn.example/pix.gif"));
+        assert!(urls.contains(&"http://frames.example/f.html"));
+        assert!(urls.contains(&"http://plugin.example/o.swf"));
+        assert_eq!(subs.len(), 5);
+
+        let types: Vec<ResourceType> = subs.iter().map(|s| s.resource_type).collect();
+        assert!(types.contains(&ResourceType::Script));
+        assert!(types.contains(&ResourceType::Image));
+        assert!(types.contains(&ResourceType::Subdocument));
+        assert!(types.contains(&ResourceType::Stylesheet));
+        assert!(types.contains(&ResourceType::Object));
+    }
+
+    #[test]
+    fn relative_paths_resolve() {
+        let dom = parse_html(r#"<img src="images/a.png">"#);
+        let subs = extract_subresources(&dom, "http://host.example/page");
+        assert_eq!(subs[0].url, "http://host.example/images/a.png");
+    }
+
+    #[test]
+    fn empty_src_skipped() {
+        let dom = parse_html(r#"<img src=""><script src></script>"#);
+        assert!(extract_subresources(&dom, "http://h.example/").is_empty());
+    }
+
+    #[test]
+    fn figure1_iframe_resource_type() {
+        // The Reddit/Adzerk iframe is fetched as a subdocument — which is
+        // why the whitelist exception carries `$subdocument`.
+        let dom = parse_html(
+            r#"<iframe id="ad_main" src="http://static.adzerk.net/reddit/ads.html"></iframe>"#,
+        );
+        let subs = extract_subresources(&dom, "http://www.reddit.com/");
+        assert_eq!(subs[0].resource_type, ResourceType::Subdocument);
+        assert!(subs[0].url.starts_with("http://static.adzerk.net/"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # crawler — the instrumented measurement browser
+//!
+//! §5 of the paper: "We instrumented Adblock Plus to record filter
+//! activations and used Selenium to visit each domain. We surveyed only
+//! the landing page of each site." This crate is that instrumented
+//! browser, pointed at the simulated Web:
+//!
+//! * [`browser::Browser`] — fetches URLs with cookies, redirects, and a
+//!   browser user-agent; verifies sitekey tokens (header or
+//!   `data-adblockkey` attribute) cryptographically via the `sitekey`
+//!   crate;
+//! * [`extract`] — derives the subresource requests a page triggers
+//!   from its parsed DOM (script/img/iframe/link), with the resource
+//!   types Adblock Plus would assign;
+//! * [`visit`] — one instrumented landing-page visit, evaluated under
+//!   any number of engine configurations at once (the paper compares
+//!   "whitelist + EasyList" against "EasyList only" — Fig 6's two
+//!   panels);
+//! * [`parallel`] — a crossbeam-based crawl pool for the 10,000-site
+//!   surveys;
+//! * [`probe`] — the [`zonedb::SitekeyProbe`] implementation used by the
+//!   Table 3 parked-domain scan, handling each parking service's
+//!   countermeasures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blockable;
+pub mod browser;
+pub mod extract;
+pub mod parallel;
+pub mod probe;
+pub mod selcache;
+pub mod visit;
+
+pub use blockable::{blockable_items, BlockableItem, ItemStatus};
+pub use browser::Browser;
+pub use parallel::{crawl_ranks, NamedEngine};
+pub use probe::BrowserProbe;
+pub use selcache::{PageVocab, SelectorCache};
+pub use visit::{visit_site, EngineConfig, SiteVisit};

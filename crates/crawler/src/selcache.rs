@@ -1,0 +1,189 @@
+//! Pre-parsed selector cache + page vocabulary pre-filtering.
+//!
+//! An EasyList-scale engine carries thousands of element-hiding rules,
+//! almost none of which can match any given page. Parsing every
+//! selector per visit — let alone querying the DOM with each — would
+//! dominate crawl time. The cache parses each engine selector once and
+//! records what the selector's subject *requires* (an id, a class, or
+//! nothing determinable); each page exposes its id/class vocabulary,
+//! and only selectors whose requirement intersects the vocabulary are
+//! actually queried.
+
+use abp::Engine;
+use cssdom::selector::{parse_selector, Selector};
+use cssdom::Document;
+use std::collections::{HashMap, HashSet};
+
+/// What a selector alternative's subject requires of an element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubjectKey {
+    /// Subject requires this element id.
+    Id(String),
+    /// Subject requires this class.
+    Class(String),
+    /// No cheap requirement (tag-only, attribute-only, …): always query.
+    Other,
+}
+
+/// One cached selector: the parsed form plus per-alternative keys.
+#[derive(Debug, Clone)]
+pub struct CachedSelector {
+    /// Parsed selector.
+    pub selector: Selector,
+    /// One key per alternative; the selector can match only when at
+    /// least one key intersects the page vocabulary.
+    pub keys: Vec<SubjectKey>,
+}
+
+/// Selector cache for one engine.
+#[derive(Debug, Default, Clone)]
+pub struct SelectorCache {
+    map: HashMap<String, Option<CachedSelector>>,
+}
+
+impl SelectorCache {
+    /// Parse every element-rule selector of an engine once.
+    pub fn build(engine: &Engine) -> Self {
+        let mut map = HashMap::new();
+        for (_, selector_text) in engine.element_selectors() {
+            map.entry(selector_text.to_string())
+                .or_insert_with(|| compile(selector_text));
+        }
+        SelectorCache { map }
+    }
+
+    /// Look up a selector (compiling on miss, for ad-hoc engines).
+    pub fn get(&self, selector_text: &str) -> Option<&CachedSelector> {
+        self.map.get(selector_text).and_then(|c| c.as_ref())
+    }
+
+    /// Number of cached (valid) selectors.
+    pub fn len(&self) -> usize {
+        self.map.values().filter(|v| v.is_some()).count()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn compile(selector_text: &str) -> Option<CachedSelector> {
+    let selector = parse_selector(selector_text).ok()?;
+    let keys = selector
+        .alternatives
+        .iter()
+        .map(|alt| {
+            if let Some(id) = &alt.subject.id {
+                SubjectKey::Id(id.clone())
+            } else if let Some(class) = alt.subject.classes.first() {
+                SubjectKey::Class(class.clone())
+            } else {
+                SubjectKey::Other
+            }
+        })
+        .collect();
+    Some(CachedSelector { selector, keys })
+}
+
+/// The id/class vocabulary of one page.
+#[derive(Debug, Default)]
+pub struct PageVocab {
+    ids: HashSet<String>,
+    classes: HashSet<String>,
+}
+
+impl PageVocab {
+    /// Collect the vocabulary of a document.
+    pub fn of(dom: &Document) -> Self {
+        let mut v = PageVocab::default();
+        for (_, node) in dom.elements() {
+            if let Some(id) = node.id() {
+                v.ids.insert(id.to_string());
+            }
+            for class in node.classes() {
+                v.classes.insert(class.to_string());
+            }
+        }
+        v
+    }
+
+    /// Whether a cached selector could possibly match this page.
+    pub fn maybe_matches(&self, cached: &CachedSelector) -> bool {
+        cached.keys.iter().any(|k| match k {
+            SubjectKey::Id(id) => self.ids.contains(id),
+            SubjectKey::Class(c) => self.classes.contains(c),
+            SubjectKey::Other => true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp::{FilterList, ListSource};
+    use cssdom::parse_html;
+
+    fn engine() -> Engine {
+        let list = FilterList::parse(
+            ListSource::EasyList,
+            "###ad_main\n##.banner-ad\n##iframe[src*=\"ads\"]\n###never_present\n##bad[[selector\n",
+        );
+        Engine::from_lists([&list])
+    }
+
+    #[test]
+    fn cache_parses_valid_selectors_only() {
+        let e = engine();
+        let cache = SelectorCache::build(&e);
+        assert_eq!(cache.len(), 4);
+        assert!(cache.get("#ad_main").is_some());
+        assert!(cache.get("bad[[selector").is_none());
+    }
+
+    #[test]
+    fn subject_keys_extracted() {
+        let e = engine();
+        let cache = SelectorCache::build(&e);
+        assert_eq!(
+            cache.get("#ad_main").unwrap().keys,
+            vec![SubjectKey::Id("ad_main".into())]
+        );
+        assert_eq!(
+            cache.get(".banner-ad").unwrap().keys,
+            vec![SubjectKey::Class("banner-ad".into())]
+        );
+        assert_eq!(
+            cache.get("iframe[src*=\"ads\"]").unwrap().keys,
+            vec![SubjectKey::Other]
+        );
+    }
+
+    #[test]
+    fn vocab_prefilter() {
+        let dom = parse_html(r#"<div id="ad_main" class="banner-ad big">x</div>"#);
+        let vocab = PageVocab::of(&dom);
+        let e = engine();
+        let cache = SelectorCache::build(&e);
+        assert!(vocab.maybe_matches(cache.get("#ad_main").unwrap()));
+        assert!(vocab.maybe_matches(cache.get(".banner-ad").unwrap()));
+        assert!(!vocab.maybe_matches(cache.get("#never_present").unwrap()));
+        // `Other` keys always pass the prefilter.
+        assert!(vocab.maybe_matches(cache.get("iframe[src*=\"ads\"]").unwrap()));
+    }
+
+    #[test]
+    fn prefilter_never_causes_false_negatives() {
+        // Any selector that matches the DOM must pass the prefilter.
+        let dom =
+            parse_html(r#"<body><div id="a" class="x y"><span class="z">t</span></div></body>"#);
+        let vocab = PageVocab::of(&dom);
+        for sel_text in ["#a", ".x", ".y", "div .z", "span", "div > span.z"] {
+            let cached = compile(sel_text).unwrap();
+            let matches = !cssdom::query_all(&dom, &cached.selector).is_empty();
+            if matches {
+                assert!(vocab.maybe_matches(&cached), "{sel_text} filtered out");
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Arena-based document tree.
+//!
+//! Nodes live in a flat `Vec`; [`NodeId`] indexes into it. This keeps the
+//! tree cheap to build and trivially safe (no `Rc` cycles, no unsafe).
+
+use std::fmt;
+
+/// Index of a node within its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// One element node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Lowercased tag name (`div`, `iframe`, …).
+    pub tag: String,
+    /// Attributes in document order, names lowercased.
+    pub attrs: Vec<(String, String)>,
+    /// Concatenated direct text content.
+    pub text: String,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Child nodes in document order.
+    pub children: Vec<NodeId>,
+}
+
+impl Node {
+    /// The value of an attribute, if present (first occurrence wins).
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `id` attribute.
+    pub fn id(&self) -> Option<&str> {
+        self.attr("id")
+    }
+
+    /// The whitespace-separated class list.
+    pub fn classes(&self) -> impl Iterator<Item = &str> {
+        self.attr("class").unwrap_or("").split_ascii_whitespace()
+    }
+
+    /// Whether the class list contains `class`.
+    pub fn has_class(&self, class: &str) -> bool {
+        self.classes().any(|c| c == class)
+    }
+}
+
+/// A document: an arena of element nodes with a synthetic root.
+///
+/// The root node (id 0) is a synthetic `#document` element; real content
+/// hangs below it.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    /// An empty document containing only the synthetic root.
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![Node {
+                tag: "#document".to_string(),
+                attrs: Vec::new(),
+                text: String::new(),
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// The synthetic root node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutably borrow a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Total node count, including the synthetic root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the document has no content nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Append a new element under `parent` and return its id.
+    pub fn append_element(&mut self, parent: NodeId, tag: &str) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            tag: tag.to_ascii_lowercase(),
+            attrs: Vec::new(),
+            text: String::new(),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Set an attribute on a node (appends; first occurrence wins on read).
+    pub fn set_attr(&mut self, id: NodeId, name: &str, value: &str) {
+        self.nodes[id.0]
+            .attrs
+            .push((name.to_ascii_lowercase(), value.to_string()));
+    }
+
+    /// Append text content to a node.
+    pub fn append_text(&mut self, id: NodeId, text: &str) {
+        self.nodes[id.0].text.push_str(text);
+    }
+
+    /// Iterate over every node id in document (pre-)order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Iterate over content nodes (everything but the synthetic root).
+    pub fn elements(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Find the first element with the given `id` attribute.
+    pub fn element_by_id(&self, id_attr: &str) -> Option<NodeId> {
+        self.elements()
+            .find(|(_, n)| n.id() == Some(id_attr))
+            .map(|(i, _)| i)
+    }
+
+    /// Ancestor chain of a node, nearest first, excluding the root.
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[id.0].parent;
+        while let Some(p) = cur {
+            if p.0 == 0 {
+                break;
+            }
+            out.push(p);
+            cur = self.nodes[p.0].parent;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Document {
+    /// Serialize back to HTML-ish text (attribute values quoted, text
+    /// re-escaped minimally). Mostly useful for debugging and tests.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn write_node(doc: &Document, id: NodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let n = doc.node(id);
+            if n.tag != "#document" {
+                write!(f, "<{}", n.tag)?;
+                for (k, v) in &n.attrs {
+                    write!(f, " {k}=\"{v}\"")?;
+                }
+                write!(f, ">")?;
+                if !n.text.is_empty() {
+                    write!(f, "{}", n.text)?;
+                }
+            }
+            for c in &n.children {
+                write_node(doc, *c, f)?;
+            }
+            if n.tag != "#document" {
+                write!(f, "</{}>", n.tag)?;
+            }
+            Ok(())
+        }
+        write_node(self, self.root(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, NodeId) {
+        let mut d = Document::new();
+        let body = d.append_element(d.root(), "body");
+        let div = d.append_element(body, "DIV");
+        d.set_attr(div, "ID", "ad_main");
+        d.set_attr(div, "class", "sidebar promoted");
+        let span = d.append_element(div, "span");
+        d.append_text(span, "Advertisement");
+        (d, body, div, span)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (d, body, div, span) = sample();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.node(div).tag, "div"); // lowercased
+        assert_eq!(d.node(div).id(), Some("ad_main"));
+        assert!(d.node(div).has_class("sidebar"));
+        assert!(d.node(div).has_class("promoted"));
+        assert!(!d.node(div).has_class("side"));
+        assert_eq!(d.node(span).text, "Advertisement");
+        assert_eq!(d.node(span).parent, Some(div));
+        assert_eq!(d.node(body).children, vec![div]);
+    }
+
+    #[test]
+    fn element_by_id() {
+        let (d, _, div, _) = sample();
+        assert_eq!(d.element_by_id("ad_main"), Some(div));
+        assert_eq!(d.element_by_id("nope"), None);
+    }
+
+    #[test]
+    fn ancestors_exclude_root() {
+        let (d, body, div, span) = sample();
+        assert_eq!(d.ancestors(span), vec![div, body]);
+        assert_eq!(d.ancestors(body), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn attr_name_case_insensitive() {
+        let (d, _, div, _) = sample();
+        assert_eq!(d.node(div).attr("Id"), Some("ad_main"));
+    }
+
+    #[test]
+    fn display_serializes() {
+        let (d, ..) = sample();
+        let s = d.to_string();
+        assert!(s.contains("<div id=\"ad_main\""));
+        assert!(s.contains("Advertisement"));
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = Document::new();
+        assert!(d.is_empty());
+        assert_eq!(d.elements().count(), 0);
+    }
+}

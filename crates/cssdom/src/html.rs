@@ -1,0 +1,311 @@
+//! Lenient HTML parsing: tokenizer plus a stack-based tree builder.
+//!
+//! The goal is robustness over spec fidelity: anything the simulated web
+//! emits parses exactly; messier real-world constructs (unquoted
+//! attributes, mismatched close tags, comments, doctypes, script bodies
+//! containing `<`) parse without panicking and with sensible recovery.
+
+use crate::dom::{Document, NodeId};
+
+/// Elements that never have children ("void elements").
+const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
+];
+
+/// Elements whose raw text content is consumed until the matching close
+/// tag (no nested tags are recognized inside).
+const RAW_TEXT_ELEMENTS: &[&str] = &["script", "style"];
+
+/// Parse HTML text into a [`Document`]. Never fails; unparseable syntax
+/// is skipped or treated as text.
+pub fn parse_html(input: &str) -> Document {
+    let mut doc = Document::new();
+    let mut stack: Vec<NodeId> = vec![doc.root()];
+    let bytes = input.as_bytes();
+    let mut i = 0;
+
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            // Comment?
+            if input[i..].starts_with("<!--") {
+                match input[i + 4..].find("-->") {
+                    Some(end) => {
+                        i = i + 4 + end + 3;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            // Doctype or other declaration?
+            if input[i..].starts_with("<!") || input[i..].starts_with("<?") {
+                match input[i..].find('>') {
+                    Some(end) => {
+                        i += end + 1;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            // Close tag?
+            if input[i..].starts_with("</") {
+                let end = match input[i..].find('>') {
+                    Some(e) => i + e,
+                    None => break,
+                };
+                let name = input[i + 2..end].trim().to_ascii_lowercase();
+                close_tag(&mut stack, &doc, &name);
+                i = end + 1;
+                continue;
+            }
+            // Open tag.
+            if let Some((tag, attrs, self_closing, consumed)) = parse_open_tag(&input[i..]) {
+                i += consumed;
+                let parent = *stack.last().expect("stack never empty");
+                let node = doc.append_element(parent, &tag);
+                for (k, v) in attrs {
+                    doc.set_attr(node, &k, &v);
+                }
+                let tag_lower = tag.to_ascii_lowercase();
+                if RAW_TEXT_ELEMENTS.contains(&tag_lower.as_str()) && !self_closing {
+                    // Swallow raw text until the matching close tag.
+                    let close = format!("</{tag_lower}");
+                    let rest_lower = input[i..].to_ascii_lowercase();
+                    match rest_lower.find(&close) {
+                        Some(pos) => {
+                            doc.append_text(node, &input[i..i + pos]);
+                            let after = i + pos;
+                            let gt = input[after..].find('>').map(|g| after + g);
+                            i = gt.map(|g| g + 1).unwrap_or(input.len());
+                        }
+                        None => {
+                            doc.append_text(node, &input[i..]);
+                            i = input.len();
+                        }
+                    }
+                } else if !self_closing && !VOID_ELEMENTS.contains(&tag_lower.as_str()) {
+                    stack.push(node);
+                }
+                continue;
+            }
+            // A stray '<' that isn't a tag: treat as text.
+            let parent = *stack.last().expect("stack never empty");
+            doc.append_text(parent, "<");
+            i += 1;
+        } else {
+            let next_lt = input[i..].find('<').map(|p| i + p).unwrap_or(input.len());
+            let text = &input[i..next_lt];
+            if !text.trim().is_empty() {
+                let parent = *stack.last().expect("stack never empty");
+                doc.append_text(parent, text);
+            }
+            i = next_lt;
+        }
+    }
+    doc
+}
+
+/// Pop the stack to close `name`. If `name` is open somewhere on the
+/// stack, pop through it; otherwise ignore the stray close tag.
+fn close_tag(stack: &mut Vec<NodeId>, doc: &Document, name: &str) {
+    if let Some(pos) = stack.iter().rposition(|id| doc.node(*id).tag == name) {
+        if pos > 0 {
+            stack.truncate(pos);
+        }
+    }
+}
+
+/// Parse `<tag attr=... >` starting at `input[0] == '<'`.
+/// Returns `(tag, attrs, self_closing, bytes_consumed)`.
+#[allow(clippy::type_complexity)]
+fn parse_open_tag(input: &str) -> Option<(String, Vec<(String, String)>, bool, usize)> {
+    let bytes = input.as_bytes();
+    debug_assert_eq!(bytes[0], b'<');
+    let mut i = 1;
+    let start = i;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-') {
+        i += 1;
+    }
+    if i == start {
+        return None;
+    }
+    let tag = input[start..i].to_string();
+    let mut attrs = Vec::new();
+    let mut self_closing = false;
+
+    loop {
+        // Skip whitespace.
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Some((tag, attrs, self_closing, i));
+        }
+        match bytes[i] {
+            b'>' => return Some((tag, attrs, self_closing, i + 1)),
+            b'/' => {
+                self_closing = true;
+                i += 1;
+            }
+            _ => {
+                // Attribute name.
+                let name_start = i;
+                while i < bytes.len()
+                    && !bytes[i].is_ascii_whitespace()
+                    && !matches!(bytes[i], b'=' | b'>' | b'/')
+                {
+                    i += 1;
+                }
+                let name = input[name_start..i].to_string();
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                let mut value = String::new();
+                if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'\'') {
+                        let quote = bytes[i];
+                        i += 1;
+                        let v_start = i;
+                        while i < bytes.len() && bytes[i] != quote {
+                            i += 1;
+                        }
+                        value = input[v_start..i].to_string();
+                        if i < bytes.len() {
+                            i += 1; // closing quote
+                        }
+                    } else {
+                        let v_start = i;
+                        while i < bytes.len() && !bytes[i].is_ascii_whitespace() && bytes[i] != b'>'
+                        {
+                            i += 1;
+                        }
+                        value = input[v_start..i].to_string();
+                    }
+                }
+                if !name.is_empty() {
+                    attrs.push((name, value));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_structure() {
+        let d = parse_html(
+            "<html><body><div id=\"main\"><p class=\"intro\">hello</p></div></body></html>",
+        );
+        let div = d.element_by_id("main").unwrap();
+        assert_eq!(d.node(div).tag, "div");
+        let p = d.node(div).children[0];
+        assert!(d.node(p).has_class("intro"));
+        assert_eq!(d.node(p).text, "hello");
+    }
+
+    #[test]
+    fn parses_paper_figure1_iframe() {
+        // The Reddit/Adzerk iframe from Figure 1 of the paper.
+        let html = r#"<iframe id="ad_main" frameborder="0" scrolling="no" name="ad_main" src="http://static.adzerk.net/reddit/ads.html?sr=-reddit.com,loggedout&amp;bust2#http://www.reddit.com"></iframe>"#;
+        let d = parse_html(html);
+        let frame = d.element_by_id("ad_main").unwrap();
+        let n = d.node(frame);
+        assert_eq!(n.tag, "iframe");
+        assert_eq!(n.attr("name"), Some("ad_main"));
+        assert!(n
+            .attr("src")
+            .unwrap()
+            .starts_with("http://static.adzerk.net/"));
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let d = parse_html("<div><img src=\"a.png\"><p>text</p></div>");
+        let (div_id, _) = d.elements().find(|(_, n)| n.tag == "div").unwrap();
+        let children: Vec<&str> = d
+            .node(div_id)
+            .children
+            .iter()
+            .map(|c| d.node(*c).tag.as_str())
+            .collect();
+        assert_eq!(children, vec!["img", "p"]);
+    }
+
+    #[test]
+    fn self_closing_syntax() {
+        let d = parse_html("<div><br/><span/>x</div>");
+        // span with '/' is treated as self-closing; text lands in div.
+        let (div_id, _) = d.elements().find(|(_, n)| n.tag == "div").unwrap();
+        assert!(d.node(div_id).text.contains('x'));
+    }
+
+    #[test]
+    fn comments_and_doctype_skipped() {
+        let d = parse_html("<!DOCTYPE html><!-- hidden --><p>ok</p>");
+        assert_eq!(d.elements().count(), 1);
+        let (_, p) = d.elements().next().unwrap();
+        assert_eq!(p.text, "ok");
+    }
+
+    #[test]
+    fn script_body_with_angle_brackets() {
+        let d = parse_html("<script>if (a < b) { document.write('<div>'); }</script><p>after</p>");
+        let (_, script) = d.elements().find(|(_, n)| n.tag == "script").unwrap();
+        assert!(script.text.contains("a < b"));
+        assert!(d.elements().any(|(_, n)| n.tag == "p"));
+    }
+
+    #[test]
+    fn unquoted_and_single_quoted_attributes() {
+        let d = parse_html("<div id=main class='a b'>x</div>");
+        let div = d.element_by_id("main").unwrap();
+        assert!(d.node(div).has_class("a"));
+        assert!(d.node(div).has_class("b"));
+    }
+
+    #[test]
+    fn mismatched_close_tags_recover() {
+        let d = parse_html("<div><p>one</div><span>two</span>");
+        // </div> pops through the unclosed <p>.
+        let (_, span) = d.elements().find(|(_, n)| n.tag == "span").unwrap();
+        assert_eq!(span.text, "two");
+        let (span_id, _) = d.elements().find(|(_, n)| n.tag == "span").unwrap();
+        assert_eq!(d.node(span_id).parent, Some(d.root()));
+    }
+
+    #[test]
+    fn stray_close_tag_ignored() {
+        let d = parse_html("</div><p>ok</p>");
+        assert!(d.elements().any(|(_, n)| n.tag == "p"));
+    }
+
+    #[test]
+    fn attributes_without_values() {
+        let d = parse_html("<input disabled required>");
+        let (_, input) = d.elements().next().unwrap();
+        assert_eq!(input.attr("disabled"), Some(""));
+        assert_eq!(input.attr("required"), Some(""));
+    }
+
+    #[test]
+    fn truncated_input_does_not_panic() {
+        for junk in ["<div", "<div id=\"x", "<!--", "</", "<", "<div><p>t"] {
+            let _ = parse_html(junk);
+        }
+    }
+
+    #[test]
+    fn sitekey_attribute_on_html_element() {
+        // Parked pages carry data-adblockkey on <html> (§4.2.3).
+        let d = parse_html(r#"<html data-adblockkey="MFww_SIG"><body>parked</body></html>"#);
+        let (_, html) = d.elements().find(|(_, n)| n.tag == "html").unwrap();
+        assert_eq!(html.attr("data-adblockkey"), Some("MFww_SIG"));
+    }
+}

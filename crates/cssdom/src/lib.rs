@@ -1,0 +1,32 @@
+//! # cssdom — minimal DOM, HTML parsing, and CSS selector matching
+//!
+//! The instrumented crawler needs to answer one question per
+//! element-hiding filter: *does this CSS selector match any element of
+//! the page?* (§2.1.2 of the paper — element filters "use CSS Selectors
+//! to identify elements based on attributes such as the element's class
+//! or id").
+//!
+//! This crate provides exactly the substrate for that:
+//!
+//! * [`dom`] — an arena-based document tree with tags, `id`, classes and
+//!   arbitrary attributes;
+//! * [`html`] — a lenient tokenizer + tree builder for the HTML subset
+//!   the simulated web emits (and a good deal of messier markup);
+//! * [`selector`] — a CSS selector parser and matcher covering the
+//!   grammar that appears in EasyList-style element rules: type, `#id`,
+//!   `.class`, `[attr]`, `[attr="value"]`, `[attr^=]`, `[attr*=]`,
+//!   selector lists, and descendant/child combinators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod html;
+pub mod selector;
+
+pub use dom::{Document, NodeId};
+pub use html::parse_html;
+pub use selector::{parse_selector, query_all, selector_matches_any, Selector};
+
+#[cfg(test)]
+mod proptests;

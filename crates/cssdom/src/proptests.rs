@@ -1,0 +1,79 @@
+//! Property-based tests: the HTML parser is total, and selector matching
+//! agrees with structural ground truth on generated documents.
+
+use crate::dom::Document;
+use crate::html::parse_html;
+use crate::selector::{parse_selector, query_all, selector_matches_any};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+proptest! {
+    /// The HTML parser never panics on arbitrary input.
+    #[test]
+    fn html_parser_total(input in ".{0,400}") {
+        let _ = parse_html(&input);
+    }
+
+    /// The selector parser never panics on arbitrary input.
+    #[test]
+    fn selector_parser_total(input in ".{0,120}") {
+        let _ = parse_selector(&input);
+    }
+
+    /// A generated element with a known id is always found by `#id`, and
+    /// a never-generated id is never found.
+    #[test]
+    fn id_query_ground_truth(ids in proptest::collection::vec(ident(), 1..8), probe in ident()) {
+        let mut html = String::from("<body>");
+        for id in &ids {
+            html.push_str(&format!("<div id=\"{id}\">x</div>"));
+        }
+        html.push_str("</body>");
+        let doc = parse_html(&html);
+        for id in &ids {
+            prop_assert!(selector_matches_any(&doc, &format!("#{id}")), "missing #{id}");
+        }
+        if !ids.contains(&probe) {
+            let sel = format!("#{probe}");
+            // `#probe` may still match if probe is a prefix-extension quirk;
+            // exact id comparison means it must not match.
+            prop_assert!(!selector_matches_any(&doc, &sel));
+        }
+    }
+
+    /// query_all on `.class` returns exactly the elements carrying it.
+    #[test]
+    fn class_query_counts(with in 0usize..6, without in 0usize..6) {
+        let mut html = String::from("<body>");
+        for i in 0..with {
+            html.push_str(&format!("<div class=\"ad x{i}\">a</div>"));
+        }
+        for i in 0..without {
+            html.push_str(&format!("<div class=\"content y{i}\">b</div>"));
+        }
+        html.push_str("</body>");
+        let doc = parse_html(&html);
+        let sel = parse_selector(".ad").unwrap();
+        prop_assert_eq!(query_all(&doc, &sel).len(), with);
+    }
+
+    /// Serializing a parsed document and re-parsing it preserves element
+    /// count and ids (parser/serializer agreement).
+    #[test]
+    fn parse_serialize_roundtrip(ids in proptest::collection::vec(ident(), 0..6)) {
+        let mut html = String::from("<body>");
+        for id in &ids {
+            html.push_str(&format!("<div id=\"{id}\"><span class=\"c\">t</span></div>"));
+        }
+        html.push_str("</body>");
+        let doc = parse_html(&html);
+        let doc2: Document = parse_html(&doc.to_string());
+        prop_assert_eq!(doc.len(), doc2.len());
+        for id in &ids {
+            prop_assert_eq!(doc.element_by_id(id).is_some(), doc2.element_by_id(id).is_some());
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! CSS selector parsing and matching.
+//!
+//! Covers the selector grammar that occurs in EasyList-style element
+//! rules (§2.1.2 and Appendix A of the paper):
+//!
+//! * simple selectors: `div`, `#siteTable_organic`, `.ButtonAd`,
+//!   `[href]`, `[data-role="ad"]`, `[src^="http://ads."]`, `[class*=ad]`;
+//! * compound selectors: `div#ad.sidebar[role=banner]`;
+//! * combinators: descendant (`a b`) and child (`a > b`);
+//! * selector lists: `#ad1, .ad2`.
+
+use crate::dom::{Document, NodeId};
+use std::fmt;
+
+/// How an attribute value is compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrOp {
+    /// `[attr]` — present.
+    Exists,
+    /// `[attr=v]` — exact match.
+    Equals,
+    /// `[attr^=v]` — prefix match.
+    StartsWith,
+    /// `[attr$=v]` — suffix match.
+    EndsWith,
+    /// `[attr*=v]` — substring match.
+    Contains,
+}
+
+/// One `[attr…]` condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrCond {
+    /// Attribute name (lowercased).
+    pub name: String,
+    /// Comparison operator.
+    pub op: AttrOp,
+    /// Comparison value (empty for [`AttrOp::Exists`]).
+    pub value: String,
+}
+
+/// A compound selector: all conditions must hold on one element.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Compound {
+    /// Required tag name (lowercased), if any.
+    pub tag: Option<String>,
+    /// Required `id`.
+    pub id: Option<String>,
+    /// Required classes (all must be present).
+    pub classes: Vec<String>,
+    /// Attribute conditions.
+    pub attrs: Vec<AttrCond>,
+}
+
+impl Compound {
+    /// Whether this compound matches a node.
+    pub fn matches(&self, doc: &Document, id: NodeId) -> bool {
+        let n = doc.node(id);
+        if let Some(tag) = &self.tag {
+            if &n.tag != tag {
+                return false;
+            }
+        }
+        if let Some(want_id) = &self.id {
+            if n.id() != Some(want_id.as_str()) {
+                return false;
+            }
+        }
+        for c in &self.classes {
+            if !n.has_class(c) {
+                return false;
+            }
+        }
+        for a in &self.attrs {
+            let value = n.attr(&a.name);
+            let ok = match (a.op, value) {
+                (AttrOp::Exists, Some(_)) => true,
+                (AttrOp::Equals, Some(v)) => v == a.value,
+                (AttrOp::StartsWith, Some(v)) => v.starts_with(&a.value),
+                (AttrOp::EndsWith, Some(v)) => v.ends_with(&a.value),
+                (AttrOp::Contains, Some(v)) => v.contains(&a.value),
+                (_, None) => false,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn is_empty(&self) -> bool {
+        self.tag.is_none() && self.id.is_none() && self.classes.is_empty() && self.attrs.is_empty()
+    }
+}
+
+/// Combinator between compounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combinator {
+    /// Whitespace: any ancestor.
+    Descendant,
+    /// `>`: direct parent.
+    Child,
+}
+
+/// One complex selector: a chain of compounds joined by combinators,
+/// matched right-to-left.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Complex {
+    /// The rightmost (subject) compound.
+    pub subject: Compound,
+    /// Ancestor constraints, nearest first: `(combinator, compound)`.
+    pub ancestors: Vec<(Combinator, Compound)>,
+}
+
+impl Complex {
+    /// Whether the subject of this selector matches `id` (ancestor
+    /// constraints included).
+    pub fn matches(&self, doc: &Document, id: NodeId) -> bool {
+        complex_matches(doc, self, id)
+    }
+}
+
+/// A parsed selector list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    /// The alternatives; the selector matches when any of them does.
+    pub alternatives: Vec<Complex>,
+    raw: String,
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+/// Selector parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectorError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for SelectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid selector: {}", self.reason)
+    }
+}
+
+impl std::error::Error for SelectorError {}
+
+fn err(reason: impl Into<String>) -> SelectorError {
+    SelectorError {
+        reason: reason.into(),
+    }
+}
+
+/// Parse a selector list.
+pub fn parse_selector(input: &str) -> Result<Selector, SelectorError> {
+    let raw = input.trim().to_string();
+    if raw.is_empty() {
+        return Err(err("empty selector"));
+    }
+    let mut alternatives = Vec::new();
+    for alt in split_top_level_commas(&raw) {
+        alternatives.push(parse_complex(alt.trim())?);
+    }
+    Ok(Selector { alternatives, raw })
+}
+
+/// Split on commas that are not inside `[...]` brackets or quotes.
+fn split_top_level_commas(input: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut quote: Option<char> = None;
+    let mut start = 0;
+    for (i, c) in input.char_indices() {
+        match (quote, c) {
+            (Some(q), _) if c == q => quote = None,
+            (Some(_), _) => {}
+            (None, '"') | (None, '\'') => quote = Some(c),
+            (None, '[') => depth += 1,
+            (None, ']') => depth = depth.saturating_sub(1),
+            (None, ',') if depth == 0 => {
+                parts.push(&input[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&input[start..]);
+    parts
+}
+
+fn parse_complex(input: &str) -> Result<Complex, SelectorError> {
+    // Tokenize into compounds and combinators.
+    let mut compounds: Vec<Compound> = Vec::new();
+    let mut combinators: Vec<Combinator> = Vec::new();
+    let mut rest = input.trim();
+    if rest.is_empty() {
+        return Err(err("empty complex selector"));
+    }
+    loop {
+        let (comp, consumed) = parse_compound(rest)?;
+        if comp.is_empty() {
+            return Err(err(format!("no simple selector at '{rest}'")));
+        }
+        compounds.push(comp);
+        rest = &rest[consumed..];
+        let trimmed = rest.trim_start();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some(r) = trimmed.strip_prefix('>') {
+            combinators.push(Combinator::Child);
+            rest = r.trim_start();
+        } else if trimmed.len() < rest.len() {
+            // Whitespace was present: descendant combinator.
+            combinators.push(Combinator::Descendant);
+            rest = trimmed;
+        } else {
+            return Err(err(format!("unexpected character at '{rest}'")));
+        }
+    }
+    let subject = compounds.pop().expect("at least one compound");
+    let mut ancestors = Vec::new();
+    while let Some(comp) = compounds.pop() {
+        let comb = combinators.pop().expect("combinator per join");
+        ancestors.push((comb, comp));
+    }
+    Ok(Complex { subject, ancestors })
+}
+
+/// Parse one compound selector from the start of `input`.
+/// Returns the compound and the number of bytes consumed.
+fn parse_compound(input: &str) -> Result<(Compound, usize), SelectorError> {
+    let bytes = input.as_bytes();
+    let mut comp = Compound::default();
+    let mut i = 0;
+
+    fn ident_end(bytes: &[u8], mut i: usize) -> usize {
+        while i < bytes.len()
+            && (bytes[i].is_ascii_alphanumeric() || matches!(bytes[i], b'_' | b'-' | b'\\'))
+        {
+            i += 1;
+        }
+        i
+    }
+
+    while i < bytes.len() {
+        match bytes[i] {
+            b'*' if comp.is_empty() => {
+                // Universal selector: represented as tag "*", handled
+                // specially by the matcher.
+                comp.tag = Some("*".to_string());
+                i += 1;
+            }
+            b'#' => {
+                let end = ident_end(bytes, i + 1);
+                if end == i + 1 {
+                    return Err(err("empty #id"));
+                }
+                comp.id = Some(input[i + 1..end].to_string());
+                i = end;
+            }
+            b'.' => {
+                let end = ident_end(bytes, i + 1);
+                if end == i + 1 {
+                    return Err(err("empty .class"));
+                }
+                comp.classes.push(input[i + 1..end].to_string());
+                i = end;
+            }
+            b'[' => {
+                let close = input[i..]
+                    .find(']')
+                    .ok_or_else(|| err("unterminated [attr]"))?;
+                let body = &input[i + 1..i + close];
+                comp.attrs.push(parse_attr_cond(body)?);
+                i += close + 1;
+            }
+            c if c.is_ascii_alphabetic() && comp.is_empty() => {
+                let end = ident_end(bytes, i);
+                comp.tag = Some(input[i..end].to_ascii_lowercase());
+                i = end;
+            }
+            _ => break,
+        }
+    }
+    Ok((comp, i))
+}
+
+fn parse_attr_cond(body: &str) -> Result<AttrCond, SelectorError> {
+    let body = body.trim();
+    if body.is_empty() {
+        return Err(err("empty attribute condition"));
+    }
+    let ops = [
+        ("^=", AttrOp::StartsWith),
+        ("$=", AttrOp::EndsWith),
+        ("*=", AttrOp::Contains),
+        ("=", AttrOp::Equals),
+    ];
+    for (needle, op) in ops {
+        if let Some(idx) = body.find(needle) {
+            let name = body[..idx].trim().to_ascii_lowercase();
+            if name.is_empty() {
+                return Err(err("empty attribute name"));
+            }
+            let mut value = body[idx + needle.len()..].trim();
+            if (value.starts_with('"') && value.ends_with('"') && value.len() >= 2)
+                || (value.starts_with('\'') && value.ends_with('\'') && value.len() >= 2)
+            {
+                value = &value[1..value.len() - 1];
+            }
+            return Ok(AttrCond {
+                name,
+                op,
+                value: value.to_string(),
+            });
+        }
+    }
+    Ok(AttrCond {
+        name: body.to_ascii_lowercase(),
+        op: AttrOp::Exists,
+        value: String::new(),
+    })
+}
+
+/// All nodes of `doc` matched by `selector`.
+pub fn query_all(doc: &Document, selector: &Selector) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for (id, _) in doc.elements() {
+        if selector
+            .alternatives
+            .iter()
+            .any(|alt| complex_matches(doc, alt, id))
+        {
+            out.push(id);
+        }
+    }
+    out
+}
+
+fn complex_matches(doc: &Document, alt: &Complex, id: NodeId) -> bool {
+    // Universal-tag handling: Compound.matches treats tag "*" literally,
+    // so special-case it here.
+    fn compound_matches(doc: &Document, c: &Compound, id: NodeId) -> bool {
+        if c.tag.as_deref() == Some("*") {
+            let mut c2 = c.clone();
+            c2.tag = None;
+            return c2.matches(doc, id);
+        }
+        c.matches(doc, id)
+    }
+    if !compound_matches(doc, &alt.subject, id) {
+        return false;
+    }
+    let mut current = id;
+    for (comb, comp) in &alt.ancestors {
+        match comb {
+            Combinator::Child => {
+                let parent = match doc.node(current).parent {
+                    Some(p) if p != doc.root() => p,
+                    _ => return false,
+                };
+                if !compound_matches(doc, comp, parent) {
+                    return false;
+                }
+                current = parent;
+            }
+            Combinator::Descendant => {
+                let mut found = None;
+                let mut cursor = doc.node(current).parent;
+                while let Some(p) = cursor {
+                    if p == doc.root() {
+                        break;
+                    }
+                    if compound_matches(doc, comp, p) {
+                        found = Some(p);
+                        break;
+                    }
+                    cursor = doc.node(p).parent;
+                }
+                match found {
+                    Some(p) => current = p,
+                    None => return false,
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Convenience: does `selector_text` match any element of `doc`?
+/// Invalid selectors match nothing (mirroring how blockers skip filters
+/// with selectors the CSS engine rejects).
+pub fn selector_matches_any(doc: &Document, selector_text: &str) -> bool {
+    match parse_selector(selector_text) {
+        Ok(sel) => !query_all(doc, &sel).is_empty(),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::parse_html;
+
+    fn page() -> Document {
+        parse_html(
+            r#"
+<body>
+  <div id="siteTable_organic" class="thing promoted">sponsored</div>
+  <div class="sidebar">
+    <iframe id="ad_main" src="http://static.adzerk.net/reddit/ads.html"></iframe>
+  </div>
+  <div class="content">
+    <span class="ButtonAd big">buy</span>
+    <a href="http://out.example/x" data-role="ad">link</a>
+  </div>
+</body>
+"#,
+        )
+    }
+
+    #[test]
+    fn id_selector() {
+        let d = page();
+        let sel = parse_selector("#siteTable_organic").unwrap();
+        assert_eq!(query_all(&d, &sel).len(), 1);
+        assert!(selector_matches_any(&d, "#ad_main"));
+        assert!(!selector_matches_any(&d, "#nope"));
+    }
+
+    #[test]
+    fn class_selector() {
+        let d = page();
+        assert!(selector_matches_any(&d, ".ButtonAd"));
+        assert!(selector_matches_any(&d, ".promoted"));
+        assert!(!selector_matches_any(&d, ".Button")); // no partial class
+    }
+
+    #[test]
+    fn tag_selector() {
+        let d = page();
+        let sel = parse_selector("iframe").unwrap();
+        assert_eq!(query_all(&d, &sel).len(), 1);
+    }
+
+    #[test]
+    fn compound_selector() {
+        let d = page();
+        assert!(selector_matches_any(&d, "div#siteTable_organic.promoted"));
+        assert!(!selector_matches_any(&d, "span#siteTable_organic"));
+        assert!(selector_matches_any(&d, "span.ButtonAd.big"));
+        assert!(!selector_matches_any(&d, "span.ButtonAd.small"));
+    }
+
+    #[test]
+    fn attribute_selectors() {
+        let d = page();
+        assert!(selector_matches_any(&d, "[data-role]"));
+        assert!(selector_matches_any(&d, "[data-role=\"ad\"]"));
+        assert!(selector_matches_any(&d, "[data-role='ad']"));
+        assert!(!selector_matches_any(&d, "[data-role=\"banner\"]"));
+        assert!(selector_matches_any(
+            &d,
+            "iframe[src^=\"http://static.adzerk\"]"
+        ));
+        assert!(selector_matches_any(&d, "a[href*=\"out.example\"]"));
+        assert!(selector_matches_any(&d, "iframe[src$=\"ads.html\"]"));
+        assert!(!selector_matches_any(&d, "iframe[src$=\"ads.htm\"]"));
+    }
+
+    #[test]
+    fn descendant_combinator() {
+        let d = page();
+        assert!(selector_matches_any(&d, ".sidebar iframe"));
+        assert!(selector_matches_any(&d, "body .content span"));
+        assert!(!selector_matches_any(&d, ".content iframe"));
+    }
+
+    #[test]
+    fn child_combinator() {
+        let d = page();
+        assert!(selector_matches_any(&d, ".sidebar > iframe"));
+        assert!(selector_matches_any(&d, ".content > span.ButtonAd"));
+        assert!(!selector_matches_any(&d, "body > iframe"));
+    }
+
+    #[test]
+    fn selector_lists() {
+        let d = page();
+        assert!(selector_matches_any(&d, "#nope, .ButtonAd"));
+        assert!(!selector_matches_any(&d, "#nope, .alsonope"));
+        let sel = parse_selector("#ad_main, .ButtonAd, .promoted").unwrap();
+        assert_eq!(query_all(&d, &sel).len(), 3);
+    }
+
+    #[test]
+    fn universal_selector() {
+        let d = page();
+        assert!(selector_matches_any(&d, "*[data-role=ad]"));
+    }
+
+    #[test]
+    fn invalid_selectors_match_nothing() {
+        let d = page();
+        for bad in ["", "#", ".", "[unclosed", "> div", "div >", "##x"] {
+            assert!(!selector_matches_any(&d, bad), "{bad:?} should not match");
+        }
+    }
+
+    #[test]
+    fn unquoted_attr_value() {
+        let d = page();
+        assert!(selector_matches_any(&d, "[data-role=ad]"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = parse_selector(" .sidebar > iframe ").unwrap();
+        assert_eq!(s.to_string(), ".sidebar > iframe");
+    }
+}

@@ -1,0 +1,93 @@
+//! Commit-message provenance.
+//!
+//! Eyeo's convention (§3.1, §7): publicly vetted whitelist additions
+//! carry a link to the announcement forum thread in the commit message
+//! (and a comment in the list itself); undocumented additions use the
+//! boilerplate message "Updated whitelists" (or, once, "Added new
+//! whitelists"). The §7 A-filter analysis keys off exactly this.
+
+/// Extract `http(s)://…` URLs from a commit message.
+pub fn extract_urls(message: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = message;
+    while let Some(idx) = rest.find("http") {
+        let candidate = &rest[idx..];
+        if candidate.starts_with("http://") || candidate.starts_with("https://") {
+            let end = candidate
+                .find(|c: char| c.is_whitespace() || matches!(c, ')' | ']' | '>' | '"' | '\''))
+                .unwrap_or(candidate.len());
+            let url = candidate[..end].trim_end_matches(['.', ',', ';']);
+            if url.len() > "https://".len() {
+                out.push(url.to_string());
+            }
+            rest = &candidate[end.min(candidate.len())..];
+        } else {
+            rest = &rest[idx + 4..];
+        }
+    }
+    out
+}
+
+/// Whether a commit message links to the announcement forum.
+pub fn has_forum_link(message: &str) -> bool {
+    extract_urls(message).iter().any(|u| u.contains("/forum/"))
+}
+
+/// The boilerplate messages Eyeo used for undocumented additions.
+pub const UNDOCUMENTED_MESSAGES: [&str; 2] = ["Updated whitelists.", "Added new whitelists."];
+
+/// Whether a commit message is one of the undocumented-addition
+/// boilerplates (trailing-period and whitespace tolerant).
+pub fn is_undocumented_boilerplate(message: &str) -> bool {
+    let norm = message.trim().trim_end_matches('.');
+    UNDOCUMENTED_MESSAGES
+        .iter()
+        .any(|m| m.trim_end_matches('.') == norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_forum_urls() {
+        let msg = "Added example.com (https://adblockplus.org/forum/viewtopic.php?f=12&t=999)";
+        let urls = extract_urls(msg);
+        assert_eq!(urls.len(), 1);
+        assert!(urls[0].ends_with("t=999"));
+        assert!(has_forum_link(msg));
+    }
+
+    #[test]
+    fn multiple_urls() {
+        let msg = "see http://a.example/x and https://b.example/y.";
+        let urls = extract_urls(msg);
+        assert_eq!(urls, vec!["http://a.example/x", "https://b.example/y"]);
+    }
+
+    #[test]
+    fn no_urls() {
+        assert!(extract_urls("Updated whitelists.").is_empty());
+        assert!(!has_forum_link("Updated whitelists."));
+    }
+
+    #[test]
+    fn bare_http_word_is_not_a_url() {
+        assert!(extract_urls("the http protocol").is_empty());
+    }
+
+    #[test]
+    fn boilerplate_detection() {
+        assert!(is_undocumented_boilerplate("Updated whitelists."));
+        assert!(is_undocumented_boilerplate("Updated whitelists"));
+        assert!(is_undocumented_boilerplate("  Added new whitelists.  "));
+        assert!(!is_undocumented_boilerplate(
+            "Added example.com (https://adblockplus.org/forum/viewtopic.php?t=1)"
+        ));
+    }
+
+    #[test]
+    fn non_forum_url_is_not_a_forum_link() {
+        assert!(!has_forum_link("see https://example.com/about"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Civil date ↔ Unix time, via the days-from-civil algorithm
+//! (Howard Hinnant's public-domain derivation). Only what year-bucketing
+//! and human-readable reporting need — no time zones, everything UTC.
+
+use serde::{Deserialize, Serialize};
+
+/// A civil (proleptic Gregorian) date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ymd {
+    /// Year (e.g. 2015).
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u32,
+    /// Day 1–31.
+    pub day: u32,
+}
+
+impl Ymd {
+    /// Construct, panicking on out-of-range month/day (internal tool —
+    /// generated data is always valid).
+    pub fn new(year: i32, month: u32, day: u32) -> Self {
+        assert!((1..=12).contains(&month), "month {month}");
+        assert!((1..=31).contains(&day), "day {day}");
+        Ymd { year, month, day }
+    }
+}
+
+impl std::fmt::Display for Ymd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// Days since 1970-01-01 for a civil date.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Civil date for days since 1970-01-01.
+fn civil_from_days(z: i64) -> Ymd {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    Ymd {
+        year: (if m <= 2 { y + 1 } else { y }) as i32,
+        month: m,
+        day: d,
+    }
+}
+
+/// Unix timestamp (seconds, midnight UTC) for a civil date.
+pub fn unix_from_ymd(ymd: Ymd) -> i64 {
+    days_from_civil(ymd.year, ymd.month, ymd.day) * 86_400
+}
+
+/// Civil date of a Unix timestamp (UTC).
+pub fn ymd_from_unix(ts: i64) -> Ymd {
+    civil_from_days(ts.div_euclid(86_400))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch() {
+        assert_eq!(unix_from_ymd(Ymd::new(1970, 1, 1)), 0);
+        assert_eq!(ymd_from_unix(0), Ymd::new(1970, 1, 1));
+    }
+
+    #[test]
+    fn paper_dates() {
+        // Rev 988 landed on April 28, 2015.
+        let rev988 = Ymd::new(2015, 4, 28);
+        let ts = unix_from_ymd(rev988);
+        assert_eq!(ts, 1430179200);
+        assert_eq!(ymd_from_unix(ts), rev988);
+        assert_eq!(ymd_from_unix(ts + 86_399), rev988);
+        assert_eq!(ymd_from_unix(ts + 86_400), Ymd::new(2015, 4, 29));
+    }
+
+    #[test]
+    fn whitelist_start() {
+        // Whitelist history starts Oct 2011; Sedo was whitelisted
+        // 2011-11-30 (Table 3).
+        let sedo = Ymd::new(2011, 11, 30);
+        assert_eq!(ymd_from_unix(unix_from_ymd(sedo)), sedo);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(
+            ymd_from_unix(unix_from_ymd(Ymd::new(2012, 2, 29))),
+            Ymd::new(2012, 2, 29)
+        );
+        // 2100 is not a leap year: Feb 28 + 1 day = Mar 1.
+        let feb28_2100 = unix_from_ymd(Ymd::new(2100, 2, 28));
+        assert_eq!(ymd_from_unix(feb28_2100 + 86_400), Ymd::new(2100, 3, 1));
+        // 2000 is.
+        let feb28_2000 = unix_from_ymd(Ymd::new(2000, 2, 28));
+        assert_eq!(ymd_from_unix(feb28_2000 + 86_400), Ymd::new(2000, 2, 29));
+    }
+
+    #[test]
+    fn round_trip_every_day_2011_to_2016() {
+        // The paper's entire measurement window, exhaustively.
+        let start = unix_from_ymd(Ymd::new(2011, 1, 1));
+        let end = unix_from_ymd(Ymd::new(2016, 1, 1));
+        let mut ts = start;
+        let mut prev = ymd_from_unix(ts - 86_400);
+        while ts < end {
+            let d = ymd_from_unix(ts);
+            assert_eq!(unix_from_ymd(d), ts);
+            assert!(d > prev, "dates must increase: {prev} !< {d}");
+            prev = d;
+            ts += 86_400;
+        }
+    }
+
+    #[test]
+    fn negative_timestamps() {
+        assert_eq!(ymd_from_unix(-86_400), Ymd::new(1969, 12, 31));
+        assert_eq!(ymd_from_unix(-1), Ymd::new(1969, 12, 31));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Ymd::new(2013, 6, 21).to_string(), "2013-06-21");
+    }
+
+    #[test]
+    #[should_panic(expected = "month")]
+    fn invalid_month_panics() {
+        Ymd::new(2015, 13, 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Line-level change extraction between snapshots.
+//!
+//! Table 1 of the paper counts "changes to exception filters —
+//! modifications are counted as new filters". That is exactly multiset
+//! line diffing: a line present in the child but not the parent is an
+//! *addition* (covering both brand-new filters and the new form of a
+//! modified one); a line present in the parent but not the child is a
+//! *removal*.
+
+use std::collections::HashMap;
+
+/// The added and removed lines between two snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LineDiff {
+    /// Lines present in `new` but not `old` (with multiplicity).
+    pub added: Vec<String>,
+    /// Lines present in `old` but not `new` (with multiplicity).
+    pub removed: Vec<String>,
+}
+
+impl LineDiff {
+    /// Total number of changed lines.
+    pub fn churn(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Multiset diff of the non-empty lines of two texts.
+pub fn diff_lines(old: &str, new: &str) -> LineDiff {
+    let mut counts: HashMap<&str, i64> = HashMap::new();
+    for line in old.lines() {
+        if !line.trim().is_empty() {
+            *counts.entry(line).or_insert(0) -= 1;
+        }
+    }
+    for line in new.lines() {
+        if !line.trim().is_empty() {
+            *counts.entry(line).or_insert(0) += 1;
+        }
+    }
+    let mut diff = LineDiff::default();
+    // Deterministic output order: sort lines.
+    let mut entries: Vec<(&str, i64)> = counts.into_iter().filter(|(_, c)| *c != 0).collect();
+    entries.sort_unstable();
+    for (line, count) in entries {
+        if count > 0 {
+            for _ in 0..count {
+                diff.added.push(line.to_string());
+            }
+        } else {
+            for _ in 0..-count {
+                diff.removed.push(line.to_string());
+            }
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_addition() {
+        let d = diff_lines("a\n", "a\nb\nc\n");
+        assert_eq!(d.added, vec!["b", "c"]);
+        assert!(d.removed.is_empty());
+        assert_eq!(d.churn(), 2);
+    }
+
+    #[test]
+    fn pure_removal() {
+        let d = diff_lines("a\nb\n", "b\n");
+        assert_eq!(d.removed, vec!["a"]);
+        assert!(d.added.is_empty());
+    }
+
+    #[test]
+    fn modification_counts_as_add_plus_remove() {
+        // Table 1's rule: a modified filter is one removal + one addition.
+        let d = diff_lines(
+            "@@||adzerk.net/reddit/$subdocument,domain=reddit.com\n",
+            "@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com\n",
+        );
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.removed.len(), 1);
+    }
+
+    #[test]
+    fn reordering_is_not_a_change() {
+        let d = diff_lines("a\nb\nc\n", "c\na\nb\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn duplicate_multiplicity_respected() {
+        // Going from one copy to three copies adds two.
+        let d = diff_lines("dup\n", "dup\ndup\ndup\n");
+        assert_eq!(d.added, vec!["dup", "dup"]);
+        // And back removes two.
+        let d = diff_lines("dup\ndup\ndup\n", "dup\n");
+        assert_eq!(d.removed.len(), 2);
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let d = diff_lines("a\n\n\n", "a\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn empty_to_empty() {
+        assert!(diff_lines("", "").is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_deterministically() {
+        let d = diff_lines("", "zebra\napple\nmango\n");
+        assert_eq!(d.added, vec!["apple", "mango", "zebra"]);
+    }
+}

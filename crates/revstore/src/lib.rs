@@ -1,0 +1,35 @@
+//! # revstore — an append-only revision store for filter lists
+//!
+//! The paper mines "a public Mercurial repository" holding every
+//! revision of the Acceptable Ads whitelist (§4.1): 988 revisions from
+//! Oct 2011 to Apr 2015, each a full snapshot of `exceptionrules.txt`
+//! with a timestamp and commit message. This crate models exactly that:
+//!
+//! * [`store::RevStore`] — sequentially numbered revisions (hg-style
+//!   local revision numbers), each carrying a timestamp, message, and
+//!   full content snapshot;
+//! * [`diff`] — line-level change extraction between snapshots
+//!   ("modifications are counted as new filters", Table 1's rule);
+//! * [`timeline`] — per-year grouping, update cadence, and churn
+//!   statistics (the "every 1.5 days, 11.4 filters" numbers);
+//! * [`annotate`] — commit-message provenance: URL extraction and the
+//!   forum-link convention whose *absence* flags the §7 A-filters;
+//! * [`date`] — proleptic-Gregorian civil date ↔ Unix time conversion
+//!   (no chrono dependency needed for year bucketing).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod date;
+pub mod diff;
+pub mod store;
+pub mod timeline;
+
+#[cfg(test)]
+mod proptests;
+
+pub use date::{unix_from_ymd, ymd_from_unix, Ymd};
+pub use diff::{diff_lines, LineDiff};
+pub use store::{RevStore, Revision};
+pub use timeline::{cadence, yearly_buckets, CadenceStats};

@@ -1,0 +1,111 @@
+//! Property-based tests: diff/apply round-trips, date arithmetic, and
+//! store invariants.
+
+use crate::date::{unix_from_ymd, ymd_from_unix, Ymd};
+use crate::diff::diff_lines;
+use crate::store::RevStore;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn lines_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-c]{1,3}", 0..12)
+}
+
+fn multiset(lines: &[String]) -> HashMap<&str, i64> {
+    let mut m = HashMap::new();
+    for l in lines {
+        *m.entry(l.as_str()).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    /// Applying a diff's adds/removes to the old multiset yields the new
+    /// multiset exactly.
+    #[test]
+    fn diff_apply_round_trip(old in lines_strategy(), new in lines_strategy()) {
+        let old_text = old.join("\n");
+        let new_text = new.join("\n");
+        let d = diff_lines(&old_text, &new_text);
+
+        let mut state = multiset(&old);
+        for a in &d.added {
+            *state.entry(a.as_str()).or_insert(0) += 1;
+        }
+        for r in &d.removed {
+            *state.entry(r.as_str()).or_insert(0) -= 1;
+        }
+        state.retain(|_, v| *v != 0);
+        let expected = multiset(&new);
+        prop_assert_eq!(state, expected);
+    }
+
+    /// Diff is antisymmetric: swapping arguments swaps added/removed.
+    #[test]
+    fn diff_antisymmetric(old in lines_strategy(), new in lines_strategy()) {
+        let d1 = diff_lines(&old.join("\n"), &new.join("\n"));
+        let d2 = diff_lines(&new.join("\n"), &old.join("\n"));
+        prop_assert_eq!(d1.added, d2.removed);
+        prop_assert_eq!(d1.removed, d2.added);
+    }
+
+    /// Self-diff is empty; churn is non-negative and bounded.
+    #[test]
+    fn diff_reflexive_and_bounded(lines in lines_strategy(), extra in lines_strategy()) {
+        let text = lines.join("\n");
+        prop_assert!(diff_lines(&text, &text).is_empty());
+        let d = diff_lines(&text, &extra.join("\n"));
+        prop_assert!(d.churn() <= lines.len() + extra.len());
+    }
+
+    /// Unix↔civil date conversion round-trips for four decades around
+    /// the paper's window.
+    #[test]
+    fn date_round_trip(days in -10_000i64..20_000) {
+        let ts = days * 86_400;
+        let ymd = ymd_from_unix(ts);
+        prop_assert_eq!(unix_from_ymd(ymd), ts);
+        // Mid-day timestamps land on the same date.
+        prop_assert_eq!(ymd_from_unix(ts + 43_200), ymd);
+    }
+
+    /// Dates are totally ordered consistently with their timestamps.
+    #[test]
+    fn date_order_consistent(a in -5_000i64..15_000, b in -5_000i64..15_000) {
+        let (ta, tb) = (a * 86_400, b * 86_400);
+        let (da, db) = (ymd_from_unix(ta), ymd_from_unix(tb));
+        prop_assert_eq!(ta.cmp(&tb), da.cmp(&db));
+    }
+
+    /// `at_time` returns the last revision at or before the query time.
+    #[test]
+    fn at_time_is_last_before(stamps in proptest::collection::vec(0i64..1_000, 1..20), query in 0i64..1_200) {
+        let mut sorted = stamps.clone();
+        sorted.sort_unstable();
+        let mut store = RevStore::new();
+        for (i, ts) in sorted.iter().enumerate() {
+            store.commit(*ts, format!("r{i}"), format!("content {i}"));
+        }
+        match store.at_time(query) {
+            Some(rev) => {
+                prop_assert!(rev.timestamp <= query);
+                // No later revision also satisfies the bound.
+                if let Some(next) = store.rev(rev.id + 1) {
+                    prop_assert!(next.timestamp > query);
+                }
+            }
+            None => prop_assert!(sorted[0] > query),
+        }
+    }
+
+    /// Ymd::new(y, m, d) for valid dates always displays as zero-padded
+    /// ISO and round-trips through unix conversion.
+    #[test]
+    fn ymd_display_iso(y in 1990i32..2100, m in 1u32..=12, d in 1u32..=28) {
+        let ymd = Ymd::new(y, m, d);
+        let s = ymd.to_string();
+        prop_assert_eq!(s.len(), 10);
+        prop_assert_eq!(&s[4..5], "-");
+        prop_assert_eq!(ymd_from_unix(unix_from_ymd(ymd)), ymd);
+    }
+}

@@ -1,0 +1,173 @@
+//! The append-only revision store.
+
+use serde::{Deserialize, Serialize};
+
+/// One committed revision: a full snapshot plus metadata, like one
+/// changeset of the `exceptionrules` Mercurial repository.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Revision {
+    /// Sequential revision number, starting at 0 (hg-style local rev).
+    pub id: u32,
+    /// Commit time, Unix seconds UTC.
+    pub timestamp: i64,
+    /// Commit message.
+    pub message: String,
+    /// Full snapshot of the tracked file.
+    pub content: String,
+}
+
+/// An append-only store of [`Revision`]s with monotonically
+/// non-decreasing timestamps.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RevStore {
+    revisions: Vec<Revision>,
+}
+
+impl RevStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        RevStore::default()
+    }
+
+    /// Commit a new snapshot; returns its revision id. Panics if the
+    /// timestamp precedes the current head (history must be ordered —
+    /// the generator controls all timestamps).
+    pub fn commit(
+        &mut self,
+        timestamp: i64,
+        message: impl Into<String>,
+        content: impl Into<String>,
+    ) -> u32 {
+        if let Some(head) = self.revisions.last() {
+            assert!(
+                timestamp >= head.timestamp,
+                "commit timestamps must be non-decreasing ({timestamp} < {})",
+                head.timestamp
+            );
+        }
+        let id = self.revisions.len() as u32;
+        self.revisions.push(Revision {
+            id,
+            timestamp,
+            message: message.into(),
+            content: content.into(),
+        });
+        id
+    }
+
+    /// Number of revisions.
+    pub fn len(&self) -> usize {
+        self.revisions.len()
+    }
+
+    /// Whether the store has no revisions.
+    pub fn is_empty(&self) -> bool {
+        self.revisions.is_empty()
+    }
+
+    /// Fetch a revision by id.
+    pub fn rev(&self, id: u32) -> Option<&Revision> {
+        self.revisions.get(id as usize)
+    }
+
+    /// The latest revision.
+    pub fn head(&self) -> Option<&Revision> {
+        self.revisions.last()
+    }
+
+    /// Iterate over all revisions in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Revision> {
+        self.revisions.iter()
+    }
+
+    /// Iterate over consecutive revision pairs `(parent, child)`,
+    /// starting with `(None, rev0)`.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (Option<&Revision>, &Revision)> {
+        self.revisions.iter().enumerate().map(|(i, r)| {
+            (
+                if i == 0 {
+                    None
+                } else {
+                    Some(&self.revisions[i - 1])
+                },
+                r,
+            )
+        })
+    }
+
+    /// The latest revision committed at or before `timestamp`.
+    pub fn at_time(&self, timestamp: i64) -> Option<&Revision> {
+        match self.revisions.partition_point(|r| r.timestamp <= timestamp) {
+            0 => None,
+            idx => Some(&self.revisions[idx - 1]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> RevStore {
+        let mut s = RevStore::new();
+        s.commit(100, "initial", "a\n");
+        s.commit(200, "add b", "a\nb\n");
+        s.commit(300, "swap", "b\nc\n");
+        s
+    }
+
+    #[test]
+    fn sequential_ids() {
+        let s = store();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.rev(0).unwrap().message, "initial");
+        assert_eq!(s.rev(2).unwrap().id, 2);
+        assert!(s.rev(3).is_none());
+        assert_eq!(s.head().unwrap().content, "b\nc\n");
+    }
+
+    #[test]
+    fn pairs_include_genesis() {
+        let s = store();
+        let pairs: Vec<(Option<u32>, u32)> = s
+            .iter_pairs()
+            .map(|(p, c)| (p.map(|r| r.id), c.id))
+            .collect();
+        assert_eq!(pairs, vec![(None, 0), (Some(0), 1), (Some(1), 2)]);
+    }
+
+    #[test]
+    fn at_time_lookup() {
+        let s = store();
+        assert!(s.at_time(99).is_none());
+        assert_eq!(s.at_time(100).unwrap().id, 0);
+        assert_eq!(s.at_time(250).unwrap().id, 1);
+        assert_eq!(s.at_time(10_000).unwrap().id, 2);
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        let mut s = RevStore::new();
+        s.commit(100, "a", "");
+        s.commit(100, "b", "");
+        assert_eq!(s.len(), 2);
+        // at_time returns the latest of the equal-stamped revisions.
+        assert_eq!(s.at_time(100).unwrap().id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_timestamp_panics() {
+        let mut s = RevStore::new();
+        s.commit(100, "a", "");
+        s.commit(99, "b", "");
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = RevStore::new();
+        assert!(s.is_empty());
+        assert!(s.head().is_none());
+        assert!(s.at_time(0).is_none());
+    }
+}

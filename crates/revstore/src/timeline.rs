@@ -1,0 +1,127 @@
+//! Timeline statistics over a revision store: yearly buckets and update
+//! cadence (the paper's "updated every 1.5 days, adding or modifying
+//! 11.4 exception filters" headline numbers).
+
+use crate::date::ymd_from_unix;
+use crate::diff::diff_lines;
+use crate::store::RevStore;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Churn statistics for one calendar year (one row of Table 1, minus the
+/// domain columns which require filter-aware parsing done in `core`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct YearBucket {
+    /// Number of revisions committed in the year.
+    pub revisions: u32,
+    /// Lines added across those revisions.
+    pub lines_added: u32,
+    /// Lines removed across those revisions.
+    pub lines_removed: u32,
+}
+
+/// Bucket a store's revisions by calendar year, accumulating line churn
+/// against each revision's parent.
+pub fn yearly_buckets(store: &RevStore) -> BTreeMap<i32, YearBucket> {
+    let mut out: BTreeMap<i32, YearBucket> = BTreeMap::new();
+    for (parent, rev) in store.iter_pairs() {
+        let year = ymd_from_unix(rev.timestamp).year;
+        let bucket = out.entry(year).or_default();
+        bucket.revisions += 1;
+        let old = parent.map(|p| p.content.as_str()).unwrap_or("");
+        let d = diff_lines(old, &rev.content);
+        bucket.lines_added += d.added.len() as u32;
+        bucket.lines_removed += d.removed.len() as u32;
+    }
+    out
+}
+
+/// Aggregate cadence statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CadenceStats {
+    /// Mean days between consecutive revisions.
+    pub mean_interval_days: f64,
+    /// Mean lines added-or-removed per revision.
+    pub mean_churn_per_revision: f64,
+    /// Total revisions considered.
+    pub revisions: u32,
+}
+
+/// Compute update cadence across the whole store. Returns `None` for
+/// stores with fewer than two revisions.
+pub fn cadence(store: &RevStore) -> Option<CadenceStats> {
+    if store.len() < 2 {
+        return None;
+    }
+    let first = store.rev(0)?.timestamp;
+    let last = store.head()?.timestamp;
+    let span_days = (last - first) as f64 / 86_400.0;
+    let intervals = (store.len() - 1) as f64;
+
+    let mut total_churn = 0usize;
+    for (parent, rev) in store.iter_pairs() {
+        let old = parent.map(|p| p.content.as_str()).unwrap_or("");
+        total_churn += diff_lines(old, &rev.content).churn();
+    }
+    Some(CadenceStats {
+        mean_interval_days: span_days / intervals,
+        mean_churn_per_revision: total_churn as f64 / store.len() as f64,
+        revisions: store.len() as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::{unix_from_ymd, Ymd};
+
+    fn day(y: i32, m: u32, d: u32) -> i64 {
+        unix_from_ymd(Ymd::new(y, m, d))
+    }
+
+    #[test]
+    fn buckets_by_year() {
+        let mut s = RevStore::new();
+        s.commit(day(2011, 10, 1), "r0", "f1\n");
+        s.commit(day(2011, 12, 1), "r1", "f1\nf2\n");
+        s.commit(day(2012, 3, 1), "r2", "f1\nf2\nf3\nf4\n");
+        s.commit(day(2012, 6, 1), "r3", "f2\nf3\nf4\n");
+        let buckets = yearly_buckets(&s);
+        assert_eq!(buckets.len(), 2);
+        let b2011 = &buckets[&2011];
+        assert_eq!(b2011.revisions, 2);
+        assert_eq!(b2011.lines_added, 2); // f1 then f2
+        assert_eq!(b2011.lines_removed, 0);
+        let b2012 = &buckets[&2012];
+        assert_eq!(b2012.revisions, 2);
+        assert_eq!(b2012.lines_added, 2); // f3, f4
+        assert_eq!(b2012.lines_removed, 1); // f1
+    }
+
+    #[test]
+    fn cadence_math() {
+        let mut s = RevStore::new();
+        // Three revisions spanning 3 days → mean interval 1.5 days.
+        s.commit(day(2015, 1, 1), "a", "x\n");
+        s.commit(day(2015, 1, 2), "b", "x\ny\n");
+        s.commit(day(2015, 1, 4), "c", "x\ny\nz\nw\n");
+        let c = cadence(&s).unwrap();
+        assert!((c.mean_interval_days - 1.5).abs() < 1e-9);
+        // churn: rev0 adds 1, rev1 adds 1, rev2 adds 2 → 4/3 per rev.
+        assert!((c.mean_churn_per_revision - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(c.revisions, 3);
+    }
+
+    #[test]
+    fn cadence_needs_two_revisions() {
+        let mut s = RevStore::new();
+        assert!(cadence(&s).is_none());
+        s.commit(0, "only", "x\n");
+        assert!(cadence(&s).is_none());
+    }
+
+    #[test]
+    fn empty_store_has_no_buckets() {
+        assert!(yearly_buckets(&RevStore::new()).is_empty());
+    }
+}

@@ -1,0 +1,719 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Little-endian `u32` limbs, schoolbook multiplication, and Knuth
+//! Algorithm D division — ample for the 48–512-bit moduli the sitekey
+//! mechanism uses. All values are normalized (no trailing zero limbs).
+
+use crate::rng::SplitMix64;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; empty means zero; no trailing zeros.
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint::from_u64(1)
+    }
+
+    /// From a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut limbs = vec![v as u32, (v >> 32) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// To `u64`, if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | (self.limbs[1] as u64) << 32),
+            _ => None,
+        }
+    }
+
+    /// From big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut chunk: u32 = 0;
+        let mut shift = 0;
+        for &b in bytes.iter().rev() {
+            chunk |= (b as u32) << shift;
+            shift += 8;
+            if shift == 32 {
+                limbs.push(chunk);
+                chunk = 0;
+                shift = 0;
+            }
+        }
+        if shift > 0 {
+            limbs.push(chunk);
+        }
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// To minimal big-endian bytes (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zero bytes of the top limb.
+                let mut skipping = true;
+                for b in bytes {
+                    if skipping && b == 0 {
+                        continue;
+                    }
+                    skipping = false;
+                    out.push(b);
+                }
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Whether the lowest bit is zero.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Test bit `i` (little-endian index).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        let off = i % 32;
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    fn normalize(mut limbs: Vec<u32>) -> BigUint {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u64 = 0;
+        for i in 0..long.len() {
+            let sum = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// `self - other`; panics if `other > self` (callers check).
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint::sub underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow: i64 = 0;
+        for i in 0..self.limbs.len() {
+            let mut diff =
+                self.limbs[i] as i64 - other.limbs.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if diff < 0 {
+                diff += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(diff as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        BigUint::normalize(out)
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u64 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        BigUint::normalize(out)
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::normalize(out)
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (32 - bit_shift)));
+            }
+        }
+        BigUint::normalize(out)
+    }
+
+    /// Quotient and remainder (Knuth Algorithm D). Panics on division by
+    /// zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            // Short division.
+            let d = divisor.limbs[0] as u64;
+            let mut q = vec![0u32; self.limbs.len()];
+            let mut rem: u64 = 0;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 32) | self.limbs[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            return (BigUint::normalize(q), BigUint::from_u64(rem));
+        }
+
+        // Normalize: shift so the divisor's top bit is set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let mut un = u.limbs.clone();
+        un.push(0); // u has m+n+1 digits
+        let vn = &v.limbs;
+        let mut q = vec![0u32; m + 1];
+
+        let v_top = vn[n - 1] as u64;
+        let v_second = vn[n - 2] as u64;
+
+        for j in (0..=m).rev() {
+            // Estimate q̂.
+            let top2 = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
+            let mut qhat = top2 / v_top;
+            let mut rhat = top2 % v_top;
+            while qhat >= 1 << 32 || qhat * v_second > ((rhat << 32) | un[j + n - 2] as u64) {
+                qhat -= 1;
+                rhat += v_top;
+                if rhat >= 1 << 32 {
+                    break;
+                }
+            }
+
+            // Multiply and subtract: un[j..j+n+1] -= qhat * vn.
+            let mut borrow: i64 = 0;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let p = qhat * vn[i] as u64 + carry;
+                carry = p >> 32;
+                let t = un[j + i] as i64 - (p as u32) as i64 - borrow;
+                if t < 0 {
+                    un[j + i] = (t + (1 << 32)) as u32;
+                    borrow = 1;
+                } else {
+                    un[j + i] = t as u32;
+                    borrow = 0;
+                }
+            }
+            let t = un[j + n] as i64 - carry as i64 - borrow;
+            if t < 0 {
+                // q̂ was one too large: add back.
+                un[j + n] = (t + (1 << 32)) as u32;
+                qhat -= 1;
+                let mut carry2: u64 = 0;
+                for i in 0..n {
+                    let sum = un[j + i] as u64 + vn[i] as u64 + carry2;
+                    un[j + i] = sum as u32;
+                    carry2 = sum >> 32;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry2 as u32);
+            } else {
+                un[j + n] = t as u32;
+            }
+            q[j] = qhat as u32;
+        }
+
+        let quotient = BigUint::normalize(q);
+        let remainder = BigUint::normalize(un[..n].to_vec()).shr(shift);
+        (quotient, remainder)
+    }
+
+    /// `self % modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// `(self * other) % modulus`.
+    pub fn mod_mul(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        self.mul(other).rem(modulus)
+    }
+
+    /// `self^exp % modulus` by square-and-multiply.
+    pub fn mod_pow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero());
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self.rem(modulus);
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.mod_mul(&base, modulus);
+            }
+            base = base.mod_mul(&base, modulus);
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary-free Euclid; division is cheap
+    /// enough at our sizes).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse of `self` mod `modulus`, if it exists.
+    pub fn mod_inverse(&self, modulus: &BigUint) -> Option<BigUint> {
+        // Extended Euclid over non-negative values, tracking signs.
+        let mut r0 = modulus.clone();
+        let mut r1 = self.rem(modulus);
+        // t coefficients as (value, negative?) pairs.
+        let mut t0 = (BigUint::zero(), false);
+        let mut t1 = (BigUint::one(), false);
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            // t2 = t0 - q*t1
+            let qt1 = q.mul(&t1.0);
+            let t2 = sub_signed(&t0, &(qt1, t1.1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if !r0.is_one() {
+            return None;
+        }
+        // Normalize t0 into [0, modulus).
+        let (val, neg) = t0;
+        let val = val.rem(modulus);
+        Some(if neg && !val.is_zero() {
+            modulus.sub(&val)
+        } else {
+            val
+        })
+    }
+
+    /// A uniformly random integer in `[0, bound)`.
+    pub fn random_below(bound: &BigUint, rng: &mut SplitMix64) -> BigUint {
+        assert!(!bound.is_zero());
+        let bits = bound.bit_len();
+        loop {
+            let candidate = BigUint::random_bits(bits, rng);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// A uniformly random integer with at most `bits` bits.
+    pub fn random_bits(bits: usize, rng: &mut SplitMix64) -> BigUint {
+        let limbs_needed = bits.div_ceil(32);
+        let mut limbs = Vec::with_capacity(limbs_needed);
+        for _ in 0..limbs_needed {
+            limbs.push(rng.next_u64() as u32);
+        }
+        let extra = limbs_needed * 32 - bits;
+        if extra > 0 {
+            if let Some(top) = limbs.last_mut() {
+                *top >>= extra;
+            }
+        }
+        BigUint::normalize(limbs)
+    }
+
+    /// Parse a decimal string.
+    pub fn from_decimal(s: &str) -> Option<BigUint> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let ten = BigUint::from_u64(10);
+        let mut acc = BigUint::zero();
+        for b in s.bytes() {
+            acc = acc.mul(&ten).add(&BigUint::from_u64((b - b'0') as u64));
+        }
+        Some(acc)
+    }
+
+    /// Render as decimal.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut digits = Vec::new();
+        let ten = BigUint::from_u64(10);
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(&ten);
+            digits.push(b'0' + r.to_u64().unwrap() as u8);
+            cur = q;
+        }
+        digits.reverse();
+        String::from_utf8(digits).expect("ascii digits")
+    }
+}
+
+/// Signed subtraction helper over (magnitude, negative?) pairs.
+fn sub_signed(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        (false, true) => (a.0.add(&b.0), false), // a - (-b) = a + b
+        (true, false) => (a.0.add(&b.0), true),  // -a - b = -(a+b)
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        (true, true) => {
+            // -a - (-b) = b - a
+            if b.0 >= a.0 {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({})", self.to_decimal())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_decimal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        BigUint::from_decimal(s).unwrap()
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 1, 42, u32::MAX as u64, u64::MAX] {
+            assert_eq!(BigUint::from_u64(v).to_u64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let n = big("123456789012345678901234567890");
+        let bytes = n.to_bytes_be();
+        assert_eq!(BigUint::from_bytes_be(&bytes), n);
+        assert_eq!(BigUint::from_bytes_be(&[]), BigUint::zero());
+        // Leading zeros in input are fine.
+        assert_eq!(
+            BigUint::from_bytes_be(&[0, 0, 1, 0]),
+            BigUint::from_u64(256)
+        );
+    }
+
+    #[test]
+    fn decimal_round_trip() {
+        for s in [
+            "0",
+            "1",
+            "4294967296",
+            "18446744073709551616",
+            "340282366920938463463374607431768211455",
+            "999999999999999999999999999999999999999999",
+        ] {
+            assert_eq!(big(s).to_decimal(), s);
+        }
+        assert_eq!(BigUint::from_decimal("12a"), None);
+        assert_eq!(BigUint::from_decimal(""), None);
+    }
+
+    #[test]
+    fn add_sub() {
+        let a = big("340282366920938463463374607431768211455"); // 2^128-1
+        let one = BigUint::one();
+        let b = a.add(&one);
+        assert_eq!(b.to_decimal(), "340282366920938463463374607431768211456");
+        assert_eq!(b.sub(&one), a);
+        assert_eq!(a.sub(&a), BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        BigUint::one().sub(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn mul_matches_known_values() {
+        let a = big("123456789123456789");
+        let b = big("987654321987654321");
+        assert_eq!(
+            a.mul(&b).to_decimal(),
+            "121932631356500531347203169112635269"
+        );
+        assert_eq!(a.mul(&BigUint::zero()), BigUint::zero());
+        assert_eq!(a.mul(&BigUint::one()), a);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = big("12345678901234567890");
+        assert_eq!(a.shl(64).shr(64), a);
+        assert_eq!(a.shl(13).shr(13), a);
+        assert_eq!(
+            BigUint::one().shl(100).to_decimal(),
+            "1267650600228229401496703205376"
+        );
+        assert_eq!(a.shr(1000), BigUint::zero());
+    }
+
+    #[test]
+    fn div_rem_basic() {
+        let (q, r) = big("1000000000000000000000").div_rem(&big("7"));
+        assert_eq!(q.to_decimal(), "142857142857142857142");
+        assert_eq!(r.to_decimal(), "6");
+    }
+
+    #[test]
+    fn div_rem_multi_limb_divisor() {
+        let a = big("123456789012345678901234567890123456789");
+        let b = big("9876543210987654321");
+        let (q, r) = a.div_rem(&b);
+        // Verify a = q*b + r and r < b.
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn div_rem_edge_cases() {
+        let a = big("5");
+        let b = big("50");
+        let (q, r) = a.div_rem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+
+        let (q, r) = b.div_rem(&b);
+        assert!(q.is_one());
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn div_rem_algorithm_d_add_back_region() {
+        // Exercise divisors with top limb = u32::MAX-ish, which stresses
+        // the q̂ correction paths.
+        let a = BigUint::from_bytes_be(&[
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xfe, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00,
+            0x00, 0x00,
+        ]);
+        let b = BigUint::from_bytes_be(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff]);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn mod_pow_known_values() {
+        // 2^10 mod 1000 = 24
+        assert_eq!(
+            BigUint::from_u64(2)
+                .mod_pow(&BigUint::from_u64(10), &BigUint::from_u64(1000))
+                .to_u64(),
+            Some(24)
+        );
+        // Fermat: 3^(p-1) ≡ 1 mod p for prime p.
+        let p = big("2305843009213693951"); // Mersenne prime 2^61-1
+        let res = BigUint::from_u64(3).mod_pow(&p.sub(&BigUint::one()), &p);
+        assert!(res.is_one());
+    }
+
+    #[test]
+    fn mod_pow_large_modulus() {
+        // (2^255 mod (2^255-19)) == 19 ⇒ 2^256 mod p == 38.
+        let p = BigUint::one().shl(255).sub(&BigUint::from_u64(19));
+        let r = BigUint::from_u64(2).mod_pow(&BigUint::from_u64(256), &p);
+        assert_eq!(r.to_u64(), Some(38));
+    }
+
+    #[test]
+    fn gcd_and_inverse() {
+        let a = big("462");
+        let b = big("1071");
+        assert_eq!(a.gcd(&b).to_u64(), Some(21));
+
+        // 3 * 4 = 12 ≡ 1 mod 11
+        let inv = BigUint::from_u64(3)
+            .mod_inverse(&BigUint::from_u64(11))
+            .unwrap();
+        assert_eq!(inv.to_u64(), Some(4));
+
+        // e = 65537 modulo 2^100 + 1 (coprime: 2^100+1 ≡ 17 mod 65537).
+        let phi = BigUint::one().shl(100).add(&BigUint::one());
+        let e = BigUint::from_u64(65537);
+        let d = e.mod_inverse(&phi).unwrap();
+        assert!(e.mod_mul(&d, &phi).is_one());
+
+        // No inverse when gcd != 1.
+        assert!(BigUint::from_u64(6)
+            .mod_inverse(&BigUint::from_u64(9))
+            .is_none());
+    }
+
+    #[test]
+    fn random_below_in_range_and_deterministic() {
+        let bound = big("1000000000000000000000000");
+        let mut r1 = SplitMix64::new(99);
+        let mut r2 = SplitMix64::new(99);
+        for _ in 0..50 {
+            let a = BigUint::random_below(&bound, &mut r1);
+            let b = BigUint::random_below(&bound, &mut r2);
+            assert!(a < bound);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bit_len_and_bit() {
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+        assert_eq!(BigUint::from_u64(255).bit_len(), 8);
+        assert_eq!(BigUint::from_u64(256).bit_len(), 9);
+        let v = BigUint::one().shl(100);
+        assert_eq!(v.bit_len(), 101);
+        assert!(v.bit(100));
+        assert!(!v.bit(99));
+        assert!(!v.bit(101));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big("100") > big("99"));
+        assert!(big("18446744073709551616") > big("18446744073709551615"));
+        assert_eq!(big("42"), BigUint::from_u64(42));
+    }
+}

@@ -1,0 +1,318 @@
+//! Base64 and minimal DER encoding.
+//!
+//! Sitekeys are "DER-encoded, base-64 representation\[s\] of an RSA public
+//! key" (§4.2.3) — concretely, an X.509 `SubjectPublicKeyInfo`:
+//!
+//! ```text
+//! SEQUENCE {
+//!   SEQUENCE { OID 1.2.840.113549.1.1.1 (rsaEncryption), NULL }
+//!   BIT STRING { SEQUENCE { INTEGER n, INTEGER e } }
+//! }
+//! ```
+//!
+//! We implement exactly the encode/decode needed for that structure,
+//! plus standard base64.
+
+use crate::bigint::BigUint;
+
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Base64-encode with padding.
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(B64_ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(B64_ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Base64-decode (strict alphabet, padding optional, whitespace skipped).
+pub fn base64_decode(text: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let cleaned: Vec<u8> = text
+        .bytes()
+        .filter(|b| !b.is_ascii_whitespace() && *b != b'=')
+        .collect();
+    let mut out = Vec::with_capacity(cleaned.len() * 3 / 4);
+    for chunk in cleaned.chunks(4) {
+        if chunk.len() == 1 {
+            return None; // 1 leftover char is never valid
+        }
+        let mut n: u32 = 0;
+        for (i, &c) in chunk.iter().enumerate() {
+            n |= val(c)? << (18 - 6 * i);
+        }
+        out.push((n >> 16) as u8);
+        if chunk.len() > 2 {
+            out.push((n >> 8) as u8);
+        }
+        if chunk.len() > 3 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+/// DER OID for rsaEncryption (1.2.840.113549.1.1.1), pre-encoded.
+const OID_RSA_ENCRYPTION: &[u8] = &[
+    0x06, 0x09, 0x2A, 0x86, 0x48, 0x86, 0xF7, 0x0D, 0x01, 0x01, 0x01,
+];
+
+/// Encode a DER length.
+fn der_len(len: usize, out: &mut Vec<u8>) {
+    if len < 0x80 {
+        out.push(len as u8);
+    } else {
+        let bytes = (len as u64).to_be_bytes();
+        let first = bytes.iter().position(|b| *b != 0).unwrap_or(7);
+        let sig = &bytes[first..];
+        out.push(0x80 | sig.len() as u8);
+        out.extend_from_slice(sig);
+    }
+}
+
+/// Encode a DER INTEGER from an unsigned big integer (adds the leading
+/// zero byte when the high bit is set, per DER's signed representation).
+fn der_integer(v: &BigUint, out: &mut Vec<u8>) {
+    let mut bytes = v.to_bytes_be();
+    if bytes.is_empty() {
+        bytes.push(0);
+    }
+    if bytes[0] & 0x80 != 0 {
+        bytes.insert(0, 0);
+    }
+    out.push(0x02);
+    der_len(bytes.len(), out);
+    out.extend_from_slice(&bytes);
+}
+
+/// Wrap `content` in a DER constructed tag.
+fn der_wrap(tag: u8, content: &[u8], out: &mut Vec<u8>) {
+    out.push(tag);
+    der_len(content.len(), out);
+    out.extend_from_slice(content);
+}
+
+/// Encode an RSA public key `(n, e)` as a DER `SubjectPublicKeyInfo`.
+pub fn encode_spki(n: &BigUint, e: &BigUint) -> Vec<u8> {
+    // Inner RSAPublicKey ::= SEQUENCE { n INTEGER, e INTEGER }
+    let mut rsa_key = Vec::new();
+    der_integer(n, &mut rsa_key);
+    der_integer(e, &mut rsa_key);
+    let mut rsa_seq = Vec::new();
+    der_wrap(0x30, &rsa_key, &mut rsa_seq);
+
+    // AlgorithmIdentifier ::= SEQUENCE { OID, NULL }
+    let mut alg = Vec::new();
+    alg.extend_from_slice(OID_RSA_ENCRYPTION);
+    alg.extend_from_slice(&[0x05, 0x00]);
+    let mut alg_seq = Vec::new();
+    der_wrap(0x30, &alg, &mut alg_seq);
+
+    // BIT STRING: unused-bits byte then the key.
+    let mut bits = Vec::with_capacity(rsa_seq.len() + 1);
+    bits.push(0x00);
+    bits.extend_from_slice(&rsa_seq);
+    let mut bit_str = Vec::new();
+    der_wrap(0x03, &bits, &mut bit_str);
+
+    let mut body = Vec::new();
+    body.extend_from_slice(&alg_seq);
+    body.extend_from_slice(&bit_str);
+    let mut out = Vec::new();
+    der_wrap(0x30, &body, &mut out);
+    out
+}
+
+/// A tiny DER reader.
+struct DerReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> DerReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        DerReader { data, pos: 0 }
+    }
+
+    fn read_tlv(&mut self, expect_tag: u8) -> Option<&'a [u8]> {
+        if self.pos >= self.data.len() || self.data[self.pos] != expect_tag {
+            return None;
+        }
+        self.pos += 1;
+        let mut len = 0usize;
+        let first = *self.data.get(self.pos)?;
+        self.pos += 1;
+        if first < 0x80 {
+            len = first as usize;
+        } else {
+            let n = (first & 0x7f) as usize;
+            if n == 0 || n > 8 {
+                return None;
+            }
+            for _ in 0..n {
+                len = (len << 8) | *self.data.get(self.pos)? as usize;
+                self.pos += 1;
+            }
+        }
+        let start = self.pos;
+        let end = start.checked_add(len)?;
+        if end > self.data.len() {
+            return None;
+        }
+        self.pos = end;
+        Some(&self.data[start..end])
+    }
+}
+
+/// Decode a DER `SubjectPublicKeyInfo`, returning `(n, e)`.
+pub fn decode_spki(der: &[u8]) -> Option<(BigUint, BigUint)> {
+    let mut outer = DerReader::new(der);
+    let body = outer.read_tlv(0x30)?;
+    let mut r = DerReader::new(body);
+    let alg = r.read_tlv(0x30)?;
+    // Verify the algorithm OID.
+    if !alg.starts_with(OID_RSA_ENCRYPTION) {
+        return None;
+    }
+    let bit_string = r.read_tlv(0x03)?;
+    if bit_string.first() != Some(&0x00) {
+        return None;
+    }
+    let mut key_reader = DerReader::new(&bit_string[1..]);
+    let rsa_seq = key_reader.read_tlv(0x30)?;
+    let mut ints = DerReader::new(rsa_seq);
+    let n_bytes = ints.read_tlv(0x02)?;
+    let e_bytes = ints.read_tlv(0x02)?;
+    Some((
+        BigUint::from_bytes_be(n_bytes),
+        BigUint::from_bytes_be(e_bytes),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_rfc4648_vectors() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_round_trip() {
+        for len in 0..40 {
+            let data: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(37)).collect();
+            assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn base64_decode_rejects_garbage() {
+        assert_eq!(base64_decode("!!!!"), None);
+        assert_eq!(base64_decode("A"), None);
+    }
+
+    #[test]
+    fn base64_decode_tolerates_whitespace_and_padding() {
+        assert_eq!(base64_decode("Zm9v\nYmFy").unwrap(), b"foobar");
+        assert_eq!(base64_decode("Zg").unwrap(), b"f");
+    }
+
+    #[test]
+    fn spki_round_trip() {
+        let n = BigUint::from_decimal(
+            "17976931348623159077293051907890247336179769789423065727343008115",
+        )
+        .unwrap();
+        let e = BigUint::from_u64(65537);
+        let der = encode_spki(&n, &e);
+        let (n2, e2) = decode_spki(&der).unwrap();
+        assert_eq!(n, n2);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn spki_starts_with_sequence_and_is_mfww_shaped_for_512_bit() {
+        // The paper shows sitekeys beginning "MFwwDQYJK..." — that prefix
+        // is the base64 of a 512-bit RSA SPKI header. Reproduce it.
+        let n = BigUint::one().shl(511).add(&BigUint::from_u64(12345)); // 512-bit modulus
+        let e = BigUint::from_u64(65537);
+        let der = encode_spki(&n, &e);
+        let b64 = base64_encode(&der);
+        assert!(
+            b64.starts_with("MFwwDQYJK"),
+            "512-bit SPKI should begin MFwwDQYJK…, got {}",
+            &b64[..12.min(b64.len())]
+        );
+    }
+
+    #[test]
+    fn der_integer_adds_sign_byte() {
+        let v = BigUint::from_u64(0x80);
+        let mut out = Vec::new();
+        der_integer(&v, &mut out);
+        assert_eq!(out, vec![0x02, 0x02, 0x00, 0x80]);
+
+        let v = BigUint::from_u64(0x7f);
+        let mut out = Vec::new();
+        der_integer(&v, &mut out);
+        assert_eq!(out, vec![0x02, 0x01, 0x7f]);
+    }
+
+    #[test]
+    fn der_zero_integer() {
+        let mut out = Vec::new();
+        der_integer(&BigUint::zero(), &mut out);
+        assert_eq!(out, vec![0x02, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn long_form_length() {
+        // A 200-byte integer forces long-form length encoding.
+        let big = BigUint::one().shl(1600);
+        let der = encode_spki(&big, &BigUint::from_u64(65537));
+        let (n2, _) = decode_spki(&der).unwrap();
+        assert_eq!(n2, big);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let n = BigUint::from_u64(123456789);
+        let der = encode_spki(&n, &BigUint::from_u64(65537));
+        for cut in 1..der.len() {
+            assert!(decode_spki(&der[..cut]).is_none(), "cut={cut}");
+        }
+        assert!(decode_spki(&[]).is_none());
+    }
+}

@@ -1,0 +1,399 @@
+//! Integer factoring: the paper's sitekey attack (§4.2.3, Fig 5).
+//!
+//! The authors factored real 512-bit sitekey moduli with CADO-NFS in
+//! about a week on eight desktops. We reproduce the attack *path* at
+//! scaled-down sizes with classic algorithms:
+//!
+//! * trial division by small primes,
+//! * Fermat's method (catches |p−q| small),
+//! * Pollard p−1 (catches smooth p−1),
+//! * Pollard rho with Brent's cycle detection (the workhorse).
+//!
+//! A fast `u128` arithmetic path handles moduli below 2⁶⁴ bits-per-factor
+//! comfortably; a [`BigUint`] path covers the rest. [`crate::nfs_model`]
+//! extrapolates to the paper's 512-bit observation.
+
+use crate::bigint::BigUint;
+use crate::prime::is_prime;
+use crate::rng::SplitMix64;
+
+/// Outcome of a factoring attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactorResult {
+    /// `n = p · q` with `1 < p ≤ q < n`.
+    Composite(BigUint, BigUint),
+    /// `n` is prime (nothing to factor).
+    Prime,
+    /// `n` is 0 or 1.
+    Trivial,
+    /// Gave up within the iteration budget.
+    Exhausted,
+}
+
+/// Factor `n` into two non-trivial factors using the cascade of methods,
+/// with `budget` bounding the rho iterations.
+pub fn factor(n: &BigUint, budget: u64, rng: &mut SplitMix64) -> FactorResult {
+    if n.to_u64().is_some_and(|v| v < 2) {
+        return FactorResult::Trivial;
+    }
+    if is_prime(n, rng) {
+        return FactorResult::Prime;
+    }
+    // Trial division.
+    if let Some(p) = trial_division(n, 100_000) {
+        let q = n.div_rem(&p).0;
+        return ordered(p, q);
+    }
+    // u64 fast path.
+    if let Some(v) = n.to_u64() {
+        if let Some(p) = rho_brent_u64(v, budget, rng) {
+            return ordered(BigUint::from_u64(p), BigUint::from_u64(v / p));
+        }
+        return FactorResult::Exhausted;
+    }
+    // Fermat (quick win when p ≈ q, a classic RSA misuse).
+    if let Some(p) = fermat(n, 10_000) {
+        let q = n.div_rem(&p).0;
+        return ordered(p, q);
+    }
+    // Pollard p−1 with a modest smoothness bound.
+    if let Some(p) = pollard_p_minus_1(n, 10_000) {
+        let q = n.div_rem(&p).0;
+        return ordered(p, q);
+    }
+    // Pollard rho (Brent) over BigUint.
+    if let Some(p) = rho_brent_big(n, budget, rng) {
+        let q = n.div_rem(&p).0;
+        return ordered(p, q);
+    }
+    FactorResult::Exhausted
+}
+
+fn ordered(a: BigUint, b: BigUint) -> FactorResult {
+    if a <= b {
+        FactorResult::Composite(a, b)
+    } else {
+        FactorResult::Composite(b, a)
+    }
+}
+
+/// Trial division up to `limit`; returns the smallest prime factor.
+pub fn trial_division(n: &BigUint, limit: u64) -> Option<BigUint> {
+    if n.is_even() && n.bit_len() > 1 {
+        return Some(BigUint::from_u64(2));
+    }
+    let mut d = 3u64;
+    while d <= limit {
+        let dv = BigUint::from_u64(d);
+        if &dv.mul(&dv) > n {
+            return None; // n is prime (but caller already checked)
+        }
+        if n.rem(&dv).is_zero() {
+            return Some(dv);
+        }
+        d += 2;
+    }
+    None
+}
+
+/// Fermat's method: find `a` with `a² − n = b²`; then `n = (a−b)(a+b)`.
+pub fn fermat(n: &BigUint, max_steps: u64) -> Option<BigUint> {
+    let mut a = isqrt(n);
+    if a.mul(&a) < *n {
+        a = a.add(&BigUint::one());
+    }
+    for _ in 0..max_steps {
+        let b2 = a.mul(&a).sub(n);
+        let b = isqrt(&b2);
+        if b.mul(&b) == b2 {
+            let p = a.sub(&b);
+            if !p.is_one() && p != *n {
+                return Some(p);
+            }
+            return None;
+        }
+        a = a.add(&BigUint::one());
+    }
+    None
+}
+
+/// Integer square root (Newton).
+pub fn isqrt(n: &BigUint) -> BigUint {
+    if n.is_zero() {
+        return BigUint::zero();
+    }
+    let mut x = BigUint::one().shl(n.bit_len().div_ceil(2));
+    loop {
+        // x' = (x + n/x) / 2
+        let next = x.add(&n.div_rem(&x).0).shr(1);
+        if next >= x {
+            return x;
+        }
+        x = next;
+    }
+}
+
+/// Pollard p−1 with smoothness bound `b`.
+pub fn pollard_p_minus_1(n: &BigUint, b: u64) -> Option<BigUint> {
+    let mut a = BigUint::from_u64(2);
+    for j in 2..=b {
+        a = a.mod_pow(&BigUint::from_u64(j), n);
+        if j % 64 == 0 || j == b {
+            let g = a.sub(&BigUint::one()).gcd(n);
+            if !g.is_one() && g != *n {
+                return Some(g);
+            }
+            if g == *n {
+                return None; // overshoot
+            }
+        }
+    }
+    None
+}
+
+/// Pollard rho / Brent on `u64` (with `u128` intermediates).
+pub fn rho_brent_u64(n: u64, budget: u64, rng: &mut SplitMix64) -> Option<u64> {
+    if n % 2 == 0 {
+        return Some(2);
+    }
+    let mulmod = |a: u64, b: u64| ((a as u128 * b as u128) % n as u128) as u64;
+    for _ in 0..10 {
+        let c = 1 + rng.below(n - 1);
+        let f = |x: u64| (mulmod(x, x) + c) % n;
+        let mut x = rng.below(n);
+        let mut y = x;
+        let mut d = 1u64;
+        let mut count = 0u64;
+        while d == 1 {
+            if count >= budget {
+                break;
+            }
+            count += 1;
+            x = f(x);
+            y = f(f(y));
+            let diff = x.abs_diff(y);
+            if diff == 0 {
+                break; // cycle without factor; retry with new c
+            }
+            d = gcd_u64(diff, n);
+        }
+        if d != 1 && d != n {
+            return Some(d);
+        }
+    }
+    None
+}
+
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Pollard rho / Brent over [`BigUint`] with batched gcds.
+pub fn rho_brent_big(n: &BigUint, budget: u64, rng: &mut SplitMix64) -> Option<BigUint> {
+    for _ in 0..8 {
+        let c = BigUint::random_below(n, rng);
+        let mut y = BigUint::random_below(n, rng);
+        let mut g = BigUint::one();
+        let mut r: u64 = 1;
+        let mut q = BigUint::one();
+        let mut x = y.clone();
+        let mut ys = y.clone();
+        let mut spent: u64 = 0;
+        let m: u64 = 64;
+
+        while g.is_one() && spent < budget {
+            x = y.clone();
+            for _ in 0..r {
+                y = y.mod_mul(&y, n).add(&c).rem(n);
+            }
+            let mut k: u64 = 0;
+            while k < r && g.is_one() {
+                ys = y.clone();
+                let lim = m.min(r - k);
+                for _ in 0..lim {
+                    y = y.mod_mul(&y, n).add(&c).rem(n);
+                    let diff = if x >= y { x.sub(&y) } else { y.sub(&x) };
+                    if !diff.is_zero() {
+                        q = q.mod_mul(&diff, n);
+                    }
+                }
+                g = q.gcd(n);
+                k += lim;
+                spent += lim;
+            }
+            r *= 2;
+        }
+        if g == *n {
+            // Backtrack one step at a time.
+            loop {
+                ys = ys.mod_mul(&ys, n).add(&c).rem(n);
+                let diff = if x >= ys { x.sub(&ys) } else { ys.sub(&x) };
+                g = diff.gcd(n);
+                if !g.is_one() {
+                    break;
+                }
+            }
+        }
+        if !g.is_one() && g != *n {
+            return Some(g);
+        }
+    }
+    None
+}
+
+/// Factor an RSA modulus and reconstruct the private key — the complete
+/// attack of §4.2.3. Returns `None` when the budget is exhausted.
+pub fn break_rsa_modulus(
+    n: &BigUint,
+    e: &BigUint,
+    budget: u64,
+    rng: &mut SplitMix64,
+) -> Option<crate::rsa::RsaKeyPair> {
+    match factor(n, budget, rng) {
+        FactorResult::Composite(p, q) => crate::rsa::RsaKeyPair::from_factors(p, q, e.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::gen_prime;
+    use crate::rsa::RsaKeyPair;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(0xFACC)
+    }
+
+    #[test]
+    fn isqrt_values() {
+        assert_eq!(isqrt(&BigUint::zero()), BigUint::zero());
+        assert_eq!(isqrt(&BigUint::from_u64(1)).to_u64(), Some(1));
+        assert_eq!(isqrt(&BigUint::from_u64(15)).to_u64(), Some(3));
+        assert_eq!(isqrt(&BigUint::from_u64(16)).to_u64(), Some(4));
+        assert_eq!(isqrt(&BigUint::from_u64(17)).to_u64(), Some(4));
+        let big = BigUint::from_decimal("123456789123456789").unwrap();
+        let s = isqrt(&big.mul(&big));
+        assert_eq!(s, big);
+    }
+
+    #[test]
+    fn trial_division_finds_small_factors() {
+        let n = BigUint::from_u64(3 * 1_000_003);
+        assert_eq!(trial_division(&n, 10).unwrap().to_u64(), Some(3));
+        let n = BigUint::from_u64(2 * 7919);
+        assert_eq!(trial_division(&n, 10).unwrap().to_u64(), Some(2));
+    }
+
+    #[test]
+    fn fermat_catches_close_primes() {
+        let mut r = rng();
+        let p = gen_prime(40, &mut r);
+        // q = next prime after p: |p − q| tiny, Fermat wins instantly.
+        let mut q = p.add(&BigUint::from_u64(2));
+        while !crate::prime::is_prime(&q, &mut r) {
+            q = q.add(&BigUint::from_u64(2));
+        }
+        let n = p.mul(&q);
+        let f = fermat(&n, 1000).expect("fermat should find close factors");
+        assert!(n.rem(&f).is_zero());
+        assert!(!f.is_one() && f != n);
+    }
+
+    #[test]
+    fn rho_u64_factors_semiprime() {
+        let mut r = rng();
+        // 32-bit semiprime.
+        let p = 48611u64;
+        let q = 65521u64;
+        let f = rho_brent_u64(p * q, 1_000_000, &mut r).unwrap();
+        assert!(f == p || f == q);
+    }
+
+    #[test]
+    fn factor_cascade_on_48_bit_modulus() {
+        let mut r = rng();
+        let p = gen_prime(24, &mut r);
+        let q = gen_prime(24, &mut r);
+        let n = p.mul(&q);
+        match factor(&n, 10_000_000, &mut r) {
+            FactorResult::Composite(a, b) => {
+                assert_eq!(a.mul(&b), n);
+                assert!((a == p && b == q) || (a == q && b == p));
+            }
+            other => panic!("expected factors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn factor_recognizes_primes_and_trivial() {
+        let mut r = rng();
+        assert_eq!(
+            factor(&BigUint::from_u64(1), 100, &mut r),
+            FactorResult::Trivial
+        );
+        assert_eq!(
+            factor(&BigUint::from_u64(0), 100, &mut r),
+            FactorResult::Trivial
+        );
+        assert_eq!(
+            factor(&BigUint::from_u64(65537), 100, &mut r),
+            FactorResult::Prime
+        );
+    }
+
+    #[test]
+    fn break_rsa_modulus_full_attack_48_bits() {
+        // End-to-end: generate a victim key, factor its modulus, forge a
+        // signature the victim's public key accepts.
+        let mut r = SplitMix64::new(1);
+        let victim = RsaKeyPair::generate(48, &mut r);
+        let forged = break_rsa_modulus(
+            &victim.public.n,
+            &victim.public.e,
+            50_000_000,
+            &mut SplitMix64::new(2),
+        )
+        .expect("48-bit modulus must factor");
+        let msg = b"/\0attacker.example\0Mozilla/5.0";
+        let sig = forged.sign(msg);
+        assert!(victim.public.verify(msg, &sig));
+    }
+
+    #[test]
+    fn big_rho_factors_bigger_modulus() {
+        // 80-bit modulus through the BigUint path.
+        let mut r = SplitMix64::new(5);
+        let p = gen_prime(40, &mut r);
+        let q = gen_prime(40, &mut r);
+        let n = p.mul(&q);
+        assert!(n.to_u64().is_none(), "must exercise the BigUint path");
+        match factor(&n, 50_000_000, &mut r) {
+            FactorResult::Composite(a, b) => assert_eq!(a.mul(&b), n),
+            other => panic!("expected factors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pollard_p_minus_1_on_smooth_prime() {
+        // p = 2^4 * 3^2 * 5 * 7 + 1 = 5041? No — construct p with smooth
+        // p-1: p = 9689? Use known: p = 13, q = large prime; 13-1 = 12 is
+        // 7-smooth, so bound 13 finds it after trial division is skipped.
+        // Build a semiprime with a smooth-minus-one factor beyond the
+        // trial range: p = 350929 (p-1 = 2^4·3·7309? ensure smooth) —
+        // use p = 1000003 is not smooth. Take p = 786433 (3·2^18+1):
+        // p−1 = 3·2^18, very smooth.
+        let p = BigUint::from_u64(786433);
+        let mut r = rng();
+        assert!(crate::prime::is_prime(&p, &mut r));
+        let q = gen_prime(40, &mut r);
+        let n = p.mul(&q);
+        let f = pollard_p_minus_1(&n, 200).expect("smooth factor");
+        assert!(n.rem(&f).is_zero());
+    }
+}

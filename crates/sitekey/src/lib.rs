@@ -1,0 +1,58 @@
+//! # sitekey — the Adblock Plus sitekey mechanism, from scratch
+//!
+//! §4.2.3 of the paper describes *sitekey exception filters*: whitelist
+//! entries carrying a DER-encoded, base64 RSA public key. A page on any
+//! domain can activate such a filter by presenting a signature — over
+//! `URI \0 host \0 user-agent` — in its `X-Adblock-Key` HTTP response
+//! header or `data-adblockkey` attribute. The paper further demonstrates
+//! that the 512-bit keys in use are factorable with modest hardware,
+//! letting an adversarial publisher bypass all blocking (Fig 5).
+//!
+//! This crate implements the entire mechanism with no external crypto
+//! dependencies:
+//!
+//! * [`bigint`] — arbitrary-precision unsigned integers (u32 limbs,
+//!   Knuth Algorithm D division, modular exponentiation);
+//! * [`prime`] — Miller–Rabin primality and prime generation;
+//! * [`rsa`] — RSA keygen / PKCS#1 v1.5 signatures over SHA-1 (the
+//!   scheme Adblock Plus uses for sitekeys);
+//! * [`sha1`] — SHA-1;
+//! * [`encode`] — base64 and the minimal DER needed for
+//!   `SubjectPublicKeyInfo` round-trips;
+//! * [`protocol`] — the `X-Adblock-Key` token format, signing and
+//!   verification;
+//! * [`factor`] — trial division, Fermat, Pollard p−1 and Pollard rho
+//!   (Brent) factoring, used to reproduce the paper's key-factoring
+//!   attack at scaled-down key sizes;
+//! * [`nfs_model`] — an L(1/3) Number Field Sieve cost model calibrated
+//!   to the paper's "one week on 8 desktops for RSA-512" observation;
+//! * [`rng`] — a deterministic SplitMix64 PRNG shared by the workspace.
+//!
+//! ## Substitution note (DESIGN.md §2)
+//!
+//! The paper factored real 512-bit sitekeys with CADO-NFS on an 8-node
+//! cluster. We execute the *same attack path* — factor the modulus,
+//! reconstruct the private key, forge a signature, bypass the blocker —
+//! but at 48–128-bit moduli so it completes in milliseconds-to-seconds,
+//! and use [`nfs_model`] to extrapolate the 512-bit cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod encode;
+pub mod factor;
+pub mod nfs_model;
+pub mod prime;
+pub mod protocol;
+pub mod rng;
+pub mod rsa;
+pub mod sha1;
+
+#[cfg(test)]
+mod proptests;
+
+pub use bigint::BigUint;
+pub use protocol::{SitekeyToken, ADBLOCK_KEY_HEADER};
+pub use rng::SplitMix64;
+pub use rsa::{RsaKeyPair, RsaPublicKey};

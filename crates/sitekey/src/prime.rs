@@ -1,0 +1,179 @@
+//! Primality testing and prime generation.
+//!
+//! Miller–Rabin with a deterministic witness set for 64-bit inputs and
+//! seeded random witnesses above that, preceded by trial division by
+//! small primes. Prime generation produces exact-bit-length primes for
+//! RSA keygen.
+
+use crate::bigint::BigUint;
+use crate::rng::SplitMix64;
+
+/// Small primes for fast trial division.
+const SMALL_PRIMES: [u64; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Witnesses proving 64-bit primality deterministically (Sinclair set).
+const DETERMINISTIC_WITNESSES: [u64; 7] = [2, 325, 9375, 28178, 450775, 9780504, 1795265022];
+
+/// Number of random Miller–Rabin rounds for big inputs (error ≤ 4^-40).
+const RANDOM_ROUNDS: usize = 40;
+
+/// Miller–Rabin strong-probable-prime test to base `a`.
+fn sprp(n: &BigUint, a: &BigUint) -> bool {
+    // n-1 = d * 2^s with d odd.
+    let n_minus_1 = n.sub(&BigUint::one());
+    let s = {
+        let mut s = 0;
+        let mut d = n_minus_1.clone();
+        while d.is_even() && !d.is_zero() {
+            d = d.shr(1);
+            s += 1;
+        }
+        s
+    };
+    let d = n_minus_1.shr(s);
+
+    let a = a.rem(n);
+    if a.is_zero() {
+        return true; // a ≡ 0: vacuous witness
+    }
+    let mut x = a.mod_pow(&d, n);
+    if x.is_one() || x == n_minus_1 {
+        return true;
+    }
+    for _ in 0..s - 1 {
+        x = x.mod_mul(&x, n);
+        if x == n_minus_1 {
+            return true;
+        }
+        if x.is_one() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Probabilistic (deterministic below 2^64) primality test.
+///
+/// `rng` supplies witnesses for large candidates; the same seed always
+/// yields the same verdicts.
+pub fn is_prime(n: &BigUint, rng: &mut SplitMix64) -> bool {
+    if let Some(v) = n.to_u64() {
+        if v < 2 {
+            return false;
+        }
+        for p in SMALL_PRIMES {
+            if v == p {
+                return true;
+            }
+            if v % p == 0 {
+                return false;
+            }
+        }
+        return DETERMINISTIC_WITNESSES
+            .iter()
+            .all(|w| sprp(n, &BigUint::from_u64(*w)));
+    }
+    for p in SMALL_PRIMES {
+        if n.rem(&BigUint::from_u64(p)).is_zero() {
+            return false;
+        }
+    }
+    let two = BigUint::from_u64(2);
+    let upper = n.sub(&BigUint::from_u64(3));
+    for _ in 0..RANDOM_ROUNDS {
+        let a = BigUint::random_below(&upper, rng).add(&two); // in [2, n-2]
+        if !sprp(n, &a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Generate a random prime with exactly `bits` bits.
+pub fn gen_prime(bits: usize, rng: &mut SplitMix64) -> BigUint {
+    assert!(bits >= 4, "prime size too small");
+    loop {
+        let mut candidate = BigUint::random_bits(bits, rng);
+        // Force the top bit (exact bit length) and low bit (odd).
+        if !candidate.bit(bits - 1) {
+            candidate = candidate.add(&BigUint::one().shl(bits - 1));
+        }
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        debug_assert_eq!(candidate.bit_len(), bits);
+        if is_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(0xDECAF)
+    }
+
+    #[test]
+    fn small_primes_and_composites() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 97, 251, 65537, 2147483647] {
+            assert!(is_prime(&BigUint::from_u64(p), &mut r), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 9, 15, 91, 561, 41041, 825265, 321197185] {
+            // 561, 41041, ... are Carmichael numbers.
+            assert!(!is_prime(&BigUint::from_u64(c), &mut r), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn u64_boundary_primes() {
+        let mut r = rng();
+        // Largest 64-bit prime.
+        assert!(is_prime(&BigUint::from_u64(18446744073709551557), &mut r));
+        assert!(!is_prime(&BigUint::from_u64(18446744073709551555), &mut r));
+    }
+
+    #[test]
+    fn known_large_prime() {
+        let mut r = rng();
+        // 2^127 - 1 is a Mersenne prime.
+        let p = BigUint::one().shl(127).sub(&BigUint::one());
+        assert!(is_prime(&p, &mut r));
+        // 2^128 + 1 is composite (not a Fermat prime).
+        let c = BigUint::one().shl(128).add(&BigUint::one());
+        assert!(!is_prime(&c, &mut r));
+    }
+
+    #[test]
+    fn generated_primes_have_exact_bit_length() {
+        let mut r = rng();
+        for bits in [16usize, 24, 32, 48, 64, 96] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bit_len(), bits, "bits={bits}");
+            assert!(!p.is_even());
+            assert!(is_prime(&p, &mut r));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p1 = gen_prime(40, &mut SplitMix64::new(7));
+        let p2 = gen_prime(40, &mut SplitMix64::new(7));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn product_of_two_primes_is_composite() {
+        let mut r = rng();
+        let p = gen_prime(32, &mut r);
+        let q = gen_prime(32, &mut r);
+        assert!(!is_prime(&p.mul(&q), &mut r));
+    }
+}

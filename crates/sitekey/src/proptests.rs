@@ -1,0 +1,140 @@
+//! Property-based tests: bigint arithmetic against `u128` ground truth,
+//! ring axioms at arbitrary precision, codec round-trips, and
+//! sign/verify soundness.
+
+use crate::bigint::BigUint;
+use crate::encode::{base64_decode, base64_encode, decode_spki, encode_spki};
+use crate::rng::SplitMix64;
+use crate::rsa::RsaKeyPair;
+use proptest::prelude::*;
+
+fn big(v: u128) -> BigUint {
+    BigUint::from_bytes_be(&v.to_be_bytes())
+}
+
+fn to_u128(v: &BigUint) -> Option<u128> {
+    let bytes = v.to_bytes_be();
+    if bytes.len() > 16 {
+        return None;
+    }
+    let mut buf = [0u8; 16];
+    buf[16 - bytes.len()..].copy_from_slice(&bytes);
+    Some(u128::from_be_bytes(buf))
+}
+
+proptest! {
+    /// add/sub/mul agree with u128 on 64-bit operands.
+    #[test]
+    fn u128_differential(a in any::<u64>(), b in any::<u64>()) {
+        let (ba, bb) = (big(a as u128), big(b as u128));
+        prop_assert_eq!(to_u128(&ba.add(&bb)), Some(a as u128 + b as u128));
+        prop_assert_eq!(to_u128(&ba.mul(&bb)), Some(a as u128 * b as u128));
+        if a >= b {
+            prop_assert_eq!(to_u128(&ba.sub(&bb)), Some((a - b) as u128));
+        }
+        if b != 0 {
+            let (q, r) = ba.div_rem(&bb);
+            prop_assert_eq!(to_u128(&q), Some((a / b) as u128));
+            prop_assert_eq!(to_u128(&r), Some((a % b) as u128));
+        }
+    }
+
+    /// Division invariant at arbitrary precision: a = q·d + r, r < d.
+    #[test]
+    fn div_rem_invariant(a_bits in 1usize..400, d_bits in 1usize..200, seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let a = BigUint::random_bits(a_bits, &mut rng);
+        let mut d = BigUint::random_bits(d_bits, &mut rng);
+        if d.is_zero() {
+            d = BigUint::one();
+        }
+        let (q, r) = a.div_rem(&d);
+        prop_assert_eq!(q.mul(&d).add(&r), a);
+        prop_assert!(r < d);
+    }
+
+    /// Ring axioms on random multi-limb values.
+    #[test]
+    fn ring_axioms(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let a = BigUint::random_bits(130, &mut rng);
+        let b = BigUint::random_bits(190, &mut rng);
+        let c = BigUint::random_bits(90, &mut rng);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    /// Shifts are multiplication/division by powers of two.
+    #[test]
+    fn shifts_match_mul_div(seed in any::<u64>(), k in 0usize..130) {
+        let mut rng = SplitMix64::new(seed);
+        let a = BigUint::random_bits(200, &mut rng);
+        let pow2 = BigUint::one().shl(k);
+        prop_assert_eq!(a.shl(k), a.mul(&pow2));
+        prop_assert_eq!(a.shr(k), a.div_rem(&pow2).0);
+    }
+
+    /// mod_pow matches iterated mod_mul for small exponents.
+    #[test]
+    fn mod_pow_matches_iteration(seed in any::<u64>(), e in 0u32..24) {
+        let mut rng = SplitMix64::new(seed);
+        let base = BigUint::random_bits(96, &mut rng);
+        let mut modulus = BigUint::random_bits(96, &mut rng);
+        if modulus.is_zero() || modulus.is_one() {
+            modulus = BigUint::from_u64(97);
+        }
+        let fast = base.mod_pow(&BigUint::from_u64(e as u64), &modulus);
+        let mut slow = BigUint::one().rem(&modulus);
+        for _ in 0..e {
+            slow = slow.mod_mul(&base, &modulus);
+        }
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Decimal and byte codecs round-trip.
+    #[test]
+    fn codecs_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..48)) {
+        let v = BigUint::from_bytes_be(&bytes);
+        prop_assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v.clone());
+        prop_assert_eq!(BigUint::from_decimal(&v.to_decimal()), Some(v));
+    }
+
+    /// Base64 round-trips arbitrary bytes.
+    #[test]
+    fn base64_round_trip(data in proptest::collection::vec(any::<u8>(), 0..120)) {
+        prop_assert_eq!(base64_decode(&base64_encode(&data)), Some(data));
+    }
+
+    /// SPKI DER round-trips arbitrary (n, e) pairs.
+    #[test]
+    fn spki_round_trip(n_bytes in proptest::collection::vec(any::<u8>(), 1..48), e in 1u64..1_000_000) {
+        let n = BigUint::from_bytes_be(&n_bytes);
+        prop_assume!(!n.is_zero());
+        let e = BigUint::from_u64(e);
+        let der = encode_spki(&n, &e);
+        prop_assert_eq!(decode_spki(&der), Some((n, e)));
+    }
+
+    /// Signatures verify for their message and fail for any other, and
+    /// tampered signatures fail.
+    #[test]
+    fn sign_verify_soundness(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..64), flip in any::<u8>(), flip_at in any::<u16>()) {
+        let mut rng = SplitMix64::new(seed);
+        let kp = RsaKeyPair::generate(96, &mut rng);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public.verify(&msg, &sig));
+
+        let mut other = msg.clone();
+        other.push(0x00);
+        prop_assert!(!kp.public.verify(&other, &sig));
+
+        if flip != 0 {
+            let mut bad = sig.clone();
+            let i = flip_at as usize % bad.len();
+            bad[i] ^= flip;
+            prop_assert!(!kp.public.verify(&msg, &bad));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The Adblock Plus sitekey protocol (§4.2.3).
+//!
+//! A server participating in sitekey whitelisting returns, with each
+//! page, a token `"<base64 SPKI public key>_<base64 signature>"` in
+//! either the `X-Adblock-Key` response header or the `data-adblockkey`
+//! attribute of the root element. The signature covers
+//!
+//! ```text
+//! URI \0 host \0 user-agent
+//! ```
+//!
+//! of the request. Adblock Plus recomputes the message, verifies the
+//! signature against the embedded public key, and — on success — treats
+//! sitekey filters naming that key as applicable to the page.
+
+use crate::encode::{base64_decode, base64_encode};
+use crate::rsa::{RsaKeyPair, RsaPublicKey};
+
+/// The HTTP response header carrying the sitekey token.
+pub const ADBLOCK_KEY_HEADER: &str = "X-Adblock-Key";
+
+/// The HTML attribute (on the root element) carrying the token.
+pub const ADBLOCK_KEY_ATTR: &str = "data-adblockkey";
+
+/// A sitekey token: public key plus signature, both base64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SitekeyToken {
+    /// Base64 DER `SubjectPublicKeyInfo`.
+    pub public_key_b64: String,
+    /// Base64 signature over the request message.
+    pub signature_b64: String,
+}
+
+impl SitekeyToken {
+    /// Serialize to the on-the-wire `key_signature` form.
+    pub fn to_wire(&self) -> String {
+        format!("{}_{}", self.public_key_b64, self.signature_b64)
+    }
+
+    /// Parse the on-the-wire form.
+    pub fn from_wire(wire: &str) -> Option<Self> {
+        let (key, sig) = wire.split_once('_')?;
+        if key.is_empty() || sig.is_empty() {
+            return None;
+        }
+        Some(SitekeyToken {
+            public_key_b64: key.to_string(),
+            signature_b64: sig.to_string(),
+        })
+    }
+}
+
+/// The string Adblock Plus signs: `uri \0 host \0 user_agent`.
+pub fn signed_message(uri: &str, host: &str, user_agent: &str) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(uri.len() + host.len() + user_agent.len() + 2);
+    msg.extend_from_slice(uri.as_bytes());
+    msg.push(0);
+    msg.extend_from_slice(host.as_bytes());
+    msg.push(0);
+    msg.extend_from_slice(user_agent.as_bytes());
+    msg
+}
+
+/// Produce the sitekey token a server attaches to a response.
+pub fn issue_token(key: &RsaKeyPair, uri: &str, host: &str, user_agent: &str) -> SitekeyToken {
+    let msg = signed_message(uri, host, user_agent);
+    SitekeyToken {
+        public_key_b64: key.public.to_base64(),
+        signature_b64: base64_encode(&key.sign(&msg)),
+    }
+}
+
+/// Verify a token against the request context. On success, returns the
+/// base64 public key — the string compared against `$sitekey=` filter
+/// options.
+pub fn verify_token(
+    token: &SitekeyToken,
+    uri: &str,
+    host: &str,
+    user_agent: &str,
+) -> Option<String> {
+    let der = base64_decode(&token.public_key_b64)?;
+    let public = RsaPublicKey::from_der(&der)?;
+    let sig = base64_decode(&token.signature_b64)?;
+    let msg = signed_message(uri, host, user_agent);
+    if public.verify(&msg, &sig) {
+        Some(token.public_key_b64.clone())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn key() -> RsaKeyPair {
+        RsaKeyPair::generate(128, &mut SplitMix64::new(404))
+    }
+
+    #[test]
+    fn issue_and_verify_round_trip() {
+        let kp = key();
+        let token = issue_token(&kp, "/index.html", "parked.example", "Mozilla/5.0");
+        let verified = verify_token(&token, "/index.html", "parked.example", "Mozilla/5.0");
+        assert_eq!(verified, Some(kp.public.to_base64()));
+    }
+
+    #[test]
+    fn verification_binds_all_three_fields() {
+        let kp = key();
+        let token = issue_token(&kp, "/a", "h.example", "UA");
+        assert!(verify_token(&token, "/b", "h.example", "UA").is_none());
+        assert!(verify_token(&token, "/a", "other.example", "UA").is_none());
+        assert!(verify_token(&token, "/a", "h.example", "UA2").is_none());
+        assert!(verify_token(&token, "/a", "h.example", "UA").is_some());
+    }
+
+    #[test]
+    fn wire_format_round_trip() {
+        let kp = key();
+        let token = issue_token(&kp, "/", "x.example", "UA");
+        let wire = token.to_wire();
+        assert_eq!(SitekeyToken::from_wire(&wire).unwrap(), token);
+    }
+
+    #[test]
+    fn malformed_wire_rejected() {
+        assert!(SitekeyToken::from_wire("nounderscore").is_none());
+        assert!(SitekeyToken::from_wire("_sigonly").is_none());
+        assert!(SitekeyToken::from_wire("keyonly_").is_none());
+    }
+
+    #[test]
+    fn garbage_key_or_signature_rejected() {
+        let kp = key();
+        let mut token = issue_token(&kp, "/", "x.example", "UA");
+        token.signature_b64 = "AAAA".to_string();
+        assert!(verify_token(&token, "/", "x.example", "UA").is_none());
+
+        let mut token = issue_token(&kp, "/", "x.example", "UA");
+        token.public_key_b64 = "!!notbase64!!".to_string();
+        assert!(verify_token(&token, "/", "x.example", "UA").is_none());
+    }
+
+    #[test]
+    fn forged_key_token_verifies_as_the_original_key() {
+        // The §4.2.3 attack: an adversary who factors the modulus can
+        // issue tokens for any site that verify against the *original*
+        // whitelist key string.
+        let victim = key();
+        let attacker =
+            RsaKeyPair::from_factors(victim.p.clone(), victim.q.clone(), victim.public.e.clone())
+                .unwrap();
+        let token = issue_token(&attacker, "/evil", "attacker.example", "UA");
+        assert_eq!(
+            verify_token(&token, "/evil", "attacker.example", "UA"),
+            Some(victim.public.to_base64())
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! SHA-1 (FIPS 180-1), implemented from scratch.
+//!
+//! Adblock Plus sitekey signatures are RSA over SHA-1 digests; we
+//! implement the hash rather than pulling a crypto dependency. SHA-1's
+//! collision weaknesses are irrelevant here — we reproduce the deployed
+//! protocol, and the paper's attack is on the 512-bit RSA modulus, not
+//! the hash.
+
+/// Compute the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Padding: 0x80, zeros, 64-bit big-endian bit length.
+    let mut msg = data.to_vec();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    for block in msg.chunks_exact(64) {
+        let mut w = [0u32; 80];
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Hex-encode a digest (test/debug convenience).
+pub fn to_hex(digest: &[u8]) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_test_vectors() {
+        assert_eq!(
+            to_hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            to_hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(
+            to_hex(&sha1(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            to_hex(&sha1(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // 55, 56, 63, 64, 65 bytes cross the padding boundaries.
+        let known = [
+            (55usize, "c1c8bbdc22796e28c0e15163d20899b65621d65a"),
+            (64usize, "0098ba824b5c16427bd7a1122a5a442a25ec644d"),
+        ];
+        for (len, hex) in known {
+            let data = vec![b'a'; len];
+            assert_eq!(to_hex(&sha1(&data)), hex, "len={len}");
+        }
+    }
+
+    #[test]
+    fn sitekey_message_shape() {
+        // The ABP signed string: URI \0 host \0 user-agent.
+        let msg = b"/index.html?q=1\0example.com\0Mozilla/5.0";
+        let d1 = sha1(msg);
+        let d2 = sha1(msg);
+        assert_eq!(d1, d2);
+        assert_ne!(d1, sha1(b"/index.html?q=1\0example.org\0Mozilla/5.0"));
+    }
+}

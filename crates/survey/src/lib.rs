@@ -1,0 +1,43 @@
+//! # survey — the user-perception study of §6
+//!
+//! The paper surveyed 305 Mechanical Turk workers (≥5,000 approved
+//! submissions, ≥98 % approval, paid $1, ~10 minutes, 72 questions),
+//! showing eight sites with fifteen Adblock-Plus-allowed advertisements
+//! and asking three Likert statements per ad, transcribed from the
+//! Acceptable Ads criteria:
+//!
+//! * **S1** "The advertisements are eye catching and grab my attention."
+//! * **S2** "The advertisements are clearly distinguished from page
+//!   content."
+//! * **S3** "The advertisements on this page obscure page content or
+//!   obstruct reading flow."
+//!
+//! We reproduce the *analytics pipeline* in full and substitute the
+//! human pool with a latent-trait respondent simulator calibrated to
+//! Figure 9(d) (see DESIGN.md §2): each ad class × statement has a
+//! population mean; each ad deviates from its class mean with the
+//! class's reported variance; each respondent adds a personal leniency
+//! plus response noise, then the continuous attitude is discretized to
+//! the 5-point scale.
+//!
+//! Modules:
+//! * [`likert`] — the scale, response distributions, agreement rates;
+//! * [`questionnaire`] — the eight sites / fifteen ads and statements;
+//! * [`respondent`] — the latent-trait population model;
+//! * [`mturk`] — the worker pool and its qualification filters;
+//! * [`stats`] — means/variances (Fig 9d) and headline agreement rates;
+//! * [`sim`] — end-to-end survey execution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod likert;
+pub mod mturk;
+pub mod questionnaire;
+pub mod respondent;
+pub mod sim;
+pub mod stats;
+
+pub use likert::{Likert, LikertDistribution};
+pub use questionnaire::{Ad, AdClass, Questionnaire, Statement};
+pub use sim::{run_survey, SurveyConfig, SurveyResults};

@@ -1,0 +1,255 @@
+//! The 5-point Likert scale and response distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// One Likert response. The paper codes these as integers in [-2, 2].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Likert {
+    /// −2
+    StronglyDisagree,
+    /// −1
+    Disagree,
+    /// 0
+    Neutral,
+    /// +1
+    Agree,
+    /// +2
+    StronglyAgree,
+}
+
+impl Likert {
+    /// All responses in scale order.
+    pub const ALL: [Likert; 5] = [
+        Likert::StronglyDisagree,
+        Likert::Disagree,
+        Likert::Neutral,
+        Likert::Agree,
+        Likert::StronglyAgree,
+    ];
+
+    /// Integer coding per the paper: "assigning integer values [-2, 2]…
+    /// e.g., strongly disagree was given -2".
+    pub fn score(self) -> i8 {
+        match self {
+            Likert::StronglyDisagree => -2,
+            Likert::Disagree => -1,
+            Likert::Neutral => 0,
+            Likert::Agree => 1,
+            Likert::StronglyAgree => 2,
+        }
+    }
+
+    /// Discretize a continuous attitude to the scale (round, clamp).
+    pub fn from_attitude(x: f64) -> Likert {
+        let rounded = x.round().clamp(-2.0, 2.0) as i8;
+        match rounded {
+            -2 => Likert::StronglyDisagree,
+            -1 => Likert::Disagree,
+            0 => Likert::Neutral,
+            1 => Likert::Agree,
+            _ => Likert::StronglyAgree,
+        }
+    }
+
+    /// Scale label as displayed to respondents.
+    pub fn label(self) -> &'static str {
+        match self {
+            Likert::StronglyDisagree => "Strongly Disagree",
+            Likert::Disagree => "Disagree",
+            Likert::Neutral => "Neutral",
+            Likert::Agree => "Agree",
+            Likert::StronglyAgree => "Strongly Agree",
+        }
+    }
+}
+
+/// A distribution of Likert responses to one question.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LikertDistribution {
+    /// Counts indexed by scale order (StronglyDisagree..StronglyAgree).
+    pub counts: [u32; 5],
+}
+
+impl LikertDistribution {
+    /// Record one response.
+    pub fn record(&mut self, r: Likert) {
+        let idx = (r.score() + 2) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Total responses.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean of the integer-coded responses.
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: i64 = self
+            .counts
+            .iter()
+            .zip(Likert::ALL)
+            .map(|(c, l)| *c as i64 * l.score() as i64)
+            .sum();
+        sum as f64 / total as f64
+    }
+
+    /// Population variance of the integer-coded responses.
+    pub fn variance(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let ss: f64 = self
+            .counts
+            .iter()
+            .zip(Likert::ALL)
+            .map(|(c, l)| *c as f64 * (l.score() as f64 - mean).powi(2))
+            .sum();
+        ss / total as f64
+    }
+
+    /// Fraction of respondents agreeing or strongly agreeing — the
+    /// paper's "73% agreeing or strongly agreeing" style headline.
+    pub fn agreement_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.counts[3] + self.counts[4]) as f64 / total as f64
+    }
+
+    /// Fraction disagreeing or strongly disagreeing (used for "not
+    /// distinguished from content" style headlines).
+    pub fn disagreement_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.counts[0] + self.counts[1]) as f64 / total as f64
+    }
+
+    /// Merge another distribution into this one.
+    pub fn merge(&mut self, other: &LikertDistribution) {
+        for i in 0..5 {
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_match_paper_coding() {
+        assert_eq!(Likert::StronglyDisagree.score(), -2);
+        assert_eq!(Likert::Neutral.score(), 0);
+        assert_eq!(Likert::StronglyAgree.score(), 2);
+    }
+
+    #[test]
+    fn discretization() {
+        assert_eq!(Likert::from_attitude(-5.0), Likert::StronglyDisagree);
+        assert_eq!(Likert::from_attitude(-1.4), Likert::Disagree);
+        assert_eq!(Likert::from_attitude(-0.2), Likert::Neutral);
+        assert_eq!(Likert::from_attitude(0.6), Likert::Agree);
+        assert_eq!(Likert::from_attitude(1.6), Likert::StronglyAgree);
+        assert_eq!(Likert::from_attitude(99.0), Likert::StronglyAgree);
+    }
+
+    #[test]
+    fn distribution_stats() {
+        let mut d = LikertDistribution::default();
+        // 2× SD, 1× N, 3× A, 4× SA.
+        for _ in 0..2 {
+            d.record(Likert::StronglyDisagree);
+        }
+        d.record(Likert::Neutral);
+        for _ in 0..3 {
+            d.record(Likert::Agree);
+        }
+        for _ in 0..4 {
+            d.record(Likert::StronglyAgree);
+        }
+        assert_eq!(d.total(), 10);
+        let mean = (-4.0 + 0.0 + 3.0 + 8.0) / 10.0;
+        assert!((d.mean() - mean).abs() < 1e-12);
+        assert!((d.agreement_rate() - 0.7).abs() < 1e-12);
+        assert!((d.disagreement_rate() - 0.2).abs() < 1e-12);
+        assert!(d.variance() > 0.0);
+    }
+
+    #[test]
+    fn empty_distribution_is_zeroed() {
+        let d = LikertDistribution::default();
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.agreement_rate(), 0.0);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        let mut d = LikertDistribution::default();
+        for _ in 0..5 {
+            d.record(Likert::Agree);
+        }
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.mean(), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LikertDistribution::default();
+        a.record(Likert::Agree);
+        let mut b = LikertDistribution::default();
+        b.record(Likert::Disagree);
+        b.record(Likert::Agree);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.counts[3], 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Mean is bounded by the scale, variance by its maximum (4),
+        /// and rates are probabilities that never double-count.
+        #[test]
+        fn distribution_invariants(counts in proptest::array::uniform5(0u32..500)) {
+            let d = LikertDistribution { counts };
+            prop_assert!((-2.0..=2.0).contains(&d.mean()));
+            prop_assert!((0.0..=4.0).contains(&d.variance()));
+            let (a, dis) = (d.agreement_rate(), d.disagreement_rate());
+            prop_assert!((0.0..=1.0).contains(&a));
+            prop_assert!((0.0..=1.0).contains(&dis));
+            prop_assert!(a + dis <= 1.0 + 1e-12);
+        }
+
+        /// Discretization is monotone in the attitude.
+        #[test]
+        fn discretization_monotone(x in -5.0f64..5.0, y in -5.0f64..5.0) {
+            if x <= y {
+                prop_assert!(Likert::from_attitude(x).score() <= Likert::from_attitude(y).score());
+            }
+        }
+
+        /// Merging distributions adds means weighted by totals.
+        #[test]
+        fn merge_preserves_total(a in proptest::array::uniform5(0u32..100), b in proptest::array::uniform5(0u32..100)) {
+            let da = LikertDistribution { counts: a };
+            let db = LikertDistribution { counts: b };
+            let mut merged = da.clone();
+            merged.merge(&db);
+            prop_assert_eq!(merged.total(), da.total() + db.total());
+        }
+    }
+}

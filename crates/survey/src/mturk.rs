@@ -1,0 +1,123 @@
+//! The Mechanical Turk worker pool and qualification filters.
+//!
+//! The paper limited its pool "to workers with at least 5,000 approved
+//! submissions and at least 98 % approval rate"; each of the 305
+//! respondents was paid US$1 and finished in about 10 minutes.
+
+use crate::respondent::Respondent;
+use serde::{Deserialize, Serialize};
+use sitekey::rng::SplitMix64;
+
+/// A raw marketplace worker before qualification filtering.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Worker {
+    /// Marketplace id.
+    pub id: u32,
+    /// Lifetime approved submissions.
+    pub approved_submissions: u32,
+    /// Approval rate in [0, 1].
+    pub approval_rate: f64,
+}
+
+/// The paper's qualification thresholds.
+pub const MIN_APPROVED_SUBMISSIONS: u32 = 5_000;
+/// Minimum approval rate.
+pub const MIN_APPROVAL_RATE: f64 = 0.98;
+/// Paid per completed survey, US$.
+pub const PAYMENT_USD: f64 = 1.0;
+/// Respondents the paper recruited.
+pub const PAPER_RESPONDENTS: usize = 305;
+
+impl Worker {
+    /// Sample a marketplace worker (long-tailed experience, high but
+    /// varied approval).
+    pub fn sample(id: u32, rng: &mut SplitMix64) -> Self {
+        // Experience: log-ish tail via squaring a uniform.
+        let u = rng.next_f64();
+        let approved_submissions = (u * u * 40_000.0) as u32;
+        // Approval: most workers are above 95 %.
+        let approval_rate = (0.90 + rng.next_f64() * 0.10).min(1.0);
+        Worker {
+            id,
+            approved_submissions,
+            approval_rate,
+        }
+    }
+
+    /// Whether the worker passes the paper's qualification filter.
+    pub fn qualifies(&self) -> bool {
+        self.approved_submissions >= MIN_APPROVED_SUBMISSIONS
+            && self.approval_rate >= MIN_APPROVAL_RATE
+    }
+}
+
+/// Recruit `n` qualified respondents from the marketplace.
+pub fn recruit(n: usize, rng: &mut SplitMix64) -> Vec<Respondent> {
+    let mut respondents = Vec::with_capacity(n);
+    let mut next_worker_id = 0u32;
+    while respondents.len() < n {
+        let w = Worker::sample(next_worker_id, rng);
+        next_worker_id += 1;
+        if w.qualifies() {
+            respondents.push(Respondent::sample(respondents.len() as u32, rng));
+        }
+    }
+    respondents
+}
+
+/// Total cost of a recruitment drive.
+pub fn total_cost_usd(respondents: usize) -> f64 {
+    respondents as f64 * PAYMENT_USD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualification_filter() {
+        let good = Worker {
+            id: 0,
+            approved_submissions: 6_000,
+            approval_rate: 0.99,
+        };
+        assert!(good.qualifies());
+        let too_few = Worker {
+            id: 1,
+            approved_submissions: 4_999,
+            approval_rate: 0.99,
+        };
+        assert!(!too_few.qualifies());
+        let low_rate = Worker {
+            id: 2,
+            approved_submissions: 10_000,
+            approval_rate: 0.979,
+        };
+        assert!(!low_rate.qualifies());
+    }
+
+    #[test]
+    fn recruit_reaches_target() {
+        let mut rng = SplitMix64::new(1);
+        let pool = recruit(PAPER_RESPONDENTS, &mut rng);
+        assert_eq!(pool.len(), 305);
+        // Ids are dense.
+        assert_eq!(pool.last().unwrap().id, 304);
+    }
+
+    #[test]
+    fn recruiting_filters_a_real_fraction() {
+        // Some sampled workers must fail qualification — otherwise the
+        // filter is vacuous.
+        let mut rng = SplitMix64::new(2);
+        let workers: Vec<Worker> = (0..1000).map(|i| Worker::sample(i, &mut rng)).collect();
+        let qualified = workers.iter().filter(|w| w.qualifies()).count();
+        assert!(qualified > 50, "pool unusably strict: {qualified}");
+        assert!(qualified < 950, "filter vacuous: {qualified}");
+    }
+
+    #[test]
+    fn survey_cost_matches_paper() {
+        assert_eq!(total_cost_usd(PAPER_RESPONDENTS), 305.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The survey instrument: eight sites, fifteen whitelisted
+//! advertisements, three statements per ad (§6, Fig 9, Fig 10).
+
+use serde::{Deserialize, Serialize};
+
+/// The three Likert statements, transcribed from the Acceptable Ads
+/// criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Statement {
+    /// S1: "The advertisements are eye catching and grab my attention."
+    Attention,
+    /// S2: "The advertisements are clearly distinguished from page
+    /// content."
+    Distinguished,
+    /// S3: "The advertisements on this page obscure page content or
+    /// obstruct reading flow."
+    Obscuring,
+}
+
+impl Statement {
+    /// All statements in questionnaire order.
+    pub const ALL: [Statement; 3] = [
+        Statement::Attention,
+        Statement::Distinguished,
+        Statement::Obscuring,
+    ];
+
+    /// The statement text shown to respondents.
+    pub fn text(self) -> &'static str {
+        match self {
+            Statement::Attention => "The advertisements are eye catching and grab my attention.",
+            Statement::Distinguished => {
+                "The advertisements are clearly distinguished from page content."
+            }
+            Statement::Obscuring => {
+                "The advertisements on this page obscure page content or obstruct reading flow."
+            }
+        }
+    }
+}
+
+/// Figure 9(d)'s ad taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AdClass {
+    /// Search-engine-marketing ads (Google/Walmart search results).
+    SearchMarketing,
+    /// Banner ads (sidebars, top bars, ad bars).
+    Banner,
+    /// Content ads — interspersed with and styled like page content
+    /// (ViralNova grids, Reddit sponsored links).
+    Content,
+}
+
+impl AdClass {
+    /// All classes in Fig 9(d) order.
+    pub const ALL: [AdClass; 3] = [AdClass::SearchMarketing, AdClass::Banner, AdClass::Content];
+
+    /// Display name matching the figure's row headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdClass::SearchMarketing => "Search Engine Marketing Advertisements",
+            AdClass::Banner => "Banner Advertisements",
+            AdClass::Content => "Content Advertisements",
+        }
+    }
+}
+
+/// One surveyed advertisement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ad {
+    /// The site the ad was captured on (one of the eight).
+    pub site: String,
+    /// Label used in the paper's figures, e.g. `"Google Ad #2"`.
+    pub label: String,
+    /// Fig 9(d) class.
+    pub class: AdClass,
+}
+
+/// The full instrument.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Questionnaire {
+    /// The fifteen advertisements.
+    pub ads: Vec<Ad>,
+}
+
+impl Questionnaire {
+    /// The paper's instrument: eight sites "selected based on their
+    /// popularity and diversity of ad placement" — a search engine
+    /// (Google), an image host (Imgur), a retailer (Walmart), a web
+    /// service (IsItUp), a game forum (Utopia), a humor site (Cracked),
+    /// a viral curator (ViralNova), and Reddit — carrying fifteen
+    /// whitelisted ads.
+    pub fn paper_instrument() -> Self {
+        fn ad(site: &str, label: &str, class: AdClass) -> Ad {
+            Ad {
+                site: site.to_string(),
+                label: label.to_string(),
+                class,
+            }
+        }
+        use AdClass::*;
+        Questionnaire {
+            ads: vec![
+                ad("google.com", "Google Ad #1", SearchMarketing),
+                ad("google.com", "Google Ad #2", SearchMarketing),
+                ad("walmart.com", "Walmart Ad #1", SearchMarketing),
+                ad("walmart.com", "Walmart Ad #2", SearchMarketing),
+                ad("imgur.com", "Imgur Ad #1", Banner),
+                ad("isitup.com", "IsItUp Ad #1", Banner),
+                ad("utopia-game.com", "Utopia Ad #1", Banner),
+                ad("utopia-game.com", "Utopia Ad #2", Banner),
+                ad("cracked.com", "Cracked Ad #1", Banner),
+                ad("reddit.com", "Reddit Ad #1", Banner),
+                ad("viralnova.com", "ViralNova Ad #1", Content),
+                ad("viralnova.com", "ViralNova Ad #2", Content),
+                ad("viralnova.com", "ViralNova Ad #3", Content),
+                ad("reddit.com", "Reddit Ad #2", Content),
+                ad("cracked.com", "Cracked Ad #2", Content),
+            ],
+        }
+    }
+
+    /// The distinct surveyed sites, in first-appearance order.
+    pub fn sites(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for ad in &self.ads {
+            if !out.contains(&ad.site.as_str()) {
+                out.push(&ad.site);
+            }
+        }
+        out
+    }
+
+    /// Total Likert questions (ads × statements).
+    pub fn likert_question_count(&self) -> usize {
+        self.ads.len() * Statement::ALL.len()
+    }
+
+    /// Ads belonging to a class.
+    pub fn ads_in_class(&self, class: AdClass) -> impl Iterator<Item = (usize, &Ad)> {
+        self.ads
+            .iter()
+            .enumerate()
+            .filter(move |(_, a)| a.class == class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_ads_eight_sites() {
+        let q = Questionnaire::paper_instrument();
+        assert_eq!(q.ads.len(), 15);
+        assert_eq!(q.sites().len(), 8);
+        // 15 ads × 3 statements = 45 Likert items; the paper's 72
+        // questions include demographics and per-site context questions.
+        assert_eq!(q.likert_question_count(), 45);
+    }
+
+    #[test]
+    fn paper_sites_present() {
+        let q = Questionnaire::paper_instrument();
+        let sites = q.sites();
+        for s in [
+            "google.com",
+            "imgur.com",
+            "walmart.com",
+            "isitup.com",
+            "utopia-game.com",
+            "cracked.com",
+            "viralnova.com",
+            "reddit.com",
+        ] {
+            assert!(sites.contains(&s), "{s} missing");
+        }
+    }
+
+    #[test]
+    fn every_class_represented() {
+        let q = Questionnaire::paper_instrument();
+        for class in AdClass::ALL {
+            assert!(q.ads_in_class(class).count() >= 3, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn statement_texts_are_the_papers() {
+        assert!(Statement::Attention.text().contains("eye catching"));
+        assert!(Statement::Distinguished
+            .text()
+            .contains("clearly distinguished"));
+        assert!(Statement::Obscuring.text().contains("obscure page content"));
+    }
+
+    #[test]
+    fn figure10_examples_present() {
+        let q = Questionnaire::paper_instrument();
+        assert!(q.ads.iter().any(|a| a.label == "Google Ad #2"));
+        assert!(q.ads.iter().any(|a| a.label == "Utopia Ad #2"));
+    }
+}

@@ -1,0 +1,233 @@
+//! The latent-trait respondent model.
+//!
+//! Each simulated worker carries: a personal *leniency* (a general shift
+//! in how strongly they react to advertising), per-statement noise, and
+//! demographic attributes matching the paper's reported pool (50 % had
+//! used ad blocking; browsers 61 % Chrome / 28 % Firefox / 9 % Safari /
+//! 1 % Opera / 1 % IE).
+//!
+//! A response to (ad, statement) is
+//!
+//! ```text
+//! attitude = class_mean(class, stmt)      // Fig 9(d) calibration
+//!          + ad_offset(ad, stmt)          // per-ad deviation, Var from Fig 9(d)
+//!          + leniency · w(stmt)           // person effect
+//!          + ε                            // response noise
+//! response = clamp(round(attitude), -2, 2)
+//! ```
+
+use crate::likert::Likert;
+use crate::questionnaire::{AdClass, Statement};
+use serde::{Deserialize, Serialize};
+use sitekey::rng::SplitMix64;
+
+/// Browser used by a respondent (paper-reported distribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Browser {
+    /// Google Chrome (61 %).
+    Chrome,
+    /// Firefox (28 %).
+    Firefox,
+    /// Safari (9 %).
+    Safari,
+    /// Opera (1 %).
+    Opera,
+    /// Internet Explorer (1 %).
+    InternetExplorer,
+}
+
+/// One simulated survey respondent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Respondent {
+    /// Stable id within the pool.
+    pub id: u32,
+    /// Personal leniency: negative = annoyed by nothing, positive =
+    /// reacts strongly.
+    pub leniency: f64,
+    /// Whether they have used ad-blocking software before (50 %).
+    pub uses_adblock: bool,
+    /// Their browser.
+    pub browser: Browser,
+}
+
+impl Respondent {
+    /// Draw a respondent from the population.
+    pub fn sample(id: u32, rng: &mut SplitMix64) -> Self {
+        let browser = {
+            let roll = rng.next_f64();
+            if roll < 0.61 {
+                Browser::Chrome
+            } else if roll < 0.89 {
+                Browser::Firefox
+            } else if roll < 0.98 {
+                Browser::Safari
+            } else if roll < 0.99 {
+                Browser::Opera
+            } else {
+                Browser::InternetExplorer
+            }
+        };
+        Respondent {
+            id,
+            leniency: rng.next_gaussian() * 0.35,
+            uses_adblock: rng.chance(0.5),
+            browser,
+        }
+    }
+
+    /// This respondent's Likert answer for a continuous item attitude.
+    pub fn respond(
+        &self,
+        item_attitude: f64,
+        statement: Statement,
+        rng: &mut SplitMix64,
+    ) -> Likert {
+        // Ad-block users notice ads slightly more (they went out of
+        // their way to remove them) — a small, documented modeling choice.
+        let adblock_bump = if self.uses_adblock { 0.08 } else { -0.08 };
+        let weight = match statement {
+            Statement::Attention => 1.0 + adblock_bump,
+            Statement::Distinguished => -0.6, // lenient users see ads as "fine/distinct"
+            Statement::Obscuring => 1.0 + adblock_bump,
+        };
+        let noise = rng.next_gaussian() * 0.9;
+        Likert::from_attitude(item_attitude + self.leniency * weight + noise)
+    }
+}
+
+/// Population calibration: Fig 9(d) means per (class, statement).
+pub fn class_mean(class: AdClass, statement: Statement) -> f64 {
+    use AdClass::*;
+    use Statement::*;
+    match (class, statement) {
+        (SearchMarketing, Attention) => 0.217,
+        (SearchMarketing, Distinguished) => 0.597,
+        (SearchMarketing, Obscuring) => -0.260,
+        (Banner, Attention) => 0.152,
+        (Banner, Distinguished) => 0.755,
+        (Banner, Obscuring) => -0.613,
+        (Content, Attention) => -0.247,
+        (Content, Distinguished) => -0.935,
+        (Content, Obscuring) => 0.125,
+    }
+}
+
+/// Population calibration: Fig 9(d) variances — the spread of per-ad
+/// mean responses *within* a class (the paper's VAR(X̄) row).
+pub fn class_variance(class: AdClass, statement: Statement) -> f64 {
+    use AdClass::*;
+    use Statement::*;
+    match (class, statement) {
+        (SearchMarketing, Attention) => 0.304,
+        (SearchMarketing, Distinguished) => 0.095,
+        (SearchMarketing, Obscuring) => 0.219,
+        (Banner, Attention) => 0.015,
+        (Banner, Distinguished) => 0.131,
+        (Banner, Obscuring) => 0.042,
+        (Content, Attention) => 0.009,
+        (Content, Distinguished) => 0.305,
+        (Content, Obscuring) => 0.178,
+    }
+}
+
+/// Per-ad attitude offsets for the headline ads the paper singles out
+/// (added on top of the class mean):
+///
+/// * Google Ad #2 — image-based sales ads on search results — 73 %
+///   found it attention-grabbing;
+/// * Utopia Ad #2 — the ad bar next to navigation buttons — 45 %;
+/// * the ViralNova grid ads — ~90 % said *not* clearly distinguished;
+/// * Reddit #1 / Google #1 / Cracked #1 — roughly a third found them
+///   obscuring.
+pub fn ad_offset(label: &str, statement: Statement) -> f64 {
+    use Statement::*;
+    match (label, statement) {
+        // Headline ads (§6 prose).
+        ("Google Ad #2", Attention) => 1.0,
+        ("Utopia Ad #2", Attention) => 0.35,
+        ("ViralNova Ad #1", Distinguished) => -0.5,
+        ("ViralNova Ad #2", Distinguished) => -0.55,
+        ("ViralNova Ad #3", Distinguished) => -0.45,
+        ("Reddit Ad #1", Obscuring) => 0.45,
+        ("Google Ad #1", Obscuring) => 0.55,
+        ("Cracked Ad #1", Obscuring) => 0.50,
+        // Counterweights keeping the class means on Fig 9(d): text-like
+        // search ads are unremarkable (Google #2's image ads are the
+        // exception), and most banners sit out of the reading flow.
+        ("Google Ad #1", Attention) => -0.45,
+        ("Walmart Ad #1", Attention) => -0.45,
+        ("Walmart Ad #2", Attention) => -0.45,
+        ("Google Ad #2", Obscuring) => -0.30,
+        ("Walmart Ad #1", Obscuring) => -0.30,
+        ("Walmart Ad #2", Obscuring) => -0.30,
+        ("Imgur Ad #1", Obscuring) => -0.35,
+        ("IsItUp Ad #1", Obscuring) => -0.35,
+        ("Utopia Ad #1", Obscuring) => -0.35,
+        ("Utopia Ad #2", Obscuring) => -0.35,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = Respondent::sample(1, &mut SplitMix64::new(9));
+        let b = Respondent::sample(1, &mut SplitMix64::new(9));
+        assert_eq!(a.leniency, b.leniency);
+        assert_eq!(a.browser, b.browser);
+        assert_eq!(a.uses_adblock, b.uses_adblock);
+    }
+
+    #[test]
+    fn pool_demographics_match_paper() {
+        let mut rng = SplitMix64::new(305);
+        let pool: Vec<Respondent> = (0..5000).map(|i| Respondent::sample(i, &mut rng)).collect();
+        let chrome =
+            pool.iter().filter(|r| r.browser == Browser::Chrome).count() as f64 / pool.len() as f64;
+        let firefox = pool
+            .iter()
+            .filter(|r| r.browser == Browser::Firefox)
+            .count() as f64
+            / pool.len() as f64;
+        let adblock = pool.iter().filter(|r| r.uses_adblock).count() as f64 / pool.len() as f64;
+        assert!((chrome - 0.61).abs() < 0.03, "chrome {chrome}");
+        assert!((firefox - 0.28).abs() < 0.03, "firefox {firefox}");
+        assert!((adblock - 0.50).abs() < 0.03, "adblock {adblock}");
+    }
+
+    #[test]
+    fn calibration_table_is_the_papers() {
+        assert_eq!(
+            class_mean(AdClass::Content, Statement::Distinguished),
+            -0.935
+        );
+        assert_eq!(class_mean(AdClass::Banner, Statement::Obscuring), -0.613);
+        assert_eq!(
+            class_variance(AdClass::SearchMarketing, Statement::Attention),
+            0.304
+        );
+    }
+
+    #[test]
+    fn headline_ads_have_offsets() {
+        assert!(ad_offset("Google Ad #2", Statement::Attention) > 0.5);
+        assert!(ad_offset("ViralNova Ad #2", Statement::Distinguished) < 0.0);
+        assert_eq!(ad_offset("Imgur Ad #1", Statement::Attention), 0.0);
+    }
+
+    #[test]
+    fn responses_cover_the_scale() {
+        // Across a population, extreme attitudes reach the scale ends.
+        let mut rng = SplitMix64::new(4);
+        let r = Respondent::sample(0, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let attitude = (i as f64 / 500.0) * 6.0 - 3.0;
+            seen.insert(r.respond(attitude, Statement::Attention, &mut rng));
+        }
+        assert_eq!(seen.len(), 5, "all five scale points reachable");
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end survey execution: recruit, administer, collect.
+
+use crate::likert::LikertDistribution;
+use crate::mturk;
+use crate::questionnaire::{Questionnaire, Statement};
+use crate::respondent::{ad_offset, class_mean, class_variance};
+use serde::{Deserialize, Serialize};
+use sitekey::rng::SplitMix64;
+
+/// Survey run parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SurveyConfig {
+    /// Respondents to recruit (paper: 305).
+    pub respondents: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for SurveyConfig {
+    fn default() -> Self {
+        SurveyConfig {
+            respondents: mturk::PAPER_RESPONDENTS,
+            seed: 2015,
+        }
+    }
+}
+
+/// Collected responses: one distribution per (ad index, statement).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SurveyResults {
+    /// The instrument administered.
+    pub questionnaire: Questionnaire,
+    /// `responses[ad][statement-index]`.
+    pub responses: Vec<[LikertDistribution; 3]>,
+    /// Respondents who reported prior ad-block use.
+    pub adblock_users: u32,
+    /// Total respondents.
+    pub respondents: u32,
+}
+
+impl SurveyResults {
+    /// The distribution for one ad and statement.
+    pub fn distribution(&self, ad_index: usize, statement: Statement) -> &LikertDistribution {
+        let s = Statement::ALL
+            .iter()
+            .position(|x| *x == statement)
+            .expect("statement in ALL");
+        &self.responses[ad_index][s]
+    }
+
+    /// Distribution for an ad by its figure label.
+    pub fn by_label(&self, label: &str, statement: Statement) -> Option<&LikertDistribution> {
+        let idx = self
+            .questionnaire
+            .ads
+            .iter()
+            .position(|a| a.label == label)?;
+        Some(self.distribution(idx, statement))
+    }
+}
+
+/// Run the survey.
+///
+/// Each ad draws a fixed *item attitude* per statement — class mean plus
+/// a class-variance-scaled deviation plus the headline offsets — then
+/// every respondent answers every item (15 ads × 3 statements), exactly
+/// the paper's within-subjects design.
+pub fn run_survey(config: &SurveyConfig) -> SurveyResults {
+    let mut rng = SplitMix64::new(config.seed);
+    let questionnaire = Questionnaire::paper_instrument();
+    let pool = mturk::recruit(config.respondents, &mut rng);
+
+    // Fix item attitudes.
+    let mut item_attitudes: Vec<[f64; 3]> = Vec::with_capacity(questionnaire.ads.len());
+    for ad in &questionnaire.ads {
+        let mut per_stmt = [0.0f64; 3];
+        for (si, stmt) in Statement::ALL.iter().enumerate() {
+            let base = class_mean(ad.class, *stmt);
+            let spread = class_variance(ad.class, *stmt).sqrt();
+            let deviation = rng.next_gaussian() * spread * 0.6;
+            per_stmt[si] = base + deviation + ad_offset(&ad.label, *stmt);
+        }
+        item_attitudes.push(per_stmt);
+    }
+
+    let mut responses: Vec<[LikertDistribution; 3]> = questionnaire
+        .ads
+        .iter()
+        .map(|_| {
+            [
+                LikertDistribution::default(),
+                LikertDistribution::default(),
+                LikertDistribution::default(),
+            ]
+        })
+        .collect();
+
+    for respondent in &pool {
+        let mut personal = rng.fork(respondent.id as u64);
+        for (ai, _ad) in questionnaire.ads.iter().enumerate() {
+            for (si, stmt) in Statement::ALL.iter().enumerate() {
+                let answer = respondent.respond(item_attitudes[ai][si], *stmt, &mut personal);
+                responses[ai][si].record(answer);
+            }
+        }
+    }
+
+    SurveyResults {
+        adblock_users: pool.iter().filter(|r| r.uses_adblock).count() as u32,
+        respondents: pool.len() as u32,
+        questionnaire,
+        responses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::questionnaire::AdClass;
+    use crate::stats::class_summary;
+
+    fn results() -> SurveyResults {
+        run_survey(&SurveyConfig::default())
+    }
+
+    #[test]
+    fn every_item_has_full_response_count() {
+        let r = results();
+        assert_eq!(r.respondents, 305);
+        for ad in &r.responses {
+            for dist in ad {
+                assert_eq!(dist.total(), 305);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_survey(&SurveyConfig::default());
+        let b = run_survey(&SurveyConfig::default());
+        assert_eq!(a.responses[0][0], b.responses[0][0]);
+        assert_eq!(a.adblock_users, b.adblock_users);
+    }
+
+    #[test]
+    fn google_ad_2_attention_headline() {
+        // Paper: 73% agreed or strongly agreed Google Ad #2 grabbed
+        // their attention. Accept a generous band — the simulator is
+        // calibrated, not fitted.
+        let r = results();
+        let d = r.by_label("Google Ad #2", Statement::Attention).unwrap();
+        let rate = d.agreement_rate();
+        assert!((0.55..=0.90).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn grid_ads_not_distinguished_headline() {
+        // Paper: almost 90% said grid-layout (ViralNova) ads were NOT
+        // clearly distinguished from content.
+        let r = results();
+        for label in ["ViralNova Ad #1", "ViralNova Ad #2", "ViralNova Ad #3"] {
+            let d = r.by_label(label, Statement::Distinguished).unwrap();
+            let rate = d.disagreement_rate();
+            assert!(rate > 0.55, "{label} disagreement {rate}");
+        }
+    }
+
+    #[test]
+    fn class_means_track_figure_9d_signs() {
+        let r = results();
+        let content = class_summary(&r, AdClass::Content);
+        assert!(content.mean(Statement::Distinguished) < -0.4);
+        let banner = class_summary(&r, AdClass::Banner);
+        assert!(banner.mean(Statement::Obscuring) < -0.2);
+        assert!(banner.mean(Statement::Distinguished) > 0.3);
+        let sem = class_summary(&r, AdClass::SearchMarketing);
+        assert!(sem.mean(Statement::Attention) > -0.1);
+    }
+
+    #[test]
+    fn adblock_user_share_near_half() {
+        let r = results();
+        let share = r.adblock_users as f64 / r.respondents as f64;
+        assert!((share - 0.5).abs() < 0.1, "share {share}");
+    }
+}

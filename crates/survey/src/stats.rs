@@ -1,0 +1,210 @@
+//! Aggregate statistics over survey results — the Figure 9(d) table and
+//! the per-statement headline rates.
+
+use crate::likert::LikertDistribution;
+use crate::questionnaire::{AdClass, Statement};
+use crate::sim::SurveyResults;
+use serde::{Deserialize, Serialize};
+
+/// Summary for one ad class: per-statement pooled mean and the variance
+/// of per-ad means (the paper's μ and VAR(X̄) rows).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// The class summarized.
+    pub class: AdClass,
+    /// Pooled mean per statement (order of [`Statement::ALL`]).
+    pub means: [f64; 3],
+    /// Variance of per-ad mean responses per statement.
+    pub variances: [f64; 3],
+    /// Number of ads in the class.
+    pub ads: usize,
+}
+
+impl ClassSummary {
+    /// Mean for a statement.
+    pub fn mean(&self, s: Statement) -> f64 {
+        self.means[stmt_index(s)]
+    }
+
+    /// Variance of per-ad means for a statement.
+    pub fn variance(&self, s: Statement) -> f64 {
+        self.variances[stmt_index(s)]
+    }
+}
+
+fn stmt_index(s: Statement) -> usize {
+    Statement::ALL.iter().position(|x| *x == s).expect("known")
+}
+
+/// Compute a class's Fig 9(d) row from survey results.
+pub fn class_summary(results: &SurveyResults, class: AdClass) -> ClassSummary {
+    let ad_indices: Vec<usize> = results
+        .questionnaire
+        .ads_in_class(class)
+        .map(|(i, _)| i)
+        .collect();
+    let mut means = [0.0f64; 3];
+    let mut variances = [0.0f64; 3];
+    for (si, _stmt) in Statement::ALL.iter().enumerate() {
+        // Pooled distribution and per-ad means.
+        let mut pooled = LikertDistribution::default();
+        let mut ad_means = Vec::with_capacity(ad_indices.len());
+        for &ai in &ad_indices {
+            let d = &results.responses[ai][si];
+            pooled.merge(d);
+            ad_means.push(d.mean());
+        }
+        means[si] = pooled.mean();
+        let m = ad_means.iter().sum::<f64>() / ad_means.len().max(1) as f64;
+        variances[si] =
+            ad_means.iter().map(|x| (x - m).powi(2)).sum::<f64>() / ad_means.len().max(1) as f64;
+    }
+    ClassSummary {
+        class,
+        means,
+        variances,
+        ads: ad_indices.len(),
+    }
+}
+
+/// The full Fig 9(d) table.
+pub fn figure_9d(results: &SurveyResults) -> Vec<ClassSummary> {
+    AdClass::ALL
+        .iter()
+        .map(|c| class_summary(results, *c))
+        .collect()
+}
+
+/// One headline rate the paper calls out in prose.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Headline {
+    /// The ad label.
+    pub label: String,
+    /// The statement.
+    pub statement: Statement,
+    /// What the paper reports.
+    pub paper_rate: f64,
+    /// What this run measured.
+    pub measured_rate: f64,
+    /// Whether the rate is agreement (true) or disagreement (false).
+    pub is_agreement: bool,
+}
+
+/// The paper's §6 prose headlines, measured against a survey run.
+pub fn headlines(results: &SurveyResults) -> Vec<Headline> {
+    let spec: [(&str, Statement, f64, bool); 4] = [
+        // "73% agreeing or strongly agreeing" (Google Ad #2, attention).
+        ("Google Ad #2", Statement::Attention, 0.73, true),
+        // "(10b, Utopia Ad #2, 45%)".
+        ("Utopia Ad #2", Statement::Attention, 0.45, true),
+        // "Almost 90% of users viewing all grid-layout ads stated that
+        // they were not distinguished from the content."
+        ("ViralNova Ad #2", Statement::Distinguished, 0.90, false),
+        // "a little more than a third of users viewed … first search
+        // results (Google #1) … as inhibiting."
+        ("Google Ad #1", Statement::Obscuring, 0.36, true),
+    ];
+    spec.iter()
+        .map(|(label, stmt, paper, agree)| {
+            let d = results
+                .by_label(label, *stmt)
+                .expect("headline ad in instrument");
+            Headline {
+                label: label.to_string(),
+                statement: *stmt,
+                paper_rate: *paper,
+                measured_rate: if *agree {
+                    d.agreement_rate()
+                } else {
+                    d.disagreement_rate()
+                },
+                is_agreement: *agree,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::respondent::class_mean;
+    use crate::sim::{run_survey, SurveyConfig};
+
+    fn results() -> SurveyResults {
+        run_survey(&SurveyConfig::default())
+    }
+
+    #[test]
+    fn figure_9d_has_three_rows() {
+        let rows = figure_9d(&results());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].class, AdClass::SearchMarketing);
+        assert!(rows.iter().all(|r| r.ads >= 3));
+    }
+
+    #[test]
+    fn measured_means_within_band_of_paper() {
+        // The discretized simulator should land within ±0.45 of every
+        // Fig 9(d) calibration mean (clamping pulls extremes inward).
+        let r = results();
+        for row in figure_9d(&r) {
+            for s in Statement::ALL {
+                let paper = class_mean(row.class, s);
+                let measured = row.mean(s);
+                assert!(
+                    (measured - paper).abs() < 0.45,
+                    "{:?}/{s:?}: paper {paper}, measured {measured}",
+                    row.class
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variances_are_positive_and_modest() {
+        let r = results();
+        for row in figure_9d(&r) {
+            for s in Statement::ALL {
+                let v = row.variance(s);
+                assert!((0.0..2.0).contains(&v), "{:?}/{s:?} var {v}", row.class);
+            }
+        }
+    }
+
+    #[test]
+    fn headlines_directionally_correct() {
+        let r = results();
+        for h in headlines(&r) {
+            assert!(
+                (h.measured_rate - h.paper_rate).abs() < 0.35,
+                "{} {:?}: paper {}, measured {}",
+                h.label,
+                h.statement,
+                h.paper_rate,
+                h.measured_rate
+            );
+        }
+    }
+
+    #[test]
+    fn dissension_is_broad() {
+        // The paper's summary: "broad dissension amongst the
+        // participants". Per-item response variance should be
+        // substantial (> 0.5) for most items.
+        let r = results();
+        let mut high_var_items = 0;
+        let mut total = 0;
+        for ad in &r.responses {
+            for d in ad {
+                total += 1;
+                if d.variance() > 0.5 {
+                    high_var_items += 1;
+                }
+            }
+        }
+        assert!(
+            high_var_items * 2 > total,
+            "{high_var_items}/{total} items show dissension"
+        );
+    }
+}

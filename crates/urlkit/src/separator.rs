@@ -1,0 +1,66 @@
+//! The Adblock Plus `^` separator character class.
+//!
+//! Appendix A of the paper quotes the definition: a separator is
+//! "anything but a letter, a digit, or one of the following: `_ - . %`".
+//! Additionally, `^` at the end of a pattern also matches the end of the
+//! URL (handled by the matcher, not here).
+
+/// Returns `true` when `c` is an Adblock Plus separator character.
+///
+/// ```
+/// use urlkit::is_separator;
+/// assert!(is_separator('/'));
+/// assert!(is_separator(':'));
+/// assert!(is_separator('?'));
+/// assert!(is_separator('='));
+/// assert!(!is_separator('a'));
+/// assert!(!is_separator('7'));
+/// assert!(!is_separator('.'));
+/// assert!(!is_separator('%'));
+/// assert!(!is_separator('-'));
+/// assert!(!is_separator('_'));
+/// ```
+pub fn is_separator(c: char) -> bool {
+    !(c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '%'))
+}
+
+/// Byte-level variant of [`is_separator`] for the hot matching path.
+pub fn is_separator_byte(b: u8) -> bool {
+    !(b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b'%'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_and_char_agree_on_ascii() {
+        for b in 0u8..=127 {
+            assert_eq!(
+                is_separator(b as char),
+                is_separator_byte(b),
+                "disagree on byte {b:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_separators() {
+        // From Appendix A: in `http://www.google.com/#q=foo` the separators
+        // around `www.google.com` for the filter `||^www.google.com^` are
+        // `/` and `/` (and `#`, `=` later in the URL).
+        for c in ['/', '#', '=', ':', '?', '&'] {
+            assert!(is_separator(c), "{c} should be a separator");
+        }
+        for c in ['w', '0', '.', '%', '-', '_'] {
+            assert!(!is_separator(c), "{c} should not be a separator");
+        }
+    }
+
+    #[test]
+    fn non_ascii_counts_as_separator() {
+        // ABP treats any non [a-z0-9_\-.%] as a separator; non-ASCII falls
+        // in that class.
+        assert!(is_separator('€'));
+    }
+}

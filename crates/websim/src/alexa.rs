@@ -1,0 +1,361 @@
+//! The ranked domain population ("Website popularity was based on Alexa
+//! rankings from Apr. 2015").
+//!
+//! The top of the ranking is anchored with the sites the paper's
+//! figures and prose name (google.com, reddit.com, ask.com, about.com,
+//! toyota.com, imgur.com, sina.com.cn, …) so the reproduced figures read
+//! like the originals. The tail out to rank 1,000,000 is synthesized
+//! *lazily and deterministically* — [`site_for_rank`] is a pure function
+//! of `(seed, rank)`, so strata samples never require materializing a
+//! million records.
+
+use serde::{Deserialize, Serialize};
+use sitekey::rng::SplitMix64;
+
+/// Coarse site category, used to flavor page generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteCategory {
+    /// Search engines.
+    Search,
+    /// Social networks and forums.
+    Social,
+    /// News and media.
+    News,
+    /// Online retail ("the whitelist filters are skewed more towards
+    /// shopping websites", §5.2).
+    Shopping,
+    /// Video/image hosting.
+    Media,
+    /// Reference/educational.
+    Reference,
+    /// Portals and webmail.
+    Portal,
+    /// Technology/software.
+    Tech,
+    /// Games.
+    Games,
+    /// Humor/entertainment.
+    Humor,
+    /// Corporate brochure sites (e.g. toyota.com).
+    Corporate,
+    /// ISPs and telecoms.
+    Isp,
+    /// Sites out of EasyList's (English) purview.
+    NonEnglish,
+    /// Anything else.
+    Other,
+}
+
+/// The paper's four sample groups (§5 methodology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Stratum {
+    /// Ranks 1–5,000.
+    Top5k,
+    /// Ranks 5,001–50,000.
+    From5kTo50k,
+    /// Ranks 50,001–100,000.
+    From50kTo100k,
+    /// Ranks 100,001–1,000,000.
+    From100kTo1M,
+}
+
+impl Stratum {
+    /// All strata in paper order.
+    pub const ALL: [Stratum; 4] = [
+        Stratum::Top5k,
+        Stratum::From5kTo50k,
+        Stratum::From50kTo100k,
+        Stratum::From100kTo1M,
+    ];
+
+    /// The stratum a rank falls into (`None` above 1M).
+    pub fn of_rank(rank: u32) -> Option<Stratum> {
+        match rank {
+            1..=5_000 => Some(Stratum::Top5k),
+            5_001..=50_000 => Some(Stratum::From5kTo50k),
+            50_001..=100_000 => Some(Stratum::From50kTo100k),
+            100_001..=1_000_000 => Some(Stratum::From100kTo1M),
+            _ => None,
+        }
+    }
+
+    /// Index 0–3 (for ecosystem inclusion tables).
+    pub fn index(self) -> usize {
+        match self {
+            Stratum::Top5k => 0,
+            Stratum::From5kTo50k => 1,
+            Stratum::From50kTo100k => 2,
+            Stratum::From100kTo1M => 3,
+        }
+    }
+
+    /// The rank range of the stratum.
+    pub fn range(self) -> (u32, u32) {
+        match self {
+            Stratum::Top5k => (1, 5_000),
+            Stratum::From5kTo50k => (5_001, 50_000),
+            Stratum::From50kTo100k => (50_001, 100_000),
+            Stratum::From100kTo1M => (100_001, 1_000_000),
+        }
+    }
+
+    /// Paper label, e.g. `"5K-50K"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stratum::Top5k => "Top 5K",
+            Stratum::From5kTo50k => "5K-50K",
+            Stratum::From50kTo100k => "50K-100K",
+            Stratum::From100kTo1M => "100K-1M",
+        }
+    }
+}
+
+/// One ranked site.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankedSite {
+    /// Alexa-style rank, 1-based.
+    pub rank: u32,
+    /// Registrable domain.
+    pub domain: String,
+    /// Category.
+    pub category: SiteCategory,
+}
+
+/// Named anchor sites pinned to the top of the ranking. Includes every
+/// domain the paper's text and figures mention, at plausible Apr-2015
+/// ranks.
+pub fn anchors() -> &'static [(u32, &'static str, SiteCategory)] {
+    use SiteCategory::*;
+    &[
+        (1, "google.com", Search),
+        (2, "facebook.com", Social),
+        (3, "youtube.com", Media),
+        (4, "baidu.com", NonEnglish),
+        (5, "yahoo.com", Portal),
+        (6, "amazon.com", Shopping),
+        (7, "wikipedia.org", Reference),
+        (8, "qq.com", NonEnglish),
+        (9, "twitter.com", Social),
+        (10, "google.co.in", Search),
+        (11, "taobao.com", NonEnglish),
+        (12, "live.com", Portal),
+        (13, "sina.com.cn", NonEnglish),
+        (14, "linkedin.com", Social),
+        (15, "yandex.ru", NonEnglish),
+        (16, "weibo.com", NonEnglish),
+        (17, "ebay.com", Shopping),
+        (18, "google.co.jp", Search),
+        (19, "yahoo.co.jp", NonEnglish),
+        (20, "bing.com", Search),
+        (21, "msn.com", Portal),
+        (22, "instagram.com", Social),
+        (23, "vk.com", NonEnglish),
+        (24, "google.de", Search),
+        (25, "t.co", Social),
+        (26, "google.co.uk", Search),
+        (27, "aliexpress.com", Shopping),
+        (28, "pinterest.com", Social),
+        (29, "ask.com", Search),
+        (30, "wordpress.com", Tech),
+        (31, "reddit.com", Social),
+        (32, "tumblr.com", Social),
+        (33, "google.fr", Search),
+        (34, "mail.ru", NonEnglish),
+        (35, "paypal.com", Shopping),
+        (36, "imgur.com", Media),
+        (37, "microsoft.com", Tech),
+        (38, "apple.com", Tech),
+        (39, "imdb.com", Media),
+        (40, "google.com.br", Search),
+        (41, "netflix.com", Media),
+        (42, "stackoverflow.com", Tech),
+        (43, "craigslist.org", Other),
+        (44, "walmart.com", Shopping),
+        (45, "about.com", Reference),
+        (46, "adobe.com", Tech),
+        (47, "nytimes.com", News),
+        (48, "bbc.co.uk", News),
+        (49, "comcast.net", Isp),
+        (50, "cnn.com", News),
+        (55, "cracked.com", Humor),
+        (61, "buzzfeed.com", News),
+        (72, "huffingtonpost.com", News),
+        (88, "viralnova.com", Humor),
+        (104, "kayak.com", Shopping),
+        (130, "twcc.com", Isp),
+        (190, "utopia-game.com", Games),
+        (240, "isitup.com", Tech),
+        (320, "golem.de", NonEnglish),
+        (451, "timewarnercable.com", Isp),
+        (780, "sedo.com", Other),
+        (1288, "toyota.com", Corporate),
+        (2741, "checkfelix.com", Shopping),
+        (4200, "references.net", Reference),
+    ]
+}
+
+/// Syllables for synthetic domain names.
+const SYLLABLES: [&str; 24] = [
+    "ter", "ran", "vel", "mon", "zu", "pix", "qua", "lor", "ban", "cre", "dal", "fen", "gor",
+    "hul", "jin", "kel", "lum", "nor", "pra", "sol", "tum", "vor", "wex", "yal",
+];
+
+/// TLDs for synthetic domains, weighted towards `.com`.
+const TLDS: [&str; 6] = ["com", "com", "com", "net", "org", "de"];
+
+/// The site at a given rank — a pure function of `(seed, rank)`.
+pub fn site_for_rank(seed: u64, rank: u32) -> RankedSite {
+    if let Some((_, domain, category)) = anchors().iter().find(|(r, _, _)| *r == rank) {
+        return RankedSite {
+            rank,
+            domain: (*domain).to_string(),
+            category: *category,
+        };
+    }
+    let mut rng = SplitMix64::new(seed ^ (rank as u64).wrapping_mul(0xA24BAED4963EE407));
+    let syllable_count = 2 + rng.below(2) as usize;
+    let mut name = String::new();
+    for _ in 0..syllable_count {
+        name.push_str(SYLLABLES[rng.below(SYLLABLES.len() as u64) as usize]);
+    }
+    // Keep synthetic names collision-free by embedding the rank.
+    name.push_str(&format!("{rank}"));
+    let tld = TLDS[rng.below(TLDS.len() as u64) as usize];
+    let category = synth_category(&mut rng, rank);
+    RankedSite {
+        rank,
+        domain: format!("{name}.{tld}"),
+        category,
+    }
+}
+
+/// Category mix for synthetic sites; the non-English share grows down
+/// the tail (the paper attributes most of its 1,044 silent top-5K sites
+/// to non-English content).
+fn synth_category(rng: &mut SplitMix64, rank: u32) -> SiteCategory {
+    use SiteCategory::*;
+    let non_english_p = match Stratum::of_rank(rank) {
+        Some(Stratum::Top5k) => 0.17,
+        Some(Stratum::From5kTo50k) => 0.22,
+        Some(Stratum::From50kTo100k) => 0.26,
+        _ => 0.30,
+    };
+    if rng.chance(non_english_p) {
+        return NonEnglish;
+    }
+    const MIX: [(SiteCategory, f64); 11] = [
+        (News, 0.14),
+        (Shopping, 0.16),
+        (Tech, 0.11),
+        (Social, 0.07),
+        (Media, 0.09),
+        (Reference, 0.08),
+        (Games, 0.07),
+        (Humor, 0.05),
+        (Portal, 0.05),
+        (Corporate, 0.10),
+        (Isp, 0.02),
+    ];
+    let mut roll = rng.next_f64();
+    for (cat, p) in MIX {
+        if roll < p {
+            return cat;
+        }
+        roll -= p;
+    }
+    Other
+}
+
+/// Sample `n` distinct ranks uniformly from a stratum (the paper's
+/// "1,000 domains randomly sampled from the rank 5K–50K popularity
+/// strata" methodology), deterministically per seed.
+pub fn sample_stratum(stratum: Stratum, n: usize, seed: u64) -> Vec<u32> {
+    let (lo, hi) = stratum.range();
+    let span = (hi - lo + 1) as u64;
+    assert!(n as u64 <= span, "sample larger than stratum");
+    let mut rng = SplitMix64::new(seed ^ 0x57A7A_u64 ^ stratum.index() as u64);
+    let mut picked = std::collections::BTreeSet::new();
+    while picked.len() < n {
+        picked.insert(lo + rng.below(span) as u32);
+    }
+    picked.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_pin_paper_domains() {
+        let s = site_for_rank(1, 1);
+        assert_eq!(s.domain, "google.com");
+        let s = site_for_rank(999, 31);
+        assert_eq!(s.domain, "reddit.com"); // anchor regardless of seed
+        let s = site_for_rank(1, 1288);
+        assert_eq!(s.domain, "toyota.com");
+    }
+
+    #[test]
+    fn anchor_ranks_unique() {
+        let mut ranks: Vec<u32> = anchors().iter().map(|(r, _, _)| *r).collect();
+        let before = ranks.len();
+        ranks.sort_unstable();
+        ranks.dedup();
+        assert_eq!(ranks.len(), before, "duplicate anchor rank");
+    }
+
+    #[test]
+    fn synthetic_sites_deterministic_and_distinct() {
+        let a = site_for_rank(7, 1234);
+        let b = site_for_rank(7, 1234);
+        assert_eq!(a, b);
+        let c = site_for_rank(7, 1235);
+        assert_ne!(a.domain, c.domain);
+        // Rank embedded → globally collision-free.
+        assert!(a.domain.contains("1234"));
+    }
+
+    #[test]
+    fn strata_boundaries() {
+        assert_eq!(Stratum::of_rank(1), Some(Stratum::Top5k));
+        assert_eq!(Stratum::of_rank(5_000), Some(Stratum::Top5k));
+        assert_eq!(Stratum::of_rank(5_001), Some(Stratum::From5kTo50k));
+        assert_eq!(Stratum::of_rank(50_001), Some(Stratum::From50kTo100k));
+        assert_eq!(Stratum::of_rank(100_001), Some(Stratum::From100kTo1M));
+        assert_eq!(Stratum::of_rank(1_000_000), Some(Stratum::From100kTo1M));
+        assert_eq!(Stratum::of_rank(1_000_001), None);
+    }
+
+    #[test]
+    fn stratum_sampling_is_in_range_distinct_and_deterministic() {
+        let s1 = sample_stratum(Stratum::From50kTo100k, 1000, 42);
+        let s2 = sample_stratum(Stratum::From50kTo100k, 1000, 42);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 1000);
+        assert!(s1.iter().all(|r| (50_001..=100_000).contains(r)));
+        // Distinctness is guaranteed by the BTreeSet.
+        let s3 = sample_stratum(Stratum::From50kTo100k, 1000, 43);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn non_english_share_reasonable_in_top5k() {
+        let non_english = (1..=5000)
+            .filter(|r| site_for_rank(3, *r).category == SiteCategory::NonEnglish)
+            .count();
+        // Target ≈17-20% synthetic + a few anchors; the paper found
+        // ~21% of the top 5K silent.
+        assert!(
+            (600..=1200).contains(&non_english),
+            "non-English count {non_english}"
+        );
+    }
+
+    #[test]
+    fn category_mix_covers_shopping() {
+        let shopping = (1..=5000)
+            .filter(|r| site_for_rank(3, *r).category == SiteCategory::Shopping)
+            .count();
+        assert!(shopping > 300, "shopping sites {shopping}");
+    }
+}

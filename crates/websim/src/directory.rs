@@ -1,0 +1,582 @@
+//! The explicit-publisher directory: which sites the Acceptable Ads
+//! whitelist names in restricted filters (§4.2.1, Table 2).
+//!
+//! Construction targets the paper's Table 2 exactly:
+//!
+//! * 1,990 effective second-level domains in total;
+//! * 33 within the Alexa top 100, 112 within the top 500, 167 within
+//!   the top 1,000, 316 within the top 5,000, 1,286 within the top 1M;
+//! * 3,544 fully qualified domains across them, dominated by
+//!   1,045 `about.com` FQDNs (the paper's "over 1,044 subdomains") and
+//!   919 country-variant Google domains.
+//!
+//! Like everything in `websim`, the directory is a deterministic
+//! function of the world seed.
+
+use crate::alexa::{anchors, site_for_rank, SiteCategory};
+use serde::{Deserialize, Serialize};
+use sitekey::rng::SplitMix64;
+use std::collections::BTreeMap;
+
+/// Table 2 calibration constants.
+pub mod targets {
+    /// Explicit e2LDs in the whitelist.
+    pub const TOTAL_E2LDS: usize = 1_990;
+    /// … of which within the top 100 / 500 / 1,000 / 5,000 / 1,000,000.
+    pub const TOP_100: usize = 33;
+    /// Top 500.
+    pub const TOP_500: usize = 112;
+    /// Top 1,000.
+    pub const TOP_1K: usize = 167;
+    /// Top 5,000.
+    pub const TOP_5K: usize = 316;
+    /// Top 1,000,000.
+    pub const TOP_1M: usize = 1_286;
+    /// Fully qualified domains across all restricted filters.
+    pub const TOTAL_FQDNS: usize = 3_544;
+    /// about.com FQDNs (about.com + 1,044 subdomains).
+    pub const ABOUT_FQDNS: usize = 1_045;
+    /// Country-variant Google e2LDs.
+    pub const GOOGLE_CC: usize = 919;
+}
+
+/// What a publisher's pages embed, and what its restricted filters
+/// whitelist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublisherSlot {
+    /// Third-party ad host serving this publisher (e.g.
+    /// `static.adzerk.net` for reddit).
+    pub ad_host: String,
+    /// Publisher-scoped path on that host (e.g. `/reddit/`).
+    pub ad_path: String,
+    /// The id of the in-page sponsored element.
+    pub element_id: String,
+}
+
+/// One explicitly whitelisted publisher.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Publisher {
+    /// Effective second-level domain.
+    pub e2ld: String,
+    /// Alexa rank, when ranked within the top 1M.
+    pub rank: Option<u32>,
+    /// Every FQDN of this publisher that appears in the whitelist
+    /// (always contains `e2ld`).
+    pub fqdns: Vec<String>,
+    /// The publisher's ad slot.
+    pub slot: PublisherSlot,
+}
+
+/// The directory: all publishers plus fast rank lookup.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PublisherDirectory {
+    /// All publishers, google-family and about.com first.
+    pub publishers: Vec<Publisher>,
+    by_rank: BTreeMap<u32, usize>,
+}
+
+impl PublisherDirectory {
+    /// Look up the publisher at an Alexa rank.
+    pub fn by_rank(&self, rank: u32) -> Option<&Publisher> {
+        self.by_rank.get(&rank).map(|i| &self.publishers[*i])
+    }
+
+    /// Total FQDNs across all publishers.
+    pub fn fqdn_count(&self) -> usize {
+        self.publishers.iter().map(|p| p.fqdns.len()).sum()
+    }
+
+    /// Publishers ranked within `bound`.
+    pub fn ranked_within(&self, bound: u32) -> usize {
+        self.publishers
+            .iter()
+            .filter(|p| p.rank.is_some_and(|r| r <= bound))
+            .count()
+    }
+}
+
+/// Ad hosts a publisher slot may use (restricted exceptions point here).
+const SLOT_HOSTS: [&str; 4] = [
+    "g.doubleclick.net",
+    "static.adzerk.net",
+    "ads.publisher-network.example",
+    "google.com",
+];
+
+fn slot_for(e2ld: &str, rng: &mut SplitMix64) -> PublisherSlot {
+    // Named slots for the paper's protagonist sites.
+    match e2ld {
+        "reddit.com" => {
+            return PublisherSlot {
+                ad_host: "static.adzerk.net".into(),
+                ad_path: "/reddit/".into(),
+                element_id: "ad_main".into(),
+            }
+        }
+        "golem.de" => {
+            return PublisherSlot {
+                ad_host: "google.com".into(),
+                ad_path: "/ads/search/module/ads/v1/".into(),
+                element_id: "adBlock".into(),
+            }
+        }
+        _ => {}
+    }
+    let host = rng.pick(&SLOT_HOSTS);
+    let slug: String = e2ld.chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+    PublisherSlot {
+        ad_host: (*host).to_string(),
+        ad_path: format!("/{slug}/"),
+        element_id: format!("sponsored_{slug}"),
+    }
+}
+
+/// Anchor domains preferred as publishers, in priority order (the paper
+/// names these as whitelisted: search engines, retail, content
+/// publishers, ISPs).
+const PREFERRED_PUBLISHER_ANCHORS: [&str; 26] = [
+    "yahoo.com",
+    "amazon.com",
+    "bing.com",
+    "msn.com",
+    "ebay.com",
+    "ask.com",
+    "reddit.com",
+    "walmart.com",
+    "comcast.net",
+    "cracked.com",
+    "imgur.com",
+    "microsoft.com",
+    "live.com",
+    "aliexpress.com",
+    "pinterest.com",
+    "wordpress.com",
+    "paypal.com",
+    "tumblr.com",
+    "buzzfeed.com",
+    "viralnova.com",
+    "kayak.com",
+    "twcc.com",
+    "utopia-game.com",
+    "isitup.com",
+    "golem.de",
+    "references.net",
+];
+
+/// Build the directory for a world seed.
+pub fn build_directory(seed: u64) -> PublisherDirectory {
+    let mut rng = SplitMix64::new(seed ^ 0xD12EC7012D);
+    let mut publishers: Vec<Publisher> = Vec::with_capacity(targets::TOTAL_E2LDS);
+    let mut used_ranks: BTreeMap<u32, ()> = BTreeMap::new();
+    // toyota.com (rank 1288) is deliberately NOT an explicit publisher:
+    // its paper-famous 83 activations come from unrestricted filters
+    // alone (Fig 7). Reserve the rank so no publisher lands on it.
+    used_ranks.insert(1288, ());
+
+    // ---- 1. google.com -------------------------------------------------
+    publishers.push(Publisher {
+        e2ld: "google.com".into(),
+        rank: Some(1),
+        fqdns: vec!["google.com".into(), "www.google.com".into()],
+        slot: PublisherSlot {
+            ad_host: "google.com".into(),
+            ad_path: "/ads/search/".into(),
+            element_id: "tads".into(),
+        },
+    });
+    used_ranks.insert(1, ());
+
+    // ---- 2. about.com with its 1,044 subdomains ------------------------
+    let mut about_fqdns = Vec::with_capacity(targets::ABOUT_FQDNS);
+    about_fqdns.push("about.com".to_string());
+    for topic in about_topics(targets::ABOUT_FQDNS - 1) {
+        about_fqdns.push(format!("{topic}.about.com"));
+    }
+    publishers.push(Publisher {
+        e2ld: "about.com".into(),
+        rank: Some(45),
+        fqdns: about_fqdns,
+        slot: slot_for("about.com", &mut rng),
+    });
+    used_ranks.insert(45, ());
+
+    // ---- 3. 919 country-variant Googles --------------------------------
+    // Six are ranked anchors; 844 more get synthetic ranks below; 69 stay
+    // unranked.
+    let cc_anchor: [(u32, &str); 6] = [
+        (10, "google.co.in"),
+        (18, "google.co.jp"),
+        (24, "google.de"),
+        (26, "google.co.uk"),
+        (33, "google.fr"),
+        (40, "google.com.br"),
+    ];
+    let mut google_cc: Vec<(String, Option<u32>)> = Vec::with_capacity(targets::GOOGLE_CC);
+    for (rank, dom) in cc_anchor {
+        google_cc.push((dom.to_string(), Some(rank)));
+        used_ranks.insert(rank, ());
+    }
+    let cc_tlds = synthetic_cc_tlds(targets::GOOGLE_CC - cc_anchor.len());
+    for tld in &cc_tlds {
+        // Ranks are assigned bucket-by-bucket below; the tail past the
+        // bucket shares stays unranked.
+        google_cc.push((format!("google.{tld}"), None));
+    }
+
+    // ---- 4. rank budgeting ----------------------------------------------
+    // Bucket capacities (e2LDs per rank band), already minus the anchors
+    // placed above: top-100 has google.com(1), about.com(45), 6 cc.
+    struct Bucket {
+        lo: u32,
+        hi: u32,
+        remaining: usize,
+        google_cc_share: usize,
+    }
+    let mut buckets = [
+        Bucket {
+            lo: 2,
+            hi: 100,
+            remaining: targets::TOP_100 - 8,
+            google_cc_share: 0,
+        },
+        Bucket {
+            lo: 101,
+            hi: 500,
+            remaining: targets::TOP_500 - targets::TOP_100,
+            google_cc_share: 20,
+        },
+        Bucket {
+            lo: 501,
+            hi: 1_000,
+            remaining: targets::TOP_1K - targets::TOP_500,
+            google_cc_share: 20,
+        },
+        Bucket {
+            lo: 1_001,
+            hi: 5_000,
+            remaining: targets::TOP_5K - targets::TOP_1K,
+            google_cc_share: 60,
+        },
+        Bucket {
+            lo: 5_001,
+            hi: 1_000_000,
+            remaining: targets::TOP_1M - targets::TOP_5K,
+            google_cc_share: 744,
+        },
+    ];
+
+    // Assign ranks to the synthetic google ccs bucket by bucket.
+    {
+        let mut cc_iter = google_cc
+            .iter_mut()
+            .skip(cc_anchor.len())
+            .collect::<Vec<_>>();
+        let mut idx = 0;
+        for b in &mut buckets {
+            for _ in 0..b.google_cc_share {
+                if idx >= cc_iter.len() {
+                    break;
+                }
+                let rank = pick_free_rank(b.lo, b.hi, &mut used_ranks, &mut rng);
+                cc_iter[idx].1 = Some(rank);
+                b.remaining -= 1;
+                idx += 1;
+            }
+        }
+        // Remaining ccs (69) stay unranked.
+    }
+    for (dom, rank) in google_cc {
+        publishers.push(Publisher {
+            e2ld: dom.clone(),
+            rank,
+            fqdns: vec![dom.clone()],
+            slot: PublisherSlot {
+                ad_host: "google.com".into(),
+                ad_path: "/ads/search/".into(),
+                element_id: "tads".into(),
+            },
+        });
+        if let Some(r) = rank {
+            used_ranks.insert(r, ());
+        }
+    }
+
+    // ---- 5. other publishers: preferred anchors first -------------------
+    let anchor_map: BTreeMap<&str, u32> = anchors().iter().map(|(r, d, _)| (*d, *r)).collect();
+    let mut extra_fqdn_budget =
+        targets::TOTAL_FQDNS - targets::ABOUT_FQDNS - targets::GOOGLE_CC - 2;
+    // Each "other" publisher contributes ≥1 FQDN (its e2ld); the surplus
+    // is spread as extra subdomains over the first publishers.
+    let other_count = targets::TOTAL_E2LDS - publishers.len();
+    extra_fqdn_budget -= other_count; // the mandatory one-per-publisher
+
+    let mut others: Vec<Publisher> = Vec::with_capacity(other_count);
+    for name in PREFERRED_PUBLISHER_ANCHORS {
+        let rank = anchor_map.get(name).copied();
+        if let Some(r) = rank {
+            used_ranks.insert(r, ());
+        }
+        others.push(Publisher {
+            e2ld: name.to_string(),
+            rank,
+            fqdns: vec![name.to_string()],
+            slot: slot_for(name, &mut rng),
+        });
+    }
+    // Account the preferred anchors against their buckets.
+    for p in &others {
+        if let Some(r) = p.rank {
+            for b in &mut buckets {
+                if (b.lo..=b.hi).contains(&r) && b.remaining > 0 {
+                    b.remaining -= 1;
+                }
+            }
+        }
+    }
+
+    // Fill each bucket with synthetic ranked publishers.
+    for b in &mut buckets {
+        while b.remaining > 0 && others.len() < other_count {
+            let rank = pick_free_rank(b.lo, b.hi, &mut used_ranks, &mut rng);
+            let site = site_for_rank(seed, rank);
+            // Non-English sites are out of the program's (EasyList's)
+            // purview; re-roll category by domain only.
+            let e2ld = if site.category == SiteCategory::NonEnglish {
+                format!("en{}", site.domain)
+            } else {
+                site.domain
+            };
+            others.push(Publisher {
+                e2ld: e2ld.clone(),
+                rank: Some(rank),
+                fqdns: vec![e2ld.clone()],
+                slot: slot_for(&e2ld, &mut rng),
+            });
+            b.remaining -= 1;
+        }
+    }
+
+    // Unranked remainder.
+    let mut i = 0;
+    while others.len() < other_count {
+        others.push(synthetic_unranked_publisher(i, &mut rng));
+        i += 1;
+    }
+
+    // Spread the extra-FQDN budget: earlier publishers get one extra
+    // subdomain each until the budget is spent.
+    let prefixes = ["www", "search", "shop", "m", "news"];
+    let mut pi = 0;
+    let others_len = others.len();
+    while extra_fqdn_budget > 0 {
+        let prefix = prefixes[(pi / others_len) % prefixes.len()];
+        let p = &mut others[pi % others_len];
+        let fqdn = format!("{prefix}.{}", p.e2ld);
+        if !p.fqdns.contains(&fqdn) {
+            p.fqdns.push(fqdn);
+            extra_fqdn_budget -= 1;
+        }
+        pi += 1;
+    }
+
+    publishers.extend(others);
+
+    let by_rank = publishers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| p.rank.map(|r| (r, i)))
+        .collect();
+    PublisherDirectory {
+        publishers,
+        by_rank,
+    }
+}
+
+fn synthetic_unranked_publisher(i: usize, rng: &mut SplitMix64) -> Publisher {
+    let e2ld = format!("smallpub{i:04}.example");
+    Publisher {
+        e2ld: e2ld.clone(),
+        rank: None,
+        fqdns: vec![e2ld.clone()],
+        slot: slot_for(&e2ld, rng),
+    }
+}
+
+fn pick_free_rank(lo: u32, hi: u32, used: &mut BTreeMap<u32, ()>, rng: &mut SplitMix64) -> u32 {
+    loop {
+        let r = rng.range_inclusive(lo as u64, hi as u64) as u32;
+        if !used.contains_key(&r) {
+            used.insert(r, ());
+            return r;
+        }
+    }
+}
+
+/// Topic labels for about.com subdomains (`cars.about.com`,
+/// `food.about.com`, …).
+fn about_topics(n: usize) -> Vec<String> {
+    const BASE: [&str; 20] = [
+        "cars",
+        "food",
+        "travel",
+        "health",
+        "money",
+        "style",
+        "tech",
+        "home",
+        "sports",
+        "education",
+        "news",
+        "pets",
+        "crafts",
+        "garden",
+        "movies",
+        "music",
+        "books",
+        "games",
+        "photo",
+        "history",
+    ];
+    let mut out = Vec::with_capacity(n);
+    let mut round = 0usize;
+    while out.len() < n {
+        for b in BASE {
+            if out.len() >= n {
+                break;
+            }
+            if round == 0 {
+                out.push(b.to_string());
+            } else {
+                out.push(format!("{b}{round}"));
+            }
+        }
+        round += 1;
+    }
+    out
+}
+
+/// Synthetic country-code TLD labels (2-letter then 3-letter strings).
+fn synthetic_cc_tlds(n: usize) -> Vec<String> {
+    // Skip TLDs already used by anchor ccs or classic suffixes to avoid
+    // duplicate google.XX entries.
+    const SKIP: [&str; 9] = ["de", "fr", "in", "jp", "uk", "br", "com", "net", "cm"];
+    let alphabet = b"abcdefghijklmnopqrstuvwxyz";
+    let mut out = Vec::with_capacity(n);
+    'outer: for a in alphabet {
+        for b in alphabet {
+            let tld = format!("{}{}", *a as char, *b as char);
+            if SKIP.contains(&tld.as_str()) {
+                continue;
+            }
+            out.push(tld);
+            if out.len() == n {
+                break 'outer;
+            }
+        }
+    }
+    let mut suffix = 0usize;
+    while out.len() < n {
+        out.push(format!("z{suffix:02}"));
+        suffix += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> PublisherDirectory {
+        build_directory(2015)
+    }
+
+    #[test]
+    fn table2_counts_exact() {
+        let d = dir();
+        assert_eq!(d.publishers.len(), targets::TOTAL_E2LDS);
+        assert_eq!(d.ranked_within(100), targets::TOP_100);
+        assert_eq!(d.ranked_within(500), targets::TOP_500);
+        assert_eq!(d.ranked_within(1_000), targets::TOP_1K);
+        assert_eq!(d.ranked_within(5_000), targets::TOP_5K);
+        assert_eq!(d.ranked_within(1_000_000), targets::TOP_1M);
+        assert_eq!(d.fqdn_count(), targets::TOTAL_FQDNS);
+    }
+
+    #[test]
+    fn e2lds_unique() {
+        let d = dir();
+        let mut names: Vec<&str> = d.publishers.iter().map(|p| p.e2ld.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn ranks_unique() {
+        let d = dir();
+        let mut ranks: Vec<u32> = d.publishers.iter().filter_map(|p| p.rank).collect();
+        let before = ranks.len();
+        ranks.sort_unstable();
+        ranks.dedup();
+        assert_eq!(ranks.len(), before);
+    }
+
+    #[test]
+    fn about_com_shape() {
+        let d = dir();
+        let about = d.publishers.iter().find(|p| p.e2ld == "about.com").unwrap();
+        assert_eq!(about.fqdns.len(), targets::ABOUT_FQDNS);
+        assert!(about.fqdns.contains(&"cars.about.com".to_string()));
+        assert!(about.fqdns.contains(&"food.about.com".to_string()));
+    }
+
+    #[test]
+    fn google_cc_shape() {
+        let d = dir();
+        let ccs: Vec<&Publisher> = d
+            .publishers
+            .iter()
+            .filter(|p| p.e2ld.starts_with("google.") && p.e2ld != "google.com")
+            .collect();
+        assert_eq!(ccs.len(), targets::GOOGLE_CC);
+        assert!(ccs.iter().any(|p| p.e2ld == "google.co.uk"));
+    }
+
+    #[test]
+    fn paper_publishers_present() {
+        let d = dir();
+        for name in ["reddit.com", "ask.com", "walmart.com", "comcast.net"] {
+            assert!(
+                d.publishers.iter().any(|p| p.e2ld == name),
+                "{name} missing from directory"
+            );
+        }
+        // toyota.com's activations are purely from unrestricted filters
+        // (Fig 7): it must not be an explicit publisher.
+        assert!(!d.publishers.iter().any(|p| p.e2ld == "toyota.com"));
+        assert!(d.by_rank(1288).is_none());
+        // Reddit's slot is the paper's Adzerk arrangement.
+        let reddit = d
+            .publishers
+            .iter()
+            .find(|p| p.e2ld == "reddit.com")
+            .unwrap();
+        assert_eq!(reddit.slot.ad_host, "static.adzerk.net");
+        assert_eq!(reddit.slot.element_id, "ad_main");
+    }
+
+    #[test]
+    fn rank_lookup() {
+        let d = dir();
+        assert_eq!(d.by_rank(1).unwrap().e2ld, "google.com");
+        assert_eq!(d.by_rank(31).unwrap().e2ld, "reddit.com");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build_directory(2015);
+        let b = build_directory(2015);
+        assert_eq!(a.publishers, b.publishers);
+    }
+}

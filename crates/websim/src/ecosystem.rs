@@ -1,0 +1,590 @@
+//! The canonical advertising ecosystem.
+//!
+//! One table drives the whole reproduction: which third-party services
+//! exist, what they serve, which filter (if any) whitelists them, how
+//! often sites in each popularity stratum embed them, and which
+//! publishers are explicitly whitelisted. Page generation ([`crate::page`])
+//! consumes it to emit requests and elements; the `corpus` crate consumes
+//! it to emit the EasyList-style blacklist and the Acceptable Ads
+//! whitelist. Because both sides derive from the same table, the survey
+//! numbers (Table 4, Figs 6–8) are *measured* from crawls, not echoed.
+
+use crate::alexa::Stratum;
+use serde::{Deserialize, Serialize};
+use sitekey::rng::SplitMix64;
+
+/// What a third-party service serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Conversion-tracking pixels/scripts (no visible ads).
+    ConversionTracking,
+    /// Advertisement serving (scripts, images, iframes).
+    AdServing,
+    /// Passive resources (fonts, scripts) — e.g. gstatic.
+    Resource,
+    /// In-page element-based ads identified by an element id.
+    ElementAd,
+}
+
+/// How the third party is loaded from a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadKind {
+    /// `<script src>`.
+    Script,
+    /// `<img src>` (pixels, banners).
+    Image,
+    /// `<iframe src>`.
+    Iframe,
+    /// `<link rel=stylesheet>`.
+    Stylesheet,
+}
+
+/// A third-party service in the simulated ecosystem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThirdParty {
+    /// Service name for reports.
+    pub name: &'static str,
+    /// Request host.
+    pub host: &'static str,
+    /// Request path prefix (starts with `/`).
+    pub path: &'static str,
+    /// What the service is.
+    pub kind: ServiceKind,
+    /// How pages load it.
+    pub load: LoadKind,
+    /// The *whitelist* exception filter covering it, if it participates
+    /// in Acceptable Ads (exact filter text).
+    pub whitelist_filter: Option<&'static str>,
+    /// Whether EasyList carries a blocking filter for its host.
+    pub easylist_blocked: bool,
+    /// Probability a site in each stratum embeds the service
+    /// (top-5K, 5K–50K, 50K–100K, 100K–1M), conditioned on the site
+    /// being ad-supported and — for Google services — on the site using
+    /// the Google stack.
+    pub inclusion: [f64; 4],
+    /// Whether the service rides the per-site "Google stack" gate.
+    pub google_stack: bool,
+    /// Mean extra requests beyond the first when included (geometric).
+    pub repeat_mean: f64,
+}
+
+/// Probability a site uses the Google advertising stack at all,
+/// conditioned on being ad-supported.
+pub const GOOGLE_STACK_P: f64 = 0.62;
+
+/// Probability a site in each stratum is "ad-supported and in scope" —
+/// English-language, serving ads on its landing page without user
+/// interaction. The paper found 3,956 of the top 5,000 triggered at
+/// least one filter; "the remaining 1,044 … were largely non-English …
+/// or required additional user interaction".
+pub const AD_SUPPORTED_P: [f64; 4] = [0.81, 0.70, 0.62, 0.50];
+
+/// The whitelisted (and a few blocked-only) third parties. The first
+/// three rows are the paper's Table 4 leaders; the rest fill out the
+/// top-20 with services the paper names (PageFair, admarketplace,
+/// Influads, the A59 AdSense-for-search exception) plus plausible
+/// conversion trackers.
+pub fn third_parties() -> Vec<ThirdParty> {
+    fn tp(
+        name: &'static str,
+        host: &'static str,
+        path: &'static str,
+        kind: ServiceKind,
+        load: LoadKind,
+        whitelist_filter: Option<&'static str>,
+        easylist_blocked: bool,
+        inclusion: [f64; 4],
+        google_stack: bool,
+        repeat_mean: f64,
+    ) -> ThirdParty {
+        ThirdParty {
+            name,
+            host,
+            path,
+            kind,
+            load,
+            whitelist_filter,
+            easylist_blocked,
+            inclusion,
+            google_stack,
+            repeat_mean,
+        }
+    }
+    use LoadKind::*;
+    use ServiceKind::*;
+    vec![
+        // ---- Table 4 leaders -------------------------------------------------
+        tp(
+            "DoubleClick conversion",
+            "stats.g.doubleclick.net",
+            "/dc.js",
+            ConversionTracking,
+            Script,
+            Some("@@||stats.g.doubleclick.net^$script,image"),
+            true, // EasyList blocks ||doubleclick.net^
+            [0.385, 0.33, 0.30, 0.27],
+            true,
+            0.8,
+        ),
+        tp(
+            "Google AdSense",
+            "googleadservices.com",
+            "/pagead/conversion",
+            AdServing,
+            Script,
+            Some("@@||googleadservices.com^$third-party"),
+            true,
+            [0.379, 0.30, 0.26, 0.20],
+            true,
+            1.2,
+        ),
+        tp(
+            "Google static resources",
+            "gstatic.com",
+            "/fonts/roboto.woff",
+            Resource,
+            Image,
+            Some("@@||gstatic.com^$third-party"),
+            false, // the paper notes EasyList does NOT block gstatic
+            [0.316, 0.26, 0.22, 0.17],
+            true,
+            1.5,
+        ),
+        tp(
+            "Google syndication",
+            "googlesyndication.com",
+            "/pagead/show_ads.js",
+            AdServing,
+            Script,
+            Some("@@||googlesyndication.com^$third-party,script"),
+            true,
+            [0.20, 0.15, 0.12, 0.08],
+            true,
+            1.0,
+        ),
+        tp(
+            "Google ads conversion",
+            "google.com",
+            "/ads/conversion/",
+            ConversionTracking,
+            Image,
+            Some("@@||google.com/ads/conversion/$image,third-party"),
+            true,
+            [0.16, 0.12, 0.10, 0.07],
+            true,
+            0.5,
+        ),
+        // ---- non-Google whitelist participants ------------------------------
+        tp(
+            "Amazon ad system",
+            "amazon-adsystem.com",
+            "/aax2/apstag.js",
+            AdServing,
+            Script,
+            Some("@@||amazon-adsystem.com^$third-party,script"),
+            true,
+            [0.10, 0.07, 0.055, 0.032],
+            false,
+            0.9,
+        ),
+        tp(
+            "Bing conversion",
+            "bat.bing.com",
+            "/bat.js",
+            ConversionTracking,
+            Script,
+            Some("@@||bat.bing.com^$script"),
+            true,
+            [0.075, 0.06, 0.046, 0.038],
+            false,
+            0.3,
+        ),
+        tp(
+            "Criteo retargeting",
+            "static.criteo.net",
+            "/js/ld/ld.js",
+            AdServing,
+            Script,
+            Some("@@||static.criteo.net^$third-party"),
+            true,
+            [0.065, 0.046, 0.038, 0.023],
+            false,
+            0.7,
+        ),
+        tp(
+            "PageFair",
+            "pagefair.net",
+            "/pf.js",
+            AdServing,
+            Script,
+            Some("@@||pagefair.net^$third-party"),
+            true,
+            [0.048, 0.038, 0.034, 0.019],
+            false,
+            0.6,
+        ),
+        tp(
+            "admarketplace tracking",
+            "tracking.admarketplace.net",
+            "/tr",
+            ConversionTracking,
+            Image,
+            Some("@@||tracking.admarketplace.net^$third-party"),
+            true,
+            [0.037, 0.030, 0.026, 0.015],
+            false,
+            0.4,
+        ),
+        tp(
+            "admarketplace impressions",
+            "imp.admarketplace.net",
+            "/imp",
+            AdServing,
+            Image,
+            Some("@@||imp.admarketplace.net^$third-party"),
+            true,
+            [0.034, 0.028, 0.024, 0.013],
+            false,
+            0.8,
+        ),
+        tp(
+            "Taboola widgets",
+            "cdn.taboola.com",
+            "/libtrc/loader.js",
+            AdServing,
+            Script,
+            Some("@@||cdn.taboola.com^$script,domain=~example.org"),
+            true,
+            [0.030, 0.024, 0.019, 0.011],
+            false,
+            1.1,
+        ),
+        tp(
+            "Outbrain widgets",
+            "widgets.outbrain.com",
+            "/outbrain.js",
+            AdServing,
+            Script,
+            Some("@@||widgets.outbrain.com^$script"),
+            true,
+            [0.025, 0.020, 0.016, 0.009],
+            false,
+            1.0,
+        ),
+        tp(
+            "AdRoll",
+            "s.adroll.com",
+            "/j/roundtrip.js",
+            AdServing,
+            Script,
+            Some("@@||s.adroll.com^$script,third-party"),
+            true,
+            [0.022, 0.017, 0.014, 0.008],
+            false,
+            0.5,
+        ),
+        // The §7 A59 exception: unrestricted AdSense-for-search.
+        tp(
+            "AdSense for search (A59)",
+            "google.com",
+            "/afs/ads",
+            AdServing,
+            Iframe,
+            Some("@@||google.com/afs/$script,subdocument"),
+            true,
+            [0.019, 0.015, 0.012, 0.007],
+            true,
+            0.6,
+        ),
+        tp(
+            "Quantcast pixel",
+            "pixel.quantserve.com",
+            "/pixel",
+            ConversionTracking,
+            Image,
+            Some("@@||pixel.quantserve.com^$image"),
+            true,
+            [0.015, 0.012, 0.010, 0.006],
+            false,
+            0.2,
+        ),
+        tp(
+            "Yahoo Gemini",
+            "gemini.yahoo.com",
+            "/gemini.js",
+            AdServing,
+            Script,
+            Some("@@||gemini.yahoo.com^$third-party"),
+            true,
+            [0.012, 0.009, 0.008, 0.005],
+            false,
+            0.6,
+        ),
+        tp(
+            "AOL advertising",
+            "advertising.com",
+            "/ads.js",
+            AdServing,
+            Script,
+            Some("@@||advertising.com^$third-party"),
+            true,
+            [0.010, 0.008, 0.006, 0.004],
+            false,
+            0.7,
+        ),
+        // The one whitelist filter that peaks in the 100K–1M stratum —
+        // Fig 8's conversion-tracking outlier (long-tail affiliate sites).
+        tp(
+            "Affiliate conversion pixel",
+            "pixel.affiliateconv.com",
+            "/conv",
+            ConversionTracking,
+            Image,
+            Some("@@||pixel.affiliateconv.com^$image,third-party"),
+            true,
+            [0.010, 0.035, 0.055, 0.085],
+            false,
+            0.3,
+        ),
+        // Influads: the whitelist's only unrestricted *element* exception
+        // rides on this service (the request side is also excepted).
+        tp(
+            "Influads",
+            "influads.com",
+            "/ads/display.js",
+            ElementAd,
+            Script,
+            Some("@@||influads.com^$script,image"),
+            true,
+            [0.0074, 0.005, 0.004, 0.002],
+            false,
+            0.0,
+        ),
+        // ---- EasyList-blocked-only networks (no whitelist entry) ------------
+        tp(
+            "DoubleClick ads",
+            "ad.doubleclick.net",
+            "/adj/banner",
+            AdServing,
+            Iframe,
+            None,
+            true,
+            [0.30, 0.24, 0.20, 0.14],
+            false,
+            1.4,
+        ),
+        tp(
+            "Adzerk",
+            "static.adzerk.net",
+            "/ads.html",
+            AdServing,
+            Iframe,
+            None, // whitelisted only for specific publishers (restricted)
+            true,
+            [0.06, 0.05, 0.04, 0.02],
+            false,
+            0.7,
+        ),
+        tp(
+            "Zedo",
+            "zedo.com",
+            "/jsc/z.js",
+            AdServing,
+            Script,
+            None,
+            true,
+            [0.05, 0.045, 0.04, 0.03],
+            false,
+            0.9,
+        ),
+        tp(
+            "OpenX",
+            "openx.net",
+            "/w/1.0/jstag",
+            AdServing,
+            Script,
+            None,
+            true,
+            [0.09, 0.08, 0.07, 0.05],
+            false,
+            1.0,
+        ),
+        tp(
+            "Rubicon",
+            "fastlane.rubiconproject.com",
+            "/a/api/fastlane.json",
+            AdServing,
+            Script,
+            None,
+            true,
+            [0.11, 0.09, 0.07, 0.05],
+            false,
+            0.8,
+        ),
+        tp(
+            "AppNexus",
+            "ib.adnxs.com",
+            "/ttj",
+            AdServing,
+            Iframe,
+            None,
+            true,
+            [0.13, 0.10, 0.08, 0.06],
+            false,
+            1.1,
+        ),
+        tp(
+            "Casale media",
+            "js.casalemedia.com",
+            "/casale.js",
+            AdServing,
+            Script,
+            None,
+            true,
+            [0.07, 0.06, 0.05, 0.035],
+            false,
+            0.6,
+        ),
+        tp(
+            "Popads",
+            "serve.popads.net",
+            "/cpop.js",
+            AdServing,
+            Script,
+            None,
+            true,
+            [0.02, 0.05, 0.07, 0.09],
+            false,
+            0.5,
+        ),
+    ]
+}
+
+/// Generic blocked ad hosts, used to thicken EasyList to a realistic
+/// size; each appears on a small fraction of sites.
+pub fn generic_blocked_host(i: usize) -> String {
+    format!("adserver{i:03}.adnet.example")
+}
+
+/// Number of generic blocked networks in the ecosystem.
+pub const GENERIC_BLOCKED_NETWORKS: usize = 60;
+
+/// Inclusion probability for generic blocked network `i` per stratum.
+pub fn generic_inclusion(i: usize, stratum: Stratum) -> f64 {
+    let base = 0.035 / (1.0 + i as f64 * 0.25);
+    base * match stratum {
+        Stratum::Top5k => 1.0,
+        Stratum::From5kTo50k => 0.85,
+        Stratum::From50kTo100k => 0.7,
+        Stratum::From100kTo1M => 0.5,
+    }
+}
+
+/// The element id of the Influads in-page ad — matched by the whitelist's
+/// only unrestricted element exception, `#@##influads_block` (§4.2.2).
+pub const INFLUADS_ELEMENT_ID: &str = "influads_block";
+
+/// Element classes EasyList hides (generic cosmetic rules).
+pub const EASYLIST_HIDE_CLASSES: [&str; 6] = [
+    "banner-ad",
+    "ad-box",
+    "sponsored-links",
+    "advert-top",
+    "side-ad",
+    "textad",
+];
+
+/// Probability an ad-supported site embeds each cosmetic-hidden class.
+pub const HIDE_CLASS_P: f64 = 0.12;
+
+/// Salt mixed into per-site seeds so site streams never collide with
+/// other derived streams of the same world seed.
+const SITE_SEED_SALT: u64 = 0x5EED0FEC05157E;
+
+/// Deterministic per-site ecosystem draw, keyed by world seed and rank,
+/// so page generation and any analysis agree without shared state.
+pub fn site_rng(world_seed: u64, rank: u32) -> SplitMix64 {
+    SplitMix64::new(world_seed ^ (rank as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ SITE_SEED_SALT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_leaders_present_with_paper_filters() {
+        let parties = third_parties();
+        let dc = parties
+            .iter()
+            .find(|p| p.host == "stats.g.doubleclick.net")
+            .unwrap();
+        assert_eq!(
+            dc.whitelist_filter,
+            Some("@@||stats.g.doubleclick.net^$script,image")
+        );
+        assert!(dc.easylist_blocked, "doubleclick is blocked by EasyList");
+
+        let gs = parties.iter().find(|p| p.host == "gstatic.com").unwrap();
+        assert!(
+            !gs.easylist_blocked,
+            "the paper notes EasyList does not block gstatic"
+        );
+    }
+
+    #[test]
+    fn whitelisted_parties_outnumber_blocked_only() {
+        let parties = third_parties();
+        let whitelisted = parties
+            .iter()
+            .filter(|p| p.whitelist_filter.is_some())
+            .count();
+        assert!(whitelisted >= 18, "need a full Table 4: {whitelisted}");
+        let blocked_only = parties
+            .iter()
+            .filter(|p| p.whitelist_filter.is_none())
+            .count();
+        assert!(blocked_only >= 5);
+    }
+
+    #[test]
+    fn inclusion_probabilities_generally_decay_with_rank() {
+        // All services except the Fig 8 affiliate-conversion outlier and
+        // pop-under networks decay toward the long tail.
+        for p in third_parties() {
+            if p.host == "pixel.affiliateconv.com" || p.host == "serve.popads.net" {
+                assert!(
+                    p.inclusion[3] > p.inclusion[0],
+                    "{} should peak low",
+                    p.name
+                );
+            } else {
+                assert!(p.inclusion[0] >= p.inclusion[3], "{} should decay", p.name);
+            }
+            for v in p.inclusion {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn site_rng_is_stable_and_rank_sensitive() {
+        let a = site_rng(1, 100).next_u64();
+        let b = site_rng(1, 100).next_u64();
+        let c = site_rng(1, 101).next_u64();
+        let d = site_rng(2, 100).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn generic_networks_have_sane_inclusions() {
+        for i in 0..GENERIC_BLOCKED_NETWORKS {
+            for s in Stratum::ALL {
+                let p = generic_inclusion(i, s);
+                assert!((0.0..0.05).contains(&p));
+            }
+        }
+        assert!(generic_blocked_host(7).contains("adserver007"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # websim — a deterministic simulated Web
+//!
+//! The paper's measurements run against the live Web: Alexa-ranked
+//! sites, third-party ad networks, parked domains with sitekey
+//! handshakes, and sites with anti-measurement quirks (UA-gated 403s,
+//! cookie-gated redirects, ad-blocker detection). None of that is
+//! reachable here, so this crate builds a *simulated* Web exercising
+//! the same code paths (DESIGN.md §2):
+//!
+//! * [`alexa`] — a ranked domain population with named anchor sites
+//!   (the domains the paper's figures call out) and a deterministic
+//!   synthetic tail out to rank 1,000,000;
+//! * [`ecosystem`] — the canonical advertising ecosystem: which third
+//!   parties exist, what they serve, and how often sites in each rank
+//!   stratum embed them. This single table drives **both** page
+//!   generation here **and** filter-list generation in `corpus`, so
+//!   measured filter activations are an emergent property of the
+//!   simulation rather than echoed constants;
+//! * [`page`] — landing-page HTML synthesis;
+//! * [`parked`] — parking-service landers with real sitekey signatures
+//!   (via the `sitekey` crate) and each service's countermeasures;
+//! * [`server`] — the HTTP-shaped request/response surface: headers,
+//!   cookies, redirects, 403s;
+//! * [`world`] — ties everything into a [`world::Web`] the crawler can
+//!   browse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alexa;
+pub mod directory;
+pub mod ecosystem;
+pub mod page;
+pub mod parked;
+pub mod server;
+pub mod world;
+
+#[cfg(test)]
+mod proptests;
+
+pub use alexa::{RankedSite, SiteCategory};
+pub use server::{HttpRequest, HttpResponse};
+pub use world::{Scale, Web, WebConfig};

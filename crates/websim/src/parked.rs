@@ -1,0 +1,156 @@
+//! Parked-domain landers and the parking services' sitekey machinery.
+//!
+//! Every parking service holds one RSA key pair (derived from a fixed,
+//! service-specific seed so the `corpus` whitelist and this simulation
+//! agree on the `$sitekey=` values without sharing state). A parked
+//! lander signs `URI\0host\0user-agent` per request and presents the
+//! token in both the `X-Adblock-Key` header and the root element's
+//! `data-adblockkey` attribute — exactly the protocol of §4.2.3.
+//!
+//! Countermeasures reproduced from the paper:
+//! * **ParkingCrew** returns 403 to curl-like user agents;
+//! * **Uniregistry** redirects first-time visitors to a cookie-setting
+//!   URL; only the cookie-bearing second request gets the lander (and
+//!   the sitekey).
+
+use crate::server::{HttpRequest, HttpResponse};
+use sitekey::protocol::{issue_token, ADBLOCK_KEY_HEADER};
+use sitekey::rng::SplitMix64;
+use sitekey::rsa::RsaKeyPair;
+
+/// Key size used for simulated sitekeys. The real program used RSA-512;
+/// we scale to 128 bits so world construction is instant (DESIGN.md §2).
+/// The factoring experiment (`core::exploit`) uses its own sizes.
+pub const SIM_SITEKEY_BITS: usize = 128;
+
+/// Deterministic key pair for a parking service.
+pub fn service_keypair(service: &str) -> RsaKeyPair {
+    let mut seed = 0xC0FFEE_u64;
+    for b in service.bytes() {
+        seed = seed.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+    }
+    RsaKeyPair::generate(SIM_SITEKEY_BITS, &mut SplitMix64::new(seed))
+}
+
+/// The lander HTML for a parked domain, with the sitekey token embedded
+/// in `data-adblockkey`.
+pub fn lander_html(domain: &str, token_wire: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html data-adblockkey=\"{token_wire}\">\n<head><title>{domain} is for sale</title></head>\n<body>\n<div class=\"related-links\">\n<a href=\"http://landing.park-ads.example/c?kw=dating\">Dating services</a>\n<a href=\"http://landing.park-ads.example/c?kw=celebrities\">Photos of celebrities</a>\n<a href=\"http://landing.park-ads.example/c?kw={domain}\">Related searches</a>\n</div>\n<img src=\"http://landing.park-ads.example/imp.gif\">\n<div class=\"buy-domain\">Buy {domain}</div>\n</body>\n</html>\n"
+    )
+}
+
+/// Serve a request for a parked domain managed by `service`.
+pub fn serve_parked(service: &str, key: &RsaKeyPair, req: &HttpRequest) -> HttpResponse {
+    let Ok(url) = urlkit::Url::parse(&req.url) else {
+        return HttpResponse::not_found();
+    };
+    let host = url.host().to_string();
+    let uri = if url.path().is_empty() {
+        "/"
+    } else {
+        url.path()
+    };
+
+    // ParkingCrew's UA countermeasure.
+    if service == "ParkingCrew" && req.user_agent.starts_with("curl") {
+        return HttpResponse::forbidden();
+    }
+
+    // Uniregistry's cookie gate.
+    if service == "Uniregistry" && req.cookie("uni_session").is_none() {
+        return HttpResponse::redirect(format!("http://{host}/lander"))
+            .with_cookie("uni_session", "1");
+    }
+
+    let token = issue_token(key, uri, &host, &req.user_agent);
+    let wire = token.to_wire();
+    HttpResponse::ok(lander_html(&host, &wire)).with_header(ADBLOCK_KEY_HEADER, wire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitekey::protocol::{verify_token, SitekeyToken};
+
+    #[test]
+    fn service_keys_are_stable_and_distinct() {
+        let a = service_keypair("Sedo");
+        let b = service_keypair("Sedo");
+        let c = service_keypair("ParkingCrew");
+        assert_eq!(a.public, b.public);
+        assert_ne!(a.public, c.public);
+        assert_eq!(a.public.bits(), SIM_SITEKEY_BITS);
+    }
+
+    #[test]
+    fn sedo_lander_presents_verifiable_sitekey() {
+        let key = service_keypair("Sedo");
+        let req = HttpRequest::browser("http://reddit.cm/");
+        let resp = serve_parked("Sedo", &key, &req);
+        assert_eq!(resp.status, 200);
+        let wire = resp.header(ADBLOCK_KEY_HEADER).unwrap();
+        let token = SitekeyToken::from_wire(wire).unwrap();
+        let verified = verify_token(&token, "/", "reddit.cm", &req.user_agent).unwrap();
+        assert_eq!(verified, key.public.to_base64());
+        // The body carries the same token.
+        assert!(resp.body.contains(&format!("data-adblockkey=\"{wire}\"")));
+    }
+
+    #[test]
+    fn token_does_not_verify_for_other_host() {
+        let key = service_keypair("Sedo");
+        let req = HttpRequest::browser("http://reddit.cm/");
+        let resp = serve_parked("Sedo", &key, &req);
+        let token = SitekeyToken::from_wire(resp.header(ADBLOCK_KEY_HEADER).unwrap()).unwrap();
+        assert!(verify_token(&token, "/", "other.cm", &req.user_agent).is_none());
+    }
+
+    #[test]
+    fn parkingcrew_403s_curl() {
+        let key = service_keypair("ParkingCrew");
+        let resp = serve_parked(
+            "ParkingCrew",
+            &key,
+            &HttpRequest::curl("http://crewpark.com/"),
+        );
+        assert_eq!(resp.status, 403);
+        // A browser UA gets the lander.
+        let resp = serve_parked(
+            "ParkingCrew",
+            &key,
+            &HttpRequest::browser("http://crewpark.com/"),
+        );
+        assert_eq!(resp.status, 200);
+        assert!(resp.header(ADBLOCK_KEY_HEADER).is_some());
+    }
+
+    #[test]
+    fn uniregistry_cookie_gate() {
+        let key = service_keypair("Uniregistry");
+        let first = serve_parked(
+            "Uniregistry",
+            &key,
+            &HttpRequest::browser("http://unipark.com/"),
+        );
+        assert_eq!(first.status, 302);
+        assert!(first.header(ADBLOCK_KEY_HEADER).is_none());
+        assert_eq!(first.set_cookies[0].0, "uni_session");
+
+        let mut second = HttpRequest::browser("http://unipark.com/lander");
+        second.cookies.push(("uni_session".into(), "1".into()));
+        let resp = serve_parked("Uniregistry", &key, &second);
+        assert_eq!(resp.status, 200);
+        assert!(resp.header(ADBLOCK_KEY_HEADER).is_some());
+    }
+
+    #[test]
+    fn lander_shows_typosquat_ads() {
+        // §4.2.3: "reddit.cm is a parked domain that advertises dating
+        // services and photos of celebrities".
+        let html = lander_html("reddit.cm", "K_S");
+        assert!(html.contains("Dating services"));
+        assert!(html.contains("celebrities"));
+        assert!(html.contains("reddit.cm is for sale"));
+    }
+}

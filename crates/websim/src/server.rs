@@ -1,0 +1,152 @@
+//! The HTTP-shaped surface of the simulated Web.
+//!
+//! Requests carry a URL, a user-agent and cookies; responses carry a
+//! status, headers (including `X-Adblock-Key` on sitekey hosts),
+//! `Set-Cookie`s, an optional redirect and an HTML body. This is where
+//! the paper's scraping countermeasures live (§4.2.3): ParkingCrew
+//! 403s curl-like user agents, Uniregistry gates its lander behind a
+//! cookie-setting redirect.
+
+use serde::{Deserialize, Serialize};
+
+/// A request to the simulated Web.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpRequest {
+    /// Absolute URL being fetched.
+    pub url: String,
+    /// User-agent string.
+    pub user_agent: String,
+    /// Cookies previously set for this host (`name`, `value`).
+    pub cookies: Vec<(String, String)>,
+}
+
+impl HttpRequest {
+    /// Convenience constructor with a browser-like UA and no cookies.
+    pub fn browser(url: impl Into<String>) -> Self {
+        HttpRequest {
+            url: url.into(),
+            user_agent: "Mozilla/5.0 (X11; Linux x86_64) ReproBrowser/1.0".into(),
+            cookies: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor mimicking a naive scraping tool.
+    pub fn curl(url: impl Into<String>) -> Self {
+        HttpRequest {
+            url: url.into(),
+            user_agent: "curl/7.38.0".into(),
+            cookies: Vec::new(),
+        }
+    }
+
+    /// Value of a cookie, if present.
+    pub fn cookie(&self, name: &str) -> Option<&str> {
+        self.cookies
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response from the simulated Web.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpResponse {
+    /// Status code (200, 302, 403, 404).
+    pub status: u16,
+    /// Response headers.
+    pub headers: Vec<(String, String)>,
+    /// Cookies to set (`name`, `value`).
+    pub set_cookies: Vec<(String, String)>,
+    /// Redirect target for 3xx responses.
+    pub location: Option<String>,
+    /// HTML body (empty for non-documents and errors).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// 200 with a body.
+    pub fn ok(body: impl Into<String>) -> Self {
+        HttpResponse {
+            status: 200,
+            body: body.into(),
+            ..Default::default()
+        }
+    }
+
+    /// 403 Forbidden.
+    pub fn forbidden() -> Self {
+        HttpResponse {
+            status: 403,
+            ..Default::default()
+        }
+    }
+
+    /// 404 Not Found.
+    pub fn not_found() -> Self {
+        HttpResponse {
+            status: 404,
+            ..Default::default()
+        }
+    }
+
+    /// 302 redirect.
+    pub fn redirect(to: impl Into<String>) -> Self {
+        HttpResponse {
+            status: 302,
+            location: Some(to.into()),
+            ..Default::default()
+        }
+    }
+
+    /// Add a header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Add a Set-Cookie (builder style).
+    pub fn with_cookie(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.set_cookies.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Header lookup (case-insensitive name).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let r = HttpResponse::ok("<html></html>")
+            .with_header("X-Adblock-Key", "KEY_SIG")
+            .with_cookie("uid", "42");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("x-adblock-key"), Some("KEY_SIG"));
+        assert_eq!(r.set_cookies, vec![("uid".to_string(), "42".to_string())]);
+        assert!(HttpResponse::forbidden().status == 403);
+        assert_eq!(
+            HttpResponse::redirect("http://x/").location.as_deref(),
+            Some("http://x/")
+        );
+    }
+
+    #[test]
+    fn request_helpers() {
+        let mut r = HttpRequest::browser("http://a.example/");
+        assert!(r.user_agent.contains("Mozilla"));
+        r.cookies.push(("k".into(), "v".into()));
+        assert_eq!(r.cookie("k"), Some("v"));
+        assert_eq!(r.cookie("missing"), None);
+        assert!(HttpRequest::curl("http://a/")
+            .user_agent
+            .starts_with("curl"));
+    }
+}

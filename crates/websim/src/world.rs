@@ -1,0 +1,371 @@
+//! The assembled simulated Web.
+
+use crate::alexa::{anchors, site_for_rank, RankedSite};
+use crate::directory::{build_directory, PublisherDirectory};
+use crate::page::{generate_page, render_html, PageContext};
+use crate::parked::{serve_parked, service_keypair};
+use crate::server::{HttpRequest, HttpResponse};
+use serde::{Deserialize, Serialize};
+use sitekey::rsa::RsaKeyPair;
+use std::collections::BTreeMap;
+use zonedb::parking::ParkingRegistry;
+use zonedb::zone::ZoneFile;
+
+/// Full-scale parked-domain counts per service (Table 3).
+pub const PARKED_FULL_COUNTS: [(&str, u64); 5] = [
+    ("Sedo", 1_060_129),
+    ("ParkingCrew", 368_703),
+    ("RookMedia", 949),
+    ("Uniregistry", 1_246_359),
+    ("Digimedia", 25),
+];
+
+/// World scale: how much of the full-size population to materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny world for unit tests.
+    Smoke,
+    /// 1:1000 parked domains; everything else full-fidelity. The
+    /// default for experiments.
+    Default,
+    /// 1:1 parked domains (~2.7 M zone records; slow to build).
+    Full,
+}
+
+impl Scale {
+    /// Divisor applied to parked-domain counts.
+    pub fn parked_divisor(self) -> u64 {
+        match self {
+            Scale::Smoke => 100_000,
+            Scale::Default => 1_000,
+            Scale::Full => 1,
+        }
+    }
+}
+
+/// World construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WebConfig {
+    /// Seed for every derived deterministic stream.
+    pub seed: u64,
+    /// Population scale.
+    pub scale: Scale,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        WebConfig {
+            seed: 2015,
+            scale: Scale::Default,
+        }
+    }
+}
+
+/// The simulated Web: ranked sites, publishers, ad hosts, and parked
+/// domains behind one request interface.
+#[derive(Debug, Clone)]
+pub struct Web {
+    /// Construction parameters.
+    pub config: WebConfig,
+    /// The explicit-publisher directory.
+    pub directory: PublisherDirectory,
+    /// The `.com` zone (parked domains + a sample of normal sites).
+    pub zone: ZoneFile,
+    /// The parking-service registry (Table 3).
+    pub registry: ParkingRegistry,
+    parked_service_by_domain: BTreeMap<String, String>,
+    service_keys: BTreeMap<String, RsaKeyPair>,
+    domain_ranks: BTreeMap<String, u32>,
+}
+
+impl Web {
+    /// Build the world for a configuration.
+    pub fn build(config: WebConfig) -> Web {
+        let directory = build_directory(config.seed);
+        let registry = ParkingRegistry::paper_table3();
+        let mut zone = ZoneFile::new("com");
+        let mut parked_service_by_domain = BTreeMap::new();
+        let mut service_keys = BTreeMap::new();
+
+        let divisor = config.scale.parked_divisor();
+        for (service, full) in PARKED_FULL_COUNTS {
+            let svc = registry.by_name(service).expect("registry service");
+            let count = (full / divisor).max(1);
+            for i in 0..count {
+                let domain = format!("{}park{i}.com", service.to_ascii_lowercase());
+                let ns: Vec<&str> = svc.nameservers.iter().map(String::as_str).collect();
+                zone.insert(&domain, &ns);
+                parked_service_by_domain.insert(domain, service.to_string());
+            }
+            service_keys.insert(service.to_string(), service_keypair(service));
+        }
+        // The paper's typosquat example: reddit.cm, parked with Sedo.
+        // (It lives outside the .com zone, so it is routed but not
+        // zone-listed — the paper likewise notes the zone file gives
+        // only a lower bound.)
+        parked_service_by_domain.insert("reddit.cm".to_string(), "Sedo".to_string());
+
+        // A sample of ordinary registrations so the zone is not purely
+        // parked domains.
+        for rank in (1..=2_000u32).step_by(7) {
+            let site = site_for_rank(config.seed, rank);
+            if site.domain.ends_with(".com") {
+                zone.insert_owned(
+                    site.domain.clone(),
+                    vec![
+                        format!("ns1.{}", site.domain),
+                        format!("ns2.{}", site.domain),
+                    ],
+                );
+            }
+        }
+
+        let mut domain_ranks: BTreeMap<String, u32> = anchors()
+            .iter()
+            .map(|(r, d, _)| ((*d).to_string(), *r))
+            .collect();
+        for p in &directory.publishers {
+            if let Some(r) = p.rank {
+                domain_ranks.insert(p.e2ld.clone(), r);
+            }
+        }
+
+        Web {
+            config,
+            directory,
+            zone,
+            registry,
+            parked_service_by_domain,
+            service_keys,
+            domain_ranks,
+        }
+    }
+
+    /// The authoritative site at a rank. Explicit publishers own their
+    /// assigned ranks (the directory is part of the world's ground
+    /// truth); every other rank is the synthetic [`site_for_rank`] site.
+    pub fn site(&self, rank: u32) -> RankedSite {
+        if let Some(p) = self.directory.by_rank(rank) {
+            let synthetic = site_for_rank(self.config.seed, rank);
+            let category = if synthetic.domain == p.e2ld {
+                synthetic.category
+            } else if p.e2ld.starts_with("google.") {
+                crate::alexa::SiteCategory::Search
+            } else {
+                // Publishers are in EasyList's (English) purview by
+                // definition.
+                match synthetic.category {
+                    crate::alexa::SiteCategory::NonEnglish => crate::alexa::SiteCategory::Other,
+                    c => c,
+                }
+            };
+            return RankedSite {
+                rank,
+                domain: p.e2ld.clone(),
+                category,
+            };
+        }
+        site_for_rank(self.config.seed, rank)
+    }
+
+    /// Reverse lookup: the rank of a hostname, if it belongs to a ranked
+    /// site (handles `www.` and other subdomains, publisher domains, and
+    /// the rank digits embedded in synthetic domains).
+    pub fn rank_of_host(&self, host: &str) -> Option<u32> {
+        let host = host.to_ascii_lowercase();
+        if let Some(r) = self.domain_ranks.get(&host) {
+            return Some(*r);
+        }
+        // Subdomain of a known ranked domain?
+        if let Some(e2ld) = urlkit::registrable_domain(&host) {
+            if let Some(r) = self.domain_ranks.get(&e2ld) {
+                return Some(*r);
+            }
+        }
+        // Synthetic domains embed their rank as trailing digits of the
+        // first label.
+        let label = host.split('.').next()?;
+        let digits: String = label
+            .chars()
+            .rev()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        let rank: u32 = digits.parse().ok()?;
+        // Verify round trip to reject coincidental digit runs.
+        let candidate = self.site(rank);
+        if candidate.domain == host || urlkit::is_same_or_subdomain_of(&host, &candidate.domain) {
+            Some(rank)
+        } else {
+            None
+        }
+    }
+
+    /// Which parking service manages a domain, if any.
+    pub fn parking_service_of(&self, domain: &str) -> Option<&str> {
+        self.parked_service_by_domain
+            .get(&domain.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    /// A parking service's key pair.
+    pub fn service_key(&self, service: &str) -> Option<&RsaKeyPair> {
+        self.service_keys.get(service)
+    }
+
+    /// Serve a request.
+    pub fn get(&self, req: &HttpRequest) -> HttpResponse {
+        let Ok(url) = urlkit::Url::parse(&req.url) else {
+            return HttpResponse::not_found();
+        };
+        let host = url.host().to_string();
+
+        // Chaos hosts: deliberately hostile behaviours for robustness
+        // testing (real crawls meet all of these).
+        match host.as_str() {
+            "redirect-loop.chaos.example" => {
+                return HttpResponse::redirect("http://redirect-loop.chaos.example/");
+            }
+            "redirect-chain.chaos.example" => {
+                // A chain longer than any sane redirect budget.
+                let depth: u32 = url
+                    .query()
+                    .and_then(|q| q.strip_prefix("d="))
+                    .and_then(|d| d.parse().ok())
+                    .unwrap_or(0);
+                return HttpResponse::redirect(format!(
+                    "http://redirect-chain.chaos.example/?d={}",
+                    depth + 1
+                ));
+            }
+            "server-error.chaos.example" => {
+                return HttpResponse {
+                    status: 500,
+                    ..Default::default()
+                };
+            }
+            "garbage-html.chaos.example" => {
+                return HttpResponse::ok(
+                    "<div <div><p id=\"x\" id=2 class=><iframe src='http://ad.doubleclick.net/x\0\u{fffd}<script>if(a<b)</div>",
+                );
+            }
+            "bad-sitekey.chaos.example" => {
+                // Presents a syntactically valid but unverifiable token.
+                return HttpResponse::ok(
+                    "<html data-adblockkey=\"AAAA_BBBB\"><body>x</body></html>",
+                )
+                .with_header(sitekey::protocol::ADBLOCK_KEY_HEADER, "AAAA_BBBB");
+            }
+            _ => {}
+        }
+
+        // Parked domains first.
+        if let Some(service) = self.parking_service_of(&host) {
+            let key = &self.service_keys[service];
+            return serve_parked(service, key, req);
+        }
+
+        // Ranked sites serve their landing page on any path (the survey
+        // only visits "/", but redirects land elsewhere).
+        if let Some(rank) = self.rank_of_host(&host) {
+            let site = self.site(rank);
+            let ctx = PageContext {
+                cookies: req.cookies.clone(),
+                adblock_detectable: req.cookie("abp_detectable") == Some("1"),
+            };
+            let publisher = self.directory.by_rank(rank);
+            let model = generate_page(self.config.seed, &site, publisher, &ctx);
+            let mut resp = HttpResponse::ok(render_html(&model));
+            if site.domain == "ask.com" {
+                resp = resp.with_cookie("ask_seen", "1");
+            }
+            return resp;
+        }
+
+        // Everything else (ad hosts, static resources) answers with an
+        // empty 200 — the measurement only needs the request to exist.
+        HttpResponse::ok("")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn web() -> Web {
+        Web::build(WebConfig {
+            seed: 2015,
+            scale: Scale::Smoke,
+        })
+    }
+
+    #[test]
+    fn builds_with_parked_zone() {
+        let w = web();
+        // Smoke scale: max(1, full/100k) per service.
+        let sedo: Vec<&str> = w
+            .zone
+            .domains_with_nameservers(&w.registry.by_name("Sedo").unwrap().nameservers)
+            .collect();
+        assert_eq!(sedo.len(), 10);
+        assert_eq!(w.parking_service_of("sedopark3.com"), Some("Sedo"));
+        assert_eq!(w.parking_service_of("reddit.cm"), Some("Sedo"));
+        assert_eq!(w.parking_service_of("reddit.com"), None);
+    }
+
+    #[test]
+    fn default_scale_counts_match_table3_shape() {
+        let w = Web::build(WebConfig::default());
+        for (service, full) in PARKED_FULL_COUNTS {
+            let svc = w.registry.by_name(service).unwrap();
+            let n = w.zone.domains_with_nameservers(&svc.nameservers).count() as u64;
+            assert_eq!(n, (full / 1000).max(1), "{service}");
+        }
+    }
+
+    #[test]
+    fn rank_lookup_for_anchors_and_synthetic() {
+        let w = web();
+        assert_eq!(w.rank_of_host("google.com"), Some(1));
+        assert_eq!(w.rank_of_host("www.reddit.com"), Some(31));
+        let synth = w.site(123_456);
+        assert_eq!(w.rank_of_host(&synth.domain), Some(123_456));
+        assert_eq!(w.rank_of_host("no-such-host.example"), None);
+    }
+
+    #[test]
+    fn serves_ranked_landing_page() {
+        let w = web();
+        let resp = w.get(&HttpRequest::browser("http://reddit.com/"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("static.adzerk.net/reddit/"));
+        assert!(resp.body.contains("id=\"ad_main\""));
+    }
+
+    #[test]
+    fn serves_parked_with_sitekey() {
+        let w = web();
+        let resp = w.get(&HttpRequest::browser("http://reddit.cm/"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.header("X-Adblock-Key").is_some());
+    }
+
+    #[test]
+    fn ad_hosts_answer_empty_200() {
+        let w = web();
+        let resp = w.get(&HttpRequest::browser(
+            "http://stats.g.doubleclick.net/dc.js",
+        ));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn ask_sets_cookie() {
+        let w = web();
+        let resp = w.get(&HttpRequest::browser("http://ask.com/"));
+        assert!(resp.set_cookies.iter().any(|(k, _)| k == "ask_seen"));
+    }
+}

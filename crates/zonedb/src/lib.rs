@@ -1,0 +1,30 @@
+//! # zonedb — a TLD zone-file model
+//!
+//! §4.2.3 of the paper: "Using the top-level domain zone file for .com
+//! domains, we identified approximately 3 million parked domains managed
+//! by one of the parking services listed in Table 3. Specifically, we
+//! focused on those domains whose name servers belong to one of the
+//! sitekey parking services. […] We used automated tools to visit each
+//! suspected domain and only recorded those that presented a sitekey
+//! signature."
+//!
+//! This crate models that pipeline:
+//!
+//! * [`zone::ZoneFile`] — domain → NS-record mapping, the measurement's
+//!   raw input;
+//! * [`parking`] — the registry of parking services, their nameserver
+//!   sets, and their whitelisting dates (Table 3);
+//! * [`scan`] — the two-stage join-then-verify scan: select candidate
+//!   domains by nameserver, then confirm each by probing for a sitekey
+//!   signature (the probe is a trait implemented by the simulated web).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod parking;
+pub mod scan;
+pub mod zone;
+
+pub use parking::{ParkingRegistry, ParkingService};
+pub use scan::{scan_parked_domains, ParkedScanReport, ServiceCount, SitekeyProbe};
+pub use zone::ZoneFile;

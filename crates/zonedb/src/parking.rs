@@ -1,0 +1,153 @@
+//! Domain-parking services: Table 3's five companies, their nameserver
+//! fleets, and their whitelisting lifecycle.
+
+use serde::{Deserialize, Serialize};
+
+/// A domain-parking service participating (or formerly participating) in
+/// the sitekey program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParkingService {
+    /// Company name, e.g. `"Sedo"`.
+    pub name: String,
+    /// ISO date the service's sitekey entered the whitelist.
+    pub whitelisted: String,
+    /// ISO date the sitekey was removed, if it was (RookMedia,
+    /// Sept 16 2014, Rev 656).
+    pub removed: Option<String>,
+    /// Nameservers whose presence in a domain's NS set marks it as
+    /// managed by this service (e.g. `ns1.sedoparking.com`).
+    pub nameservers: Vec<String>,
+}
+
+impl ParkingService {
+    /// Whether the service's sitekey is still in the whitelist.
+    pub fn is_active(&self) -> bool {
+        self.removed.is_none()
+    }
+}
+
+/// The registry of known parking services.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParkingRegistry {
+    /// All services, in order of whitelist introduction.
+    pub services: Vec<ParkingService>,
+}
+
+impl ParkingRegistry {
+    /// The five services of Table 3, with their paper-reported
+    /// whitelisting dates and plausible nameserver fleets (the paper
+    /// derived the nameserver list "in part … from the example sites
+    /// given in Adblock Plus online forums").
+    pub fn paper_table3() -> Self {
+        fn svc(
+            name: &str,
+            whitelisted: &str,
+            removed: Option<&str>,
+            ns: &[&str],
+        ) -> ParkingService {
+            ParkingService {
+                name: name.to_string(),
+                whitelisted: whitelisted.to_string(),
+                removed: removed.map(str::to_string),
+                nameservers: ns.iter().map(|s| s.to_string()).collect(),
+            }
+        }
+        ParkingRegistry {
+            services: vec![
+                svc(
+                    "Sedo",
+                    "2011-11-30",
+                    None,
+                    &["ns1.sedoparking.com", "ns2.sedoparking.com"],
+                ),
+                svc(
+                    "ParkingCrew",
+                    "2013-05-27",
+                    None,
+                    &["ns1.parkingcrew.net", "ns2.parkingcrew.net"],
+                ),
+                svc(
+                    "RookMedia",
+                    "2013-07-31",
+                    Some("2014-09-16"),
+                    &["ns1.rookdns.com", "ns2.rookdns.com"],
+                ),
+                svc(
+                    "Uniregistry",
+                    "2013-09-25",
+                    None,
+                    &["ns1.uniregistrymarket.link", "ns2.uniregistrymarket.link"],
+                ),
+                svc(
+                    "Digimedia",
+                    "2014-07-02",
+                    None,
+                    &["ns1.digimedia.com", "ns2.digimedia.com"],
+                ),
+            ],
+        }
+    }
+
+    /// Find a service by name.
+    pub fn by_name(&self, name: &str) -> Option<&ParkingService> {
+        self.services.iter().find(|s| s.name == name)
+    }
+
+    /// Which service (if any) manages a domain with the given NS set.
+    pub fn classify(&self, nameservers: &[String]) -> Option<&ParkingService> {
+        self.services
+            .iter()
+            .find(|s| nameservers.iter().any(|n| s.nameservers.contains(n)))
+    }
+
+    /// Services whose sitekeys are currently whitelisted.
+    pub fn active(&self) -> impl Iterator<Item = &ParkingService> {
+        self.services.iter().filter(|s| s.is_active())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_registry_shape() {
+        let r = ParkingRegistry::paper_table3();
+        assert_eq!(r.services.len(), 5);
+        // Order of introduction (Table 3).
+        let names: Vec<&str> = r.services.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Sedo",
+                "ParkingCrew",
+                "RookMedia",
+                "Uniregistry",
+                "Digimedia"
+            ]
+        );
+        // Four active sitekeys; RookMedia removed (§4.2.3).
+        assert_eq!(r.active().count(), 4);
+        assert!(!r.by_name("RookMedia").unwrap().is_active());
+        assert_eq!(
+            r.by_name("RookMedia").unwrap().removed.as_deref(),
+            Some("2014-09-16")
+        );
+    }
+
+    #[test]
+    fn sedo_dates_match_paper() {
+        let r = ParkingRegistry::paper_table3();
+        assert_eq!(r.by_name("Sedo").unwrap().whitelisted, "2011-11-30");
+        assert_eq!(r.by_name("Digimedia").unwrap().whitelisted, "2014-07-02");
+    }
+
+    #[test]
+    fn classify_by_nameserver() {
+        let r = ParkingRegistry::paper_table3();
+        let ns = vec!["ns2.sedoparking.com".to_string()];
+        assert_eq!(r.classify(&ns).unwrap().name, "Sedo");
+        let ns = vec!["ns1.reddit.com".to_string()];
+        assert!(r.classify(&ns).is_none());
+    }
+}

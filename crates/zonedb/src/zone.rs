@@ -1,0 +1,187 @@
+//! The zone file: domain → nameserver records.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A (simplified) TLD zone file: for each registered domain, its NS
+/// records. Deterministically ordered for reproducible scans.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneFile {
+    /// The TLD this zone covers, e.g. `"com"`.
+    pub tld: String,
+    records: BTreeMap<String, Vec<String>>,
+}
+
+impl ZoneFile {
+    /// An empty zone for a TLD.
+    pub fn new(tld: impl Into<String>) -> Self {
+        ZoneFile {
+            tld: tld.into(),
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// Add (or replace) a domain's NS set. Domain and NS names are
+    /// lowercased.
+    pub fn insert(&mut self, domain: &str, nameservers: &[&str]) {
+        self.records.insert(
+            domain.to_ascii_lowercase(),
+            nameservers.iter().map(|n| n.to_ascii_lowercase()).collect(),
+        );
+    }
+
+    /// Add with owned strings (generator-friendly).
+    pub fn insert_owned(&mut self, domain: String, nameservers: Vec<String>) {
+        self.records.insert(
+            domain.to_ascii_lowercase(),
+            nameservers
+                .into_iter()
+                .map(|n| n.to_ascii_lowercase())
+                .collect(),
+        );
+    }
+
+    /// NS records for a domain.
+    pub fn nameservers(&self, domain: &str) -> Option<&[String]> {
+        self.records
+            .get(&domain.to_ascii_lowercase())
+            .map(Vec::as_slice)
+    }
+
+    /// Number of domains in the zone.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the zone is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate over `(domain, nameservers)` in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.records
+            .iter()
+            .map(|(d, ns)| (d.as_str(), ns.as_slice()))
+    }
+
+    /// Domains served by any of the given nameservers (the join stage of
+    /// the parked-domain scan).
+    pub fn domains_with_nameservers<'a>(
+        &'a self,
+        nameservers: &'a [String],
+    ) -> impl Iterator<Item = &'a str> + 'a {
+        self.iter().filter_map(move |(d, ns)| {
+            if ns.iter().any(|n| nameservers.contains(n)) {
+                Some(d)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone() -> ZoneFile {
+        let mut z = ZoneFile::new("com");
+        z.insert("reddit.com", &["ns1.reddit.com", "ns2.reddit.com"]);
+        z.insert("reddit.cm", &["ns1.sedoparking.com", "ns2.sedoparking.com"]);
+        z.insert("example.com", &["NS1.SedoParking.COM"]);
+        z
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let z = zone();
+        assert_eq!(z.len(), 3);
+        assert_eq!(
+            z.nameservers("reddit.com").unwrap(),
+            &["ns1.reddit.com", "ns2.reddit.com"]
+        );
+        assert!(z.nameservers("missing.com").is_none());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let z = zone();
+        assert!(z.nameservers("EXAMPLE.COM").is_some());
+        // NS values lowercased on insert.
+        assert_eq!(
+            z.nameservers("example.com").unwrap(),
+            &["ns1.sedoparking.com"]
+        );
+    }
+
+    #[test]
+    fn join_by_nameserver() {
+        let z = zone();
+        let sedo = vec![
+            "ns1.sedoparking.com".to_string(),
+            "ns2.sedoparking.com".to_string(),
+        ];
+        let matched: Vec<&str> = z.domains_with_nameservers(&sedo).collect();
+        assert_eq!(matched, vec!["example.com", "reddit.cm"]);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let z = zone();
+        let domains: Vec<&str> = z.iter().map(|(d, _)| d).collect();
+        let mut sorted = domains.clone();
+        sorted.sort_unstable();
+        assert_eq!(domains, sorted);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn domain() -> impl Strategy<Value = String> {
+        "[a-z]{1,8}\\.com".prop_map(|s| s)
+    }
+
+    proptest! {
+        /// Inserted domains are always retrievable, case-insensitively.
+        #[test]
+        fn insert_lookup(domains in proptest::collection::vec(domain(), 1..20)) {
+            let mut z = ZoneFile::new("com");
+            for d in &domains {
+                z.insert(d, &["ns1.host.example"]);
+            }
+            for d in &domains {
+                prop_assert!(z.nameservers(d).is_some());
+                prop_assert!(z.nameservers(&d.to_ascii_uppercase()).is_some());
+            }
+            prop_assert!(z.len() <= domains.len());
+        }
+
+        /// The NS join returns exactly the domains carrying the NS.
+        #[test]
+        fn join_exact(with_ns in proptest::collection::vec(domain(), 0..10),
+                      without in proptest::collection::vec(domain(), 0..10)) {
+            let mut z = ZoneFile::new("com");
+            for d in &with_ns {
+                z.insert(d, &["ns1.park.example"]);
+            }
+            for d in &without {
+                if !with_ns.contains(d) {
+                    z.insert(d, &["ns1.other.example"]);
+                }
+            }
+            let ns = vec!["ns1.park.example".to_string()];
+            let joined: Vec<&str> = z.domains_with_nameservers(&ns).collect();
+            let mut expect: Vec<String> = with_ns.clone();
+            expect.sort();
+            expect.dedup();
+            prop_assert_eq!(joined.len(), expect.len());
+            for d in joined {
+                prop_assert!(expect.iter().any(|e| e == d));
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Quickstart: parse filter lists, evaluate a request and a page, and
+//! explain every decision — the Reddit walkthrough of §2 of the paper.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use abp::{MatchKind, Request, ResourceType};
+use acceptable_ads::prelude::*;
+
+fn main() {
+    // 1. Two small filter lists: an EasyList-style blacklist and an
+    //    Acceptable-Ads-style whitelist (the filters of §2.1 / §4.2.1).
+    let easylist = FilterList::parse(
+        ListSource::EasyList,
+        "\
+! blocking filters
+||adzerk.net^$third-party
+||doubleclick.net^
+reddit.com###siteTable_organic
+",
+    );
+    let whitelist = FilterList::parse(
+        ListSource::AcceptableAds,
+        "\
+! Acceptable Ads exceptions for reddit.com
+@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com
+reddit.com#@##siteTable_organic
+",
+    );
+    let engine = Engine::from_lists([&easylist, &whitelist]);
+    println!(
+        "engine: {} request filters, {} element rules\n",
+        engine.request_filter_count(),
+        engine.element_rule_count()
+    );
+
+    // 2. The Figure 1 request: reddit.com embeds an Adzerk iframe.
+    let request = Request::new(
+        "http://static.adzerk.net/reddit/ads.html?sr=-reddit.com,loggedout",
+        "www.reddit.com",
+        ResourceType::Subdocument,
+    )
+    .expect("valid URL");
+
+    let outcome = engine.match_request(&request);
+    println!("request: {}", request.url);
+    println!(
+        "  first party: {} (third-party: {})",
+        request.first_party, request.third_party
+    );
+    println!("  decision: {:?}", outcome.decision);
+    for activation in &outcome.activations {
+        let verb = match activation.kind {
+            MatchKind::BlockRequest => "would block",
+            MatchKind::AllowRequest => "allows (exception overrides)",
+            other => {
+                println!("  {:?}: {}", other, activation.filter);
+                continue;
+            }
+        };
+        println!(
+            "  [{}] {verb}: {}",
+            activation.source.name(),
+            activation.filter
+        );
+    }
+
+    // 3. The same request from any other site is simply blocked.
+    let elsewhere = Request::new(
+        "http://static.adzerk.net/reddit/ads.html",
+        "example.com",
+        ResourceType::Subdocument,
+    )
+    .expect("valid URL");
+    println!(
+        "\nsame URL from example.com: {:?}",
+        engine.match_request(&elsewhere).decision
+    );
+
+    // 4. Element hiding: the sponsored link (Figure 2's bold #2).
+    let hiding = engine.hiding_for_domain("www.reddit.com");
+    println!("\nelement hiding on reddit.com:");
+    for (selector, _) in &hiding.active {
+        println!("  hidden: {selector}");
+    }
+    for (selector, activation) in &hiding.exceptions {
+        println!(
+            "  excepted: {selector} (by [{}] {})",
+            activation.source.name(),
+            activation.filter
+        );
+    }
+
+    // 5. The full generated corpus, one call away.
+    println!("\ngenerating the full Rev-988 corpus ...");
+    let corpus = Corpus::generate(2015);
+    let scope = acceptable_ads::scope::classify_whitelist(&corpus.whitelist);
+    println!(
+        "whitelist: {} distinct filters - {} restricted, {} unrestricted, {} sitekey ({} keys)",
+        scope.total_distinct,
+        scope.restricted(),
+        scope.unrestricted(),
+        scope.sitekey_filters,
+        scope.distinct_sitekeys,
+    );
+    println!(
+        "explicit domains: {} FQDNs over {} registrable domains",
+        scope.explicit_fqdns.len(),
+        scope.explicit_e2lds().len()
+    );
+}

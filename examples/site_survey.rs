@@ -1,0 +1,143 @@
+//! The §5 site survey at (scaled) paper size: crawls the simulated top
+//! sites plus the three lower strata and regenerates Table 4, Fig 6,
+//! Fig 7 and Fig 8, and the Table 3 parked-domain scan.
+//!
+//! Run with: `cargo run --release --example site_survey`
+//! (use `-- --full` for the full 5,000 + 3×1,000 crawl)
+
+use acceptable_ads::parked::scan_table3;
+use acceptable_ads::report::{pct, render_comparisons, Comparison};
+use acceptable_ads::survey_exp::{run_site_survey, SiteSurveyConfig};
+use websim::{Scale, Web, WebConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (top_n, sample) = if full { (5_000, 1_000) } else { (1_500, 300) };
+
+    println!("building world and corpus ...");
+    let web = Web::build(WebConfig {
+        seed: 2015,
+        scale: Scale::Default,
+    });
+    let corpus = corpus::Corpus::generate(2015);
+
+    println!("crawling top {top_n} + 3x{sample} strata ...");
+    let config = SiteSurveyConfig {
+        top_n,
+        stratum_sample: sample,
+        threads: 8,
+        seed: 2015,
+    };
+    let report = run_site_survey(&web, &corpus.easylist, &corpus.whitelist, &config);
+
+    // ---- headline rates -----------------------------------------------------
+    let n = report.top_sites.len();
+    let rows = vec![
+        Comparison::new(
+            "sites with >=1 filter activation",
+            "3,956/5,000 (79.1%)",
+            format!(
+                "{}/{} ({})",
+                report.sites_with_any_activation(),
+                n,
+                pct(report.sites_with_any_activation(), n)
+            ),
+        ),
+        Comparison::new(
+            "sites with >=1 whitelist activation",
+            "2,934/5,000 (58.7%)",
+            format!(
+                "{}/{} ({})",
+                report.sites_with_whitelist_activation(),
+                n,
+                pct(report.sites_with_whitelist_activation(), n)
+            ),
+        ),
+        Comparison::new(
+            "mean distinct whitelist filters/site",
+            "2.6",
+            format!("{:.2}", report.mean_distinct_whitelist()),
+        ),
+    ];
+    println!("\n{}", render_comparisons("Section 5 headlines", &rows));
+
+    if let Some(heavy) = report.heaviest_site() {
+        println!(
+            "heaviest site: {} (rank {}) - {} total / {} distinct whitelist matches (paper: toyota.com, 83/8)\n",
+            heavy.domain, heavy.rank, heavy.whitelist_total, heavy.whitelist_distinct
+        );
+    }
+
+    // ---- Table 4 -------------------------------------------------------------
+    println!("== Table 4: most common whitelist filters ==");
+    for (i, (filter, domains)) in report.top_whitelist_filters(20).iter().enumerate() {
+        let display: String = filter.chars().take(64).collect();
+        println!("{:>2}. {domains:>5} domains  {display}", i + 1);
+    }
+
+    // ---- Figure 7 --------------------------------------------------------------
+    let (totals, distincts) = report.ecdf_points();
+    println!("\n== Figure 7: ECDF of whitelist matches per domain ==");
+    for q in [0.25, 0.5, 0.75, 0.9, 0.95, 1.0] {
+        let idx = ((totals.len() as f64 * q).ceil() as usize).min(totals.len()) - 1;
+        println!(
+            "p{:<3} total={:>3}  distinct={:>2}",
+            (q * 100.0) as u32,
+            totals[idx],
+            distincts[idx]
+        );
+    }
+
+    // ---- Figure 6 ---------------------------------------------------------------
+    println!("\n== Figure 6: first 12 activating sites (bold = explicitly whitelisted) ==");
+    for site in report.figure6_rows(12) {
+        let marker = if site.explicit { "**" } else { "  " };
+        println!(
+            "{marker}{:<22} rank {:>5}  whitelist {:>3}  easylist(with) {:>3}  easylist(only) {:>3}",
+            site.domain, site.rank, site.whitelist_total, site.easylist_total_with, site.easylist_only_total
+        );
+    }
+
+    // ---- Figure 8 ----------------------------------------------------------------
+    let filters: Vec<String> = report
+        .top_whitelist_filters(8)
+        .into_iter()
+        .map(|(f, _)| f)
+        .collect();
+    println!("\n== Figure 8: activation frequency per rank group (top filters) ==");
+    for (group, counts) in report.figure8_matrix(&filters) {
+        let sizes = if group == "Top 5K" { n } else { sample };
+        let rates: Vec<String> = counts
+            .iter()
+            .map(|c| format!("{:>5.1}%", 100.0 * *c as f64 / sizes as f64))
+            .collect();
+        println!("{:<10} {}", group, rates.join(" "));
+    }
+
+    // ---- Table 3 -------------------------------------------------------------------
+    println!(
+        "\n== Table 3: parked domains per sitekey service (scale 1:{}) ==",
+        web.config.scale.parked_divisor()
+    );
+    let t3 = scan_table3(&web);
+    for row in &t3.rows {
+        println!(
+            "{:<12} whitelisted {}  confirmed {:>6}  extrapolated {:>9}  paper {:>9}{}",
+            row.service,
+            row.whitelisted,
+            row.confirmed,
+            row.extrapolated,
+            row.paper,
+            if row.active {
+                ""
+            } else {
+                "  (sitekey since removed)"
+            }
+        );
+    }
+    println!(
+        "total: extrapolated {} vs paper {}",
+        t3.total_extrapolated(),
+        t3.paper_total()
+    );
+}

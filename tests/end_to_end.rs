@@ -1,0 +1,171 @@
+//! End-to-end experiment pipelines at reduced scale: every paper
+//! artifact regenerated in one pass, asserting cross-experiment
+//! consistency (values measured by one analysis must agree with
+//! another's view of the same world).
+
+use acceptable_ads::exploit::{run_exploit, ExploitConfig};
+use acceptable_ads::history::mine_history;
+use acceptable_ads::hygiene::audit;
+use acceptable_ads::parked::scan_table3;
+use acceptable_ads::partitions::partition_table;
+use acceptable_ads::perception::run_perception_survey;
+use acceptable_ads::scope::classify_whitelist;
+use acceptable_ads::survey_exp::{run_site_survey, SiteSurveyConfig};
+use acceptable_ads::undocumented::detect_undocumented;
+use std::sync::OnceLock;
+use websim::{Scale, Web, WebConfig};
+
+const SEED: u64 = 2015;
+
+fn corpus() -> &'static corpus::Corpus {
+    static C: OnceLock<corpus::Corpus> = OnceLock::new();
+    C.get_or_init(|| corpus::Corpus::generate(SEED))
+}
+
+fn web() -> &'static Web {
+    static W: OnceLock<Web> = OnceLock::new();
+    W.get_or_init(|| {
+        Web::build(WebConfig {
+            seed: SEED,
+            scale: Scale::Smoke,
+        })
+    })
+}
+
+#[test]
+fn scope_and_partitions_agree_on_domains() {
+    let scope = classify_whitelist(&corpus().whitelist);
+    let table2 = partition_table(&scope, web());
+    // Table 2's "All" row is exactly the scope census' e2LD count.
+    assert_eq!(table2.rows[0].count, scope.explicit_e2lds().len());
+    assert_eq!(table2.fqdn_count, scope.explicit_fqdns.len());
+    // Partition counts nest.
+    assert!(table2.count_within(100) <= table2.count_within(500));
+    assert!(table2.count_within(500) <= table2.count_within(5_000));
+    assert!(table2.count_within(5_000) <= table2.count_within(1_000_000));
+}
+
+#[test]
+fn history_head_agrees_with_scope_census() {
+    let c = corpus();
+    let store = corpus::history::build_history(SEED, &c.final_whitelist);
+    let history = mine_history(&store);
+    let scope = classify_whitelist(&c.whitelist);
+    // The miner's head filter count equals the census' distinct count.
+    assert_eq!(history.head_filters() as usize, scope.total_distinct);
+    // And the head snapshot *is* the corpus whitelist.
+    assert_eq!(store.head().unwrap().content, c.final_whitelist.to_text());
+}
+
+#[test]
+fn undocumented_and_hygiene_are_consistent() {
+    let c = corpus();
+    let store = corpus::history::build_history(SEED, &c.final_whitelist);
+    let undoc = detect_undocumented(&store);
+    let hygiene = audit(&c.whitelist);
+
+    // A59's unrestricted filter is found by the §7 detector, and its
+    // existence is what makes per-domain AdSense exceptions obsolete in
+    // the §8 audit.
+    assert!(!undoc.unrestricted_in_a_groups.is_empty());
+    assert!(hygiene.obsolete_adsense > 0);
+    // All truncated lines are malformed lines.
+    assert!(hygiene.truncated_at_4095 <= hygiene.malformed_lines);
+}
+
+#[test]
+fn survey_explicit_flags_agree_with_directory_and_table2() {
+    let c = corpus();
+    let cfg = SiteSurveyConfig {
+        top_n: 300,
+        stratum_sample: 60,
+        threads: 8,
+        seed: SEED,
+    };
+    let report = run_site_survey(web(), &c.easylist, &c.whitelist, &cfg);
+
+    // Every site flagged explicit is in the publisher directory, and
+    // vice versa for the crawled range.
+    for site in &report.top_sites {
+        assert_eq!(
+            site.explicit,
+            web().directory.by_rank(site.rank).is_some(),
+            "{}",
+            site.domain
+        );
+    }
+
+    // Explicit sites activate whitelist filters (they embed their slot).
+    let explicit_with_wl = report
+        .top_sites
+        .iter()
+        .filter(|s| s.explicit)
+        .filter(|s| s.whitelist_total > 0)
+        .count();
+    let explicit_total = report.top_sites.iter().filter(|s| s.explicit).count();
+    assert!(explicit_total > 0);
+    assert_eq!(explicit_with_wl, explicit_total);
+}
+
+#[test]
+fn parked_scan_agrees_with_world_construction() {
+    let t3 = scan_table3(web());
+    for row in &t3.rows {
+        // Every confirmed domain is one the world actually parked.
+        let svc = web().registry.by_name(&row.service).unwrap();
+        let in_zone = web()
+            .zone
+            .domains_with_nameservers(&svc.nameservers)
+            .count() as u64;
+        assert_eq!(row.confirmed, in_zone, "{}", row.service);
+    }
+}
+
+#[test]
+fn sitekeys_in_whitelist_match_parking_services() {
+    // The scope census' 4 distinct sitekeys are exactly the 4 active
+    // services' public keys.
+    let scope = classify_whitelist(&corpus().whitelist);
+    assert_eq!(scope.distinct_sitekeys, 4);
+    for service in ["Sedo", "ParkingCrew", "Uniregistry", "Digimedia"] {
+        let key = websim::parked::service_keypair(service).public.to_base64();
+        assert!(
+            corpus().final_whitelist.to_text().contains(&key),
+            "{service} key missing from whitelist"
+        );
+    }
+    // RookMedia's key is NOT in the head whitelist.
+    let rook = websim::parked::service_keypair("RookMedia")
+        .public
+        .to_base64();
+    assert!(!corpus().final_whitelist.to_text().contains(&rook));
+}
+
+#[test]
+fn exploit_respects_easylist_baseline() {
+    let report = run_exploit(&ExploitConfig::default(), &corpus().easylist);
+    assert_eq!(report.blocked_without_sitekey, report.page_requests);
+    assert_eq!(report.blocked_with_sitekey, 0);
+    assert!(report.factoring_seconds < 30.0, "demo keys factor fast");
+}
+
+#[test]
+fn perception_survey_statistics_are_complete() {
+    let report = run_perception_survey(&survey::sim::SurveyConfig {
+        respondents: 305,
+        seed: SEED,
+    });
+    // 15 ads × 3 statements, all fully answered.
+    assert_eq!(report.results.responses.len(), 15);
+    for ad in &report.results.responses {
+        for dist in ad {
+            assert_eq!(dist.total(), 305);
+        }
+    }
+    // Figure 9(d) means are bounded by the scale.
+    for row in &report.figure_9d {
+        for s in survey::questionnaire::Statement::ALL {
+            assert!(row.mean(s).abs() <= 2.0);
+        }
+    }
+}

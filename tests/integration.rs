@@ -1,0 +1,220 @@
+//! Cross-crate integration tests: each exercises a pipeline spanning
+//! several workspace crates, on small worlds.
+
+use abp::{Decision, Engine, FilterList, ListSource, Request, ResourceType};
+use crawler::{visit_site, Browser, EngineConfig};
+use sitekey::protocol::{issue_token, verify_token, SitekeyToken};
+use sitekey::rng::SplitMix64;
+use sitekey::rsa::RsaKeyPair;
+use websim::{Scale, Web, WebConfig};
+
+fn smoke_web() -> Web {
+    Web::build(WebConfig {
+        seed: 2015,
+        scale: Scale::Smoke,
+    })
+}
+
+/// Filter text → engine → request decisions across the urlkit/abp stack.
+#[test]
+fn filter_pipeline_blocks_and_excepts() {
+    let el = FilterList::parse(ListSource::EasyList, "||ads.example^$third-party\n");
+    let wl = FilterList::parse(
+        ListSource::AcceptableAds,
+        "@@||ads.example/acceptable/$third-party,domain=news.example\n",
+    );
+    let engine = Engine::from_lists([&el, &wl]);
+
+    let blocked = Request::new(
+        "http://ads.example/banner.js",
+        "news.example",
+        ResourceType::Script,
+    )
+    .unwrap();
+    assert_eq!(engine.match_request(&blocked).decision, Decision::Block);
+
+    let excepted = Request::new(
+        "http://ads.example/acceptable/banner.js",
+        "news.example",
+        ResourceType::Script,
+    )
+    .unwrap();
+    assert_eq!(
+        engine.match_request(&excepted).decision,
+        Decision::AllowedByException
+    );
+
+    let elsewhere = Request::new(
+        "http://ads.example/acceptable/banner.js",
+        "other.example",
+        ResourceType::Script,
+    )
+    .unwrap();
+    assert_eq!(engine.match_request(&elsewhere).decision, Decision::Block);
+}
+
+/// websim serves a page; the crawler derives the same loads the page
+/// model generated; the engine sees every one of them.
+#[test]
+fn crawler_sees_every_generated_load() {
+    let web = smoke_web();
+    let site = web.site(47); // synthetic, deterministic
+    let model = websim::page::generate_page(
+        web.config.seed,
+        &site,
+        web.directory.by_rank(47),
+        &websim::page::PageContext {
+            cookies: vec![],
+            adblock_detectable: true,
+        },
+    );
+    let mut browser = Browser::new(&web);
+    let page = browser.fetch_document(&format!("http://{}/", site.domain));
+    let subs = crawler::extract::extract_subresources(&page.dom, &page.final_url);
+    for load in &model.loads {
+        assert!(
+            subs.iter().any(|s| s.url == load.url),
+            "load {} missing from crawler view",
+            load.url
+        );
+    }
+}
+
+/// The sitekey handshake across websim + crawler + sitekey crates, with
+/// countermeasures on.
+#[test]
+fn sitekey_handshake_is_cryptographically_bound() {
+    let web = smoke_web();
+    let mut browser = Browser::new(&web);
+
+    // Uniregistry: redirect + cookie, then a valid token.
+    let page = browser.fetch_document("http://uniregistrypark0.com/");
+    let key = page.verified_sitekey.expect("verified key");
+    assert_eq!(
+        key,
+        web.service_key("Uniregistry").unwrap().public.to_base64()
+    );
+
+    // The token from one domain must not verify for another.
+    let wire = page
+        .response
+        .header(sitekey::ADBLOCK_KEY_HEADER)
+        .expect("header present");
+    let token = SitekeyToken::from_wire(wire).unwrap();
+    assert!(verify_token(&token, "/lander", "evil.example", &browser.user_agent).is_none());
+}
+
+/// A parked domain + a sitekey whitelist bypasses an entire EasyList.
+#[test]
+fn parked_domain_end_to_end_whitelisting() {
+    let web = smoke_web();
+    let corpus = corpus::Corpus::generate(2015);
+    let engine = Engine::from_lists([&corpus.easylist, &corpus.whitelist]);
+
+    let mut browser = Browser::new(&web);
+    let page = browser.fetch_document("http://sedopark2.com/");
+    let key = page.verified_sitekey.expect("sedo key verifies");
+
+    let doc = Request::document("http://sedopark2.com/")
+        .unwrap()
+        .with_sitekey(key);
+    let status = engine.document_allowlist(&doc);
+    assert!(
+        status.whole_page_allowed(),
+        "the corpus whitelist's Sedo sitekey filter must gate the page"
+    );
+
+    // Without the key: the lander's ad links would be blocked.
+    let ad = Request::new(
+        "http://landing.park-ads.example/imp.gif",
+        "sedopark2.com",
+        ResourceType::Image,
+    )
+    .unwrap();
+    assert_eq!(engine.match_request(&ad).decision, Decision::Block);
+}
+
+/// An attacker forging a key pair from factored primes produces tokens
+/// the crawler accepts as the original whitelist key.
+#[test]
+fn forged_tokens_pass_the_browser_check() {
+    let mut rng = SplitMix64::new(99);
+    let victim = RsaKeyPair::generate(64, &mut rng);
+    let forged = sitekey::factor::break_rsa_modulus(
+        &victim.public.n,
+        &victim.public.e,
+        100_000_000,
+        &mut rng,
+    )
+    .expect("64-bit modulus factors");
+    let token = issue_token(&forged, "/", "attacker.example", "UA/1.0");
+    assert_eq!(
+        verify_token(&token, "/", "attacker.example", "UA/1.0"),
+        Some(victim.public.to_base64())
+    );
+}
+
+/// Visiting reddit under the generated corpus reproduces the §2 story:
+/// EasyList would block the Adzerk frame, the whitelist excepts it.
+#[test]
+fn corpus_reddit_story() {
+    let web = smoke_web();
+    let corpus = corpus::Corpus::generate(2015);
+    let both = Engine::from_lists([&corpus.easylist, &corpus.whitelist]);
+    let only = Engine::from_lists([&corpus.easylist]);
+
+    let visit = visit_site(
+        &web,
+        31,
+        &[
+            EngineConfig::simple("both", &both),
+            EngineConfig::simple("only", &only),
+        ],
+    );
+    assert_eq!(visit.domain, "reddit.com");
+    let with = visit.record("both").unwrap();
+    let without = visit.record("only").unwrap();
+    assert!(with.blocked_requests < without.blocked_requests);
+    assert!(with
+        .whitelist_activations()
+        .any(|a| a.filter.contains("adzerk")));
+}
+
+/// The zone-file scan path agrees between a closure probe and the real
+/// browser probe wherever no countermeasures interfere.
+#[test]
+fn zone_scan_probe_equivalence_for_sedo() {
+    let web = smoke_web();
+    let mut browser_probe = crawler::BrowserProbe::new(&web);
+    let report = zonedb::scan::scan_parked_domains(&web.zone, &web.registry, &mut browser_probe);
+    let sedo = report.rows.iter().find(|r| r.service == "Sedo").unwrap();
+
+    let mut closure_probe = |domain: &str| web.parking_service_of(domain).is_some();
+    let naive = zonedb::scan::scan_parked_domains(&web.zone, &web.registry, &mut closure_probe);
+    let naive_sedo = naive.rows.iter().find(|r| r.service == "Sedo").unwrap();
+    assert_eq!(sedo.confirmed, naive_sedo.confirmed);
+}
+
+/// Determinism across the whole stack: two independently built worlds
+/// and corpora produce byte-identical artifacts.
+#[test]
+fn whole_stack_determinism() {
+    let c1 = corpus::Corpus::generate(77);
+    let c2 = corpus::Corpus::generate(77);
+    assert_eq!(c1.final_whitelist.to_text(), c2.final_whitelist.to_text());
+
+    let w1 = Web::build(WebConfig {
+        seed: 77,
+        scale: Scale::Smoke,
+    });
+    let w2 = Web::build(WebConfig {
+        seed: 77,
+        scale: Scale::Smoke,
+    });
+    for rank in [1u32, 10, 500, 123_456] {
+        assert_eq!(w1.site(rank), w2.site(rank));
+    }
+    let r1 = w1.get(&websim::HttpRequest::browser("http://reddit.com/"));
+    let r2 = w2.get(&websim::HttpRequest::browser("http://reddit.com/"));
+    assert_eq!(r1, r2);
+}

@@ -1,0 +1,171 @@
+//! The paper's headline numbers, asserted in one place. Each assertion
+//! names the paper artifact it checks; values are *measured* from the
+//! generated corpus/world, never read back from generator constants.
+
+use acceptable_ads::history::mine_history;
+use acceptable_ads::hygiene::audit;
+use acceptable_ads::partitions::partition_table;
+use acceptable_ads::scope::classify_whitelist;
+use acceptable_ads::undocumented::detect_undocumented;
+use std::sync::OnceLock;
+use websim::{Scale, Web, WebConfig};
+
+const SEED: u64 = 2015;
+
+fn corpus() -> &'static corpus::Corpus {
+    static C: OnceLock<corpus::Corpus> = OnceLock::new();
+    C.get_or_init(|| corpus::Corpus::generate(SEED))
+}
+
+fn web() -> &'static Web {
+    static W: OnceLock<Web> = OnceLock::new();
+    W.get_or_init(|| {
+        Web::build(WebConfig {
+            seed: SEED,
+            scale: Scale::Smoke,
+        })
+    })
+}
+
+/// §4.1: "The most recent version (Rev. 988) comprises 5,936 distinct
+/// filters."
+#[test]
+fn abstract_rev988_filter_count() {
+    let scope = classify_whitelist(&corpus().whitelist);
+    assert_eq!(scope.total_distinct, 5_936);
+}
+
+/// §4.2.2 / §4.2.3: 156 unrestricted filters (one an element
+/// exception), 25 sitekey filters over 4 keys.
+#[test]
+fn figure4_scope_hierarchy() {
+    let scope = classify_whitelist(&corpus().whitelist);
+    assert_eq!(scope.unrestricted(), 156);
+    assert_eq!(scope.unrestricted_element, 1);
+    assert_eq!(scope.sitekey_filters, 25);
+    assert_eq!(scope.distinct_sitekeys, 4);
+}
+
+/// Table 2, all six rows.
+#[test]
+fn table2_alexa_partitions() {
+    let scope = classify_whitelist(&corpus().whitelist);
+    let t = partition_table(&scope, web());
+    assert_eq!(t.fqdn_count, 3_544);
+    assert_eq!(t.rows[0].count, 1_990);
+    assert_eq!(t.count_within(1_000_000), Some(1_286));
+    assert_eq!(t.count_within(5_000), Some(316));
+    assert_eq!(t.count_within(1_000), Some(167));
+    assert_eq!(t.count_within(500), Some(112));
+    assert_eq!(t.count_within(100), Some(33));
+}
+
+/// Table 1, every cell of the filter columns, plus the totals row.
+#[test]
+fn table1_yearly_activity() {
+    let store = corpus::history::build_history(SEED, &corpus().final_whitelist);
+    let h = mine_history(&store);
+    let expect: [(u16, u32, u32, u32); 5] = [
+        (2011, 26, 25, 17),
+        (2012, 47, 225, 30),
+        (2013, 311, 5_152, 1_555),
+        (2014, 386, 2_179, 775),
+        (2015, 219, 1_227, 495),
+    ];
+    for ((year, revs, added, removed), row) in expect.iter().zip(&h.yearly) {
+        assert_eq!(row.year, *year);
+        assert_eq!(row.revisions, *revs);
+        assert_eq!(row.filters_added, *added);
+        assert_eq!(row.filters_removed, *removed);
+    }
+    let t = h.totals();
+    assert_eq!(
+        (t.revisions, t.filters_added, t.filters_removed),
+        (989, 8_808, 2_872)
+    );
+}
+
+/// Fig 3: growth from a handful of filters in 2011 to 5,936; the
+/// largest jump is Google's Rev 200 on 2013-06-21.
+#[test]
+fn figure3_growth_curve() {
+    let store = corpus::history::build_history(SEED, &corpus().final_whitelist);
+    let h = mine_history(&store);
+    assert!(h.growth[25].filters <= 10, "2011 ends in single digits");
+    assert_eq!(h.head_filters(), 5_936);
+    let jumps = h.largest_jumps(1);
+    assert_eq!(jumps[0].0, 200);
+    assert!(jumps[0].1 >= 1_262);
+    let rev200 = store.rev(200).unwrap();
+    assert_eq!(
+        revstore::date::ymd_from_unix(rev200.timestamp),
+        revstore::date::Ymd::new(2013, 6, 21)
+    );
+}
+
+/// Abstract: "updated on average every 1.5 days", "11.4 filters".
+#[test]
+fn abstract_cadence() {
+    let store = corpus::history::build_history(SEED, &corpus().final_whitelist);
+    let h = mine_history(&store);
+    assert!((1.0..=1.8).contains(&h.mean_interval_days));
+    assert!((10.0..=13.0).contains(&h.mean_filters_changed_per_revision));
+}
+
+/// Table 3: five services, dates, active flags, and the paper totals.
+#[test]
+fn table3_parking_services() {
+    let t = acceptable_ads::parked::scan_table3(web());
+    assert_eq!(t.rows.len(), 5);
+    assert_eq!(t.paper_total(), 2_676_165);
+    let sedo = &t.rows[0];
+    assert_eq!(
+        (sedo.service.as_str(), sedo.whitelisted.as_str()),
+        ("Sedo", "2011-11-30")
+    );
+    assert!(t.rows[2].service == "RookMedia" && !t.rows[2].active);
+    // Full-scale equivalence: extrapolation is exact at divisor 1.
+    for row in &t.rows {
+        assert_eq!(row.extrapolated, row.confirmed * t.scale_divisor);
+    }
+}
+
+/// §7: 61 A-groups, 5 removed, A7→A28 re-add, A59's unrestricted filter.
+#[test]
+fn section7_a_filters() {
+    let store = corpus::history::build_history(SEED, &corpus().final_whitelist);
+    let u = detect_undocumented(&store);
+    assert_eq!(u.a_groups_ever.len(), 61);
+    assert_eq!(u.a_groups_removed.len(), 5);
+    assert!(u.a_groups_removed.contains(&7));
+    assert!(u.a_groups_in_head.contains(&28));
+    assert_eq!(
+        u.unrestricted_in_a_groups,
+        vec!["@@||google.com/afs/$script,subdocument".to_string()]
+    );
+}
+
+/// §8: 35 duplicates, 8 filters truncated at 4,095 characters.
+#[test]
+fn section8_hygiene() {
+    let h = audit(&corpus().whitelist);
+    assert_eq!(h.duplicate_lines, 35);
+    assert_eq!(h.malformed_lines, 8);
+    assert_eq!(h.truncated_at_4095, 8);
+    assert!(h.obsolete_adsense > 0);
+}
+
+/// §3: the whitelisting dates of Table 3's services span the program's
+/// life (Sedo pre-release 2011 → Digimedia mid-2014).
+#[test]
+fn section3_timeline_sanity() {
+    let reg = zonedb::parking::ParkingRegistry::paper_table3();
+    let dates: Vec<&str> = reg
+        .services
+        .iter()
+        .map(|s| s.whitelisted.as_str())
+        .collect();
+    let mut sorted = dates.clone();
+    sorted.sort_unstable();
+    assert_eq!(dates, sorted, "services listed in whitelisting order");
+}
