@@ -1,0 +1,70 @@
+//! Rough per-stage cost breakdown for one decision, used to guide
+//! optimization: run with `cargo run --release -p abpd --example
+//! profile_decide`.
+
+use abpd::{DecisionRequest, ServiceConfig};
+use std::time::Instant;
+
+fn main() {
+    let n = 20_000usize;
+    let reqs: Vec<DecisionRequest> = websim::traffic::TrafficGen::new(2015)
+        .samples()
+        .take(n)
+        .map(|s| abpd::request_of_sample(&s))
+        .collect();
+
+    let engine = abpd::corpus_engine(2015);
+    println!("filters: {}", engine.request_filter_count());
+
+    // Stage 1: JSON serialize requests (client side).
+    let t = Instant::now();
+    let lines: Vec<String> = reqs
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect();
+    println!("serialize req: {:?}/req", t.elapsed() / n as u32);
+
+    // Stage 2: JSON parse requests (server side).
+    let t = Instant::now();
+    let parsed: Vec<DecisionRequest> = lines
+        .iter()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    println!("parse req:     {:?}/req", t.elapsed() / n as u32);
+
+    // Stage 3: Request::new (url parse + party computation).
+    let t = Instant::now();
+    let built: Vec<abp::Request> = parsed
+        .iter()
+        .map(|r| abp::Request::new(&r.url, &r.document, r.resource_type).unwrap())
+        .collect();
+    println!("Request::new:  {:?}/req", t.elapsed() / n as u32);
+
+    // Stage 4: engine evaluation.
+    let t = Instant::now();
+    let outcomes = engine.match_many(&built);
+    println!("match:         {:?}/req", t.elapsed() / n as u32);
+
+    // Stage 5: serialize responses.
+    let t = Instant::now();
+    let resp_lines: Vec<String> = outcomes
+        .iter()
+        .map(|o| serde_json::to_string(o).unwrap())
+        .collect();
+    println!("serialize out: {:?}/req", t.elapsed() / n as u32);
+
+    // Stage 6: parse responses (client side).
+    let t = Instant::now();
+    for l in &resp_lines {
+        let _: abp::RequestOutcome = serde_json::from_str(l).unwrap();
+    }
+    println!("parse out:     {:?}/req", t.elapsed() / n as u32);
+
+    // Stage 7: full service path, in process (no TCP).
+    let svc = abpd::Service::start(abpd::corpus_engine(2015), &ServiceConfig::default());
+    let t = Instant::now();
+    for chunk in reqs.chunks(64) {
+        svc.decide_batch(chunk).unwrap();
+    }
+    println!("service path:  {:?}/req", t.elapsed() / n as u32);
+}

@@ -1,0 +1,149 @@
+//! The abpd load generator.
+//!
+//! ```text
+//! abpd-load [--addr HOST:PORT] [--decisions N] [--batch N]
+//!           [--connections N] [--seed N] [--shutdown]
+//! ```
+//!
+//! Replays synthetic browsing traffic (the websim page/ecosystem
+//! model, visit-weighted by rank stratum) against an abpd server and
+//! reports sustained decisions/sec plus the server's own statistics.
+//! Without `--addr` it spins up an in-process server on a free port
+//! first, so `abpd-load` alone is a complete smoke test.
+
+use abpd::{Client, DecisionRequest, Server, ServerConfig};
+use std::time::Instant;
+use websim::traffic::TrafficGen;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let i = args.iter().position(|a| a == flag)?;
+    let v = args.get(i + 1).unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    });
+    match v.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("bad value for {flag}: {v}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: abpd-load [--addr HOST:PORT] [--decisions N] [--batch N] \
+             [--connections N] [--seed N] [--shutdown]"
+        );
+        return;
+    }
+
+    let decisions: usize = parse_flag(&args, "--decisions").unwrap_or(200_000);
+    let batch: usize = parse_flag(&args, "--batch").unwrap_or(256).max(1);
+    let connections: usize = parse_flag(&args, "--connections")
+        .unwrap_or_else(|| {
+            // Enough clients to keep every shard busy without thrashing
+            // small machines with idle load threads.
+            std::thread::available_parallelism().map_or(2, |n| n.get().clamp(1, 4))
+        })
+        .max(1);
+    let seed: u64 = parse_flag(&args, "--seed").unwrap_or(2015);
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+
+    // Target: given address, or an in-process server on a free port.
+    let (addr, local_server) = match parse_flag::<String>(&args, "--addr") {
+        Some(addr) => (addr, None),
+        None => {
+            eprintln!("abpd-load: no --addr, starting in-process server (seed {seed})...");
+            let server = Server::start(abpd::corpus_engine(seed), &ServerConfig::default())
+                .unwrap_or_else(|e| {
+                    eprintln!("abpd-load: cannot start server: {e}");
+                    std::process::exit(1);
+                });
+            (server.local_addr().to_string(), Some(server))
+        }
+    };
+
+    // Pre-synthesize each connection's request stream so generation
+    // cost stays out of the measured window.
+    eprintln!("abpd-load: synthesizing {decisions} decisions from browsing traffic...");
+    let per_conn = decisions.div_ceil(connections);
+    let streams: Vec<Vec<DecisionRequest>> = (0..connections)
+        .map(|c| {
+            TrafficGen::new(seed.wrapping_add(c as u64))
+                .samples()
+                .take(per_conn)
+                .map(|s| abpd::request_of_sample(&s))
+                .collect()
+        })
+        .collect();
+
+    eprintln!("abpd-load: driving {addr} ({connections} connections, batch {batch})...");
+    let start = Instant::now();
+    let totals = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let addr = addr.clone();
+                scope.spawn(move |_| {
+                    let mut client = Client::connect(&*addr).expect("connect");
+                    let mut sent = 0usize;
+                    let mut blocked = 0usize;
+                    let mut cached = 0usize;
+                    for chunk in stream.chunks(batch) {
+                        let resps = client.decide_batch(chunk).expect("decide_batch");
+                        sent += resps.len();
+                        for r in &resps {
+                            if r.outcome.decision == abp::Decision::Block {
+                                blocked += 1;
+                            }
+                            if r.cached {
+                                cached += 1;
+                            }
+                        }
+                    }
+                    (sent, blocked, cached)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread"))
+            .fold((0, 0, 0), |acc, x| (acc.0 + x.0, acc.1 + x.1, acc.2 + x.2))
+    })
+    .expect("load scope");
+    let elapsed = start.elapsed();
+
+    let (sent, blocked, cached) = totals;
+    let rate = sent as f64 / elapsed.as_secs_f64();
+    println!(
+        "abpd-load: {sent} decisions in {:.2}s = {:.0} decisions/sec",
+        elapsed.as_secs_f64(),
+        rate
+    );
+    println!(
+        "abpd-load: {blocked} blocked ({:.1}%), {cached} cache hits ({:.1}%)",
+        100.0 * blocked as f64 / sent.max(1) as f64,
+        100.0 * cached as f64 / sent.max(1) as f64,
+    );
+
+    let mut client = Client::connect(&*addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    println!(
+        "abpd-load: server reports {} requests, {} hits, p50 {}us p99 {}us over {} shards",
+        stats.requests,
+        stats.cache_hits,
+        stats.p50_us,
+        stats.p99_us,
+        stats.shards.len()
+    );
+
+    if shutdown || local_server.is_some() {
+        client.shutdown_server().expect("shutdown");
+    }
+    if let Some(server) = local_server {
+        server.join();
+    }
+}

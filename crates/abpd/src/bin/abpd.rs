@@ -1,0 +1,65 @@
+//! The abpd server binary.
+//!
+//! ```text
+//! abpd [--addr HOST:PORT] [--shards N] [--queue-depth N]
+//!      [--cache-capacity N] [--seed N]
+//! ```
+//!
+//! Serves ad-blocking decisions for the generated corpus (EasyList +
+//! Acceptable Ads whitelist) until a client sends the `Shutdown` verb.
+
+use abpd::{Server, ServerConfig};
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let i = args.iter().position(|a| a == flag)?;
+    let v = args.get(i + 1).unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    });
+    match v.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("bad value for {flag}: {v}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: abpd [--addr HOST:PORT] [--shards N] [--queue-depth N] \
+             [--cache-capacity N] [--seed N]"
+        );
+        return;
+    }
+
+    let mut config = ServerConfig::default();
+    config.addr = parse_flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:4815".to_string());
+    if let Some(n) = parse_flag(&args, "--shards") {
+        config.service.shards = n;
+    }
+    if let Some(n) = parse_flag(&args, "--queue-depth") {
+        config.service.queue_depth = n;
+    }
+    if let Some(n) = parse_flag(&args, "--cache-capacity") {
+        config.service.cache_capacity = n;
+    }
+    let seed: u64 = parse_flag(&args, "--seed").unwrap_or(2015);
+
+    eprintln!("abpd: generating corpus (seed {seed})...");
+    let engine = abpd::corpus_engine(seed);
+    let server = Server::start(engine, &config).unwrap_or_else(|e| {
+        eprintln!("abpd: cannot bind {}: {e}", config.addr);
+        std::process::exit(1);
+    });
+    eprintln!(
+        "abpd: listening on {} ({} filters, {} shards)",
+        server.local_addr(),
+        server.filter_count(),
+        server.shard_count()
+    );
+    server.join();
+    eprintln!("abpd: drained, bye");
+}

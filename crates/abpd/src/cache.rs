@@ -1,0 +1,289 @@
+//! The sharded LRU decision cache.
+//!
+//! A decision is a pure function of `(url, document domain, resource
+//! type, sitekey)` for a fixed engine, so outcomes can be memoized.
+//! The cache is split into shards, each behind its own mutex; a key's
+//! shard is derived from its hash, and the service routes the *same*
+//! key to the same worker shard, so a shard's mutex is only contended
+//! between connection handlers looking up and that shard's worker
+//! inserting.
+
+use crate::protocol::DecisionRequest;
+use abp::RequestOutcome;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// What a decision depends on (for a fixed engine).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    url: String,
+    document: String,
+    resource_type: abp::ResourceType,
+    sitekey: Option<String>,
+}
+
+impl CacheKey {
+    /// The memoization key of a request.
+    pub fn of(req: &DecisionRequest) -> CacheKey {
+        CacheKey {
+            url: req.url.clone(),
+            document: req.document.clone(),
+            resource_type: req.resource_type,
+            sitekey: req.sitekey.clone(),
+        }
+    }
+
+    /// Stable hash used for both cache and worker shard routing.
+    pub fn shard_hash(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A classic doubly-linked-list LRU: `get` promotes to most-recent,
+/// `insert` evicts the least-recent entry once at capacity. O(1) for
+/// both, no allocation after the slab fills.
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    head: usize,
+    tail: usize,
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `cap` entries (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        LruCache {
+            map: HashMap::with_capacity(cap),
+            slots: Vec::with_capacity(cap),
+            head: NIL,
+            tail: NIL,
+            cap,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Look up a key, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let i = *self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(&self.slots[i].value)
+    }
+
+    /// Insert (or overwrite) a key as most-recently-used. Returns the
+    /// evicted least-recently-used entry when the insert overflowed
+    /// capacity.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return None;
+        }
+        if self.map.len() < self.cap {
+            let i = self.slots.len();
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(key, i);
+            self.push_front(i);
+            return None;
+        }
+        // Full: recycle the LRU slot in place.
+        let i = self.tail;
+        self.unlink(i);
+        let evicted_key = std::mem::replace(&mut self.slots[i].key, key.clone());
+        let evicted_value = std::mem::replace(&mut self.slots[i].value, value);
+        self.map.remove(&evicted_key);
+        self.map.insert(key, i);
+        self.push_front(i);
+        Some((evicted_key, evicted_value))
+    }
+
+    /// The least-recently-used key (next eviction victim), if any.
+    pub fn lru_key(&self) -> Option<&K> {
+        match self.tail {
+            NIL => None,
+            t => Some(&self.slots[t].key),
+        }
+    }
+}
+
+/// The service's decision cache: N independent LRU shards.
+pub struct DecisionCache {
+    shards: Vec<Mutex<LruCache<CacheKey, RequestOutcome>>>,
+}
+
+impl DecisionCache {
+    /// A cache of `total_capacity` entries split evenly over `shards`.
+    pub fn new(shards: usize, total_capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = (total_capacity / shards).max(1);
+        DecisionCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards (always the service's worker count).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a key lives on.
+    pub fn shard_of(&self, key: &CacheKey) -> usize {
+        (key.shard_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// Look up a decision, promoting it on a hit.
+    pub fn get(&self, shard: usize, key: &CacheKey) -> Option<RequestOutcome> {
+        self.shards[shard].lock().get(key).cloned()
+    }
+
+    /// Memoize a decision.
+    pub fn insert(&self, shard: usize, key: CacheKey, outcome: RequestOutcome) {
+        self.shards[shard].lock().insert(key, outcome);
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_follows_lru_order() {
+        let mut c: LruCache<&str, u32> = LruCache::new(3);
+        assert_eq!(c.insert("a", 1), None);
+        assert_eq!(c.insert("b", 2), None);
+        assert_eq!(c.insert("c", 3), None);
+        assert_eq!(c.lru_key(), Some(&"a"));
+
+        // Touch "a": "b" becomes the eviction victim.
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.lru_key(), Some(&"b"));
+        assert_eq!(c.insert("d", 4), Some(("b", 2)));
+
+        // Order now (MRU→LRU): d, a, c.
+        assert_eq!(c.insert("e", 5), Some(("c", 3)));
+        assert_eq!(c.insert("f", 6), Some(("a", 1)));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&"d"), Some(&4));
+        assert_eq!(c.get(&"e"), Some(&5));
+        assert_eq!(c.get(&"f"), Some(&6));
+    }
+
+    #[test]
+    fn overwrite_promotes_without_evicting() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.insert(1, 11), None); // overwrite, no eviction
+        assert_eq!(c.lru_key(), Some(&2));
+        assert_eq!(c.insert(3, 30), Some((2, 20)));
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn capacity_one_always_replaces() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        assert_eq!(c.insert(1, 1), None);
+        assert_eq!(c.insert(2, 2), Some((1, 1)));
+        assert_eq!(c.insert(3, 3), Some((2, 2)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&3), Some(&3));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn get_miss_does_not_disturb_order() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.get(&9), None);
+        assert_eq!(c.lru_key(), Some(&1));
+    }
+
+    #[test]
+    fn sharded_cache_routes_consistently() {
+        let cache = DecisionCache::new(4, 400);
+        let req = DecisionRequest {
+            url: "http://ads.example/x.js".into(),
+            document: "news.example".into(),
+            resource_type: abp::ResourceType::Script,
+            sitekey: None,
+        };
+        let key = CacheKey::of(&req);
+        let shard = cache.shard_of(&key);
+        assert_eq!(shard, cache.shard_of(&CacheKey::of(&req)));
+        let outcome = RequestOutcome {
+            decision: abp::Decision::NoMatch,
+            activations: vec![],
+        };
+        cache.insert(shard, key.clone(), outcome.clone());
+        assert_eq!(cache.get(shard, &key), Some(outcome));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Blocking client for the abpd wire protocol.
+
+use crate::protocol::{
+    ClientMessage, DecisionRequest, DecisionResponse, ServerMessage, StatsReport,
+};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected abpd client. One request/response in flight at a time.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn protocol_error(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn roundtrip(&mut self, msg: &ClientMessage) -> std::io::Result<ServerMessage> {
+        let line = serde_json::to_string(msg).map_err(|e| protocol_error(e.to_string()))?;
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(protocol_error("server closed the connection"));
+        }
+        serde_json::from_str(&reply).map_err(|e| protocol_error(format!("bad reply: {e}")))
+    }
+
+    /// Evaluate one request.
+    pub fn decide(&mut self, req: &DecisionRequest) -> std::io::Result<DecisionResponse> {
+        match self.roundtrip(&ClientMessage::Decide(req.clone()))? {
+            ServerMessage::Decision(d) => Ok(d),
+            ServerMessage::Error(e) => Err(protocol_error(e)),
+            other => Err(protocol_error(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Evaluate a batch; responses come back in request order.
+    pub fn decide_batch(
+        &mut self,
+        reqs: &[DecisionRequest],
+    ) -> std::io::Result<Vec<DecisionResponse>> {
+        match self.roundtrip(&ClientMessage::DecideBatch(reqs.to_vec()))? {
+            ServerMessage::Batch(b) if b.len() == reqs.len() => Ok(b),
+            ServerMessage::Batch(b) => Err(protocol_error(format!(
+                "expected {} responses, got {}",
+                reqs.len(),
+                b.len()
+            ))),
+            ServerMessage::Error(e) => Err(protocol_error(e)),
+            other => Err(protocol_error(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Fetch service statistics.
+    pub fn stats(&mut self) -> std::io::Result<StatsReport> {
+        match self.roundtrip(&ClientMessage::Stats)? {
+            ServerMessage::Stats(s) => Ok(s),
+            other => Err(protocol_error(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        match self.roundtrip(&ClientMessage::Ping)? {
+            ServerMessage::Pong => Ok(()),
+            other => Err(protocol_error(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Ask the server to drain and stop. The connection is closed by
+    /// the server afterwards.
+    pub fn shutdown_server(&mut self) -> std::io::Result<()> {
+        match self.roundtrip(&ClientMessage::Shutdown)? {
+            ServerMessage::ShuttingDown => Ok(()),
+            other => Err(protocol_error(format!("unexpected reply: {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # abpd — the ad-decision daemon
+//!
+//! The paper measures ad-blocking decisions page by page; this crate
+//! turns the same [`abp::Engine`] into a standalone network service so
+//! decision throughput can be measured (and scaled) independently of
+//! the crawler. Clients speak newline-delimited JSON over TCP (see
+//! [`protocol`]); the server routes each decision to one of N shard
+//! workers over bounded queues and memoizes outcomes in a sharded LRU
+//! cache ([`cache`]). A decision for a fixed engine is a pure function
+//! of `(url, document, resource type, sitekey)`, so cached responses
+//! are byte-identical to fresh engine evaluations — property-tested in
+//! this crate's test suite.
+//!
+//! Two binaries ship with the library:
+//!
+//! * `abpd` — serve decisions for the generated corpus
+//!   (EasyList + Acceptable Ads whitelist);
+//! * `abpd-load` — replay synthetic browsing traffic
+//!   ([`websim::traffic`]) against a server and report throughput.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use client::Client;
+pub use protocol::{DecisionRequest, DecisionResponse, StatsReport};
+pub use server::{Server, ServerConfig};
+pub use service::{Service, ServiceConfig};
+
+use websim::ecosystem::LoadKind;
+use websim::traffic::TrafficSample;
+
+/// The resource type a browser would infer for a page load.
+pub fn resource_type_of(load: LoadKind) -> abp::ResourceType {
+    match load {
+        LoadKind::Script => abp::ResourceType::Script,
+        LoadKind::Image => abp::ResourceType::Image,
+        LoadKind::Iframe => abp::ResourceType::Subdocument,
+        LoadKind::Stylesheet => abp::ResourceType::Stylesheet,
+    }
+}
+
+/// Convert a synthesized traffic sample into a wire request.
+pub fn request_of_sample(s: &TrafficSample) -> DecisionRequest {
+    DecisionRequest {
+        url: s.url.clone(),
+        document: s.first_party.clone(),
+        resource_type: resource_type_of(s.load),
+        sitekey: None,
+    }
+}
+
+/// The default serving engine: the generated EasyList plus the
+/// Acceptable Ads whitelist for `seed`.
+pub fn corpus_engine(seed: u64) -> abp::Engine {
+    let c = corpus::Corpus::generate(seed);
+    abp::Engine::from_lists([&c.easylist, &c.whitelist])
+}
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,221 @@
+//! Per-shard service metrics: lock-free counters plus a fixed-bucket
+//! latency histogram good enough for p50/p99 reporting.
+
+use crate::protocol::{ShardStats, StatsReport};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram bucket layout (microseconds): 1µs resolution below 100µs,
+/// 100µs resolution to 10ms, 1ms resolution to 100ms, one overflow
+/// bucket. Fixed boundaries keep recording a single atomic increment.
+const FINE: u64 = 100; // [0, 100µs) in 1µs buckets
+const MID_STEP: u64 = 100; // [100µs, 10ms) in 100µs buckets
+const MID_TOP: u64 = 10_000;
+const COARSE_STEP: u64 = 1_000; // [10ms, 100ms) in 1ms buckets
+const COARSE_TOP: u64 = 100_000;
+const BUCKETS: usize =
+    (FINE + (MID_TOP - FINE) / MID_STEP + (COARSE_TOP - MID_TOP) / COARSE_STEP) as usize + 1;
+
+fn bucket_of(us: u64) -> usize {
+    if us < FINE {
+        us as usize
+    } else if us < MID_TOP {
+        (FINE + (us - FINE) / MID_STEP) as usize
+    } else if us < COARSE_TOP {
+        (FINE + (MID_TOP - FINE) / MID_STEP + (us - MID_TOP) / COARSE_STEP) as usize
+    } else {
+        BUCKETS - 1
+    }
+}
+
+/// Inclusive upper bound (µs) of a bucket, used when reporting quantiles.
+fn bucket_upper(idx: usize) -> u64 {
+    let idx = idx as u64;
+    let mid_buckets = (MID_TOP - FINE) / MID_STEP;
+    if idx < FINE {
+        idx + 1
+    } else if idx < FINE + mid_buckets {
+        FINE + (idx - FINE + 1) * MID_STEP
+    } else if (idx as usize) < BUCKETS - 1 {
+        MID_TOP + (idx - FINE - mid_buckets + 1) * COARSE_STEP
+    } else {
+        COARSE_TOP
+    }
+}
+
+/// Latency histogram over fixed bucket boundaries.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Approximate quantile `q` in [0, 1]: the upper bound of the
+    /// bucket where the cumulative count crosses `q`. Zero when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut cum = 0;
+        for (i, c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_upper(i);
+            }
+        }
+        COARSE_TOP
+    }
+
+    /// Fold another histogram's counts into an owned copy of this one.
+    fn merged(&self, other: &Histogram) -> Histogram {
+        let out = Histogram::default();
+        for (i, b) in out.buckets.iter().enumerate() {
+            b.store(
+                self.buckets[i].load(Ordering::Relaxed) + other.buckets[i].load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+        }
+        out
+    }
+}
+
+/// One shard's counters.
+#[derive(Default)]
+pub struct ShardMetrics {
+    /// Decisions routed to this shard (hits and misses).
+    pub requests: AtomicU64,
+    /// Decisions answered from cache.
+    pub cache_hits: AtomicU64,
+    /// Decisions that blocked the request.
+    pub blocks: AtomicU64,
+    /// Decisions allowed by an exception.
+    pub exceptions: AtomicU64,
+    /// Decision latency.
+    pub latency: Histogram,
+}
+
+impl ShardMetrics {
+    fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            blocks: self.blocks.load(Ordering::Relaxed),
+            exceptions: self.exceptions.load(Ordering::Relaxed),
+            p50_us: self.latency.quantile_us(0.50),
+            p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+/// All shards' metrics.
+pub struct Metrics {
+    shards: Vec<ShardMetrics>,
+}
+
+impl Metrics {
+    /// Metrics for `shards` worker shards.
+    pub fn new(shards: usize) -> Self {
+        Metrics {
+            shards: (0..shards.max(1))
+                .map(|_| ShardMetrics::default())
+                .collect(),
+        }
+    }
+
+    /// The counters of one shard.
+    pub fn shard(&self, i: usize) -> &ShardMetrics {
+        &self.shards[i]
+    }
+
+    /// Snapshot everything into a wire-format report.
+    pub fn report(&self) -> StatsReport {
+        let shards: Vec<ShardStats> = self.shards.iter().map(ShardMetrics::snapshot).collect();
+        let merged = self
+            .shards
+            .iter()
+            .map(|s| &s.latency)
+            .fold(Histogram::default(), |acc, h| acc.merged(h));
+        StatsReport {
+            requests: shards.iter().map(|s| s.requests).sum(),
+            cache_hits: shards.iter().map(|s| s.cache_hits).sum(),
+            blocks: shards.iter().map(|s| s.blocks).sum(),
+            exceptions: shards.iter().map(|s| s.exceptions).sum(),
+            p50_us: merged.quantile_us(0.50),
+            p99_us: merged.quantile_us(0.99),
+            shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_total() {
+        let mut prev = 0;
+        for i in 0..BUCKETS {
+            let ub = bucket_upper(i);
+            assert!(ub > prev || i == BUCKETS - 1, "bucket {i}: {ub} vs {prev}");
+            prev = prev.max(ub);
+        }
+        // Every plausible latency lands in a valid bucket.
+        for us in [0, 1, 99, 100, 101, 9_999, 10_000, 99_999, 100_000, u64::MAX] {
+            assert!(bucket_of(us) < BUCKETS);
+        }
+        // Boundary checks: values map to a bucket whose upper bound
+        // is above them (or the overflow bucket).
+        for us in [0, 5, 99, 150, 9_950, 12_345, 99_000] {
+            assert!(bucket_upper(bucket_of(us)) > us, "us={us}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_observations() {
+        let h = Histogram::default();
+        for _ in 0..98 {
+            h.record_us(10); // p50 lands here
+        }
+        for _ in 0..2 {
+            h.record_us(50_000); // tail
+        }
+        assert_eq!(h.quantile_us(0.5), 11); // bucket [10,11)
+        assert!(h.quantile_us(0.99) >= 50_000);
+        assert_eq!(Histogram::default().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn report_sums_shards() {
+        let m = Metrics::new(2);
+        m.shard(0).requests.fetch_add(10, Ordering::Relaxed);
+        m.shard(1).requests.fetch_add(5, Ordering::Relaxed);
+        m.shard(0).blocks.fetch_add(3, Ordering::Relaxed);
+        m.shard(1).cache_hits.fetch_add(2, Ordering::Relaxed);
+        m.shard(0).latency.record_us(7);
+        m.shard(1).latency.record_us(400);
+        let r = m.report();
+        assert_eq!(r.requests, 15);
+        assert_eq!(r.blocks, 3);
+        assert_eq!(r.cache_hits, 2);
+        assert_eq!(r.shards.len(), 2);
+        assert!(r.p99_us >= 400);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests: the decision cache is invisible.
+//!
+//! For any request, the service's response — whether it was computed
+//! by a shard worker or replayed from the LRU cache — must serialize
+//! byte-identically to a direct `Engine::match_request` evaluation,
+//! activation lists included.
+
+use crate::protocol::DecisionRequest;
+use crate::service::{Service, ServiceConfig};
+use abp::{Engine, FilterList, ListSource, Request, ResourceType};
+use proptest::prelude::*;
+
+/// A deliberately gnarly engine: generic blocks, domain-scoped
+/// exceptions, sitekey gates, donottrack, and element rules.
+fn test_engine() -> Engine {
+    let easylist = FilterList::parse(
+        ListSource::EasyList,
+        "\
+||adnet0.example^$third-party
+||adnet1.example^
+||adnet2.example^$script,image
+/banner/ads/*
+||tracker.example^$donottrack
+##.ButtonAd
+",
+    );
+    let whitelist = FilterList::parse(
+        ListSource::AcceptableAds,
+        "\
+@@||adnet0.example/acceptable/$domain=news.example
+@@||adnet1.example^$script,domain=blog.example|news.example
+@@$sitekey=MFwwDQYJTESTKEY,document
+@@||tracker.example/optout/$donottrack
+",
+    );
+    Engine::from_lists([&easylist, &whitelist])
+}
+
+fn direct_outcome(engine: &Engine, dr: &DecisionRequest) -> abp::RequestOutcome {
+    let mut req = Request::new(&dr.url, &dr.document, dr.resource_type).unwrap();
+    if let Some(k) = &dr.sitekey {
+        req = req.with_sitekey(k.clone());
+    }
+    engine.match_request(&req)
+}
+
+fn service(cache_capacity: usize) -> Service {
+    Service::start(
+        test_engine(),
+        &ServiceConfig {
+            shards: 3,
+            queue_depth: 32,
+            cache_capacity,
+        },
+    )
+}
+
+proptest! {
+    /// Fresh and cached responses are byte-identical to the engine.
+    #[test]
+    fn cached_response_identical_to_direct_evaluation(
+        host in prop::sample::select(&[
+            "adnet0.example",
+            "adnet1.example",
+            "adnet2.example",
+            "cdn.adnet0.example",
+            "tracker.example",
+            "benign.example",
+        ][..]),
+        path in "[a-z0-9]{1,8}(/[a-z0-9]{1,8}){0,2}",
+        acceptable in any::<bool>(),
+        document in prop::sample::select(&[
+            "news.example",
+            "blog.example",
+            "other.example",
+            "adnet0.example",
+        ][..]),
+        resource_type in prop::sample::select(&ResourceType::ALL[..]),
+        sitekey in prop::sample::select(&[
+            None,
+            Some("MFwwDQYJTESTKEY"),
+            Some("WRONGKEY"),
+        ][..]),
+    ) {
+        let svc = service(4096);
+        let engine = test_engine();
+        let infix = if acceptable { "acceptable/" } else { "" };
+        let dr = DecisionRequest {
+            url: format!("http://{host}/{infix}{path}"),
+            document: document.to_string(),
+            resource_type,
+            sitekey: sitekey.map(str::to_string),
+        };
+        let direct = direct_outcome(&engine, &dr);
+        let direct_bytes = serde_json::to_string(&direct).unwrap();
+
+        let fresh = svc.decide(&dr).unwrap();
+        prop_assert!(!fresh.cached);
+        prop_assert_eq!(serde_json::to_string(&fresh.outcome).unwrap(), direct_bytes.clone());
+
+        let replay = svc.decide(&dr).unwrap();
+        prop_assert!(replay.cached, "second evaluation must hit the cache");
+        prop_assert_eq!(serde_json::to_string(&replay.outcome).unwrap(), direct_bytes);
+        svc.shutdown();
+    }
+
+    /// Equivalence survives eviction churn: with a cache far smaller
+    /// than the working set, every response (hit or miss) still equals
+    /// the direct evaluation.
+    #[test]
+    fn tiny_cache_never_changes_answers(
+        hosts in proptest::collection::vec("[a-d]", 12..=24),
+        resource_type in prop::sample::select(&ResourceType::ALL[..]),
+    ) {
+        let svc = service(6); // 2 entries per shard
+        let engine = test_engine();
+        for h in &hosts {
+            let dr = DecisionRequest {
+                url: format!("http://adnet{}.example/unit.js", (h.as_bytes()[0] - b'a') % 3),
+                document: format!("{h}.example"),
+                resource_type,
+                sitekey: None,
+            };
+            let resp = svc.decide(&dr).unwrap();
+            let direct = direct_outcome(&engine, &dr);
+            prop_assert_eq!(
+                serde_json::to_string(&resp.outcome).unwrap(),
+                serde_json::to_string(&direct).unwrap()
+            );
+        }
+        svc.shutdown();
+    }
+}

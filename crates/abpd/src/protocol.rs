@@ -1,0 +1,176 @@
+//! The abpd wire protocol.
+//!
+//! Newline-delimited JSON over TCP: each line the client writes is one
+//! [`ClientMessage`]; the server answers every line with exactly one
+//! [`ServerMessage`] line, in order. Enum messages are externally
+//! tagged, so a single decision request looks like:
+//!
+//! ```json
+//! {"Decide":{"url":"http://ad.doubleclick.net/x.js","document":"example.com","resource_type":"Script"}}
+//! ```
+//!
+//! and a batch is `{"DecideBatch":[...]}` answered by `{"Batch":[...]}`.
+//! Dataless verbs are bare JSON strings: the line `"Stats"` requests
+//! statistics, `"Ping"` probes liveness, `"Shutdown"` drains the server.
+
+use abp::{RequestOutcome, ResourceType};
+use serde::{Deserialize, Serialize};
+
+/// One decision to make: should this load be blocked?
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionRequest {
+    /// Absolute URL being fetched.
+    pub url: String,
+    /// The first-party (document) hostname the fetch happens under.
+    pub document: String,
+    /// Resource type inferred from the initiating element.
+    pub resource_type: ResourceType,
+    /// Verified sitekey presented by the document, if any.
+    #[serde(default)]
+    pub sitekey: Option<String>,
+}
+
+/// The server's verdict for one [`DecisionRequest`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionResponse {
+    /// The engine outcome: decision plus every filter activation.
+    pub outcome: RequestOutcome,
+    /// Whether this verdict came from the decision cache.
+    pub cached: bool,
+}
+
+/// Counters for one shard of the service.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Decisions routed to this shard.
+    pub requests: u64,
+    /// Decisions answered from this shard's cache.
+    pub cache_hits: u64,
+    /// Decisions that blocked the request.
+    pub blocks: u64,
+    /// Decisions allowed by an exception filter.
+    pub exceptions: u64,
+    /// Median decision latency in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile decision latency in microseconds.
+    pub p99_us: u64,
+}
+
+/// Service-wide statistics: totals plus the per-shard breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Total decisions served.
+    pub requests: u64,
+    /// Decisions answered from cache.
+    pub cache_hits: u64,
+    /// Blocked decisions.
+    pub blocks: u64,
+    /// Exception-allowed decisions.
+    pub exceptions: u64,
+    /// Median decision latency in microseconds, across all shards.
+    pub p50_us: u64,
+    /// 99th-percentile decision latency in microseconds.
+    pub p99_us: u64,
+    /// Per-shard breakdown, indexed by shard id.
+    pub shards: Vec<ShardStats>,
+}
+
+/// Every message a client can send.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClientMessage {
+    /// Evaluate one request.
+    Decide(DecisionRequest),
+    /// Evaluate a batch in order; answered by one `Batch` message.
+    DecideBatch(Vec<DecisionRequest>),
+    /// Fetch service statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to stop accepting connections and drain.
+    Shutdown,
+}
+
+/// Every message the server can answer with.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServerMessage {
+    /// Verdict for a `Decide`.
+    Decision(DecisionResponse),
+    /// Verdicts for a `DecideBatch`, in request order.
+    Batch(Vec<DecisionResponse>),
+    /// Statistics for a `Stats`.
+    Stats(StatsReport),
+    /// Answer to `Ping`.
+    Pong,
+    /// Acknowledges `Shutdown`; the server drains and exits.
+    ShuttingDown,
+    /// The request line could not be parsed or evaluated.
+    Error(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp::Decision;
+
+    #[test]
+    fn wire_shapes_round_trip() {
+        let msgs = [
+            ClientMessage::Decide(DecisionRequest {
+                url: "http://ads.example/unit.js".into(),
+                document: "news.example".into(),
+                resource_type: ResourceType::Script,
+                sitekey: None,
+            }),
+            ClientMessage::DecideBatch(vec![]),
+            ClientMessage::Stats,
+            ClientMessage::Ping,
+            ClientMessage::Shutdown,
+        ];
+        for m in &msgs {
+            let line = serde_json::to_string(m).unwrap();
+            assert!(!line.contains('\n'), "one message per line: {line}");
+            let back: ClientMessage = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, m);
+        }
+    }
+
+    #[test]
+    fn missing_sitekey_defaults_to_none() {
+        let req: DecisionRequest = serde_json::from_str(
+            r#"{"url":"http://a.example/x.png","document":"a.example","resource_type":"Image"}"#,
+        )
+        .unwrap();
+        assert_eq!(req.sitekey, None);
+        assert_eq!(req.resource_type, ResourceType::Image);
+    }
+
+    #[test]
+    fn verbs_are_bare_strings() {
+        assert_eq!(
+            serde_json::to_string(&ClientMessage::Stats).unwrap(),
+            "\"Stats\""
+        );
+        assert_eq!(
+            serde_json::to_string(&ClientMessage::Ping).unwrap(),
+            "\"Ping\""
+        );
+        assert_eq!(
+            serde_json::to_string(&ServerMessage::Pong).unwrap(),
+            "\"Pong\""
+        );
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = ServerMessage::Decision(DecisionResponse {
+            outcome: RequestOutcome {
+                decision: Decision::Block,
+                activations: vec![],
+            },
+            cached: true,
+        });
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: ServerMessage = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+    }
+}

@@ -1,0 +1,177 @@
+//! The TCP front of the decision service.
+//!
+//! One OS thread per connection reads newline-delimited
+//! [`ClientMessage`](crate::protocol::ClientMessage) lines and writes
+//! one [`ServerMessage`](crate::protocol::ServerMessage) line per
+//! request, in order. `Shutdown` stops the acceptor, waits for open
+//! connections to finish, then drains the shard workers.
+
+use crate::protocol::{ClientMessage, ServerMessage};
+use crate::service::{Service, ServiceConfig};
+use abp::Engine;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration: bind address plus service tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; port 0 picks a free port.
+    pub addr: String,
+    /// Worker/cache configuration.
+    pub service: ServiceConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+struct Shared {
+    service: Service,
+    running: AtomicBool,
+    open_connections: AtomicUsize,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`Server::shutdown`] or send the `Shutdown` verb.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `engine` decisions.
+    pub fn start(engine: Engine, config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service: Service::start(engine, &config.service),
+            running: AtomicBool::new(true),
+            open_connections: AtomicUsize::new(0),
+        });
+
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("abpd-accept".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if !shared.running.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        // Replies are one short line each; never let
+                        // Nagle hold them back.
+                        let _ = stream.set_nodelay(true);
+                        let shared = shared.clone();
+                        shared.open_connections.fetch_add(1, Ordering::SeqCst);
+                        let _ = std::thread::Builder::new()
+                            .name("abpd-conn".to_string())
+                            .spawn(move || {
+                                let addr = local_addr;
+                                handle_connection(stream, &shared, addr);
+                                shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+                            });
+                    }
+                    // Stopped accepting; wait for in-flight connections.
+                    while shared.open_connections.load(Ordering::SeqCst) > 0 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                })?
+        };
+
+        Ok(Server {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Request filters loaded in the engine.
+    pub fn filter_count(&self) -> usize {
+        self.shared.service.filter_count()
+    }
+
+    /// Worker shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shared.service.shard_count()
+    }
+
+    /// Stop accepting, wait for open connections and queued work, then
+    /// join the workers.
+    pub fn shutdown(mut self) {
+        trigger_stop(&self.shared, self.local_addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // All connections closed; the service drains on drop.
+    }
+
+    /// Block until the server stops (via the `Shutdown` verb).
+    pub fn join(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+/// Flip `running` and poke the listener so `accept` wakes up.
+fn trigger_stop(shared: &Shared, addr: SocketAddr) {
+    if shared.running.swap(false, Ordering::SeqCst) {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match serde_json::from_str::<ClientMessage>(&line) {
+            Err(e) => ServerMessage::Error(format!("unparseable message: {e}")),
+            Ok(ClientMessage::Ping) => ServerMessage::Pong,
+            Ok(ClientMessage::Stats) => ServerMessage::Stats(shared.service.stats()),
+            Ok(ClientMessage::Decide(req)) => match shared.service.decide(&req) {
+                Ok(resp) => ServerMessage::Decision(resp),
+                Err(e) => ServerMessage::Error(e),
+            },
+            Ok(ClientMessage::DecideBatch(reqs)) => match shared.service.decide_batch(&reqs) {
+                Ok(resps) => ServerMessage::Batch(resps),
+                Err(e) => ServerMessage::Error(e),
+            },
+            Ok(ClientMessage::Shutdown) => {
+                let line = serde_json::to_string(&ServerMessage::ShuttingDown)
+                    .expect("serialize ShuttingDown");
+                let _ = writeln!(writer, "{line}");
+                let _ = writer.flush();
+                trigger_stop(shared, addr);
+                return;
+            }
+        };
+        let line = serde_json::to_string(&reply).expect("serialize reply");
+        if writeln!(writer, "{line}").is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The decision service: a sharded worker pool around one shared
+//! engine, fronted by the sharded LRU cache.
+//!
+//! A request's cache key hashes to a shard; that index selects both the
+//! cache shard *and* the worker that evaluates misses, so each shard's
+//! state is touched by one worker plus whichever connection handler is
+//! looking up. Handlers answer hits directly; misses travel over a
+//! bounded crossbeam channel (the queue depth is the backpressure
+//! valve: when a shard falls behind, senders block instead of piling
+//! up unbounded work).
+
+use crate::cache::{CacheKey, DecisionCache};
+use crate::metrics::Metrics;
+use crate::protocol::{DecisionRequest, DecisionResponse, StatsReport};
+use abp::{Decision, Engine, Request, RequestOutcome};
+use crossbeam::channel::{bounded, Sender};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs for [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker (and cache) shards. Defaults to available parallelism,
+    /// capped at 8.
+    pub shards: usize,
+    /// Bounded per-shard queue depth; senders block when full.
+    pub queue_depth: usize,
+    /// Total decision-cache entries across all shards.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let parallelism = std::thread::available_parallelism().map_or(4, |n| n.get());
+        ServiceConfig {
+            shards: parallelism.clamp(1, 8),
+            queue_depth: 1024,
+            cache_capacity: 65_536,
+        }
+    }
+}
+
+/// A chunk of engine evaluations queued to one shard worker. Chunking
+/// per (batch, shard) instead of per request keeps channel traffic —
+/// and the futex wakeups under it — constant per batch.
+struct Job {
+    items: Vec<(usize, Request, CacheKey)>,
+    shard: usize,
+    reply: mpsc::Sender<Vec<(usize, RequestOutcome)>>,
+}
+
+/// The running decision service (no networking; see
+/// [`crate::server::Server`] for the TCP front).
+pub struct Service {
+    cache: Arc<DecisionCache>,
+    metrics: Arc<Metrics>,
+    senders: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    filter_count: usize,
+}
+
+impl Service {
+    /// Spawn the worker pool around an engine.
+    pub fn start(engine: Engine, config: &ServiceConfig) -> Service {
+        let shards = config.shards.max(1);
+        let cache = Arc::new(DecisionCache::new(shards, config.cache_capacity));
+        let metrics = Arc::new(Metrics::new(shards));
+        let engine = Arc::new(engine);
+        let filter_count = engine.request_filter_count();
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = bounded::<Job>(config.queue_depth.max(1));
+            senders.push(tx);
+            let engine = engine.clone();
+            let cache = cache.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("abpd-shard-{shard}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let mut out = Vec::with_capacity(job.items.len());
+                            for (index, request, key) in job.items {
+                                let outcome = engine.match_request(&request);
+                                cache.insert(job.shard, key, outcome.clone());
+                                out.push((index, outcome));
+                            }
+                            // Receiver may have given up (client gone);
+                            // a dead reply channel is not an error.
+                            let _ = job.reply.send(out);
+                        }
+                    })
+                    .expect("spawn shard worker"),
+            );
+        }
+        Service {
+            cache,
+            metrics,
+            senders,
+            workers,
+            filter_count,
+        }
+    }
+
+    /// Worker shard count.
+    pub fn shard_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Request filters loaded in the engine.
+    pub fn filter_count(&self) -> usize {
+        self.filter_count
+    }
+
+    /// Evaluate one request.
+    pub fn decide(&self, req: &DecisionRequest) -> Result<DecisionResponse, String> {
+        let mut out = self.decide_batch(std::slice::from_ref(req))?;
+        Ok(out.pop().expect("one response per request"))
+    }
+
+    /// Evaluate a batch, returning responses in request order.
+    ///
+    /// Cache hits are answered inline; misses are fanned out to the
+    /// shard workers and reassembled by index. Any malformed request
+    /// fails the whole batch (the protocol answers one message per
+    /// line, so partial answers have nowhere to go).
+    pub fn decide_batch(&self, reqs: &[DecisionRequest]) -> Result<Vec<DecisionResponse>, String> {
+        let start = Instant::now();
+        let mut responses: Vec<Option<DecisionResponse>> = vec![None; reqs.len()];
+        let mut shard_of: Vec<usize> = Vec::with_capacity(reqs.len());
+        let mut misses: Vec<Vec<(usize, Request, CacheKey)>> =
+            (0..self.senders.len()).map(|_| Vec::new()).collect();
+
+        for (index, dr) in reqs.iter().enumerate() {
+            let request = Request::new(&dr.url, &dr.document, dr.resource_type)
+                .map_err(|e| format!("request {index}: bad url {:?}: {e:?}", dr.url))?;
+            let request = match &dr.sitekey {
+                Some(k) => request.with_sitekey(k.clone()),
+                None => request,
+            };
+            let key = CacheKey::of(dr);
+            let shard = self.cache.shard_of(&key);
+            shard_of.push(shard);
+            if let Some(outcome) = self.cache.get(shard, &key) {
+                self.metrics
+                    .shard(shard)
+                    .cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                responses[index] = Some(DecisionResponse {
+                    outcome,
+                    cached: true,
+                });
+            } else {
+                misses[shard].push((index, request, key));
+            }
+        }
+
+        let (reply_tx, reply_rx) = mpsc::channel::<Vec<(usize, RequestOutcome)>>();
+        let mut jobs = 0usize;
+        for (shard, items) in misses.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            jobs += 1;
+            self.senders[shard]
+                .send(Job {
+                    items,
+                    shard,
+                    reply: reply_tx.clone(),
+                })
+                .map_err(|_| "service is shut down".to_string())?;
+        }
+        drop(reply_tx);
+
+        for _ in 0..jobs {
+            let chunk = reply_rx
+                .recv()
+                .map_err(|_| "shard worker died mid-batch".to_string())?;
+            for (index, outcome) in chunk {
+                responses[index] = Some(DecisionResponse {
+                    outcome,
+                    cached: false,
+                });
+            }
+        }
+
+        // Account per-shard counters and amortized latency.
+        let per_item_us = if reqs.is_empty() {
+            0
+        } else {
+            start.elapsed().as_micros() as u64 / reqs.len() as u64
+        };
+        let out: Vec<DecisionResponse> = responses
+            .into_iter()
+            .map(|r| r.expect("every index answered"))
+            .collect();
+        for (resp, &shard) in out.iter().zip(&shard_of) {
+            let m = self.metrics.shard(shard);
+            m.requests.fetch_add(1, Ordering::Relaxed);
+            match resp.outcome.decision {
+                Decision::Block => {
+                    m.blocks.fetch_add(1, Ordering::Relaxed);
+                }
+                Decision::AllowedByException => {
+                    m.exceptions.fetch_add(1, Ordering::Relaxed);
+                }
+                Decision::NoMatch => {}
+            }
+            m.latency.record_us(per_item_us);
+        }
+        Ok(out)
+    }
+
+    /// Snapshot service statistics.
+    pub fn stats(&self) -> StatsReport {
+        self.metrics.report()
+    }
+
+    /// Entries currently memoized.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drain queues and join the workers.
+    pub fn shutdown(mut self) {
+        self.senders.clear(); // disconnects channels; workers drain then exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp::{FilterList, ListSource, ResourceType};
+
+    fn test_engine() -> Engine {
+        let bl = FilterList::parse(
+            ListSource::EasyList,
+            "||doubleclick.net^\n||adzerk.net^$third-party\n",
+        );
+        let wl = FilterList::parse(
+            ListSource::AcceptableAds,
+            "@@||adzerk.net/reddit/$subdocument,domain=reddit.com\n",
+        );
+        Engine::from_lists([&bl, &wl])
+    }
+
+    fn service() -> Service {
+        Service::start(
+            test_engine(),
+            &ServiceConfig {
+                shards: 3,
+                queue_depth: 16,
+                cache_capacity: 300,
+            },
+        )
+    }
+
+    fn dr(url: &str, doc: &str, rt: ResourceType) -> DecisionRequest {
+        DecisionRequest {
+            url: url.into(),
+            document: doc.into(),
+            resource_type: rt,
+            sitekey: None,
+        }
+    }
+
+    #[test]
+    fn decisions_match_direct_engine_evaluation() {
+        let svc = service();
+        let engine = test_engine();
+        let reqs = vec![
+            dr(
+                "http://ad.doubleclick.net/x.js",
+                "example.com",
+                ResourceType::Script,
+            ),
+            dr(
+                "http://static.adzerk.net/reddit/a.html",
+                "www.reddit.com",
+                ResourceType::Subdocument,
+            ),
+            dr(
+                "http://example.com/style.css",
+                "example.com",
+                ResourceType::Stylesheet,
+            ),
+        ];
+        let got = svc.decide_batch(&reqs).unwrap();
+        for (dr, resp) in reqs.iter().zip(&got) {
+            let direct = engine
+                .match_request(&Request::new(&dr.url, &dr.document, dr.resource_type).unwrap());
+            assert_eq!(resp.outcome, direct);
+            assert!(!resp.cached, "first sight is never cached");
+        }
+        // Second pass: everything cached, same outcomes.
+        let again = svc.decide_batch(&reqs).unwrap();
+        for (first, second) in got.iter().zip(&again) {
+            assert_eq!(first.outcome, second.outcome);
+            assert!(second.cached);
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn bad_url_fails_batch() {
+        let svc = service();
+        let err = svc
+            .decide(&dr("not a url", "example.com", ResourceType::Image))
+            .unwrap_err();
+        assert!(err.contains("bad url"), "{err}");
+    }
+
+    #[test]
+    fn stats_count_decisions() {
+        let svc = service();
+        let block = dr(
+            "http://ad.doubleclick.net/x.js",
+            "example.com",
+            ResourceType::Script,
+        );
+        svc.decide(&block).unwrap();
+        svc.decide(&block).unwrap(); // cached
+        let s = svc.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.exceptions, 0);
+        assert_eq!(svc.cache_len(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let svc = service();
+        assert!(svc.decide_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_callers_agree() {
+        let svc = Arc::new(service());
+        let engine = Arc::new(test_engine());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let svc = svc.clone();
+            let engine = engine.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let req = dr(
+                        &format!("http://host{}.doubleclick.net/u{}.js", i % 7, i),
+                        &format!("site{t}.example"),
+                        ResourceType::Script,
+                    );
+                    let resp = svc.decide(&req).unwrap();
+                    let direct = engine.match_request(
+                        &Request::new(&req.url, &req.document, req.resource_type).unwrap(),
+                    );
+                    assert_eq!(resp.outcome, direct);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Benchmarks of the abpd decision service: single vs batched request
+//! throughput over localhost TCP, and decision-cache hit vs miss
+//! latency on the in-process service.
+
+use abpd::{Client, DecisionRequest, Server, ServerConfig, Service, ServiceConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use websim::traffic::TrafficGen;
+
+fn corpus_engine() -> abp::Engine {
+    let c = bench::corpus();
+    abp::Engine::from_lists([&c.easylist, &c.whitelist])
+}
+
+fn traffic(n: usize) -> Vec<DecisionRequest> {
+    TrafficGen::new(bench::SEED)
+        .samples()
+        .take(n)
+        .map(|s| abpd::request_of_sample(&s))
+        .collect()
+}
+
+/// One decision per round trip vs the batch verb, same traffic, over a
+/// real localhost TCP connection.
+fn bench_tcp_throughput(c: &mut Criterion) {
+    let server = Server::start(corpus_engine(), &ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let reqs = traffic(256);
+
+    let mut group = c.benchmark_group("service_tcp");
+    group.sample_size(20);
+    group.bench_function("decide_256_single_roundtrips", |b| {
+        b.iter(|| {
+            for r in &reqs {
+                black_box(client.decide(r).expect("decide"));
+            }
+        })
+    });
+    for batch in [16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("decide_256_batched", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    for chunk in reqs.chunks(batch) {
+                        black_box(client.decide_batch(chunk).expect("decide_batch"));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+    drop(client);
+    server.shutdown();
+}
+
+/// Cache hit vs miss latency on the in-process service (no TCP or JSON
+/// in the measured path).
+fn bench_cache_latency(c: &mut Criterion) {
+    let svc = Service::start(corpus_engine(), &ServiceConfig::default());
+
+    let hot = traffic(1)[0].clone();
+    svc.decide(&hot).expect("warm the cache");
+    c.bench_function("service_cache_hit", |b| {
+        b.iter(|| black_box(svc.decide(&hot).expect("hit")))
+    });
+
+    // Misses need a fresh URL each iteration; a counter in the path
+    // keeps every key unique without precomputing an unbounded stream.
+    let mut n = 0u64;
+    c.bench_function("service_cache_miss", |b| {
+        b.iter(|| {
+            n += 1;
+            let req = DecisionRequest {
+                url: format!("http://ads.miss-{n}.example/unit/{n}.js"),
+                document: "news.example".to_string(),
+                resource_type: abp::ResourceType::Script,
+                sitekey: None,
+            };
+            black_box(svc.decide(&req).expect("miss"))
+        })
+    });
+    svc.shutdown();
+}
+
+criterion_group!(benches, bench_tcp_throughput, bench_cache_latency);
+criterion_main!(benches);

@@ -33,6 +33,7 @@ pub mod ecosystem;
 pub mod page;
 pub mod parked;
 pub mod server;
+pub mod traffic;
 pub mod world;
 
 #[cfg(test)]

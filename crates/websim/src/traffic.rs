@@ -1,0 +1,198 @@
+//! Deterministic browsing-traffic synthesis.
+//!
+//! The ad-decision service (`abpd`) and its load generator need a
+//! stream of requests shaped like real browsing: page visits skewed
+//! toward popular sites, each visit expanding into the page's actual
+//! loads (first-party boilerplate plus whatever third parties the
+//! ecosystem model embeds on that site). This module synthesizes that
+//! stream from the same page model the crawler measures, without
+//! paying for a full [`crate::world::Web`] build — pages are generated
+//! lazily per visit.
+//!
+//! Everything is a pure function of the configuration seed, so load
+//! tests and benchmarks are reproducible run-to-run.
+
+use crate::alexa::{self, Stratum};
+use crate::directory::{build_directory, PublisherDirectory};
+use crate::ecosystem::LoadKind;
+use crate::page::{generate_page, PageContext};
+use sitekey::rng::SplitMix64;
+
+/// One request in the synthesized stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficSample {
+    /// Absolute URL being fetched.
+    pub url: String,
+    /// The first-party (page) domain the fetch happens under.
+    pub first_party: String,
+    /// How the page loads it.
+    pub load: LoadKind,
+}
+
+/// All loads triggered by one synthesized page visit.
+#[derive(Debug, Clone)]
+pub struct PageVisit {
+    /// The visited page's domain.
+    pub domain: String,
+    /// Alexa rank of the visited site.
+    pub rank: u32,
+    /// The requests the visit triggers, in document order.
+    pub samples: Vec<TrafficSample>,
+}
+
+/// Per-stratum visit weights approximating traffic concentration: the
+/// top 5K takes most visits, the long tail few (Alexa-style skew).
+const STRATUM_VISIT_WEIGHTS: [u32; 4] = [60, 25, 5, 10];
+
+/// Deterministic stream of page visits.
+///
+/// ```
+/// use websim::traffic::TrafficGen;
+///
+/// let mut gen = TrafficGen::new(2015);
+/// let visit = gen.next_visit();
+/// assert!(!visit.samples.is_empty());
+/// assert!(visit.samples.iter().all(|s| s.first_party == visit.domain));
+/// // Same seed, same stream.
+/// assert_eq!(TrafficGen::new(2015).next_visit().domain, visit.domain);
+/// ```
+pub struct TrafficGen {
+    seed: u64,
+    rng: SplitMix64,
+    directory: PublisherDirectory,
+}
+
+impl TrafficGen {
+    /// Build a generator for a world seed. Cost is one publisher
+    /// directory build; pages are generated lazily per visit.
+    pub fn new(seed: u64) -> Self {
+        TrafficGen {
+            seed,
+            rng: SplitMix64::new(seed ^ TRAFFIC_DOMAIN),
+            directory: build_directory(seed),
+        }
+    }
+
+    /// Draw the next visited rank: pick a stratum by visit weight,
+    /// then a rank uniformly within it.
+    fn next_rank(&mut self) -> u32 {
+        let total: u32 = STRATUM_VISIT_WEIGHTS.iter().sum();
+        let mut roll = self.rng.below(total as u64) as u32;
+        let mut stratum = Stratum::Top5k;
+        for (i, w) in STRATUM_VISIT_WEIGHTS.iter().enumerate() {
+            if roll < *w {
+                stratum = [
+                    Stratum::Top5k,
+                    Stratum::From5kTo50k,
+                    Stratum::From50kTo100k,
+                    Stratum::From100kTo1M,
+                ][i];
+                break;
+            }
+            roll -= w;
+        }
+        let (lo, hi) = stratum.range();
+        self.rng.range_inclusive(lo as u64, hi as u64) as u32
+    }
+
+    /// Synthesize the next page visit.
+    pub fn next_visit(&mut self) -> PageVisit {
+        let rank = self.next_rank();
+        let site = alexa::site_for_rank(self.seed, rank);
+        let publisher = self.directory.by_rank(rank);
+        let model = generate_page(self.seed, &site, publisher, &PageContext::default());
+        let samples = model
+            .loads
+            .iter()
+            .map(|l| TrafficSample {
+                url: l.url.clone(),
+                first_party: site.domain.clone(),
+                load: l.load,
+            })
+            .collect();
+        PageVisit {
+            domain: site.domain.clone(),
+            rank,
+            samples,
+        }
+    }
+
+    /// Flatten the visit stream into individual request samples.
+    pub fn samples(self) -> impl Iterator<Item = TrafficSample> {
+        let mut gen = self;
+        let mut pending: std::collections::VecDeque<TrafficSample> = Default::default();
+        std::iter::from_fn(move || loop {
+            if let Some(s) = pending.pop_front() {
+                return Some(s);
+            }
+            pending.extend(gen.next_visit().samples);
+        })
+    }
+}
+
+/// Domain-separation constant so visit draws never correlate with
+/// page-content draws (which use `ecosystem::site_rng`).
+const TRAFFIC_DOMAIN: u64 = 0x9d3a_77c1_5b2e_f064;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a: Vec<TrafficSample> = TrafficGen::new(7).samples().take(200).collect();
+        let b: Vec<TrafficSample> = TrafficGen::new(7).samples().take(200).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<TrafficSample> = TrafficGen::new(1).samples().take(100).collect();
+        let b: Vec<TrafficSample> = TrafficGen::new(2).samples().take(100).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn visits_have_first_party_consistency() {
+        let mut gen = TrafficGen::new(2015);
+        for _ in 0..50 {
+            let v = gen.next_visit();
+            assert!(!v.samples.is_empty(), "every page has boilerplate loads");
+            for s in &v.samples {
+                assert_eq!(s.first_party, v.domain);
+                assert!(s.url.starts_with("http"), "absolute URL: {}", s.url);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_mixes_strata() {
+        let mut gen = TrafficGen::new(2015);
+        let mut top5k = 0;
+        let mut tail = 0;
+        for _ in 0..300 {
+            let v = gen.next_visit();
+            if v.rank <= 5_000 {
+                top5k += 1;
+            }
+            if v.rank > 100_000 {
+                tail += 1;
+            }
+        }
+        assert!(top5k > 100, "top stratum dominates visits: {top5k}");
+        assert!(tail > 5, "tail still visited: {tail}");
+    }
+
+    #[test]
+    fn some_third_party_loads_appear() {
+        let third_party = TrafficGen::new(2015)
+            .samples()
+            .take(2_000)
+            .filter(|s| !s.url.contains(&s.first_party))
+            .count();
+        assert!(
+            third_party > 50,
+            "expected third-party loads, got {third_party}"
+        );
+    }
+}

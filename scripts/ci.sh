@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# CI gate: build, test, format check, then a short end-to-end smoke of
+# the abpd daemon under synthesized load. Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> abpd smoke (~2s of synthesized traffic over localhost TCP)"
+./target/release/abpd --addr 127.0.0.1:0 >/tmp/abpd-ci.log 2>&1 &
+ABPD_PID=$!
+# The server prints "abpd: listening on ADDR"; wait for it, then scrape
+# the bound address so port 0 works.
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^abpd: listening on \([^ ]*\).*$/\1/p' /tmp/abpd-ci.log)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "abpd never reported its address:" >&2
+    cat /tmp/abpd-ci.log >&2
+    kill "$ABPD_PID" 2>/dev/null || true
+    exit 1
+fi
+./target/release/abpd-load --addr "$ADDR" --decisions 100000 --shutdown
+wait "$ABPD_PID"
+
+echo "==> ci green"

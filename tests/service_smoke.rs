@@ -1,0 +1,188 @@
+//! End-to-end smoke test: a real abpd server over localhost TCP,
+//! driven through the client library with synthesized browsing
+//! traffic, checked against direct engine evaluation.
+
+use abp::{Engine, FilterList, ListSource, Request, ResourceType};
+use abpd::{Client, DecisionRequest, Server, ServerConfig, ServiceConfig};
+
+fn test_engine() -> Engine {
+    let bl = FilterList::parse(
+        ListSource::EasyList,
+        "||doubleclick.net^\n||adzerk.net^$third-party\n/banner/ads/*\n",
+    );
+    let wl = FilterList::parse(
+        ListSource::AcceptableAds,
+        "@@||adzerk.net/reddit/$subdocument,domain=reddit.com\n",
+    );
+    Engine::from_lists([&bl, &wl])
+}
+
+fn start_server() -> Server {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        service: ServiceConfig {
+            shards: 2,
+            queue_depth: 64,
+            cache_capacity: 1024,
+        },
+    };
+    Server::start(test_engine(), &config).expect("bind server")
+}
+
+fn dr(url: &str, doc: &str, rt: ResourceType) -> DecisionRequest {
+    DecisionRequest {
+        url: url.into(),
+        document: doc.into(),
+        resource_type: rt,
+        sitekey: None,
+    }
+}
+
+#[test]
+fn single_decisions_over_tcp() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.ping().expect("ping");
+
+    let engine = test_engine();
+    let cases = [
+        dr(
+            "http://ad.doubleclick.net/x.js",
+            "example.com",
+            ResourceType::Script,
+        ),
+        dr(
+            "http://static.adzerk.net/reddit/ads.html",
+            "www.reddit.com",
+            ResourceType::Subdocument,
+        ),
+        dr(
+            "http://example.com/logo.png",
+            "example.com",
+            ResourceType::Image,
+        ),
+    ];
+    for case in &cases {
+        let resp = client.decide(case).expect("decide");
+        let direct = engine
+            .match_request(&Request::new(&case.url, &case.document, case.resource_type).unwrap());
+        assert_eq!(resp.outcome, direct);
+        assert!(!resp.cached);
+    }
+    // Replays hit the cache with identical outcomes.
+    for case in &cases {
+        let resp = client.decide(case).expect("decide again");
+        assert!(resp.cached);
+    }
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn batches_preserve_order_and_feed_stats() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let batch: Vec<DecisionRequest> = (0..40)
+        .map(|i| {
+            dr(
+                &format!("http://host{i}.doubleclick.net/unit{i}.js"),
+                "news.example",
+                ResourceType::Script,
+            )
+        })
+        .collect();
+    let resps = client.decide_batch(&batch).expect("batch");
+    assert_eq!(resps.len(), batch.len());
+    let engine = test_engine();
+    for (req, resp) in batch.iter().zip(&resps) {
+        let direct = engine
+            .match_request(&Request::new(&req.url, &req.document, req.resource_type).unwrap());
+        assert_eq!(resp.outcome, direct, "order preserved for {}", req.url);
+    }
+
+    let resps2 = client.decide_batch(&batch).expect("batch again");
+    assert!(resps2.iter().all(|r| r.cached));
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests, 2 * batch.len() as u64);
+    assert_eq!(stats.cache_hits, batch.len() as u64);
+    assert_eq!(stats.blocks, 2 * batch.len() as u64);
+    assert_eq!(stats.shards.len(), 2);
+    assert_eq!(
+        stats.requests,
+        stats.shards.iter().map(|s| s.requests).sum::<u64>()
+    );
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_lines_get_error_replies() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = start_server();
+    let stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    writeln!(writer, "this is not json").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("Error"), "got: {line}");
+
+    // The connection survives the error.
+    writeln!(writer, "\"Ping\"").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("Pong"), "got: {line}");
+    drop((reader, writer));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_verb_stops_the_server() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .decide(&dr(
+            "http://ad.doubleclick.net/x.js",
+            "example.com",
+            ResourceType::Script,
+        ))
+        .expect("decide");
+    client.shutdown_server().expect("shutdown verb");
+    drop(client);
+    server.join(); // returns only because the verb stopped the acceptor
+
+    // New connections are refused (or at least never answered).
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => assert!(c.ping().is_err(), "server should be gone"),
+    }
+}
+
+#[test]
+fn synthesized_traffic_round_trips() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let reqs: Vec<DecisionRequest> = websim::traffic::TrafficGen::new(2015)
+        .samples()
+        .take(300)
+        .map(|s| abpd::request_of_sample(&s))
+        .collect();
+    let engine = test_engine();
+    for chunk in reqs.chunks(50) {
+        let resps = client.decide_batch(chunk).expect("traffic batch");
+        for (req, resp) in chunk.iter().zip(&resps) {
+            let direct = engine
+                .match_request(&Request::new(&req.url, &req.document, req.resource_type).unwrap());
+            assert_eq!(resp.outcome, direct);
+        }
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests, reqs.len() as u64);
+    drop(client);
+    server.shutdown();
+}

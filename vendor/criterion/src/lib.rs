@@ -1,0 +1,249 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the bench harness uses: `Criterion`,
+//! `criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group` (with `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, `BenchmarkId`, and `black_box`.
+//!
+//! Behavior: when the binary is invoked with a `--bench` argument
+//! (what `cargo bench` passes), each benchmark is warmed up and timed
+//! adaptively, and a `name: median time/iter` line is printed. In any
+//! other mode (e.g. if the target is ever executed by `cargo test`)
+//! every benchmark body runs exactly once, so the harness doubles as a
+//! smoke test without burning minutes on timing loops.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measured time per benchmark in timed mode.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+
+/// The benchmark driver.
+pub struct Criterion {
+    timed: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let timed = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            timed,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure the per-benchmark sample count (kept for API parity;
+    /// the stub treats it as a hint).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.timed, name, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Configure sample count (hint only in the stub).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<I: fmt::Display, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_bench(self.criterion.timed, &name, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input.
+    pub fn bench_with_input<I: fmt::Display, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_bench(self.criterion.timed, &name, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// How `iter_batched` amortizes setup (hint only in the stub).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: many per batch.
+    SmallInput,
+    /// Large input: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; runs the measured routine.
+pub struct Bencher {
+    timed: bool,
+    /// Accumulated (duration, iterations) samples.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measure a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.timed {
+            black_box(routine());
+            self.samples.push((Duration::ZERO, 1));
+            return;
+        }
+        // Warm up and estimate a per-iteration cost.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(50));
+        let per_batch = (TARGET_MEASURE.as_nanos() / 8 / first.as_nanos()).clamp(1, 1 << 20) as u64;
+        let deadline = Instant::now() + TARGET_MEASURE;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), per_batch));
+        }
+    }
+
+    /// Measure a routine with per-batch setup.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if !self.timed {
+            let input = setup();
+            black_box(routine(input));
+            self.samples.push((Duration::ZERO, 1));
+            return;
+        }
+        let deadline = Instant::now() + TARGET_MEASURE;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push((start.elapsed(), 1));
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(timed: bool, name: &str, mut f: F) {
+    let mut b = Bencher {
+        timed,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if !timed {
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(d, n)| d.as_nanos() as f64 / *n as f64)
+        .collect();
+    if per_iter.is_empty() {
+        println!("bench {name}: no samples");
+        return;
+    }
+    per_iter.sort_by(|a, c| a.partial_cmp(c).unwrap());
+    let median = per_iter[per_iter.len() / 2];
+    println!("bench {name}: {} /iter", format_ns(median));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

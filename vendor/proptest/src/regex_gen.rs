@@ -1,0 +1,261 @@
+//! String generation from a regex subset.
+//!
+//! Supports the pattern language this workspace's proptests use:
+//! literal characters, `.` (any non-newline char, biased to printable
+//! ASCII with occasional unicode), character classes `[a-z0-9_]`
+//! (ranges, literal `-` at the ends, leading `^` negation over
+//! printable ASCII), groups `( ... )`, escapes `\.`, and the
+//! quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8).
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    Any,
+    Class(Vec<char>),
+    Group(Vec<Node>),
+    Rep(Box<Node>, u32, u32),
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut it = pattern.chars().collect::<Vec<_>>().into_iter().peekable();
+    let nodes = parse_seq(&mut it);
+    assert!(it.next().is_none(), "regex_gen: unbalanced `)`");
+    let mut out = String::new();
+    for n in &nodes {
+        gen_node(n, rng, &mut out);
+    }
+    out
+}
+
+type Chars = std::iter::Peekable<std::vec::IntoIter<char>>;
+
+fn parse_seq(it: &mut Chars) -> Vec<Node> {
+    let mut out = Vec::new();
+    while let Some(&c) = it.peek() {
+        if c == ')' {
+            break;
+        }
+        it.next();
+        let atom = match c {
+            '.' => Node::Any,
+            '[' => parse_class(it),
+            '(' => {
+                let inner = parse_seq(it);
+                match it.next() {
+                    Some(')') => Node::Group(inner),
+                    other => panic!("regex_gen: unclosed group (got {other:?})"),
+                }
+            }
+            '\\' => {
+                let esc = it.next().expect("regex_gen: trailing backslash");
+                Node::Lit(unescape(esc))
+            }
+            '|' => panic!("regex_gen: alternation `|` is unsupported"),
+            c => Node::Lit(c),
+        };
+        // Optional quantifier.
+        let node = match it.peek() {
+            Some('{') => {
+                it.next();
+                let (m, n) = parse_braces(it);
+                Node::Rep(Box::new(atom), m, n)
+            }
+            Some('?') => {
+                it.next();
+                Node::Rep(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                it.next();
+                Node::Rep(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                it.next();
+                Node::Rep(Box::new(atom), 1, 8)
+            }
+            _ => atom,
+        };
+        out.push(node);
+    }
+    out
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_braces(it: &mut Chars) -> (u32, u32) {
+    let mut first = String::new();
+    let mut second: Option<String> = None;
+    for c in it.by_ref() {
+        match c {
+            '}' => {
+                let m: u32 = first.parse().expect("regex_gen: bad {m,n} bound");
+                let n: u32 = match &second {
+                    None => m,
+                    Some(s) if s.is_empty() => m + 8, // `{m,}`
+                    Some(s) => s.parse().expect("regex_gen: bad {m,n} bound"),
+                };
+                return (m, n);
+            }
+            ',' => second = Some(String::new()),
+            d => match &mut second {
+                None => first.push(d),
+                Some(s) => s.push(d),
+            },
+        }
+    }
+    panic!("regex_gen: unterminated {{m,n}}");
+}
+
+fn parse_class(it: &mut Chars) -> Node {
+    let mut members: Vec<char> = Vec::new();
+    let mut negated = false;
+    let mut raw: Vec<char> = Vec::new();
+    let mut first = true;
+    loop {
+        let c = it.next().expect("regex_gen: unterminated class");
+        if c == ']' && !first {
+            break;
+        }
+        if c == '^' && first {
+            negated = true;
+            first = false;
+            continue;
+        }
+        first = false;
+        if c == '\\' {
+            raw.push(unescape(it.next().expect("regex_gen: trailing backslash")));
+        } else {
+            raw.push(c);
+        }
+    }
+    // Expand ranges: `a-z` when `-` sits between two chars.
+    let mut i = 0;
+    while i < raw.len() {
+        if i + 2 < raw.len() && raw[i + 1] == '-' {
+            let (lo, hi) = (raw[i], raw[i + 2]);
+            assert!(lo <= hi, "regex_gen: inverted class range");
+            for c in lo..=hi {
+                members.push(c);
+            }
+            i += 3;
+        } else {
+            members.push(raw[i]);
+            i += 1;
+        }
+    }
+    if negated {
+        let excluded: Vec<char> = members;
+        members = (0x20u8..0x7f)
+            .map(|b| b as char)
+            .filter(|c| !excluded.contains(c))
+            .collect();
+    }
+    assert!(!members.is_empty(), "regex_gen: empty character class");
+    Node::Class(members)
+}
+
+fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Any => out.push(any_char(rng)),
+        Node::Class(members) => out.push(members[rng.usize_in(0, members.len())]),
+        Node::Group(nodes) => {
+            for n in nodes {
+                gen_node(n, rng, out);
+            }
+        }
+        Node::Rep(inner, m, n) => {
+            let count = if m == n {
+                *m
+            } else {
+                *m + rng.below((*n - *m + 1) as u64) as u32
+            };
+            for _ in 0..count {
+                gen_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// `.`: mostly printable ASCII, occasionally tabs or unicode (never a
+/// newline, matching regex `.` semantics).
+fn any_char(rng: &mut TestRng) -> char {
+    match rng.below(20) {
+        0 => '\t',
+        1 => ['é', 'ß', '中', '😀', '\u{202e}', '\u{7f}'][rng.usize_in(0, 6)],
+        _ => (0x20 + rng.below(0x5f) as u32) as u8 as char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("regex_gen")
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut r = rng();
+        assert_eq!(generate("abc", &mut r), "abc");
+        assert_eq!(generate("a\\.b", &mut r), "a.b");
+    }
+
+    #[test]
+    fn class_bounds() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-c]{2,4}", &mut r);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn punct_class_with_trailing_dash() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("[a-z._-]{1,6}", &mut r);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_range_class() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("[!-~]{1,10}", &mut r);
+            assert!(s.bytes().all(|b| (0x21..=0x7e).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn dot_never_newline() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = generate(".{0,40}", &mut r);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn groups_repeat() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("(ab){2,3}", &mut r);
+            assert!(s == "abab" || s == "ababab");
+        }
+    }
+}

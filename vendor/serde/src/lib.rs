@@ -1,0 +1,612 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the real serde
+//! cannot be fetched. This crate provides the same *surface* the
+//! workspace uses — `Serialize`/`Deserialize` traits, the derive
+//! macros, and `#[serde(default)]` — over a radically simplified data
+//! model: every value serializes to a JSON-shaped [`Content`] tree and
+//! deserializes back from one. `serde_json` (also vendored) renders
+//! `Content` to JSON text and parses JSON into it.
+//!
+//! The externally-tagged enum representation and field-name struct maps
+//! match what real serde+serde_json would produce, so artifacts written
+//! by this stub are drop-in compatible JSON.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialized form of any value: a JSON-shaped tree.
+///
+/// Map entries keep insertion order (struct field order), which keeps
+/// emitted JSON deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object (ordered key/value pairs).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Look up a key in a `Map` content.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view (widening both signed and unsigned payloads).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(v) => Some(*v),
+            Content::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(v) => Some(*v),
+            Content::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Float view (accepting integer payloads).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(v) => Some(*v),
+            Content::I64(v) => Some(*v as f64),
+            Content::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// A custom error message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+
+    /// Unknown enum variant encountered.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Error {
+        Error(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    /// Content shape does not fit the target type.
+    pub fn invalid_shape(ty: &str, c: &Content) -> Error {
+        Error(format!("invalid {} for {ty}", c.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can be rendered to a [`Content`] tree.
+pub trait Serialize {
+    /// Serialize `self` into the data model.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize a value from the data model.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+// ------------------------------------------------------------ Serialize
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = c.as_i64().ok_or_else(|| Error::invalid_shape(stringify!($t), c))?;
+                <$t>::try_from(v).map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = c.as_u64().ok_or_else(|| Error::invalid_shape(stringify!($t), c))?;
+                <$t>::try_from(v).map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_content(&self) -> Content {
+        match u64::try_from(*self) {
+            Ok(v) => Content::U64(v),
+            Err(_) => Content::Str(self.to_string()),
+        }
+    }
+}
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                c.as_f64().map(|v| v as $t).ok_or_else(|| Error::invalid_shape(stringify!($t), c))
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(Error::invalid_shape("bool", c)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let s = c.as_str().ok_or_else(|| Error::invalid_shape("char", c))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(Error::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::invalid_shape("String", c))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for &'static str {
+    /// The simulation's config structs use `&'static str` for interned
+    /// catalog names; deserializing one has to leak the string to get
+    /// the `'static` lifetime. Acceptable for this stub: it only runs
+    /// in tests and tooling, on small configuration payloads.
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let s = c.as_str().ok_or_else(|| Error::invalid_shape("&str", c))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl Deserialize for () {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(()),
+            _ => Err(Error::invalid_shape("()", c)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(Error::invalid_shape("Vec", c)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) if items.len() == N => {
+                let v: Vec<T> = items
+                    .iter()
+                    .map(T::from_content)
+                    .collect::<Result<_, _>>()?;
+                v.try_into()
+                    .map_err(|_| Error::custom("array length mismatch"))
+            }
+            _ => Err(Error::invalid_shape("array", c)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let s = de::as_seq(c, 2, "tuple")?;
+        Ok((A::from_content(&s[0])?, B::from_content(&s[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let s = de::as_seq(c, 3, "tuple")?;
+        Ok((
+            A::from_content(&s[0])?,
+            B::from_content(&s[1])?,
+            C::from_content(&s[2])?,
+        ))
+    }
+}
+
+/// Render a serialized map key as the JSON object key string.
+fn key_string(c: Content) -> String {
+    match c {
+        Content::Str(s) => s,
+        Content::I64(v) => v.to_string(),
+        Content::U64(v) => v.to_string(),
+        Content::Bool(b) => b.to_string(),
+        Content::F64(v) => v.to_string(),
+        other => panic!("unsupported map key shape: {}", other.kind()),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_content()), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(Error::invalid_shape("BTreeSet", c)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {
+    fn to_content(&self) -> Content {
+        let mut items: Vec<Content> = self.iter().map(Serialize::to_content).collect();
+        // HashSet iteration order is nondeterministic; sort the JSON
+        // renderings for stable artifacts.
+        items.sort_by_key(|c| crate::to_sort_key(c));
+        Content::Seq(items)
+    }
+}
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(Error::invalid_shape("HashSet", c)),
+        }
+    }
+}
+
+/// Stable ordering key for nondeterministically-ordered collections.
+fn to_sort_key(c: &Content) -> String {
+    match c {
+        Content::Str(s) => s.clone(),
+        Content::I64(v) => format!("{v:020}"),
+        Content::U64(v) => format!("{v:020}"),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Map key types: parse back from the JSON object key string.
+pub trait MapKey: Sized {
+    /// Parse the key from its string rendering.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_string())
+    }
+}
+
+impl MapKey for bool {
+    fn from_key(key: &str) -> Result<Self, Error> {
+        key.parse()
+            .map_err(|_| Error::custom(format!("bad bool map key {key:?}")))
+    }
+}
+
+macro_rules! int_map_key {
+    ($($t:ty)+) => {$(
+        impl MapKey for $t {
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse()
+                    .map_err(|_| Error::custom(format!("bad integer map key {key:?}")))
+            }
+        }
+    )+};
+}
+int_map_key!(i8 i16 i32 i64 isize u8 u16 u32 u64 usize);
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+                .collect(),
+            _ => Err(Error::invalid_shape("BTreeMap", c)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k.to_content()), v.to_content()))
+            .collect();
+        // HashMap iteration order is nondeterministic; sort for stable
+        // artifacts.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+                .collect(),
+            _ => Err(Error::invalid_shape("HashMap", c)),
+        }
+    }
+}
+
+/// Helpers the derive macros call into.
+pub mod de {
+    use super::{Content, Deserialize, Error};
+
+    /// Expect map-shaped content (a struct body).
+    pub fn as_map<'a>(c: &'a Content, what: &str) -> Result<&'a [(String, Content)], Error> {
+        match c {
+            Content::Map(entries) => Ok(entries),
+            _ => Err(Error::invalid_shape(what, c)),
+        }
+    }
+
+    /// Expect seq-shaped content of an exact length.
+    pub fn as_seq<'a>(c: &'a Content, len: usize, what: &str) -> Result<&'a [Content], Error> {
+        match c {
+            Content::Seq(items) if items.len() == len => Ok(items),
+            Content::Seq(items) => Err(Error::custom(format!(
+                "expected {len} elements for {what}, got {}",
+                items.len()
+            ))),
+            _ => Err(Error::invalid_shape(what, c)),
+        }
+    }
+
+    /// Expect null content (a unit struct).
+    pub fn expect_null(c: &Content, what: &str) -> Result<(), Error> {
+        match c {
+            Content::Null => Ok(()),
+            _ => Err(Error::invalid_shape(what, c)),
+        }
+    }
+
+    /// Extract a struct field by name. Missing fields deserialize from
+    /// `Null`, which succeeds for `Option` (as `None`) and fails with a
+    /// "missing field" error for everything else — mirroring serde.
+    pub fn field<T: Deserialize>(m: &[(String, Content)], name: &str) -> Result<T, Error> {
+        match m.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::from_content(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+            }
+            None => T::from_content(&Content::Null)
+                .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Extract a `#[serde(default)]` struct field by name.
+    pub fn field_or_default<T: Deserialize + Default>(
+        m: &[(String, Content)],
+        name: &str,
+    ) -> Result<T, Error> {
+        match m.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::from_content(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+            }
+            None => Ok(T::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-3i64).to_content()).unwrap(), -3);
+        assert_eq!(
+            String::from_content(&"hi".to_content()).unwrap(),
+            "hi".to_string()
+        );
+        assert_eq!(
+            Option::<u8>::from_content(&Content::Null).unwrap(),
+            None::<u8>
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![("a".to_string(), 1u64), ("b".to_string(), 2u64)];
+        let c = v.to_content();
+        let back: Vec<(String, u64)> = Vec::from_content(&c).unwrap();
+        assert_eq!(v, back);
+    }
+}

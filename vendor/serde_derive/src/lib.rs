@@ -1,0 +1,460 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this repository builds in has no crates.io access, so
+//! the real `serde`/`serde_derive` cannot be fetched. This proc-macro
+//! crate implements `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! against the vendored `serde` facade's simplified data model (a
+//! `Content` tree, see `vendor/serde`), covering the shapes this
+//! workspace actually uses:
+//!
+//! * structs with named fields (including `#[serde(default)]` fields),
+//! * tuple structs (newtype and general),
+//! * unit structs,
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, matching serde's default JSON encoding).
+//!
+//! Generics are intentionally unsupported — no derived type in this
+//! workspace is generic, and the error message makes the limitation
+//! obvious if one ever appears.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the fields of a struct or an enum variant.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present.
+    default: bool,
+}
+
+enum Ast {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let ast = parse(input);
+    let body = match &ast {
+        Ast::Struct { name, fields } => serialize_struct(name, fields),
+        Ast::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    let name = ast_name(&ast);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let ast = parse(input);
+    let body = match &ast {
+        Ast::Struct { name, fields } => deserialize_struct(name, fields),
+        Ast::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    let name = ast_name(&ast);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+fn ast_name(ast: &Ast) -> &str {
+    match ast {
+        Ast::Struct { name, .. } => name,
+        Ast::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Ast {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored stub): generic type `{name}` is unsupported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            // Possible `where` clause before the body is not supported
+            // (never used in this workspace).
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ast::Struct {
+                    name,
+                    fields: Fields::Named(parse_named_fields(g.stream())),
+                },
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Ast::Struct {
+                        name,
+                        fields: Fields::Tuple(count_tuple_fields(g.stream())),
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ast::Struct {
+                    name,
+                    fields: Fields::Unit,
+                },
+                other => panic!("serde_derive: unexpected struct body: {other:?}"),
+            }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            Ast::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if let Some(TokenTree::Group(_)) = tokens.get(*i) {
+                    *i += 1; // `[...]`
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skip attributes, returning whether any was `#[serde(default)]`.
+fn skip_attrs_capture_default(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    let text = g.stream().to_string();
+                    if text.starts_with("serde") && text.contains("default") {
+                        default = true;
+                    }
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    default
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            // `pub(crate)` and friends.
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip tokens of a type (or discriminant expression) until a comma at
+/// angle-bracket depth 0, leaving the index on the comma (or at end).
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = skip_attrs_capture_default(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_until_comma(&tokens, &mut i);
+        i += 1; // the comma (or past end)
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        skip_until_comma(&tokens, &mut i);
+        count += 1;
+        i += 1; // comma
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip a possible discriminant, then the trailing comma.
+        skip_until_comma(&tokens, &mut i);
+        i += 1;
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn serialize_struct(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Content::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Fields::Named(fs) => {
+            let entries: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_content(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => {
+            format!("::serde::de::expect_null(c, \"{name}\")?; ::std::result::Result::Ok({name})")
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = ::serde::de::as_seq(c, {n}, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Fields::Named(fs) => {
+            let inits: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    if f.default {
+                        format!("{0}: ::serde::de::field_or_default(m, \"{0}\")?", f.name)
+                    } else {
+                        format!("{0}: ::serde::de::field(m, \"{0}\")?", f.name)
+                    }
+                })
+                .collect();
+            format!(
+                "let m = ::serde::de::as_map(c, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (vname, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => format!(
+                "{name}::{vname} => ::serde::Content::Str(::std::string::String::from(\"{vname}\"))"
+            ),
+            Fields::Tuple(1) => format!(
+                "{name}::{vname}(x0) => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_content(x0))])"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_content(x{i})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Content::Seq(::std::vec![{}]))])",
+                    binds.join(", "),
+                    elems.join(", ")
+                )
+            }
+            Fields::Named(fs) => {
+                let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                let entries: Vec<String> = fs
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_content({0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {} }} => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Content::Map(::std::vec![{}]))])",
+                    binds.join(", "),
+                    entries.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{\n{}\n}}", arms.join(",\n"))
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => unit_arms.push(format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname})"
+            )),
+            Fields::Tuple(1) => data_arms.push(format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_content(v)?))"
+            )),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?"))
+                    .collect();
+                data_arms.push(format!(
+                    "\"{vname}\" => {{ let s = ::serde::de::as_seq(v, {n}, \"{name}::{vname}\")?; ::std::result::Result::Ok({name}::{vname}({})) }}",
+                    elems.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                let inits: Vec<String> = fs
+                    .iter()
+                    .map(|f| {
+                        if f.default {
+                            format!("{0}: ::serde::de::field_or_default(m, \"{0}\")?", f.name)
+                        } else {
+                            format!("{0}: ::serde::de::field(m, \"{0}\")?", f.name)
+                        }
+                    })
+                    .collect();
+                data_arms.push(format!(
+                    "\"{vname}\" => {{ let m = ::serde::de::as_map(v, \"{name}::{vname}\")?; ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    let unit_match = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::Content::Str(s) => match s.as_str() {{\n{},\n_ => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", s))\n}},",
+            unit_arms.join(",\n")
+        )
+    };
+    let data_match = if data_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                 let (k, v) = &entries[0];\n\
+                 match k.as_str() {{\n{},\n_ => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", k))\n}}\n\
+             }},",
+            data_arms.join(",\n")
+        )
+    };
+    format!(
+        "match c {{\n{unit_match}\n{data_match}\n_ => ::std::result::Result::Err(::serde::Error::invalid_shape(\"{name}\", c))\n}}"
+    )
+}
