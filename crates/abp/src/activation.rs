@@ -2,6 +2,7 @@
 //! site survey (§5): every time a filter matches a request or an element,
 //! the instrumented browser records one activation.
 
+use crate::intern::IStr;
 use crate::list::ListSource;
 use serde::{Deserialize, Serialize};
 
@@ -41,17 +42,22 @@ impl MatchKind {
 }
 
 /// One recorded filter activation.
+///
+/// The filter text and subject are interned [`IStr`]s: the engine
+/// shares one allocation for a filter's text across every activation it
+/// ever produces, and one per request URL across that request's
+/// activations, so cloning an activation never copies string bytes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Activation {
     /// The filter's verbatim text.
-    pub filter: String,
+    pub filter: IStr,
     /// Which list the filter came from.
     pub source: ListSource,
     /// The kind of match.
     pub kind: MatchKind,
     /// The URL (for request matches) or selector (for element matches)
     /// that triggered the activation.
-    pub subject: String,
+    pub subject: IStr,
     /// Whether the filter carried the `donottrack` option (Appendix
     /// A.4's DNT-header mechanism).
     #[serde(default)]

@@ -18,13 +18,33 @@
 //! final decision — including exceptions that "activate needlessly"
 //! (match content no blocking filter would have blocked). The engine
 //! therefore reports all matching filters on both sides.
+//!
+//! ## Compiled representation
+//!
+//! Filters are *added* into mutable builders, and the first match query
+//! compiles them into an immutable, cache-friendly snapshot (rebuilt
+//! lazily after further adds):
+//!
+//! * filter text, and the per-request subject URL, are interned
+//!   ([`IStr`]) so recording an activation never copies string bytes;
+//! * the token index is flattened into a CSR-style layout — sorted
+//!   token keys, one contiguous id arena — instead of a
+//!   `HashMap<u64, Vec<u32>>` per bucket;
+//! * candidate dedup uses a generation-stamped dense array keyed by
+//!   filter id (O(1) per candidate) instead of a linear `seen` scan;
+//! * `$document`/`$elemhide` page gates get their own prebuilt id list,
+//!   and element rules are bucketed by `domain=` scope (generic vs.
+//!   per-domain), so page-level queries touch only plausible rules.
 
 use crate::activation::{Activation, MatchKind};
 use crate::filter::{ElementFilter, FilterAction, FilterBody, RequestFilter};
+use crate::intern::IStr;
 use crate::list::{FilterList, ListSource};
 use crate::request::Request;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 /// The engine's verdict on a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -119,25 +139,30 @@ pub struct HidingOutcome {
 #[derive(Debug, Clone)]
 struct StoredRequestFilter {
     filter: RequestFilter,
-    raw: String,
+    /// Interned verbatim filter line, shared with every activation.
+    raw: IStr,
     source: ListSource,
 }
 
 #[derive(Debug, Clone)]
 struct StoredElementRule {
     rule: ElementFilter,
-    raw: String,
+    /// Interned verbatim rule line, shared with every activation.
+    raw: IStr,
+    /// Interned selector (activation subject), shared likewise.
+    selector: IStr,
     source: ListSource,
 }
 
-/// Token-bucketed index over request filters.
+/// Mutable token-bucketed index over request filters, used while filters
+/// are being added. [`CsrIndex::build`] flattens it for matching.
 #[derive(Debug, Default, Clone)]
-struct TokenIndex {
+struct TokenIndexBuilder {
     by_token: HashMap<u64, Vec<u32>>,
     untokenized: Vec<u32>,
 }
 
-impl TokenIndex {
+impl TokenIndexBuilder {
     fn insert(&mut self, id: u32, tokens: &[String]) {
         // Pick the rarest token (fewest existing entries; ties broken by
         // longer token, then first).
@@ -161,14 +186,138 @@ impl TokenIndex {
             None => self.untokenized.push(id),
         }
     }
+}
 
+/// Immutable CSR-style token index: sorted token keys, a prefix-offset
+/// array, and one contiguous filter-id arena. A bucket lookup is a
+/// branch-free binary search over `keys` followed by an iteration over a
+/// contiguous `ids` slice — no per-bucket heap indirection, no hashing
+/// beyond the FNV key the caller already computed.
+#[derive(Debug, Default, Clone)]
+struct CsrIndex {
+    /// Sorted, distinct token hashes.
+    keys: Vec<u64>,
+    /// `starts[k]..starts[k+1]` bounds the ids of `keys[k]`; length is
+    /// `keys.len() + 1`.
+    starts: Vec<u32>,
+    /// Filter ids, grouped by token key, insertion order within a group.
+    ids: Vec<u32>,
+    /// Filters with no indexable token: candidates for every request.
+    untokenized: Vec<u32>,
+}
+
+impl CsrIndex {
+    fn build(builder: &TokenIndexBuilder) -> CsrIndex {
+        let mut keys: Vec<u64> = builder.by_token.keys().copied().collect();
+        keys.sort_unstable();
+        let mut starts = Vec::with_capacity(keys.len() + 1);
+        let mut ids = Vec::with_capacity(builder.by_token.values().map(Vec::len).sum());
+        starts.push(0u32);
+        for k in &keys {
+            ids.extend_from_slice(&builder.by_token[k]);
+            starts.push(ids.len() as u32);
+        }
+        CsrIndex {
+            keys,
+            starts,
+            ids,
+            untokenized: builder.untokenized.clone(),
+        }
+    }
+
+    /// The ids bucketed under one token hash.
+    fn bucket(&self, token: u64) -> &[u32] {
+        match self.keys.binary_search(&token) {
+            Ok(k) => &self.ids[self.starts[k] as usize..self.starts[k + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// All candidate ids for a request with the given URL token hashes,
+    /// in bucket order per token then the untokenized tail. May contain
+    /// duplicates (repeated URL tokens); callers dedup with the stamp.
     fn candidates<'a>(&'a self, url_tokens: &'a [u64]) -> impl Iterator<Item = u32> + 'a {
         url_tokens
             .iter()
-            .filter_map(|t| self.by_token.get(t))
-            .flatten()
+            .flat_map(|t| self.bucket(*t))
             .copied()
             .chain(self.untokenized.iter().copied())
+    }
+}
+
+/// The immutable matching snapshot compiled from the engine's builders:
+/// CSR token indexes, the `$document`/`$elemhide` gate list, and the
+/// domain-bucketed element-rule index.
+#[derive(Debug, Clone)]
+struct Compiled {
+    block: CsrIndex,
+    allow: CsrIndex,
+    /// Ids of allow filters carrying `$document` or `$elemhide`, in id
+    /// order — the only filters `document_allowlist` must evaluate.
+    doc_gate: Vec<u32>,
+    /// Element rules with no `domain=` include list: applicable on every
+    /// domain (subject to excludes, re-checked at query time).
+    elem_generic: Vec<u32>,
+    /// Element rules bucketed under each domain of their include list.
+    elem_by_domain: HashMap<String, Vec<u32>>,
+}
+
+impl Compiled {
+    fn build(engine: &Engine) -> Compiled {
+        let mut doc_gate = Vec::new();
+        for (id, sf) in engine.request_filters.iter().enumerate() {
+            if sf.filter.action == FilterAction::Allow
+                && (sf.filter.options.document || sf.filter.options.elemhide)
+            {
+                doc_gate.push(id as u32);
+            }
+        }
+        let mut elem_generic = Vec::new();
+        let mut elem_by_domain: HashMap<String, Vec<u32>> = HashMap::new();
+        for (id, sr) in engine.element_rules.iter().enumerate() {
+            if sr.rule.domains.include.is_empty() {
+                elem_generic.push(id as u32);
+            } else {
+                for d in &sr.rule.domains.include {
+                    elem_by_domain.entry(d.clone()).or_default().push(id as u32);
+                }
+            }
+        }
+        Compiled {
+            block: CsrIndex::build(&engine.block_builder),
+            allow: CsrIndex::build(&engine.allow_builder),
+            doc_gate,
+            elem_generic,
+            elem_by_domain,
+        }
+    }
+
+    /// Candidate element-rule ids for a first-party domain: every
+    /// generic rule plus the buckets of the domain and each of its
+    /// label suffixes, deduplicated and in rule order. Candidates still
+    /// need an `applies_on` check (exclude lists).
+    fn elem_candidates(&self, first_party: &str) -> Vec<u32> {
+        let mut out = self.elem_generic.clone();
+        if !self.elem_by_domain.is_empty() {
+            // Buckets are keyed by the (lowercased) `domain=` includes;
+            // hosts match domains case-insensitively.
+            let first_party = first_party.to_ascii_lowercase();
+            let mut suffix = first_party.as_str();
+            loop {
+                if let Some(bucket) = self.elem_by_domain.get(suffix) {
+                    out.extend_from_slice(bucket);
+                }
+                match suffix.find('.') {
+                    Some(dot) => suffix = &suffix[dot + 1..],
+                    None => break,
+                }
+            }
+        }
+        // Rule order == id order; a rule listed under several matching
+        // include domains appears once.
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
@@ -182,11 +331,44 @@ fn hash_token(token: &str) -> u64 {
     h
 }
 
-/// Reusable allocations for a run of `match_request` evaluations.
+/// Reusable per-thread allocations for `match_request` evaluations: the
+/// URL token scratch and the generation-stamped dedup array.
+///
+/// `stamp[id] == generation` marks filter id as already evaluated for
+/// the current request; bumping `generation` resets the whole array in
+/// O(1). The array is sized to the engine's filter count on first use
+/// and only grows.
 #[derive(Debug, Default)]
 struct MatchScratch {
     tokens: Vec<u64>,
-    seen: Vec<u32>,
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl MatchScratch {
+    /// Start a new request: clears tokens, advances the generation, and
+    /// ensures the stamp array covers `filters` ids.
+    fn begin(&mut self, filters: usize) {
+        self.tokens.clear();
+        if self.stamp.len() < filters {
+            self.stamp.resize(filters, 0);
+        }
+        if self.generation >= u32::MAX - 2 {
+            // Nearing wrap (each request burns two generations: one per
+            // candidate stream): hard-reset the stamps so stale marks
+            // can never alias.
+            self.stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch so single `match_request` calls reuse the
+    /// token and stamp allocations across calls, like `match_many` does
+    /// within a batch.
+    static SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::default());
 }
 
 /// Extract the token hashes of a lowercased URL (maximal `[a-z0-9%]` runs
@@ -232,12 +414,37 @@ fn url_token_hashes_into(url_lower: &str, out: &mut Vec<u64>) {
 /// assert_eq!(outcome.decision, Decision::AllowedByException);
 /// assert_eq!(outcome.activations.len(), 2); // the block and the exception
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct Engine {
     request_filters: Vec<StoredRequestFilter>,
     element_rules: Vec<StoredElementRule>,
-    block_index: TokenIndex,
-    allow_index: TokenIndex,
+    block_builder: TokenIndexBuilder,
+    allow_builder: TokenIndexBuilder,
+    /// Lazily-compiled matching snapshot; reset whenever a filter is
+    /// added (adding requires `&mut self`, so no query can be holding
+    /// a reference into the old snapshot).
+    compiled: OnceLock<Compiled>,
+}
+
+impl Clone for Engine {
+    fn clone(&self) -> Engine {
+        Engine {
+            request_filters: self.request_filters.clone(),
+            element_rules: self.element_rules.clone(),
+            block_builder: self.block_builder.clone(),
+            allow_builder: self.allow_builder.clone(),
+            // Carry the snapshot over when it exists; otherwise the
+            // clone recompiles on first use.
+            compiled: match self.compiled.get() {
+                Some(c) => {
+                    let lock = OnceLock::new();
+                    let _ = lock.set(c.clone());
+                    lock
+                }
+                None => OnceLock::new(),
+            },
+        }
+    }
 }
 
 impl Engine {
@@ -252,6 +459,7 @@ impl Engine {
         for list in lists {
             e.add_list(list);
         }
+        e.finalize();
         e
     }
 
@@ -267,25 +475,39 @@ impl Engine {
         self.add_filter_body(&filter.body, &filter.raw, source);
     }
 
+    /// Eagerly compile the matching snapshot. Optional: the first query
+    /// compiles on demand; calling this after the last `add_list` moves
+    /// that cost to build time.
+    pub fn finalize(&mut self) {
+        let _ = self.compiled();
+    }
+
+    fn compiled(&self) -> &Compiled {
+        self.compiled.get_or_init(|| Compiled::build(self))
+    }
+
     fn add_filter_body(&mut self, body: &FilterBody, raw: &str, source: ListSource) {
+        // Invalidate the compiled snapshot; it re-materializes lazily.
+        self.compiled = OnceLock::new();
         match body {
             FilterBody::Request(rf) => {
                 let id = self.request_filters.len() as u32;
                 let tokens = rf.pattern.tokens();
                 match rf.action {
-                    FilterAction::Block => self.block_index.insert(id, &tokens),
-                    FilterAction::Allow => self.allow_index.insert(id, &tokens),
+                    FilterAction::Block => self.block_builder.insert(id, &tokens),
+                    FilterAction::Allow => self.allow_builder.insert(id, &tokens),
                 }
                 self.request_filters.push(StoredRequestFilter {
                     filter: rf.clone(),
-                    raw: raw.to_string(),
+                    raw: IStr::from(raw),
                     source,
                 });
             }
             FilterBody::Element(ef) => {
                 self.element_rules.push(StoredElementRule {
                     rule: ef.clone(),
-                    raw: raw.to_string(),
+                    raw: IStr::from(raw),
+                    selector: IStr::from(ef.selector.as_str()),
                     source,
                 });
             }
@@ -304,8 +526,7 @@ impl Engine {
 
     /// Evaluate a request, returning the decision and all activations.
     pub fn match_request(&self, req: &Request) -> RequestOutcome {
-        let mut scratch = MatchScratch::default();
-        self.match_request_with(req, &mut scratch)
+        SCRATCH.with(|s| self.match_request_with(req, &mut s.borrow_mut()))
     }
 
     /// Evaluate a batch of requests in order. Produces exactly the
@@ -313,44 +534,61 @@ impl Engine {
     /// dedup scratch allocations across requests, which matters at
     /// service throughput (one call per page, not per request).
     pub fn match_many(&self, reqs: &[Request]) -> Vec<RequestOutcome> {
-        let mut scratch = MatchScratch::default();
-        reqs.iter()
-            .map(|req| self.match_request_with(req, &mut scratch))
-            .collect()
+        SCRATCH.with(|s| {
+            let scratch = &mut s.borrow_mut();
+            reqs.iter()
+                .map(|req| self.match_request_with(req, scratch))
+                .collect()
+        })
     }
 
     fn match_request_with(&self, req: &Request, scratch: &mut MatchScratch) -> RequestOutcome {
-        let MatchScratch { tokens, seen } = scratch;
-        tokens.clear();
-        url_token_hashes_into(&req.url_lower, tokens);
+        let compiled = self.compiled();
+        scratch.begin(self.request_filters.len());
+        url_token_hashes_into(&req.url_lower, &mut scratch.tokens);
+        // Destructured so the candidate iterator's borrow of `tokens`
+        // doesn't conflict with stamping `stamp` inside the loop.
+        let MatchScratch {
+            tokens,
+            stamp,
+            generation,
+        } = scratch;
         let mut activations = Vec::new();
+        // The subject URL is interned once per request and shared by all
+        // of its activations — and not allocated at all on the no-match
+        // path.
+        let mut subject: Option<IStr> = None;
         let mut any_block = false;
         let mut any_allow = false;
 
-        seen.clear();
-        for id in self.block_index.candidates(tokens) {
-            if seen.contains(&id) {
+        for id in compiled.block.candidates(tokens) {
+            let slot = &mut stamp[id as usize];
+            if *slot == *generation {
                 continue;
             }
-            seen.push(id);
+            *slot = *generation;
             let sf = &self.request_filters[id as usize];
             if sf.filter.matches(req) {
                 any_block = true;
+                let subject = subject.get_or_insert_with(|| IStr::from(req.url.as_str()));
                 activations.push(Activation {
                     filter: sf.raw.clone(),
                     source: sf.source,
                     kind: MatchKind::BlockRequest,
-                    subject: req.url.as_str().to_string(),
+                    subject: subject.clone(),
                     donottrack: sf.filter.options.donottrack,
                 });
             }
         }
-        seen.clear();
-        for id in self.allow_index.candidates(tokens) {
-            if seen.contains(&id) {
+        // Fresh generation for the allow side: the stamp dedups within
+        // one candidate stream, not across the two.
+        *generation += 1;
+        for id in compiled.allow.candidates(tokens) {
+            let slot = &mut stamp[id as usize];
+            if *slot == *generation {
                 continue;
             }
-            seen.push(id);
+            *slot = *generation;
             let sf = &self.request_filters[id as usize];
             if sf.filter.matches(req) {
                 any_allow = true;
@@ -359,11 +597,12 @@ impl Engine {
                 } else {
                     MatchKind::AllowRequest
                 };
+                let subject = subject.get_or_insert_with(|| IStr::from(req.url.as_str()));
                 activations.push(Activation {
                     filter: sf.raw.clone(),
                     source: sf.source,
                     kind,
-                    subject: req.url.as_str().to_string(),
+                    subject: subject.clone(),
                     donottrack: sf.filter.options.donottrack,
                 });
             }
@@ -384,15 +623,14 @@ impl Engine {
 
     /// Evaluate page-level gates (`$document`, `$elemhide`, sitekeys)
     /// against the top-level document request.
+    ///
+    /// Only the prebuilt `$document`/`$elemhide` gate filters are
+    /// evaluated — not the whole filter set.
     pub fn document_allowlist(&self, doc_req: &Request) -> DocumentStatus {
         let mut status = DocumentStatus::default();
-        for sf in &self.request_filters {
-            if sf.filter.action != FilterAction::Allow {
-                continue;
-            }
-            if !(sf.filter.options.document || sf.filter.options.elemhide) {
-                continue;
-            }
+        let mut subject: Option<IStr> = None;
+        for &id in &self.compiled().doc_gate {
+            let sf = &self.request_filters[id as usize];
             if !sf.filter.matches_ignoring_type(doc_req) {
                 continue;
             }
@@ -401,12 +639,13 @@ impl Engine {
             } else {
                 MatchKind::DocumentAllow
             };
+            let subject = subject.get_or_insert_with(|| IStr::from(doc_req.url.as_str()));
             if sf.filter.options.document {
                 status.document_allow.push(Activation {
                     filter: sf.raw.clone(),
                     source: sf.source,
                     kind,
-                    subject: doc_req.url.as_str().to_string(),
+                    subject: subject.clone(),
                     donottrack: sf.filter.options.donottrack,
                 });
             }
@@ -415,7 +654,7 @@ impl Engine {
                     filter: sf.raw.clone(),
                     source: sf.source,
                     kind: MatchKind::ElemhideAllow,
-                    subject: doc_req.url.as_str().to_string(),
+                    subject: subject.clone(),
                     donottrack: sf.filter.options.donottrack,
                 });
             }
@@ -428,20 +667,23 @@ impl Engine {
     /// every element rule applicable on the domain, with exceptions'
     /// selector cancellation already applied to the hide rules.
     pub fn hiding_refs_for_domain(&self, first_party: &str) -> Vec<(u32, &str, FilterAction)> {
-        let mut excepted: Vec<&str> = Vec::new();
+        let candidates = self.compiled().elem_candidates(first_party);
+        let mut excepted: HashSet<&str> = HashSet::new();
         let mut out: Vec<(u32, &str, FilterAction)> = Vec::new();
-        for (i, sr) in self.element_rules.iter().enumerate() {
+        for &i in &candidates {
+            let sr = &self.element_rules[i as usize];
             if sr.rule.action == FilterAction::Allow && sr.rule.applies_on(first_party) {
-                excepted.push(sr.rule.selector.as_str());
-                out.push((i as u32, sr.rule.selector.as_str(), FilterAction::Allow));
+                excepted.insert(sr.rule.selector.as_str());
+                out.push((i, sr.rule.selector.as_str(), FilterAction::Allow));
             }
         }
-        for (i, sr) in self.element_rules.iter().enumerate() {
+        for &i in &candidates {
+            let sr = &self.element_rules[i as usize];
             if sr.rule.action == FilterAction::Block
                 && sr.rule.applies_on(first_party)
-                && !excepted.contains(&sr.rule.selector.as_str())
+                && !excepted.contains(sr.rule.selector.as_str())
             {
-                out.push((i as u32, sr.rule.selector.as_str(), FilterAction::Block));
+                out.push((i, sr.rule.selector.as_str(), FilterAction::Block));
             }
         }
         out
@@ -459,7 +701,7 @@ impl Engine {
             } else {
                 MatchKind::HideElement
             },
-            subject: sr.rule.selector.clone(),
+            subject: sr.selector.clone(),
             donottrack: false,
         }
     }
@@ -476,30 +718,33 @@ impl Engine {
     /// Compute the element-hiding state for a first-party domain:
     /// selectors that will hide elements, and the applicable exceptions.
     pub fn hiding_for_domain(&self, first_party: &str) -> HidingOutcome {
+        let candidates = self.compiled().elem_candidates(first_party);
         let mut active = Vec::new();
         let mut exceptions = Vec::new();
 
         // Collect applicable exception selectors first.
-        let mut excepted: Vec<&str> = Vec::new();
-        for sr in &self.element_rules {
+        let mut excepted: HashSet<&str> = HashSet::new();
+        for &i in &candidates {
+            let sr = &self.element_rules[i as usize];
             if sr.rule.action == FilterAction::Allow && sr.rule.applies_on(first_party) {
-                excepted.push(sr.rule.selector.as_str());
+                excepted.insert(sr.rule.selector.as_str());
                 exceptions.push((
                     sr.rule.selector.clone(),
                     Activation {
                         filter: sr.raw.clone(),
                         source: sr.source,
                         kind: MatchKind::AllowElement,
-                        subject: sr.rule.selector.clone(),
+                        subject: sr.selector.clone(),
                         donottrack: false,
                     },
                 ));
             }
         }
-        for sr in &self.element_rules {
+        for &i in &candidates {
+            let sr = &self.element_rules[i as usize];
             if sr.rule.action == FilterAction::Block
                 && sr.rule.applies_on(first_party)
-                && !excepted.contains(&sr.rule.selector.as_str())
+                && !excepted.contains(sr.rule.selector.as_str())
             {
                 active.push((
                     sr.rule.selector.clone(),
@@ -507,7 +752,7 @@ impl Engine {
                         filter: sr.raw.clone(),
                         source: sr.source,
                         kind: MatchKind::HideElement,
-                        subject: sr.rule.selector.clone(),
+                        subject: sr.selector.clone(),
                         donottrack: false,
                     },
                 ));
@@ -810,5 +1055,94 @@ reddit.com#@##siteTable_organic
         let e = Engine::from_lists([&list]);
         let r = req("http://q.example/a-z", "q.example", ResourceType::Image);
         assert_eq!(e.match_request(&r).decision, Decision::Block);
+    }
+
+    #[test]
+    fn incremental_add_after_matching_recompiles() {
+        // The compiled snapshot must invalidate when filters are added
+        // after the engine has already answered queries.
+        let mut e = Engine::new();
+        e.add_list(&FilterList::parse(
+            ListSource::EasyList,
+            "||first.example^\n",
+        ));
+        let r1 = req(
+            "http://first.example/a.js",
+            "news.site",
+            ResourceType::Script,
+        );
+        assert_eq!(e.match_request(&r1).decision, Decision::Block);
+
+        e.add_list(&FilterList::parse(
+            ListSource::EasyList,
+            "||second.example^\nsecond.example##.late-ad\n",
+        ));
+        let r2 = req(
+            "http://second.example/b.js",
+            "news.site",
+            ResourceType::Script,
+        );
+        assert_eq!(e.match_request(&r2).decision, Decision::Block);
+        assert_eq!(e.match_request(&r1).decision, Decision::Block);
+        let h = e.hiding_for_domain("second.example");
+        assert_eq!(h.active.len(), 1);
+
+        // Document gates added late are seen too.
+        e.add_list(&FilterList::parse(
+            ListSource::AcceptableAds,
+            "@@||second.example^$document\n",
+        ));
+        let doc = Request::document("http://second.example/").unwrap();
+        assert!(e.document_allowlist(&doc).whole_page_allowed());
+    }
+
+    #[test]
+    fn duplicate_url_tokens_do_not_duplicate_activations() {
+        // A URL repeating the filter's bucket token visits that CSR
+        // bucket twice; the stamp dedup must keep one activation.
+        let list = FilterList::parse(ListSource::EasyList, "||ads.example^\n");
+        let e = Engine::from_lists([&list]);
+        let r = req(
+            "http://ads.example/ads/example/ads.gif",
+            "news.site",
+            ResourceType::Image,
+        );
+        let out = e.match_request(&r);
+        assert_eq!(out.decision, Decision::Block);
+        assert_eq!(out.activations.len(), 1);
+    }
+
+    #[test]
+    fn interned_activations_share_subject_and_filter_text() {
+        let e = engine();
+        let out = e.match_request(&req(
+            "http://static.adzerk.net/reddit/ads.html",
+            "www.reddit.com",
+            ResourceType::Subdocument,
+        ));
+        assert!(out.activations.len() >= 2);
+        // Every activation of one request shares one interned subject.
+        for w in out.activations.windows(2) {
+            assert_eq!(w[0].subject, w[1].subject);
+        }
+        assert_eq!(
+            out.activations[0].subject,
+            "http://static.adzerk.net/reddit/ads.html"
+        );
+    }
+
+    #[test]
+    fn element_rule_multi_domain_include_deduplicates() {
+        // A rule whose include list has a domain and its subdomain is a
+        // candidate via two buckets; it must still apply exactly once.
+        let list = FilterList::parse(
+            ListSource::EasyList,
+            "reddit.com,www.reddit.com##.promoted\n",
+        );
+        let e = Engine::from_lists([&list]);
+        let h = e.hiding_for_domain("www.reddit.com");
+        assert_eq!(h.active.len(), 1);
+        let refs = e.hiding_refs_for_domain("www.reddit.com");
+        assert_eq!(refs.len(), 1);
     }
 }

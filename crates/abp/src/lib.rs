@@ -42,6 +42,7 @@
 pub mod activation;
 pub mod engine;
 pub mod filter;
+pub mod intern;
 pub mod list;
 pub mod options;
 pub mod parser;
@@ -51,6 +52,7 @@ pub mod request;
 pub use activation::{Activation, MatchKind};
 pub use engine::{Decision, Engine, RequestOutcome};
 pub use filter::{ElementFilter, Filter, FilterAction, FilterBody, RequestFilter};
+pub use intern::IStr;
 pub use list::{FilterList, ListMetadata, ListSource};
 pub use options::{DomainConstraint, FilterOptions, ResourceType};
 pub use parser::{parse_filter, parse_line, ParseOutcome, ParsedLine};

@@ -109,6 +109,23 @@ impl Pattern {
             elements.push(Element::Literal(lit));
         }
 
+        // Normalize redundant wildcards: an unanchored pattern already
+        // matches at any start position, so a leading `*` is a no-op;
+        // likewise a trailing `*` without an end anchor. Stripping them
+        // turns EasyList's `*needle*` long tail into plain substring
+        // searches instead of quadratic backtracking scans, without
+        // changing which URLs match.
+        if left == LeftAnchor::None {
+            while elements.first() == Some(&Element::Wildcard) {
+                elements.remove(0);
+            }
+        }
+        if !end_anchor {
+            while elements.last() == Some(&Element::Wildcard) {
+                elements.pop();
+            }
+        }
+
         Pattern {
             raw,
             left,

@@ -218,3 +218,377 @@ mod elem_props {
         }
     }
 }
+
+/// Differential test: the compiled engine (CSR token index, stamped
+/// dedup, domain-bucketed element rules, prebuilt document gates) must
+/// agree with a brute-force reference matcher that linearly evaluates
+/// every filter, on randomly generated lists × requests.
+///
+/// The vendored `proptest!` macro runs `proptest::cases()` (default 64)
+/// cases, so this suite drives its own deterministic loop to guarantee
+/// the 1000+ cases the acceptance bar requires.
+#[cfg(test)]
+mod differential {
+    use super::*;
+    use crate::activation::{Activation, MatchKind};
+    use crate::engine::{DocumentStatus, RequestOutcome};
+    use crate::filter::FilterAction;
+    use proptest::TestRng;
+
+    const CASES: usize = 1200;
+
+    /// Hosts drawn from a small pool so filters and requests collide
+    /// often enough to exercise every decision path.
+    fn pool_host(rng: &mut TestRng) -> String {
+        const NAMES: [&str; 8] = [
+            "adnet", "track", "cdn", "stats", "media", "pix", "srv", "beacon",
+        ];
+        const TLDS: [&str; 3] = ["example", "test", "invalid"];
+        let name = NAMES[rng.usize_in(0, NAMES.len())];
+        let n = rng.below(6);
+        let tld = TLDS[rng.usize_in(0, TLDS.len())];
+        if rng.below(3) == 0 {
+            format!("sub{}.{name}{n}.{tld}", rng.below(3))
+        } else {
+            format!("{name}{n}.{tld}")
+        }
+    }
+
+    fn pool_path(rng: &mut TestRng) -> String {
+        const SEGS: [&str; 6] = ["ads", "banner", "img", "js", "pixel", "x"];
+        let mut p = String::new();
+        for _ in 0..rng.usize_in(1, 4) {
+            p.push('/');
+            p.push_str(SEGS[rng.usize_in(0, SEGS.len())]);
+            if rng.below(3) == 0 {
+                p.push_str(&rng.below(10).to_string());
+            }
+        }
+        p
+    }
+
+    /// One random filter line: blocking or exception request filters of
+    /// varied shapes (host-anchored, substring, wildcard, anchored,
+    /// option-laden, `$document`/`$elemhide` gates) or element rules.
+    fn filter_line(rng: &mut TestRng) -> String {
+        let host = pool_host(rng);
+        let path = pool_path(rng);
+        let exception = rng.below(3) == 0;
+        let prefix = if exception { "@@" } else { "" };
+        let mut line = match rng.below(8) {
+            0 => format!("{prefix}||{host}^"),
+            1 => format!("{prefix}||{host}{path}"),
+            2 => format!("{prefix}{path}/"),
+            3 => format!("{prefix}|http://{host}/"),
+            4 => format!("{prefix}{}*{}", &path[..2.min(path.len())], path),
+            5 => format!("{prefix}||{host}^$third-party"),
+            6 => {
+                // Element rule (possibly an exception, possibly scoped).
+                let sep = if rng.below(4) == 0 { "#@#" } else { "##" };
+                let scope = match rng.below(3) {
+                    0 => String::new(),
+                    1 => host.clone(),
+                    _ => format!("{host},{}", pool_host(rng)),
+                };
+                return format!("{scope}{sep}.ad-{}", rng.below(5));
+            }
+            _ => format!("{prefix}||{host}{path}$script,image"),
+        };
+        // Sprinkle extra options onto request filters.
+        if rng.below(4) == 0 {
+            let opt = match rng.below(4) {
+                0 => format!("domain={}", pool_host(rng)),
+                1 => format!("domain=~{}", pool_host(rng)),
+                2 => "donottrack".to_string(),
+                _ => "match-case".to_string(),
+            };
+            line.push(if line.contains('$') { ',' } else { '$' });
+            line.push_str(&opt);
+        }
+        if exception && rng.below(4) == 0 {
+            let opt = if rng.below(2) == 0 {
+                "document"
+            } else {
+                "elemhide"
+            };
+            line.push(if line.contains('$') { ',' } else { '$' });
+            line.push_str(opt);
+        }
+        line
+    }
+
+    fn random_request(rng: &mut TestRng) -> Request {
+        let host = pool_host(rng);
+        let path = pool_path(rng);
+        let first = if rng.below(2) == 0 {
+            pool_host(rng)
+        } else {
+            host.clone()
+        };
+        let ty = ResourceType::ALL[rng.usize_in(0, ResourceType::ALL.len())];
+        Request::new(&format!("http://{host}{path}"), &first, ty).unwrap()
+    }
+
+    /// Brute-force reference: linearly evaluate every request filter in
+    /// list order — blocking side first, then exceptions — mirroring the
+    /// engine's documented activation semantics with no index at all.
+    fn reference_match(lists: &[&FilterList], req: &Request) -> RequestOutcome {
+        let mut activations = Vec::new();
+        let mut any_block = false;
+        let mut any_allow = false;
+        for pass in [FilterAction::Block, FilterAction::Allow] {
+            for list in lists {
+                for f in list.filters() {
+                    let Some(rf) = f.as_request() else { continue };
+                    if rf.action != pass || !rf.matches(req) {
+                        continue;
+                    }
+                    let kind = match pass {
+                        FilterAction::Block => {
+                            any_block = true;
+                            MatchKind::BlockRequest
+                        }
+                        FilterAction::Allow => {
+                            any_allow = true;
+                            if rf.is_sitekey() {
+                                MatchKind::SitekeyAllow
+                            } else {
+                                MatchKind::AllowRequest
+                            }
+                        }
+                    };
+                    activations.push(Activation {
+                        filter: f.raw.as_str().into(),
+                        source: list.source,
+                        kind,
+                        subject: req.url.as_str().into(),
+                        donottrack: rf.options.donottrack,
+                    });
+                }
+            }
+        }
+        let decision = if any_allow {
+            Decision::AllowedByException
+        } else if any_block {
+            Decision::Block
+        } else {
+            Decision::NoMatch
+        };
+        RequestOutcome {
+            decision,
+            activations,
+        }
+    }
+
+    /// Brute-force `$document`/`$elemhide` gate evaluation over every
+    /// filter (what `document_allowlist` did before the prebuilt index).
+    fn reference_document(lists: &[&FilterList], doc: &Request) -> DocumentStatus {
+        let mut status = DocumentStatus::default();
+        for list in lists {
+            for f in list.filters() {
+                let Some(rf) = f.as_request() else { continue };
+                if rf.action != FilterAction::Allow
+                    || !(rf.options.document || rf.options.elemhide)
+                    || !rf.matches_ignoring_type(doc)
+                {
+                    continue;
+                }
+                let kind = if rf.is_sitekey() {
+                    MatchKind::SitekeyAllow
+                } else {
+                    MatchKind::DocumentAllow
+                };
+                if rf.options.document {
+                    status.document_allow.push(Activation {
+                        filter: f.raw.as_str().into(),
+                        source: list.source,
+                        kind,
+                        subject: doc.url.as_str().into(),
+                        donottrack: rf.options.donottrack,
+                    });
+                }
+                if rf.options.elemhide {
+                    status.elemhide_allow.push(Activation {
+                        filter: f.raw.as_str().into(),
+                        source: list.source,
+                        kind: MatchKind::ElemhideAllow,
+                        subject: doc.url.as_str().into(),
+                        donottrack: rf.options.donottrack,
+                    });
+                }
+            }
+        }
+        status
+    }
+
+    /// Brute-force element hiding: two linear passes over every element
+    /// rule (exceptions collecting cancelled selectors, then hides).
+    fn reference_hiding(lists: &[&FilterList], first_party: &str) -> (Vec<String>, Vec<String>) {
+        let mut excepted: Vec<String> = Vec::new();
+        let mut active: Vec<String> = Vec::new();
+        for list in lists {
+            for f in list.filters() {
+                let Some(ef) = f.as_element() else { continue };
+                if ef.action == FilterAction::Allow && ef.applies_on(first_party) {
+                    excepted.push(ef.selector.clone());
+                }
+            }
+        }
+        for list in lists {
+            for f in list.filters() {
+                let Some(ef) = f.as_element() else { continue };
+                if ef.action == FilterAction::Block
+                    && ef.applies_on(first_party)
+                    && !excepted.contains(&ef.selector)
+                {
+                    active.push(ef.selector.clone());
+                }
+            }
+        }
+        (active, excepted)
+    }
+
+    /// A multiset fingerprint of activations, order-insensitive.
+    fn multiset(acts: &[Activation]) -> Vec<String> {
+        let mut keys: Vec<String> = acts
+            .iter()
+            .map(|a| {
+                format!(
+                    "{}|{:?}|{:?}|{}|{}",
+                    a.filter, a.source, a.kind, a.subject, a.donottrack
+                )
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    #[test]
+    fn compiled_engine_matches_brute_force_reference() {
+        let mut rng = TestRng::deterministic("engine_differential_v1");
+        for case in 0..CASES {
+            let n_black = rng.usize_in(0, 40);
+            let n_white = rng.usize_in(0, 15);
+            let bl_text: String = (0..n_black).map(|_| filter_line(&mut rng) + "\n").collect();
+            let wl_text: String = (0..n_white).map(|_| filter_line(&mut rng) + "\n").collect();
+            let bl = FilterList::parse(ListSource::EasyList, &bl_text);
+            let wl = FilterList::parse(ListSource::AcceptableAds, &wl_text);
+            let lists = [&bl, &wl];
+            let engine = Engine::from_lists(lists);
+
+            for _ in 0..4 {
+                let req = random_request(&mut rng);
+                let got = engine.match_request(&req);
+                let want = reference_match(&lists, &req);
+                assert_eq!(
+                    got.decision,
+                    want.decision,
+                    "case {case}: decision diverged for {} on lists:\n{bl_text}{wl_text}",
+                    req.url.as_str()
+                );
+                assert_eq!(
+                    multiset(&got.activations),
+                    multiset(&want.activations),
+                    "case {case}: activation multiset diverged for {}",
+                    req.url.as_str()
+                );
+                // Ordering guarantee: all blocking activations precede
+                // all exception activations.
+                let first_exception = got
+                    .activations
+                    .iter()
+                    .position(|a| a.kind.is_exception())
+                    .unwrap_or(got.activations.len());
+                assert!(
+                    got.activations[first_exception..]
+                        .iter()
+                        .all(|a| a.kind.is_exception()),
+                    "case {case}: exception activation ordered before a block"
+                );
+                // Batched evaluation agrees with one-at-a-time exactly.
+                let batched = engine.match_many(std::slice::from_ref(&req));
+                assert_eq!(batched[0], got, "case {case}: match_many diverged");
+            }
+
+            // Document gates agree with the full-scan reference.
+            let doc_host = pool_host(&mut rng);
+            let doc = Request::document(&format!("http://{doc_host}/")).unwrap();
+            let got_doc = engine.document_allowlist(&doc);
+            let want_doc = reference_document(&lists, &doc);
+            assert_eq!(
+                multiset(&got_doc.document_allow),
+                multiset(&want_doc.document_allow),
+                "case {case}: document_allow diverged on {doc_host}"
+            );
+            assert_eq!(
+                multiset(&got_doc.elemhide_allow),
+                multiset(&want_doc.elemhide_allow),
+                "case {case}: elemhide_allow diverged on {doc_host}"
+            );
+
+            // Element hiding agrees with the two-pass linear reference.
+            let fp = pool_host(&mut rng);
+            let got_h = engine.hiding_for_domain(&fp);
+            let (want_active, want_excepted) = reference_hiding(&lists, &fp);
+            let mut got_active: Vec<String> =
+                got_h.active.iter().map(|(s, _)| s.to_string()).collect();
+            let mut want_active_sorted = want_active.clone();
+            got_active.sort();
+            want_active_sorted.sort();
+            want_active_sorted.dedup();
+            got_active.dedup();
+            assert_eq!(
+                got_active, want_active_sorted,
+                "case {case}: hiding selectors diverged on {fp}"
+            );
+            for (sel, _) in &got_h.exceptions {
+                assert!(
+                    want_excepted.iter().any(|s| sel == s),
+                    "case {case}: unexpected exception selector {sel} on {fp}"
+                );
+            }
+            // The borrowed variant agrees with the owning one.
+            let refs = engine.hiding_refs_for_domain(&fp);
+            let mut ref_active: Vec<String> = refs
+                .iter()
+                .filter(|(_, _, a)| *a == FilterAction::Block)
+                .map(|(_, s, _)| s.to_string())
+                .collect();
+            ref_active.sort();
+            ref_active.dedup();
+            assert_eq!(
+                ref_active, got_active,
+                "case {case}: hiding_refs_for_domain diverged on {fp}"
+            );
+        }
+    }
+
+    /// Outcomes round-trip through JSON byte-identically to the
+    /// reference representation (interning must be invisible on the
+    /// wire — the abpd decision cache depends on this).
+    #[test]
+    fn outcomes_serialize_byte_identically_to_reference() {
+        let mut rng = TestRng::deterministic("engine_differential_serde_v1");
+        for _ in 0..200 {
+            let bl_text: String = (0..rng.usize_in(1, 20))
+                .map(|_| filter_line(&mut rng) + "\n")
+                .collect();
+            let bl = FilterList::parse(ListSource::EasyList, &bl_text);
+            let lists = [&bl];
+            let engine = Engine::from_lists(lists);
+            let req = random_request(&mut rng);
+            let got = engine.match_request(&req);
+            let want = reference_match(&lists, &req);
+            if got.activations == want.activations {
+                assert_eq!(
+                    serde_json::to_string(&got).unwrap(),
+                    serde_json::to_string(&want).unwrap()
+                );
+            }
+            // And the outcome round-trips losslessly.
+            let json = serde_json::to_string(&got).unwrap();
+            let back: RequestOutcome = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, got);
+        }
+    }
+}

@@ -62,6 +62,56 @@ fn bench_engine(c: &mut Criterion) {
     });
 }
 
+/// Matching throughput at service scale: a 10k-filter engine driven by
+/// 100k mixed URLs, exercising the CSR token buckets and the
+/// untokenized tail, plus the page-level gates and element hiding at
+/// realistic rule counts (same corpus as the `engine_bench` binary, so
+/// Criterion numbers and CI quick-mode numbers are comparable).
+fn bench_matching_throughput(c: &mut Criterion) {
+    let (bl, wl) = bench::synthetic::lists_10k();
+    let engine = Engine::from_lists([&bl, &wl]);
+    let reqs = bench::synthetic::requests(100_000);
+
+    let mut group = c.benchmark_group("throughput_10k");
+    group.sample_size(10);
+    // Tokenized path: most requests resolve via CSR bucket probes.
+    group.bench_function("match_many_100k_urls", |b| {
+        b.iter(|| engine.match_many(black_box(&reqs)))
+    });
+    // Untokenized worst case: every filter is a candidate for every URL.
+    let unt_engine = Engine::from_lists([&bench::synthetic::untokenized_list(300)]);
+    let unt_reqs = &reqs[..10_000];
+    group.bench_function("match_many_untokenized_300x10k", |b| {
+        b.iter(|| unt_engine.match_many(black_box(unt_reqs)))
+    });
+    // Page-level gates over the prebuilt $document/$elemhide id list.
+    let docs = bench::synthetic::document_requests(10_000);
+    group.bench_function("document_gate_10k_docs", |b| {
+        b.iter(|| {
+            for d in &docs {
+                black_box(engine.document_allowlist(black_box(d)));
+            }
+        })
+    });
+    // Element hiding with 2,150 rules: generic + domain-bucketed.
+    let domains = bench::synthetic::hiding_domains(2_000);
+    group.bench_function("hiding_for_domain_2k_domains", |b| {
+        b.iter(|| {
+            for d in &domains {
+                black_box(engine.hiding_for_domain(black_box(d)));
+            }
+        })
+    });
+    group.bench_function("hiding_refs_2k_domains", |b| {
+        b.iter(|| {
+            for d in &domains {
+                black_box(engine.hiding_refs_for_domain(black_box(d)));
+            }
+        })
+    });
+    group.finish();
+}
+
 fn bench_url_and_dom(c: &mut Criterion) {
     c.bench_function("url_parse", |b| {
         b.iter(|| {
@@ -136,6 +186,7 @@ criterion_group!(
     benches,
     bench_parsing,
     bench_engine,
+    bench_matching_throughput,
     bench_url_and_dom,
     bench_crypto,
     bench_crawl

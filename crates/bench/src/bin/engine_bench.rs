@@ -1,0 +1,206 @@
+//! Quick-mode engine throughput bench for CI perf tracking.
+//!
+//! Measures the hot paths of `abp::Engine` — request matching over a
+//! 10k-filter list × 100k URLs, the `$document`/`$elemhide` page gate,
+//! and element hiding — with plain wall-clock timing (seconds, not the
+//! minutes a full Criterion run takes), then writes `BENCH_engine.json`
+//! so the perf trajectory populates run over run. When a committed
+//! baseline snapshot exists
+//! (`crates/bench/baselines/engine_bench_baseline.json`, measured on
+//! the pre-compiled-engine code), it is embedded in the output along
+//! with the speedup ratio.
+//!
+//! Usage: `engine-bench [--out PATH] [--quick]`
+
+use abp::{Engine, Request};
+use bench::synthetic;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured path.
+#[derive(Debug, Clone, Serialize)]
+struct PathStats {
+    /// Operations (decisions / gate evaluations / hiding computations).
+    ops: u64,
+    /// Total wall-clock nanoseconds across all ops.
+    total_ns: u64,
+    /// Nanoseconds per operation.
+    ns_per_op: f64,
+    /// Operations per second.
+    ops_per_sec: f64,
+}
+
+fn stats(ops: u64, total_ns: u64) -> PathStats {
+    PathStats {
+        ops,
+        total_ns,
+        ns_per_op: total_ns as f64 / ops as f64,
+        ops_per_sec: ops as f64 * 1e9 / total_ns as f64,
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    /// What produced this report.
+    bench: String,
+    /// Filters in the synthetic 10k list engine.
+    request_filters: usize,
+    /// Element rules in the engine.
+    element_rules: usize,
+    /// URL sample size for the match path.
+    urls: usize,
+    /// Request matching over the mixed (mostly tokenized) URL set.
+    match_10k: PathStats,
+    /// Request matching against an engine of only untokenized
+    /// (wildcard-heavy) filters — the index's worst case.
+    match_untokenized: PathStats,
+    /// `document_allowlist` page-gate evaluations.
+    document_gate: PathStats,
+    /// `hiding_for_domain` at realistic element-rule counts.
+    hiding: PathStats,
+    /// `hiding_refs_for_domain` (the crawl-path variant).
+    hiding_refs: PathStats,
+}
+
+fn time_match(engine: &Engine, reqs: &[Request], iters: usize) -> PathStats {
+    // Warmup pass (populates lazy structures, touches caches).
+    black_box(engine.match_many(&reqs[..reqs.len().min(2_000)]));
+    let start = Instant::now();
+    let mut decisions = 0u64;
+    for _ in 0..iters {
+        let outcomes = engine.match_many(black_box(reqs));
+        decisions += outcomes.len() as u64;
+        black_box(&outcomes);
+    }
+    stats(decisions, start.elapsed().as_nanos() as u64)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out_path = "BENCH_engine.json".to_string();
+    let mut quick = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown arg {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let (bl, wl) = synthetic::lists_10k();
+    let engine = Engine::from_lists([&bl, &wl]);
+    let n_urls = if quick { 20_000 } else { 100_000 };
+    let reqs = synthetic::requests(n_urls);
+    let match_iters = if quick { 1 } else { 3 };
+
+    eprintln!(
+        "engine-bench: {} request filters, {} element rules, {} urls",
+        engine.request_filter_count(),
+        engine.element_rule_count(),
+        reqs.len()
+    );
+
+    let match_10k = time_match(&engine, &reqs, match_iters);
+    eprintln!(
+        "  match_10k            {:>12.0} ops/s  {:>8.0} ns/op",
+        match_10k.ops_per_sec, match_10k.ns_per_op
+    );
+
+    // Untokenized worst case: every filter is a candidate for every URL.
+    let unt_engine = Engine::from_lists([&synthetic::untokenized_list(300)]);
+    let unt_reqs = &reqs[..reqs.len().min(10_000)];
+    let match_untokenized = time_match(&unt_engine, unt_reqs, 1);
+    eprintln!(
+        "  match_untokenized    {:>12.0} ops/s  {:>8.0} ns/op",
+        match_untokenized.ops_per_sec, match_untokenized.ns_per_op
+    );
+
+    // Document gate: evaluate the page-level allowlist for a spread of
+    // top-level documents (some gated, most not).
+    let doc_iters: u64 = if quick { 2_000 } else { 10_000 };
+    let docs: Vec<Request> = synthetic::document_requests(doc_iters as usize);
+    black_box(engine.document_allowlist(&docs[0]));
+    let start = Instant::now();
+    for d in &docs {
+        black_box(engine.document_allowlist(black_box(d)));
+    }
+    let document_gate = stats(doc_iters, start.elapsed().as_nanos() as u64);
+    eprintln!(
+        "  document_gate        {:>12.0} ops/s  {:>8.0} ns/op",
+        document_gate.ops_per_sec, document_gate.ns_per_op
+    );
+
+    // Element hiding at realistic rule counts.
+    let hide_iters: u64 = if quick { 500 } else { 2_000 };
+    let domains: Vec<String> = synthetic::hiding_domains(hide_iters as usize);
+    black_box(engine.hiding_for_domain(&domains[0]));
+    let start = Instant::now();
+    for d in &domains {
+        black_box(engine.hiding_for_domain(black_box(d)));
+    }
+    let hiding = stats(hide_iters, start.elapsed().as_nanos() as u64);
+    eprintln!(
+        "  hiding               {:>12.0} ops/s  {:>8.0} ns/op",
+        hiding.ops_per_sec, hiding.ns_per_op
+    );
+
+    black_box(engine.hiding_refs_for_domain(&domains[0]));
+    let start = Instant::now();
+    for d in &domains {
+        black_box(engine.hiding_refs_for_domain(black_box(d)));
+    }
+    let hiding_refs = stats(hide_iters, start.elapsed().as_nanos() as u64);
+    eprintln!(
+        "  hiding_refs          {:>12.0} ops/s  {:>8.0} ns/op",
+        hiding_refs.ops_per_sec, hiding_refs.ns_per_op
+    );
+
+    let report = BenchReport {
+        bench: "engine-bench".to_string(),
+        request_filters: engine.request_filter_count(),
+        element_rules: engine.element_rule_count(),
+        urls: reqs.len(),
+        match_10k,
+        match_untokenized,
+        document_gate,
+        hiding,
+        hiding_refs,
+    };
+
+    // Embed the committed pre-change baseline, if present, so the JSON
+    // carries before/after side by side.
+    let mut value = serde_json::to_value(&report).expect("report serializes");
+    let baseline_path = "crates/bench/baselines/engine_bench_baseline.json";
+    if let Ok(text) = std::fs::read_to_string(baseline_path) {
+        if let Ok(base) = serde_json::parse_value(&text) {
+            let speedup = base
+                .get("match_10k")
+                .and_then(|m| m.get("ops_per_sec"))
+                .and_then(|v| v.as_f64())
+                .map(|base_ops| report.match_10k.ops_per_sec / base_ops);
+            if let serde_json::Value::Map(entries) = &mut value {
+                entries.push(("baseline".to_string(), base));
+                if let Some(s) = speedup {
+                    entries.push((
+                        "match_10k_speedup_vs_baseline".to_string(),
+                        serde_json::Value::F64((s * 100.0).round() / 100.0),
+                    ));
+                    eprintln!("  match_10k speedup vs baseline: {s:.2}x");
+                }
+            }
+        }
+    }
+    let mut json = serde_json::to_string_pretty(&value).expect("report serializes");
+    json.push('\n');
+    std::fs::write(&out_path, json).expect("write bench json");
+    eprintln!("engine-bench: wrote {out_path}");
+}

@@ -16,6 +16,8 @@
 use std::sync::OnceLock;
 use websim::{Scale, Web, WebConfig};
 
+pub mod synthetic;
+
 /// The reproduction's shared seed.
 pub const SEED: u64 = 2015;
 

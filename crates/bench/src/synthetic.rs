@@ -1,0 +1,139 @@
+//! Deterministic synthetic filter lists and request traffic at service
+//! scale (10k filters × 100k URLs), shared by the quick engine bench
+//! binary (`engine_bench`) and the Criterion throughput group in
+//! `benches/engine_micro.rs` — one corpus, so their numbers are
+//! comparable.
+
+use abp::{FilterList, ListSource, Request, ResourceType};
+use sitekey::rng::SplitMix64;
+
+/// Deterministic 10k-filter list pair: host-anchored blocks, path
+/// filters, restricted filters, exceptions, `$document`/`$elemhide`
+/// page gates, plus generic and domain-scoped element rules.
+pub fn lists_10k() -> (FilterList, FilterList) {
+    let mut bl = String::new();
+    let mut wl = String::new();
+    for i in 0..7_000 {
+        match i % 4 {
+            0 => bl.push_str(&format!("||adnet{i}.example^$third-party\n")),
+            1 => bl.push_str(&format!("||track{i}.example^\n")),
+            2 => bl.push_str(&format!("/banner{i}/ads/\n")),
+            _ => bl.push_str(&format!("||cdn{i}.example/pixel^$image,script\n")),
+        }
+    }
+    // Untokenized tail: literal runs adjacent to wildcards are excluded
+    // from the token index, so these land in the untokenized bucket and
+    // are scanned against every request (EasyList's wildcard long tail).
+    // The needles are rare, so they exercise the scan without matching.
+    for i in 0..50 {
+        bl.push_str(&format!("*zq{i}x*\n"));
+    }
+    // Element rules: generic and per-domain.
+    for i in 0..2_000 {
+        if i % 3 == 0 {
+            bl.push_str(&format!("##.ad-slot-{i}\n"));
+        } else {
+            bl.push_str(&format!("site{}.example###ad-frame-{i}\n", i % 500));
+        }
+    }
+    // Whitelist: exceptions, some restricted, some page gates.
+    for i in 0..900 {
+        match i % 3 {
+            0 => wl.push_str(&format!("@@||adnet{i}.example/acceptable/$third-party\n")),
+            1 => wl.push_str(&format!(
+                "@@||track{i}.example^$domain=news{i}.example|blog{i}.example\n"
+            )),
+            _ => wl.push_str(&format!("@@||cdn{i}.example/pixel^$image\n")),
+        }
+    }
+    for i in 0..100 {
+        wl.push_str(&format!("@@||pub{i}.example^$document\n"));
+        wl.push_str(&format!("@@||forum{i}.example^$elemhide\n"));
+    }
+    for i in 0..150 {
+        wl.push_str(&format!("site{}.example#@##ad-frame-{}\n", i, i * 3 + 1));
+    }
+    (
+        FilterList::parse(ListSource::EasyList, &bl),
+        FilterList::parse(ListSource::AcceptableAds, &wl),
+    )
+}
+
+/// An untokenized-only list (wildcard-bracketed rare needles): every
+/// filter is a candidate for every request — the token index's worst
+/// case.
+pub fn untokenized_list(n: usize) -> FilterList {
+    let mut text = String::new();
+    for i in 0..n {
+        text.push_str(&format!("*wj{i}k*\n"));
+    }
+    FilterList::parse(ListSource::EasyList, &text)
+}
+
+/// `n` deterministic requests: ~10% hit ad hosts in [`lists_10k`], the
+/// rest benign URLs with varied token vocabularies (the realistic
+/// mostly-miss traffic shape).
+pub fn requests(n: usize) -> Vec<Request> {
+    let mut rng = SplitMix64::new(0x5eed_2015);
+    let types = [
+        ResourceType::Image,
+        ResourceType::Script,
+        ResourceType::Stylesheet,
+        ResourceType::Subdocument,
+        ResourceType::XmlHttpRequest,
+    ];
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let ty = types[(rng.next_u64() % types.len() as u64) as usize];
+        let first = format!("news{}.example", rng.below(1_000));
+        let url = match i % 10 {
+            0 => format!("http://adnet{}.example/unit{}.js", rng.below(7_000), i),
+            1 => format!(
+                "http://cdn{}.example/pixel/p{}.gif",
+                rng.below(7_000),
+                rng.below(64)
+            ),
+            2 => format!(
+                "http://site{}.example/banner{}/ads/x.png",
+                i % 500,
+                i % 7_000
+            ),
+            _ => format!(
+                "http://host{}.example/assets/v{}/widget{}.min.js?cache={}",
+                rng.below(5_000),
+                rng.below(9),
+                rng.below(40_000),
+                rng.next_u64() & 0xffff
+            ),
+        };
+        out.push(Request::new(&url, &first, ty).expect("synthetic url parses"));
+    }
+    out
+}
+
+/// Top-level document requests for the `document_allowlist` path: a
+/// spread of gated (`pub{i}`/`forum{i}`) and ungated hosts.
+pub fn document_requests(n: usize) -> Vec<Request> {
+    let mut rng = SplitMix64::new(7);
+    (0..n)
+        .map(|i| {
+            let url = match i % 5 {
+                0 => format!("http://pub{}.example/", rng.below(100)),
+                1 => format!("http://forum{}.example/", rng.below(100)),
+                _ => format!("http://news{}.example/front/page{}", rng.below(1_000), i),
+            };
+            Request::document(&url).expect("doc url parses")
+        })
+        .collect()
+}
+
+/// First-party domains for the hiding paths: a mix of domains with
+/// scoped rules (`site{i}`) and without (`news{i}`).
+pub fn hiding_domains(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => format!("site{}.example", i % 500),
+            _ => format!("news{}.example", i % 1_000),
+        })
+        .collect()
+}

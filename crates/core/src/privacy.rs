@@ -104,7 +104,7 @@ pub fn run_privacy_conflict(
                     report.sites_with_tracking_unblocked += 1;
                     site_counted = true;
                 }
-                *per_filter.entry(exc.filter.clone()).or_default() += 1;
+                *per_filter.entry(exc.filter.to_string()).or_default() += 1;
             }
         }
     }

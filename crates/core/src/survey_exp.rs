@@ -82,7 +82,7 @@ fn record_from_visit(visit: &SiteVisit, explicit: bool) -> SiteRecord {
 
     let mut filters: BTreeSet<(String, ListSource)> = BTreeSet::new();
     for a in &both.activations {
-        filters.insert((a.filter.clone(), a.source));
+        filters.insert((a.filter.to_string(), a.source));
     }
     let whitelist_total = both.whitelist_activations().count() as u32;
     let whitelist_distinct = filters
@@ -91,7 +91,7 @@ fn record_from_visit(visit: &SiteVisit, explicit: bool) -> SiteRecord {
         .count() as u32;
     let mut needless_filters: Vec<String> = crawler::blockable::needless_whitelist_filters(both)
         .into_iter()
-        .map(|a| a.filter.clone())
+        .map(|a| a.filter.to_string())
         .collect();
     needless_filters.sort_unstable();
     needless_filters.dedup();

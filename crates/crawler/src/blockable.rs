@@ -83,7 +83,7 @@ pub fn blockable_items(record: &ConfigRecord) -> Vec<BlockableItem> {
                 status,
                 filters: activations
                     .iter()
-                    .map(|a| (a.filter.clone(), a.source.name().to_string()))
+                    .map(|a| (a.filter.to_string(), a.source.name().to_string()))
                     .collect(),
             }
         })
@@ -102,7 +102,7 @@ pub fn needless_whitelist_filters(record: &ConfigRecord) -> Vec<&Activation> {
     record
         .activations
         .iter()
-        .filter(|a| a.kind.is_exception() && needless_subjects.contains(&a.subject))
+        .filter(|a| a.kind.is_exception() && needless_subjects.iter().any(|s| a.subject == *s))
         .collect()
 }
 

@@ -48,6 +48,19 @@ pub fn crawl_ranks(
     let slots: Vec<parking_lot::Mutex<Option<SiteVisit>>> =
         results.into_iter().map(parking_lot::Mutex::new).collect();
 
+    // The per-engine config views are identical for every site: build
+    // them once and share the slice across workers instead of
+    // reconstructing the Vec on every visit.
+    let configs: Vec<EngineConfig<'_>> = engines
+        .iter()
+        .map(|e| EngineConfig {
+            name: e.name,
+            engine: &e.engine,
+            selectors: Some(&e.selectors),
+        })
+        .collect();
+    let configs = &configs[..];
+
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
@@ -55,15 +68,7 @@ pub fn crawl_ranks(
                 if i >= ranks.len() {
                     break;
                 }
-                let configs: Vec<EngineConfig<'_>> = engines
-                    .iter()
-                    .map(|e| EngineConfig {
-                        name: e.name,
-                        engine: &e.engine,
-                        selectors: Some(&e.selectors),
-                    })
-                    .collect();
-                let visit = visit_site(web, ranks[i], &configs);
+                let visit = visit_site(web, ranks[i], configs);
                 *slots[i].lock() = Some(visit);
             });
         }

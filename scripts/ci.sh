@@ -34,4 +34,7 @@ fi
 ./target/release/abpd-load --addr "$ADDR" --decisions 100000 --shutdown
 wait "$ABPD_PID"
 
+echo "==> engine bench (quick mode, writes BENCH_engine.json)"
+./target/release/engine_bench --quick --out BENCH_engine.json
+
 echo "==> ci green"
