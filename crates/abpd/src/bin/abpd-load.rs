@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! abpd-load [--addr HOST:PORT] [--decisions N] [--batch N]
-//!           [--connections N] [--seed N] [--shutdown]
+//!           [--connections N] [--pipeline N] [--seed N]
+//!           [--out PATH] [--shutdown]
 //! ```
 //!
 //! Replays synthetic browsing traffic (the websim page/ecosystem
@@ -10,8 +11,16 @@
 //! reports sustained decisions/sec plus the server's own statistics.
 //! Without `--addr` it spins up an in-process server on a free port
 //! first, so `abpd-load` alone is a complete smoke test.
+//!
+//! `--pipeline N` keeps up to N batch lines in flight per connection
+//! (replies are matched in order); `--pipeline 1` is the classic
+//! lockstep write-then-read loop. `--out PATH` writes a JSON report,
+//! embedding the committed baseline snapshot
+//! (`crates/bench/baselines/service_bench_baseline.json`) and the
+//! speedup ratio when that file is present, mirroring `engine-bench`.
 
 use abpd::{Client, DecisionRequest, Server, ServerConfig};
+use serde::Serialize;
 use std::time::Instant;
 use websim::traffic::TrafficGen;
 
@@ -30,18 +39,46 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     }
 }
 
+/// The measured run, serialized to `--out` for CI perf tracking.
+#[derive(Debug, Clone, Serialize)]
+struct LoadReport {
+    /// What produced this report.
+    bench: String,
+    /// Decisions actually evaluated.
+    decisions: u64,
+    /// Client connections driving load.
+    connections: usize,
+    /// Requests per `DecideBatch` line.
+    batch: usize,
+    /// Batch lines in flight per connection.
+    pipeline: usize,
+    /// Wall-clock seconds for the measured window.
+    elapsed_secs: f64,
+    /// Sustained decisions per second (the headline number).
+    decisions_per_sec: f64,
+    /// Fraction of decisions that blocked the request.
+    blocked_pct: f64,
+    /// Fraction answered from the decision cache.
+    cached_pct: f64,
+    /// Server-reported median decision latency (µs).
+    server_p50_us: u64,
+    /// Server-reported p99 decision latency (µs).
+    server_p99_us: u64,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: abpd-load [--addr HOST:PORT] [--decisions N] [--batch N] \
-             [--connections N] [--seed N] [--shutdown]"
+             [--connections N] [--pipeline N] [--seed N] [--out PATH] [--shutdown]"
         );
         return;
     }
 
     let decisions: usize = parse_flag(&args, "--decisions").unwrap_or(200_000);
     let batch: usize = parse_flag(&args, "--batch").unwrap_or(256).max(1);
+    let pipeline: usize = parse_flag(&args, "--pipeline").unwrap_or(1).max(1);
     let connections: usize = parse_flag(&args, "--connections")
         .unwrap_or_else(|| {
             // Enough clients to keep every shard busy without thrashing
@@ -50,6 +87,7 @@ fn main() {
         })
         .max(1);
     let seed: u64 = parse_flag(&args, "--seed").unwrap_or(2015);
+    let out_path: Option<String> = parse_flag(&args, "--out");
     let shutdown = args.iter().any(|a| a == "--shutdown");
 
     // Target: given address, or an in-process server on a free port.
@@ -80,7 +118,9 @@ fn main() {
         })
         .collect();
 
-    eprintln!("abpd-load: driving {addr} ({connections} connections, batch {batch})...");
+    eprintln!(
+        "abpd-load: driving {addr} ({connections} connections, batch {batch}, pipeline {pipeline})..."
+    );
     let start = Instant::now();
     let totals = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = streams
@@ -92,16 +132,27 @@ fn main() {
                     let mut sent = 0usize;
                     let mut blocked = 0usize;
                     let mut cached = 0usize;
-                    for chunk in stream.chunks(batch) {
-                        let resps = client.decide_batch(chunk).expect("decide_batch");
-                        sent += resps.len();
-                        for r in &resps {
+                    let mut count = |resps: &[abpd::DecisionResponse]| {
+                        for r in resps {
                             if r.outcome.decision == abp::Decision::Block {
                                 blocked += 1;
                             }
                             if r.cached {
                                 cached += 1;
                             }
+                        }
+                    };
+                    if pipeline > 1 {
+                        let resps = client
+                            .decide_batch_pipelined(stream, batch, pipeline)
+                            .expect("decide_batch_pipelined");
+                        sent += resps.len();
+                        count(&resps);
+                    } else {
+                        for chunk in stream.chunks(batch) {
+                            let resps = client.decide_batch(chunk).expect("decide_batch");
+                            sent += resps.len();
+                            count(&resps);
                         }
                     }
                     (sent, blocked, cached)
@@ -139,6 +190,48 @@ fn main() {
         stats.p99_us,
         stats.shards.len()
     );
+
+    if let Some(path) = out_path {
+        let report = LoadReport {
+            bench: "abpd-load".to_string(),
+            decisions: sent as u64,
+            connections,
+            batch,
+            pipeline,
+            elapsed_secs: (elapsed.as_secs_f64() * 1000.0).round() / 1000.0,
+            decisions_per_sec: rate.round(),
+            blocked_pct: (1000.0 * blocked as f64 / sent.max(1) as f64).round() / 10.0,
+            cached_pct: (1000.0 * cached as f64 / sent.max(1) as f64).round() / 10.0,
+            server_p50_us: stats.p50_us,
+            server_p99_us: stats.p99_us,
+        };
+        // Embed the committed pre-change baseline, if present, so the
+        // JSON carries before/after side by side.
+        let mut value = serde_json::to_value(&report).expect("report serializes");
+        let baseline_path = "crates/bench/baselines/service_bench_baseline.json";
+        if let Ok(text) = std::fs::read_to_string(baseline_path) {
+            if let Ok(base) = serde_json::parse_value(&text) {
+                let speedup = base
+                    .get("decisions_per_sec")
+                    .and_then(|v| v.as_f64())
+                    .map(|base_rate| rate / base_rate);
+                if let serde_json::Value::Map(entries) = &mut value {
+                    entries.push(("baseline".to_string(), base));
+                    if let Some(s) = speedup {
+                        entries.push((
+                            "decisions_per_sec_speedup_vs_baseline".to_string(),
+                            serde_json::Value::F64((s * 100.0).round() / 100.0),
+                        ));
+                        eprintln!("abpd-load: decisions/sec speedup vs baseline: {s:.2}x");
+                    }
+                }
+            }
+        }
+        let mut json = serde_json::to_string_pretty(&value).expect("report serializes");
+        json.push('\n');
+        std::fs::write(&path, json).expect("write load report");
+        eprintln!("abpd-load: wrote {path}");
+    }
 
     if shutdown || local_server.is_some() {
         client.shutdown_server().expect("shutdown");

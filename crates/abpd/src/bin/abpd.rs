@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! abpd [--addr HOST:PORT] [--shards N] [--queue-depth N]
-//!      [--cache-capacity N] [--seed N]
+//!      [--cache-capacity N] [--max-line-bytes N] [--seed N]
 //! ```
 //!
 //! Serves ad-blocking decisions for the generated corpus (EasyList +
@@ -30,7 +30,7 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: abpd [--addr HOST:PORT] [--shards N] [--queue-depth N] \
-             [--cache-capacity N] [--seed N]"
+             [--cache-capacity N] [--max-line-bytes N] [--seed N]"
         );
         return;
     }
@@ -45,6 +45,9 @@ fn main() {
     }
     if let Some(n) = parse_flag(&args, "--cache-capacity") {
         config.service.cache_capacity = n;
+    }
+    if let Some(n) = parse_flag(&args, "--max-line-bytes") {
+        config.max_line_bytes = n;
     }
     let seed: u64 = parse_flag(&args, "--seed").unwrap_or(2015);
 

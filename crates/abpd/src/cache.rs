@@ -7,38 +7,116 @@
 //! key to the same worker shard, so a shard's mutex is only contended
 //! between connection handlers looking up and that shard's worker
 //! inserting.
+//!
+//! Lookups are allocation-free: a request is reduced to a 64-bit
+//! FNV-1a digest of its borrowed fields ([`request_key_hash`]) — no
+//! `String` clones on the read path. Because 64 bits can collide, each
+//! entry stores the full owned key ([`StoredKey`], built once on the
+//! miss path) and a hit verifies it field-by-field before the cached
+//! outcome is trusted; a colliding digest is just a miss.
 
-use crate::protocol::DecisionRequest;
-use abp::RequestOutcome;
+use abp::{RequestOutcome, ResourceType};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher, RandomState};
 
-/// What a decision depends on (for a fixed engine).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct CacheKey {
-    url: String,
-    document: String,
-    resource_type: abp::ResourceType,
-    sitekey: Option<String>,
-}
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-impl CacheKey {
-    /// The memoization key of a request.
-    pub fn of(req: &DecisionRequest) -> CacheKey {
-        CacheKey {
-            url: req.url.clone(),
-            document: req.document.clone(),
-            resource_type: req.resource_type,
-            sitekey: req.sitekey.clone(),
+/// FNV-1a, the same function `abp::engine` uses for token hashing.
+/// Cheap to compute incrementally over borrowed bytes and good enough
+/// for shard routing; collisions are handled by full-key verification.
+#[derive(Debug, Clone, Default)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        if self.0 == 0 {
+            FNV_OFFSET
+        } else {
+            self.0
         }
     }
 
-    /// Stable hash used for both cache and worker shard routing.
-    pub fn shard_hash(&self) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.hash(&mut h);
-        h.finish()
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` plugging [`FnvHasher`] into `HashMap`.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// The 64-bit memoization digest of a request, computed from borrowed
+/// fields — no clones, no intermediate key struct.
+///
+/// Fields are fed through FNV-1a separated by `0xFF` (a byte that
+/// never appears in UTF-8 text) so `("ab", "c")` and `("a", "bc")`
+/// digest differently, and the sitekey is prefixed with a
+/// present/absent discriminator so `None` differs from `Some("")`.
+pub fn request_key_hash(
+    url: &str,
+    document: &str,
+    resource_type: ResourceType,
+    sitekey: Option<&str>,
+) -> u64 {
+    let mut h = FnvHasher(FNV_OFFSET);
+    h.write(url.as_bytes());
+    h.write(&[0xFF]);
+    h.write(document.as_bytes());
+    h.write(&[0xFF, resource_type as u8, 0xFF]);
+    match sitekey {
+        None => h.write(&[0]),
+        Some(k) => {
+            h.write(&[1]);
+            h.write(k.as_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// The full owned key stored beside each cached outcome, used to
+/// verify a digest hit against the actual request fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredKey {
+    url: String,
+    document: String,
+    resource_type: ResourceType,
+    sitekey: Option<String>,
+}
+
+impl StoredKey {
+    /// Own a request's fields (miss path only — hits never build one).
+    pub fn new(
+        url: &str,
+        document: &str,
+        resource_type: ResourceType,
+        sitekey: Option<&str>,
+    ) -> StoredKey {
+        StoredKey {
+            url: url.to_string(),
+            document: document.to_string(),
+            resource_type,
+            sitekey: sitekey.map(str::to_string),
+        }
+    }
+
+    /// Does this stored key describe exactly these request fields?
+    pub fn matches(
+        &self,
+        url: &str,
+        document: &str,
+        resource_type: ResourceType,
+        sitekey: Option<&str>,
+    ) -> bool {
+        self.resource_type == resource_type
+            && self.url == url
+            && self.document == document
+            && self.sitekey.as_deref() == sitekey
     }
 }
 
@@ -53,21 +131,23 @@ struct Slot<K, V> {
 
 /// A classic doubly-linked-list LRU: `get` promotes to most-recent,
 /// `insert` evicts the least-recent entry once at capacity. O(1) for
-/// both, no allocation after the slab fills.
-pub struct LruCache<K: Eq + Hash + Clone, V> {
-    map: HashMap<K, usize>,
+/// both, no allocation after the slab fills. The index hasher is
+/// pluggable; the decision cache uses FNV over its precomputed u64
+/// digests instead of the default SipHash.
+pub struct LruCache<K: Eq + Hash + Clone, V, S: std::hash::BuildHasher + Default = RandomState> {
+    map: HashMap<K, usize, S>,
     slots: Vec<Slot<K, V>>,
     head: usize,
     tail: usize,
     cap: usize,
 }
 
-impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+impl<K: Eq + Hash + Clone, V, S: std::hash::BuildHasher + Default> LruCache<K, V, S> {
     /// A cache holding at most `cap` entries (`cap` ≥ 1).
     pub fn new(cap: usize) -> Self {
         let cap = cap.max(1);
         LruCache {
-            map: HashMap::with_capacity(cap),
+            map: HashMap::with_capacity_and_hasher(cap, S::default()),
             slots: Vec::with_capacity(cap),
             head: NIL,
             tail: NIL,
@@ -161,9 +241,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 }
 
-/// The service's decision cache: N independent LRU shards.
+type Shard = Mutex<LruCache<u64, (StoredKey, RequestOutcome), FnvBuildHasher>>;
+
+/// The service's decision cache: N independent LRU shards indexed by
+/// the precomputed request digest, verified against the stored key on
+/// every hit.
 pub struct DecisionCache {
-    shards: Vec<Mutex<LruCache<CacheKey, RequestOutcome>>>,
+    shards: Vec<Shard>,
 }
 
 impl DecisionCache {
@@ -183,19 +267,35 @@ impl DecisionCache {
         self.shards.len()
     }
 
-    /// Which shard a key lives on.
-    pub fn shard_of(&self, key: &CacheKey) -> usize {
-        (key.shard_hash() % self.shards.len() as u64) as usize
+    /// Which shard a request digest lives on.
+    pub fn shard_of(&self, key_hash: u64) -> usize {
+        (key_hash % self.shards.len() as u64) as usize
     }
 
-    /// Look up a decision, promoting it on a hit.
-    pub fn get(&self, shard: usize, key: &CacheKey) -> Option<RequestOutcome> {
-        self.shards[shard].lock().get(key).cloned()
+    /// Look up a decision by digest, promoting it on a hit. The
+    /// borrowed request fields are checked against the stored key so a
+    /// digest collision reads as a miss, never a wrong answer.
+    pub fn get(
+        &self,
+        shard: usize,
+        key_hash: u64,
+        url: &str,
+        document: &str,
+        resource_type: ResourceType,
+        sitekey: Option<&str>,
+    ) -> Option<RequestOutcome> {
+        let mut shard = self.shards[shard].lock();
+        let (stored, outcome) = shard.get(&key_hash)?;
+        if stored.matches(url, document, resource_type, sitekey) {
+            Some(outcome.clone())
+        } else {
+            None
+        }
     }
 
-    /// Memoize a decision.
-    pub fn insert(&self, shard: usize, key: CacheKey, outcome: RequestOutcome) {
-        self.shards[shard].lock().insert(key, outcome);
+    /// Memoize a decision under its digest.
+    pub fn insert(&self, shard: usize, key_hash: u64, key: StoredKey, outcome: RequestOutcome) {
+        self.shards[shard].lock().insert(key_hash, (key, outcome));
     }
 
     /// Total entries across shards.
@@ -212,6 +312,7 @@ impl DecisionCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::DecisionRequest;
 
     #[test]
     fn eviction_follows_lru_order() {
@@ -267,6 +368,75 @@ mod tests {
     }
 
     #[test]
+    fn fnv_hasher_works_as_map_index() {
+        let mut c: LruCache<u64, u32, FnvBuildHasher> = LruCache::new(8);
+        for i in 0..20u64 {
+            c.insert(i.wrapping_mul(0x9e37_79b9), i as u32);
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.get(&(19u64.wrapping_mul(0x9e37_79b9))), Some(&19));
+    }
+
+    #[test]
+    fn key_hash_separates_fields() {
+        let rt = ResourceType::Script;
+        // Field-boundary shifts must not collide.
+        assert_ne!(
+            request_key_hash("ab", "c", rt, None),
+            request_key_hash("a", "bc", rt, None)
+        );
+        // None vs Some("") must not collide.
+        assert_ne!(
+            request_key_hash("u", "d", rt, None),
+            request_key_hash("u", "d", rt, Some(""))
+        );
+        // Resource type participates.
+        assert_ne!(
+            request_key_hash("u", "d", ResourceType::Script, None),
+            request_key_hash("u", "d", ResourceType::Image, None)
+        );
+        // Deterministic.
+        assert_eq!(
+            request_key_hash("u", "d", rt, Some("k")),
+            request_key_hash("u", "d", rt, Some("k"))
+        );
+    }
+
+    #[test]
+    fn stored_key_verifies_fields() {
+        let k = StoredKey::new("u", "d", ResourceType::Script, Some("sk"));
+        assert!(k.matches("u", "d", ResourceType::Script, Some("sk")));
+        assert!(!k.matches("u", "d", ResourceType::Script, None));
+        assert!(!k.matches("u", "d", ResourceType::Image, Some("sk")));
+        assert!(!k.matches("u", "x", ResourceType::Script, Some("sk")));
+    }
+
+    #[test]
+    fn colliding_digest_reads_as_miss() {
+        let cache = DecisionCache::new(1, 8);
+        let outcome = RequestOutcome {
+            decision: abp::Decision::Block,
+            activations: vec![],
+        };
+        let h = request_key_hash("u", "d", ResourceType::Script, None);
+        cache.insert(
+            0,
+            h,
+            StoredKey::new("u", "d", ResourceType::Script, None),
+            outcome.clone(),
+        );
+        // Same digest, different request fields: must miss, not lie.
+        assert_eq!(
+            cache.get(0, h, "other", "d", ResourceType::Script, None),
+            None
+        );
+        assert_eq!(
+            cache.get(0, h, "u", "d", ResourceType::Script, None),
+            Some(outcome)
+        );
+    }
+
+    #[test]
     fn sharded_cache_routes_consistently() {
         let cache = DecisionCache::new(4, 400);
         let req = DecisionRequest {
@@ -275,15 +445,31 @@ mod tests {
             resource_type: abp::ResourceType::Script,
             sitekey: None,
         };
-        let key = CacheKey::of(&req);
-        let shard = cache.shard_of(&key);
-        assert_eq!(shard, cache.shard_of(&CacheKey::of(&req)));
+        let h = request_key_hash(&req.url, &req.document, req.resource_type, None);
+        let shard = cache.shard_of(h);
+        assert_eq!(
+            shard,
+            cache.shard_of(request_key_hash(
+                &req.url,
+                &req.document,
+                req.resource_type,
+                None
+            ))
+        );
         let outcome = RequestOutcome {
             decision: abp::Decision::NoMatch,
             activations: vec![],
         };
-        cache.insert(shard, key.clone(), outcome.clone());
-        assert_eq!(cache.get(shard, &key), Some(outcome));
+        cache.insert(
+            shard,
+            h,
+            StoredKey::new(&req.url, &req.document, req.resource_type, None),
+            outcome.clone(),
+        );
+        assert_eq!(
+            cache.get(shard, h, &req.url, &req.document, req.resource_type, None),
+            Some(outcome)
+        );
         assert_eq!(cache.len(), 1);
     }
 }

@@ -1,15 +1,34 @@
 //! Blocking client for the abpd wire protocol.
+//!
+//! [`Client`] keeps a reusable write buffer and a reusable reply-line
+//! buffer, encodes requests with the zero-copy [`wire`](crate::wire)
+//! codec, and bounds how large a reply line it will buffer
+//! ([`Client::max_reply_bytes`]). Besides the classic lockstep calls
+//! (`decide`, `decide_batch`), it offers pipelined evaluation
+//! ([`Client::decide_pipelined`], [`Client::decide_batch_pipelined`]):
+//! up to `depth` requests are written before the first reply is read,
+//! and because the server answers every line in order, replies are
+//! matched back to requests by position. Pipelining changes throughput,
+//! never semantics — the responses are identical to lockstep calls.
 
-use crate::protocol::{
-    ClientMessage, DecisionRequest, DecisionResponse, ServerMessage, StatsReport,
-};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use crate::protocol::{DecisionRequest, DecisionResponse, ServerMessage, StatsReport};
+use crate::wire::{self, LineRead};
+use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-/// A connected abpd client. One request/response in flight at a time.
+/// Longest reply line the client will buffer by default (16 MiB — a
+/// 4096-request batch of worst-case replies fits comfortably).
+const DEFAULT_MAX_REPLY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A connected abpd client.
 pub struct Client {
     reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    writer: TcpStream,
+    /// Reusable encode buffer for outgoing request lines.
+    wbuf: Vec<u8>,
+    /// Reusable buffer for incoming reply lines.
+    line: Vec<u8>,
+    max_reply_bytes: usize,
 }
 
 fn protocol_error(msg: impl Into<String>) -> std::io::Error {
@@ -24,24 +43,58 @@ impl Client {
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,
-            writer: BufWriter::new(stream),
+            writer: stream,
+            wbuf: Vec::with_capacity(4096),
+            line: Vec::new(),
+            max_reply_bytes: DEFAULT_MAX_REPLY_BYTES,
         })
     }
 
-    fn roundtrip(&mut self, msg: &ClientMessage) -> std::io::Result<ServerMessage> {
-        let line = serde_json::to_string(msg).map_err(|e| protocol_error(e.to_string()))?;
-        writeln!(self.writer, "{line}")?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        if self.reader.read_line(&mut reply)? == 0 {
-            return Err(protocol_error("server closed the connection"));
+    /// Bound the longest reply line this client will buffer; longer
+    /// replies surface as a protocol error naming the byte count.
+    pub fn max_reply_bytes(&mut self, max: usize) -> &mut Self {
+        self.max_reply_bytes = max.max(64);
+        self
+    }
+
+    /// Send whatever is in `wbuf` as one syscall and clear it.
+    fn send(&mut self) -> std::io::Result<()> {
+        self.writer.write_all(&self.wbuf)?;
+        self.wbuf.clear();
+        Ok(())
+    }
+
+    /// Read one reply line and parse it. Truncated (EOF mid-line) and
+    /// oversized replies are reported as protocol errors carrying the
+    /// offending byte count, not generic parse failures.
+    fn read_reply(&mut self) -> std::io::Result<ServerMessage> {
+        match wire::read_line_limited(&mut self.reader, &mut self.line, self.max_reply_bytes)? {
+            LineRead::Line => {}
+            LineRead::Eof => return Err(protocol_error("server closed the connection")),
+            LineRead::EofMidLine => {
+                return Err(protocol_error(format!(
+                    "truncated reply: connection closed after {} bytes of an unterminated line",
+                    self.line.len()
+                )));
+            }
+            LineRead::TooLong(n) => {
+                return Err(protocol_error(format!(
+                    "oversized reply: {n} byte line exceeds the {} byte limit",
+                    self.max_reply_bytes
+                )));
+            }
         }
-        serde_json::from_str(&reply).map_err(|e| protocol_error(format!("bad reply: {e}")))
+        let text = std::str::from_utf8(&self.line)
+            .map_err(|e| protocol_error(format!("reply is not UTF-8: {e}")))?;
+        wire::parse_server_message(text).map_err(|e| protocol_error(format!("bad reply: {e}")))
     }
 
     /// Evaluate one request.
     pub fn decide(&mut self, req: &DecisionRequest) -> std::io::Result<DecisionResponse> {
-        match self.roundtrip(&ClientMessage::Decide(req.clone()))? {
+        wire::write_decide(req, &mut self.wbuf);
+        self.wbuf.push(b'\n');
+        self.send()?;
+        match self.read_reply()? {
             ServerMessage::Decision(d) => Ok(d),
             ServerMessage::Error(e) => Err(protocol_error(e)),
             other => Err(protocol_error(format!("unexpected reply: {other:?}"))),
@@ -53,7 +106,10 @@ impl Client {
         &mut self,
         reqs: &[DecisionRequest],
     ) -> std::io::Result<Vec<DecisionResponse>> {
-        match self.roundtrip(&ClientMessage::DecideBatch(reqs.to_vec()))? {
+        wire::write_decide_batch(reqs, &mut self.wbuf);
+        self.wbuf.push(b'\n');
+        self.send()?;
+        match self.read_reply()? {
             ServerMessage::Batch(b) if b.len() == reqs.len() => Ok(b),
             ServerMessage::Batch(b) => Err(protocol_error(format!(
                 "expected {} responses, got {}",
@@ -65,9 +121,90 @@ impl Client {
         }
     }
 
+    /// Evaluate `reqs` with up to `depth` single `Decide` lines in
+    /// flight, returning responses in request order. Semantically
+    /// identical to calling [`Client::decide`] in a loop; the window
+    /// just overlaps the network and the server's evaluation.
+    pub fn decide_pipelined(
+        &mut self,
+        reqs: &[DecisionRequest],
+        depth: usize,
+    ) -> std::io::Result<Vec<DecisionResponse>> {
+        self.run_pipeline(reqs.len(), depth, |wbuf, i| {
+            wire::write_decide(&reqs[i], wbuf);
+            1
+        })
+    }
+
+    /// Evaluate `reqs` chopped into `DecideBatch` lines of `batch`
+    /// requests, with up to `depth` batch lines in flight. Responses
+    /// come back flattened, in request order.
+    pub fn decide_batch_pipelined(
+        &mut self,
+        reqs: &[DecisionRequest],
+        batch: usize,
+        depth: usize,
+    ) -> std::io::Result<Vec<DecisionResponse>> {
+        let batch = batch.max(1);
+        let chunks: Vec<&[DecisionRequest]> = reqs.chunks(batch).collect();
+        self.run_pipeline(chunks.len(), depth, |wbuf, i| {
+            wire::write_decide_batch(chunks[i], wbuf);
+            chunks[i].len()
+        })
+    }
+
+    /// The shared pipeline driver: `messages` lines total, at most
+    /// `depth` unread at any moment. `encode` appends line `i` (without
+    /// its newline) to the write buffer and returns how many responses
+    /// that line must produce.
+    fn run_pipeline(
+        &mut self,
+        messages: usize,
+        depth: usize,
+        mut encode: impl FnMut(&mut Vec<u8>, usize) -> usize,
+    ) -> std::io::Result<Vec<DecisionResponse>> {
+        let depth = depth.max(1);
+        let mut responses = Vec::new();
+        let mut expected: std::collections::VecDeque<usize> =
+            std::collections::VecDeque::with_capacity(depth);
+        let mut next = 0usize;
+        while next < messages || !expected.is_empty() {
+            // Fill the window: encode every line it has room for, then
+            // ship them with one write.
+            while next < messages && expected.len() < depth {
+                expected.push_back(encode(&mut self.wbuf, next));
+                self.wbuf.push(b'\n');
+                next += 1;
+            }
+            if !self.wbuf.is_empty() {
+                self.send()?;
+            }
+            // Drain one reply, opening one window slot. Replies arrive
+            // in send order, so the front of `expected` is always the
+            // reply being read.
+            let want = expected.pop_front().expect("a reply is outstanding");
+            match self.read_reply()? {
+                ServerMessage::Decision(d) if want == 1 => responses.push(d),
+                ServerMessage::Batch(b) if b.len() == want => responses.extend(b),
+                ServerMessage::Batch(b) => {
+                    return Err(protocol_error(format!(
+                        "expected {want} responses, got {}",
+                        b.len()
+                    )));
+                }
+                ServerMessage::Error(e) => return Err(protocol_error(e)),
+                other => return Err(protocol_error(format!("unexpected reply: {other:?}"))),
+            }
+        }
+        Ok(responses)
+    }
+
     /// Fetch service statistics.
     pub fn stats(&mut self) -> std::io::Result<StatsReport> {
-        match self.roundtrip(&ClientMessage::Stats)? {
+        wire::write_stats_request(&mut self.wbuf);
+        self.wbuf.push(b'\n');
+        self.send()?;
+        match self.read_reply()? {
             ServerMessage::Stats(s) => Ok(s),
             other => Err(protocol_error(format!("unexpected reply: {other:?}"))),
         }
@@ -75,7 +212,10 @@ impl Client {
 
     /// Liveness probe.
     pub fn ping(&mut self) -> std::io::Result<()> {
-        match self.roundtrip(&ClientMessage::Ping)? {
+        wire::write_ping(&mut self.wbuf);
+        self.wbuf.push(b'\n');
+        self.send()?;
+        match self.read_reply()? {
             ServerMessage::Pong => Ok(()),
             other => Err(protocol_error(format!("unexpected reply: {other:?}"))),
         }
@@ -84,7 +224,10 @@ impl Client {
     /// Ask the server to drain and stop. The connection is closed by
     /// the server afterwards.
     pub fn shutdown_server(&mut self) -> std::io::Result<()> {
-        match self.roundtrip(&ClientMessage::Shutdown)? {
+        wire::write_shutdown(&mut self.wbuf);
+        self.wbuf.push(b'\n');
+        self.send()?;
+        match self.read_reply()? {
             ServerMessage::ShuttingDown => Ok(()),
             other => Err(protocol_error(format!("unexpected reply: {other:?}"))),
         }

@@ -27,6 +27,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod wire;
 
 pub use client::Client;
 pub use protocol::{DecisionRequest, DecisionResponse, StatsReport};

@@ -1,9 +1,13 @@
-//! Property tests: the decision cache is invisible.
+//! Property tests: the decision cache is invisible, the hand-rolled
+//! wire codec is indistinguishable from serde, and pipelining never
+//! changes answers.
 //!
 //! For any request, the service's response — whether it was computed
 //! by a shard worker or replayed from the LRU cache — must serialize
 //! byte-identically to a direct `Engine::match_request` evaluation,
-//! activation lists included.
+//! activation lists included. The [`wire_equivalence`] module holds
+//! the codec properties; [`pipelining`] drives a real TCP server at
+//! random depths against the lockstep client.
 
 use crate::protocol::DecisionRequest;
 use crate::service::{Service, ServiceConfig};
@@ -129,5 +133,254 @@ proptest! {
             );
         }
         svc.shutdown();
+    }
+}
+
+/// The streaming serializer and hand-rolled wire writers must be
+/// byte-identical to the serde path, and the borrowed parsers must
+/// accept everything serde emits.
+mod wire_equivalence {
+    use super::*;
+    use crate::protocol::{
+        ClientMessage, DecisionResponse, ServerMessage, ShardStats, StatsReport,
+    };
+    use crate::wire;
+    use abp::{Activation, Decision, ListSource, MatchKind, RequestOutcome};
+
+    proptest! {
+        /// Client messages: `write_decide`/`write_decide_batch` bytes
+        /// equal `serde_json::to_string` equal `serde_json::to_vec`,
+        /// and `parse_client_message` round-trips the value — for
+        /// arbitrary field content including quotes, backslashes,
+        /// control characters, and non-ASCII.
+        #[test]
+        fn client_messages_byte_identical_and_round_trip(
+            urls in proptest::collection::vec(".{0,24}", 0..4),
+            document in ".{0,16}",
+            resource_type in prop::sample::select(&ResourceType::ALL[..]),
+            sitekey in prop::sample::select(&[
+                None,
+                Some("MFwwDQYJTESTKEY"),
+                Some("key with \"quotes\" and \\slashes\\"),
+                Some("\tkey\nwith controls\u{7f}"),
+                Some(""),
+            ][..]),
+            single in any::<bool>(),
+        ) {
+            let reqs: Vec<DecisionRequest> = urls
+                .iter()
+                .map(|u| DecisionRequest {
+                    url: u.clone(),
+                    document: document.clone(),
+                    resource_type,
+                    sitekey: sitekey.map(str::to_string),
+                })
+                .collect();
+            let msg = match (single, reqs.first()) {
+                (true, Some(r)) => ClientMessage::Decide(r.clone()),
+                _ => ClientMessage::DecideBatch(reqs.clone()),
+            };
+
+            let serde_line = serde_json::to_string(&msg).unwrap();
+            let vec_line = String::from_utf8(serde_json::to_vec(&msg).unwrap()).unwrap();
+            prop_assert_eq!(&serde_line, &vec_line, "to_vec must match to_string");
+
+            let mut hand = Vec::new();
+            match &msg {
+                ClientMessage::Decide(r) => wire::write_decide(r, &mut hand),
+                ClientMessage::DecideBatch(rs) => wire::write_decide_batch(rs, &mut hand),
+                _ => unreachable!(),
+            }
+            prop_assert_eq!(
+                std::str::from_utf8(&hand).unwrap(),
+                &serde_line,
+                "hand-rolled writer must match serde"
+            );
+
+            let parsed = wire::parse_client_message(&serde_line).unwrap();
+            let owned = match parsed {
+                wire::ClientMessageRef::Decide(r) => ClientMessage::Decide(r.to_owned_request()),
+                wire::ClientMessageRef::DecideBatch(rs) => ClientMessage::DecideBatch(
+                    rs.iter().map(wire::DecisionRequestRef::to_owned_request).collect(),
+                ),
+                wire::ClientMessageRef::Stats => ClientMessage::Stats,
+                wire::ClientMessageRef::Ping => ClientMessage::Ping,
+                wire::ClientMessageRef::Shutdown => ClientMessage::Shutdown,
+            };
+            prop_assert_eq!(owned, msg, "borrowed parse must round-trip");
+        }
+
+        /// Server messages: every reply writer is byte-identical to
+        /// serde and `parse_server_message` round-trips it.
+        #[test]
+        fn server_messages_byte_identical_and_round_trip(
+            filter in ".{0,20}",
+            subject in ".{0,20}",
+            source in prop::sample::select(&[
+                ListSource::EasyList,
+                ListSource::AcceptableAds,
+                ListSource::Custom,
+            ][..]),
+            kind in prop::sample::select(&[
+                MatchKind::BlockRequest,
+                MatchKind::AllowRequest,
+                MatchKind::HideElement,
+                MatchKind::AllowElement,
+                MatchKind::DocumentAllow,
+                MatchKind::ElemhideAllow,
+                MatchKind::SitekeyAllow,
+            ][..]),
+            decision in prop::sample::select(&[
+                Decision::NoMatch,
+                Decision::Block,
+                Decision::AllowedByException,
+            ][..]),
+            donottrack in any::<bool>(),
+            cached in any::<bool>(),
+            activations in 0usize..3,
+            batch_len in 0usize..3,
+            counters in proptest::array::uniform5(0u64..1_000_000),
+            error_text in ".{0,32}",
+        ) {
+            let resp = DecisionResponse {
+                outcome: RequestOutcome {
+                    decision,
+                    activations: (0..activations)
+                        .map(|_| Activation {
+                            filter: filter.as_str().into(),
+                            source,
+                            kind,
+                            subject: subject.as_str().into(),
+                            donottrack,
+                        })
+                        .collect(),
+                },
+                cached,
+            };
+            let stats = StatsReport {
+                requests: counters[0],
+                cache_hits: counters[1],
+                blocks: counters[2],
+                exceptions: counters[3],
+                p50_us: counters[4],
+                p99_us: counters[0],
+                shards: vec![
+                    ShardStats {
+                        requests: counters[1],
+                        cache_hits: counters[2],
+                        blocks: counters[3],
+                        exceptions: counters[4],
+                        p50_us: counters[0],
+                        p99_us: counters[1],
+                    };
+                    batch_len
+                ],
+            };
+            let cases: Vec<ServerMessage> = vec![
+                ServerMessage::Decision(resp.clone()),
+                ServerMessage::Batch(vec![resp; batch_len]),
+                ServerMessage::Stats(stats),
+                ServerMessage::Pong,
+                ServerMessage::ShuttingDown,
+                ServerMessage::Error(error_text),
+            ];
+            for msg in cases {
+                let serde_line = serde_json::to_string(&msg).unwrap();
+                let vec_line = String::from_utf8(serde_json::to_vec(&msg).unwrap()).unwrap();
+                prop_assert_eq!(&serde_line, &vec_line, "to_vec must match to_string");
+
+                let mut hand = Vec::new();
+                match &msg {
+                    ServerMessage::Decision(r) => wire::write_decision_reply(r, &mut hand),
+                    ServerMessage::Batch(rs) => wire::write_batch_reply(rs, &mut hand),
+                    ServerMessage::Stats(s) => wire::write_stats_reply(s, &mut hand),
+                    ServerMessage::Pong => wire::write_pong(&mut hand),
+                    ServerMessage::ShuttingDown => wire::write_shutting_down(&mut hand),
+                    ServerMessage::Error(e) => wire::write_error(e, &mut hand),
+                }
+                prop_assert_eq!(
+                    std::str::from_utf8(&hand).unwrap(),
+                    &serde_line,
+                    "hand-rolled writer must match serde"
+                );
+
+                let parsed = wire::parse_server_message(&serde_line).unwrap();
+                prop_assert_eq!(parsed, msg, "parse must round-trip");
+            }
+        }
+    }
+}
+
+/// Pipelining is a throughput knob, never a semantics knob: at any
+/// depth and batch size, the responses equal the lockstep client's
+/// and the direct engine evaluation.
+mod pipelining {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use crate::Client;
+
+    proptest! {
+        #[test]
+        fn pipelined_matches_lockstep_at_any_depth(
+            hosts in proptest::collection::vec("[a-d]", 4..=16),
+            resource_type in prop::sample::select(&ResourceType::ALL[..]),
+            depth in 1usize..20,
+            batch in 1usize..10,
+            use_batches in any::<bool>(),
+        ) {
+            let server = Server::start(
+                test_engine(),
+                &ServerConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    max_line_bytes: 1024 * 1024,
+                    service: ServiceConfig {
+                        shards: 2,
+                        queue_depth: 32,
+                        cache_capacity: 64,
+                    },
+                },
+            )
+            .unwrap();
+            let engine = test_engine();
+            let reqs: Vec<DecisionRequest> = hosts
+                .iter()
+                .enumerate()
+                .map(|(i, h)| DecisionRequest {
+                    url: format!(
+                        "http://adnet{}.example/u{}.js",
+                        (h.as_bytes()[0] - b'a') % 3,
+                        i % 5
+                    ),
+                    document: format!("{h}.example"),
+                    resource_type,
+                    sitekey: None,
+                })
+                .collect();
+
+            let mut lockstep = Client::connect(server.local_addr()).unwrap();
+            let expected: Vec<_> = reqs
+                .iter()
+                .map(|r| lockstep.decide(r).unwrap())
+                .collect();
+
+            let mut piped = Client::connect(server.local_addr()).unwrap();
+            let got = if use_batches {
+                piped.decide_batch_pipelined(&reqs, batch, depth).unwrap()
+            } else {
+                piped.decide_pipelined(&reqs, depth).unwrap()
+            };
+
+            prop_assert_eq!(got.len(), expected.len());
+            for ((req, e), g) in reqs.iter().zip(&expected).zip(&got) {
+                // Outcomes (not `cached` flags — cache state differs
+                // between the two passes) must agree with each other
+                // and with the engine.
+                prop_assert_eq!(&e.outcome, &g.outcome, "order broken for {}", req.url);
+                let direct = direct_outcome(&engine, req);
+                prop_assert_eq!(&g.outcome, &direct);
+            }
+            drop((lockstep, piped));
+            server.shutdown();
+        }
     }
 }

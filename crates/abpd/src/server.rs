@@ -5,22 +5,40 @@
 //! one [`ServerMessage`](crate::protocol::ServerMessage) line per
 //! request, in order. `Shutdown` stops the acceptor, waits for open
 //! connections to finish, then drains the shard workers.
+//!
+//! The connection loop is built for pipelined clients: requests are
+//! parsed with the zero-copy [`wire`](crate::wire) codec straight out
+//! of a reusable line buffer, replies accumulate in a reusable write
+//! buffer, and the socket is only written once per *drained burst* —
+//! as long as more input is already buffered, the loop keeps reading
+//! and corks its replies, so a depth-N pipeline costs O(1) write
+//! syscalls per burst instead of one per reply. Line length is bounded
+//! ([`ServerConfig::max_line_bytes`]) so a malformed client cannot
+//! balloon server memory; an oversized line is discarded, answered
+//! with an `Error` naming its byte count, and the stream stays in sync.
 
-use crate::protocol::{ClientMessage, ServerMessage};
 use crate::service::{Service, ServiceConfig};
+use crate::wire::{self, ClientMessageRef, LineRead};
 use abp::Engine;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Flush the write buffer once it holds this many bytes even if more
+/// input is pending, so huge batch bursts don't buffer unboundedly.
+const CORK_FLUSH_BYTES: usize = 64 * 1024;
+
 /// Server configuration: bind address plus service tuning.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Address to bind; port 0 picks a free port.
     pub addr: String,
+    /// Longest accepted request line in bytes; longer lines are
+    /// discarded and answered with an `Error`. Default 1 MiB.
+    pub max_line_bytes: usize,
     /// Worker/cache configuration.
     pub service: ServiceConfig,
 }
@@ -29,6 +47,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            max_line_bytes: 1024 * 1024,
             service: ServiceConfig::default(),
         }
     }
@@ -38,6 +57,7 @@ struct Shared {
     service: Service,
     running: AtomicBool,
     open_connections: AtomicUsize,
+    max_line_bytes: usize,
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -57,6 +77,7 @@ impl Server {
             service: Service::start(engine, &config.service),
             running: AtomicBool::new(true),
             open_connections: AtomicUsize::new(0),
+            max_line_bytes: config.max_line_bytes.max(64),
         });
 
         let acceptor = {
@@ -137,41 +158,84 @@ fn trigger_stop(shared: &Shared, addr: SocketAddr) {
 }
 
 fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
-    let reader = BufReader::new(match stream.try_clone() {
+    let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
-    let mut writer = BufWriter::new(stream);
+    let mut writer = stream;
+    // Per-connection reusable state: the line buffer, the corked write
+    // buffer, and the batch scratch. Nothing here is reallocated per
+    // request once warmed up.
+    let mut line = Vec::new();
+    let mut out: Vec<u8> = Vec::with_capacity(4096);
+    let mut scratch = shared.service.scratch();
 
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    loop {
+        match wire::read_line_limited(&mut reader, &mut line, shared.max_line_bytes) {
+            Err(_) | Ok(LineRead::Eof) | Ok(LineRead::EofMidLine) => break,
+            Ok(LineRead::TooLong(n)) => {
+                wire::write_error(
+                    &format!(
+                        "request line too long: {n} bytes exceeds the {} byte limit",
+                        shared.max_line_bytes
+                    ),
+                    &mut out,
+                );
+                out.push(b'\n');
+            }
+            Ok(LineRead::Line) => match std::str::from_utf8(&line) {
+                Err(_) => {
+                    wire::write_error("unparseable message: request line is not UTF-8", &mut out);
+                    out.push(b'\n');
+                }
+                Ok(text) if text.trim().is_empty() => {}
+                Ok(text) => {
+                    match wire::parse_client_message(text) {
+                        Err(e) => wire::write_error(&format!("unparseable message: {e}"), &mut out),
+                        Ok(ClientMessageRef::Ping) => wire::write_pong(&mut out),
+                        Ok(ClientMessageRef::Stats) => {
+                            wire::write_stats_reply(&shared.service.stats(), &mut out)
+                        }
+                        Ok(ClientMessageRef::Decide(req)) => {
+                            match shared
+                                .service
+                                .decide_batch_into(std::slice::from_ref(&req), &mut scratch)
+                            {
+                                Ok(()) => {
+                                    wire::write_decision_reply(&scratch.responses()[0], &mut out)
+                                }
+                                Err(e) => wire::write_error(&e, &mut out),
+                            }
+                        }
+                        Ok(ClientMessageRef::DecideBatch(reqs)) => {
+                            match shared.service.decide_batch_into(&reqs, &mut scratch) {
+                                Ok(()) => wire::write_batch_reply(scratch.responses(), &mut out),
+                                Err(e) => wire::write_error(&e, &mut out),
+                            }
+                        }
+                        Ok(ClientMessageRef::Shutdown) => {
+                            wire::write_shutting_down(&mut out);
+                            out.push(b'\n');
+                            let _ = writer.write_all(&out);
+                            trigger_stop(shared, addr);
+                            return;
+                        }
+                    }
+                    out.push(b'\n');
+                }
+            },
         }
-        let reply = match serde_json::from_str::<ClientMessage>(&line) {
-            Err(e) => ServerMessage::Error(format!("unparseable message: {e}")),
-            Ok(ClientMessage::Ping) => ServerMessage::Pong,
-            Ok(ClientMessage::Stats) => ServerMessage::Stats(shared.service.stats()),
-            Ok(ClientMessage::Decide(req)) => match shared.service.decide(&req) {
-                Ok(resp) => ServerMessage::Decision(resp),
-                Err(e) => ServerMessage::Error(e),
-            },
-            Ok(ClientMessage::DecideBatch(reqs)) => match shared.service.decide_batch(&reqs) {
-                Ok(resps) => ServerMessage::Batch(resps),
-                Err(e) => ServerMessage::Error(e),
-            },
-            Ok(ClientMessage::Shutdown) => {
-                let line = serde_json::to_string(&ServerMessage::ShuttingDown)
-                    .expect("serialize ShuttingDown");
-                let _ = writeln!(writer, "{line}");
-                let _ = writer.flush();
-                trigger_stop(shared, addr);
+        // Cork: only touch the socket once the input burst is drained
+        // (nothing left in the read buffer) or the reply buffer is
+        // large enough that batching further would just add latency.
+        if reader.buffer().is_empty() || out.len() >= CORK_FLUSH_BYTES {
+            if !out.is_empty() && writer.write_all(&out).is_err() {
                 return;
             }
-        };
-        let line = serde_json::to_string(&reply).expect("serialize reply");
-        if writeln!(writer, "{line}").is_err() || writer.flush().is_err() {
-            break;
+            out.clear();
         }
+    }
+    if !out.is_empty() {
+        let _ = writer.write_all(&out);
     }
 }

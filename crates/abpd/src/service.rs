@@ -1,21 +1,29 @@
 //! The decision service: a sharded worker pool around one shared
 //! engine, fronted by the sharded LRU cache.
 //!
-//! A request's cache key hashes to a shard; that index selects both the
-//! cache shard *and* the worker that evaluates misses, so each shard's
-//! state is touched by one worker plus whichever connection handler is
-//! looking up. Handlers answer hits directly; misses travel over a
-//! bounded crossbeam channel (the queue depth is the backpressure
-//! valve: when a shard falls behind, senders block instead of piling
-//! up unbounded work).
+//! A request's cache digest hashes to a shard; that index selects both
+//! the cache shard *and* the worker that evaluates misses, so each
+//! shard's state is touched by one worker plus whichever connection
+//! handler is looking up. Handlers answer hits directly; misses travel
+//! over a bounded crossbeam channel (the queue depth is the
+//! backpressure valve: when a shard falls behind, senders block instead
+//! of piling up unbounded work).
+//!
+//! The hot entry point is [`Service::decide_batch_into`], which takes
+//! borrowed requests ([`DecisionRequestRef`]) and a caller-owned
+//! [`BatchScratch`]. A cache-hit decision through it allocates nothing:
+//! the digest is computed from borrowed fields, the response slot and
+//! every per-shard staging vector live in the scratch, and the reply
+//! channel for miss fan-out is created once per scratch, not per batch.
 
-use crate::cache::{CacheKey, DecisionCache};
+use crate::cache::{request_key_hash, DecisionCache, StoredKey};
 use crate::metrics::Metrics;
 use crate::protocol::{DecisionRequest, DecisionResponse, StatsReport};
+use crate::wire::DecisionRequestRef;
 use abp::{Decision, Engine, Request, RequestOutcome};
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -42,13 +50,103 @@ impl Default for ServiceConfig {
     }
 }
 
+/// One cache miss staged for shard evaluation.
+struct MissItem {
+    index: usize,
+    request: Request,
+    key_hash: u64,
+    key: StoredKey,
+}
+
+/// A worker's answer: the shard id (so the scratch returns the vectors
+/// to the right pool slot), the drained items vector (recycled), and
+/// the outcomes by batch index.
+type Reply = (usize, Vec<MissItem>, Vec<(usize, RequestOutcome)>);
+
 /// A chunk of engine evaluations queued to one shard worker. Chunking
 /// per (batch, shard) instead of per request keeps channel traffic —
 /// and the futex wakeups under it — constant per batch.
 struct Job {
-    items: Vec<(usize, Request, CacheKey)>,
+    items: Vec<MissItem>,
+    out: Vec<(usize, RequestOutcome)>,
     shard: usize,
-    reply: mpsc::Sender<Vec<(usize, RequestOutcome)>>,
+    enqueued: Instant,
+    reply: Sender<Reply>,
+}
+
+/// Guarantees the batch assembler hears back even if the worker panics
+/// mid-job: on unwind, send an empty reply so the item-count check in
+/// [`Service::decide_batch_into`] fails the batch instead of hanging.
+struct ReplyOnPanic {
+    reply: Option<(Sender<Reply>, usize)>,
+}
+
+impl Drop for ReplyOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Some((tx, shard)) = self.reply.take() {
+                let _ = tx.send((shard, Vec::new(), Vec::new()));
+            }
+        }
+    }
+}
+
+/// Reusable per-caller state for [`Service::decide_batch_into`]: the
+/// response buffer, per-shard miss staging, and the miss reply channel.
+/// Create one per connection (or loop) via [`Service::scratch`] and
+/// reuse it — after the first few batches, the hit path stops
+/// allocating entirely.
+pub struct BatchScratch {
+    responses: Vec<DecisionResponse>,
+    shard_of: Vec<usize>,
+    misses: Vec<Vec<MissItem>>,
+    outs: Vec<Vec<(usize, RequestOutcome)>>,
+    reply_tx: Sender<Reply>,
+    reply_rx: Receiver<Reply>,
+}
+
+impl BatchScratch {
+    fn new(shards: usize) -> BatchScratch {
+        // Capacity = shard count, so workers never block replying.
+        let (reply_tx, reply_rx) = bounded::<Reply>(shards);
+        BatchScratch {
+            responses: Vec::new(),
+            shard_of: Vec::new(),
+            misses: (0..shards).map(|_| Vec::new()).collect(),
+            outs: (0..shards).map(|_| Vec::new()).collect(),
+            reply_tx,
+            reply_rx,
+        }
+    }
+
+    /// The last batch's responses, in request order.
+    pub fn responses(&self) -> &[DecisionResponse] {
+        &self.responses
+    }
+
+    /// Drop any state that could leak across batches after a
+    /// mid-dispatch failure: in-flight replies for the failed batch
+    /// must not be mistaken for the next batch's answers.
+    fn reset_after_error(&mut self, shards: usize) {
+        let (reply_tx, reply_rx) = bounded::<Reply>(shards);
+        self.reply_tx = reply_tx;
+        self.reply_rx = reply_rx;
+        for m in &mut self.misses {
+            m.clear();
+        }
+    }
+}
+
+/// An alloc-free placeholder filled into every response slot before
+/// dispatch (cloning an empty activation list allocates nothing).
+fn placeholder_response() -> DecisionResponse {
+    DecisionResponse {
+        outcome: RequestOutcome {
+            decision: Decision::NoMatch,
+            activations: Vec::new(),
+        },
+        cached: false,
+    }
 }
 
 /// The running decision service (no networking; see
@@ -77,20 +175,33 @@ impl Service {
             senders.push(tx);
             let engine = engine.clone();
             let cache = cache.clone();
+            let metrics = metrics.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("abpd-shard-{shard}"))
                     .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            let mut out = Vec::with_capacity(job.items.len());
-                            for (index, request, key) in job.items {
-                                let outcome = engine.match_request(&request);
-                                cache.insert(job.shard, key, outcome.clone());
-                                out.push((index, outcome));
+                        while let Ok(mut job) = rx.recv() {
+                            let mut guard = ReplyOnPanic {
+                                reply: Some((job.reply.clone(), job.shard)),
+                            };
+                            // Queue wait is shared by the whole chunk;
+                            // each item then adds its own eval time, so
+                            // recorded latency is what a caller saw for
+                            // *that* decision, not the batch average.
+                            let wait_us = job.enqueued.elapsed().as_micros() as u64;
+                            let latency = &metrics.shard(job.shard).latency;
+                            for item in job.items.drain(..) {
+                                let eval_start = Instant::now();
+                                let outcome = engine.match_request(&item.request);
+                                cache.insert(job.shard, item.key_hash, item.key, outcome.clone());
+                                latency
+                                    .record_us(wait_us + eval_start.elapsed().as_micros() as u64);
+                                job.out.push((item.index, outcome));
                             }
-                            // Receiver may have given up (client gone);
-                            // a dead reply channel is not an error.
-                            let _ = job.reply.send(out);
+                            guard.reply = None; // disarm: the chunk completed
+                                                // Receiver may have given up (client gone);
+                                                // a dead reply channel is not an error.
+                            let _ = job.reply.send((job.shard, job.items, job.out));
                         }
                     })
                     .expect("spawn shard worker"),
@@ -115,89 +226,152 @@ impl Service {
         self.filter_count
     }
 
-    /// Evaluate one request.
+    /// Fresh reusable scratch sized for this service's shard count.
+    pub fn scratch(&self) -> BatchScratch {
+        BatchScratch::new(self.senders.len())
+    }
+
+    /// Evaluate one request (convenience wrapper; allocates a scratch).
     pub fn decide(&self, req: &DecisionRequest) -> Result<DecisionResponse, String> {
         let mut out = self.decide_batch(std::slice::from_ref(req))?;
         Ok(out.pop().expect("one response per request"))
     }
 
-    /// Evaluate a batch, returning responses in request order.
-    ///
-    /// Cache hits are answered inline; misses are fanned out to the
-    /// shard workers and reassembled by index. Any malformed request
-    /// fails the whole batch (the protocol answers one message per
-    /// line, so partial answers have nowhere to go).
+    /// Evaluate a batch of owned requests (convenience wrapper;
+    /// allocates a scratch — hot callers should hold a [`BatchScratch`]
+    /// and use [`Service::decide_batch_into`]).
     pub fn decide_batch(&self, reqs: &[DecisionRequest]) -> Result<Vec<DecisionResponse>, String> {
-        let start = Instant::now();
-        let mut responses: Vec<Option<DecisionResponse>> = vec![None; reqs.len()];
-        let mut shard_of: Vec<usize> = Vec::with_capacity(reqs.len());
-        let mut misses: Vec<Vec<(usize, Request, CacheKey)>> =
-            (0..self.senders.len()).map(|_| Vec::new()).collect();
+        let refs: Vec<DecisionRequestRef<'_>> =
+            reqs.iter().map(DecisionRequest::as_request_ref).collect();
+        let mut scratch = self.scratch();
+        self.decide_batch_into(&refs, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.responses))
+    }
 
+    /// Evaluate a batch of borrowed requests into `scratch.responses`
+    /// (request order).
+    ///
+    /// Cache hits are answered inline without allocating; misses are
+    /// fanned out to the shard workers and reassembled by index. Any
+    /// malformed request fails the whole batch (the protocol answers
+    /// one message per line, so partial answers have nowhere to go).
+    pub fn decide_batch_into(
+        &self,
+        reqs: &[DecisionRequestRef<'_>],
+        scratch: &mut BatchScratch,
+    ) -> Result<(), String> {
+        let shards = self.senders.len();
+        assert_eq!(
+            scratch.misses.len(),
+            shards,
+            "scratch built for a different service"
+        );
+        scratch.responses.clear();
+        scratch.responses.resize(reqs.len(), placeholder_response());
+        scratch.shard_of.clear();
+
+        let mut dispatched = 0usize;
         for (index, dr) in reqs.iter().enumerate() {
-            let request = Request::new(&dr.url, &dr.document, dr.resource_type)
-                .map_err(|e| format!("request {index}: bad url {:?}: {e:?}", dr.url))?;
-            let request = match &dr.sitekey {
-                Some(k) => request.with_sitekey(k.clone()),
-                None => request,
-            };
-            let key = CacheKey::of(dr);
-            let shard = self.cache.shard_of(&key);
-            shard_of.push(shard);
-            if let Some(outcome) = self.cache.get(shard, &key) {
-                self.metrics
-                    .shard(shard)
-                    .cache_hits
-                    .fetch_add(1, Ordering::Relaxed);
-                responses[index] = Some(DecisionResponse {
+            let sitekey = dr.sitekey.as_deref();
+            let key_hash = request_key_hash(&dr.url, &dr.document, dr.resource_type, sitekey);
+            let shard = self.cache.shard_of(key_hash);
+            scratch.shard_of.push(shard);
+            let lookup_start = Instant::now();
+            if let Some(outcome) = self.cache.get(
+                shard,
+                key_hash,
+                &dr.url,
+                &dr.document,
+                dr.resource_type,
+                sitekey,
+            ) {
+                let m = self.metrics.shard(shard);
+                m.cache_hits.fetch_add(1, Ordering::Relaxed);
+                m.latency
+                    .record_us(lookup_start.elapsed().as_micros() as u64);
+                scratch.responses[index] = DecisionResponse {
                     outcome,
                     cached: true,
-                });
+                };
             } else {
-                misses[shard].push((index, request, key));
+                // Only misses pay for URL validation: a request that
+                // fails to parse can never have been inserted, so the
+                // hit path above is already covered by it.
+                let request =
+                    Request::new(&dr.url, &dr.document, dr.resource_type).map_err(|e| {
+                        for m in &mut scratch.misses {
+                            m.clear();
+                        }
+                        format!("request {index}: bad url {:?}: {e:?}", dr.url)
+                    })?;
+                let request = match sitekey {
+                    Some(k) => request.with_sitekey(k),
+                    None => request,
+                };
+                let key = StoredKey::new(&dr.url, &dr.document, dr.resource_type, sitekey);
+                scratch.misses[shard].push(MissItem {
+                    index,
+                    request,
+                    key_hash,
+                    key,
+                });
+                dispatched += 1;
             }
         }
 
-        let (reply_tx, reply_rx) = mpsc::channel::<Vec<(usize, RequestOutcome)>>();
         let mut jobs = 0usize;
-        for (shard, items) in misses.into_iter().enumerate() {
-            if items.is_empty() {
+        for shard in 0..shards {
+            if scratch.misses[shard].is_empty() {
                 continue;
             }
             jobs += 1;
-            self.senders[shard]
-                .send(Job {
-                    items,
-                    shard,
-                    reply: reply_tx.clone(),
-                })
-                .map_err(|_| "service is shut down".to_string())?;
-        }
-        drop(reply_tx);
-
-        for _ in 0..jobs {
-            let chunk = reply_rx
-                .recv()
-                .map_err(|_| "shard worker died mid-batch".to_string())?;
-            for (index, outcome) in chunk {
-                responses[index] = Some(DecisionResponse {
-                    outcome,
-                    cached: false,
-                });
+            let items = std::mem::take(&mut scratch.misses[shard]);
+            let mut out = std::mem::take(&mut scratch.outs[shard]);
+            out.clear();
+            let job = Job {
+                items,
+                out,
+                shard,
+                enqueued: Instant::now(),
+                reply: scratch.reply_tx.clone(),
+            };
+            if self.senders[shard].send(job).is_err() {
+                scratch.reset_after_error(shards);
+                return Err("service is shut down".to_string());
             }
         }
 
-        // Account per-shard counters and amortized latency.
-        let per_item_us = if reqs.is_empty() {
-            0
-        } else {
-            start.elapsed().as_micros() as u64 / reqs.len() as u64
-        };
-        let out: Vec<DecisionResponse> = responses
-            .into_iter()
-            .map(|r| r.expect("every index answered"))
-            .collect();
-        for (resp, &shard) in out.iter().zip(&shard_of) {
+        let mut answered = 0usize;
+        for _ in 0..jobs {
+            let (shard, items, out) = scratch
+                .reply_rx
+                .recv()
+                .map_err(|_| "shard worker died mid-batch".to_string())?;
+            answered += out.len();
+            for &(index, ref outcome) in &out {
+                scratch.responses[index] = DecisionResponse {
+                    outcome: outcome.clone(),
+                    cached: false,
+                };
+            }
+            // Return the drained vectors to their pool slots.
+            scratch.misses[shard] = items;
+            scratch.outs[shard] = out;
+        }
+        if answered != dispatched {
+            // A worker panicked mid-chunk (its Drop guard sent a short
+            // reply). Unanswered slots still hold the placeholder, so
+            // fail the batch rather than serve fabricated NoMatch.
+            scratch.reset_after_error(shards);
+            return Err(format!(
+                "shard worker died mid-batch ({answered}/{dispatched} evaluations completed)"
+            ));
+        }
+
+        // Account per-shard counters; latency was already recorded at
+        // the point each decision was actually made (hit lookups above,
+        // miss evaluations in the workers).
+        for (resp, &shard) in scratch.responses.iter().zip(&scratch.shard_of) {
             let m = self.metrics.shard(shard);
             m.requests.fetch_add(1, Ordering::Relaxed);
             match resp.outcome.decision {
@@ -209,9 +383,8 @@ impl Service {
                 }
                 Decision::NoMatch => {}
             }
-            m.latency.record_us(per_item_us);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Snapshot service statistics.
@@ -317,6 +490,57 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_calls() {
+        let svc = service();
+        let mut scratch = svc.scratch();
+        let reqs = vec![
+            dr(
+                "http://ad.doubleclick.net/x.js",
+                "example.com",
+                ResourceType::Script,
+            ),
+            dr(
+                "http://example.com/style.css",
+                "example.com",
+                ResourceType::Stylesheet,
+            ),
+        ];
+        let refs: Vec<_> = reqs.iter().map(DecisionRequest::as_request_ref).collect();
+        let mut previous: Option<Vec<DecisionResponse>> = None;
+        for round in 0..5 {
+            svc.decide_batch_into(&refs, &mut scratch).unwrap();
+            assert_eq!(scratch.responses().len(), reqs.len());
+            if let Some(prev) = &previous {
+                for (p, n) in prev.iter().zip(scratch.responses()) {
+                    assert_eq!(p.outcome, n.outcome, "round {round}");
+                    assert!(n.cached, "round {round} should be fully cached");
+                }
+            }
+            previous = Some(scratch.responses().to_vec());
+        }
+    }
+
+    #[test]
+    fn scratch_recovers_after_bad_url() {
+        let svc = service();
+        let mut scratch = svc.scratch();
+        let good = dr(
+            "http://ad.doubleclick.net/x.js",
+            "example.com",
+            ResourceType::Script,
+        );
+        let bad = dr("not a url", "example.com", ResourceType::Image);
+        let refs = vec![good.as_request_ref(), bad.as_request_ref()];
+        let err = svc.decide_batch_into(&refs, &mut scratch).unwrap_err();
+        assert!(err.contains("bad url"), "{err}");
+        // The same scratch keeps working afterwards.
+        let refs = vec![good.as_request_ref()];
+        svc.decide_batch_into(&refs, &mut scratch).unwrap();
+        assert_eq!(scratch.responses().len(), 1);
+        assert_eq!(scratch.responses()[0].outcome.decision, Decision::Block);
+    }
+
+    #[test]
     fn bad_url_fails_batch() {
         let svc = service();
         let err = svc
@@ -347,6 +571,22 @@ mod tests {
     fn empty_batch_is_fine() {
         let svc = service();
         assert!(svc.decide_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sitekey_distinguishes_cache_entries() {
+        let svc = service();
+        let plain = dr(
+            "http://example.com/style.css",
+            "example.com",
+            ResourceType::Stylesheet,
+        );
+        let mut keyed = plain.clone();
+        keyed.sitekey = Some("SITEKEY".into());
+        let a = svc.decide(&plain).unwrap();
+        let b = svc.decide(&keyed).unwrap();
+        assert!(!a.cached && !b.cached, "distinct keys never collide");
+        assert!(svc.decide(&keyed).unwrap().cached);
     }
 
     #[test]

@@ -1,0 +1,1203 @@
+//! The compiled wire path: hand-rolled JSON codecs for the abpd
+//! protocol.
+//!
+//! The generic serde stack (vendored `serde`/`serde_json`) round-trips
+//! every message through a [`serde::Content`] tree — one heap `String`
+//! per key and string value, one `Vec` per object — which is fine for
+//! artifacts but dominates the socket-to-socket cost of a decision at
+//! service rates. This module provides the allocation-conscious
+//! alternative the server and client use on the hot path:
+//!
+//! * **Borrowed decode** ([`parse_client_message`]): parses a request
+//!   line directly into [`ClientMessageRef`], whose string fields
+//!   borrow from the line buffer (`Cow::Borrowed` unless a JSON escape
+//!   forces unescaping). No `Content` tree, no per-field `String`.
+//! * **Streaming encode** ([`write_decision_reply`] and friends):
+//!   appends a reply's bytes to a caller-owned `Vec<u8>`, so a
+//!   connection reuses one write buffer for its whole lifetime.
+//!
+//! Every writer is **byte-identical** to `serde_json::to_string` of the
+//! corresponding [`protocol`](crate::protocol) value, and every parser
+//! accepts anything the serde path accepts (any field order, unknown
+//! fields skipped, optional fields defaulted) — property-tested in
+//! `crate::proptests::wire_equivalence`.
+
+use crate::protocol::{DecisionRequest, DecisionResponse, ServerMessage, ShardStats, StatsReport};
+use abp::{Activation, Decision, ListSource, MatchKind, RequestOutcome, ResourceType};
+use serde_json::write_escaped_str;
+use std::borrow::Cow;
+use std::io::{BufRead, Write};
+
+// ------------------------------------------------------------ borrowed types
+
+/// One decision to make, borrowing its strings from the request line.
+///
+/// The borrowed analog of [`DecisionRequest`]: `Cow::Borrowed` unless a
+/// JSON escape in the wire form forced unescaping into an owned string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionRequestRef<'a> {
+    /// Absolute URL being fetched.
+    pub url: Cow<'a, str>,
+    /// The first-party (document) hostname the fetch happens under.
+    pub document: Cow<'a, str>,
+    /// Resource type inferred from the initiating element.
+    pub resource_type: ResourceType,
+    /// Verified sitekey presented by the document, if any.
+    pub sitekey: Option<Cow<'a, str>>,
+}
+
+impl DecisionRequestRef<'_> {
+    /// Clone into the owned wire struct.
+    pub fn to_owned_request(&self) -> DecisionRequest {
+        DecisionRequest {
+            url: self.url.clone().into_owned(),
+            document: self.document.clone().into_owned(),
+            resource_type: self.resource_type,
+            sitekey: self.sitekey.clone().map(Cow::into_owned),
+        }
+    }
+}
+
+impl DecisionRequest {
+    /// Borrow this request as the zero-copy wire form.
+    pub fn as_request_ref(&self) -> DecisionRequestRef<'_> {
+        DecisionRequestRef {
+            url: Cow::Borrowed(&self.url),
+            document: Cow::Borrowed(&self.document),
+            resource_type: self.resource_type,
+            sitekey: self.sitekey.as_deref().map(Cow::Borrowed),
+        }
+    }
+}
+
+/// A parsed client message whose payload borrows from the request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientMessageRef<'a> {
+    /// Evaluate one request.
+    Decide(DecisionRequestRef<'a>),
+    /// Evaluate a batch in order; answered by one `Batch` message.
+    DecideBatch(Vec<DecisionRequestRef<'a>>),
+    /// Fetch service statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to stop accepting connections and drain.
+    Shutdown,
+}
+
+// ------------------------------------------------------------ enum names
+
+/// The serde-derived wire name of a resource type (the variant name,
+/// not the filter-option keyword).
+fn resource_type_name(rt: ResourceType) -> &'static str {
+    match rt {
+        ResourceType::Script => "Script",
+        ResourceType::Image => "Image",
+        ResourceType::Stylesheet => "Stylesheet",
+        ResourceType::Object => "Object",
+        ResourceType::XmlHttpRequest => "XmlHttpRequest",
+        ResourceType::ObjectSubrequest => "ObjectSubrequest",
+        ResourceType::Subdocument => "Subdocument",
+        ResourceType::Document => "Document",
+        ResourceType::Other => "Other",
+        ResourceType::Background => "Background",
+        ResourceType::Xbl => "Xbl",
+        ResourceType::Ping => "Ping",
+        ResourceType::Dtd => "Dtd",
+    }
+}
+
+fn resource_type_from_name(name: &str) -> Option<ResourceType> {
+    Some(match name {
+        "Script" => ResourceType::Script,
+        "Image" => ResourceType::Image,
+        "Stylesheet" => ResourceType::Stylesheet,
+        "Object" => ResourceType::Object,
+        "XmlHttpRequest" => ResourceType::XmlHttpRequest,
+        "ObjectSubrequest" => ResourceType::ObjectSubrequest,
+        "Subdocument" => ResourceType::Subdocument,
+        "Document" => ResourceType::Document,
+        "Other" => ResourceType::Other,
+        "Background" => ResourceType::Background,
+        "Xbl" => ResourceType::Xbl,
+        "Ping" => ResourceType::Ping,
+        "Dtd" => ResourceType::Dtd,
+        _ => return None,
+    })
+}
+
+fn decision_name(d: Decision) -> &'static str {
+    match d {
+        Decision::NoMatch => "NoMatch",
+        Decision::Block => "Block",
+        Decision::AllowedByException => "AllowedByException",
+    }
+}
+
+fn decision_from_name(name: &str) -> Option<Decision> {
+    Some(match name {
+        "NoMatch" => Decision::NoMatch,
+        "Block" => Decision::Block,
+        "AllowedByException" => Decision::AllowedByException,
+        _ => return None,
+    })
+}
+
+fn list_source_name(s: ListSource) -> &'static str {
+    match s {
+        ListSource::EasyList => "EasyList",
+        ListSource::AcceptableAds => "AcceptableAds",
+        ListSource::Custom => "Custom",
+    }
+}
+
+fn list_source_from_name(name: &str) -> Option<ListSource> {
+    Some(match name {
+        "EasyList" => ListSource::EasyList,
+        "AcceptableAds" => ListSource::AcceptableAds,
+        "Custom" => ListSource::Custom,
+        _ => return None,
+    })
+}
+
+fn match_kind_name(k: MatchKind) -> &'static str {
+    match k {
+        MatchKind::BlockRequest => "BlockRequest",
+        MatchKind::AllowRequest => "AllowRequest",
+        MatchKind::HideElement => "HideElement",
+        MatchKind::AllowElement => "AllowElement",
+        MatchKind::DocumentAllow => "DocumentAllow",
+        MatchKind::ElemhideAllow => "ElemhideAllow",
+        MatchKind::SitekeyAllow => "SitekeyAllow",
+    }
+}
+
+fn match_kind_from_name(name: &str) -> Option<MatchKind> {
+    Some(match name {
+        "BlockRequest" => MatchKind::BlockRequest,
+        "AllowRequest" => MatchKind::AllowRequest,
+        "HideElement" => MatchKind::HideElement,
+        "AllowElement" => MatchKind::AllowElement,
+        "DocumentAllow" => MatchKind::DocumentAllow,
+        "ElemhideAllow" => MatchKind::ElemhideAllow,
+        "SitekeyAllow" => MatchKind::SitekeyAllow,
+        _ => return None,
+    })
+}
+
+// ------------------------------------------------------------ writers
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    write!(out, "{v}").expect("Vec<u8> writes are infallible");
+}
+
+fn write_request_parts(
+    url: &str,
+    document: &str,
+    resource_type: ResourceType,
+    sitekey: Option<&str>,
+    out: &mut Vec<u8>,
+) {
+    push_str(out, "{\"url\":");
+    write_escaped_str(url, out);
+    push_str(out, ",\"document\":");
+    write_escaped_str(document, out);
+    push_str(out, ",\"resource_type\":\"");
+    push_str(out, resource_type_name(resource_type));
+    push_str(out, "\",\"sitekey\":");
+    match sitekey {
+        Some(k) => write_escaped_str(k, out),
+        None => push_str(out, "null"),
+    }
+    out.push(b'}');
+}
+
+/// Append a `Decide` request line body (no trailing newline).
+pub fn write_decide(req: &DecisionRequest, out: &mut Vec<u8>) {
+    push_str(out, "{\"Decide\":");
+    write_request_parts(
+        &req.url,
+        &req.document,
+        req.resource_type,
+        req.sitekey.as_deref(),
+        out,
+    );
+    out.push(b'}');
+}
+
+/// Append a `DecideBatch` request line body (no trailing newline).
+pub fn write_decide_batch(reqs: &[DecisionRequest], out: &mut Vec<u8>) {
+    push_str(out, "{\"DecideBatch\":[");
+    for (i, req) in reqs.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        write_request_parts(
+            &req.url,
+            &req.document,
+            req.resource_type,
+            req.sitekey.as_deref(),
+            out,
+        );
+    }
+    push_str(out, "]}");
+}
+
+/// Append the `Stats` verb.
+pub fn write_stats_request(out: &mut Vec<u8>) {
+    push_str(out, "\"Stats\"");
+}
+
+/// Append the `Ping` verb.
+pub fn write_ping(out: &mut Vec<u8>) {
+    push_str(out, "\"Ping\"");
+}
+
+/// Append the `Shutdown` verb.
+pub fn write_shutdown(out: &mut Vec<u8>) {
+    push_str(out, "\"Shutdown\"");
+}
+
+fn write_activation(a: &Activation, out: &mut Vec<u8>) {
+    push_str(out, "{\"filter\":");
+    write_escaped_str(&a.filter, out);
+    push_str(out, ",\"source\":\"");
+    push_str(out, list_source_name(a.source));
+    push_str(out, "\",\"kind\":\"");
+    push_str(out, match_kind_name(a.kind));
+    push_str(out, "\",\"subject\":");
+    write_escaped_str(&a.subject, out);
+    push_str(out, ",\"donottrack\":");
+    push_str(out, if a.donottrack { "true" } else { "false" });
+    out.push(b'}');
+}
+
+fn write_outcome(o: &RequestOutcome, out: &mut Vec<u8>) {
+    push_str(out, "{\"decision\":\"");
+    push_str(out, decision_name(o.decision));
+    push_str(out, "\",\"activations\":[");
+    for (i, a) in o.activations.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        write_activation(a, out);
+    }
+    push_str(out, "]}");
+}
+
+fn write_response_parts(resp: &DecisionResponse, out: &mut Vec<u8>) {
+    push_str(out, "{\"outcome\":");
+    write_outcome(&resp.outcome, out);
+    push_str(out, ",\"cached\":");
+    push_str(out, if resp.cached { "true" } else { "false" });
+    out.push(b'}');
+}
+
+/// Append a `Decision` reply line body (no trailing newline).
+pub fn write_decision_reply(resp: &DecisionResponse, out: &mut Vec<u8>) {
+    push_str(out, "{\"Decision\":");
+    write_response_parts(resp, out);
+    out.push(b'}');
+}
+
+/// Append a `Batch` reply line body (no trailing newline).
+pub fn write_batch_reply(resps: &[DecisionResponse], out: &mut Vec<u8>) {
+    push_str(out, "{\"Batch\":[");
+    for (i, resp) in resps.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        write_response_parts(resp, out);
+    }
+    push_str(out, "]}");
+}
+
+fn write_shard_stats(s: &ShardStats, out: &mut Vec<u8>) {
+    push_str(out, "{\"requests\":");
+    push_u64(out, s.requests);
+    push_str(out, ",\"cache_hits\":");
+    push_u64(out, s.cache_hits);
+    push_str(out, ",\"blocks\":");
+    push_u64(out, s.blocks);
+    push_str(out, ",\"exceptions\":");
+    push_u64(out, s.exceptions);
+    push_str(out, ",\"p50_us\":");
+    push_u64(out, s.p50_us);
+    push_str(out, ",\"p99_us\":");
+    push_u64(out, s.p99_us);
+    out.push(b'}');
+}
+
+/// Append a `Stats` reply line body (no trailing newline).
+pub fn write_stats_reply(r: &StatsReport, out: &mut Vec<u8>) {
+    push_str(out, "{\"Stats\":{\"requests\":");
+    push_u64(out, r.requests);
+    push_str(out, ",\"cache_hits\":");
+    push_u64(out, r.cache_hits);
+    push_str(out, ",\"blocks\":");
+    push_u64(out, r.blocks);
+    push_str(out, ",\"exceptions\":");
+    push_u64(out, r.exceptions);
+    push_str(out, ",\"p50_us\":");
+    push_u64(out, r.p50_us);
+    push_str(out, ",\"p99_us\":");
+    push_u64(out, r.p99_us);
+    push_str(out, ",\"shards\":[");
+    for (i, s) in r.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        write_shard_stats(s, out);
+    }
+    push_str(out, "]}}");
+}
+
+/// Append the `Pong` reply.
+pub fn write_pong(out: &mut Vec<u8>) {
+    push_str(out, "\"Pong\"");
+}
+
+/// Append the `ShuttingDown` reply.
+pub fn write_shutting_down(out: &mut Vec<u8>) {
+    push_str(out, "\"ShuttingDown\"");
+}
+
+/// Append an `Error` reply line body (no trailing newline).
+pub fn write_error(msg: &str, out: &mut Vec<u8>) {
+    push_str(out, "{\"Error\":");
+    write_escaped_str(msg, out);
+    out.push(b'}');
+}
+
+// ------------------------------------------------------------ parser
+
+struct Scan<'a> {
+    s: &'a str,
+    b: &'a [u8],
+    pos: usize,
+}
+
+type ScanResult<T> = Result<T, String>;
+
+impl<'a> Scan<'a> {
+    fn new(s: &'a str) -> Scan<'a> {
+        Scan {
+            s,
+            b: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> ScanResult<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.b[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_end(&self) -> ScanResult<()> {
+        if self.pos == self.b.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing characters at offset {}", self.pos))
+        }
+    }
+
+    /// A JSON string, borrowed from the input unless it contains an
+    /// escape sequence.
+    fn string(&mut self) -> ScanResult<Cow<'a, str>> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    let s = &self.s[start..self.pos];
+                    self.pos += 1;
+                    return Ok(Cow::Borrowed(s));
+                }
+                Some(b'\\') => return self.string_owned(start).map(Cow::Owned),
+                // Continuation bytes of multi-byte chars are >= 0x80,
+                // never `"` or `\`, so byte-stepping is safe; the slice
+                // boundaries above always land on ASCII.
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// Slow path: the string contains at least one escape (the scanner
+    /// sits on the first `\`); unescape into an owned buffer.
+    fn string_owned(&mut self, start: usize) -> ScanResult<String> {
+        let mut out = String::with_capacity(self.pos - start + 16);
+        out.push_str(&self.s[start..self.pos]);
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&hi) {
+                                if !self.eat_literal("\\u") {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                                let lo = self.hex4()?;
+                                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c).ok_or("bad surrogate pair")?
+                            } else {
+                                char::from_u32(hi).ok_or("bad unicode escape")?
+                            };
+                            out.push(ch);
+                            continue; // pos already past the escape
+                        }
+                        other => {
+                            return Err(format!("bad escape {:?}", other.map(|b| b as char)));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let run = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.s[run..self.pos]);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> ScanResult<u32> {
+        let end = self.pos + 4;
+        if end > self.b.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let s = &self.s[self.pos..end];
+        let v = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn u64_number(&mut self) -> ScanResult<u64> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected integer at offset {start}"));
+        }
+        self.s[start..self.pos]
+            .parse::<u64>()
+            .map_err(|e| format!("bad integer at offset {start}: {e}"))
+    }
+
+    fn bool_value(&mut self) -> ScanResult<bool> {
+        if self.eat_literal("true") {
+            Ok(true)
+        } else if self.eat_literal("false") {
+            Ok(false)
+        } else {
+            Err(format!("expected bool at offset {}", self.pos))
+        }
+    }
+
+    /// Skip any JSON value (for unknown fields).
+    fn skip_value(&mut self) -> ScanResult<()> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+                    }
+                }
+            }
+            Some(b't') if self.eat_literal("true") => {}
+            Some(b'f') if self.eat_literal("false") => {}
+            Some(b'n') if self.eat_literal("null") => {}
+            Some(b'-' | b'0'..=b'9') => {
+                self.pos += 1;
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                ) {
+                    self.pos += 1;
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unexpected {:?} at offset {}",
+                    other.map(|b| b as char),
+                    self.pos
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterate the fields of an object whose `{` has not been consumed.
+    /// Calls `field` with each key; `field` must consume the value.
+    fn object(
+        &mut self,
+        mut field: impl FnMut(&mut Self, &str) -> ScanResult<()>,
+    ) -> ScanResult<()> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            field(self, &key)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    /// Iterate the elements of an array whose `[` has not been
+    /// consumed. `elem` must consume one value per call.
+    fn array(&mut self, mut elem: impl FnMut(&mut Self) -> ScanResult<()>) -> ScanResult<()> {
+        self.skip_ws();
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            elem(self)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn decision_request(&mut self) -> ScanResult<DecisionRequestRef<'a>> {
+        let mut url = None;
+        let mut document = None;
+        let mut resource_type = None;
+        let mut sitekey = None;
+        self.object(|s, key| {
+            match key {
+                "url" => url = Some(s.string()?),
+                "document" => document = Some(s.string()?),
+                "resource_type" => {
+                    let name = s.string()?;
+                    resource_type = Some(
+                        resource_type_from_name(&name)
+                            .ok_or_else(|| format!("unknown resource type {name:?}"))?,
+                    );
+                }
+                "sitekey" => {
+                    if s.peek() == Some(b'n') {
+                        if !s.eat_literal("null") {
+                            return Err(format!("expected null at offset {}", s.pos));
+                        }
+                    } else {
+                        sitekey = Some(s.string()?);
+                    }
+                }
+                _ => s.skip_value()?,
+            }
+            Ok(())
+        })?;
+        Ok(DecisionRequestRef {
+            url: url.ok_or("missing field `url`")?,
+            document: document.ok_or("missing field `document`")?,
+            resource_type: resource_type.ok_or("missing field `resource_type`")?,
+            sitekey,
+        })
+    }
+
+    fn activation(&mut self) -> ScanResult<Activation> {
+        let mut filter = None;
+        let mut source = None;
+        let mut kind = None;
+        let mut subject = None;
+        let mut donottrack = false;
+        self.object(|s, key| {
+            match key {
+                "filter" => filter = Some(abp::IStr::from(&*s.string()?)),
+                "source" => {
+                    let name = s.string()?;
+                    source = Some(
+                        list_source_from_name(&name)
+                            .ok_or_else(|| format!("unknown list source {name:?}"))?,
+                    );
+                }
+                "kind" => {
+                    let name = s.string()?;
+                    kind = Some(
+                        match_kind_from_name(&name)
+                            .ok_or_else(|| format!("unknown match kind {name:?}"))?,
+                    );
+                }
+                "subject" => subject = Some(abp::IStr::from(&*s.string()?)),
+                "donottrack" => donottrack = s.bool_value()?,
+                _ => s.skip_value()?,
+            }
+            Ok(())
+        })?;
+        Ok(Activation {
+            filter: filter.ok_or("missing field `filter`")?,
+            source: source.ok_or("missing field `source`")?,
+            kind: kind.ok_or("missing field `kind`")?,
+            subject: subject.ok_or("missing field `subject`")?,
+            donottrack,
+        })
+    }
+
+    fn outcome(&mut self) -> ScanResult<RequestOutcome> {
+        let mut decision = None;
+        let mut activations = None;
+        self.object(|s, key| {
+            match key {
+                "decision" => {
+                    let name = s.string()?;
+                    decision = Some(
+                        decision_from_name(&name)
+                            .ok_or_else(|| format!("unknown decision {name:?}"))?,
+                    );
+                }
+                "activations" => {
+                    let mut list = Vec::new();
+                    s.array(|s| {
+                        list.push(s.activation()?);
+                        Ok(())
+                    })?;
+                    activations = Some(list);
+                }
+                _ => s.skip_value()?,
+            }
+            Ok(())
+        })?;
+        Ok(RequestOutcome {
+            decision: decision.ok_or("missing field `decision`")?,
+            activations: activations.ok_or("missing field `activations`")?,
+        })
+    }
+
+    fn decision_response(&mut self) -> ScanResult<DecisionResponse> {
+        let mut outcome = None;
+        let mut cached = None;
+        self.object(|s, key| {
+            match key {
+                "outcome" => outcome = Some(s.outcome()?),
+                "cached" => cached = Some(s.bool_value()?),
+                _ => s.skip_value()?,
+            }
+            Ok(())
+        })?;
+        Ok(DecisionResponse {
+            outcome: outcome.ok_or("missing field `outcome`")?,
+            cached: cached.ok_or("missing field `cached`")?,
+        })
+    }
+
+    fn shard_stats(&mut self) -> ScanResult<ShardStats> {
+        let mut stats = ShardStats::default();
+        self.object(|s, key| {
+            match key {
+                "requests" => stats.requests = s.u64_number()?,
+                "cache_hits" => stats.cache_hits = s.u64_number()?,
+                "blocks" => stats.blocks = s.u64_number()?,
+                "exceptions" => stats.exceptions = s.u64_number()?,
+                "p50_us" => stats.p50_us = s.u64_number()?,
+                "p99_us" => stats.p99_us = s.u64_number()?,
+                _ => s.skip_value()?,
+            }
+            Ok(())
+        })?;
+        Ok(stats)
+    }
+
+    fn stats_report(&mut self) -> ScanResult<StatsReport> {
+        let mut report = StatsReport::default();
+        self.object(|s, key| {
+            match key {
+                "requests" => report.requests = s.u64_number()?,
+                "cache_hits" => report.cache_hits = s.u64_number()?,
+                "blocks" => report.blocks = s.u64_number()?,
+                "exceptions" => report.exceptions = s.u64_number()?,
+                "p50_us" => report.p50_us = s.u64_number()?,
+                "p99_us" => report.p99_us = s.u64_number()?,
+                "shards" => {
+                    s.array(|s| {
+                        report.shards.push(s.shard_stats()?);
+                        Ok(())
+                    })?;
+                }
+                _ => s.skip_value()?,
+            }
+            Ok(())
+        })?;
+        Ok(report)
+    }
+}
+
+/// Parse one request line into the borrowed message form.
+pub fn parse_client_message(line: &str) -> Result<ClientMessageRef<'_>, String> {
+    let mut s = Scan::new(line);
+    s.skip_ws();
+    let msg = match s.peek() {
+        Some(b'"') => {
+            let verb = s.string()?;
+            match &*verb {
+                "Stats" => ClientMessageRef::Stats,
+                "Ping" => ClientMessageRef::Ping,
+                "Shutdown" => ClientMessageRef::Shutdown,
+                other => return Err(format!("unknown verb {other:?}")),
+            }
+        }
+        Some(b'{') => {
+            s.pos += 1;
+            s.skip_ws();
+            let key = s.string()?;
+            s.skip_ws();
+            s.expect(b':')?;
+            s.skip_ws();
+            let msg = match &*key {
+                "Decide" => ClientMessageRef::Decide(s.decision_request()?),
+                "DecideBatch" => {
+                    let mut reqs = Vec::new();
+                    s.array(|s| {
+                        reqs.push(s.decision_request()?);
+                        Ok(())
+                    })?;
+                    ClientMessageRef::DecideBatch(reqs)
+                }
+                other => return Err(format!("unknown message variant {other:?}")),
+            };
+            s.skip_ws();
+            s.expect(b'}')?;
+            msg
+        }
+        _ => return Err(format!("expected a JSON message at offset {}", s.pos)),
+    };
+    s.skip_ws();
+    s.expect_end()?;
+    Ok(msg)
+}
+
+/// Parse one reply line into an owned [`ServerMessage`].
+pub fn parse_server_message(line: &str) -> Result<ServerMessage, String> {
+    let mut s = Scan::new(line);
+    s.skip_ws();
+    let msg = match s.peek() {
+        Some(b'"') => {
+            let verb = s.string()?;
+            match &*verb {
+                "Pong" => ServerMessage::Pong,
+                "ShuttingDown" => ServerMessage::ShuttingDown,
+                other => return Err(format!("unknown reply verb {other:?}")),
+            }
+        }
+        Some(b'{') => {
+            s.pos += 1;
+            s.skip_ws();
+            let key = s.string()?;
+            s.skip_ws();
+            s.expect(b':')?;
+            s.skip_ws();
+            let msg = match &*key {
+                "Decision" => ServerMessage::Decision(s.decision_response()?),
+                "Batch" => {
+                    let mut resps = Vec::new();
+                    s.array(|s| {
+                        resps.push(s.decision_response()?);
+                        Ok(())
+                    })?;
+                    ServerMessage::Batch(resps)
+                }
+                "Stats" => ServerMessage::Stats(s.stats_report()?),
+                "Error" => ServerMessage::Error(s.string()?.into_owned()),
+                other => return Err(format!("unknown reply variant {other:?}")),
+            };
+            s.skip_ws();
+            s.expect(b'}')?;
+            msg
+        }
+        _ => return Err(format!("expected a JSON reply at offset {}", s.pos)),
+    };
+    s.skip_ws();
+    s.expect_end()?;
+    Ok(msg)
+}
+
+// ------------------------------------------------------------ line reader
+
+/// Outcome of one bounded line read.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum LineRead {
+    /// A complete line is in the buffer (terminator stripped).
+    Line,
+    /// Clean end of stream at a line boundary.
+    Eof,
+    /// End of stream mid-line; the partial line is in the buffer.
+    EofMidLine,
+    /// The line exceeded the limit; it was discarded up to and
+    /// including its newline. Carries the full line length in bytes.
+    TooLong(usize),
+}
+
+/// Read one `\n`-terminated line into `out` (cleared first), refusing
+/// to buffer more than `max` bytes. Oversized lines are consumed and
+/// discarded to keep the stream in sync, and reported with their total
+/// length.
+pub(crate) fn read_line_limited(
+    reader: &mut impl BufRead,
+    out: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    out.clear();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if out.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::EofMidLine
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if out.len() + i > max {
+                    let total = out.len() + i;
+                    reader.consume(i + 1);
+                    return Ok(LineRead::TooLong(total));
+                }
+                out.extend_from_slice(&buf[..i]);
+                reader.consume(i + 1);
+                if out.last() == Some(&b'\r') {
+                    out.pop();
+                }
+                return Ok(LineRead::Line);
+            }
+            None => {
+                let n = buf.len();
+                if out.len() + n > max {
+                    // Too long already; discard through the newline.
+                    let mut total = out.len() + n;
+                    reader.consume(n);
+                    loop {
+                        let buf = reader.fill_buf()?;
+                        if buf.is_empty() {
+                            return Ok(LineRead::TooLong(total));
+                        }
+                        match buf.iter().position(|&b| b == b'\n') {
+                            Some(i) => {
+                                total += i;
+                                reader.consume(i + 1);
+                                return Ok(LineRead::TooLong(total));
+                            }
+                            None => {
+                                total += buf.len();
+                                let n = buf.len();
+                                reader.consume(n);
+                            }
+                        }
+                    }
+                }
+                out.extend_from_slice(buf);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ClientMessage;
+
+    fn req(url: &str, sitekey: Option<&str>) -> DecisionRequest {
+        DecisionRequest {
+            url: url.to_string(),
+            document: "news.example".to_string(),
+            resource_type: ResourceType::Script,
+            sitekey: sitekey.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn enum_names_round_trip_through_serde() {
+        for rt in [
+            ResourceType::Script,
+            ResourceType::Image,
+            ResourceType::Stylesheet,
+            ResourceType::Object,
+            ResourceType::XmlHttpRequest,
+            ResourceType::ObjectSubrequest,
+            ResourceType::Subdocument,
+            ResourceType::Document,
+            ResourceType::Other,
+            ResourceType::Background,
+            ResourceType::Xbl,
+            ResourceType::Ping,
+            ResourceType::Dtd,
+        ] {
+            let wire = serde_json::to_string(&rt).unwrap();
+            assert_eq!(wire, format!("\"{}\"", resource_type_name(rt)));
+            assert_eq!(resource_type_from_name(resource_type_name(rt)), Some(rt));
+        }
+        for d in [
+            Decision::NoMatch,
+            Decision::Block,
+            Decision::AllowedByException,
+        ] {
+            assert_eq!(
+                serde_json::to_string(&d).unwrap(),
+                format!("\"{}\"", decision_name(d))
+            );
+            assert_eq!(decision_from_name(decision_name(d)), Some(d));
+        }
+        for s in [
+            ListSource::EasyList,
+            ListSource::AcceptableAds,
+            ListSource::Custom,
+        ] {
+            assert_eq!(
+                serde_json::to_string(&s).unwrap(),
+                format!("\"{}\"", list_source_name(s))
+            );
+            assert_eq!(list_source_from_name(list_source_name(s)), Some(s));
+        }
+        for k in [
+            MatchKind::BlockRequest,
+            MatchKind::AllowRequest,
+            MatchKind::HideElement,
+            MatchKind::AllowElement,
+            MatchKind::DocumentAllow,
+            MatchKind::ElemhideAllow,
+            MatchKind::SitekeyAllow,
+        ] {
+            assert_eq!(
+                serde_json::to_string(&k).unwrap(),
+                format!("\"{}\"", match_kind_name(k))
+            );
+            assert_eq!(match_kind_from_name(match_kind_name(k)), Some(k));
+        }
+    }
+
+    #[test]
+    fn request_writers_match_serde() {
+        for r in [
+            req("http://ads.example/x.js", None),
+            req("http://q.example/\"quoted\"\npath", Some("KEY")),
+            req("http://é😀.example/", Some("")),
+        ] {
+            let mut buf = Vec::new();
+            write_decide(&r, &mut buf);
+            let expect = serde_json::to_string(&ClientMessage::Decide(r.clone())).unwrap();
+            assert_eq!(std::str::from_utf8(&buf).unwrap(), expect);
+
+            buf.clear();
+            write_decide_batch(std::slice::from_ref(&r), &mut buf);
+            let expect =
+                serde_json::to_string(&ClientMessage::DecideBatch(vec![r.clone()])).unwrap();
+            assert_eq!(std::str::from_utf8(&buf).unwrap(), expect);
+        }
+        let mut buf = Vec::new();
+        write_decide_batch(&[], &mut buf);
+        assert_eq!(
+            std::str::from_utf8(&buf).unwrap(),
+            serde_json::to_string(&ClientMessage::DecideBatch(vec![])).unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_accepts_serde_output_and_borrows() {
+        let r = req("http://ads.example/x.js", None);
+        let line = serde_json::to_string(&ClientMessage::Decide(r.clone())).unwrap();
+        let parsed = parse_client_message(&line).unwrap();
+        match &parsed {
+            ClientMessageRef::Decide(p) => {
+                assert!(matches!(p.url, Cow::Borrowed(_)), "escape-free url borrows");
+                assert_eq!(p.to_owned_request(), r);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(
+            parse_client_message("\"Ping\"").unwrap(),
+            ClientMessageRef::Ping
+        );
+        assert_eq!(
+            parse_client_message("  \"Stats\" ").unwrap(),
+            ClientMessageRef::Stats
+        );
+    }
+
+    #[test]
+    fn parse_handles_field_order_unknown_fields_and_defaults() {
+        let line = r#"{"Decide":{"resource_type":"Image","ignored":{"a":[1,2,{"b":null}]},"document":"d.example","url":"http://u.example/"}}"#;
+        match parse_client_message(line).unwrap() {
+            ClientMessageRef::Decide(p) => {
+                assert_eq!(p.url, "http://u.example/");
+                assert_eq!(p.document, "d.example");
+                assert_eq!(p.resource_type, ResourceType::Image);
+                assert_eq!(p.sitekey, None);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Explicit null sitekey, and escaped strings go owned.
+        let line = r#"{"Decide":{"url":"http:\/\/u.example\/","document":"d","resource_type":"Other","sitekey":null}}"#;
+        match parse_client_message(line).unwrap() {
+            ClientMessageRef::Decide(p) => {
+                assert_eq!(p.url, "http://u.example/");
+                assert!(matches!(p.url, Cow::Owned(_)));
+                assert_eq!(p.sitekey, None);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_client_message("this is not json").is_err());
+        assert!(parse_client_message("\"Nope\"").is_err());
+        assert!(parse_client_message("{\"Decide\":{}}").is_err());
+        assert!(parse_client_message("{\"Decide\":{\"url\":\"u\"}} trailing").is_err());
+        assert!(parse_server_message("{\"Decision\":{}}").is_err());
+    }
+
+    #[test]
+    fn line_reader_bounds_and_resyncs() {
+        use std::io::BufReader;
+        let data = b"short\nway too long line here\nnext\npartial";
+        let mut r = BufReader::with_capacity(8, &data[..]);
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_line_limited(&mut r, &mut buf, 10).unwrap(),
+            LineRead::Line
+        );
+        assert_eq!(buf, b"short");
+        assert_eq!(
+            read_line_limited(&mut r, &mut buf, 10).unwrap(),
+            LineRead::TooLong(22)
+        );
+        assert_eq!(
+            read_line_limited(&mut r, &mut buf, 10).unwrap(),
+            LineRead::Line
+        );
+        assert_eq!(buf, b"next");
+        assert_eq!(
+            read_line_limited(&mut r, &mut buf, 10).unwrap(),
+            LineRead::EofMidLine
+        );
+        assert_eq!(buf, b"partial");
+        assert_eq!(
+            read_line_limited(&mut r, &mut buf, 10).unwrap(),
+            LineRead::Eof
+        );
+    }
+
+    #[test]
+    fn crlf_is_stripped() {
+        use std::io::BufReader;
+        let mut r = BufReader::new(&b"\"Ping\"\r\n"[..]);
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_line_limited(&mut r, &mut buf, 100).unwrap(),
+            LineRead::Line
+        );
+        assert_eq!(buf, b"\"Ping\"");
+    }
+}

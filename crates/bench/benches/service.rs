@@ -1,9 +1,11 @@
 //! Benchmarks of the abpd decision service: single vs batched request
-//! throughput over localhost TCP, and decision-cache hit vs miss
-//! latency on the in-process service.
+//! throughput over localhost TCP, decision-cache hit vs miss latency on
+//! the in-process service, and pipelined wire throughput across depth ×
+//! cache-hit-ratio over the synthetic 10k-filter corpus.
 
 use abpd::{Client, DecisionRequest, Server, ServerConfig, Service, ServiceConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::synthetic;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
 use websim::traffic::TrafficGen;
 
@@ -83,5 +85,73 @@ fn bench_cache_latency(c: &mut Criterion) {
     svc.shutdown();
 }
 
-criterion_group!(benches, bench_tcp_throughput, bench_cache_latency);
+/// Pipelined wire throughput: depth {1, 8, 64} × cache-hit ratio
+/// {0%, 90%} over the synthetic 10k-filter corpus. Depth 1 is lockstep;
+/// deeper windows keep the server's read buffer non-empty so replies
+/// stay corked into large writes.
+fn bench_pipeline(c: &mut Criterion) {
+    let (bl, wl) = synthetic::lists_10k();
+    let engine = abp::Engine::from_lists([&bl, &wl]);
+    let server = Server::start(engine, &ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // A hot set the cache keeps resident (capacity 65k, LRU touches on
+    // every draw), plus counter-unique URLs for guaranteed misses.
+    let hot: Vec<DecisionRequest> = synthetic::requests(256)
+        .iter()
+        .map(|r| DecisionRequest {
+            url: r.url.as_str().to_string(),
+            document: r.first_party.clone(),
+            resource_type: r.resource_type,
+            sitekey: None,
+        })
+        .collect();
+    client.decide_batch(&hot).expect("warm the cache");
+    let mut fresh = 0u64;
+    let mut mix = |hit_pct: usize| -> Vec<DecisionRequest> {
+        (0..256)
+            .map(|i| {
+                if i * 100 / 256 < hit_pct {
+                    hot[i].clone()
+                } else {
+                    fresh += 1;
+                    DecisionRequest {
+                        url: format!("http://host{}.example/fresh/{fresh}.js", fresh % 5_000),
+                        document: format!("news{}.example", fresh % 1_000),
+                        resource_type: abp::ResourceType::Script,
+                        sitekey: None,
+                    }
+                }
+            })
+            .collect()
+    };
+
+    let mut group = c.benchmark_group("service_pipeline");
+    group.sample_size(20);
+    for hit_pct in [0usize, 90] {
+        for depth in [1usize, 8, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("decide_256_hit{hit_pct}pct"), depth),
+                &depth,
+                |b, &depth| {
+                    b.iter_batched(
+                        || mix(hit_pct),
+                        |reqs| black_box(client.decide_pipelined(&reqs, depth).expect("pipelined")),
+                        BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_tcp_throughput,
+    bench_cache_latency,
+    bench_pipeline
+);
 criterion_main!(benches);

@@ -37,4 +37,8 @@ wait "$ABPD_PID"
 echo "==> engine bench (quick mode, writes BENCH_engine.json)"
 ./target/release/engine_bench --quick --out BENCH_engine.json
 
+echo "==> service bench (pipelined abpd-load, writes BENCH_service.json)"
+./target/release/abpd-load --decisions 60000 --batch 256 --pipeline 8 \
+    --connections 1 --out BENCH_service.json
+
 echo "==> ci green"

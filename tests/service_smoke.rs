@@ -20,6 +20,7 @@ fn test_engine() -> Engine {
 fn start_server() -> Server {
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
+        max_line_bytes: 1024 * 1024,
         service: ServiceConfig {
             shards: 2,
             queue_depth: 64,
@@ -132,6 +133,81 @@ fn malformed_lines_get_error_replies() {
     assert!(line.contains("Error"), "got: {line}");
 
     // The connection survives the error.
+    writeln!(writer, "\"Ping\"").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("Pong"), "got: {line}");
+    drop((reader, writer));
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_decisions_match_lockstep() {
+    let server = start_server();
+    let engine = test_engine();
+    let reqs: Vec<DecisionRequest> = (0..60)
+        .map(|i| {
+            dr(
+                &format!("http://host{}.doubleclick.net/u{i}.js", i % 5),
+                "news.example",
+                ResourceType::Script,
+            )
+        })
+        .collect();
+
+    let mut lockstep = Client::connect(server.local_addr()).expect("connect");
+    let expected: Vec<_> = reqs
+        .iter()
+        .map(|r| lockstep.decide(r).expect("lockstep decide"))
+        .collect();
+
+    let mut piped = Client::connect(server.local_addr()).expect("connect");
+    let got = piped.decide_pipelined(&reqs, 16).expect("pipelined");
+    assert_eq!(got.len(), expected.len());
+    for ((req, e), g) in reqs.iter().zip(&expected).zip(&got) {
+        assert_eq!(e.outcome, g.outcome, "order preserved for {}", req.url);
+        let direct = engine
+            .match_request(&Request::new(&req.url, &req.document, req.resource_type).unwrap());
+        assert_eq!(g.outcome, direct);
+    }
+
+    let batched = piped
+        .decide_batch_pipelined(&reqs, 7, 4)
+        .expect("batch pipelined");
+    assert_eq!(batched.len(), reqs.len());
+    for (e, g) in expected.iter().zip(&batched) {
+        assert_eq!(e.outcome, g.outcome);
+    }
+    drop((lockstep, piped));
+    server.shutdown();
+}
+
+#[test]
+fn oversized_lines_get_bounded_error_and_resync() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_line_bytes: 256,
+        service: ServiceConfig {
+            shards: 1,
+            queue_depth: 16,
+            cache_capacity: 64,
+        },
+    };
+    let server = Server::start(test_engine(), &config).expect("bind server");
+    let stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    let huge = "x".repeat(5000);
+    writeln!(writer, "{huge}").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("Error"), "got: {line}");
+    assert!(line.contains("5000"), "error names the byte count: {line}");
+
+    // The stream resynchronized at the newline; the connection lives.
     writeln!(writer, "\"Ping\"").unwrap();
     line.clear();
     reader.read_line(&mut line).unwrap();

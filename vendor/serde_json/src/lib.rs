@@ -2,13 +2,20 @@
 //!
 //! Renders the vendored serde [`Content`](serde::Content) data model to
 //! JSON text and parses JSON text back into it. Supports the workspace's
-//! usage: `to_string`, `to_string_pretty`, `from_str`, `to_value`,
-//! `from_value`, [`Value`], and a `json!` macro covering object/array/
-//! expression forms.
+//! usage: `to_string`, `to_string_pretty`, `to_vec`, `to_writer`,
+//! `from_str`, `to_value`, `from_value`, [`Value`], and a `json!` macro
+//! covering object/array/expression forms.
+//!
+//! The compact serializers all funnel through one byte-oriented writer,
+//! so `to_string`, `to_vec`, and `to_writer` produce byte-identical
+//! output — callers that reuse an output buffer (`to_writer` into a
+//! `&mut Vec<u8>`) get the same bytes as `to_string` without the
+//! per-call `String` allocation.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::io::{self, Write};
 
 pub use serde::Content as Value;
 use serde::{Content, Deserialize, Serialize};
@@ -36,16 +43,35 @@ pub type Result<T> = std::result::Result<T, Error>;
 
 /// Serialize a value to compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
-    let mut out = String::new();
-    write_content(&value.to_content(), &mut out, None, 0);
+    let bytes = to_vec(value)?;
+    // The writer only ever emits valid UTF-8 (string runs are copied
+    // from `&str`, everything else is ASCII).
+    String::from_utf8(bytes).map_err(|e| Error(format!("serializer emitted invalid UTF-8: {e}")))
+}
+
+/// Serialize a value to compact JSON bytes in a fresh buffer.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    to_writer(&mut out, value)?;
     Ok(out)
+}
+
+/// Serialize a value as compact JSON into any [`io::Write`] sink.
+///
+/// Writing into a caller-owned `&mut Vec<u8>` appends without any
+/// intermediate `String`, so a long-lived connection can reuse one
+/// buffer across replies. Bytes are identical to [`to_string`].
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    write_content(&value.to_content(), &mut writer, None, 0)
+        .map_err(|e| Error(format!("io error while serializing: {e}")))
 }
 
 /// Serialize a value to pretty (2-space indented) JSON.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
-    let mut out = String::new();
-    write_content(&value.to_content(), &mut out, Some(2), 0);
-    Ok(out)
+    let mut out = Vec::new();
+    write_content(&value.to_content(), &mut out, Some(2), 0)
+        .map_err(|e| Error(format!("io error while serializing: {e}")))?;
+    String::from_utf8(out).map_err(|e| Error(format!("serializer emitted invalid UTF-8: {e}")))
 }
 
 /// Serialize a value into a [`Value`] tree.
@@ -98,92 +124,111 @@ macro_rules! json {
 
 // ---------------------------------------------------------------- writer
 
-fn write_content(c: &Content, out: &mut String, indent: Option<usize>, depth: usize) {
+fn write_content<W: Write>(
+    c: &Content,
+    out: &mut W,
+    indent: Option<usize>,
+    depth: usize,
+) -> io::Result<()> {
     match c {
-        Content::Null => out.push_str("null"),
-        Content::Bool(true) => out.push_str("true"),
-        Content::Bool(false) => out.push_str("false"),
-        Content::I64(v) => out.push_str(&v.to_string()),
-        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::Null => out.write_all(b"null"),
+        Content::Bool(true) => out.write_all(b"true"),
+        Content::Bool(false) => out.write_all(b"false"),
+        Content::I64(v) => write!(out, "{v}"),
+        Content::U64(v) => write!(out, "{v}"),
         Content::F64(v) => {
             if v.is_finite() {
                 if v.fract() == 0.0 && v.abs() < 9.0e15 {
                     // Keep a float marker so the value re-parses as float.
-                    out.push_str(&format!("{v:.1}"));
+                    write!(out, "{v:.1}")
                 } else {
-                    out.push_str(&v.to_string());
+                    write!(out, "{v}")
                 }
             } else {
                 // JSON has no NaN/Infinity; serde_json errors, we emit null.
-                out.push_str("null");
+                out.write_all(b"null")
             }
         }
         Content::Str(s) => write_json_string(s, out),
         Content::Seq(items) => {
             if items.is_empty() {
-                out.push_str("[]");
-                return;
+                return out.write_all(b"[]");
             }
-            out.push('[');
+            out.write_all(b"[")?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_all(b",")?;
                 }
-                newline_indent(out, indent, depth + 1);
-                write_content(item, out, indent, depth + 1);
+                newline_indent(out, indent, depth + 1)?;
+                write_content(item, out, indent, depth + 1)?;
             }
-            newline_indent(out, indent, depth);
-            out.push(']');
+            newline_indent(out, indent, depth)?;
+            out.write_all(b"]")
         }
         Content::Map(entries) => {
             if entries.is_empty() {
-                out.push_str("{}");
-                return;
+                return out.write_all(b"{}");
             }
-            out.push('{');
+            out.write_all(b"{")?;
             for (i, (k, v)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_all(b",")?;
                 }
-                newline_indent(out, indent, depth + 1);
-                write_json_string(k, out);
-                out.push(':');
+                newline_indent(out, indent, depth + 1)?;
+                write_json_string(k, out)?;
+                out.write_all(b":")?;
                 if indent.is_some() {
-                    out.push(' ');
+                    out.write_all(b" ")?;
                 }
-                write_content(v, out, indent, depth + 1);
+                write_content(v, out, indent, depth + 1)?;
             }
-            newline_indent(out, indent, depth);
-            out.push('}');
+            newline_indent(out, indent, depth)?;
+            out.write_all(b"}")
         }
     }
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+fn newline_indent<W: Write>(out: &mut W, indent: Option<usize>, depth: usize) -> io::Result<()> {
     if let Some(width) = indent {
-        out.push('\n');
+        out.write_all(b"\n")?;
         for _ in 0..(width * depth) {
-            out.push(' ');
+            out.write_all(b" ")?;
         }
     }
+    Ok(())
 }
 
-fn write_json_string(s: &str, out: &mut String) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
+fn write_json_string<W: Write>(s: &str, out: &mut W) -> io::Result<()> {
+    out.write_all(b"\"")?;
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let escape: Option<&[u8]> = match b {
+            b'"' => Some(b"\\\""),
+            b'\\' => Some(b"\\\\"),
+            b'\n' => Some(b"\\n"),
+            b'\r' => Some(b"\\r"),
+            b'\t' => Some(b"\\t"),
+            0x00..=0x1f => None, // control chars escape below
+            _ => continue,       // plain byte, part of the current run
+        };
+        out.write_all(&bytes[start..i])?;
+        match escape {
+            Some(e) => out.write_all(e)?,
+            None => write!(out, "\\u{:04x}", b as u32)?,
         }
+        start = i + 1;
     }
-    out.push('"');
+    out.write_all(&bytes[start..])?;
+    out.write_all(b"\"")
+}
+
+/// Escape `s` as a JSON string literal (surrounding quotes included)
+/// into a byte buffer, using exactly the escaping rules of
+/// [`to_string`]. Exposed so hand-rolled wire serializers can stay
+/// byte-compatible with the generic serializer.
+pub fn write_escaped_str(s: &str, out: &mut Vec<u8>) {
+    write_json_string(s, out).expect("Vec<u8> writes are infallible");
 }
 
 // ---------------------------------------------------------------- parser
@@ -463,5 +508,26 @@ mod tests {
     fn unicode_escapes() {
         let v: Value = from_str(r#""aé😀b""#).unwrap();
         assert_eq!(v, Value::Str("aé😀b".to_string()));
+    }
+
+    #[test]
+    fn to_vec_and_to_writer_match_to_string() {
+        let v = json!({ "a": 1u32, "b": [true, false], "s": "x\"y\n\u{1}é😀" });
+        let s = to_string(&v).unwrap();
+        assert_eq!(to_vec(&v).unwrap(), s.as_bytes());
+        let mut buf = Vec::from(&b"prefix:"[..]);
+        to_writer(&mut buf, &v).unwrap();
+        assert_eq!(&buf[7..], s.as_bytes());
+    }
+
+    #[test]
+    fn escaped_str_matches_serializer() {
+        for s in ["", "plain", "q\"b\\s\nn\rr\tt", "\u{0}\u{1f}", "aé😀b"] {
+            let mut buf = Vec::new();
+            write_escaped_str(s, &mut buf);
+            assert_eq!(buf, to_string(&s.to_string()).unwrap().as_bytes());
+            let back: String = from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+            assert_eq!(back, s);
+        }
     }
 }
