@@ -9,8 +9,8 @@
 //! inserting.
 //!
 //! Lookups are allocation-free: a request is reduced to a 64-bit
-//! FNV-1a digest of its borrowed fields ([`request_key_hash`]) — no
-//! `String` clones on the read path. Because 64 bits can collide, each
+//! per-process-seeded FNV-1a digest of its borrowed fields
+//! ([`request_key_hash`]) — no `String` clones on the read path. Because 64 bits can collide, each
 //! entry stores the full owned key ([`StoredKey`], built once on the
 //! miss path) and a hit verifies it field-by-field before the cached
 //! outcome is trusted; a colliding digest is just a miss.
@@ -18,7 +18,8 @@
 use abp::{RequestOutcome, ResourceType};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hash, Hasher, RandomState};
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher, RandomState};
+use std::sync::OnceLock;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -51,13 +52,27 @@ impl Hasher for FnvHasher {
 /// `BuildHasher` plugging [`FnvHasher`] into `HashMap`.
 pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
 
+/// A per-process random value mixed into every request digest.
+/// Unkeyed FNV over attacker-controlled fields would let a hostile
+/// client craft colliding digests offline (degrading the cache by
+/// forcing mutual evictions and clustered buckets); seeding makes the
+/// digest function unpredictable without giving up the cheap
+/// streaming FNV structure. Derived lazily from `RandomState`, whose
+/// SipHash keys are already randomly seeded per process.
+fn process_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| RandomState::new().hash_one(0u64))
+}
+
 /// The 64-bit memoization digest of a request, computed from borrowed
 /// fields — no clones, no intermediate key struct.
 ///
-/// Fields are fed through FNV-1a separated by `0xFF` (a byte that
+/// Fields are fed through FNV-1a seeded with a per-process random
+/// value (see [`process_seed`]) and separated by `0xFF` (a byte that
 /// never appears in UTF-8 text) so `("ab", "c")` and `("a", "bc")`
 /// digest differently, and the sitekey is prefixed with a
 /// present/absent discriminator so `None` differs from `Some("")`.
+/// Stable within a process, deliberately not across processes.
 pub fn request_key_hash(
     url: &str,
     document: &str,
@@ -65,6 +80,7 @@ pub fn request_key_hash(
     sitekey: Option<&str>,
 ) -> u64 {
     let mut h = FnvHasher(FNV_OFFSET);
+    h.write(&process_seed().to_le_bytes());
     h.write(url.as_bytes());
     h.write(&[0xFF]);
     h.write(document.as_bytes());

@@ -10,9 +10,12 @@
 //! parsed with the zero-copy [`wire`](crate::wire) codec straight out
 //! of a reusable line buffer, replies accumulate in a reusable write
 //! buffer, and the socket is only written once per *drained burst* —
-//! as long as more input is already buffered, the loop keeps reading
-//! and corks its replies, so a depth-N pipeline costs O(1) write
-//! syscalls per burst instead of one per reply. Line length is bounded
+//! replies stay corked for as long as the kernel already holds more
+//! request bytes, and are flushed the instant a read would block (see
+//! [`flush_if_read_would_block`]), so a depth-N pipeline costs O(1)
+//! write syscalls per burst instead of one per reply while a client
+//! that pauses mid-line still gets its pending replies immediately.
+//! Line length is bounded
 //! ([`ServerConfig::max_line_bytes`]) so a malformed client cannot
 //! balloon server memory; an oversized line is discarded, answered
 //! with an `Error` naming its byte count, and the stream stays in sync.
@@ -98,9 +101,12 @@ impl Server {
                         let _ = std::thread::Builder::new()
                             .name("abpd-conn".to_string())
                             .spawn(move || {
+                                // Decrement via a guard so a panic in the
+                                // handler can't leak the counter and wedge
+                                // the shutdown drain loop.
+                                let _open = ConnGuard(&shared);
                                 let addr = local_addr;
                                 handle_connection(stream, &shared, addr);
-                                shared.open_connections.fetch_sub(1, Ordering::SeqCst);
                             });
                     }
                     // Stopped accepting; wait for in-flight connections.
@@ -150,6 +156,43 @@ impl Server {
     }
 }
 
+/// Flush corked replies iff the next socket read would block.
+///
+/// Called by the line reader right before a `fill_buf` whose buffer is
+/// empty. A 1-byte non-blocking `peek` distinguishes "more requests
+/// already in the kernel buffer" (keep corking — this is the hot
+/// pipelined path) from "the client has gone quiet" (it may be waiting
+/// for these replies before sending more — possibly mid-line — so
+/// withholding them would deadlock both sides). `Ok(0)` from the peek
+/// means EOF: the read won't block, and the loop's exit path flushes.
+fn flush_if_read_would_block(sock: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<()> {
+    if out.is_empty() {
+        return Ok(());
+    }
+    sock.set_nonblocking(true)?;
+    let probe = sock.peek(&mut [0u8]);
+    sock.set_nonblocking(false)?;
+    match probe {
+        Ok(_) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            sock.write_all(out)?;
+            out.clear();
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Drops `open_connections` by one when the connection thread exits,
+/// however it exits.
+struct ConnGuard<'a>(&'a Shared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.open_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Flip `running` and poke the listener so `accept` wakes up.
 fn trigger_stop(shared: &Shared, addr: SocketAddr) {
     if shared.running.swap(false, Ordering::SeqCst) {
@@ -171,7 +214,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
     let mut scratch = shared.service.scratch();
 
     loop {
-        match wire::read_line_limited(&mut reader, &mut line, shared.max_line_bytes) {
+        let read =
+            wire::read_line_limited_flushing(&mut reader, &mut line, shared.max_line_bytes, || {
+                flush_if_read_would_block(&mut writer, &mut out)
+            });
+        match read {
             Err(_) | Ok(LineRead::Eof) | Ok(LineRead::EofMidLine) => break,
             Ok(LineRead::TooLong(n)) => {
                 wire::write_error(
@@ -225,11 +272,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
                 }
             },
         }
-        // Cork: only touch the socket once the input burst is drained
-        // (nothing left in the read buffer) or the reply buffer is
-        // large enough that batching further would just add latency.
-        if reader.buffer().is_empty() || out.len() >= CORK_FLUSH_BYTES {
-            if !out.is_empty() && writer.write_all(&out).is_err() {
+        // Cork: replies are flushed by the would-block hook above the
+        // moment the reader would sleep on the socket, so here only the
+        // size cap matters — don't let a huge burst buffer unboundedly.
+        if out.len() >= CORK_FLUSH_BYTES {
+            if writer.write_all(&out).is_err() {
                 return;
             }
             out.clear();
@@ -237,5 +284,72 @@ fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
     }
     if !out.is_empty() {
         let _ = writer.write_all(&out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn tiny_engine() -> Engine {
+        let list = abp::FilterList::parse(abp::ListSource::EasyList, "||ads.example^\n");
+        Engine::from_lists([&list])
+    }
+
+    fn connect(server: &Server) -> (TcpStream, BufReader<TcpStream>) {
+        let sock = TcpStream::connect(server.local_addr()).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(sock.try_clone().unwrap());
+        (sock, reader)
+    }
+
+    /// A client may wait for reply N before sending the rest of line
+    /// N+1; replies must not stay corked behind a buffered *partial*
+    /// line or both sides deadlock.
+    #[test]
+    fn replies_flush_while_a_partial_line_is_buffered() {
+        let server = Server::start(tiny_engine(), &ServerConfig::default()).unwrap();
+        let (mut sock, mut reader) = connect(&server);
+        // One complete line plus the start of the next, in one write.
+        sock.write_all(b"\"Ping\"\n\"Pi").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "\"Pong\"");
+        // Finishing the partial line yields its own reply.
+        sock.write_all(b"ng\"\n").unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "\"Pong\"");
+        drop((sock, reader));
+        server.shutdown();
+    }
+
+    /// A `\u` escape followed by multi-byte UTF-8 once panicked the
+    /// connection thread mid-parse: no Error reply, and the leaked
+    /// open-connections counter wedged shutdown's drain loop forever.
+    /// It must instead answer with an Error, keep the stream in sync,
+    /// and leave shutdown able to finish.
+    #[test]
+    fn malformed_escape_gets_error_reply_and_shutdown_still_drains() {
+        let server = Server::start(tiny_engine(), &ServerConfig::default()).unwrap();
+        let (mut sock, mut reader) = connect(&server);
+        let line = format!(
+            "{{\"Decide\":{{\"url\":\"\\ua\u{e9}\u{91d1}\",\"document\":\"d\",\"resource_type\":\"Other\"}}}}\n"
+        );
+        sock.write_all(line.as_bytes()).unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.contains("Error"),
+            "expected Error reply, got: {reply}"
+        );
+        sock.write_all(b"\"Ping\"\n").unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "\"Pong\"");
+        drop((sock, reader));
+        server.shutdown();
     }
 }

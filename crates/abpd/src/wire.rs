@@ -481,6 +481,9 @@ impl<'a> Scan<'a> {
                                     return Err("lone high surrogate".to_string());
                                 }
                                 let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".to_string());
+                                }
                                 let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(c).ok_or("bad surrogate pair")?
                             } else {
@@ -511,8 +514,19 @@ impl<'a> Scan<'a> {
         if end > self.b.len() {
             return Err("truncated \\u escape".to_string());
         }
-        let s = &self.s[self.pos..end];
-        let v = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
+        // Decode byte-wise: slicing `self.s` here could split a
+        // multi-byte char (e.g. `\u` followed by non-hex UTF-8) and
+        // panic on the char boundary.
+        let mut v: u32 = 0;
+        for &b in &self.b[self.pos..end] {
+            let digit = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err("bad \\u escape".to_string()),
+            };
+            v = (v << 4) | u32::from(digit);
+        }
         self.pos = end;
         Ok(v)
     }
@@ -942,13 +956,32 @@ pub(crate) enum LineRead {
 /// to buffer more than `max` bytes. Oversized lines are consumed and
 /// discarded to keep the stream in sync, and reported with their total
 /// length.
-pub(crate) fn read_line_limited(
-    reader: &mut impl BufRead,
+pub(crate) fn read_line_limited<R: std::io::Read>(
+    reader: &mut std::io::BufReader<R>,
     out: &mut Vec<u8>,
     max: usize,
 ) -> std::io::Result<LineRead> {
+    read_line_limited_flushing(reader, out, max, || Ok(()))
+}
+
+/// [`read_line_limited`], plus a `before_block` hook invoked whenever
+/// the internal buffer is empty and the next `fill_buf` may therefore
+/// sleep on the underlying reader — including mid-line. The server
+/// uses it to flush corked replies exactly when it would otherwise
+/// sleep holding them: a client may legitimately wait for reply N
+/// before sending the rest of line N+1, so pending output must never
+/// be withheld across a blocking read.
+pub(crate) fn read_line_limited_flushing<R: std::io::Read>(
+    reader: &mut std::io::BufReader<R>,
+    out: &mut Vec<u8>,
+    max: usize,
+    mut before_block: impl FnMut() -> std::io::Result<()>,
+) -> std::io::Result<LineRead> {
     out.clear();
     loop {
+        if reader.buffer().is_empty() {
+            before_block()?;
+        }
         let buf = reader.fill_buf()?;
         if buf.is_empty() {
             return Ok(if out.is_empty() {
@@ -978,6 +1011,9 @@ pub(crate) fn read_line_limited(
                     let mut total = out.len() + n;
                     reader.consume(n);
                     loop {
+                        if reader.buffer().is_empty() {
+                            before_block()?;
+                        }
                         let buf = reader.fill_buf()?;
                         if buf.is_empty() {
                             return Ok(LineRead::TooLong(total));
@@ -1147,6 +1183,44 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    /// Parse a Decide line whose url field holds `escaped` verbatim and
+    /// return the decoded url (or the parse error).
+    fn parse_url(escaped: &str) -> Result<String, String> {
+        let line =
+            format!(r#"{{"Decide":{{"url":"{escaped}","document":"d","resource_type":"Other"}}}}"#);
+        parse_client_message(&line).map(|m| match m {
+            ClientMessageRef::Decide(p) => p.url.into_owned(),
+            other => panic!("wrong variant: {other:?}"),
+        })
+    }
+
+    #[test]
+    fn unicode_escapes_decode_like_serde() {
+        assert_eq!(parse_url(r"\u00e9").unwrap(), "é");
+        assert_eq!(parse_url(r"\ud83d\ude00").unwrap(), "😀");
+        assert_eq!(parse_url(r"\uD83D\uDE00x").unwrap(), "😀x");
+    }
+
+    #[test]
+    fn bad_unicode_escapes_error_instead_of_panicking() {
+        // `\u` followed by multi-byte UTF-8: byte 2 of the "4 hex
+        // digits" is mid-char — must be a parse error, not a
+        // char-boundary panic (the hex window may not be sliceable
+        // as &str).
+        assert!(parse_url("\\ua\u{e9}\u{91d1}").is_err());
+        assert!(parse_url("\\u\u{91d1}x").is_err());
+        // Truncated and non-hex escapes.
+        assert!(parse_url(r"\u12").is_err());
+        assert!(parse_url(r"\uzzzz").is_err());
+        // Lone or malformed surrogates: a high surrogate must be
+        // followed by `\u` + a *low* surrogate; anything else errors
+        // (never wraps into a wrong char) — same as serde.
+        assert!(parse_url(r"\ud800").is_err());
+        assert!(parse_url(r"\ud800\u0041").is_err());
+        assert!(parse_url(r"\ud800\udbff").is_err());
+        assert!(parse_url(r"\udc00").is_err());
     }
 
     #[test]
