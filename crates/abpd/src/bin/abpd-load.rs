@@ -3,7 +3,8 @@
 //! ```text
 //! abpd-load [--addr HOST:PORT] [--decisions N] [--batch N]
 //!           [--connections N] [--pipeline N] [--seed N]
-//!           [--out PATH] [--shutdown]
+//!           [--reply-timeout-ms N] [--max-error-rate F]
+//!           [--out PATH] [--append-availability PATH] [--shutdown]
 //! ```
 //!
 //! Replays synthetic browsing traffic (the websim page/ecosystem
@@ -18,10 +19,20 @@
 //! embedding the committed baseline snapshot
 //! (`crates/bench/baselines/service_bench_baseline.json`) and the
 //! speedup ratio when that file is present, mirroring `engine-bench`.
+//!
+//! Load runs through [`abpd::RetryClient`], so shed batches are
+//! retried with backoff and dropped connections reconnect
+//! transparently; every request ends the run as answered, shed, or
+//! failed. The run **exits nonzero** when the error share (shed +
+//! rejected + unanswered) exceeds `--max-error-rate` (default 0 — any
+//! lost decision fails the run). `--append-availability PATH` merges
+//! the availability numbers into an existing report (the chaos CI
+//! stage appends them to `BENCH_service.json`).
 
-use abpd::{Client, DecisionRequest, Server, ServerConfig};
+use abpd::client::ItemAnswer;
+use abpd::{Client, DecisionRequest, RetryClient, RetryPolicy, Server, ServerConfig};
 use serde::Serialize;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use websim::traffic::TrafficGen;
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
@@ -64,6 +75,35 @@ struct LoadReport {
     server_p50_us: u64,
     /// Server-reported p99 decision latency (µs).
     server_p99_us: u64,
+    /// Requests that ended the run shed (`Overloaded` on every retry).
+    shed: u64,
+    /// Requests that ended the run rejected or unanswered.
+    errors: u64,
+    /// Answered share of all requests sent, in [0, 1].
+    availability: f64,
+}
+
+/// Per-thread accounting; folded across connections.
+#[derive(Debug, Clone, Copy, Default)]
+struct Totals {
+    ok: usize,
+    blocked: usize,
+    cached: usize,
+    shed: usize,
+    rejected: usize,
+    failed: usize,
+}
+
+impl Totals {
+    fn add(mut self, other: Totals) -> Totals {
+        self.ok += other.ok;
+        self.blocked += other.blocked;
+        self.cached += other.cached;
+        self.shed += other.shed;
+        self.rejected += other.rejected;
+        self.failed += other.failed;
+        self
+    }
 }
 
 fn main() {
@@ -71,7 +111,9 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: abpd-load [--addr HOST:PORT] [--decisions N] [--batch N] \
-             [--connections N] [--pipeline N] [--seed N] [--out PATH] [--shutdown]"
+             [--connections N] [--pipeline N] [--seed N] \
+             [--reply-timeout-ms N] [--max-error-rate F] \
+             [--out PATH] [--append-availability PATH] [--shutdown]"
         );
         return;
     }
@@ -87,7 +129,14 @@ fn main() {
         })
         .max(1);
     let seed: u64 = parse_flag(&args, "--seed").unwrap_or(2015);
+    let reply_timeout = Duration::from_millis(
+        parse_flag::<u64>(&args, "--reply-timeout-ms")
+            .unwrap_or(abpd::client::DEFAULT_REPLY_TIMEOUT.as_millis() as u64)
+            .max(1),
+    );
+    let max_error_rate: f64 = parse_flag(&args, "--max-error-rate").unwrap_or(0.0);
     let out_path: Option<String> = parse_flag(&args, "--out");
+    let append_path: Option<String> = parse_flag(&args, "--append-availability");
     let shutdown = args.iter().any(|a| a == "--shutdown");
 
     // Target: given address, or an in-process server on a free port.
@@ -117,6 +166,7 @@ fn main() {
                 .collect()
         })
         .collect();
+    let requested: usize = streams.iter().map(Vec::len).sum();
 
     eprintln!(
         "abpd-load: driving {addr} ({connections} connections, batch {batch}, pipeline {pipeline})..."
@@ -125,49 +175,75 @@ fn main() {
     let totals = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = streams
             .iter()
-            .map(|stream| {
+            .enumerate()
+            .map(|(c, stream)| {
                 let addr = addr.clone();
                 scope.spawn(move |_| {
-                    let mut client = Client::connect(&*addr).expect("connect");
-                    let mut sent = 0usize;
-                    let mut blocked = 0usize;
-                    let mut cached = 0usize;
-                    let mut count = |resps: &[abpd::DecisionResponse]| {
-                        for r in resps {
-                            if r.outcome.decision == abp::Decision::Block {
-                                blocked += 1;
-                            }
-                            if r.cached {
-                                cached += 1;
+                    let mut client = RetryClient::new(
+                        &*addr,
+                        RetryPolicy {
+                            seed: seed.wrapping_add(c as u64),
+                            ..RetryPolicy::default()
+                        },
+                    );
+                    client.reply_timeout(Some(reply_timeout));
+                    let mut t = Totals::default();
+                    match client.decide_batch_pipelined(stream, batch, pipeline) {
+                        Ok(answers) => {
+                            for a in &answers {
+                                match a {
+                                    ItemAnswer::Decision(r) => {
+                                        t.ok += 1;
+                                        if r.outcome.decision == abp::Decision::Block {
+                                            t.blocked += 1;
+                                        }
+                                        if r.cached {
+                                            t.cached += 1;
+                                        }
+                                    }
+                                    ItemAnswer::Shed => t.shed += 1,
+                                    ItemAnswer::Rejected(_) => t.rejected += 1,
+                                }
                             }
                         }
-                    };
-                    if pipeline > 1 {
-                        let resps = client
-                            .decide_batch_pipelined(stream, batch, pipeline)
-                            .expect("decide_batch_pipelined");
-                        sent += resps.len();
-                        count(&resps);
-                    } else {
-                        for chunk in stream.chunks(batch) {
-                            let resps = client.decide_batch(chunk).expect("decide_batch");
-                            sent += resps.len();
-                            count(&resps);
+                        Err(e) => {
+                            // The whole stream counts as unanswered: the
+                            // retry budget ran out mid-run and per-item
+                            // attribution is gone with the connection.
+                            eprintln!("abpd-load: connection {c} gave up: {e}");
+                            t.failed += stream.len();
                         }
                     }
-                    (sent, blocked, cached)
+                    (t, client.stats())
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("load thread"))
-            .fold((0, 0, 0), |acc, x| (acc.0 + x.0, acc.1 + x.1, acc.2 + x.2))
+            .fold(
+                (Totals::default(), abpd::client::RetryStats::default()),
+                |(t, s), (t2, s2)| {
+                    (
+                        t.add(t2),
+                        abpd::client::RetryStats {
+                            transport_retries: s.transport_retries + s2.transport_retries,
+                            reconnects: s.reconnects + s2.reconnects,
+                            overloaded_replies: s.overloaded_replies + s2.overloaded_replies,
+                            error_replies: s.error_replies + s2.error_replies,
+                            timeouts: s.timeouts + s2.timeouts,
+                        },
+                    )
+                },
+            )
     })
     .expect("load scope");
     let elapsed = start.elapsed();
 
-    let (sent, blocked, cached) = totals;
+    let (t, retry) = totals;
+    let sent = t.ok;
+    let errors = t.rejected + t.failed;
+    let availability = t.ok as f64 / requested.max(1) as f64;
     let rate = sent as f64 / elapsed.as_secs_f64();
     println!(
         "abpd-load: {sent} decisions in {:.2}s = {:.0} decisions/sec",
@@ -175,10 +251,27 @@ fn main() {
         rate
     );
     println!(
-        "abpd-load: {blocked} blocked ({:.1}%), {cached} cache hits ({:.1}%)",
-        100.0 * blocked as f64 / sent.max(1) as f64,
-        100.0 * cached as f64 / sent.max(1) as f64,
+        "abpd-load: {} blocked ({:.1}%), {} cache hits ({:.1}%)",
+        t.blocked,
+        100.0 * t.blocked as f64 / sent.max(1) as f64,
+        t.cached,
+        100.0 * t.cached as f64 / sent.max(1) as f64,
     );
+    println!(
+        "abpd-load: availability {:.4} ({} shed, {} errored, of {requested} requested)",
+        availability, t.shed, errors
+    );
+    if retry != abpd::client::RetryStats::default() {
+        println!(
+            "abpd-load: retries: {} transport, {} reconnects, {} overloaded replies, \
+             {} error replies, {} timeouts",
+            retry.transport_retries,
+            retry.reconnects,
+            retry.overloaded_replies,
+            retry.error_replies,
+            retry.timeouts
+        );
+    }
 
     let mut client = Client::connect(&*addr).expect("connect for stats");
     let stats = client.stats().expect("stats");
@@ -200,10 +293,13 @@ fn main() {
             pipeline,
             elapsed_secs: (elapsed.as_secs_f64() * 1000.0).round() / 1000.0,
             decisions_per_sec: rate.round(),
-            blocked_pct: (1000.0 * blocked as f64 / sent.max(1) as f64).round() / 10.0,
-            cached_pct: (1000.0 * cached as f64 / sent.max(1) as f64).round() / 10.0,
+            blocked_pct: (1000.0 * t.blocked as f64 / sent.max(1) as f64).round() / 10.0,
+            cached_pct: (1000.0 * t.cached as f64 / sent.max(1) as f64).round() / 10.0,
             server_p50_us: stats.p50_us,
             server_p99_us: stats.p99_us,
+            shed: t.shed as u64,
+            errors: errors as u64,
+            availability: (availability * 10_000.0).round() / 10_000.0,
         };
         // Embed the committed pre-change baseline, if present, so the
         // JSON carries before/after side by side.
@@ -233,10 +329,48 @@ fn main() {
         eprintln!("abpd-load: wrote {path}");
     }
 
+    if let Some(path) = append_path {
+        // Merge this run's availability numbers into an existing report
+        // (the chaos CI stage appends them to BENCH_service.json).
+        let text = std::fs::read_to_string(&path).expect("read report to append to");
+        let mut value = serde_json::parse_value(&text).expect("parse report to append to");
+        if let serde_json::Value::Map(entries) = &mut value {
+            entries.retain(|(k, _)| k != "chaos");
+            entries.push((
+                "chaos".to_string(),
+                serde_json::Value::Map(vec![
+                    ("decisions".to_string(), serde_json::Value::F64(sent as f64)),
+                    ("shed".to_string(), serde_json::Value::F64(t.shed as f64)),
+                    ("errors".to_string(), serde_json::Value::F64(errors as f64)),
+                    (
+                        "availability".to_string(),
+                        serde_json::Value::F64((availability * 10_000.0).round() / 10_000.0),
+                    ),
+                    (
+                        "decisions_per_sec".to_string(),
+                        serde_json::Value::F64(rate.round()),
+                    ),
+                ]),
+            ));
+        }
+        let mut json = serde_json::to_string_pretty(&value).expect("report serializes");
+        json.push('\n');
+        std::fs::write(&path, json).expect("append availability");
+        eprintln!("abpd-load: appended availability to {path}");
+    }
+
     if shutdown || local_server.is_some() {
         client.shutdown_server().expect("shutdown");
     }
     if let Some(server) = local_server {
         server.join();
+    }
+
+    let error_rate = (t.shed + errors) as f64 / requested.max(1) as f64;
+    if error_rate > max_error_rate {
+        eprintln!(
+            "abpd-load: FAIL: error rate {error_rate:.4} exceeds --max-error-rate {max_error_rate}"
+        );
+        std::process::exit(1);
     }
 }

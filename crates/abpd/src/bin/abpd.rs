@@ -3,12 +3,26 @@
 //! ```text
 //! abpd [--addr HOST:PORT] [--shards N] [--queue-depth N]
 //!      [--cache-capacity N] [--max-line-bytes N] [--seed N]
+//!      [--deadline-ms N] [--shed-watermark F]
+//!      [--watch FILE] [--watch-interval-ms N]
 //! ```
 //!
 //! Serves ad-blocking decisions for the generated corpus (EasyList +
 //! Acceptable Ads whitelist) until a client sends the `Shutdown` verb.
+//!
+//! `--deadline-ms` bounds per-request evaluation time (late requests
+//! fail with a `DeadlineExceeded` error instead of queuing forever);
+//! `--shed-watermark` sets the queue-depth fraction past which new
+//! batches are answered `Overloaded` immediately. `--watch FILE` polls
+//! a whitelist file and pushes changed content through the `Reload`
+//! verb — a malformed revision is rejected server-side and the old
+//! engine keeps serving. The `ABPD_FAULTS` environment variable arms
+//! deterministic fault injection for chaos runs (see `abpd::faults`).
 
-use abpd::{Server, ServerConfig};
+use abpd::protocol::ReloadList;
+use abpd::{Client, FaultConfig, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::time::Duration;
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     let i = args.iter().position(|a| a == flag)?;
@@ -25,12 +39,73 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     }
 }
 
+/// Poll `path` every `interval`; when its content changes, push the
+/// new whitelist (paired with the unchanged EasyList text) through the
+/// `Reload` verb over a loopback connection. Server-side validation
+/// rejects garbage, so a half-written file cannot take down serving.
+/// Each reload uses a fresh short-lived connection: `Shutdown` drains
+/// open connections, so a persistent watch client would wedge it.
+fn watch_loop(addr: SocketAddr, path: String, interval: Duration, easylist: String) {
+    let mut last: Option<String> = None;
+    loop {
+        std::thread::sleep(interval);
+        let content = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("abpd: watch: cannot read {path}: {e}");
+                continue;
+            }
+        };
+        if last.as_deref() == Some(content.as_str()) {
+            continue;
+        }
+        let mut client = match Client::connect(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("abpd: watch: cannot connect to {addr}: {e}");
+                continue;
+            }
+        };
+        let lists = [
+            ReloadList {
+                source: abp::ListSource::EasyList,
+                content: easylist.clone(),
+            },
+            ReloadList {
+                source: abp::ListSource::AcceptableAds,
+                content: content.clone(),
+            },
+        ];
+        match client.reload(&lists) {
+            Ok(report) => {
+                eprintln!(
+                    "abpd: watch: reloaded {path} -> generation {} ({} filters)",
+                    report.generation, report.filters
+                );
+                last = Some(content);
+            }
+            Err(e) if client.is_broken() => {
+                // Transport trouble: retry the same revision next tick.
+                eprintln!("abpd: watch: reload transport error: {e}");
+            }
+            Err(e) => {
+                // Rejected revision: remember it so a bad file is
+                // reported once, not every tick.
+                eprintln!("abpd: watch: reload rejected, keeping old engine: {e}");
+                last = Some(content);
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: abpd [--addr HOST:PORT] [--shards N] [--queue-depth N] \
-             [--cache-capacity N] [--max-line-bytes N] [--seed N]"
+             [--cache-capacity N] [--max-line-bytes N] [--seed N] \
+             [--deadline-ms N] [--shed-watermark F] \
+             [--watch FILE] [--watch-interval-ms N]"
         );
         return;
     }
@@ -49,10 +124,27 @@ fn main() {
     if let Some(n) = parse_flag(&args, "--max-line-bytes") {
         config.max_line_bytes = n;
     }
+    if let Some(ms) = parse_flag::<u64>(&args, "--deadline-ms") {
+        config.service.deadline = Some(Duration::from_millis(ms.max(1)));
+    }
+    if let Some(w) = parse_flag::<f64>(&args, "--shed-watermark") {
+        if !(0.0..=1.0).contains(&w) {
+            eprintln!("--shed-watermark must be in [0, 1], got {w}");
+            std::process::exit(2);
+        }
+        config.service.shed_watermark = w;
+    }
+    if let Some(faults) = FaultConfig::from_env() {
+        eprintln!("abpd: FAULT INJECTION ARMED: {faults:?}");
+        config.service.faults = Some(faults);
+    }
     let seed: u64 = parse_flag(&args, "--seed").unwrap_or(2015);
+    let watch: Option<String> = parse_flag(&args, "--watch");
+    let watch_interval: u64 = parse_flag(&args, "--watch-interval-ms").unwrap_or(2000);
 
     eprintln!("abpd: generating corpus (seed {seed})...");
-    let engine = abpd::corpus_engine(seed);
+    let corpus = corpus::Corpus::generate(seed);
+    let engine = abp::Engine::from_lists([&corpus.easylist, &corpus.whitelist]);
     let server = Server::start(engine, &config).unwrap_or_else(|e| {
         eprintln!("abpd: cannot bind {}: {e}", config.addr);
         std::process::exit(1);
@@ -63,6 +155,16 @@ fn main() {
         server.filter_count(),
         server.shard_count()
     );
+    if let Some(path) = watch {
+        let addr = server.local_addr();
+        let easylist = corpus.easylist.to_text();
+        let interval = Duration::from_millis(watch_interval.max(1));
+        eprintln!("abpd: watching {path} every {}ms", interval.as_millis());
+        std::thread::Builder::new()
+            .name("abpd-watch".to_string())
+            .spawn(move || watch_loop(addr, path, interval, easylist))
+            .expect("spawn watch thread");
+    }
     server.join();
     eprintln!("abpd: drained, bye");
 }

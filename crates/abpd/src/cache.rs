@@ -257,13 +257,29 @@ impl<K: Eq + Hash + Clone, V, S: std::hash::BuildHasher + Default> LruCache<K, V
     }
 }
 
-type Shard = Mutex<LruCache<u64, (StoredKey, RequestOutcome), FnvBuildHasher>>;
+/// One cached decision: the verification key, the engine generation
+/// that produced it, and the outcome.
+struct Entry {
+    key: StoredKey,
+    generation: u64,
+    outcome: RequestOutcome,
+}
+
+type Shard = Mutex<LruCache<u64, Entry, FnvBuildHasher>>;
 
 /// The service's decision cache: N independent LRU shards indexed by
 /// the precomputed request digest, verified against the stored key on
 /// every hit.
+///
+/// Entries are stamped with the engine **generation** that computed
+/// them. A lookup passes the current generation and an entry from any
+/// other generation reads as a miss, so a hot-reloaded engine can
+/// never serve a decision made by its predecessor. (Reload also
+/// [`clear`](DecisionCache::clear)s the cache so dead entries don't
+/// squat on capacity, but correctness never depends on that sweep.)
 pub struct DecisionCache {
     shards: Vec<Shard>,
+    per_shard: usize,
 }
 
 impl DecisionCache {
@@ -275,6 +291,7 @@ impl DecisionCache {
             shards: (0..shards)
                 .map(|_| Mutex::new(LruCache::new(per_shard)))
                 .collect(),
+            per_shard,
         }
     }
 
@@ -290,28 +307,58 @@ impl DecisionCache {
 
     /// Look up a decision by digest, promoting it on a hit. The
     /// borrowed request fields are checked against the stored key so a
-    /// digest collision reads as a miss, never a wrong answer.
+    /// digest collision reads as a miss, never a wrong answer — and
+    /// the entry's generation must equal `generation`, so a decision
+    /// made by a pre-reload engine reads as a miss too.
+    #[allow(clippy::too_many_arguments)]
     pub fn get(
         &self,
         shard: usize,
         key_hash: u64,
+        generation: u64,
         url: &str,
         document: &str,
         resource_type: ResourceType,
         sitekey: Option<&str>,
     ) -> Option<RequestOutcome> {
         let mut shard = self.shards[shard].lock();
-        let (stored, outcome) = shard.get(&key_hash)?;
-        if stored.matches(url, document, resource_type, sitekey) {
-            Some(outcome.clone())
+        let entry = shard.get(&key_hash)?;
+        if entry.generation == generation
+            && entry.key.matches(url, document, resource_type, sitekey)
+        {
+            Some(entry.outcome.clone())
         } else {
             None
         }
     }
 
-    /// Memoize a decision under its digest.
-    pub fn insert(&self, shard: usize, key_hash: u64, key: StoredKey, outcome: RequestOutcome) {
-        self.shards[shard].lock().insert(key_hash, (key, outcome));
+    /// Memoize a decision under its digest, stamped with the engine
+    /// generation that computed it.
+    pub fn insert(
+        &self,
+        shard: usize,
+        key_hash: u64,
+        key: StoredKey,
+        generation: u64,
+        outcome: RequestOutcome,
+    ) {
+        self.shards[shard].lock().insert(
+            key_hash,
+            Entry {
+                key,
+                generation,
+                outcome,
+            },
+        );
+    }
+
+    /// Drop every entry (used on reload so superseded decisions don't
+    /// squat on LRU capacity; generation checks already keep them from
+    /// being served).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            *shard.lock() = LruCache::new(self.per_shard);
+        }
     }
 
     /// Total entries across shards.
@@ -439,16 +486,51 @@ mod tests {
             0,
             h,
             StoredKey::new("u", "d", ResourceType::Script, None),
+            0,
             outcome.clone(),
         );
         // Same digest, different request fields: must miss, not lie.
         assert_eq!(
-            cache.get(0, h, "other", "d", ResourceType::Script, None),
+            cache.get(0, h, 0, "other", "d", ResourceType::Script, None),
             None
         );
         assert_eq!(
-            cache.get(0, h, "u", "d", ResourceType::Script, None),
+            cache.get(0, h, 0, "u", "d", ResourceType::Script, None),
             Some(outcome)
+        );
+    }
+
+    #[test]
+    fn stale_generation_reads_as_miss() {
+        let cache = DecisionCache::new(2, 8);
+        let outcome = RequestOutcome {
+            decision: abp::Decision::Block,
+            activations: vec![],
+        };
+        let h = request_key_hash("u", "d", ResourceType::Script, None);
+        let shard = cache.shard_of(h);
+        cache.insert(
+            shard,
+            h,
+            StoredKey::new("u", "d", ResourceType::Script, None),
+            1,
+            outcome.clone(),
+        );
+        // Wrong generation: a decision from engine generation 1 must
+        // never answer a generation-2 lookup.
+        assert_eq!(
+            cache.get(shard, h, 2, "u", "d", ResourceType::Script, None),
+            None
+        );
+        assert_eq!(
+            cache.get(shard, h, 1, "u", "d", ResourceType::Script, None),
+            Some(outcome)
+        );
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(
+            cache.get(shard, h, 1, "u", "d", ResourceType::Script, None),
+            None
         );
     }
 
@@ -480,10 +562,19 @@ mod tests {
             shard,
             h,
             StoredKey::new(&req.url, &req.document, req.resource_type, None),
+            0,
             outcome.clone(),
         );
         assert_eq!(
-            cache.get(shard, h, &req.url, &req.document, req.resource_type, None),
+            cache.get(
+                shard,
+                h,
+                0,
+                &req.url,
+                &req.document,
+                req.resource_type,
+                None
+            ),
             Some(outcome)
         );
         assert_eq!(cache.len(), 1);

@@ -1,0 +1,281 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! Production binaries run with faults disabled (a `None` check on the
+//! hot path); tests and the chaos CI stage arm them programmatically
+//! via [`FaultConfig`] or through the `ABPD_FAULTS` environment
+//! variable, e.g.:
+//!
+//! ```text
+//! ABPD_FAULTS="panic=10000,delay=10000,delay_ms=10,torn=500,disconnect=500,seed=42"
+//! ```
+//!
+//! Rates are **per million** draws (so `panic=10000` is 1%). Each
+//! injection site draws from a [`FaultPlan`]: a shared atomic counter
+//! hashed through splitmix64 with the configured seed, making a fault
+//! schedule reproducible for a given seed and draw order while still
+//! looking random. Four fault kinds are modeled:
+//!
+//! * **eval panics** — a worker thread panics mid-evaluation
+//!   (exercises supervision and the batch `Error` path);
+//! * **eval delays** — an evaluation stalls for `delay_ms`
+//!   (exercises deadlines and queue watermarks);
+//! * **torn writes** — the server writes half a reply burst and drops
+//!   the connection (exercises client truncated-line handling);
+//! * **disconnects** — the server drops the connection before writing
+//!   (exercises client retry/reconnect).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Fault rates (per million) and the plan seed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Probability (per million evaluations) of a worker panic.
+    pub eval_panic_per_million: u32,
+    /// Probability (per million evaluations) of a stall.
+    pub eval_delay_per_million: u32,
+    /// How long an injected stall lasts.
+    pub eval_delay_ms: u64,
+    /// Probability (per million reply flushes) of a torn write: half
+    /// the burst is written, then the connection dies mid-line.
+    pub torn_write_per_million: u32,
+    /// Probability (per million reply flushes) of dropping the
+    /// connection without writing anything.
+    pub disconnect_per_million: u32,
+    /// Seed for the deterministic draw sequence.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// Whether every rate is zero (the plan would never fire).
+    pub fn is_noop(&self) -> bool {
+        self.eval_panic_per_million == 0
+            && self.eval_delay_per_million == 0
+            && self.torn_write_per_million == 0
+            && self.disconnect_per_million == 0
+    }
+
+    /// Parse a `key=value,key=value` spec (the `ABPD_FAULTS` format).
+    /// Keys: `panic`, `delay`, `delay_ms`, `torn`, `disconnect`,
+    /// `seed`. Unknown keys are an error so typos don't silently
+    /// disable a fault.
+    pub fn parse(spec: &str) -> Result<FaultConfig, String> {
+        let mut cfg = FaultConfig {
+            eval_delay_ms: 10,
+            ..FaultConfig::default()
+        };
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec {part:?} is not key=value"))?;
+            let parse_u32 = || {
+                value
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad value for {key}: {value:?} ({e})"))
+            };
+            match key.trim() {
+                "panic" => cfg.eval_panic_per_million = parse_u32()?,
+                "delay" => cfg.eval_delay_per_million = parse_u32()?,
+                "torn" => cfg.torn_write_per_million = parse_u32()?,
+                "disconnect" => cfg.disconnect_per_million = parse_u32()?,
+                "delay_ms" => {
+                    cfg.eval_delay_ms = value
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad value for delay_ms: {value:?} ({e})"))?;
+                }
+                "seed" => {
+                    cfg.seed = value
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad value for seed: {value:?} ({e})"))?;
+                }
+                other => return Err(format!("unknown fault key {other:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Read the `ABPD_FAULTS` environment variable, if set. A malformed
+    /// spec aborts loudly — silently running *without* the faults you
+    /// asked for would make a chaos run meaningless.
+    pub fn from_env() -> Option<FaultConfig> {
+        let spec = std::env::var("ABPD_FAULTS").ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        match FaultConfig::parse(&spec) {
+            Ok(cfg) if cfg.is_noop() => None,
+            Ok(cfg) => Some(cfg),
+            Err(e) => {
+                eprintln!("abpd: bad ABPD_FAULTS: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// What an evaluation-site draw decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalFault {
+    /// Proceed normally.
+    None,
+    /// Panic the worker thread.
+    Panic,
+    /// Sleep before evaluating.
+    Delay(Duration),
+}
+
+/// What a write-site draw decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Proceed normally.
+    None,
+    /// Write a prefix of the burst, then drop the connection.
+    Torn,
+    /// Drop the connection without writing.
+    Disconnect,
+}
+
+const PER_MILLION: u64 = 1_000_000;
+
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A live fault schedule: the config plus the shared draw counter.
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    counter: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Arm a plan.
+    pub fn new(cfg: FaultConfig) -> FaultPlan {
+        FaultPlan {
+            cfg,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this plan draws from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    fn draw(&self) -> u64 {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        splitmix64(self.cfg.seed ^ n.wrapping_mul(0x2545_F491_4F6C_DD1D)) % PER_MILLION
+    }
+
+    /// Draw for one engine evaluation.
+    pub fn eval_fault(&self) -> EvalFault {
+        let panic = u64::from(self.cfg.eval_panic_per_million);
+        let delay = u64::from(self.cfg.eval_delay_per_million);
+        if panic == 0 && delay == 0 {
+            return EvalFault::None;
+        }
+        let roll = self.draw();
+        if roll < panic {
+            EvalFault::Panic
+        } else if roll < panic + delay {
+            EvalFault::Delay(Duration::from_millis(self.cfg.eval_delay_ms))
+        } else {
+            EvalFault::None
+        }
+    }
+
+    /// Draw for one reply-burst write.
+    pub fn write_fault(&self) -> WriteFault {
+        let torn = u64::from(self.cfg.torn_write_per_million);
+        let disconnect = u64::from(self.cfg.disconnect_per_million);
+        if torn == 0 && disconnect == 0 {
+            return WriteFault::None;
+        }
+        let roll = self.draw();
+        if roll < torn {
+            WriteFault::Torn
+        } else if roll < torn + disconnect {
+            WriteFault::Disconnect
+        } else {
+            WriteFault::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_and_rejects_typos() {
+        let cfg = FaultConfig::parse("panic=10000,delay=5000,delay_ms=7,torn=2,seed=9").unwrap();
+        assert_eq!(cfg.eval_panic_per_million, 10_000);
+        assert_eq!(cfg.eval_delay_per_million, 5_000);
+        assert_eq!(cfg.eval_delay_ms, 7);
+        assert_eq!(cfg.torn_write_per_million, 2);
+        assert_eq!(cfg.disconnect_per_million, 0);
+        assert_eq!(cfg.seed, 9);
+        assert!(!cfg.is_noop());
+
+        assert!(FaultConfig::parse("panik=1").is_err());
+        assert!(FaultConfig::parse("panic").is_err());
+        assert!(FaultConfig::parse("panic=lots").is_err());
+        assert!(FaultConfig::parse("").unwrap().is_noop());
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = FaultPlan::new(FaultConfig {
+            eval_panic_per_million: 100_000, // 10%
+            eval_delay_per_million: 100_000, // 10%
+            eval_delay_ms: 3,
+            ..FaultConfig::default()
+        });
+        let (mut panics, mut delays) = (0u32, 0u32);
+        for _ in 0..10_000 {
+            match plan.eval_fault() {
+                EvalFault::Panic => panics += 1,
+                EvalFault::Delay(d) => {
+                    assert_eq!(d, Duration::from_millis(3));
+                    delays += 1;
+                }
+                EvalFault::None => {}
+            }
+        }
+        // 10% ± generous slack; the sequence is deterministic so this
+        // can't flake.
+        assert!((500..2000).contains(&panics), "panics: {panics}");
+        assert!((500..2000).contains(&delays), "delays: {delays}");
+    }
+
+    #[test]
+    fn zero_rates_never_fire_and_skip_the_draw() {
+        let plan = FaultPlan::new(FaultConfig::default());
+        for _ in 0..100 {
+            assert_eq!(plan.eval_fault(), EvalFault::None);
+            assert_eq!(plan.write_fault(), WriteFault::None);
+        }
+        assert_eq!(plan.counter.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = FaultConfig {
+            eval_panic_per_million: 50_000,
+            eval_delay_per_million: 50_000,
+            eval_delay_ms: 1,
+            ..FaultConfig::default()
+        };
+        let a = FaultPlan::new(cfg.clone());
+        let b = FaultPlan::new(cfg);
+        for _ in 0..1000 {
+            assert_eq!(a.eval_fault(), b.eval_fault());
+        }
+    }
+}

@@ -23,16 +23,18 @@
 
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod wire;
 
-pub use client::Client;
-pub use protocol::{DecisionRequest, DecisionResponse, StatsReport};
+pub use client::{Client, RetryClient, RetryPolicy};
+pub use faults::FaultConfig;
+pub use protocol::{DecisionRequest, DecisionResponse, HealthReport, HealthState, StatsReport};
 pub use server::{Server, ServerConfig};
-pub use service::{Service, ServiceConfig};
+pub use service::{Service, ServiceConfig, ServiceError};
 
 use websim::ecosystem::LoadKind;
 use websim::traffic::TrafficSample;

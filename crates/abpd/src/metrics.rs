@@ -125,9 +125,18 @@ impl ShardMetrics {
     }
 }
 
-/// All shards' metrics.
+/// All shards' metrics, plus service-wide resilience counters.
+///
+/// The resilience counters (`sheds`, `deadline_timeouts`) are reported
+/// through the `Health` verb, **not** `Stats` — `StatsReport` is a
+/// frozen wire shape (byte-identity is property-tested) and gaining
+/// fields would break it.
 pub struct Metrics {
     shards: Vec<ShardMetrics>,
+    /// Batches refused with `Overloaded` by the queue watermark.
+    pub sheds: AtomicU64,
+    /// Batches failed because their evaluation deadline passed.
+    pub deadline_timeouts: AtomicU64,
 }
 
 impl Metrics {
@@ -137,6 +146,8 @@ impl Metrics {
             shards: (0..shards.max(1))
                 .map(|_| ShardMetrics::default())
                 .collect(),
+            sheds: AtomicU64::new(0),
+            deadline_timeouts: AtomicU64::new(0),
         }
     }
 

@@ -55,6 +55,7 @@ fn service(cache_capacity: usize) -> Service {
             shards: 3,
             queue_depth: 32,
             cache_capacity,
+            ..ServiceConfig::default()
         },
     )
 }
@@ -142,10 +143,35 @@ proptest! {
 mod wire_equivalence {
     use super::*;
     use crate::protocol::{
-        ClientMessage, DecisionResponse, ServerMessage, ShardStats, StatsReport,
+        ClientMessage, DecisionResponse, HealthReport, HealthState, ReloadList, ReloadReport,
+        ServerMessage, ShardStats, StatsReport,
     };
     use crate::wire;
     use abp::{Activation, Decision, ListSource, MatchKind, RequestOutcome};
+
+    /// Reconstruct an owned [`ClientMessage`] from the borrowed parse.
+    fn to_owned_client(parsed: wire::ClientMessageRef<'_>) -> ClientMessage {
+        match parsed {
+            wire::ClientMessageRef::Decide(r) => ClientMessage::Decide(r.to_owned_request()),
+            wire::ClientMessageRef::DecideBatch(rs) => ClientMessage::DecideBatch(
+                rs.iter()
+                    .map(wire::DecisionRequestRef::to_owned_request)
+                    .collect(),
+            ),
+            wire::ClientMessageRef::Stats => ClientMessage::Stats,
+            wire::ClientMessageRef::Ping => ClientMessage::Ping,
+            wire::ClientMessageRef::Reload(ls) => ClientMessage::Reload(
+                ls.into_iter()
+                    .map(|l| ReloadList {
+                        source: l.source,
+                        content: l.content.into_owned(),
+                    })
+                    .collect(),
+            ),
+            wire::ClientMessageRef::Health => ClientMessage::Health,
+            wire::ClientMessageRef::Shutdown => ClientMessage::Shutdown,
+        }
+    }
 
     proptest! {
         /// Client messages: `write_decide`/`write_decide_batch` bytes
@@ -198,16 +224,45 @@ mod wire_equivalence {
             );
 
             let parsed = wire::parse_client_message(&serde_line).unwrap();
-            let owned = match parsed {
-                wire::ClientMessageRef::Decide(r) => ClientMessage::Decide(r.to_owned_request()),
-                wire::ClientMessageRef::DecideBatch(rs) => ClientMessage::DecideBatch(
-                    rs.iter().map(wire::DecisionRequestRef::to_owned_request).collect(),
+            prop_assert_eq!(to_owned_client(parsed), msg, "borrowed parse must round-trip");
+
+            // The resilience verbs carry the same arbitrary strings as
+            // list content; writers must still match serde byte for
+            // byte and parses must round-trip.
+            let extra = vec![
+                ClientMessage::Reload(
+                    urls.iter()
+                        .enumerate()
+                        .map(|(i, u)| ReloadList {
+                            source: if i % 2 == 0 {
+                                ListSource::EasyList
+                            } else {
+                                ListSource::AcceptableAds
+                            },
+                            content: u.clone(),
+                        })
+                        .collect(),
                 ),
-                wire::ClientMessageRef::Stats => ClientMessage::Stats,
-                wire::ClientMessageRef::Ping => ClientMessage::Ping,
-                wire::ClientMessageRef::Shutdown => ClientMessage::Shutdown,
-            };
-            prop_assert_eq!(owned, msg, "borrowed parse must round-trip");
+                ClientMessage::Health,
+            ];
+            for msg in extra {
+                let serde_line = serde_json::to_string(&msg).unwrap();
+                let vec_line = String::from_utf8(serde_json::to_vec(&msg).unwrap()).unwrap();
+                prop_assert_eq!(&serde_line, &vec_line, "to_vec must match to_string");
+                let mut hand = Vec::new();
+                match &msg {
+                    ClientMessage::Reload(ls) => wire::write_reload(ls, &mut hand),
+                    ClientMessage::Health => wire::write_health_request(&mut hand),
+                    _ => unreachable!(),
+                }
+                prop_assert_eq!(
+                    std::str::from_utf8(&hand).unwrap(),
+                    &serde_line,
+                    "hand-rolled writer must match serde"
+                );
+                let parsed = wire::parse_client_message(&serde_line).unwrap();
+                prop_assert_eq!(to_owned_client(parsed), msg, "borrowed parse must round-trip");
+            }
         }
 
         /// Server messages: every reply writer is byte-identical to
@@ -241,6 +296,11 @@ mod wire_equivalence {
             batch_len in 0usize..3,
             counters in proptest::array::uniform5(0u64..1_000_000),
             error_text in ".{0,32}",
+            health_state in prop::sample::select(&[
+                HealthState::Ok,
+                HealthState::Degraded,
+                HealthState::Draining,
+            ][..]),
         ) {
             let resp = DecisionResponse {
                 outcome: RequestOutcome {
@@ -281,6 +341,19 @@ mod wire_equivalence {
                 ServerMessage::Batch(vec![resp; batch_len]),
                 ServerMessage::Stats(stats),
                 ServerMessage::Pong,
+                ServerMessage::Reloaded(ReloadReport {
+                    generation: counters[0],
+                    filters: counters[1],
+                }),
+                ServerMessage::Health(HealthReport {
+                    state: health_state,
+                    generation: counters[2],
+                    reloads: counters[3],
+                    shard_restarts: counters[..batch_len.min(5)].to_vec(),
+                    shed: counters[4],
+                    deadline_timeouts: counters[0],
+                }),
+                ServerMessage::Overloaded,
                 ServerMessage::ShuttingDown,
                 ServerMessage::Error(error_text),
             ];
@@ -295,6 +368,9 @@ mod wire_equivalence {
                     ServerMessage::Batch(rs) => wire::write_batch_reply(rs, &mut hand),
                     ServerMessage::Stats(s) => wire::write_stats_reply(s, &mut hand),
                     ServerMessage::Pong => wire::write_pong(&mut hand),
+                    ServerMessage::Reloaded(r) => wire::write_reloaded(r, &mut hand),
+                    ServerMessage::Health(h) => wire::write_health_reply(h, &mut hand),
+                    ServerMessage::Overloaded => wire::write_overloaded(&mut hand),
                     ServerMessage::ShuttingDown => wire::write_shutting_down(&mut hand),
                     ServerMessage::Error(e) => wire::write_error(e, &mut hand),
                 }
@@ -337,6 +413,7 @@ mod pipelining {
                         shards: 2,
                         queue_depth: 32,
                         cache_capacity: 64,
+                        ..ServiceConfig::default()
                     },
                 },
             )
@@ -381,6 +458,68 @@ mod pipelining {
             }
             drop((lockstep, piped));
             server.shutdown();
+        }
+    }
+}
+
+/// Hot reload is atomic: after `reload` returns, no request — fresh or
+/// replayed from cache — may observe a pre-reload decision. The cache
+/// is generation-stamped, so this property holds even for keys that
+/// were warmed (possibly repeatedly) before the swap.
+mod reload {
+    use super::*;
+    use crate::protocol::ReloadList;
+    use abp::Decision;
+
+    proptest! {
+        #[test]
+        fn no_stale_decisions_after_flip(
+            hosts in proptest::collection::vec("[a-d]", 4..=12),
+            warm_rounds in 1usize..3,
+        ) {
+            let svc = service(4096);
+            let reqs: Vec<DecisionRequest> = hosts
+                .iter()
+                .enumerate()
+                .map(|(i, h)| DecisionRequest {
+                    url: format!("http://adnet1.example/u{i}.js"),
+                    document: format!("{h}.example"),
+                    resource_type: ResourceType::Script,
+                    sitekey: None,
+                })
+                .collect();
+            // Warm the cache with blocked decisions under the seed
+            // engine (no document here matches the whitelist's
+            // domain gate).
+            for _ in 0..warm_rounds {
+                for r in &reqs {
+                    prop_assert_eq!(svc.decide(r).unwrap().outcome.decision, Decision::Block);
+                }
+            }
+            let report = svc
+                .reload(&[
+                    ReloadList {
+                        source: ListSource::EasyList,
+                        content: "||adnet1.example^\n".into(),
+                    },
+                    ReloadList {
+                        source: ListSource::AcceptableAds,
+                        content: "@@||adnet1.example^\n".into(),
+                    },
+                ])
+                .unwrap();
+            prop_assert_eq!(report.generation, 1);
+            // Block flipped to allow: every post-reload answer must
+            // reflect the new lists, warmed cache keys included.
+            for r in &reqs {
+                let resp = svc.decide(r).unwrap();
+                prop_assert_eq!(
+                    resp.outcome.decision,
+                    Decision::AllowedByException,
+                    "stale pre-reload decision served"
+                );
+            }
+            svc.shutdown();
         }
     }
 }

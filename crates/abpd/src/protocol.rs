@@ -13,7 +13,7 @@
 //! Dataless verbs are bare JSON strings: the line `"Stats"` requests
 //! statistics, `"Ping"` probes liveness, `"Shutdown"` drains the server.
 
-use abp::{RequestOutcome, ResourceType};
+use abp::{ListSource, RequestOutcome, ResourceType};
 use serde::{Deserialize, Serialize};
 
 /// One decision to make: should this load be blocked?
@@ -75,6 +75,93 @@ pub struct StatsReport {
     pub shards: Vec<ShardStats>,
 }
 
+/// One filter list shipped in a `Reload`: the subscription it stands
+/// for plus its full textual content.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReloadList {
+    /// Which subscription slot this text fills.
+    pub source: ListSource,
+    /// The list text, in the usual filter-list format.
+    pub content: String,
+}
+
+/// Acknowledges a successful `Reload`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReloadReport {
+    /// The engine generation now serving (monotonically increasing;
+    /// startup is generation 0).
+    pub generation: u64,
+    /// Request filters compiled into the new engine.
+    pub filters: u64,
+}
+
+/// Overall service health, reported by the `Health` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Every shard worker is up.
+    Ok,
+    /// At least one shard worker is down awaiting restart.
+    Degraded,
+    /// Shutdown has begun; the server is draining connections.
+    Draining,
+}
+
+impl HealthState {
+    /// The lowercase wire name (`ok`/`degraded`/`draining`).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Ok => "ok",
+            HealthState::Degraded => "degraded",
+            HealthState::Draining => "draining",
+        }
+    }
+
+    /// Parse the lowercase wire name.
+    pub fn from_name(name: &str) -> Option<HealthState> {
+        Some(match name {
+            "ok" => HealthState::Ok,
+            "degraded" => HealthState::Degraded,
+            "draining" => HealthState::Draining,
+            _ => return None,
+        })
+    }
+}
+
+// The wire names are lowercase (ops convention), not the variant
+// names, so the serde impls are written out rather than derived.
+impl Serialize for HealthState {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for HealthState {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::Error> {
+        let s = c
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("HealthState: expected a string"))?;
+        HealthState::from_name(s)
+            .ok_or_else(|| serde::Error::custom(format!("unknown health state {s:?}")))
+    }
+}
+
+/// The `Health` verb's reply: liveness plus resilience counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Overall state: `ok`, `degraded`, or `draining`.
+    pub state: HealthState,
+    /// The engine generation currently serving.
+    pub generation: u64,
+    /// Successful reloads since startup.
+    pub reloads: u64,
+    /// Restarts per worker shard since startup (index = shard id).
+    pub shard_restarts: Vec<u64>,
+    /// Batches refused with `Overloaded` by the queue watermark.
+    pub shed: u64,
+    /// Batches failed because their evaluation deadline passed.
+    pub deadline_timeouts: u64,
+}
+
 /// Every message a client can send.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ClientMessage {
@@ -86,6 +173,13 @@ pub enum ClientMessage {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Replace the serving filter lists: compile a new engine
+    /// generation and atomically swap it in. Answered by `Reloaded`
+    /// on success or `Error` (with a bounded report) on rejection —
+    /// the previous engine keeps serving in that case.
+    Reload(Vec<ReloadList>),
+    /// Fetch service health (state, generation, restart counters).
+    Health,
     /// Ask the server to stop accepting connections and drain.
     Shutdown,
 }
@@ -101,6 +195,13 @@ pub enum ServerMessage {
     Stats(StatsReport),
     /// Answer to `Ping`.
     Pong,
+    /// Acknowledges a successful `Reload`.
+    Reloaded(ReloadReport),
+    /// Health for a `Health`.
+    Health(HealthReport),
+    /// The work was shed before evaluation: queues are past their
+    /// watermark. Retry with backoff.
+    Overloaded,
     /// Acknowledges `Shutdown`; the server drains and exits.
     ShuttingDown,
     /// The request line could not be parsed or evaluated.
@@ -157,6 +258,62 @@ mod tests {
         assert_eq!(
             serde_json::to_string(&ServerMessage::Pong).unwrap(),
             "\"Pong\""
+        );
+    }
+
+    #[test]
+    fn health_states_use_lowercase_wire_names() {
+        for (state, wire) in [
+            (HealthState::Ok, "\"ok\""),
+            (HealthState::Degraded, "\"degraded\""),
+            (HealthState::Draining, "\"draining\""),
+        ] {
+            assert_eq!(serde_json::to_string(&state).unwrap(), wire);
+            let back: HealthState = serde_json::from_str(wire).unwrap();
+            assert_eq!(back, state);
+        }
+        assert!(serde_json::from_str::<HealthState>("\"Ok\"").is_err());
+    }
+
+    #[test]
+    fn resilience_verbs_round_trip() {
+        let msgs = [
+            ClientMessage::Reload(vec![ReloadList {
+                source: ListSource::AcceptableAds,
+                content: "@@||ads.example^\n! comment\n".to_string(),
+            }]),
+            ClientMessage::Health,
+        ];
+        for m in &msgs {
+            let line = serde_json::to_string(m).unwrap();
+            let back: ClientMessage = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, m);
+        }
+        let replies = [
+            ServerMessage::Reloaded(ReloadReport {
+                generation: 3,
+                filters: 412,
+            }),
+            ServerMessage::Health(HealthReport {
+                state: HealthState::Degraded,
+                generation: 2,
+                reloads: 2,
+                shard_restarts: vec![0, 3, 1],
+                shed: 17,
+                deadline_timeouts: 4,
+            }),
+            ServerMessage::Overloaded,
+        ];
+        for m in &replies {
+            let line = serde_json::to_string(m).unwrap();
+            assert!(!line.contains('\n'));
+            let back: ServerMessage = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, m);
+        }
+        // Overloaded is a dataless verb: a bare string on the wire.
+        assert_eq!(
+            serde_json::to_string(&ServerMessage::Overloaded).unwrap(),
+            "\"Overloaded\""
         );
     }
 

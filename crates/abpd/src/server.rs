@@ -20,7 +20,9 @@
 //! balloon server memory; an oversized line is discarded, answered
 //! with an `Error` naming its byte count, and the stream stays in sync.
 
-use crate::service::{Service, ServiceConfig};
+use crate::faults::{FaultPlan, WriteFault};
+use crate::protocol::ReloadList;
+use crate::service::{Service, ServiceConfig, ServiceError};
 use crate::wire::{self, ClientMessageRef, LineRead};
 use abp::Engine;
 use std::io::{BufReader, Write};
@@ -61,6 +63,9 @@ struct Shared {
     running: AtomicBool,
     open_connections: AtomicUsize,
     max_line_bytes: usize,
+    /// Write-path fault plan (torn writes / disconnects); `None` in
+    /// production. Evaluation faults live inside the service.
+    write_faults: Option<FaultPlan>,
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -76,11 +81,19 @@ impl Server {
     pub fn start(engine: Engine, config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let write_faults = config
+            .service
+            .faults
+            .as_ref()
+            .filter(|c| c.torn_write_per_million > 0 || c.disconnect_per_million > 0)
+            .cloned()
+            .map(FaultPlan::new);
         let shared = Arc::new(Shared {
             service: Service::start(engine, &config.service),
             running: AtomicBool::new(true),
             open_connections: AtomicUsize::new(0),
             max_line_bytes: config.max_line_bytes.max(64),
+            write_faults,
         });
 
         let acceptor = {
@@ -138,6 +151,14 @@ impl Server {
         self.shared.service.shard_count()
     }
 
+    /// The underlying decision service — lets an in-process supervisor
+    /// (e.g. the `--watch` reload thread) call
+    /// [`Service::reload`]/[`Service::health`] without a loopback
+    /// connection.
+    pub fn service(&self) -> &Service {
+        &self.shared.service
+    }
+
     /// Stop accepting, wait for open connections and queued work, then
     /// join the workers.
     pub fn shutdown(mut self) {
@@ -156,6 +177,38 @@ impl Server {
     }
 }
 
+/// Write one corked reply burst, consulting the fault plan first: a
+/// `Torn` draw writes half the burst then fails (the connection dies
+/// mid-line from the client's perspective); a `Disconnect` draw fails
+/// without writing. Either way the buffer is consumed — the connection
+/// is about to close, so the bytes have nowhere else to go.
+fn flush_burst(
+    sock: &mut TcpStream,
+    out: &mut Vec<u8>,
+    faults: Option<&FaultPlan>,
+) -> std::io::Result<()> {
+    if out.is_empty() {
+        return Ok(());
+    }
+    if let Some(plan) = faults {
+        match plan.write_fault() {
+            WriteFault::Torn => {
+                let _ = sock.write_all(&out[..out.len() / 2]);
+                out.clear();
+                return Err(std::io::Error::other("injected torn write"));
+            }
+            WriteFault::Disconnect => {
+                out.clear();
+                return Err(std::io::Error::other("injected disconnect"));
+            }
+            WriteFault::None => {}
+        }
+    }
+    sock.write_all(out)?;
+    out.clear();
+    Ok(())
+}
+
 /// Flush corked replies iff the next socket read would block.
 ///
 /// Called by the line reader right before a `fill_buf` whose buffer is
@@ -165,7 +218,11 @@ impl Server {
 /// for these replies before sending more — possibly mid-line — so
 /// withholding them would deadlock both sides). `Ok(0)` from the peek
 /// means EOF: the read won't block, and the loop's exit path flushes.
-fn flush_if_read_would_block(sock: &mut TcpStream, out: &mut Vec<u8>) -> std::io::Result<()> {
+fn flush_if_read_would_block(
+    sock: &mut TcpStream,
+    out: &mut Vec<u8>,
+    faults: Option<&FaultPlan>,
+) -> std::io::Result<()> {
     if out.is_empty() {
         return Ok(());
     }
@@ -174,11 +231,7 @@ fn flush_if_read_would_block(sock: &mut TcpStream, out: &mut Vec<u8>) -> std::io
     sock.set_nonblocking(false)?;
     match probe {
         Ok(_) => Ok(()),
-        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-            sock.write_all(out)?;
-            out.clear();
-            Ok(())
-        }
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => flush_burst(sock, out, faults),
         Err(e) => Err(e),
     }
 }
@@ -200,12 +253,23 @@ fn trigger_stop(shared: &Shared, addr: SocketAddr) {
     }
 }
 
+/// Map a batch failure to its wire reply: shed work answers with the
+/// fast `Overloaded` verb (clients back off and retry), everything
+/// else with `Error`.
+fn write_batch_error(e: &ServiceError, out: &mut Vec<u8>) {
+    match e {
+        ServiceError::Overloaded => wire::write_overloaded(out),
+        other => wire::write_error(&other.to_string(), out),
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = stream;
+    let faults = shared.write_faults.as_ref();
     // Per-connection reusable state: the line buffer, the corked write
     // buffer, and the batch scratch. Nothing here is reallocated per
     // request once warmed up.
@@ -216,7 +280,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
     loop {
         let read =
             wire::read_line_limited_flushing(&mut reader, &mut line, shared.max_line_bytes, || {
-                flush_if_read_would_block(&mut writer, &mut out)
+                flush_if_read_would_block(&mut writer, &mut out, faults)
             });
         match read {
             Err(_) | Ok(LineRead::Eof) | Ok(LineRead::EofMidLine) => break,
@@ -251,16 +315,38 @@ fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
                                 Ok(()) => {
                                     wire::write_decision_reply(&scratch.responses()[0], &mut out)
                                 }
-                                Err(e) => wire::write_error(&e, &mut out),
+                                Err(e) => write_batch_error(&e, &mut out),
                             }
                         }
                         Ok(ClientMessageRef::DecideBatch(reqs)) => {
                             match shared.service.decide_batch_into(&reqs, &mut scratch) {
                                 Ok(()) => wire::write_batch_reply(scratch.responses(), &mut out),
+                                Err(e) => write_batch_error(&e, &mut out),
+                            }
+                        }
+                        Ok(ClientMessageRef::Reload(lists)) => {
+                            let owned: Vec<ReloadList> = lists
+                                .into_iter()
+                                .map(|l| ReloadList {
+                                    source: l.source,
+                                    content: l.content.into_owned(),
+                                })
+                                .collect();
+                            match shared.service.reload(&owned) {
+                                Ok(report) => wire::write_reloaded(&report, &mut out),
                                 Err(e) => wire::write_error(&e, &mut out),
                             }
                         }
+                        Ok(ClientMessageRef::Health) => {
+                            wire::write_health_reply(&shared.service.health(), &mut out)
+                        }
                         Ok(ClientMessageRef::Shutdown) => {
+                            // Every earlier request on this connection
+                            // is already answered (the loop is
+                            // synchronous), so flushing the corked
+                            // burst with the ack drains the pipeline
+                            // before the socket closes.
+                            shared.service.begin_drain();
                             wire::write_shutting_down(&mut out);
                             out.push(b'\n');
                             let _ = writer.write_all(&out);
@@ -275,16 +361,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
         // Cork: replies are flushed by the would-block hook above the
         // moment the reader would sleep on the socket, so here only the
         // size cap matters — don't let a huge burst buffer unboundedly.
-        if out.len() >= CORK_FLUSH_BYTES {
-            if writer.write_all(&out).is_err() {
-                return;
-            }
-            out.clear();
+        if out.len() >= CORK_FLUSH_BYTES && flush_burst(&mut writer, &mut out, faults).is_err() {
+            return;
         }
     }
-    if !out.is_empty() {
-        let _ = writer.write_all(&out);
-    }
+    let _ = flush_burst(&mut writer, &mut out, faults);
 }
 
 #[cfg(test)]

@@ -22,7 +22,10 @@
 //! fields skipped, optional fields defaulted) — property-tested in
 //! `crate::proptests::wire_equivalence`.
 
-use crate::protocol::{DecisionRequest, DecisionResponse, ServerMessage, ShardStats, StatsReport};
+use crate::protocol::{
+    DecisionRequest, DecisionResponse, HealthReport, HealthState, ReloadList, ReloadReport,
+    ServerMessage, ShardStats, StatsReport,
+};
 use abp::{Activation, Decision, ListSource, MatchKind, RequestOutcome, ResourceType};
 use serde_json::write_escaped_str;
 use std::borrow::Cow;
@@ -70,6 +73,18 @@ impl DecisionRequest {
     }
 }
 
+/// One `Reload` list whose content borrows from the request line
+/// (the borrowed analog of [`ReloadList`]). List text usually embeds
+/// `\n` escapes, so in practice the content unescapes into an owned
+/// string — the type still borrows when it can.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReloadListRef<'a> {
+    /// Which subscription slot this text fills.
+    pub source: ListSource,
+    /// The list text.
+    pub content: Cow<'a, str>,
+}
+
 /// A parsed client message whose payload borrows from the request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientMessageRef<'a> {
@@ -81,6 +96,10 @@ pub enum ClientMessageRef<'a> {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Swap in new filter lists.
+    Reload(Vec<ReloadListRef<'a>>),
+    /// Fetch service health.
+    Health,
     /// Ask the server to stop accepting connections and drain.
     Shutdown,
 }
@@ -262,6 +281,27 @@ pub fn write_shutdown(out: &mut Vec<u8>) {
     push_str(out, "\"Shutdown\"");
 }
 
+/// Append a `Reload` request line body (no trailing newline).
+pub fn write_reload(lists: &[ReloadList], out: &mut Vec<u8>) {
+    push_str(out, "{\"Reload\":[");
+    for (i, l) in lists.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        push_str(out, "{\"source\":\"");
+        push_str(out, list_source_name(l.source));
+        push_str(out, "\",\"content\":");
+        write_escaped_str(&l.content, out);
+        out.push(b'}');
+    }
+    push_str(out, "]}");
+}
+
+/// Append the `Health` verb.
+pub fn write_health_request(out: &mut Vec<u8>) {
+    push_str(out, "\"Health\"");
+}
+
 fn write_activation(a: &Activation, out: &mut Vec<u8>) {
     push_str(out, "{\"filter\":");
     write_escaped_str(&a.filter, out);
@@ -359,6 +399,42 @@ pub fn write_stats_reply(r: &StatsReport, out: &mut Vec<u8>) {
 /// Append the `Pong` reply.
 pub fn write_pong(out: &mut Vec<u8>) {
     push_str(out, "\"Pong\"");
+}
+
+/// Append a `Reloaded` reply line body (no trailing newline).
+pub fn write_reloaded(r: &ReloadReport, out: &mut Vec<u8>) {
+    push_str(out, "{\"Reloaded\":{\"generation\":");
+    push_u64(out, r.generation);
+    push_str(out, ",\"filters\":");
+    push_u64(out, r.filters);
+    push_str(out, "}}");
+}
+
+/// Append a `Health` reply line body (no trailing newline).
+pub fn write_health_reply(h: &HealthReport, out: &mut Vec<u8>) {
+    push_str(out, "{\"Health\":{\"state\":\"");
+    push_str(out, h.state.name());
+    push_str(out, "\",\"generation\":");
+    push_u64(out, h.generation);
+    push_str(out, ",\"reloads\":");
+    push_u64(out, h.reloads);
+    push_str(out, ",\"shard_restarts\":[");
+    for (i, n) in h.shard_restarts.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        push_u64(out, *n);
+    }
+    push_str(out, "],\"shed\":");
+    push_u64(out, h.shed);
+    push_str(out, ",\"deadline_timeouts\":");
+    push_u64(out, h.deadline_timeouts);
+    push_str(out, "}}");
+}
+
+/// Append the `Overloaded` reply.
+pub fn write_overloaded(out: &mut Vec<u8>) {
+    push_str(out, "\"Overloaded\"");
 }
 
 /// Append the `ShuttingDown` reply.
@@ -806,6 +882,79 @@ impl<'a> Scan<'a> {
         })
     }
 
+    fn reload_list(&mut self) -> ScanResult<ReloadListRef<'a>> {
+        let mut source = None;
+        let mut content = None;
+        self.object(|s, key| {
+            match key {
+                "source" => {
+                    let name = s.string()?;
+                    source = Some(
+                        list_source_from_name(&name)
+                            .ok_or_else(|| format!("unknown list source {name:?}"))?,
+                    );
+                }
+                "content" => content = Some(s.string()?),
+                _ => s.skip_value()?,
+            }
+            Ok(())
+        })?;
+        Ok(ReloadListRef {
+            source: source.ok_or("missing field `source`")?,
+            content: content.ok_or("missing field `content`")?,
+        })
+    }
+
+    fn reload_report(&mut self) -> ScanResult<ReloadReport> {
+        let mut report = ReloadReport::default();
+        self.object(|s, key| {
+            match key {
+                "generation" => report.generation = s.u64_number()?,
+                "filters" => report.filters = s.u64_number()?,
+                _ => s.skip_value()?,
+            }
+            Ok(())
+        })?;
+        Ok(report)
+    }
+
+    fn health_report(&mut self) -> ScanResult<HealthReport> {
+        let mut state = None;
+        let mut report = HealthReport {
+            state: HealthState::Ok,
+            generation: 0,
+            reloads: 0,
+            shard_restarts: Vec::new(),
+            shed: 0,
+            deadline_timeouts: 0,
+        };
+        self.object(|s, key| {
+            match key {
+                "state" => {
+                    let name = s.string()?;
+                    state = Some(
+                        HealthState::from_name(&name)
+                            .ok_or_else(|| format!("unknown health state {name:?}"))?,
+                    );
+                }
+                "generation" => report.generation = s.u64_number()?,
+                "reloads" => report.reloads = s.u64_number()?,
+                "shard_restarts" => {
+                    s.array(|s| {
+                        report.shard_restarts.push(s.u64_number()?);
+                        Ok(())
+                    })?;
+                }
+                "shed" => report.shed = s.u64_number()?,
+                "deadline_timeouts" => report.deadline_timeouts = s.u64_number()?,
+                _ => s.skip_value()?,
+            }
+            Ok(())
+        })?;
+        report.state = state.ok_or("missing field `state`")?;
+        Ok(report)
+    }
+
     fn shard_stats(&mut self) -> ScanResult<ShardStats> {
         let mut stats = ShardStats::default();
         self.object(|s, key| {
@@ -857,6 +1006,7 @@ pub fn parse_client_message(line: &str) -> Result<ClientMessageRef<'_>, String> 
             match &*verb {
                 "Stats" => ClientMessageRef::Stats,
                 "Ping" => ClientMessageRef::Ping,
+                "Health" => ClientMessageRef::Health,
                 "Shutdown" => ClientMessageRef::Shutdown,
                 other => return Err(format!("unknown verb {other:?}")),
             }
@@ -877,6 +1027,14 @@ pub fn parse_client_message(line: &str) -> Result<ClientMessageRef<'_>, String> 
                         Ok(())
                     })?;
                     ClientMessageRef::DecideBatch(reqs)
+                }
+                "Reload" => {
+                    let mut lists = Vec::new();
+                    s.array(|s| {
+                        lists.push(s.reload_list()?);
+                        Ok(())
+                    })?;
+                    ClientMessageRef::Reload(lists)
                 }
                 other => return Err(format!("unknown message variant {other:?}")),
             };
@@ -900,6 +1058,7 @@ pub fn parse_server_message(line: &str) -> Result<ServerMessage, String> {
             let verb = s.string()?;
             match &*verb {
                 "Pong" => ServerMessage::Pong,
+                "Overloaded" => ServerMessage::Overloaded,
                 "ShuttingDown" => ServerMessage::ShuttingDown,
                 other => return Err(format!("unknown reply verb {other:?}")),
             }
@@ -922,6 +1081,8 @@ pub fn parse_server_message(line: &str) -> Result<ServerMessage, String> {
                     ServerMessage::Batch(resps)
                 }
                 "Stats" => ServerMessage::Stats(s.stats_report()?),
+                "Reloaded" => ServerMessage::Reloaded(s.reload_report()?),
+                "Health" => ServerMessage::Health(s.health_report()?),
                 "Error" => ServerMessage::Error(s.string()?.into_owned()),
                 other => return Err(format!("unknown reply variant {other:?}")),
             };

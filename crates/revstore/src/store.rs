@@ -95,6 +95,15 @@ impl RevStore {
         })
     }
 
+    /// Iterate over the revisions committed strictly after `id`, in
+    /// order. The tail a watcher has not yet applied: feed the last id
+    /// it saw and replay everything newer (empty when `id` is the
+    /// head).
+    pub fn since(&self, id: u32) -> impl Iterator<Item = &Revision> {
+        let start = (id as usize).saturating_add(1).min(self.revisions.len());
+        self.revisions[start..].iter()
+    }
+
     /// The latest revision committed at or before `timestamp`.
     pub fn at_time(&self, timestamp: i64) -> Option<&Revision> {
         match self.revisions.partition_point(|r| r.timestamp <= timestamp) {
@@ -143,6 +152,15 @@ mod tests {
         assert_eq!(s.at_time(100).unwrap().id, 0);
         assert_eq!(s.at_time(250).unwrap().id, 1);
         assert_eq!(s.at_time(10_000).unwrap().id, 2);
+    }
+
+    #[test]
+    fn since_returns_the_unapplied_tail() {
+        let s = store();
+        let ids: Vec<u32> = s.since(0).map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(s.since(2).count(), 0, "head has no tail");
+        assert_eq!(s.since(99).count(), 0, "past-the-end is empty");
     }
 
     #[test]

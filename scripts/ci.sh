@@ -41,4 +41,29 @@ echo "==> service bench (pipelined abpd-load, writes BENCH_service.json)"
 ./target/release/abpd-load --decisions 60000 --batch 256 --pipeline 8 \
     --connections 1 --out BENCH_service.json
 
+echo "==> chaos smoke (fault-armed server, availability appended to BENCH_service.json)"
+# 1% worker panics + 1% 10ms eval stalls + reply-path torn writes and
+# disconnects; the retrying load client must still land (almost) every
+# decision. --max-error-rate fails the stage if more than 1% of
+# requests end unanswered, shed, or rejected.
+ABPD_FAULTS="panic=10000,delay=10000,delay_ms=10,torn=500,disconnect=500,seed=42" \
+    ./target/release/abpd --addr 127.0.0.1:0 >/tmp/abpd-chaos.log 2>&1 &
+CHAOS_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^abpd: listening on \([^ ]*\).*$/\1/p' /tmp/abpd-chaos.log)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "chaos abpd never reported its address:" >&2
+    cat /tmp/abpd-chaos.log >&2
+    kill "$CHAOS_PID" 2>/dev/null || true
+    exit 1
+fi
+./target/release/abpd-load --addr "$ADDR" --decisions 100000 --batch 64 \
+    --pipeline 8 --reply-timeout-ms 10000 --max-error-rate 0.01 \
+    --append-availability BENCH_service.json --shutdown
+wait "$CHAOS_PID"
+
 echo "==> ci green"

@@ -25,6 +25,7 @@ fn start_server() -> Server {
             shards: 2,
             queue_depth: 64,
             cache_capacity: 1024,
+            ..ServiceConfig::default()
         },
     };
     Server::start(test_engine(), &config).expect("bind server")
@@ -193,6 +194,7 @@ fn oversized_lines_get_bounded_error_and_resync() {
             shards: 1,
             queue_depth: 16,
             cache_capacity: 64,
+            ..ServiceConfig::default()
         },
     };
     let server = Server::start(test_engine(), &config).expect("bind server");

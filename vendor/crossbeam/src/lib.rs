@@ -68,6 +68,7 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Shared<T> {
         state: Mutex<State<T>>,
@@ -103,6 +104,24 @@ pub mod channel {
     pub enum TryRecvError {
         /// Queue currently empty, senders still connected.
         Empty,
+        /// Queue empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Reasons a `try_send` can fail; the value is handed back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Queue at capacity, receivers still connected.
+        Full(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
+    /// Reasons a `recv_timeout` can fail.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived before the deadline.
+        Timeout,
         /// Queue empty and all senders dropped.
         Disconnected,
     }
@@ -176,6 +195,37 @@ pub mod channel {
                     .unwrap_or_else(|e| e.into_inner());
             }
         }
+
+        /// Deliver `value` only if the channel has room right now.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.cap.is_some_and(|c| state.queue.len() >= c) {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Items currently queued (racy by nature; useful for
+        /// watermark checks, not for synchronization).
+        pub fn len(&self) -> usize {
+            self.0
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty (racy, like `len`).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Receiver<T> {
@@ -198,6 +248,54 @@ pub mod channel {
                     .wait(state)
                     .unwrap_or_else(|e| e.into_inner());
             }
+        }
+
+        /// Take the next item, giving up after `timeout` if nothing
+        /// arrives. Errors immediately once the channel is empty and
+        /// all senders dropped.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(item) = state.queue.pop_front() {
+                    drop(state);
+                    self.0.not_full.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let Some(remaining) = deadline
+                    .checked_duration_since(Instant::now())
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (next, timed_out) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(state, remaining)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = next;
+                if timed_out.timed_out() && state.queue.is_empty() && state.senders > 0 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Items currently queued (racy by nature).
+        pub fn len(&self) -> usize {
+            self.0
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty (racy, like `len`).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         /// Non-blocking variant of [`recv`](Self::recv).
@@ -345,6 +443,48 @@ mod tests {
         assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_send_distinguishes_full_and_disconnected() {
+        let (tx, rx) = channel::bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        assert_eq!(tx.len(), 1);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::bounded::<u8>(4);
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(20)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn queue_len_tracks_contents() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert!(rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(tx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 1);
     }
 
     #[test]
