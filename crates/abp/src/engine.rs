@@ -27,23 +27,30 @@
 //!
 //! * filter text, and the per-request subject URL, are interned
 //!   ([`IStr`]) so recording an activation never copies string bytes;
-//! * the token index is flattened into a CSR-style layout — sorted
-//!   token keys, one contiguous id arena — instead of a
-//!   `HashMap<u64, Vec<u32>>` per bucket;
+//! * all request filters — tokenized *and* untokenized — compile into
+//!   one literal-anchor [`Automaton`](crate::anchors::Automaton): a
+//!   single pass over the lowercased URL emits exactly the candidate
+//!   set, so untokenized filters are scanned only when their longest
+//!   literal actually occurs (filters with no extractable anchor stay
+//!   in a tiny always-scan tail);
 //! * candidate dedup uses a generation-stamped dense array keyed by
 //!   filter id (O(1) per candidate) instead of a linear `seen` scan;
-//! * `$document`/`$elemhide` page gates get their own prebuilt id list,
-//!   and element rules are bucketed by `domain=` scope (generic vs.
-//!   per-domain), so page-level queries touch only plausible rules.
+//! * `$document`/`$elemhide` page gates get their own prebuilt id list
+//!   behind a second anchor automaton, and `domain=`-scoped element
+//!   rules live in a reversed-label [`HostLabelTrie`] with precompiled
+//!   selector-cancellation links, so page-level queries touch only
+//!   plausible rules and never build a per-query selector set.
 
 use crate::activation::{Activation, MatchKind};
+use crate::anchors::{Automaton, AutomatonBuilder, HostLabelTrie, HostLabelTrieBuilder};
 use crate::filter::{ElementFilter, FilterAction, FilterBody, RequestFilter};
 use crate::intern::IStr;
 use crate::list::{FilterList, ListSource};
 use crate::request::Request;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::OnceLock;
 
 /// The engine's verdict on a request.
@@ -129,11 +136,20 @@ impl DocumentStatus {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HidingOutcome {
     /// Selectors that will hide matching elements, with their source rule.
-    pub active: Vec<(String, Activation)>,
+    /// Selectors are interned ([`IStr`]): building an outcome bumps a
+    /// reference count per rule instead of copying selector bytes, and
+    /// the serialized form is unchanged (a plain JSON string).
+    ///
+    /// The list sits behind an `Arc` so that the engine's precomputed
+    /// generic outcome (served to every domain with no scoped rules) is
+    /// shared rather than deep-cloned: a clone is two reference-count
+    /// bumps regardless of rule count. `Arc<Vec<_>>` derefs to a slice,
+    /// so iteration and indexing read exactly like the plain `Vec`.
+    pub active: std::sync::Arc<Vec<(IStr, Activation)>>,
     /// Element-exception rules applicable on this domain (they produce an
     /// activation only when the selector matches an element — the caller
     /// owning the DOM decides).
-    pub exceptions: Vec<(String, Activation)>,
+    pub exceptions: std::sync::Arc<Vec<(IStr, Activation)>>,
 }
 
 #[derive(Debug, Clone)]
@@ -155,10 +171,12 @@ struct StoredElementRule {
 }
 
 /// Mutable token-bucketed index over request filters, used while filters
-/// are being added. [`CsrIndex::build`] flattens it for matching.
+/// are being added. [`Compiled::build`] compiles it into the anchor
+/// automaton. Keyed by the token *string* (not a hash): the automaton
+/// needs the bytes, and distinct tokens can never alias a bucket.
 #[derive(Debug, Default, Clone)]
 struct TokenIndexBuilder {
-    by_token: HashMap<u64, Vec<u32>>,
+    by_token: HashMap<String, Vec<u32>>,
     untokenized: Vec<u32>,
 }
 
@@ -171,8 +189,8 @@ impl TokenIndexBuilder {
             best = match best {
                 None => Some(t),
                 Some(b) => {
-                    let cb = self.by_token.get(&hash_token(b)).map_or(0, Vec::len);
-                    let ct = self.by_token.get(&hash_token(t)).map_or(0, Vec::len);
+                    let cb = self.by_token.get(b.as_str()).map_or(0, Vec::len);
+                    let ct = self.by_token.get(t.as_str()).map_or(0, Vec::len);
                     if ct < cb || (ct == cb && t.len() > b.len()) {
                         Some(t)
                     } else {
@@ -182,88 +200,114 @@ impl TokenIndexBuilder {
             };
         }
         match best {
-            Some(t) => self.by_token.entry(hash_token(t)).or_default().push(id),
+            Some(t) => self.by_token.entry(t.clone()).or_default().push(id),
             None => self.untokenized.push(id),
         }
     }
 }
 
-/// Immutable CSR-style token index: sorted token keys, a prefix-offset
-/// array, and one contiguous filter-id arena. A bucket lookup is a
-/// branch-free binary search over `keys` followed by an iteration over a
-/// contiguous `ids` slice — no per-bucket heap indirection, no hashing
-/// beyond the FNV key the caller already computed.
-#[derive(Debug, Default, Clone)]
-struct CsrIndex {
-    /// Sorted, distinct token hashes.
-    keys: Vec<u64>,
-    /// `starts[k]..starts[k+1]` bounds the ids of `keys[k]`; length is
-    /// `keys.len() + 1`.
-    starts: Vec<u32>,
-    /// Filter ids, grouped by token key, insertion order within a group.
-    ids: Vec<u32>,
-    /// Filters with no indexable token: candidates for every request.
-    untokenized: Vec<u32>,
-}
-
-impl CsrIndex {
-    fn build(builder: &TokenIndexBuilder) -> CsrIndex {
-        let mut keys: Vec<u64> = builder.by_token.keys().copied().collect();
-        keys.sort_unstable();
-        let mut starts = Vec::with_capacity(keys.len() + 1);
-        let mut ids = Vec::with_capacity(builder.by_token.values().map(Vec::len).sum());
-        starts.push(0u32);
-        for k in &keys {
-            ids.extend_from_slice(&builder.by_token[k]);
-            starts.push(ids.len() as u32);
-        }
-        CsrIndex {
-            keys,
-            starts,
-            ids,
-            untokenized: builder.untokenized.clone(),
-        }
-    }
-
-    /// The ids bucketed under one token hash.
-    fn bucket(&self, token: u64) -> &[u32] {
-        match self.keys.binary_search(&token) {
-            Ok(k) => &self.ids[self.starts[k] as usize..self.starts[k + 1] as usize],
-            Err(_) => &[],
-        }
-    }
-
-    /// All candidate ids for a request with the given URL token hashes,
-    /// in bucket order per token then the untokenized tail. May contain
-    /// duplicates (repeated URL tokens); callers dedup with the stamp.
-    fn candidates<'a>(&'a self, url_tokens: &'a [u64]) -> impl Iterator<Item = u32> + 'a {
-        url_tokens
-            .iter()
-            .flat_map(|t| self.bucket(*t))
-            .copied()
-            .chain(self.untokenized.iter().copied())
-    }
-}
+/// Output groups of the merged request automaton. Token groups carry a
+/// filter id and fire whole-token (the scan emits exactly the buckets
+/// the per-token index used to visit, in URL-token order — at most one
+/// whole-token pattern can end at a given position, so scan order *is*
+/// bucket-visit order). Tail groups carry a *rank* into the side's
+/// untokenized list and fire on any substring occurrence of the
+/// filter's longest literal anchor.
+const GROUP_BLOCK_TOKEN: u8 = 0;
+const GROUP_ALLOW_TOKEN: u8 = 1;
+const GROUP_BLOCK_TAIL: u8 = 2;
+const GROUP_ALLOW_TAIL: u8 = 3;
 
 /// The immutable matching snapshot compiled from the engine's builders:
-/// CSR token indexes, the `$document`/`$elemhide` gate list, and the
-/// domain-bucketed element-rule index.
-#[derive(Debug, Clone)]
+/// the merged request anchor automaton, the `$document`/`$elemhide`
+/// gate automaton, and the element-rule domain trie with precompiled
+/// selector-cancellation links.
+#[derive(Debug, Clone, Default)]
 struct Compiled {
-    block: CsrIndex,
-    allow: CsrIndex,
+    /// One automaton over every request-filter anchor, both sides.
+    request_auto: Automaton,
+    /// Untokenized block/allow filter ids, insertion order. Tail-group
+    /// automaton hits are ranks into these lists; merging hit ranks
+    /// with the always-scan ranks and sorting restores insertion order.
+    block_untok: Vec<u32>,
+    allow_untok: Vec<u32>,
+    /// Ranks (not ids) of untokenized filters with no extractable
+    /// anchor: scanned on every request.
+    block_always: Vec<u32>,
+    allow_always: Vec<u32>,
     /// Ids of allow filters carrying `$document` or `$elemhide`, in id
     /// order — the only filters `document_allowlist` must evaluate.
     doc_gate: Vec<u32>,
+    /// Anchor automaton over the gate filters; values are ranks into
+    /// `doc_gate`.
+    doc_auto: Automaton,
+    /// Gate ranks with no extractable anchor (e.g. pure sitekey
+    /// filters): evaluated for every document.
+    doc_always: Vec<u32>,
     /// Element rules with no `domain=` include list: applicable on every
-    /// domain (subject to excludes, re-checked at query time).
+    /// domain (subject to excludes, re-checked at query time). Built in
+    /// id order, so already sorted.
     elem_generic: Vec<u32>,
-    /// Element rules bucketed under each domain of their include list.
-    elem_by_domain: HashMap<String, Vec<u32>>,
+    /// `domain=`-scoped element rules, bucketed in a reversed-label
+    /// trie: one walk over the subject host collects every applicable
+    /// bucket.
+    elem_scoped: HostLabelTrie,
+    /// CSR per element rule: for a hide rule, the ids of every
+    /// element-exception rule sharing its selector. A hide rule is
+    /// cancelled on a domain iff any linked exception applies there —
+    /// no per-query selector set needed.
+    cancel_starts: Vec<u32>,
+    cancel_ids: Vec<u32>,
+    /// Memoized hiding outcome for domains with no scoped candidates.
+    /// Present only when every generic rule is *unconditional* — no
+    /// `domain=~` excludes and, for hide rules, no cancellation links —
+    /// in which case all such domains receive this exact outcome and
+    /// `hiding_for_domain` serves a clone (per-entry refcount bumps,
+    /// no evaluation).
+    generic_proto: Option<HidingOutcome>,
 }
 
 impl Compiled {
     fn build(engine: &Engine) -> Compiled {
+        let mut auto = AutomatonBuilder::new();
+        // Tokenized side: each bucket token is one whole-token pattern
+        // per filter in the bucket, preserving bucket insertion order.
+        for (token, ids) in &engine.block_builder.by_token {
+            for &id in ids {
+                auto.add(token, GROUP_BLOCK_TOKEN, true, id);
+            }
+        }
+        for (token, ids) in &engine.allow_builder.by_token {
+            for &id in ids {
+                auto.add(token, GROUP_ALLOW_TOKEN, true, id);
+            }
+        }
+        // Untokenized tail: anchor what we can, always-scan the rest.
+        let tail = |untok: &[u32], group: u8, auto: &mut AutomatonBuilder| {
+            let mut always = Vec::new();
+            for (rank, &id) in untok.iter().enumerate() {
+                let sf = &engine.request_filters[id as usize];
+                match sf.filter.pattern.anchor() {
+                    Some(a) => auto.add(&a, group, false, rank as u32),
+                    None => always.push(rank as u32),
+                }
+            }
+            always
+        };
+        let block_always = tail(
+            &engine.block_builder.untokenized,
+            GROUP_BLOCK_TAIL,
+            &mut auto,
+        );
+        let allow_always = tail(
+            &engine.allow_builder.untokenized,
+            GROUP_ALLOW_TAIL,
+            &mut auto,
+        );
+
+        // $document/$elemhide gates: prefiltered by their own automaton,
+        // with values as ranks into the id-ordered gate list (sorted
+        // ranks restore evaluation order).
         let mut doc_gate = Vec::new();
         for (id, sf) in engine.request_filters.iter().enumerate() {
             if sf.filter.action == FilterAction::Allow
@@ -272,67 +316,125 @@ impl Compiled {
                 doc_gate.push(id as u32);
             }
         }
+        let mut doc_auto = AutomatonBuilder::new();
+        let mut doc_always = Vec::new();
+        for (rank, &id) in doc_gate.iter().enumerate() {
+            let sf = &engine.request_filters[id as usize];
+            match sf.filter.pattern.anchor() {
+                Some(a) => doc_auto.add(&a, 0, false, rank as u32),
+                None => doc_always.push(rank as u32),
+            }
+        }
+
         let mut elem_generic = Vec::new();
-        let mut elem_by_domain: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut elem_scoped = HostLabelTrieBuilder::new();
         for (id, sr) in engine.element_rules.iter().enumerate() {
             if sr.rule.domains.include.is_empty() {
                 elem_generic.push(id as u32);
             } else {
+                // Include domains are lowercased at parse time.
                 for d in &sr.rule.domains.include {
-                    elem_by_domain.entry(d.clone()).or_default().push(id as u32);
+                    elem_scoped.insert(d, id as u32);
                 }
             }
         }
+        // Selector-cancellation links: hide rule → exception rules with
+        // the same selector.
+        let mut allow_by_selector: HashMap<&str, Vec<u32>> = HashMap::new();
+        for (id, sr) in engine.element_rules.iter().enumerate() {
+            if sr.rule.action == FilterAction::Allow {
+                allow_by_selector
+                    .entry(sr.rule.selector.as_str())
+                    .or_default()
+                    .push(id as u32);
+            }
+        }
+        let mut cancel_starts = Vec::with_capacity(engine.element_rules.len() + 1);
+        let mut cancel_ids = Vec::new();
+        cancel_starts.push(0u32);
+        for sr in &engine.element_rules {
+            if sr.rule.action == FilterAction::Block {
+                if let Some(links) = allow_by_selector.get(sr.rule.selector.as_str()) {
+                    cancel_ids.extend_from_slice(links);
+                }
+            }
+            cancel_starts.push(cancel_ids.len() as u32);
+        }
+
+        // Memoize the all-generic outcome when it is domain-independent.
+        let unconditional = elem_generic.iter().all(|&id| {
+            let sr = &engine.element_rules[id as usize];
+            sr.rule.domains.exclude.is_empty()
+                && (sr.rule.action == FilterAction::Allow
+                    || cancel_starts[id as usize] == cancel_starts[id as usize + 1])
+        });
+        let generic_proto = unconditional.then(|| {
+            let mut active = Vec::new();
+            let mut exceptions = Vec::new();
+            for &id in &elem_generic {
+                let sr = &engine.element_rules[id as usize];
+                let (bucket, kind) = match sr.rule.action {
+                    FilterAction::Allow => (&mut exceptions, MatchKind::AllowElement),
+                    FilterAction::Block => (&mut active, MatchKind::HideElement),
+                };
+                bucket.push((
+                    sr.selector.clone(),
+                    Activation {
+                        filter: sr.raw.clone(),
+                        source: sr.source,
+                        kind,
+                        subject: sr.selector.clone(),
+                        donottrack: false,
+                    },
+                ));
+            }
+            HidingOutcome {
+                active: std::sync::Arc::new(active),
+                exceptions: std::sync::Arc::new(exceptions),
+            }
+        });
+
         Compiled {
-            block: CsrIndex::build(&engine.block_builder),
-            allow: CsrIndex::build(&engine.allow_builder),
+            request_auto: auto.build(),
+            block_untok: engine.block_builder.untokenized.clone(),
+            allow_untok: engine.allow_builder.untokenized.clone(),
+            block_always,
+            allow_always,
             doc_gate,
+            doc_auto: doc_auto.build(),
+            doc_always,
             elem_generic,
-            elem_by_domain,
+            elem_scoped: elem_scoped.build(),
+            cancel_starts,
+            cancel_ids,
+            generic_proto,
         }
     }
 
-    /// Candidate element-rule ids for a first-party domain: every
-    /// generic rule plus the buckets of the domain and each of its
-    /// label suffixes, deduplicated and in rule order. Candidates still
-    /// need an `applies_on` check (exclude lists).
-    fn elem_candidates(&self, first_party: &str) -> Vec<u32> {
-        let mut out = self.elem_generic.clone();
-        if !self.elem_by_domain.is_empty() {
-            // Buckets are keyed by the (lowercased) `domain=` includes;
-            // hosts match domains case-insensitively.
-            let first_party = first_party.to_ascii_lowercase();
-            let mut suffix = first_party.as_str();
-            loop {
-                if let Some(bucket) = self.elem_by_domain.get(suffix) {
-                    out.extend_from_slice(bucket);
-                }
-                match suffix.find('.') {
-                    Some(dot) => suffix = &suffix[dot + 1..],
-                    None => break,
-                }
-            }
+    /// Scoped element-rule candidates for a host: the trie buckets,
+    /// sorted to id order with multi-include duplicates removed.
+    fn scoped_elem_candidates(&self, first_party: &str, scoped: &mut Vec<u32>) {
+        if self.elem_scoped.is_empty() {
+            return;
         }
-        // Rule order == id order; a rule listed under several matching
-        // include domains appears once.
-        out.sort_unstable();
-        out.dedup();
-        out
+        // The trie is keyed by the (lowercased) `domain=` includes;
+        // hosts match domains case-insensitively.
+        let host_lower: Cow<'_, str> = if first_party.bytes().any(|b| b.is_ascii_uppercase()) {
+            Cow::Owned(first_party.to_ascii_lowercase())
+        } else {
+            Cow::Borrowed(first_party)
+        };
+        self.elem_scoped.collect(&host_lower, scoped);
+        // A rule listed under several matching include domains appears
+        // in several buckets; candidates are id-ordered and distinct
+        // after this (generic and scoped are disjoint).
+        scoped.sort_unstable();
+        scoped.dedup();
     }
-}
-
-fn hash_token(token: &str) -> u64 {
-    // FNV-1a.
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in token.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
 }
 
 /// Reusable per-thread allocations for `match_request` evaluations: the
-/// URL token scratch and the generation-stamped dedup array.
+/// automaton hit buffers and the generation-stamped dedup array.
 ///
 /// `stamp[id] == generation` marks filter id as already evaluated for
 /// the current request; bumping `generation` resets the whole array in
@@ -340,16 +442,25 @@ fn hash_token(token: &str) -> u64 {
 /// and only grows.
 #[derive(Debug, Default)]
 struct MatchScratch {
-    tokens: Vec<u64>,
+    /// Whole-token automaton hits (filter ids), scan order.
+    block_hits: Vec<u32>,
+    allow_hits: Vec<u32>,
+    /// Tail automaton hits (ranks into the untokenized lists); merged
+    /// with the always-scan ranks, then sorted back to insertion order.
+    block_tail: Vec<u32>,
+    allow_tail: Vec<u32>,
     stamp: Vec<u32>,
     generation: u32,
 }
 
 impl MatchScratch {
-    /// Start a new request: clears tokens, advances the generation, and
-    /// ensures the stamp array covers `filters` ids.
+    /// Start a new request: clears hit buffers, advances the generation,
+    /// and ensures the stamp array covers `filters` ids.
     fn begin(&mut self, filters: usize) {
-        self.tokens.clear();
+        self.block_hits.clear();
+        self.allow_hits.clear();
+        self.block_tail.clear();
+        self.allow_tail.clear();
         if self.stamp.len() < filters {
             self.stamp.resize(filters, 0);
         }
@@ -366,24 +477,26 @@ impl MatchScratch {
 
 thread_local! {
     /// Per-thread scratch so single `match_request` calls reuse the
-    /// token and stamp allocations across calls, like `match_many` does
+    /// hit and stamp allocations across calls, like `match_many` does
     /// within a batch.
     static SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::default());
 }
 
-/// Extract the token hashes of a lowercased URL (maximal `[a-z0-9%]` runs
-/// of length ≥ 2).
-fn url_token_hashes_into(url_lower: &str, out: &mut Vec<u64>) {
+/// Visit the URL tokens (maximal `[a-z0-9%]` runs of length ≥ 2) of a
+/// lowercased URL. Only the debug-order assertion needs this now — the
+/// automaton replaced per-request tokenization on the hot path — but it
+/// stays the definition of "token" the index and assertion share.
+#[cfg(any(test, debug_assertions))]
+fn for_each_url_token(url_lower: &str, mut f: impl FnMut(&str)) {
     let bytes = url_lower.as_bytes();
     let mut start = None;
     for i in 0..=bytes.len() {
-        let tokenish = i < bytes.len()
-            && (bytes[i].is_ascii_lowercase() || bytes[i].is_ascii_digit() || bytes[i] == b'%');
+        let tokenish = i < bytes.len() && crate::anchors::is_token_byte(bytes[i]);
         match (tokenish, start) {
             (true, None) => start = Some(i),
             (false, Some(s)) => {
                 if i - s >= 2 {
-                    out.push(hash_token(&url_lower[s..i]));
+                    f(&url_lower[s..i]);
                 }
                 start = None;
             }
@@ -545,14 +658,53 @@ impl Engine {
     fn match_request_with(&self, req: &Request, scratch: &mut MatchScratch) -> RequestOutcome {
         let compiled = self.compiled();
         scratch.begin(self.request_filters.len());
-        url_token_hashes_into(&req.url_lower, &mut scratch.tokens);
-        // Destructured so the candidate iterator's borrow of `tokens`
-        // doesn't conflict with stamping `stamp` inside the loop.
+        // One pass over the lowercased URL fills all four hit buffers.
+        // Destructured so the scan's borrow of the hit vectors doesn't
+        // conflict with stamping `stamp` in the evaluation loops below.
         let MatchScratch {
-            tokens,
+            block_hits,
+            allow_hits,
+            block_tail,
+            allow_tail,
             stamp,
             generation,
         } = scratch;
+        compiled
+            .request_auto
+            .scan(req.url_lower.as_bytes(), |group, value| match group {
+                GROUP_BLOCK_TOKEN => block_hits.push(value),
+                GROUP_ALLOW_TOKEN => allow_hits.push(value),
+                GROUP_BLOCK_TAIL => block_tail.push(value),
+                _ => allow_tail.push(value),
+            });
+        // Tail hits are ranks into the untokenized lists; merging in the
+        // always-scan ranks and sorting restores insertion order — the
+        // exact order the old bucket-then-tail chain evaluated.
+        block_tail.extend_from_slice(&compiled.block_always);
+        block_tail.sort_unstable();
+        block_tail.dedup();
+        allow_tail.extend_from_slice(&compiled.allow_always);
+        allow_tail.sort_unstable();
+        allow_tail.dedup();
+
+        #[cfg(debug_assertions)]
+        {
+            self.debug_assert_candidate_order(
+                &req.url_lower,
+                &self.block_builder,
+                block_hits,
+                block_tail,
+                &compiled.block_untok,
+            );
+            self.debug_assert_candidate_order(
+                &req.url_lower,
+                &self.allow_builder,
+                allow_hits,
+                allow_tail,
+                &compiled.allow_untok,
+            );
+        }
+
         let mut activations = Vec::new();
         // The subject URL is interned once per request and shared by all
         // of its activations — and not allocated at all on the no-match
@@ -561,7 +713,11 @@ impl Engine {
         let mut any_block = false;
         let mut any_allow = false;
 
-        for id in compiled.block.candidates(tokens) {
+        let block_candidates = block_hits
+            .iter()
+            .copied()
+            .chain(block_tail.iter().map(|&r| compiled.block_untok[r as usize]));
+        for id in block_candidates {
             let slot = &mut stamp[id as usize];
             if *slot == *generation {
                 continue;
@@ -583,7 +739,11 @@ impl Engine {
         // Fresh generation for the allow side: the stamp dedups within
         // one candidate stream, not across the two.
         *generation += 1;
-        for id in compiled.allow.candidates(tokens) {
+        let allow_candidates = allow_hits
+            .iter()
+            .copied()
+            .chain(allow_tail.iter().map(|&r| compiled.allow_untok[r as usize]));
+        for id in allow_candidates {
             let slot = &mut stamp[id as usize];
             if *slot == *generation {
                 continue;
@@ -621,15 +781,82 @@ impl Engine {
         }
     }
 
+    /// Debug-build guard for the satellite invariant: the automaton's
+    /// candidate stream must preserve the filter-priority order of the
+    /// old bucket-then-tail chain, so `match_many` tie-breaking can
+    /// never silently change. The token hits (first-occurrence deduped)
+    /// must *equal* the old bucket visit sequence — whole-token pruning
+    /// is exact — and the merged tail must be an ordered subsequence of
+    /// the untokenized list (the prefilter may drop entries, never
+    /// reorder them).
+    #[cfg(debug_assertions)]
+    fn debug_assert_candidate_order(
+        &self,
+        url_lower: &str,
+        builder: &TokenIndexBuilder,
+        hits: &[u32],
+        tail_ranks: &[u32],
+        untok: &[u32],
+    ) {
+        let mut reference: Vec<u32> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for_each_url_token(url_lower, |t| {
+            if let Some(bucket) = builder.by_token.get(t) {
+                for &id in bucket {
+                    if seen.insert(id) {
+                        reference.push(id);
+                    }
+                }
+            }
+        });
+        let mut deduped_hits: Vec<u32> = Vec::new();
+        let mut seen_hits = std::collections::HashSet::new();
+        for &id in hits {
+            if seen_hits.insert(id) {
+                deduped_hits.push(id);
+            }
+        }
+        assert_eq!(
+            deduped_hits, reference,
+            "whole-token automaton hits must replay the bucket chain for {url_lower:?}"
+        );
+        // Ranks are sorted and unique, and index the insertion-ordered
+        // untokenized list, so the mapped ids are automatically an
+        // ordered subsequence; assert the preconditions.
+        assert!(
+            tail_ranks.windows(2).all(|w| w[0] < w[1]),
+            "tail ranks must be strictly increasing"
+        );
+        assert!(
+            tail_ranks.iter().all(|&r| (r as usize) < untok.len()),
+            "tail rank out of range"
+        );
+    }
+
     /// Evaluate page-level gates (`$document`, `$elemhide`, sitekeys)
     /// against the top-level document request.
     ///
     /// Only the prebuilt `$document`/`$elemhide` gate filters are
-    /// evaluated — not the whole filter set.
+    /// evaluated — not the whole filter set — and of those, only the
+    /// ones whose literal anchor occurs in the document URL (plus the
+    /// anchorless always-scan few, e.g. pure sitekey gates).
     pub fn document_allowlist(&self, doc_req: &Request) -> DocumentStatus {
+        let compiled = self.compiled();
         let mut status = DocumentStatus::default();
         let mut subject: Option<IStr> = None;
-        for &id in &self.compiled().doc_gate {
+        let mut ranks: Vec<u32> = Vec::with_capacity(compiled.doc_always.len());
+        compiled
+            .doc_auto
+            .scan(doc_req.url_lower.as_bytes(), |_group, rank| {
+                ranks.push(rank)
+            });
+        // `doc_gate` is in id order, so sorted ranks restore the exact
+        // evaluation order the unfiltered loop had.
+        ranks.extend_from_slice(&compiled.doc_always);
+        ranks.sort_unstable();
+        ranks.dedup();
+        for &rank in &ranks {
+            let id = compiled.doc_gate[rank as usize];
             let sf = &self.request_filters[id as usize];
             if !sf.filter.matches_ignoring_type(doc_req) {
                 continue;
@@ -666,27 +893,89 @@ impl Engine {
     /// for crawl-scale use: returns `(rule index, selector, action)` for
     /// every element rule applicable on the domain, with exceptions'
     /// selector cancellation already applied to the hide rules.
+    ///
+    /// Candidates come from a single merge of the (pre-sorted) generic
+    /// list with the domain trie's buckets — no per-query clone or full
+    /// sort — and hide-rule cancellation walks the precompiled selector
+    /// links instead of building a selector hash set. An exception
+    /// cancels a hide rule exactly when it `applies_on` the domain,
+    /// which also implies it was a candidate, so the link check is
+    /// equivalent to the old candidate-set membership test.
     pub fn hiding_refs_for_domain(&self, first_party: &str) -> Vec<(u32, &str, FilterAction)> {
-        let candidates = self.compiled().elem_candidates(first_party);
-        let mut excepted: HashSet<&str> = HashSet::new();
         let mut out: Vec<(u32, &str, FilterAction)> = Vec::new();
-        for &i in &candidates {
-            let sr = &self.element_rules[i as usize];
-            if sr.rule.action == FilterAction::Allow && sr.rule.applies_on(first_party) {
-                excepted.insert(sr.rule.selector.as_str());
-                out.push((i, sr.rule.selector.as_str(), FilterAction::Allow));
-            }
-        }
-        for &i in &candidates {
-            let sr = &self.element_rules[i as usize];
-            if sr.rule.action == FilterAction::Block
-                && sr.rule.applies_on(first_party)
-                && !excepted.contains(sr.rule.selector.as_str())
-            {
-                out.push((i, sr.rule.selector.as_str(), FilterAction::Block));
-            }
-        }
+        let mut hidden: Vec<(u32, &str, FilterAction)> = Vec::new();
+        self.for_each_applicable_element_rule(first_party, |id, sr, action| match action {
+            FilterAction::Allow => out.push((id, sr.rule.selector.as_str(), action)),
+            FilterAction::Block => hidden.push((id, sr.rule.selector.as_str(), action)),
+        });
+        // Applicable exceptions first, then surviving hide rules — the
+        // order the two-pass formulation produced.
+        out.append(&mut hidden);
         out
+    }
+
+    /// Core of both hiding paths: visit every element rule applicable
+    /// on `first_party` — exceptions and surviving (un-cancelled) hide
+    /// rules — in rule-id order.
+    ///
+    /// Candidates come from a single merge of the (pre-sorted) generic
+    /// list with the domain trie's buckets — no per-query clone or full
+    /// sort — and hide-rule cancellation walks the precompiled selector
+    /// links instead of building a selector hash set. An exception
+    /// cancels a hide rule exactly when it `applies_on` the domain,
+    /// which also implies it was a candidate, so the link check is
+    /// equivalent to the old candidate-set membership test.
+    fn for_each_applicable_element_rule<'a>(
+        &'a self,
+        first_party: &str,
+        mut visit: impl FnMut(u32, &'a StoredElementRule, FilterAction),
+    ) {
+        let compiled = self.compiled();
+        let mut scoped: Vec<u32> = Vec::new();
+        compiled.scoped_elem_candidates(first_party, &mut scoped);
+        let generic = &compiled.elem_generic;
+        let (mut gi, mut si) = (0usize, 0usize);
+        loop {
+            let id = match (generic.get(gi), scoped.get(si)) {
+                (Some(&g), Some(&s)) => {
+                    if g < s {
+                        gi += 1;
+                        g
+                    } else {
+                        si += 1;
+                        s
+                    }
+                }
+                (Some(&g), None) => {
+                    gi += 1;
+                    g
+                }
+                (None, Some(&s)) => {
+                    si += 1;
+                    s
+                }
+                (None, None) => break,
+            };
+            let sr = &self.element_rules[id as usize];
+            if !sr.rule.applies_on(first_party) {
+                continue;
+            }
+            match sr.rule.action {
+                FilterAction::Allow => visit(id, sr, FilterAction::Allow),
+                FilterAction::Block => {
+                    let lo = compiled.cancel_starts[id as usize] as usize;
+                    let hi = compiled.cancel_starts[id as usize + 1] as usize;
+                    let cancelled = compiled.cancel_ids[lo..hi].iter().any(|&aid| {
+                        self.element_rules[aid as usize]
+                            .rule
+                            .applies_on(first_party)
+                    });
+                    if !cancelled {
+                        visit(id, sr, FilterAction::Block);
+                    }
+                }
+            }
+        }
     }
 
     /// Build the activation record for element rule `idx` (as returned by
@@ -717,48 +1006,45 @@ impl Engine {
 
     /// Compute the element-hiding state for a first-party domain:
     /// selectors that will hide elements, and the applicable exceptions.
+    ///
+    /// Shares [`Engine::hiding_refs_for_domain`]'s evaluation core; the
+    /// owned outcome costs three reference-count bumps per rule
+    /// (interned selector, filter text, activation subject) constructed
+    /// in place — no intermediate refs vector, no selector copies.
     pub fn hiding_for_domain(&self, first_party: &str) -> HidingOutcome {
-        let candidates = self.compiled().elem_candidates(first_party);
-        let mut active = Vec::new();
+        let compiled = self.compiled();
+        if let Some(proto) = &compiled.generic_proto {
+            // Every generic rule is unconditional, so any domain with no
+            // scoped candidates gets a domain-independent outcome — serve
+            // the precomputed one (clone = refcount bumps, no evaluation).
+            let mut scoped: Vec<u32> = Vec::new();
+            compiled.scoped_elem_candidates(first_party, &mut scoped);
+            if scoped.is_empty() {
+                return proto.clone();
+            }
+        }
+        let mut active = Vec::with_capacity(compiled.elem_generic.len());
         let mut exceptions = Vec::new();
-
-        // Collect applicable exception selectors first.
-        let mut excepted: HashSet<&str> = HashSet::new();
-        for &i in &candidates {
-            let sr = &self.element_rules[i as usize];
-            if sr.rule.action == FilterAction::Allow && sr.rule.applies_on(first_party) {
-                excepted.insert(sr.rule.selector.as_str());
-                exceptions.push((
-                    sr.rule.selector.clone(),
-                    Activation {
-                        filter: sr.raw.clone(),
-                        source: sr.source,
-                        kind: MatchKind::AllowElement,
-                        subject: sr.selector.clone(),
-                        donottrack: false,
-                    },
-                ));
-            }
+        self.for_each_applicable_element_rule(first_party, |_id, sr, action| {
+            let (bucket, kind) = match action {
+                FilterAction::Allow => (&mut exceptions, MatchKind::AllowElement),
+                FilterAction::Block => (&mut active, MatchKind::HideElement),
+            };
+            bucket.push((
+                sr.selector.clone(),
+                Activation {
+                    filter: sr.raw.clone(),
+                    source: sr.source,
+                    kind,
+                    subject: sr.selector.clone(),
+                    donottrack: false,
+                },
+            ));
+        });
+        HidingOutcome {
+            active: std::sync::Arc::new(active),
+            exceptions: std::sync::Arc::new(exceptions),
         }
-        for &i in &candidates {
-            let sr = &self.element_rules[i as usize];
-            if sr.rule.action == FilterAction::Block
-                && sr.rule.applies_on(first_party)
-                && !excepted.contains(sr.rule.selector.as_str())
-            {
-                active.push((
-                    sr.rule.selector.clone(),
-                    Activation {
-                        filter: sr.raw.clone(),
-                        source: sr.source,
-                        kind: MatchKind::HideElement,
-                        subject: sr.selector.clone(),
-                        donottrack: false,
-                    },
-                ));
-            }
-        }
-        HidingOutcome { active, exceptions }
     }
 }
 
@@ -1050,11 +1336,140 @@ reddit.com#@##siteTable_organic
     #[test]
     fn wildcard_pattern_reachable_via_untokenized_bucket() {
         // A filter whose only literal parts touch wildcards has no tokens;
-        // it must still match via the untokenized bucket.
+        // it must still match via the untokenized tail — here through the
+        // always-scan list, since 1-byte literals yield no anchor.
         let list = FilterList::parse(ListSource::EasyList, "a*z\n");
         let e = Engine::from_lists([&list]);
         let r = req("http://q.example/a-z", "q.example", ResourceType::Image);
         assert_eq!(e.match_request(&r).decision, Decision::Block);
+    }
+
+    #[test]
+    fn anchored_untokenized_filter_gated_by_its_literal() {
+        // `*adframe*` has no index token but a 7-byte anchor: the
+        // automaton admits it only when "adframe" occurs in the URL.
+        let list = FilterList::parse(ListSource::EasyList, "*adframe*\n@@*adframe*okay*\n");
+        let e = Engine::from_lists([&list]);
+        let hit = req(
+            "http://x.example/adframe/unit.gif",
+            "n.site",
+            ResourceType::Image,
+        );
+        assert_eq!(e.match_request(&hit).decision, Decision::Block);
+        let excepted = req(
+            "http://x.example/adframe/okay/unit.gif",
+            "n.site",
+            ResourceType::Image,
+        );
+        assert_eq!(
+            e.match_request(&excepted).decision,
+            Decision::AllowedByException
+        );
+        let miss = req(
+            "http://x.example/ad-frame/unit.gif",
+            "n.site",
+            ResourceType::Image,
+        );
+        assert_eq!(e.match_request(&miss).decision, Decision::NoMatch);
+    }
+
+    #[test]
+    fn match_case_untokenized_filter_found_via_folded_anchor() {
+        // The anchor is matched case-folded against the lowercased URL;
+        // the filter itself still matches case-sensitively.
+        let list = FilterList::parse(ListSource::EasyList, "*AdUnit*$match-case\n");
+        let e = Engine::from_lists([&list]);
+        let exact = req(
+            "http://x.example/AdUnit/x.js",
+            "n.site",
+            ResourceType::Script,
+        );
+        assert_eq!(e.match_request(&exact).decision, Decision::Block);
+        let wrong_case = req(
+            "http://x.example/adunit/x.js",
+            "n.site",
+            ResourceType::Script,
+        );
+        assert_eq!(e.match_request(&wrong_case).decision, Decision::NoMatch);
+    }
+
+    #[test]
+    fn automaton_candidates_preserve_bucket_then_tail_order() {
+        // Filters crafted so one URL activates tokenized buckets (in URL
+        // token order) and the untokenized tail (in insertion order):
+        // activation order must replay the old chain exactly.
+        let list = FilterList::parse(
+            ListSource::EasyList,
+            "*tailtwo*\n||first.example^\n*tailone*\n/second/x/\n",
+        );
+        let e = Engine::from_lists([&list]);
+        let r = req(
+            "http://first.example/second/x/tailone-tailtwo.gif",
+            "n.site",
+            ResourceType::Image,
+        );
+        let out = e.match_request(&r);
+        assert_eq!(out.decision, Decision::Block);
+        let order: Vec<&str> = out.activations.iter().map(|a| a.filter.as_str()).collect();
+        // Bucket hits first (URL token order: "first" before "second"),
+        // then the untokenized tail in insertion order (*tailtwo* was
+        // added before *tailone*).
+        assert_eq!(
+            order,
+            vec!["||first.example^", "/second/x/", "*tailtwo*", "*tailone*"]
+        );
+    }
+
+    #[test]
+    fn document_gate_automaton_prunes_but_never_misses() {
+        let mut wl = String::new();
+        for i in 0..50 {
+            wl.push_str(&format!("@@||pub{i}.example^$document\n"));
+        }
+        // A gate with no extractable anchor (pure sitekey) must stay on
+        // the always-scan path.
+        wl.push_str("@@$sitekey=MFwwKEY,document\n");
+        let e = Engine::from_lists([&FilterList::parse(ListSource::AcceptableAds, &wl)]);
+        for i in [0usize, 17, 49] {
+            let doc = Request::document(&format!("http://pub{i}.example/")).unwrap();
+            let status = e.document_allowlist(&doc);
+            assert!(status.whole_page_allowed(), "pub{i}");
+            assert_eq!(status.document_allow.len(), 1);
+        }
+        let doc = Request::document("http://other.example/")
+            .unwrap()
+            .with_sitekey("MFwwKEY");
+        assert!(e.document_allowlist(&doc).whole_page_allowed());
+        let doc = Request::document("http://other.example/").unwrap();
+        assert!(!e.document_allowlist(&doc).whole_page_allowed());
+    }
+
+    #[test]
+    fn hiding_cancellation_links_respect_exception_domains() {
+        // The hide rule and its exception share a selector, but the
+        // exception is scoped: cancellation must apply only where the
+        // exception itself applies.
+        let list = FilterList::parse(
+            ListSource::EasyList,
+            "##.ad-box\nnews.example#@#.ad-box\nnews.example##.promo\n",
+        );
+        let e = Engine::from_lists([&list]);
+        let on_news = e.hiding_for_domain("news.example");
+        let active: Vec<&str> = on_news.active.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(active, vec![".promo"]);
+        assert_eq!(on_news.exceptions.len(), 1);
+
+        let elsewhere = e.hiding_for_domain("blog.example");
+        let active: Vec<&str> = elsewhere.active.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(active, vec![".ad-box"]);
+        assert!(elsewhere.exceptions.is_empty());
+
+        // Refs and owned outcomes agree, including on a host that needs
+        // case folding for the trie walk.
+        let refs = e.hiding_refs_for_domain("NEWS.example");
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].2, FilterAction::Allow);
+        assert_eq!(refs[1].1, ".promo");
     }
 
     #[test]

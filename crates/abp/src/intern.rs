@@ -167,9 +167,86 @@ impl Deserialize for IStr {
     }
 }
 
+/// A half-open range into a [`ByteArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    start: u32,
+    end: u32,
+}
+
+impl Span {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// An append-only contiguous byte arena.
+///
+/// The anchor automaton and the host-label trie store thousands of
+/// short byte strings (literal anchors, domain labels); one `String`
+/// each would mean one heap allocation and pointer chase apiece. The
+/// arena packs them into a single `Vec<u8>` and hands out [`Span`]s —
+/// cheap to copy, cache-friendly to read back.
+#[derive(Debug, Default, Clone)]
+pub struct ByteArena {
+    bytes: Vec<u8>,
+}
+
+impl ByteArena {
+    /// An empty arena.
+    pub fn new() -> ByteArena {
+        ByteArena::default()
+    }
+
+    /// Append `bytes`, returning its span.
+    pub fn push(&mut self, bytes: &[u8]) -> Span {
+        let start = self.bytes.len() as u32;
+        self.bytes.extend_from_slice(bytes);
+        Span {
+            start,
+            end: self.bytes.len() as u32,
+        }
+    }
+
+    /// Read a span back.
+    pub fn get(&self, span: Span) -> &[u8] {
+        &self.bytes[span.start as usize..span.end as usize]
+    }
+
+    /// Total bytes stored.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the arena holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arena_round_trips_spans() {
+        let mut a = ByteArena::new();
+        let s1 = a.push(b"adzerk");
+        let s2 = a.push(b"");
+        let s3 = a.push(b"doubleclick");
+        assert_eq!(a.get(s1), b"adzerk");
+        assert_eq!(a.get(s2), b"");
+        assert!(s2.is_empty());
+        assert_eq!(a.get(s3), b"doubleclick");
+        assert_eq!(s3.len(), 11);
+        assert_eq!(a.len(), 17);
+    }
 
     #[test]
     fn behaves_like_str() {

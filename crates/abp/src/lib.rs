@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod anchors;
 pub mod engine;
 pub mod filter;
 pub mod intern;

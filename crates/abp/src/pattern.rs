@@ -268,6 +268,28 @@ impl Pattern {
         }
     }
 
+    /// The pattern's literal anchor: the longest literal element, ≥2
+    /// bytes, lowercased. If the pattern matches a URL at all, this
+    /// fragment necessarily occurs contiguously somewhere in the
+    /// lowercased URL — literals consume exactly their own bytes, and
+    /// `url_lower` is `url.to_ascii_lowercase()`, so even a
+    /// `match-case` literal implies its lowercase form in `url_lower`.
+    /// The engine feeds anchors to the multi-pattern automaton that
+    /// prefilters the otherwise always-scanned untokenized tail;
+    /// patterns with no qualifying literal return `None` and stay on
+    /// the scan path.
+    pub fn anchor(&self) -> Option<String> {
+        let mut best: Option<&str> = None;
+        for e in &self.elements {
+            if let Element::Literal(lit) = e {
+                if lit.len() >= 2 && best.is_none_or(|b| lit.len() > b.len()) {
+                    best = Some(lit);
+                }
+            }
+        }
+        best.map(|lit| lit.to_ascii_lowercase())
+    }
+
     /// Extract the indexable tokens of this pattern: maximal runs of
     /// `[a-z0-9%]` within literals, excluding runs that touch a wildcard
     /// boundary (they may be partial). Used by the engine's token index.
@@ -519,6 +541,52 @@ mod tests {
         let p = "||stats.g.doubleclick.net^";
         assert!(m(p, "https://stats.g.doubleclick.net/dc.js"));
         assert!(!m(p, "https://ad.doubleclick.net/dc.js"));
+    }
+
+    #[test]
+    fn anchor_is_longest_literal_lowercased() {
+        assert_eq!(
+            Pattern::compile("*zq5x*", false).anchor(),
+            Some("zq5x".to_string())
+        );
+        // Longest of several literals wins; wildcards/separators ignored.
+        assert_eq!(
+            Pattern::compile("ab*longest^cd", false).anchor(),
+            Some("longest".to_string())
+        );
+        // match-case literals are folded: the anchor runs over url_lower.
+        assert_eq!(
+            Pattern::compile("*ZqX*", true).anchor(),
+            Some("zqx".to_string())
+        );
+        // Ties break toward the first longest literal.
+        assert_eq!(
+            Pattern::compile("aa*bb", false).anchor(),
+            Some("aa".to_string())
+        );
+    }
+
+    #[test]
+    fn anchor_absent_when_no_literal_long_enough() {
+        assert_eq!(Pattern::compile("*a*7*z*", false).anchor(), None);
+        assert_eq!(Pattern::compile("^", false).anchor(), None);
+        assert_eq!(Pattern::compile("*", false).anchor(), None);
+        assert_eq!(Pattern::compile("", false).anchor(), None);
+        assert_eq!(Pattern::compile("|*x*|", false).anchor(), None);
+    }
+
+    #[test]
+    fn anchor_spans_token_boundaries() {
+        // Anchors are raw literal bytes, not tokens: separator-ish
+        // characters inside a literal stay part of the anchor.
+        assert_eq!(
+            Pattern::compile("*/ad-frame/*", false).anchor(),
+            Some("/ad-frame/".to_string())
+        );
+        assert_eq!(
+            Pattern::compile("||example.com^", false).anchor(),
+            Some("example.com".to_string())
+        );
     }
 
     #[test]

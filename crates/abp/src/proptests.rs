@@ -275,7 +275,7 @@ mod differential {
         let path = pool_path(rng);
         let exception = rng.below(3) == 0;
         let prefix = if exception { "@@" } else { "" };
-        let mut line = match rng.below(8) {
+        let mut line = match rng.below(9) {
             0 => format!("{prefix}||{host}^"),
             1 => format!("{prefix}||{host}{path}"),
             2 => format!("{prefix}{path}/"),
@@ -291,6 +291,33 @@ mod differential {
                     _ => format!("{host},{}", pool_host(rng)),
                 };
                 return format!("{scope}{sep}.ad-{}", rng.below(5));
+            }
+            7 => {
+                // Anchor-extraction-hostile shapes: nothing (or almost
+                // nothing) for a literal prefilter to key on — all
+                // wildcards, separator-only, 1-byte literals — plus
+                // pipes embedded mid-pattern (literal bytes there, not
+                // anchors) and mixed-case literals that only anchor
+                // after case folding.
+                let mixed: String = host
+                    .chars()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        if i % 2 == 0 {
+                            c.to_ascii_uppercase()
+                        } else {
+                            c
+                        }
+                    })
+                    .collect();
+                match rng.below(6) {
+                    0 => format!("{prefix}*"),
+                    1 => format!("{prefix}*^*"),
+                    2 => format!("{prefix}*{}*{}*", rng.below(10), rng.below(10)),
+                    3 => format!("{prefix}*{}||{}*", &host[..1], rng.below(10)),
+                    4 => format!("{prefix}*{}|", path.to_ascii_uppercase()),
+                    _ => format!("{prefix}||{mixed}^"),
+                }
             }
             _ => format!("{prefix}||{host}{path}$script,image"),
         };
@@ -541,7 +568,7 @@ mod differential {
                 got_active, want_active_sorted,
                 "case {case}: hiding selectors diverged on {fp}"
             );
-            for (sel, _) in &got_h.exceptions {
+            for (sel, _) in got_h.exceptions.iter() {
                 assert!(
                     want_excepted.iter().any(|s| sel == s),
                     "case {case}: unexpected exception selector {sel} on {fp}"

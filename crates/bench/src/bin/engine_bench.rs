@@ -10,7 +10,15 @@
 //! the pre-compiled-engine code), it is embedded in the output along
 //! with the speedup ratio.
 //!
-//! Usage: `engine-bench [--out PATH] [--quick]`
+//! Usage: `engine-bench [--out PATH] [--quick]
+//!                      [--min-untokenized-speedup X] [--min-hiding-speedup X]`
+//!
+//! The `--min-*-speedup` flags compare `match_untokenized` / `hiding`
+//! against the committed anchor baseline
+//! (`crates/bench/baselines/engine_anchor_baseline.json`, measured on
+//! the pre-anchor-automaton engine over the same adversarial corpus)
+//! and exit nonzero when the ratio falls below the bar, so CI enforces
+//! the prefilter's win without parsing JSON in shell.
 
 use abp::{Engine, Request};
 use bench::synthetic;
@@ -53,8 +61,14 @@ struct BenchReport {
     /// Request matching over the mixed (mostly tokenized) URL set.
     match_10k: PathStats,
     /// Request matching against an engine of only untokenized
-    /// (wildcard-heavy) filters — the index's worst case.
+    /// (wildcard-heavy) filters — the index's worst case. The corpus is
+    /// adversarial: mostly anchorable wildcard needles plus a small
+    /// anchor-hostile tail (see `synthetic::adversarial_untokenized_list`).
     match_untokenized: PathStats,
+    /// Request matching against an engine of *only* anchor-hostile
+    /// filters (every literal ≤1 byte): the irreducible always-scan
+    /// tail that no literal prefilter can prune.
+    match_anchor_hostile: PathStats,
     /// `document_allowlist` page-gate evaluations.
     document_gate: PathStats,
     /// `hiding_for_domain` at realistic element-rule counts.
@@ -80,6 +94,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut out_path = "BENCH_engine.json".to_string();
     let mut quick = false;
+    let mut min_untokenized_speedup: Option<f64> = None;
+    let mut min_hiding_speedup: Option<f64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -88,6 +104,24 @@ fn main() {
                 out_path = args.get(i).expect("--out needs a path").clone();
             }
             "--quick" => quick = true,
+            "--min-untokenized-speedup" => {
+                i += 1;
+                min_untokenized_speedup = Some(
+                    args.get(i)
+                        .expect("--min-untokenized-speedup needs a number")
+                        .parse()
+                        .expect("--min-untokenized-speedup must be a number"),
+                );
+            }
+            "--min-hiding-speedup" => {
+                i += 1;
+                min_hiding_speedup = Some(
+                    args.get(i)
+                        .expect("--min-hiding-speedup needs a number")
+                        .parse()
+                        .expect("--min-hiding-speedup must be a number"),
+                );
+            }
             other => {
                 eprintln!("unknown arg {other}");
                 std::process::exit(2);
@@ -115,13 +149,25 @@ fn main() {
         match_10k.ops_per_sec, match_10k.ns_per_op
     );
 
-    // Untokenized worst case: every filter is a candidate for every URL.
-    let unt_engine = Engine::from_lists([&synthetic::untokenized_list(300)]);
+    // Untokenized worst case: every filter lands outside the token
+    // index, so without a prefilter every one is scanned per URL. The
+    // adversarial mix is mostly anchorable needles plus a small
+    // anchor-hostile tail, mirroring EasyList's wildcard long tail.
+    let unt_engine = Engine::from_lists([&synthetic::adversarial_untokenized_list(375, 25)]);
     let unt_reqs = &reqs[..reqs.len().min(10_000)];
     let match_untokenized = time_match(&unt_engine, unt_reqs, 1);
     eprintln!(
         "  match_untokenized    {:>12.0} ops/s  {:>8.0} ns/op",
         match_untokenized.ops_per_sec, match_untokenized.ns_per_op
+    );
+
+    // Anchor-hostile floor: every literal is ≤1 byte, so no prefilter
+    // can prune anything — this measures the irreducible scan tail.
+    let hostile_engine = Engine::from_lists([&synthetic::adversarial_untokenized_list(0, 200)]);
+    let match_anchor_hostile = time_match(&hostile_engine, unt_reqs, 1);
+    eprintln!(
+        "  match_anchor_hostile {:>12.0} ops/s  {:>8.0} ns/op",
+        match_anchor_hostile.ops_per_sec, match_anchor_hostile.ns_per_op
     );
 
     // Document gate: evaluate the page-level allowlist for a spread of
@@ -171,6 +217,7 @@ fn main() {
         urls: reqs.len(),
         match_10k,
         match_untokenized,
+        match_anchor_hostile,
         document_gate,
         hiding,
         hiding_refs,
@@ -199,8 +246,76 @@ fn main() {
             }
         }
     }
+    // Embed the anchor baseline (pre-anchor-automaton engine, measured
+    // over the *same* adversarial corpus) and the speedups CI gates on.
+    let mut untokenized_speedup: Option<f64> = None;
+    let mut hiding_speedup: Option<f64> = None;
+    let anchor_baseline_path = "crates/bench/baselines/engine_anchor_baseline.json";
+    if let Ok(text) = std::fs::read_to_string(anchor_baseline_path) {
+        if let Ok(base) = serde_json::parse_value(&text) {
+            let base_ops = |path: &str| {
+                base.get(path)
+                    .and_then(|m| m.get("ops_per_sec"))
+                    .and_then(|v| v.as_f64())
+            };
+            untokenized_speedup =
+                base_ops("match_untokenized").map(|b| report.match_untokenized.ops_per_sec / b);
+            hiding_speedup = base_ops("hiding").map(|b| report.hiding.ops_per_sec / b);
+            if let serde_json::Value::Map(entries) = &mut value {
+                entries.push(("anchor_baseline".to_string(), base));
+                if let Some(s) = untokenized_speedup {
+                    entries.push((
+                        "match_untokenized_speedup_vs_anchor_baseline".to_string(),
+                        serde_json::Value::F64((s * 100.0).round() / 100.0),
+                    ));
+                    eprintln!("  match_untokenized speedup vs anchor baseline: {s:.2}x");
+                }
+                if let Some(s) = hiding_speedup {
+                    entries.push((
+                        "hiding_speedup_vs_anchor_baseline".to_string(),
+                        serde_json::Value::F64((s * 100.0).round() / 100.0),
+                    ));
+                    eprintln!("  hiding speedup vs anchor baseline: {s:.2}x");
+                }
+            }
+        }
+    }
+
     let mut json = serde_json::to_string_pretty(&value).expect("report serializes");
     json.push('\n');
     std::fs::write(&out_path, json).expect("write bench json");
     eprintln!("engine-bench: wrote {out_path}");
+
+    let mut failed = false;
+    if let Some(bar) = min_untokenized_speedup {
+        match untokenized_speedup {
+            Some(s) if s >= bar => {
+                eprintln!("  match_untokenized speedup bar: {s:.2}x >= {bar:.2}x OK")
+            }
+            Some(s) => {
+                eprintln!("  FAIL: match_untokenized speedup {s:.2}x < required {bar:.2}x");
+                failed = true;
+            }
+            None => {
+                eprintln!("  FAIL: --min-untokenized-speedup set but no anchor baseline found");
+                failed = true;
+            }
+        }
+    }
+    if let Some(bar) = min_hiding_speedup {
+        match hiding_speedup {
+            Some(s) if s >= bar => eprintln!("  hiding speedup bar: {s:.2}x >= {bar:.2}x OK"),
+            Some(s) => {
+                eprintln!("  FAIL: hiding speedup {s:.2}x < required {bar:.2}x");
+                failed = true;
+            }
+            None => {
+                eprintln!("  FAIL: --min-hiding-speedup set but no anchor baseline found");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }

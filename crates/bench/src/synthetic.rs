@@ -70,6 +70,44 @@ pub fn untokenized_list(n: usize) -> FilterList {
     FilterList::parse(ListSource::EasyList, &text)
 }
 
+/// An adversarial untokenized corpus: `anchored` wildcard-bracketed
+/// filters whose literal fragments never occur in the synthetic URLs
+/// (prunable by a literal prefilter, but scanned in full by a bucket
+/// index because they carry no index token), plus `hostile` filters
+/// whose literals are all ≤1 byte — no prefilter can extract an anchor
+/// from them, so they model the irreducible always-scan tail.
+///
+/// EasyList's real wildcard long tail is overwhelmingly of the first
+/// kind, so the ratio defaults callers pass should keep `hostile` small.
+pub fn adversarial_untokenized_list(anchored: usize, hostile: usize) -> FilterList {
+    let mut text = String::new();
+    for i in 0..anchored {
+        match i % 3 {
+            // Classic wildcard-bracketed needle: only literal is the
+            // needle, flanked by wildcards on both sides.
+            0 => text.push_str(&format!("*zq{i}x*\n")),
+            // Needle with wildcard on one side and an unanchored open
+            // end on the other (both runs touch a boundary: no token).
+            1 => text.push_str(&format!("vq{i}w*yj{i}\n")),
+            // Mixed-case needle under `match-case`: the anchor must be
+            // matched case-folded against the lowercased URL.
+            _ => text.push_str(&format!("*Zq{i}X*$match-case\n")),
+        }
+    }
+    for i in 0..hostile {
+        match i % 3 {
+            // All literals are single bytes separated by wildcards.
+            0 => text.push_str("*q*7*z*\n"),
+            // Single-byte literal between separators.
+            1 => text.push_str("*q^j*\n"),
+            // Single-byte literals under match-case (`Q`/`Z` never
+            // appear in the lowercase synthetic URLs).
+            _ => text.push_str(&format!("*Q*{}*Z*$match-case\n", i % 10)),
+        }
+    }
+    FilterList::parse(ListSource::EasyList, &text)
+}
+
 /// `n` deterministic requests: ~10% hit ad hosts in [`lists_10k`], the
 /// rest benign URLs with varied token vocabularies (the realistic
 /// mostly-miss traffic shape).

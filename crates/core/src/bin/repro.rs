@@ -2,12 +2,16 @@
 //! human-readable report and JSON artifacts.
 //!
 //! ```text
-//! cargo run --release -p acceptable-ads --bin repro -- [--full] [--out DIR]
+//! cargo run --release -p acceptable-ads --bin repro -- \
+//!     [--full] [--out DIR] [--threads N] [--timings]
 //! ```
 //!
 //! `--full` runs the site survey at paper scale (top 5,000 + 3×1,000);
 //! the default is a 1,500 + 3×300 cut. `--out DIR` writes one JSON file
-//! per experiment into `DIR`.
+//! per experiment into `DIR`. Crawl parallelism defaults to the
+//! machine's available cores (capped at 16); `--threads N` overrides
+//! it. `--timings` prints per-experiment wall-clock as each finishes
+//! and writes the breakdown to `BENCH_repro.json`.
 
 use acceptable_ads::exploit::{run_exploit, ExploitConfig};
 use acceptable_ads::history::mine_history;
@@ -23,9 +27,56 @@ use std::path::PathBuf;
 
 const SEED: u64 = 2015;
 
+/// Crawl parallelism when `--threads` is absent: every available core,
+/// capped at 16 (the synthetic web stops scaling past that, and the cap
+/// keeps shared CI boxes polite).
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+        .min(16)
+}
+
+/// Wall-clock laps per experiment, printed live under `--timings` and
+/// dumped to `BENCH_repro.json` at the end.
+struct Timings {
+    enabled: bool,
+    last: std::time::Instant,
+    laps: Vec<(&'static str, f64)>,
+}
+
+impl Timings {
+    fn new(enabled: bool) -> Timings {
+        Timings {
+            enabled,
+            last: std::time::Instant::now(),
+            laps: Vec::new(),
+        }
+    }
+
+    /// Close the lap that started at the previous call (or construction).
+    fn lap(&mut self, name: &'static str) {
+        let now = std::time::Instant::now();
+        let secs = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.laps.push((name, secs));
+        if self.enabled {
+            eprintln!("[timing] {name}: {secs:.3}s");
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
+    let timings_enabled = args.iter().any(|a| a == "--timings");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--threads takes a positive integer"))
+        .filter(|&n| n > 0)
+        .unwrap_or_else(default_threads);
     let out_dir: Option<PathBuf> = args
         .iter()
         .position(|a| a == "--out")
@@ -42,13 +93,17 @@ fn main() {
         }
     };
 
-    eprintln!("generating corpus, world, history (seed {SEED}) ...");
+    let run_started = std::time::Instant::now();
+    let mut timings = Timings::new(timings_enabled);
+
+    eprintln!("generating corpus, world, history (seed {SEED}, {threads} threads) ...");
     let corpus = corpus::Corpus::generate(SEED);
     let web = websim::Web::build(websim::WebConfig {
         seed: SEED,
         scale: websim::Scale::Default,
     });
     let store = corpus::history::build_history(SEED, &corpus.final_whitelist);
+    timings.lap("generate_corpus_world_history");
 
     // ---- Fig 4 / Table 2 ---------------------------------------------------
     let scope = classify_whitelist(&corpus.whitelist);
@@ -81,6 +136,7 @@ fn main() {
         render_comparisons("Table 2: Alexa partitions", &t2_rows)
     );
     write("table2.json", to_json(&table2));
+    timings.lap("whitelist_scope_partitions");
 
     // ---- Fig 3 / Table 1 ------------------------------------------------------
     let history = mine_history(&store);
@@ -114,6 +170,7 @@ fn main() {
     );
     write("table1.json", to_json(&history.yearly));
     write("figure3.json", to_json(&history.growth));
+    timings.lap("history_mining");
 
     // ---- Table 3 -----------------------------------------------------------------
     let table3 = scan_table3(&web);
@@ -127,12 +184,13 @@ fn main() {
         render_comparisons("Table 3: parked domains (extrapolated)", &t3_rows)
     );
     write("table3.json", to_json(&table3));
+    timings.lap("parked_domains");
 
     // ---- §5 site survey --------------------------------------------------------
     let cfg = SiteSurveyConfig {
         top_n: if full { 5_000 } else { 1_500 },
         stratum_sample: if full { 1_000 } else { 300 },
-        threads: 8,
+        threads,
         seed: SEED,
     };
     eprintln!(
@@ -191,6 +249,7 @@ fn main() {
             serde_json::json!({ "totals": totals, "distincts": distincts })
         }),
     );
+    timings.lap("site_survey");
 
     // ---- Fig 5 ---------------------------------------------------------------------
     let exploit = run_exploit(&ExploitConfig::default(), &corpus.easylist);
@@ -221,6 +280,7 @@ fn main() {
         )
     );
     write("figure5.json", to_json(&exploit));
+    timings.lap("sitekey_exploit");
 
     // ---- Fig 9 ----------------------------------------------------------------------
     let perception = run_perception_survey(&survey::sim::SurveyConfig::default());
@@ -240,6 +300,7 @@ fn main() {
         render_comparisons("Fig 9: perception headlines", &p_rows)
     );
     write("figure9.json", to_json(&perception.figure_9d));
+    timings.lap("perception_survey");
 
     // ---- extensions: behavioral impact over time + privacy conflict ------
     let revisions = acceptable_ads::impact::sample_revisions(&store, 8);
@@ -250,7 +311,7 @@ fn main() {
         &store,
         &revisions,
         &sample,
-        8,
+        threads,
     );
     let points: Vec<(String, f64)> = timeline
         .iter()
@@ -277,6 +338,7 @@ fn main() {
         )
     );
     write("impact_timeline.json", to_json(&timeline));
+    timings.lap("impact_timeline");
 
     let easyprivacy =
         abp::FilterList::parse(abp::ListSource::Custom, &corpus::generate_easyprivacy(SEED));
@@ -286,7 +348,7 @@ fn main() {
         &easyprivacy,
         &corpus.whitelist,
         if full { 2_000 } else { 500 },
-        8,
+        threads,
     );
     println!(
         "{}",
@@ -313,6 +375,7 @@ fn main() {
         )
     );
     write("privacy_conflict.json", to_json(&conflict));
+    timings.lap("privacy_conflict");
 
     // ---- §7 / §8 -----------------------------------------------------------------------
     let undocumented = detect_undocumented(&store);
@@ -340,6 +403,24 @@ fn main() {
     );
     write("section7.json", to_json(&undocumented));
     write("section8.json", to_json(&hygiene));
+    timings.lap("provenance_hygiene");
+
+    if timings_enabled {
+        let experiments: Vec<serde_json::Value> = timings
+            .laps
+            .iter()
+            .map(|(name, secs)| serde_json::json!({ "name": *name, "seconds": secs }))
+            .collect();
+        let report = serde_json::json!({
+            "threads": threads,
+            "full": full,
+            "total_seconds": run_started.elapsed().as_secs_f64(),
+            "experiments": experiments,
+        });
+        let json = serde_json::to_string_pretty(&report).expect("serialize timings");
+        std::fs::write("BENCH_repro.json", json).expect("write BENCH_repro.json");
+        eprintln!("wrote BENCH_repro.json");
+    }
 
     eprintln!("done.");
 }

@@ -36,7 +36,12 @@ impl Default for SiteSurveyConfig {
         SiteSurveyConfig {
             top_n: 5_000,
             stratum_sample: 1_000,
-            threads: 8,
+            // Every available core, capped: the crawl stops scaling
+            // past ~16 workers on the synthetic web.
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(8)
+                .min(16),
             seed: 2015,
         }
     }

@@ -79,10 +79,10 @@ reddit.com#@##siteTable_organic
     // 4. Element hiding: the sponsored link (Figure 2's bold #2).
     let hiding = engine.hiding_for_domain("www.reddit.com");
     println!("\nelement hiding on reddit.com:");
-    for (selector, _) in &hiding.active {
+    for (selector, _) in hiding.active.iter() {
         println!("  hidden: {selector}");
     }
-    for (selector, activation) in &hiding.exceptions {
+    for (selector, activation) in hiding.exceptions.iter() {
         println!(
             "  excepted: {selector} (by [{}] {})",
             activation.source.name(),

@@ -34,8 +34,12 @@ fi
 ./target/release/abpd-load --addr "$ADDR" --decisions 100000 --shutdown
 wait "$ABPD_PID"
 
-echo "==> engine bench (quick mode, writes BENCH_engine.json)"
-./target/release/engine_bench --quick --out BENCH_engine.json
+echo "==> engine bench (quick mode, writes BENCH_engine.json, enforces anchor speedup bars)"
+# Speedups are measured against the committed pre-anchor-automaton
+# baseline (crates/bench/baselines/engine_anchor_baseline.json), taken
+# on the same adversarial corpus; the stage fails below the bars.
+./target/release/engine_bench --quick --out BENCH_engine.json \
+    --min-untokenized-speedup 4 --min-hiding-speedup 2
 
 echo "==> service bench (pipelined abpd-load, writes BENCH_service.json)"
 ./target/release/abpd-load --decisions 60000 --batch 256 --pipeline 8 \

@@ -304,6 +304,11 @@ impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
         (**self).to_content()
     }
 }
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(std::sync::Arc::new)
+    }
+}
 
 impl<T: Serialize> Serialize for Option<T> {
     fn to_content(&self) -> Content {
