@@ -1,0 +1,860 @@
+//! The abpd load generator and fleet orchestrator.
+//!
+//! ```text
+//! abpd-load [--addr HOST:PORT] [--decisions N] [--batch N]
+//!           [--connections N] [--pipeline N] [--seed N]
+//!           [--reply-timeout-ms N] [--max-error-rate F]
+//!           [--out PATH] [--append-availability PATH] [--shutdown]
+//!           [--fleet N] [--fleet-chaos] [--replay-revisions N]
+//!           [--max-delta-ratio F]
+//! ```
+//!
+//! Replays synthetic browsing traffic (the websim page/ecosystem
+//! model, visit-weighted by rank stratum) against an abpd server and
+//! reports sustained decisions/sec plus the server's own statistics.
+//! Without `--addr` it spins up an in-process server on a free port
+//! first, so `abpd-load` alone is a complete smoke test.
+//!
+//! `--pipeline N` keeps up to N batch lines in flight per connection
+//! (replies are matched in order); `--pipeline 1` is the classic
+//! lockstep write-then-read loop. `--out PATH` writes a JSON report,
+//! embedding the committed baseline snapshot
+//! (`crates/bench/baselines/service_bench_baseline.json`) and the
+//! speedup ratio when that file is present, mirroring `engine-bench`.
+//!
+//! Load runs through [`abpd::RetryClient`], so shed batches are
+//! retried with backoff and dropped connections reconnect
+//! transparently; every request ends the run as answered, shed, or
+//! failed. The run **exits nonzero** when the error share (shed +
+//! rejected + unanswered) exceeds `--max-error-rate` (default 0 — any
+//! lost decision fails the run). `--append-availability PATH` merges
+//! the availability numbers into an existing report (the chaos CI
+//! stage appends them to `BENCH_service.json`).
+//!
+//! # Fleet mode
+//!
+//! `--fleet N` spawns N in-process shards plus an
+//! [`abpd_proxy::Proxy`] router in front of them and drives the same
+//! load through the router. `--replay-revisions N` first replays up to
+//! N revisions of the corpus whitelist history through the router as
+//! `ReloadDelta` updates (full-`Reload` fallback on base mismatch),
+//! counting bytes shipped versus what full-body reloads would have
+//! cost, and asserting every shard converges to the same serving
+//! checksum. `--fleet-chaos` kills one shard mid-load and respawns it
+//! on a fresh port (`Proxy::update_backend`), proving hedging keeps
+//! availability up and the respawned shard rejoins the ring. The run
+//! exits nonzero if the fleet diverges, if any healthy shard answered
+//! zero decisions, or if the replay's delta/full byte ratio exceeds
+//! `--max-delta-ratio`. `--out` writes a fleet report embedding
+//! `crates/bench/baselines/fleet_bench_baseline.json` when present.
+
+use abpd::client::ItemAnswer;
+use abpd::protocol::{ReloadDeltaList, ReloadList};
+use abpd::{
+    wire, Client, DecisionRequest, ReloadDeltaOutcome, RetryClient, RetryPolicy, Server,
+    ServerConfig,
+};
+use abpd_proxy::{Proxy, ProxyConfig};
+use serde::Serialize;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use websim::traffic::TrafficGen;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let i = args.iter().position(|a| a == flag)?;
+    let v = args.get(i + 1).unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    });
+    match v.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("bad value for {flag}: {v}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The measured run, serialized to `--out` for CI perf tracking.
+#[derive(Debug, Clone, Serialize)]
+struct LoadReport {
+    /// What produced this report.
+    bench: String,
+    /// Decisions actually evaluated.
+    decisions: u64,
+    /// Client connections driving load.
+    connections: usize,
+    /// Requests per `DecideBatch` line.
+    batch: usize,
+    /// Batch lines in flight per connection.
+    pipeline: usize,
+    /// Wall-clock seconds for the measured window.
+    elapsed_secs: f64,
+    /// Sustained decisions per second (the headline number).
+    decisions_per_sec: f64,
+    /// Fraction of decisions that blocked the request.
+    blocked_pct: f64,
+    /// Fraction answered from the decision cache.
+    cached_pct: f64,
+    /// Server-reported median decision latency (µs).
+    server_p50_us: u64,
+    /// Server-reported p99 decision latency (µs).
+    server_p99_us: u64,
+    /// Requests that ended the run shed (`Overloaded` on every retry).
+    shed: u64,
+    /// Requests that ended the run rejected or unanswered.
+    errors: u64,
+    /// Answered share of all requests sent, in [0, 1].
+    availability: f64,
+}
+
+/// The fleet run, serialized to `--out` for CI perf tracking.
+#[derive(Debug, Clone, Serialize)]
+struct FleetReport {
+    /// What produced this report.
+    bench: String,
+    /// Shards behind the router.
+    shards: usize,
+    /// Whether a shard was killed and respawned mid-load.
+    chaos: bool,
+    /// Decisions actually evaluated.
+    decisions: u64,
+    /// Client connections driving load.
+    connections: usize,
+    /// Requests per `DecideBatch` line.
+    batch: usize,
+    /// Batch lines in flight per connection.
+    pipeline: usize,
+    /// Wall-clock seconds for the measured window.
+    elapsed_secs: f64,
+    /// Sustained decisions per second through the router.
+    decisions_per_sec: f64,
+    /// Answered share of all requests sent, in [0, 1].
+    availability: f64,
+    /// Requests that ended the run shed.
+    shed: u64,
+    /// Requests that ended the run rejected or unanswered.
+    errors: u64,
+    /// Decisions hedged away from a failing shard.
+    hedged: u64,
+    /// Decisions answered per shard slot.
+    shard_forwarded: Vec<u64>,
+    /// Whitelist history revisions replayed through the router.
+    replay_revisions: u64,
+    /// Replays that fell back to a full `Reload` on base mismatch.
+    replay_fallbacks: u64,
+    /// Wall-clock seconds for the replay phase.
+    replay_secs: f64,
+    /// Wire bytes actually shipped by the delta replay.
+    delta_bytes: u64,
+    /// Wire bytes full whitelist-body reloads would have shipped.
+    full_reload_bytes: u64,
+    /// Same, had each reload also re-shipped the easylist body.
+    full_reload_bytes_with_easylist: u64,
+    /// `delta_bytes / full_reload_bytes` (0 when nothing replayed).
+    delta_to_full_ratio: f64,
+    /// Did every shard converge to the expected serving checksum?
+    converged: bool,
+}
+
+/// Per-thread accounting; folded across connections.
+#[derive(Debug, Clone, Copy, Default)]
+struct Totals {
+    ok: usize,
+    blocked: usize,
+    cached: usize,
+    shed: usize,
+    rejected: usize,
+    failed: usize,
+}
+
+impl Totals {
+    fn add(mut self, other: Totals) -> Totals {
+        self.ok += other.ok;
+        self.blocked += other.blocked;
+        self.cached += other.cached;
+        self.shed += other.shed;
+        self.rejected += other.rejected;
+        self.failed += other.failed;
+        self
+    }
+}
+
+/// Pre-synthesize each connection's request stream so generation cost
+/// stays out of the measured window.
+fn synth_streams(seed: u64, decisions: usize, connections: usize) -> Vec<Vec<DecisionRequest>> {
+    let per_conn = decisions.div_ceil(connections);
+    (0..connections)
+        .map(|c| {
+            TrafficGen::new(seed.wrapping_add(c as u64))
+                .samples()
+                .take(per_conn)
+                .map(|s| abpd::request_of_sample(&s))
+                .collect()
+        })
+        .collect()
+}
+
+/// Drive the pre-synthesized streams at `addr` through pipelined
+/// [`RetryClient`]s, one thread per stream. `chaos` (if any) runs
+/// concurrently on its own thread inside the same scope — fleet mode
+/// uses it to kill and respawn a shard mid-run. Returns the folded
+/// totals, retry stats, and the measured wall-clock window (taken when
+/// the last load thread finishes, not when chaos does).
+fn drive_load<F: FnOnce() + Send>(
+    addr: &str,
+    streams: &[Vec<DecisionRequest>],
+    batch: usize,
+    pipeline: usize,
+    reply_timeout: Duration,
+    seed: u64,
+    chaos: Option<F>,
+) -> (Totals, abpd::client::RetryStats, Duration) {
+    let start = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        if let Some(f) = chaos {
+            scope.spawn(move |_| f());
+        }
+        let handles: Vec<_> = streams
+            .iter()
+            .enumerate()
+            .map(|(c, stream)| {
+                scope.spawn(move |_| {
+                    let mut client = RetryClient::new(
+                        addr,
+                        RetryPolicy {
+                            seed: seed.wrapping_add(c as u64),
+                            ..RetryPolicy::default()
+                        },
+                    );
+                    client.reply_timeout(Some(reply_timeout));
+                    let mut t = Totals::default();
+                    match client.decide_batch_pipelined(stream, batch, pipeline) {
+                        Ok(answers) => {
+                            for a in &answers {
+                                match a {
+                                    ItemAnswer::Decision(r) => {
+                                        t.ok += 1;
+                                        if r.outcome.decision == abp::Decision::Block {
+                                            t.blocked += 1;
+                                        }
+                                        if r.cached {
+                                            t.cached += 1;
+                                        }
+                                    }
+                                    ItemAnswer::Shed => t.shed += 1,
+                                    ItemAnswer::Rejected(_) => t.rejected += 1,
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            // The whole stream counts as unanswered: the
+                            // retry budget ran out mid-run and per-item
+                            // attribution is gone with the connection.
+                            eprintln!("abpd-load: connection {c} gave up: {e}");
+                            t.failed += stream.len();
+                        }
+                    }
+                    (t, client.stats())
+                })
+            })
+            .collect();
+        let folded = handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread"))
+            .fold(
+                (Totals::default(), abpd::client::RetryStats::default()),
+                |(t, s), (t2, s2)| {
+                    (
+                        t.add(t2),
+                        abpd::client::RetryStats {
+                            transport_retries: s.transport_retries + s2.transport_retries,
+                            reconnects: s.reconnects + s2.reconnects,
+                            overloaded_replies: s.overloaded_replies + s2.overloaded_replies,
+                            error_replies: s.error_replies + s2.error_replies,
+                            timeouts: s.timeouts + s2.timeouts,
+                        },
+                    )
+                },
+            );
+        (folded.0, folded.1, start.elapsed())
+    })
+    .expect("load scope")
+}
+
+fn print_run_summary(
+    t: &Totals,
+    retry: &abpd::client::RetryStats,
+    requested: usize,
+    elapsed: Duration,
+) {
+    let sent = t.ok;
+    let errors = t.rejected + t.failed;
+    let availability = t.ok as f64 / requested.max(1) as f64;
+    let rate = sent as f64 / elapsed.as_secs_f64();
+    println!(
+        "abpd-load: {sent} decisions in {:.2}s = {:.0} decisions/sec",
+        elapsed.as_secs_f64(),
+        rate
+    );
+    println!(
+        "abpd-load: {} blocked ({:.1}%), {} cache hits ({:.1}%)",
+        t.blocked,
+        100.0 * t.blocked as f64 / sent.max(1) as f64,
+        t.cached,
+        100.0 * t.cached as f64 / sent.max(1) as f64,
+    );
+    println!(
+        "abpd-load: availability {:.4} ({} shed, {} errored, of {requested} requested)",
+        availability, t.shed, errors
+    );
+    if *retry != abpd::client::RetryStats::default() {
+        println!(
+            "abpd-load: retries: {} transport, {} reconnects, {} overloaded replies, \
+             {} error replies, {} timeouts",
+            retry.transport_retries,
+            retry.reconnects,
+            retry.overloaded_replies,
+            retry.error_replies,
+            retry.timeouts
+        );
+    }
+}
+
+/// Attach the committed pre-change baseline (if present) to a report
+/// value, plus the decisions/sec speedup ratio, so the JSON carries
+/// before/after side by side.
+fn embed_baseline(value: &mut serde_json::Value, baseline_path: &str, rate: f64) {
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        return;
+    };
+    let Ok(base) = serde_json::parse_value(&text) else {
+        return;
+    };
+    let speedup = base
+        .get("decisions_per_sec")
+        .and_then(|v| v.as_f64())
+        .map(|base_rate| rate / base_rate);
+    if let serde_json::Value::Map(entries) = value {
+        entries.push(("baseline".to_string(), base));
+        if let Some(s) = speedup {
+            entries.push((
+                "decisions_per_sec_speedup_vs_baseline".to_string(),
+                serde_json::Value::F64((s * 100.0).round() / 100.0),
+            ));
+            eprintln!("abpd-load: decisions/sec speedup vs baseline: {s:.2}x");
+        }
+    }
+}
+
+fn write_report<T: Serialize>(report: &T, path: &str, baseline_path: &str, rate: f64) {
+    let mut value = serde_json::to_value(report).expect("report serializes");
+    embed_baseline(&mut value, baseline_path, rate);
+    let mut json = serde_json::to_string_pretty(&value).expect("report serializes");
+    json.push('\n');
+    std::fs::write(path, json).expect("write load report");
+    eprintln!("abpd-load: wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: abpd-load [--addr HOST:PORT] [--decisions N] [--batch N] \
+             [--connections N] [--pipeline N] [--seed N] \
+             [--reply-timeout-ms N] [--max-error-rate F] \
+             [--out PATH] [--append-availability PATH] [--shutdown] \
+             [--fleet N] [--fleet-chaos] [--replay-revisions N] \
+             [--max-delta-ratio F]"
+        );
+        return;
+    }
+
+    if args.iter().any(|a| a == "--fleet") {
+        fleet_main(&args);
+        return;
+    }
+
+    let decisions: usize = parse_flag(&args, "--decisions").unwrap_or(200_000);
+    let batch: usize = parse_flag(&args, "--batch").unwrap_or(256).max(1);
+    let pipeline: usize = parse_flag(&args, "--pipeline").unwrap_or(1).max(1);
+    let connections: usize = parse_flag(&args, "--connections")
+        .unwrap_or_else(|| {
+            // Enough clients to keep every shard busy without thrashing
+            // small machines with idle load threads.
+            std::thread::available_parallelism().map_or(2, |n| n.get().clamp(1, 4))
+        })
+        .max(1);
+    let seed: u64 = parse_flag(&args, "--seed").unwrap_or(2015);
+    let reply_timeout = Duration::from_millis(
+        parse_flag::<u64>(&args, "--reply-timeout-ms")
+            .unwrap_or(abpd::client::DEFAULT_REPLY_TIMEOUT.as_millis() as u64)
+            .max(1),
+    );
+    let max_error_rate: f64 = parse_flag(&args, "--max-error-rate").unwrap_or(0.0);
+    let out_path: Option<String> = parse_flag(&args, "--out");
+    let append_path: Option<String> = parse_flag(&args, "--append-availability");
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+
+    // Target: given address, or an in-process server on a free port.
+    let (addr, local_server) = match parse_flag::<String>(&args, "--addr") {
+        Some(addr) => (addr, None),
+        None => {
+            eprintln!("abpd-load: no --addr, starting in-process server (seed {seed})...");
+            let server = Server::start(abpd::corpus_engine(seed), &ServerConfig::default())
+                .unwrap_or_else(|e| {
+                    eprintln!("abpd-load: cannot start server: {e}");
+                    std::process::exit(1);
+                });
+            (server.local_addr().to_string(), Some(server))
+        }
+    };
+
+    eprintln!("abpd-load: synthesizing {decisions} decisions from browsing traffic...");
+    let streams = synth_streams(seed, decisions, connections);
+    let requested: usize = streams.iter().map(Vec::len).sum();
+
+    eprintln!(
+        "abpd-load: driving {addr} ({connections} connections, batch {batch}, pipeline {pipeline})..."
+    );
+    let (t, retry, elapsed) = drive_load(
+        &addr,
+        &streams,
+        batch,
+        pipeline,
+        reply_timeout,
+        seed,
+        None::<fn()>,
+    );
+
+    let sent = t.ok;
+    let errors = t.rejected + t.failed;
+    let availability = t.ok as f64 / requested.max(1) as f64;
+    let rate = sent as f64 / elapsed.as_secs_f64();
+    print_run_summary(&t, &retry, requested, elapsed);
+
+    let mut client = Client::connect(&*addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    println!(
+        "abpd-load: server reports {} requests, {} hits, p50 {}us p99 {}us over {} shards",
+        stats.requests,
+        stats.cache_hits,
+        stats.p50_us,
+        stats.p99_us,
+        stats.shards.len()
+    );
+
+    if let Some(path) = out_path {
+        let report = LoadReport {
+            bench: "abpd-load".to_string(),
+            decisions: sent as u64,
+            connections,
+            batch,
+            pipeline,
+            elapsed_secs: (elapsed.as_secs_f64() * 1000.0).round() / 1000.0,
+            decisions_per_sec: rate.round(),
+            blocked_pct: (1000.0 * t.blocked as f64 / sent.max(1) as f64).round() / 10.0,
+            cached_pct: (1000.0 * t.cached as f64 / sent.max(1) as f64).round() / 10.0,
+            server_p50_us: stats.p50_us,
+            server_p99_us: stats.p99_us,
+            shed: t.shed as u64,
+            errors: errors as u64,
+            availability: (availability * 10_000.0).round() / 10_000.0,
+        };
+        write_report(
+            &report,
+            &path,
+            "crates/bench/baselines/service_bench_baseline.json",
+            rate,
+        );
+    }
+
+    if let Some(path) = append_path {
+        // Merge this run's availability numbers into an existing report
+        // (the chaos CI stage appends them to BENCH_service.json).
+        let text = std::fs::read_to_string(&path).expect("read report to append to");
+        let mut value = serde_json::parse_value(&text).expect("parse report to append to");
+        if let serde_json::Value::Map(entries) = &mut value {
+            entries.retain(|(k, _)| k != "chaos");
+            entries.push((
+                "chaos".to_string(),
+                serde_json::Value::Map(vec![
+                    ("decisions".to_string(), serde_json::Value::F64(sent as f64)),
+                    ("shed".to_string(), serde_json::Value::F64(t.shed as f64)),
+                    ("errors".to_string(), serde_json::Value::F64(errors as f64)),
+                    (
+                        "availability".to_string(),
+                        serde_json::Value::F64((availability * 10_000.0).round() / 10_000.0),
+                    ),
+                    (
+                        "decisions_per_sec".to_string(),
+                        serde_json::Value::F64(rate.round()),
+                    ),
+                ]),
+            ));
+        }
+        let mut json = serde_json::to_string_pretty(&value).expect("report serializes");
+        json.push('\n');
+        std::fs::write(&path, json).expect("append availability");
+        eprintln!("abpd-load: appended availability to {path}");
+    }
+
+    if shutdown || local_server.is_some() {
+        client.shutdown_server().expect("shutdown");
+    }
+    if let Some(server) = local_server {
+        server.join();
+    }
+
+    let error_rate = (t.shed + errors) as f64 / requested.max(1) as f64;
+    if error_rate > max_error_rate {
+        eprintln!(
+            "abpd-load: FAIL: error rate {error_rate:.4} exceeds --max-error-rate {max_error_rate}"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Verify the router reports the expected fleet-wide serving checksum.
+fn check_convergence(client: &mut Client, expected: u64, when: &str) -> bool {
+    match client.health() {
+        Ok(h) if h.list_checksum == expected => {
+            eprintln!("abpd-load: fleet converged {when} (checksum {expected:016x})");
+            true
+        }
+        Ok(h) => {
+            eprintln!(
+                "abpd-load: FAIL: fleet diverged {when}: router reports {:016x}, expected {expected:016x}",
+                h.list_checksum
+            );
+            false
+        }
+        Err(e) => {
+            eprintln!("abpd-load: FAIL: fleet health {when}: {e}");
+            false
+        }
+    }
+}
+
+fn fleet_main(args: &[String]) {
+    let shards: usize = parse_flag(args, "--fleet").unwrap_or(3).max(1);
+    let chaos = args.iter().any(|a| a == "--fleet-chaos");
+    let replay: usize = parse_flag(args, "--replay-revisions").unwrap_or(0);
+    let max_delta_ratio: Option<f64> = parse_flag(args, "--max-delta-ratio");
+    let decisions: usize = parse_flag(args, "--decisions").unwrap_or(200_000);
+    let batch: usize = parse_flag(args, "--batch").unwrap_or(256).max(1);
+    let pipeline: usize = parse_flag(args, "--pipeline").unwrap_or(1).max(1);
+    let connections: usize = parse_flag(args, "--connections")
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get().clamp(1, 4)))
+        .max(1);
+    let seed: u64 = parse_flag(args, "--seed").unwrap_or(2015);
+    let reply_timeout = Duration::from_millis(
+        parse_flag::<u64>(args, "--reply-timeout-ms")
+            .unwrap_or(abpd::client::DEFAULT_REPLY_TIMEOUT.as_millis() as u64)
+            .max(1),
+    );
+    let max_error_rate: f64 = parse_flag(args, "--max-error-rate").unwrap_or(0.0);
+    let out_path: Option<String> = parse_flag(args, "--out");
+
+    eprintln!("abpd-load: generating corpus (seed {seed})...");
+    let corpus = corpus::Corpus::generate(seed);
+    let easylist = corpus.easylist.to_text();
+    // With a replay, shards boot at revision 0 of the whitelist history
+    // and are rolled forward over the wire; without one they boot at
+    // the head the single-server path serves.
+    let store = (replay > 0).then(|| corpus::build_history(seed, &corpus.final_whitelist));
+    let initial_wl = match &store {
+        Some(s) => s
+            .rev(0)
+            .expect("history has a root revision")
+            .content
+            .clone(),
+        None => corpus.whitelist.to_text(),
+    };
+    let lists_of = |wl: &str| {
+        vec![
+            ReloadList {
+                source: abp::ListSource::EasyList,
+                content: easylist.clone(),
+            },
+            ReloadList {
+                source: abp::ListSource::AcceptableAds,
+                content: wl.to_string(),
+            },
+        ]
+    };
+
+    let shard_config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        // Full-body reload lines (easylist + whitelist, JSON-escaped)
+        // brush against the 1 MiB default; give shards headroom.
+        max_line_bytes: 4 * 1024 * 1024,
+        ..ServerConfig::default()
+    };
+    eprintln!("abpd-load: starting {shards} shards...");
+    let spawned: Vec<Option<Server>> = (0..shards)
+        .map(|_| {
+            Some(
+                Server::start_with_lists(lists_of(&initial_wl), &shard_config).unwrap_or_else(
+                    |e| {
+                        eprintln!("abpd-load: cannot start shard: {e}");
+                        std::process::exit(1);
+                    },
+                ),
+            )
+        })
+        .collect();
+    let backends: Vec<String> = spawned
+        .iter()
+        .map(|s| s.as_ref().unwrap().local_addr().to_string())
+        .collect();
+    let servers = Mutex::new(spawned);
+
+    let proxy = Proxy::start(&ProxyConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends,
+        probe_interval: Duration::from_millis(200),
+        reply_timeout,
+        ..ProxyConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("abpd-load: cannot start fleet router: {e}");
+        std::process::exit(1);
+    });
+    let proxy_addr = proxy.local_addr().to_string();
+    eprintln!("abpd-load: fleet router on {proxy_addr} ({shards} shards)");
+
+    // ---- replay phase --------------------------------------------------
+    let mut current_wl = initial_wl;
+    let mut replayed = 0u64;
+    let mut fallbacks = 0u64;
+    let mut delta_bytes = 0u64;
+    let mut full_bytes = 0u64;
+    let mut full_bytes_both = 0u64;
+    let mut replay_secs = 0.0;
+    let mut converged = true;
+    let mut client = Client::connect(&*proxy_addr).unwrap_or_else(|e| {
+        eprintln!("abpd-load: cannot connect to router: {e}");
+        std::process::exit(1);
+    });
+    client.max_reply_bytes(4 * 1024 * 1024);
+    if let Some(store) = &store {
+        let total = store.len().saturating_sub(1).min(replay);
+        eprintln!("abpd-load: replaying {total} whitelist revisions through the router...");
+        let t0 = Instant::now();
+        let mut line = Vec::new();
+        for rev in store.since(0).take(total) {
+            // Price the alternatives first: the full whitelist-body
+            // reload this delta replaces, and the both-lists reload a
+            // delta-unaware supervisor would ship.
+            let full = [ReloadList {
+                source: abp::ListSource::AcceptableAds,
+                content: rev.content.clone(),
+            }];
+            line.clear();
+            wire::write_reload(&full, &mut line);
+            let full_len = line.len() as u64 + 1;
+            full_bytes += full_len;
+            line.clear();
+            wire::write_reload(&lists_of(&rev.content), &mut line);
+            full_bytes_both += line.len() as u64 + 1;
+
+            let update = [ReloadDeltaList {
+                source: abp::ListSource::AcceptableAds,
+                delta: abpdelta::encode(&current_wl, &rev.content),
+            }];
+            line.clear();
+            wire::write_reload_delta(&update, &mut line);
+            delta_bytes += line.len() as u64 + 1;
+
+            match client.reload_delta(&update) {
+                Ok(ReloadDeltaOutcome::Applied(_)) => {}
+                Ok(ReloadDeltaOutcome::BaseMismatch(_)) => {
+                    // Some shard serves a different base — resync the
+                    // whole fleet with the full body (reloads are
+                    // idempotent) and pay for it in shipped bytes.
+                    fallbacks += 1;
+                    delta_bytes += full_len;
+                    if let Err(e) = client.reload(&full) {
+                        eprintln!("abpd-load: FAIL: fallback reload at rev {}: {e}", rev.id);
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("abpd-load: FAIL: delta replay at rev {}: {e}", rev.id);
+                    std::process::exit(1);
+                }
+            }
+            replayed += 1;
+            current_wl.clear();
+            current_wl.push_str(&rev.content);
+        }
+        replay_secs = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "abpd-load: replayed {replayed} revisions in {replay_secs:.2}s \
+             ({fallbacks} full-reload fallbacks): {delta_bytes} delta bytes vs \
+             {full_bytes} full-body bytes ({:.1}%)",
+            100.0 * delta_bytes as f64 / full_bytes.max(1) as f64
+        );
+        let expected = abpd::serving_checksum(&lists_of(&current_wl));
+        converged &= check_convergence(&mut client, expected, "after replay");
+    }
+
+    // ---- load phase (with optional chaos) ------------------------------
+    eprintln!("abpd-load: synthesizing {decisions} decisions from browsing traffic...");
+    let streams = synth_streams(seed, decisions, connections);
+    let requested: usize = streams.iter().map(Vec::len).sum();
+
+    eprintln!(
+        "abpd-load: driving {proxy_addr} ({connections} connections, batch {batch}, \
+         pipeline {pipeline}{})...",
+        if chaos { ", chaos on" } else { "" }
+    );
+    let victim = shards / 2;
+    let chaos_fn = chaos.then(|| {
+        || {
+            std::thread::sleep(Duration::from_millis(400));
+            let killed = servers.lock().unwrap()[victim].take();
+            if let Some(s) = killed {
+                eprintln!("abpd-load: chaos: killing shard {victim}");
+                s.kill();
+            }
+            std::thread::sleep(Duration::from_millis(500));
+            let replacement = Server::start_with_lists(lists_of(&current_wl), &shard_config)
+                .expect("respawn shard");
+            let new_addr = replacement.local_addr().to_string();
+            servers.lock().unwrap()[victim] = Some(replacement);
+            proxy.update_backend(victim, &*new_addr);
+            eprintln!("abpd-load: chaos: shard {victim} respawned on {new_addr}");
+        }
+    });
+    let (t, retry, elapsed) = drive_load(
+        &proxy_addr,
+        &streams,
+        batch,
+        pipeline,
+        reply_timeout,
+        seed,
+        chaos_fn,
+    );
+
+    let sent = t.ok;
+    let errors = t.rejected + t.failed;
+    let availability = t.ok as f64 / requested.max(1) as f64;
+    let rate = sent as f64 / elapsed.as_secs_f64();
+    print_run_summary(&t, &retry, requested, elapsed);
+
+    let stats = client.stats().expect("fleet stats");
+    println!(
+        "abpd-load: fleet reports {} requests, {} hits, p50 {}us p99 {}us over {} worker shards",
+        stats.requests,
+        stats.cache_hits,
+        stats.p50_us,
+        stats.p99_us,
+        stats.shards.len()
+    );
+
+    // Post-run convergence: chaos respawns must rejoin at the same
+    // serving state the fleet converged to.
+    let expected = abpd::serving_checksum(&lists_of(&current_wl));
+    converged &= check_convergence(&mut client, expected, "after load");
+
+    // Per-shard distribution: the ring must spread keys over every
+    // healthy shard; a starved shard means routing is broken even if
+    // every request was answered.
+    let report = proxy.backend_report();
+    let mut starved = Vec::new();
+    for (slot, b) in report.iter().enumerate() {
+        println!(
+            "abpd-load: shard {slot} ({}): {} decisions answered, {} hedged away{}{}",
+            b.addr,
+            b.forwarded,
+            b.hedged_away,
+            if b.healthy { "" } else { ", UNHEALTHY" },
+            if chaos && slot == victim {
+                " (chaos victim)"
+            } else {
+                ""
+            },
+        );
+        if b.healthy && b.forwarded == 0 {
+            starved.push(slot);
+        }
+    }
+    let hedged: u64 = report.iter().map(|b| b.hedged_away).sum();
+    let shard_forwarded: Vec<u64> = report.iter().map(|b| b.forwarded).collect();
+
+    if let Some(path) = &out_path {
+        let report = FleetReport {
+            bench: "abpd-fleet".to_string(),
+            shards,
+            chaos,
+            decisions: sent as u64,
+            connections,
+            batch,
+            pipeline,
+            elapsed_secs: (elapsed.as_secs_f64() * 1000.0).round() / 1000.0,
+            decisions_per_sec: rate.round(),
+            availability: (availability * 10_000.0).round() / 10_000.0,
+            shed: t.shed as u64,
+            errors: errors as u64,
+            hedged,
+            shard_forwarded,
+            replay_revisions: replayed,
+            replay_fallbacks: fallbacks,
+            replay_secs: (replay_secs * 1000.0).round() / 1000.0,
+            delta_bytes,
+            full_reload_bytes: full_bytes,
+            full_reload_bytes_with_easylist: full_bytes_both,
+            delta_to_full_ratio: (10_000.0 * delta_bytes as f64 / full_bytes.max(1) as f64).round()
+                / 10_000.0,
+            converged,
+        };
+        write_report(
+            &report,
+            path,
+            "crates/bench/baselines/fleet_bench_baseline.json",
+            rate,
+        );
+    }
+
+    // Tear down: `Shutdown` through the router fans out to every shard.
+    client.shutdown_server().expect("shutdown fleet");
+    drop(client);
+    proxy.join();
+    for s in servers.lock().unwrap().iter_mut() {
+        if let Some(s) = s.take() {
+            s.join();
+        }
+    }
+
+    // ---- gates ---------------------------------------------------------
+    let mut failed = false;
+    if !converged {
+        failed = true;
+    }
+    if !starved.is_empty() {
+        eprintln!("abpd-load: FAIL: healthy shards answered zero decisions: {starved:?}");
+        failed = true;
+    }
+    let error_rate = (t.shed + errors) as f64 / requested.max(1) as f64;
+    if error_rate > max_error_rate {
+        eprintln!(
+            "abpd-load: FAIL: error rate {error_rate:.4} exceeds --max-error-rate {max_error_rate}"
+        );
+        failed = true;
+    }
+    if let Some(max_ratio) = max_delta_ratio {
+        let ratio = delta_bytes as f64 / full_bytes.max(1) as f64;
+        if replayed > 0 && ratio > max_ratio {
+            eprintln!(
+                "abpd-load: FAIL: delta replay shipped {ratio:.3} of full-body bytes, \
+                 over --max-delta-ratio {max_ratio}"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

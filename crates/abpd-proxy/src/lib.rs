@@ -1,0 +1,881 @@
+//! # abpd-proxy — a consistent-hash router for an abpd fleet
+//!
+//! One abpd process serves one core count's worth of decisions; the
+//! paper's crawl workloads want more. This crate puts a router in
+//! front of N abpd shards, speaking the *same* NDJSON wire protocol on
+//! both sides, so every existing client ([`abpd::Client`],
+//! [`abpd::RetryClient`], `abpd-load`) works against a fleet unchanged.
+//!
+//! Routing is a consistent-hash ring ([`ring`]) keyed by the same
+//! fields as the decision cache (url, document, resource type,
+//! sitekey), so each shard's LRU cache only ever sees its own slice of
+//! the keyspace — fleet cache capacity adds up instead of duplicating.
+//! A shard that fails its periodic `Health` probe is routed around; a
+//! request that hits a dead, shedding, or timed-out shard is *hedged*
+//! to the next distinct shard on its ring walk.
+//!
+//! `Reload` and `ReloadDelta` lines fan out to every shard and the
+//! reply reports fleet convergence: the proxy re-probes each shard's
+//! serving checksum after the swap and answers `Error` if the fleet
+//! diverged (a client then falls back to a full `Reload`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ring;
+
+use abpd::client::is_overloaded;
+use abpd::protocol::{
+    DecisionRequest, DecisionResponse, HealthReport, HealthState, ReloadMismatch, ReloadReport,
+    ServerMessage, StatsReport,
+};
+use abpd::wire::{self, ClientMessageRef, LineRead};
+use abpd::Client;
+use ring::HashRing;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Address to bind; port 0 picks a free port.
+    pub addr: String,
+    /// Backend shard addresses (`host:port`), one per ring slot.
+    pub backends: Vec<String>,
+    /// Ring points per shard; more points, smoother key split.
+    pub vnodes: usize,
+    /// How often the prober re-checks each shard's health.
+    pub probe_interval: Duration,
+    /// Reply timeout for forwarded requests; a shard that exceeds it
+    /// is marked unhealthy and the request is hedged.
+    pub reply_timeout: Duration,
+    /// Longest accepted line in either direction. Reload lines carry
+    /// whole list bodies, so this defaults to 16 MiB.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            vnodes: 64,
+            probe_interval: Duration::from_millis(500),
+            reply_timeout: Duration::from_secs(10),
+            max_line_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// One shard slot's live state. The slot (ring position) is fixed; the
+/// address behind it may change when a shard respawns — `epoch` bumps
+/// on every address change so cached connections know to reconnect.
+struct BackendState {
+    addr: parking_lot::RwLock<String>,
+    epoch: AtomicU64,
+    healthy: AtomicBool,
+    /// Requests this slot answered (decisions, not lines).
+    forwarded: AtomicU64,
+    /// Requests hedged *away* from this slot after it failed.
+    hedged_away: AtomicU64,
+    /// Serving checksum seen by the last successful probe.
+    last_checksum: AtomicU64,
+}
+
+/// A point-in-time snapshot of one shard slot, for reporting.
+#[derive(Debug, Clone)]
+pub struct BackendReport {
+    /// Current address behind the slot.
+    pub addr: String,
+    /// Did the last probe (or forward) succeed?
+    pub healthy: bool,
+    /// Decisions this slot answered.
+    pub forwarded: u64,
+    /// Decisions hedged away from this slot after a failure.
+    pub hedged_away: u64,
+    /// Serving checksum at the last successful probe.
+    pub last_checksum: u64,
+}
+
+struct Shared {
+    backends: Vec<BackendState>,
+    ring: HashRing,
+    running: AtomicBool,
+    open_connections: AtomicUsize,
+    reply_timeout: Duration,
+    max_line_bytes: usize,
+}
+
+impl Shared {
+    fn healthy(&self, slot: usize) -> bool {
+        self.backends[slot].healthy.load(Ordering::SeqCst)
+    }
+
+    fn mark(&self, slot: usize, healthy: bool) {
+        self.backends[slot].healthy.store(healthy, Ordering::SeqCst);
+    }
+
+    fn addr_of(&self, slot: usize) -> (String, u64) {
+        let b = &self.backends[slot];
+        // Read the epoch first: if an update lands between the two
+        // reads we cache the *new* address under the *old* epoch and
+        // simply reconnect one time more than strictly needed.
+        let epoch = b.epoch.load(Ordering::SeqCst);
+        (b.addr.read().clone(), epoch)
+    }
+}
+
+/// A running router; stop it with [`Proxy::shutdown`] or the
+/// `Shutdown` wire verb (which also shuts the shards down).
+pub struct Proxy {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl Proxy {
+    /// Bind the router and probe every shard once so routing works
+    /// immediately. Shards that are down at start are simply unhealthy
+    /// until the prober sees them answer.
+    pub fn start(config: &ProxyConfig) -> std::io::Result<Proxy> {
+        if config.backends.is_empty() {
+            return Err(std::io::Error::other("at least one backend is required"));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let backends: Vec<BackendState> = config
+            .backends
+            .iter()
+            .map(|addr| BackendState {
+                addr: parking_lot::RwLock::new(addr.clone()),
+                epoch: AtomicU64::new(0),
+                healthy: AtomicBool::new(false),
+                forwarded: AtomicU64::new(0),
+                hedged_away: AtomicU64::new(0),
+                last_checksum: AtomicU64::new(0),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            ring: HashRing::new(backends.len(), config.vnodes),
+            backends,
+            running: AtomicBool::new(true),
+            open_connections: AtomicUsize::new(0),
+            reply_timeout: config.reply_timeout,
+            max_line_bytes: config.max_line_bytes.max(64),
+        });
+
+        for slot in 0..shared.backends.len() {
+            probe_slot(&shared, slot);
+        }
+
+        let prober = {
+            let shared = shared.clone();
+            let interval = config.probe_interval.max(Duration::from_millis(10));
+            std::thread::Builder::new()
+                .name("abpd-proxy-probe".to_string())
+                .spawn(move || {
+                    while shared.running.load(Ordering::SeqCst) {
+                        std::thread::sleep(interval);
+                        if !shared.running.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        for slot in 0..shared.backends.len() {
+                            probe_slot(&shared, slot);
+                        }
+                    }
+                })?
+        };
+
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("abpd-proxy-accept".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if !shared.running.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let _ = stream.set_nodelay(true);
+                        let shared = shared.clone();
+                        shared.open_connections.fetch_add(1, Ordering::SeqCst);
+                        let _ = std::thread::Builder::new()
+                            .name("abpd-proxy-conn".to_string())
+                            .spawn(move || {
+                                let _open = ConnGuard(&shared);
+                                handle_connection(stream, &shared, local_addr);
+                            });
+                    }
+                    while shared.open_connections.load(Ordering::SeqCst) > 0 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                })?
+        };
+
+        Ok(Proxy {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            prober: Some(prober),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Point slot `slot` at a respawned shard on `addr` and probe it
+    /// immediately. The slot keeps its ring position, so the keyspace
+    /// it owned comes straight back to it.
+    pub fn update_backend(&self, slot: usize, addr: impl Into<String>) {
+        let b = &self.shared.backends[slot];
+        *b.addr.write() = addr.into();
+        b.epoch.fetch_add(1, Ordering::SeqCst);
+        probe_slot(&self.shared, slot);
+    }
+
+    /// Per-slot forwarding and health counters.
+    pub fn backend_report(&self) -> Vec<BackendReport> {
+        self.shared
+            .backends
+            .iter()
+            .map(|b| BackendReport {
+                addr: b.addr.read().clone(),
+                healthy: b.healthy.load(Ordering::SeqCst),
+                forwarded: b.forwarded.load(Ordering::SeqCst),
+                hedged_away: b.hedged_away.load(Ordering::SeqCst),
+                last_checksum: b.last_checksum.load(Ordering::SeqCst),
+            })
+            .collect()
+    }
+
+    /// Stop accepting, wait for open client connections, stop probing.
+    /// Shards keep running — they belong to whoever started them.
+    pub fn shutdown(mut self) {
+        trigger_stop(&self.shared, self.local_addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(p) = self.prober.take() {
+            let _ = p.join();
+        }
+    }
+
+    /// Block until the router stops (via the `Shutdown` verb).
+    pub fn join(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(p) = self.prober.take() {
+            let _ = p.join();
+        }
+    }
+}
+
+struct ConnGuard<'a>(&'a Shared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.open_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn trigger_stop(shared: &Shared, addr: SocketAddr) {
+    if shared.running.swap(false, Ordering::SeqCst) {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// One short-lived probe: connect, fetch `Health`, record the serving
+/// checksum. Shards drain open connections on shutdown, so the probe
+/// never keeps a connection alive between ticks.
+fn probe_slot(shared: &Shared, slot: usize) {
+    let (addr, _) = shared.addr_of(slot);
+    let probed = (|| -> std::io::Result<u64> {
+        let mut c = Client::connect(&*addr)?;
+        c.reply_timeout(Some(shared.reply_timeout))?;
+        let h = c.health()?;
+        Ok(h.list_checksum)
+    })();
+    match probed {
+        Ok(checksum) => {
+            shared.backends[slot]
+                .last_checksum
+                .store(checksum, Ordering::SeqCst);
+            shared.mark(slot, true);
+        }
+        Err(_) => shared.mark(slot, false),
+    }
+}
+
+/// Lazily-opened, epoch-checked connections from one proxy connection
+/// thread to the shards it has talked to.
+struct BackendConns {
+    conns: Vec<Option<(u64, Client)>>,
+}
+
+impl BackendConns {
+    fn new(n: usize) -> BackendConns {
+        BackendConns {
+            conns: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// A usable connection to `slot`, reconnecting if the cached one is
+    /// broken or predates an address change.
+    fn get(&mut self, shared: &Shared, slot: usize) -> std::io::Result<&mut Client> {
+        let (addr, epoch) = shared.addr_of(slot);
+        let stale = match &self.conns[slot] {
+            Some((e, c)) => *e != epoch || c.is_broken(),
+            None => true,
+        };
+        if stale {
+            self.conns[slot] = None;
+            let mut c = Client::connect(&*addr)?;
+            c.reply_timeout(Some(shared.reply_timeout))?;
+            c.max_reply_bytes(shared.max_line_bytes);
+            self.conns[slot] = Some((epoch, c));
+        }
+        Ok(&mut self.conns[slot].as_mut().expect("just ensured").1)
+    }
+
+    fn drop_slot(&mut self, slot: usize) {
+        self.conns[slot] = None;
+    }
+}
+
+/// How one forward attempt to one shard ended.
+enum Forward<T> {
+    Ok(T),
+    /// The shard shed the work; hedge without marking it dead.
+    Overloaded,
+    /// The shard *answered* with a typed error — deterministic, so
+    /// hedging would just repeat it. Relay it.
+    Rejected(String),
+    /// Transport trouble (dead shard, timeout, torn reply): mark the
+    /// slot unhealthy and hedge.
+    Transport,
+}
+
+fn classify<T>(res: std::io::Result<T>, broken_after: bool) -> Forward<T> {
+    match res {
+        Ok(v) => Forward::Ok(v),
+        Err(e) if is_overloaded(&e) => Forward::Overloaded,
+        Err(_) if broken_after => Forward::Transport,
+        Err(e) => Forward::Rejected(e.to_string()),
+    }
+}
+
+fn forward_decide(
+    conns: &mut BackendConns,
+    shared: &Shared,
+    slot: usize,
+    req: &DecisionRequest,
+) -> Forward<DecisionResponse> {
+    let client = match conns.get(shared, slot) {
+        Ok(c) => c,
+        Err(_) => return Forward::Transport,
+    };
+    let res = client.decide(req);
+    let broken = client.is_broken();
+    if broken {
+        conns.drop_slot(slot);
+    }
+    classify(res, broken)
+}
+
+fn forward_batch(
+    conns: &mut BackendConns,
+    shared: &Shared,
+    slot: usize,
+    reqs: &[DecisionRequest],
+) -> Forward<Vec<DecisionResponse>> {
+    let client = match conns.get(shared, slot) {
+        Ok(c) => c,
+        Err(_) => return Forward::Transport,
+    };
+    let res = client.decide_batch(reqs);
+    let broken = client.is_broken();
+    if broken {
+        conns.drop_slot(slot);
+    }
+    classify(res, broken)
+}
+
+fn key_of(req: &DecisionRequest) -> u64 {
+    ring::route_key(
+        &req.url,
+        &req.document,
+        req.resource_type,
+        req.sitekey.as_deref(),
+    )
+}
+
+/// Drive `req` down its ring walk: the owner first, then each healthy
+/// successor. Every failover bumps the failed slot's `hedged_away`.
+fn route_one(conns: &mut BackendConns, shared: &Shared, req: &DecisionRequest, out: &mut Vec<u8>) {
+    let walk = shared.ring.walk(key_of(req));
+    let mut attempted = false;
+    for (nth, &slot) in walk.iter().enumerate() {
+        // The owner is tried even when marked unhealthy (the probe may
+        // lag a respawn); later slots must be healthy to be worth a
+        // hop.
+        if nth > 0 && !shared.healthy(slot) {
+            continue;
+        }
+        attempted = true;
+        match forward_decide(conns, shared, slot, req) {
+            Forward::Ok(d) => {
+                shared.backends[slot]
+                    .forwarded
+                    .fetch_add(1, Ordering::Relaxed);
+                wire::write_decision_reply(&d, out);
+                return;
+            }
+            Forward::Rejected(e) => {
+                wire::write_error(&e, out);
+                return;
+            }
+            Forward::Overloaded => {
+                shared.backends[slot]
+                    .hedged_away
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Forward::Transport => {
+                shared.mark(slot, false);
+                shared.backends[slot]
+                    .hedged_away
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    if attempted {
+        // Every candidate shed or died mid-request; `Overloaded` tells
+        // retrying clients to back off and come again.
+        wire::write_overloaded(out);
+    } else {
+        wire::write_error("no healthy shard for this request", out);
+    }
+}
+
+/// Scatter a batch across its owning shards, gather replies in slot
+/// order, hedge any failed sub-batch down its walk, and merge the
+/// decisions back into request order.
+fn route_batch(
+    conns: &mut BackendConns,
+    shared: &Shared,
+    reqs: &[DecisionRequest],
+    out: &mut Vec<u8>,
+) {
+    if reqs.is_empty() {
+        wire::write_batch_reply(&[], out);
+        return;
+    }
+    // Group request indices by owning slot.
+    let nslots = shared.backends.len();
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); nslots];
+    for (i, r) in reqs.iter().enumerate() {
+        match shared.ring.route(key_of(r), |s| shared.healthy(s)) {
+            Some(slot) => groups[slot].push(i),
+            None => {
+                // No healthy shard at all: shed the whole batch so
+                // retrying clients back off instead of erroring out.
+                wire::write_overloaded(out);
+                return;
+            }
+        }
+    }
+
+    // Scatter: ship every sub-batch before reading any reply, so the
+    // shards evaluate in parallel.
+    let mut wbuf = Vec::new();
+    let mut sent: Vec<bool> = vec![false; nslots];
+    let mut sub: Vec<Vec<DecisionRequest>> = vec![Vec::new(); nslots];
+    for slot in 0..nslots {
+        if groups[slot].is_empty() {
+            continue;
+        }
+        sub[slot] = groups[slot].iter().map(|&i| reqs[i].clone()).collect();
+        wbuf.clear();
+        wire::write_decide_batch(&sub[slot], &mut wbuf);
+        sent[slot] = match conns.get(shared, slot) {
+            Ok(c) => c.send_raw(&wbuf).is_ok(),
+            Err(_) => false,
+        };
+    }
+
+    // Gather, hedging any sub-batch whose shard failed.
+    let mut merged: Vec<Option<DecisionResponse>> = vec![None; reqs.len()];
+    let mut rejected: Option<String> = None;
+    let mut lost_any = false;
+    for slot in 0..nslots {
+        if groups[slot].is_empty() {
+            continue;
+        }
+        let gathered: Forward<Vec<DecisionResponse>> = if !sent[slot] {
+            Forward::Transport
+        } else {
+            let client = conns.get(shared, slot).expect("sent over a live conn");
+            let res = client.read_reply_raw().and_then(parse_reply_line);
+            let broken = client.is_broken();
+            if broken {
+                conns.drop_slot(slot);
+            }
+            match res {
+                Ok(ServerMessage::Batch(b)) if b.len() == sub[slot].len() => Forward::Ok(b),
+                Ok(ServerMessage::Overloaded) => Forward::Overloaded,
+                Ok(ServerMessage::Error(e)) => Forward::Rejected(e),
+                Ok(other) => Forward::Rejected(format!("unexpected reply: {other:?}")),
+                Err(_) if broken => Forward::Transport,
+                Err(e) => Forward::Rejected(e.to_string()),
+            }
+        };
+        let answered = match gathered {
+            Forward::Ok(b) => Some((slot, b)),
+            Forward::Rejected(e) => {
+                rejected.get_or_insert(e);
+                None
+            }
+            failure => {
+                // Hedge the whole sub-batch down the walk of its first
+                // request; every request in it shares the owner, so
+                // they share the walk successor too.
+                if matches!(failure, Forward::Transport) {
+                    shared.mark(slot, false);
+                }
+                shared.backends[slot]
+                    .hedged_away
+                    .fetch_add(sub[slot].len() as u64, Ordering::Relaxed);
+                let mut answer = None;
+                for &alt in &shared.ring.walk(key_of(&sub[slot][0])) {
+                    if alt == slot || !shared.healthy(alt) {
+                        continue;
+                    }
+                    match forward_batch(conns, shared, alt, &sub[slot]) {
+                        Forward::Ok(b) => {
+                            answer = Some((alt, b));
+                            break;
+                        }
+                        Forward::Rejected(e) => {
+                            rejected.get_or_insert(e);
+                            break;
+                        }
+                        Forward::Overloaded => {}
+                        Forward::Transport => shared.mark(alt, false),
+                    }
+                }
+                if answer.is_none() && rejected.is_none() {
+                    lost_any = true;
+                }
+                answer
+            }
+        };
+        if let Some((winner, b)) = answered {
+            shared.backends[winner]
+                .forwarded
+                .fetch_add(b.len() as u64, Ordering::Relaxed);
+            for (&i, d) in groups[slot].iter().zip(b) {
+                merged[i] = Some(d);
+            }
+        }
+    }
+
+    if let Some(e) = rejected {
+        wire::write_error(&e, out);
+    } else if lost_any {
+        wire::write_overloaded(out);
+    } else {
+        let responses: Vec<DecisionResponse> = merged
+            .into_iter()
+            .map(|d| d.expect("every group gathered or the batch was shed"))
+            .collect();
+        wire::write_batch_reply(&responses, out);
+    }
+}
+
+fn parse_reply_line(line: &[u8]) -> std::io::Result<ServerMessage> {
+    let text = std::str::from_utf8(line)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    wire::parse_server_message(text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Outcome of fanning one raw reload line out to every shard.
+enum FanoutOutcome {
+    Converged(ReloadReport),
+    Mismatch(ReloadMismatch),
+    Failed(String),
+}
+
+/// Ship the client's raw `Reload`/`ReloadDelta` line to every shard
+/// (scatter first, gather after, so the engine compiles overlap), then
+/// verify the fleet converged to one serving checksum.
+fn fanout_reload(conns: &mut BackendConns, shared: &Shared, raw_line: &[u8]) -> FanoutOutcome {
+    let nslots = shared.backends.len();
+    let mut sent: Vec<bool> = vec![false; nslots];
+    for (slot, sent) in sent.iter_mut().enumerate() {
+        *sent = match conns.get(shared, slot) {
+            Ok(c) => c.send_raw(raw_line).is_ok(),
+            Err(_) => false,
+        };
+    }
+    let mut report: Option<ReloadReport> = None;
+    let mut mismatch: Option<ReloadMismatch> = None;
+    let mut failure: Option<String> = None;
+    for slot in 0..nslots {
+        if !sent[slot] {
+            shared.mark(slot, false);
+            failure.get_or_insert_with(|| format!("shard {slot} unreachable during reload"));
+            continue;
+        }
+        let client = conns.get(shared, slot).expect("sent over a live conn");
+        let res = client.read_reply_raw().and_then(parse_reply_line);
+        if client.is_broken() {
+            conns.drop_slot(slot);
+            shared.mark(slot, false);
+        }
+        match res {
+            Ok(ServerMessage::Reloaded(r)) => {
+                report = Some(match report.take() {
+                    // Report the fleet floor: the *lowest* generation
+                    // any shard is serving.
+                    Some(prev) if prev.generation <= r.generation => prev,
+                    _ => r,
+                });
+            }
+            Ok(ServerMessage::ReloadBaseMismatch(m)) => {
+                mismatch.get_or_insert(m);
+            }
+            Ok(ServerMessage::Error(e)) => {
+                failure.get_or_insert_with(|| format!("shard {slot} rejected reload: {e}"));
+            }
+            Ok(other) => {
+                failure.get_or_insert_with(|| {
+                    format!("shard {slot} answered unexpectedly: {other:?}")
+                });
+            }
+            Err(e) => {
+                failure.get_or_insert_with(|| format!("shard {slot} failed during reload: {e}"));
+            }
+        }
+    }
+    if let Some(m) = mismatch {
+        // At least one shard is serving a different base; the caller
+        // must fall back to a full `Reload` (which resynchronizes any
+        // shard that *did* apply the delta — reloads are idempotent).
+        return FanoutOutcome::Mismatch(m);
+    }
+    if let Some(e) = failure {
+        return FanoutOutcome::Failed(e);
+    }
+    // Every shard applied: verify they converged to one checksum.
+    let mut checksum: Option<u64> = None;
+    for slot in 0..nslots {
+        let probed = conns
+            .get(shared, slot)
+            .and_then(|c| c.health())
+            .map(|h| h.list_checksum);
+        match probed {
+            Ok(c) => {
+                shared.backends[slot]
+                    .last_checksum
+                    .store(c, Ordering::SeqCst);
+                match checksum {
+                    None => checksum = Some(c),
+                    Some(prev) if prev == c => {}
+                    Some(prev) => {
+                        return FanoutOutcome::Failed(format!(
+                            "fleet diverged after reload: shard {slot} serves checksum {c:#x}, \
+                             earlier shards serve {prev:#x}"
+                        ));
+                    }
+                }
+            }
+            Err(e) => {
+                shared.mark(slot, false);
+                return FanoutOutcome::Failed(format!(
+                    "shard {slot} unreachable during convergence check: {e}"
+                ));
+            }
+        }
+    }
+    FanoutOutcome::Converged(report.expect("at least one shard reloaded"))
+}
+
+/// Aggregate fleet health: worst state wins, generation and reloads
+/// report the fleet floor, counters sum, and `list_checksum` is the
+/// common serving checksum — or 0 when the fleet disagrees, which is
+/// exactly the "not converged" signal operators watch for.
+fn aggregate_health(conns: &mut BackendConns, shared: &Shared) -> HealthReport {
+    let mut agg = HealthReport {
+        state: HealthState::Ok,
+        generation: u64::MAX,
+        reloads: u64::MAX,
+        shard_restarts: Vec::new(),
+        shed: 0,
+        deadline_timeouts: 0,
+        list_checksum: 0,
+    };
+    let mut checksum: Option<u64> = None;
+    let mut diverged = false;
+    let mut reached = 0usize;
+    for slot in 0..shared.backends.len() {
+        match conns.get(shared, slot).and_then(|c| c.health()) {
+            Ok(h) => {
+                reached += 1;
+                agg.state = worst_state(agg.state, h.state);
+                agg.generation = agg.generation.min(h.generation);
+                agg.reloads = agg.reloads.min(h.reloads);
+                agg.shard_restarts.extend(h.shard_restarts);
+                agg.shed += h.shed;
+                agg.deadline_timeouts += h.deadline_timeouts;
+                match checksum {
+                    None => checksum = Some(h.list_checksum),
+                    Some(prev) if prev == h.list_checksum => {}
+                    Some(_) => diverged = true,
+                }
+            }
+            Err(_) => {
+                shared.mark(slot, false);
+                agg.state = worst_state(agg.state, HealthState::Degraded);
+            }
+        }
+    }
+    if reached == 0 {
+        agg.generation = 0;
+        agg.reloads = 0;
+    }
+    agg.list_checksum = match (checksum, diverged) {
+        (Some(c), false) => c,
+        _ => 0,
+    };
+    agg
+}
+
+fn worst_state(a: HealthState, b: HealthState) -> HealthState {
+    fn rank(s: HealthState) -> u8 {
+        match s {
+            HealthState::Ok => 0,
+            HealthState::Degraded => 1,
+            HealthState::Draining => 2,
+        }
+    }
+    if rank(b) > rank(a) {
+        b
+    } else {
+        a
+    }
+}
+
+/// Sum fleet statistics; latency percentiles report the slowest shard
+/// (the tail a fleet client actually experiences).
+fn aggregate_stats(conns: &mut BackendConns, shared: &Shared) -> StatsReport {
+    let mut agg = StatsReport {
+        requests: 0,
+        cache_hits: 0,
+        blocks: 0,
+        exceptions: 0,
+        p50_us: 0,
+        p99_us: 0,
+        shards: Vec::new(),
+    };
+    for slot in 0..shared.backends.len() {
+        if let Ok(s) = conns.get(shared, slot).and_then(|c| c.stats()) {
+            agg.requests += s.requests;
+            agg.cache_hits += s.cache_hits;
+            agg.blocks += s.blocks;
+            agg.exceptions += s.exceptions;
+            agg.p50_us = agg.p50_us.max(s.p50_us);
+            agg.p99_us = agg.p99_us.max(s.p99_us);
+            agg.shards.extend(s.shards);
+        }
+    }
+    agg
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = Vec::new();
+    let mut out: Vec<u8> = Vec::with_capacity(4096);
+    let mut conns = BackendConns::new(shared.backends.len());
+
+    loop {
+        out.clear();
+        match wire::read_line_limited(&mut reader, &mut line, shared.max_line_bytes) {
+            Err(_) | Ok(LineRead::Eof) | Ok(LineRead::EofMidLine) => return,
+            Ok(LineRead::TooLong(n)) => {
+                wire::write_error(
+                    &format!(
+                        "request line too long: {n} bytes exceeds the {} byte limit",
+                        shared.max_line_bytes
+                    ),
+                    &mut out,
+                );
+            }
+            Ok(LineRead::Line) => match std::str::from_utf8(&line) {
+                Err(_) => {
+                    wire::write_error("unparseable message: request line is not UTF-8", &mut out);
+                }
+                Ok(text) if text.trim().is_empty() => continue,
+                Ok(text) => match wire::parse_client_message(text) {
+                    Err(e) => wire::write_error(&format!("unparseable message: {e}"), &mut out),
+                    Ok(ClientMessageRef::Ping) => wire::write_pong(&mut out),
+                    Ok(ClientMessageRef::Stats) => {
+                        wire::write_stats_reply(&aggregate_stats(&mut conns, shared), &mut out)
+                    }
+                    Ok(ClientMessageRef::Health) => {
+                        wire::write_health_reply(&aggregate_health(&mut conns, shared), &mut out)
+                    }
+                    Ok(ClientMessageRef::Decide(req)) => {
+                        let owned = req.to_owned_request();
+                        route_one(&mut conns, shared, &owned, &mut out);
+                    }
+                    Ok(ClientMessageRef::DecideBatch(reqs)) => {
+                        let owned: Vec<DecisionRequest> =
+                            reqs.iter().map(|r| r.to_owned_request()).collect();
+                        route_batch(&mut conns, shared, &owned, &mut out);
+                    }
+                    Ok(ClientMessageRef::Reload(_)) | Ok(ClientMessageRef::ReloadDelta(_)) => {
+                        // Forward the client's bytes verbatim — reload
+                        // lines carry whole list bodies and re-encoding
+                        // them would double the copy.
+                        match fanout_reload(&mut conns, shared, &line) {
+                            FanoutOutcome::Converged(r) => wire::write_reloaded(&r, &mut out),
+                            FanoutOutcome::Mismatch(m) => {
+                                wire::write_reload_base_mismatch(&m, &mut out)
+                            }
+                            FanoutOutcome::Failed(e) => wire::write_error(&e, &mut out),
+                        }
+                    }
+                    Ok(ClientMessageRef::Shutdown) => {
+                        // Take the fleet down with the router: each
+                        // shard gets the verb over this thread's cached
+                        // connection (or a fresh one).
+                        for slot in 0..shared.backends.len() {
+                            let _ = conns.get(shared, slot).and_then(|c| c.shutdown_server());
+                        }
+                        wire::write_shutting_down(&mut out);
+                        out.push(b'\n');
+                        let _ = writer.write_all(&out);
+                        trigger_stop(shared, addr);
+                        return;
+                    }
+                },
+            },
+        }
+        out.push(b'\n');
+        if writer.write_all(&out).is_err() {
+            return;
+        }
+    }
+}

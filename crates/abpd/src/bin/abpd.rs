@@ -14,13 +14,19 @@
 //! fail with a `DeadlineExceeded` error instead of queuing forever);
 //! `--shed-watermark` sets the queue-depth fraction past which new
 //! batches are answered `Overloaded` immediately. `--watch FILE` polls
-//! a whitelist file and pushes changed content through the `Reload`
-//! verb — a malformed revision is rejected server-side and the old
-//! engine keeps serving. The `ABPD_FAULTS` environment variable arms
-//! deterministic fault injection for chaos runs (see `abpd::faults`).
+//! a whitelist file and pushes changed content through the
+//! `ReloadDelta` verb — a copy/insert patch against the last body the
+//! server acknowledged, orders of magnitude smaller on the wire than
+//! re-shipping the list. If the server reports a base mismatch (it
+//! restarted, or another supervisor reloaded it) the watcher falls
+//! back to one full `Reload` and is back in delta lockstep from the
+//! next change on. A malformed revision is rejected server-side either
+//! way and the old engine keeps serving. The `ABPD_FAULTS` environment
+//! variable arms deterministic fault injection for chaos runs (see
+//! `abpd::faults`).
 
-use abpd::protocol::ReloadList;
-use abpd::{Client, FaultConfig, Server, ServerConfig};
+use abpd::protocol::{ReloadDeltaList, ReloadList};
+use abpd::{Client, FaultConfig, ReloadDeltaOutcome, Server, ServerConfig};
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -39,13 +45,23 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     }
 }
 
-/// Poll `path` every `interval`; when its content changes, push the
-/// new whitelist (paired with the unchanged EasyList text) through the
-/// `Reload` verb over a loopback connection. Server-side validation
-/// rejects garbage, so a half-written file cannot take down serving.
-/// Each reload uses a fresh short-lived connection: `Shutdown` drains
-/// open connections, so a persistent watch client would wedge it.
-fn watch_loop(addr: SocketAddr, path: String, interval: Duration, easylist: String) {
+/// Poll `path` every `interval`; when its content changes, ship a
+/// `ReloadDelta` patch computed against `acked` — the last whitelist
+/// body the server acknowledged serving (the boot body at first).
+/// A base mismatch means the server's body is not what we last shipped
+/// (it restarted, or someone else reloaded it): fall back to one full
+/// `Reload` (paired with the unchanged EasyList text) to resync.
+/// Server-side validation rejects garbage either way, so a
+/// half-written file cannot take down serving. Each push uses a fresh
+/// short-lived connection: `Shutdown` drains open connections, so a
+/// persistent watch client would wedge it.
+fn watch_loop(
+    addr: SocketAddr,
+    path: String,
+    interval: Duration,
+    easylist: String,
+    mut acked: String,
+) {
     let mut last: Option<String> = None;
     loop {
         std::thread::sleep(interval);
@@ -66,23 +82,56 @@ fn watch_loop(addr: SocketAddr, path: String, interval: Duration, easylist: Stri
                 continue;
             }
         };
-        let lists = [
-            ReloadList {
-                source: abp::ListSource::EasyList,
-                content: easylist.clone(),
-            },
-            ReloadList {
-                source: abp::ListSource::AcceptableAds,
-                content: content.clone(),
-            },
-        ];
-        match client.reload(&lists) {
-            Ok(report) => {
+        let update = [ReloadDeltaList {
+            source: abp::ListSource::AcceptableAds,
+            delta: abpdelta::encode(&acked, &content),
+        }];
+        match client.reload_delta(&update) {
+            Ok(ReloadDeltaOutcome::Applied(report)) => {
                 eprintln!(
-                    "abpd: watch: reloaded {path} -> generation {} ({} filters)",
-                    report.generation, report.filters
+                    "abpd: watch: delta-reloaded {path} -> generation {} ({} filters, \
+                     {} bytes inserted of {})",
+                    report.generation,
+                    report.filters,
+                    update[0].delta.insert_bytes(),
+                    content.len()
                 );
+                acked = content.clone();
                 last = Some(content);
+            }
+            Ok(ReloadDeltaOutcome::BaseMismatch(m)) => {
+                eprintln!(
+                    "abpd: watch: server serves a different base (checksum {:016x}, \
+                     generation {}); falling back to a full reload",
+                    m.serving_check, m.generation
+                );
+                let lists = [
+                    ReloadList {
+                        source: abp::ListSource::EasyList,
+                        content: easylist.clone(),
+                    },
+                    ReloadList {
+                        source: abp::ListSource::AcceptableAds,
+                        content: content.clone(),
+                    },
+                ];
+                match client.reload(&lists) {
+                    Ok(report) => {
+                        eprintln!(
+                            "abpd: watch: reloaded {path} -> generation {} ({} filters)",
+                            report.generation, report.filters
+                        );
+                        acked = content.clone();
+                        last = Some(content);
+                    }
+                    Err(e) if client.is_broken() => {
+                        eprintln!("abpd: watch: reload transport error: {e}");
+                    }
+                    Err(e) => {
+                        eprintln!("abpd: watch: reload rejected, keeping old engine: {e}");
+                        last = Some(content);
+                    }
+                }
             }
             Err(e) if client.is_broken() => {
                 // Transport trouble: retry the same revision next tick.
@@ -144,8 +193,21 @@ fn main() {
 
     eprintln!("abpd: generating corpus (seed {seed})...");
     let corpus = corpus::Corpus::generate(seed);
-    let engine = abp::Engine::from_lists([&corpus.easylist, &corpus.whitelist]);
-    let server = Server::start(engine, &config).unwrap_or_else(|e| {
+    let easylist = corpus.easylist.to_text();
+    let whitelist = corpus.whitelist.to_text();
+    // Keep the list bodies server-side so `ReloadDelta` has a base to
+    // patch and `Health` reports the serving checksum.
+    let lists = vec![
+        ReloadList {
+            source: abp::ListSource::EasyList,
+            content: easylist.clone(),
+        },
+        ReloadList {
+            source: abp::ListSource::AcceptableAds,
+            content: whitelist.clone(),
+        },
+    ];
+    let server = Server::start_with_lists(lists, &config).unwrap_or_else(|e| {
         eprintln!("abpd: cannot bind {}: {e}", config.addr);
         std::process::exit(1);
     });
@@ -157,12 +219,11 @@ fn main() {
     );
     if let Some(path) = watch {
         let addr = server.local_addr();
-        let easylist = corpus.easylist.to_text();
         let interval = Duration::from_millis(watch_interval.max(1));
         eprintln!("abpd: watching {path} every {}ms", interval.as_millis());
         std::thread::Builder::new()
             .name("abpd-watch".to_string())
-            .spawn(move || watch_loop(addr, path, interval, easylist))
+            .spawn(move || watch_loop(addr, path, interval, easylist, whitelist))
             .expect("spawn watch thread");
     }
     server.join();

@@ -26,8 +26,8 @@
 
 use crate::faults::splitmix64;
 use crate::protocol::{
-    DecisionRequest, DecisionResponse, HealthReport, ReloadList, ReloadReport, ServerMessage,
-    StatsReport,
+    DecisionRequest, DecisionResponse, HealthReport, ReloadDeltaList, ReloadList, ReloadMismatch,
+    ReloadReport, ServerMessage, StatsReport,
 };
 use crate::wire::{self, LineRead};
 use std::collections::VecDeque;
@@ -65,6 +65,17 @@ pub fn is_overloaded(e: &std::io::Error) -> bool {
 
 fn overloaded_error() -> std::io::Error {
     std::io::Error::other(OverloadedError)
+}
+
+/// What the server said to a [`Client::reload_delta`].
+#[derive(Debug, Clone)]
+pub enum ReloadDeltaOutcome {
+    /// Every delta applied; the server swapped in the new generation.
+    Applied(ReloadReport),
+    /// The server's serving body is not the delta's base — send a full
+    /// `Reload` instead. Carries the server's serving checksum and
+    /// generation for the mismatched list.
+    BaseMismatch(ReloadMismatch),
 }
 
 /// A connected abpd client.
@@ -369,6 +380,79 @@ impl Client {
             ServerMessage::Reloaded(r) => Ok(r),
             ServerMessage::Error(e) => Err(protocol_error(e)),
             other => Err(protocol_error(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Ship list deltas instead of full bodies. `BaseMismatch` is a
+    /// *negotiation* outcome, not an error: the server's serving body
+    /// differs from the delta's base, so the caller should follow up
+    /// with a full [`Client::reload`]. Malformed deltas surface as
+    /// `InvalidData` errors like any other rejected reload.
+    pub fn reload_delta(
+        &mut self,
+        deltas: &[ReloadDeltaList],
+    ) -> std::io::Result<ReloadDeltaOutcome> {
+        self.ensure_usable()?;
+        wire::write_reload_delta(deltas, &mut self.wbuf);
+        self.wbuf.push(b'\n');
+        self.send()?;
+        match self.read_reply()? {
+            ServerMessage::Reloaded(r) => Ok(ReloadDeltaOutcome::Applied(r)),
+            ServerMessage::ReloadBaseMismatch(m) => Ok(ReloadDeltaOutcome::BaseMismatch(m)),
+            ServerMessage::Error(e) => Err(protocol_error(e)),
+            other => Err(protocol_error(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Send one pre-encoded request line (without its newline) as-is.
+    /// Exists for proxies that forward lines verbatim instead of
+    /// re-encoding; pair each call with [`Client::read_reply_raw`].
+    pub fn send_raw(&mut self, line_body: &[u8]) -> std::io::Result<()> {
+        self.ensure_usable()?;
+        self.wbuf.extend_from_slice(line_body);
+        self.wbuf.push(b'\n');
+        self.send()
+    }
+
+    /// Read one raw reply line (without its newline). The bytes stay
+    /// valid until the next read on this client. Transport failures
+    /// poison the connection exactly like the typed reads.
+    pub fn read_reply_raw(&mut self) -> std::io::Result<&[u8]> {
+        let read = wire::read_line_limited(&mut self.reader, &mut self.line, self.max_reply_bytes)
+            .map_err(|e| {
+                self.broken = true;
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "timed out waiting for a reply",
+                    )
+                } else {
+                    e
+                }
+            })?;
+        match read {
+            LineRead::Line => Ok(&self.line),
+            LineRead::Eof => {
+                self.broken = true;
+                Err(protocol_error("server closed the connection"))
+            }
+            LineRead::EofMidLine => {
+                self.broken = true;
+                Err(protocol_error(format!(
+                    "truncated reply: connection closed after {} bytes of an unterminated line",
+                    self.line.len()
+                )))
+            }
+            LineRead::TooLong(n) => {
+                self.broken = true;
+                Err(protocol_error(format!(
+                    "oversized reply: {n} byte line exceeds the {} byte limit",
+                    self.max_reply_bytes
+                )))
+            }
         }
     }
 

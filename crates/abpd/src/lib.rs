@@ -11,12 +11,10 @@
 //! are byte-identical to fresh engine evaluations — property-tested in
 //! this crate's test suite.
 //!
-//! Two binaries ship with the library:
-//!
-//! * `abpd` — serve decisions for the generated corpus
-//!   (EasyList + Acceptable Ads whitelist);
-//! * `abpd-load` — replay synthetic browsing traffic
-//!   ([`websim::traffic`]) against a server and report throughput.
+//! One binary ships with the library: `abpd`, which serves decisions
+//! for the generated corpus (EasyList + Acceptable Ads whitelist).
+//! The load generator (`abpd-load`) and the fleet router
+//! (`abpd-proxy`) live in the `abpd-proxy` crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,11 +28,11 @@ pub mod server;
 pub mod service;
 pub mod wire;
 
-pub use client::{Client, RetryClient, RetryPolicy};
+pub use client::{Client, ReloadDeltaOutcome, RetryClient, RetryPolicy};
 pub use faults::FaultConfig;
 pub use protocol::{DecisionRequest, DecisionResponse, HealthReport, HealthState, StatsReport};
 pub use server::{Server, ServerConfig};
-pub use service::{Service, ServiceConfig, ServiceError};
+pub use service::{serving_checksum, ReloadDeltaError, Service, ServiceConfig, ServiceError};
 
 use websim::ecosystem::LoadKind;
 use websim::traffic::TrafficSample;

@@ -143,8 +143,8 @@ proptest! {
 mod wire_equivalence {
     use super::*;
     use crate::protocol::{
-        ClientMessage, DecisionResponse, HealthReport, HealthState, ReloadList, ReloadReport,
-        ServerMessage, ShardStats, StatsReport,
+        ClientMessage, DecisionResponse, HealthReport, HealthState, ReloadDeltaList, ReloadList,
+        ReloadMismatch, ReloadReport, ServerMessage, ShardStats, StatsReport,
     };
     use crate::wire;
     use abp::{Activation, Decision, ListSource, MatchKind, RequestOutcome};
@@ -168,6 +168,7 @@ mod wire_equivalence {
                     })
                     .collect(),
             ),
+            wire::ClientMessageRef::ReloadDelta(ds) => ClientMessage::ReloadDelta(ds),
             wire::ClientMessageRef::Health => ClientMessage::Health,
             wire::ClientMessageRef::Shutdown => ClientMessage::Shutdown,
         }
@@ -243,6 +244,19 @@ mod wire_equivalence {
                         })
                         .collect(),
                 ),
+                ClientMessage::ReloadDelta(
+                    urls.iter()
+                        .enumerate()
+                        .map(|(i, u)| ReloadDeltaList {
+                            source: if i % 2 == 0 {
+                                ListSource::AcceptableAds
+                            } else {
+                                ListSource::Custom
+                            },
+                            delta: abpdelta::encode(&document, u),
+                        })
+                        .collect(),
+                ),
                 ClientMessage::Health,
             ];
             for msg in extra {
@@ -252,6 +266,7 @@ mod wire_equivalence {
                 let mut hand = Vec::new();
                 match &msg {
                     ClientMessage::Reload(ls) => wire::write_reload(ls, &mut hand),
+                    ClientMessage::ReloadDelta(ds) => wire::write_reload_delta(ds, &mut hand),
                     ClientMessage::Health => wire::write_health_request(&mut hand),
                     _ => unreachable!(),
                 }
@@ -352,6 +367,12 @@ mod wire_equivalence {
                     shard_restarts: counters[..batch_len.min(5)].to_vec(),
                     shed: counters[4],
                     deadline_timeouts: counters[0],
+                    list_checksum: counters[1],
+                }),
+                ServerMessage::ReloadBaseMismatch(ReloadMismatch {
+                    source,
+                    serving_check: counters[2],
+                    generation: counters[3],
                 }),
                 ServerMessage::Overloaded,
                 ServerMessage::ShuttingDown,
@@ -369,6 +390,9 @@ mod wire_equivalence {
                     ServerMessage::Stats(s) => wire::write_stats_reply(s, &mut hand),
                     ServerMessage::Pong => wire::write_pong(&mut hand),
                     ServerMessage::Reloaded(r) => wire::write_reloaded(r, &mut hand),
+                    ServerMessage::ReloadBaseMismatch(m) => {
+                        wire::write_reload_base_mismatch(m, &mut hand)
+                    }
                     ServerMessage::Health(h) => wire::write_health_reply(h, &mut hand),
                     ServerMessage::Overloaded => wire::write_overloaded(&mut hand),
                     ServerMessage::ShuttingDown => wire::write_shutting_down(&mut hand),

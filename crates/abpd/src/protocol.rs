@@ -85,6 +85,32 @@ pub struct ReloadList {
     pub content: String,
 }
 
+/// One filter list shipped incrementally in a `ReloadDelta`: the
+/// subscription slot plus a delta program encoded against the body
+/// the server is currently serving for that slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReloadDeltaList {
+    /// Which subscription slot this delta updates.
+    pub source: ListSource,
+    /// Copy/insert program against the serving body, carrying the
+    /// base and target checksums that gate application.
+    pub delta: abpdelta::Delta,
+}
+
+/// A `ReloadDelta` was refused because the server's serving body for
+/// `source` is not the base the delta was encoded against. The sender
+/// should fall back to a full `Reload`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReloadMismatch {
+    /// The slot whose base did not match.
+    pub source: ListSource,
+    /// Strong checksum of the body the server is actually serving for
+    /// that slot (0 when the server holds no body for it).
+    pub serving_check: u64,
+    /// The engine generation still serving (the reload did not apply).
+    pub generation: u64,
+}
+
 /// Acknowledges a successful `Reload`.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReloadReport {
@@ -160,6 +186,13 @@ pub struct HealthReport {
     pub shed: u64,
     /// Batches failed because their evaluation deadline passed.
     pub deadline_timeouts: u64,
+    /// Strong checksum ([`abpdelta::strong_checksum`]) of the serving
+    /// filter list bodies, canonically ordered — comparable across
+    /// processes, unlike `generation`. A fleet router uses this to
+    /// verify cross-shard convergence after a reload. 0 when the
+    /// server was started from a pre-compiled engine and has no
+    /// bodies to checksum.
+    pub list_checksum: u64,
 }
 
 /// Every message a client can send.
@@ -178,6 +211,13 @@ pub enum ClientMessage {
     /// on success or `Error` (with a bounded report) on rejection —
     /// the previous engine keeps serving in that case.
     Reload(Vec<ReloadList>),
+    /// Incrementally update the serving filter lists: apply each delta
+    /// to the corresponding serving body, then compile and swap like
+    /// `Reload`. Slots not mentioned keep their current body. Answered
+    /// by `Reloaded` on success, `ReloadBaseMismatch` when a delta's
+    /// base checksum does not match the serving body (the sender
+    /// should fall back to a full `Reload`), or `Error` on rejection.
+    ReloadDelta(Vec<ReloadDeltaList>),
     /// Fetch service health (state, generation, restart counters).
     Health,
     /// Ask the server to stop accepting connections and drain.
@@ -197,6 +237,9 @@ pub enum ServerMessage {
     Pong,
     /// Acknowledges a successful `Reload`.
     Reloaded(ReloadReport),
+    /// Refuses a `ReloadDelta` whose base does not match the serving
+    /// body; carries the serving checksum so the sender can resync.
+    ReloadBaseMismatch(ReloadMismatch),
     /// Health for a `Health`.
     Health(HealthReport),
     /// The work was shed before evaluation: queues are past their
@@ -282,6 +325,10 @@ mod tests {
                 source: ListSource::AcceptableAds,
                 content: "@@||ads.example^\n! comment\n".to_string(),
             }]),
+            ClientMessage::ReloadDelta(vec![ReloadDeltaList {
+                source: ListSource::AcceptableAds,
+                delta: abpdelta::encode("@@||old.example^\n", "@@||new.example^\n"),
+            }]),
             ClientMessage::Health,
         ];
         for m in &msgs {
@@ -294,6 +341,11 @@ mod tests {
                 generation: 3,
                 filters: 412,
             }),
+            ServerMessage::ReloadBaseMismatch(ReloadMismatch {
+                source: ListSource::AcceptableAds,
+                serving_check: 0x1234_5678_9abc_def0,
+                generation: 3,
+            }),
             ServerMessage::Health(HealthReport {
                 state: HealthState::Degraded,
                 generation: 2,
@@ -301,6 +353,7 @@ mod tests {
                 shard_restarts: vec![0, 3, 1],
                 shed: 17,
                 deadline_timeouts: 4,
+                list_checksum: 0xfeed_beef_cafe_f00d,
             }),
             ServerMessage::Overloaded,
         ];

@@ -22,13 +22,13 @@
 
 use crate::faults::{FaultPlan, WriteFault};
 use crate::protocol::ReloadList;
-use crate::service::{Service, ServiceConfig, ServiceError};
+use crate::service::{ReloadDeltaError, Service, ServiceConfig, ServiceError};
 use crate::wire::{self, ClientMessageRef, LineRead};
 use abp::Engine;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -62,6 +62,12 @@ struct Shared {
     service: Service,
     running: AtomicBool,
     open_connections: AtomicUsize,
+    /// Monotonic connection ids for the socket registry below.
+    conn_seq: AtomicU64,
+    /// Duplicate handles for every open connection socket, so
+    /// [`Server::kill`] can slam them shut without waiting for the
+    /// graceful drain. Touched once per connection, never per request.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
     max_line_bytes: usize,
     /// Write-path fault plan (torn writes / disconnects); `None` in
     /// production. Evaluation faults live inside the service.
@@ -79,6 +85,24 @@ pub struct Server {
 impl Server {
     /// Bind and start serving `engine` decisions.
     pub fn start(engine: Engine, config: &ServerConfig) -> std::io::Result<Server> {
+        let service = Service::start(engine, &config.service);
+        Server::start_with_service(service, config)
+    }
+
+    /// Bind and start serving decisions compiled from `lists`, keeping
+    /// the list bodies around so `ReloadDelta` has a base to patch and
+    /// `Health` can report the serving checksum. Compilation failures
+    /// surface as `io::Error` so callers have one error path.
+    pub fn start_with_lists(
+        lists: Vec<ReloadList>,
+        config: &ServerConfig,
+    ) -> std::io::Result<Server> {
+        let service =
+            Service::start_with_lists(lists, &config.service).map_err(std::io::Error::other)?;
+        Server::start_with_service(service, config)
+    }
+
+    fn start_with_service(service: Service, config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let write_faults = config
@@ -89,9 +113,11 @@ impl Server {
             .cloned()
             .map(FaultPlan::new);
         let shared = Arc::new(Shared {
-            service: Service::start(engine, &config.service),
+            service,
             running: AtomicBool::new(true),
             open_connections: AtomicUsize::new(0),
+            conn_seq: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
             max_line_bytes: config.max_line_bytes.max(64),
             write_faults,
         });
@@ -111,13 +137,17 @@ impl Server {
                         let _ = stream.set_nodelay(true);
                         let shared = shared.clone();
                         shared.open_connections.fetch_add(1, Ordering::SeqCst);
+                        let conn_id = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
+                        if let Ok(dup) = stream.try_clone() {
+                            shared.conns.lock().unwrap().push((conn_id, dup));
+                        }
                         let _ = std::thread::Builder::new()
                             .name("abpd-conn".to_string())
                             .spawn(move || {
                                 // Decrement via a guard so a panic in the
                                 // handler can't leak the counter and wedge
                                 // the shutdown drain loop.
-                                let _open = ConnGuard(&shared);
+                                let _open = ConnGuard(&shared, conn_id);
                                 let addr = local_addr;
                                 handle_connection(stream, &shared, addr);
                             });
@@ -167,6 +197,23 @@ impl Server {
             let _ = a.join();
         }
         // All connections closed; the service drains on drop.
+    }
+
+    /// Abrupt stop for chaos drills: stop accepting, then slam every
+    /// open connection socket shut instead of draining. In-flight
+    /// requests die mid-line — from a peer's point of view this is the
+    /// process being killed, which is exactly what fleet failover
+    /// exercises need from an in-process shard.
+    pub fn kill(mut self) {
+        trigger_stop(&self.shared, self.local_addr);
+        for (_, conn) in self.shared.conns.lock().unwrap().iter() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        // Connection threads exit on their next (failing) read; the
+        // acceptor's drain loop then sees zero open connections.
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
     }
 
     /// Block until the server stops (via the `Shutdown` verb).
@@ -236,12 +283,13 @@ fn flush_if_read_would_block(
     }
 }
 
-/// Drops `open_connections` by one when the connection thread exits,
-/// however it exits.
-struct ConnGuard<'a>(&'a Shared);
+/// Drops `open_connections` by one and deregisters the socket when the
+/// connection thread exits, however it exits.
+struct ConnGuard<'a>(&'a Shared, u64);
 
 impl Drop for ConnGuard<'_> {
     fn drop(&mut self) {
+        self.0.conns.lock().unwrap().retain(|(id, _)| *id != self.1);
         self.0.open_connections.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -335,6 +383,26 @@ fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
                             match shared.service.reload(&owned) {
                                 Ok(report) => wire::write_reloaded(&report, &mut out),
                                 Err(e) => wire::write_error(&e, &mut out),
+                            }
+                        }
+                        Ok(ClientMessageRef::ReloadDelta(deltas)) => {
+                            match shared.service.reload_delta(&deltas) {
+                                Ok(report) => wire::write_reloaded(&report, &mut out),
+                                Err(ReloadDeltaError::BaseMismatch {
+                                    source,
+                                    serving_check,
+                                    generation,
+                                }) => wire::write_reload_base_mismatch(
+                                    &crate::protocol::ReloadMismatch {
+                                        source,
+                                        serving_check,
+                                        generation,
+                                    },
+                                    &mut out,
+                                ),
+                                Err(ReloadDeltaError::Rejected(e)) => {
+                                    wire::write_error(&e, &mut out)
+                                }
                             }
                         }
                         Ok(ClientMessageRef::Health) => {

@@ -42,13 +42,13 @@ use crate::cache::{request_key_hash, DecisionCache, StoredKey};
 use crate::faults::{EvalFault, FaultConfig, FaultPlan};
 use crate::metrics::Metrics;
 use crate::protocol::{
-    DecisionRequest, DecisionResponse, HealthReport, HealthState, ReloadList, ReloadReport,
-    StatsReport,
+    DecisionRequest, DecisionResponse, HealthReport, HealthState, ReloadDeltaList, ReloadList,
+    ReloadReport, StatsReport,
 };
 use crate::wire::DecisionRequestRef;
-use abp::{Decision, Engine, FilterList, Request, RequestOutcome};
+use abp::{Decision, Engine, FilterList, ListSource, Request, RequestOutcome};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -139,7 +139,78 @@ struct EngineSnapshot {
     generation: u64,
     engine: Arc<Engine>,
     filter_count: usize,
+    /// The list bodies this engine was compiled from — the bases that
+    /// [`Service::reload_delta`] patches. Empty when the service was
+    /// started from a pre-compiled engine ([`Service::start`]), in
+    /// which case every delta reports a base mismatch and the sender
+    /// falls back to a full `Reload`.
+    lists: Arc<Vec<ReloadList>>,
+    /// [`serving_checksum`] of `lists` (0 when `lists` is empty).
+    list_checksum: u64,
 }
+
+/// Strong checksum over a set of serving list bodies, canonically
+/// ordered by [`ListSource`] so two shards that loaded the same bodies
+/// — in any order — report the same value. Returns 0 for an empty set
+/// (a service started from a pre-compiled engine has no bodies).
+pub fn serving_checksum(lists: &[ReloadList]) -> u64 {
+    if lists.is_empty() {
+        return 0;
+    }
+    let mut h = abpdelta::StrongHasher::new();
+    for source in [
+        ListSource::EasyList,
+        ListSource::AcceptableAds,
+        ListSource::Custom,
+    ] {
+        for l in lists.iter().filter(|l| l.source == source) {
+            // Tag + length prefix: no concatenation ambiguity between
+            // slots or between adjacent bodies of the same slot.
+            h.update(&[source as u8 + 1]);
+            h.update(&(l.content.len() as u64).to_le_bytes());
+            h.update(l.content.as_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// Why a [`Service::reload_delta`] was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReloadDeltaError {
+    /// The serving body for `source` is not the base the delta was
+    /// encoded against (or the service holds no body for that slot).
+    /// The sender should fall back to a full `Reload`.
+    BaseMismatch {
+        /// The slot whose base did not match.
+        source: ListSource,
+        /// Strong checksum of the body actually serving for that slot
+        /// (0 when the service holds none).
+        serving_check: u64,
+        /// The engine generation still serving.
+        generation: u64,
+    },
+    /// The delta was corrupt or the patched list failed reload
+    /// validation; the previous engine keeps serving.
+    Rejected(String),
+}
+
+impl fmt::Display for ReloadDeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReloadDeltaError::BaseMismatch {
+                source,
+                serving_check,
+                generation,
+            } => write!(
+                f,
+                "delta base mismatch for {source:?}: serving checksum {serving_check:#018x} at generation {generation}"
+            ),
+            ReloadDeltaError::Rejected(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReloadDeltaError {}
 
 /// One cache miss staged for shard evaluation.
 struct MissItem {
@@ -274,6 +345,10 @@ struct ServiceShared {
     down: AtomicUsize,
     /// Successful reloads since startup.
     reloads: AtomicU64,
+    /// Serializes `reload`/`reload_delta`: a delta is applied against
+    /// the serving bodies, so two concurrent reloads must not
+    /// interleave between reading the bases and swapping the snapshot.
+    reload_lock: Mutex<()>,
     /// Set once shutdown begins; `Health` reports `draining`.
     draining: std::sync::atomic::AtomicBool,
     faults: Option<FaultPlan>,
@@ -432,6 +507,49 @@ fn spawn_supervisor(
         .expect("spawn supervisor")
 }
 
+/// Validate filter list payloads and compile them into an engine —
+/// the shared front half of [`Service::start_with_lists`] and both
+/// reload paths.
+fn compile_lists(lists: &[ReloadList]) -> Result<Engine, String> {
+    let mut parsed = Vec::with_capacity(lists.len());
+    for list in lists {
+        let fl = FilterList::parse(list.source, &list.content);
+        // The filter grammar is nearly total — almost any line
+        // parses as a blocking pattern — so garbage payloads (an
+        // HTML error page, a truncated download) mostly "parse".
+        // Real request patterns never contain embedded whitespace
+        // (only element-hiding selectors do), so whitespace-bearing
+        // request filters count as malformed alongside lines the
+        // parser itself rejected.
+        let mut bad: Vec<&str> = fl.invalid_lines().collect();
+        let invalid = bad.len();
+        bad.extend(
+            fl.filters()
+                .filter(|f| f.as_request().is_some() && f.raw.contains(char::is_whitespace))
+                .map(|f| f.raw.as_str()),
+        );
+        let candidates = fl.filter_count() + invalid;
+        // Real lists carry a tail of unsupported syntax; reject
+        // only when malformed lines dominate (past 10%), which
+        // means the payload is not a filter list at all.
+        if !bad.is_empty() && bad.len() * 10 > candidates {
+            let mut msg = format!(
+                "reload rejected: {:?} has {} malformed of {} candidate lines (>10%); samples:",
+                list.source,
+                bad.len(),
+                candidates
+            );
+            for line in bad.iter().take(8) {
+                msg.push_str("\n  ");
+                msg.push_str(line);
+            }
+            return Err(msg);
+        }
+        parsed.push(fl);
+    }
+    Ok(Engine::from_lists(parsed.iter()))
+}
+
 /// The running decision service (no networking; see
 /// [`crate::server::Server`] for the TCP front).
 pub struct Service {
@@ -443,15 +561,37 @@ pub struct Service {
 }
 
 impl Service {
-    /// Spawn the worker pool and its supervisor around an engine.
+    /// Spawn the worker pool and its supervisor around a pre-compiled
+    /// engine. The service holds no list bodies in this mode, so
+    /// [`Service::reload_delta`] reports a base mismatch until a full
+    /// [`Service::reload`] establishes them; use
+    /// [`Service::start_with_lists`] when the list text is available.
     pub fn start(engine: Engine, config: &ServiceConfig) -> Service {
+        Service::start_inner(engine, Vec::new(), config)
+    }
+
+    /// Spawn the service from filter list text: validate and compile
+    /// the lists like [`Service::reload`] does, and retain the bodies
+    /// so `ReloadDelta` works from generation 0.
+    pub fn start_with_lists(
+        lists: Vec<ReloadList>,
+        config: &ServiceConfig,
+    ) -> Result<Service, String> {
+        let engine = compile_lists(&lists)?;
+        Ok(Service::start_inner(engine, lists, config))
+    }
+
+    fn start_inner(engine: Engine, lists: Vec<ReloadList>, config: &ServiceConfig) -> Service {
         let shards = config.shards.max(1);
         let filter_count = engine.request_filter_count();
+        let list_checksum = serving_checksum(&lists);
         let shared = Arc::new(ServiceShared {
             snapshot: RwLock::new(Arc::new(EngineSnapshot {
                 generation: 0,
                 engine: Arc::new(engine),
                 filter_count,
+                lists: Arc::new(lists),
+                list_checksum,
             })),
             cache: DecisionCache::new(shards, config.cache_capacity),
             metrics: Metrics::new(shards),
@@ -459,6 +599,7 @@ impl Service {
             jobs_done: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             down: AtomicUsize::new(0),
             reloads: AtomicU64::new(0),
+            reload_lock: Mutex::new(()),
             draining: std::sync::atomic::AtomicBool::new(false),
             faults: config.faults.clone().map(FaultPlan::new),
         });
@@ -763,47 +904,66 @@ impl Service {
     /// exceeds 10%) the previous engine keeps serving untouched and the
     /// error carries a bounded sample of the offending lines.
     pub fn reload(&self, lists: &[ReloadList]) -> Result<ReloadReport, String> {
+        let _guard = self.shared.reload_lock.lock();
+        self.reload_locked(lists.to_vec())
+    }
+
+    /// Apply delta updates to the serving list bodies, then compile and
+    /// swap like [`Service::reload`]. Slots not mentioned keep their
+    /// current body. A delta whose base checksum does not match the
+    /// serving body — or that names a slot the service holds no body
+    /// for — fails with [`ReloadDeltaError::BaseMismatch`] before
+    /// anything is compiled; the sender falls back to a full `Reload`.
+    pub fn reload_delta(
+        &self,
+        deltas: &[ReloadDeltaList],
+    ) -> Result<ReloadReport, ReloadDeltaError> {
+        if deltas.is_empty() {
+            return Err(ReloadDeltaError::Rejected(
+                "ReloadDelta needs at least one delta".to_string(),
+            ));
+        }
+        let _guard = self.shared.reload_lock.lock();
+        let snap = self.shared.snapshot.read().clone();
+        let mut merged: Vec<ReloadList> = snap.lists.as_ref().clone();
+        for d in deltas {
+            let Some(slot) = merged.iter_mut().find(|l| l.source == d.source) else {
+                return Err(ReloadDeltaError::BaseMismatch {
+                    source: d.source,
+                    serving_check: 0,
+                    generation: snap.generation,
+                });
+            };
+            match abpdelta::apply(&slot.content, &d.delta) {
+                Ok(body) => slot.content = body,
+                Err(abpdelta::DeltaError::BaseMismatch { actual, .. }) => {
+                    return Err(ReloadDeltaError::BaseMismatch {
+                        source: d.source,
+                        serving_check: actual,
+                        generation: snap.generation,
+                    });
+                }
+                Err(e) => {
+                    return Err(ReloadDeltaError::Rejected(format!(
+                        "delta for {:?} rejected: {e}",
+                        d.source
+                    )));
+                }
+            }
+        }
+        self.reload_locked(merged)
+            .map_err(ReloadDeltaError::Rejected)
+    }
+
+    /// The compile-and-swap tail of both reload paths; the caller holds
+    /// `reload_lock`.
+    fn reload_locked(&self, lists: Vec<ReloadList>) -> Result<ReloadReport, String> {
         if lists.is_empty() {
             return Err("Reload needs at least one list".to_string());
         }
-        let mut parsed = Vec::with_capacity(lists.len());
-        for list in lists {
-            let fl = FilterList::parse(list.source, &list.content);
-            // The filter grammar is nearly total — almost any line
-            // parses as a blocking pattern — so garbage payloads (an
-            // HTML error page, a truncated download) mostly "parse".
-            // Real request patterns never contain embedded whitespace
-            // (only element-hiding selectors do), so whitespace-bearing
-            // request filters count as malformed alongside lines the
-            // parser itself rejected.
-            let mut bad: Vec<&str> = fl.invalid_lines().collect();
-            let invalid = bad.len();
-            bad.extend(
-                fl.filters()
-                    .filter(|f| f.as_request().is_some() && f.raw.contains(char::is_whitespace))
-                    .map(|f| f.raw.as_str()),
-            );
-            let candidates = fl.filter_count() + invalid;
-            // Real lists carry a tail of unsupported syntax; reject
-            // only when malformed lines dominate (past 10%), which
-            // means the payload is not a filter list at all.
-            if !bad.is_empty() && bad.len() * 10 > candidates {
-                let mut msg = format!(
-                    "reload rejected: {:?} has {} malformed of {} candidate lines (>10%); samples:",
-                    list.source,
-                    bad.len(),
-                    candidates
-                );
-                for line in bad.iter().take(8) {
-                    msg.push_str("\n  ");
-                    msg.push_str(line);
-                }
-                return Err(msg);
-            }
-            parsed.push(fl);
-        }
-        let engine = Engine::from_lists(parsed.iter());
+        let engine = compile_lists(&lists)?;
         let filter_count = engine.request_filter_count();
+        let list_checksum = serving_checksum(&lists);
         let generation;
         {
             let mut slot = self.shared.snapshot.write();
@@ -812,6 +972,8 @@ impl Service {
                 generation,
                 engine: Arc::new(engine),
                 filter_count,
+                lists: Arc::new(lists),
+                list_checksum,
             });
         }
         // The stamp alone already fences old entries; clearing returns
@@ -822,6 +984,17 @@ impl Service {
             generation,
             filters: filter_count as u64,
         })
+    }
+
+    /// The list bodies the serving engine was compiled from (empty for
+    /// a service started from a pre-compiled engine).
+    pub fn serving_lists(&self) -> Arc<Vec<ReloadList>> {
+        self.shared.snapshot.read().lists.clone()
+    }
+
+    /// [`serving_checksum`] of the serving list bodies (0 when none).
+    pub fn list_checksum(&self) -> u64 {
+        self.shared.snapshot.read().list_checksum
     }
 
     /// Snapshot service health: liveness state plus resilience
@@ -851,6 +1024,7 @@ impl Service {
                 .metrics
                 .deadline_timeouts
                 .load(Ordering::Relaxed),
+            list_checksum: self.list_checksum(),
         }
     }
 
@@ -1129,6 +1303,107 @@ mod tests {
         assert_eq!(h.state, HealthState::Ok);
         assert_eq!(h.reloads, 1);
         assert_eq!(h.generation, 1);
+    }
+
+    #[test]
+    fn reload_delta_patches_the_serving_body() {
+        let easylist = "||doubleclick.net^\n".to_string();
+        let wl_v1 = "@@||old.adzerk.net^$document\n".to_string();
+        let wl_v2 = "@@||ad.doubleclick.net/x.js\n@@||old.adzerk.net^$document\n".to_string();
+        let svc = Service::start_with_lists(
+            vec![
+                ReloadList {
+                    source: ListSource::EasyList,
+                    content: easylist.clone(),
+                },
+                ReloadList {
+                    source: ListSource::AcceptableAds,
+                    content: wl_v1.clone(),
+                },
+            ],
+            &config(),
+        )
+        .unwrap();
+        let req = dr(
+            "http://ad.doubleclick.net/x.js",
+            "example.com",
+            ResourceType::Script,
+        );
+        assert_eq!(svc.decide(&req).unwrap().outcome.decision, Decision::Block);
+        let check_v1 = svc.list_checksum();
+        assert_ne!(check_v1, 0, "started from lists, so a body checksum");
+
+        let report = svc
+            .reload_delta(&[ReloadDeltaList {
+                source: ListSource::AcceptableAds,
+                delta: abpdelta::encode(&wl_v1, &wl_v2),
+            }])
+            .unwrap();
+        assert_eq!(report.generation, 1);
+        assert_eq!(
+            svc.decide(&req).unwrap().outcome.decision,
+            Decision::AllowedByException,
+            "delta-applied whitelist must serve"
+        );
+        assert_eq!(
+            svc.list_checksum(),
+            serving_checksum(&[
+                ReloadList {
+                    source: ListSource::EasyList,
+                    content: easylist.clone(),
+                },
+                ReloadList {
+                    source: ListSource::AcceptableAds,
+                    content: wl_v2.clone(),
+                },
+            ]),
+            "checksum reflects the patched bodies"
+        );
+        assert_eq!(svc.health().list_checksum, svc.list_checksum());
+
+        // A delta against a stale base is refused with the serving
+        // checksum, and nothing swaps.
+        let err = svc
+            .reload_delta(&[ReloadDeltaList {
+                source: ListSource::AcceptableAds,
+                delta: abpdelta::encode(&wl_v1, "@@||other.example^\n"),
+            }])
+            .unwrap_err();
+        match err {
+            ReloadDeltaError::BaseMismatch {
+                source,
+                serving_check,
+                generation,
+            } => {
+                assert_eq!(source, ListSource::AcceptableAds);
+                assert_eq!(serving_check, abpdelta::strong_checksum(&wl_v2));
+                assert_eq!(generation, 1);
+            }
+            other => panic!("expected BaseMismatch, got {other:?}"),
+        }
+        assert_eq!(svc.generation(), 1);
+
+        // A service started from a pre-compiled engine has no bodies:
+        // every delta is a base mismatch with serving_check 0.
+        let bare = service();
+        assert_eq!(bare.list_checksum(), 0);
+        let err = bare
+            .reload_delta(&[ReloadDeltaList {
+                source: ListSource::EasyList,
+                delta: abpdelta::encode("", "||ads.example^\n"),
+            }])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ReloadDeltaError::BaseMismatch {
+                    serving_check: 0,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        svc.shutdown();
     }
 
     #[test]

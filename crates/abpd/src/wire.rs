@@ -23,10 +23,11 @@
 //! `crate::proptests::wire_equivalence`.
 
 use crate::protocol::{
-    DecisionRequest, DecisionResponse, HealthReport, HealthState, ReloadList, ReloadReport,
-    ServerMessage, ShardStats, StatsReport,
+    DecisionRequest, DecisionResponse, HealthReport, HealthState, ReloadDeltaList, ReloadList,
+    ReloadMismatch, ReloadReport, ServerMessage, ShardStats, StatsReport,
 };
 use abp::{Activation, Decision, ListSource, MatchKind, RequestOutcome, ResourceType};
+use abpdelta::{Delta, DeltaOp};
 use serde_json::write_escaped_str;
 use std::borrow::Cow;
 use std::io::{BufRead, Write};
@@ -98,6 +99,10 @@ pub enum ClientMessageRef<'a> {
     Ping,
     /// Swap in new filter lists.
     Reload(Vec<ReloadListRef<'a>>),
+    /// Apply delta updates to the serving filter lists. The payload is
+    /// owned: a delta is mostly numbers plus already-unescaped insert
+    /// literals, so there is nothing worth borrowing.
+    ReloadDelta(Vec<ReloadDeltaList>),
     /// Fetch service health.
     Health,
     /// Ask the server to stop accepting connections and drain.
@@ -297,6 +302,56 @@ pub fn write_reload(lists: &[ReloadList], out: &mut Vec<u8>) {
     push_str(out, "]}");
 }
 
+fn write_delta(d: &Delta, out: &mut Vec<u8>) {
+    push_str(out, "{\"base_len\":");
+    push_u64(out, d.base_len);
+    push_str(out, ",\"base_check\":");
+    push_u64(out, d.base_check);
+    push_str(out, ",\"target_len\":");
+    push_u64(out, d.target_len);
+    push_str(out, ",\"target_check\":");
+    push_u64(out, d.target_check);
+    push_str(out, ",\"block_size\":");
+    push_u64(out, d.block_size);
+    push_str(out, ",\"ops\":[");
+    for (i, op) in d.ops.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        match op {
+            DeltaOp::Copy { off, len } => {
+                push_str(out, "{\"Copy\":{\"off\":");
+                push_u64(out, *off);
+                push_str(out, ",\"len\":");
+                push_u64(out, *len);
+                push_str(out, "}}");
+            }
+            DeltaOp::Insert(text) => {
+                push_str(out, "{\"Insert\":");
+                write_escaped_str(text, out);
+                out.push(b'}');
+            }
+        }
+    }
+    push_str(out, "]}");
+}
+
+/// Append a `ReloadDelta` request line body (no trailing newline).
+pub fn write_reload_delta(deltas: &[ReloadDeltaList], out: &mut Vec<u8>) {
+    push_str(out, "{\"ReloadDelta\":[");
+    for (i, d) in deltas.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        push_str(out, "{\"source\":\"");
+        push_str(out, list_source_name(d.source));
+        push_str(out, "\",\"delta\":");
+        write_delta(&d.delta, out);
+        out.push(b'}');
+    }
+    push_str(out, "]}");
+}
+
 /// Append the `Health` verb.
 pub fn write_health_request(out: &mut Vec<u8>) {
     push_str(out, "\"Health\"");
@@ -410,6 +465,17 @@ pub fn write_reloaded(r: &ReloadReport, out: &mut Vec<u8>) {
     push_str(out, "}}");
 }
 
+/// Append a `ReloadBaseMismatch` reply line body (no trailing newline).
+pub fn write_reload_base_mismatch(m: &ReloadMismatch, out: &mut Vec<u8>) {
+    push_str(out, "{\"ReloadBaseMismatch\":{\"source\":\"");
+    push_str(out, list_source_name(m.source));
+    push_str(out, "\",\"serving_check\":");
+    push_u64(out, m.serving_check);
+    push_str(out, ",\"generation\":");
+    push_u64(out, m.generation);
+    push_str(out, "}}");
+}
+
 /// Append a `Health` reply line body (no trailing newline).
 pub fn write_health_reply(h: &HealthReport, out: &mut Vec<u8>) {
     push_str(out, "{\"Health\":{\"state\":\"");
@@ -429,6 +495,8 @@ pub fn write_health_reply(h: &HealthReport, out: &mut Vec<u8>) {
     push_u64(out, h.shed);
     push_str(out, ",\"deadline_timeouts\":");
     push_u64(out, h.deadline_timeouts);
+    push_str(out, ",\"list_checksum\":");
+    push_u64(out, h.list_checksum);
     push_str(out, "}}");
 }
 
@@ -905,6 +973,117 @@ impl<'a> Scan<'a> {
         })
     }
 
+    fn delta_op(&mut self) -> ScanResult<DeltaOp> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        self.skip_ws();
+        let key = self.string()?;
+        self.skip_ws();
+        self.expect(b':')?;
+        self.skip_ws();
+        let op = match &*key {
+            "Copy" => {
+                let mut off = None;
+                let mut len = None;
+                self.object(|s, key| {
+                    match key {
+                        "off" => off = Some(s.u64_number()?),
+                        "len" => len = Some(s.u64_number()?),
+                        _ => s.skip_value()?,
+                    }
+                    Ok(())
+                })?;
+                DeltaOp::Copy {
+                    off: off.ok_or("missing field `off`")?,
+                    len: len.ok_or("missing field `len`")?,
+                }
+            }
+            "Insert" => DeltaOp::Insert(self.string()?.into_owned()),
+            other => return Err(format!("unknown delta op {other:?}")),
+        };
+        self.skip_ws();
+        self.expect(b'}')?;
+        Ok(op)
+    }
+
+    fn delta(&mut self) -> ScanResult<Delta> {
+        let mut d = Delta {
+            base_len: 0,
+            base_check: 0,
+            target_len: 0,
+            target_check: 0,
+            block_size: 0,
+            ops: Vec::new(),
+        };
+        self.object(|s, key| {
+            match key {
+                "base_len" => d.base_len = s.u64_number()?,
+                "base_check" => d.base_check = s.u64_number()?,
+                "target_len" => d.target_len = s.u64_number()?,
+                "target_check" => d.target_check = s.u64_number()?,
+                "block_size" => d.block_size = s.u64_number()?,
+                "ops" => {
+                    s.array(|s| {
+                        d.ops.push(s.delta_op()?);
+                        Ok(())
+                    })?;
+                }
+                _ => s.skip_value()?,
+            }
+            Ok(())
+        })?;
+        Ok(d)
+    }
+
+    fn reload_delta_list(&mut self) -> ScanResult<ReloadDeltaList> {
+        let mut source = None;
+        let mut delta = None;
+        self.object(|s, key| {
+            match key {
+                "source" => {
+                    let name = s.string()?;
+                    source = Some(
+                        list_source_from_name(&name)
+                            .ok_or_else(|| format!("unknown list source {name:?}"))?,
+                    );
+                }
+                "delta" => delta = Some(s.delta()?),
+                _ => s.skip_value()?,
+            }
+            Ok(())
+        })?;
+        Ok(ReloadDeltaList {
+            source: source.ok_or("missing field `source`")?,
+            delta: delta.ok_or("missing field `delta`")?,
+        })
+    }
+
+    fn reload_mismatch(&mut self) -> ScanResult<ReloadMismatch> {
+        let mut source = None;
+        let mut mismatch = ReloadMismatch {
+            source: ListSource::EasyList,
+            serving_check: 0,
+            generation: 0,
+        };
+        self.object(|s, key| {
+            match key {
+                "source" => {
+                    let name = s.string()?;
+                    source = Some(
+                        list_source_from_name(&name)
+                            .ok_or_else(|| format!("unknown list source {name:?}"))?,
+                    );
+                }
+                "serving_check" => mismatch.serving_check = s.u64_number()?,
+                "generation" => mismatch.generation = s.u64_number()?,
+                _ => s.skip_value()?,
+            }
+            Ok(())
+        })?;
+        mismatch.source = source.ok_or("missing field `source`")?;
+        Ok(mismatch)
+    }
+
     fn reload_report(&mut self) -> ScanResult<ReloadReport> {
         let mut report = ReloadReport::default();
         self.object(|s, key| {
@@ -927,6 +1106,7 @@ impl<'a> Scan<'a> {
             shard_restarts: Vec::new(),
             shed: 0,
             deadline_timeouts: 0,
+            list_checksum: 0,
         };
         self.object(|s, key| {
             match key {
@@ -947,6 +1127,7 @@ impl<'a> Scan<'a> {
                 }
                 "shed" => report.shed = s.u64_number()?,
                 "deadline_timeouts" => report.deadline_timeouts = s.u64_number()?,
+                "list_checksum" => report.list_checksum = s.u64_number()?,
                 _ => s.skip_value()?,
             }
             Ok(())
@@ -1036,6 +1217,14 @@ pub fn parse_client_message(line: &str) -> Result<ClientMessageRef<'_>, String> 
                     })?;
                     ClientMessageRef::Reload(lists)
                 }
+                "ReloadDelta" => {
+                    let mut deltas = Vec::new();
+                    s.array(|s| {
+                        deltas.push(s.reload_delta_list()?);
+                        Ok(())
+                    })?;
+                    ClientMessageRef::ReloadDelta(deltas)
+                }
                 other => return Err(format!("unknown message variant {other:?}")),
             };
             s.skip_ws();
@@ -1082,6 +1271,7 @@ pub fn parse_server_message(line: &str) -> Result<ServerMessage, String> {
                 }
                 "Stats" => ServerMessage::Stats(s.stats_report()?),
                 "Reloaded" => ServerMessage::Reloaded(s.reload_report()?),
+                "ReloadBaseMismatch" => ServerMessage::ReloadBaseMismatch(s.reload_mismatch()?),
                 "Health" => ServerMessage::Health(s.health_report()?),
                 "Error" => ServerMessage::Error(s.string()?.into_owned()),
                 other => return Err(format!("unknown reply variant {other:?}")),
@@ -1101,7 +1291,7 @@ pub fn parse_server_message(line: &str) -> Result<ServerMessage, String> {
 
 /// Outcome of one bounded line read.
 #[derive(Debug, PartialEq, Eq)]
-pub(crate) enum LineRead {
+pub enum LineRead {
     /// A complete line is in the buffer (terminator stripped).
     Line,
     /// Clean end of stream at a line boundary.
@@ -1117,7 +1307,7 @@ pub(crate) enum LineRead {
 /// to buffer more than `max` bytes. Oversized lines are consumed and
 /// discarded to keep the stream in sync, and reported with their total
 /// length.
-pub(crate) fn read_line_limited<R: std::io::Read>(
+pub fn read_line_limited<R: std::io::Read>(
     reader: &mut std::io::BufReader<R>,
     out: &mut Vec<u8>,
     max: usize,
@@ -1132,7 +1322,7 @@ pub(crate) fn read_line_limited<R: std::io::Read>(
 /// sleep holding them: a client may legitimately wait for reply N
 /// before sending the rest of line N+1, so pending output must never
 /// be withheld across a blocking read.
-pub(crate) fn read_line_limited_flushing<R: std::io::Read>(
+pub fn read_line_limited_flushing<R: std::io::Read>(
     reader: &mut std::io::BufReader<R>,
     out: &mut Vec<u8>,
     max: usize,

@@ -1,0 +1,654 @@
+//! Rsync-style delta codec for filter list bodies.
+//!
+//! Filter lists churn a small fraction of rules per revision (the
+//! Acceptable Ads whitelist averages a handful of line edits per
+//! commit), so re-shipping the full body on every reload wastes almost
+//! all of the bytes. This crate implements the classic block-signature
+//! scheme: the encoder fingerprints the *old* body in fixed-size
+//! blocks (a weak rolling checksum plus a strong one per block), slides
+//! a window over the *new* body to find blocks that survived, and
+//! emits a compact program of [`DeltaOp::Copy`] ranges into the old
+//! body interleaved with [`DeltaOp::Insert`] literals for everything
+//! that changed.
+//!
+//! Unlike wire rsync, [`encode`] holds both bodies in memory, so every
+//! candidate match is verified by direct byte comparison — the weak and
+//! strong checksums are only an index, never trusted. A produced delta
+//! therefore *always* reconstructs `new` exactly. [`apply`] still
+//! verifies the strong whole-body checksum of its input against
+//! [`Delta::base_check`] (the receiver may be on a different base) and
+//! of its output against [`Delta::target_check`] (the delta may have
+//! been corrupted in flight).
+//!
+//! Copy offsets are byte offsets, but both codec directions only slice
+//! `new` on `char` boundaries, so applying a verified delta always
+//! yields valid UTF-8; a mismatched base that survives the checksum
+//! gauntlet (never, in practice) is still caught by the UTF-8 and
+//! target-checksum validation in [`apply`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Default block size for [`encode`]. Filter list lines average 20-60
+/// bytes, so 64-byte blocks make a single surviving line worth
+/// copying while keeping per-op overhead (~30 wire bytes per
+/// non-adjacent copy) well under the block it replaces.
+pub const DEFAULT_BLOCK_SIZE: usize = 64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher — the "strong" checksum of the
+/// codec, also used by the daemon to advertise its serving list state
+/// in `Health` replies so a router can check cross-shard convergence.
+#[derive(Debug, Clone)]
+pub struct StrongHasher {
+    state: u64,
+}
+
+impl Default for StrongHasher {
+    fn default() -> Self {
+        StrongHasher::new()
+    }
+}
+
+impl StrongHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StrongHasher { state: FNV_OFFSET }
+    }
+
+    /// Fold `bytes` into the running state.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Strong whole-body checksum of a list body (FNV-1a 64 over its
+/// UTF-8 bytes).
+pub fn strong_checksum(body: &str) -> u64 {
+    let mut h = StrongHasher::new();
+    h.update(body.as_bytes());
+    h.finish()
+}
+
+fn strong_of_bytes(bytes: &[u8]) -> u64 {
+    let mut h = StrongHasher::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// The rsync weak rolling checksum: two 16-bit accumulators that can
+/// slide one byte in O(1), used to find candidate block matches before
+/// any strong comparison.
+#[derive(Debug, Clone, Copy)]
+struct RollingSum {
+    a: u32,
+    b: u32,
+}
+
+/// Offset added to every byte, as in librsync's rollsum; keeps short
+/// runs of zeros from all hashing to 0.
+const CHAR_OFFSET: u32 = 31;
+
+impl RollingSum {
+    fn of(block: &[u8]) -> RollingSum {
+        let mut a: u32 = 0;
+        let mut b: u32 = 0;
+        for &x in block {
+            a = a.wrapping_add(u32::from(x).wrapping_add(CHAR_OFFSET));
+            b = b.wrapping_add(a);
+        }
+        RollingSum { a, b }
+    }
+
+    /// Slide the window one byte: drop `out` from the front, append
+    /// `inp` at the back of a `len`-byte window.
+    fn roll(&mut self, out: u8, inp: u8, len: usize) {
+        self.a = self
+            .a
+            .wrapping_add(u32::from(inp))
+            .wrapping_sub(u32::from(out));
+        self.b = self
+            .b
+            .wrapping_sub((len as u32).wrapping_mul(u32::from(out).wrapping_add(CHAR_OFFSET)))
+            .wrapping_add(self.a);
+    }
+
+    fn digest(&self) -> u32 {
+        (self.b << 16) | (self.a & 0xffff)
+    }
+}
+
+/// Block signature of a base body: for each full `block_size` chunk,
+/// the weak rolling digest (index key) and the strong checksum
+/// (verification filter). The trailing partial block is not indexed —
+/// it rides along as an insert literal when it changes position.
+#[derive(Debug, Clone)]
+pub struct Signature {
+    block_size: usize,
+    /// weak digest -> [(block index, strong checksum)]
+    blocks: HashMap<u32, Vec<(u32, u64)>>,
+}
+
+impl Signature {
+    /// Fingerprint `base` in `block_size`-byte chunks.
+    pub fn compute(base: &str, block_size: usize) -> Signature {
+        assert!(block_size >= 1, "block size must be at least 1");
+        let bytes = base.as_bytes();
+        let mut blocks: HashMap<u32, Vec<(u32, u64)>> = HashMap::new();
+        let n_blocks = bytes.len() / block_size;
+        for idx in 0..n_blocks {
+            let chunk = &bytes[idx * block_size..(idx + 1) * block_size];
+            let weak = RollingSum::of(chunk).digest();
+            let strong = strong_of_bytes(chunk);
+            blocks.entry(weak).or_default().push((idx as u32, strong));
+        }
+        Signature { block_size, blocks }
+    }
+
+    /// Number of indexed blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.values().map(Vec::len).sum()
+    }
+
+    /// The chunk size this signature was computed with.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn candidates(&self, weak: u32) -> Option<&[(u32, u64)]> {
+        self.blocks.get(&weak).map(Vec::as_slice)
+    }
+}
+
+/// One instruction of a delta program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaOp {
+    /// Copy `len` bytes starting at byte `off` of the base body.
+    Copy {
+        /// Byte offset into the base body.
+        off: u64,
+        /// Number of bytes to copy.
+        len: u64,
+    },
+    /// Append this literal text.
+    Insert(String),
+}
+
+/// A verified copy/insert program transforming one list body into
+/// another.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delta {
+    /// Byte length of the base body this delta was encoded against.
+    pub base_len: u64,
+    /// Strong checksum of the base body; [`apply`] refuses a base
+    /// whose checksum differs.
+    pub base_check: u64,
+    /// Byte length of the target body.
+    pub target_len: u64,
+    /// Strong checksum of the target body; [`apply`] verifies its
+    /// output against this.
+    pub target_check: u64,
+    /// Block size the encoder used (informational).
+    pub block_size: u64,
+    /// The copy/insert program, in output order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl Delta {
+    /// Total bytes of literal text shipped in `Insert` ops — the
+    /// irreducible payload of the delta.
+    pub fn insert_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                DeltaOp::Insert(s) => s.len() as u64,
+                DeltaOp::Copy { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes the `Copy` ops reuse from the base body.
+    pub fn copied_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                DeltaOp::Copy { len, .. } => *len,
+                DeltaOp::Insert(_) => 0,
+            })
+            .sum()
+    }
+}
+
+/// Why applying a delta failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The base body the receiver holds is not the one the delta was
+    /// encoded against; the sender should fall back to a full body.
+    BaseMismatch {
+        /// Checksum the delta expects the base to have.
+        expected: u64,
+        /// Checksum of the base actually supplied.
+        actual: u64,
+    },
+    /// A `Copy` op reaches outside the base body: the delta is corrupt.
+    CopyOutOfRange {
+        /// Offset of the offending copy.
+        off: u64,
+        /// Length of the offending copy.
+        len: u64,
+        /// Byte length of the base body.
+        base_len: u64,
+    },
+    /// The reconstructed bytes are not valid UTF-8: the delta is
+    /// corrupt.
+    InvalidUtf8,
+    /// The reconstructed body does not match `target_check`: the delta
+    /// is corrupt.
+    TargetMismatch {
+        /// Checksum the delta promises for the target.
+        expected: u64,
+        /// Checksum of what was actually reconstructed.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::BaseMismatch { expected, actual } => write!(
+                f,
+                "delta base mismatch: encoded against {expected:#018x}, applied to {actual:#018x}"
+            ),
+            DeltaError::CopyOutOfRange { off, len, base_len } => write!(
+                f,
+                "delta copy [{off}, {off}+{len}) out of range for {base_len}-byte base"
+            ),
+            DeltaError::InvalidUtf8 => write!(f, "delta reconstruction is not valid UTF-8"),
+            DeltaError::TargetMismatch { expected, actual } => write!(
+                f,
+                "delta target mismatch: promised {expected:#018x}, reconstructed {actual:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Encode the transformation of `old` into `new` with the
+/// [`DEFAULT_BLOCK_SIZE`].
+pub fn encode(old: &str, new: &str) -> Delta {
+    encode_with_block_size(old, new, DEFAULT_BLOCK_SIZE)
+}
+
+/// Encode with an explicit block size. Smaller blocks find finer
+/// matches at the cost of more per-op overhead.
+///
+/// Every emitted `Copy` is verified by byte comparison against the
+/// base, so `apply(old, &encode(old, new))` always reconstructs `new`.
+pub fn encode_with_block_size(old: &str, new: &str, block_size: usize) -> Delta {
+    assert!(block_size >= 1, "block size must be at least 1");
+    let ob = old.as_bytes();
+    let nb = new.as_bytes();
+    let sig = Signature::compute(old, block_size);
+    let mut ops: Vec<DeltaOp> = Vec::new();
+    // Old offset that would extend the previous Copy; preferring it
+    // among equal candidates keeps sequential matches coalesced.
+    let mut prefer_off: Option<u64> = None;
+    let mut lit_start = 0usize;
+    let mut pos = 0usize;
+    if nb.len() >= block_size && sig.block_count() > 0 {
+        let mut sum = RollingSum::of(&nb[0..block_size]);
+        loop {
+            let mut matched: Option<u32> = None;
+            if new.is_char_boundary(pos) && new.is_char_boundary(pos + block_size) {
+                if let Some(cands) = sig.candidates(sum.digest()) {
+                    let window = &nb[pos..pos + block_size];
+                    let strong = strong_of_bytes(window);
+                    for &(idx, s) in cands {
+                        if s != strong {
+                            continue;
+                        }
+                        let o = idx as usize * block_size;
+                        if &ob[o..o + block_size] != window {
+                            continue;
+                        }
+                        if prefer_off == Some(o as u64) {
+                            matched = Some(idx);
+                            break;
+                        }
+                        if matched.is_none() {
+                            matched = Some(idx);
+                        }
+                    }
+                }
+            }
+            if let Some(idx) = matched {
+                if lit_start < pos {
+                    ops.push(DeltaOp::Insert(new[lit_start..pos].to_string()));
+                }
+                let off = (idx as usize * block_size) as u64;
+                match ops.last_mut() {
+                    Some(DeltaOp::Copy { off: prev_off, len }) if *prev_off + *len == off => {
+                        *len += block_size as u64;
+                    }
+                    _ => ops.push(DeltaOp::Copy {
+                        off,
+                        len: block_size as u64,
+                    }),
+                }
+                if let Some(DeltaOp::Copy { off, len }) = ops.last() {
+                    prefer_off = Some(off + len);
+                }
+                pos += block_size;
+                lit_start = pos;
+                if pos + block_size > nb.len() {
+                    break;
+                }
+                sum = RollingSum::of(&nb[pos..pos + block_size]);
+            } else {
+                if pos + block_size >= nb.len() {
+                    break;
+                }
+                sum.roll(nb[pos], nb[pos + block_size], block_size);
+                pos += 1;
+            }
+        }
+    }
+    if lit_start < nb.len() {
+        ops.push(DeltaOp::Insert(new[lit_start..].to_string()));
+    }
+    Delta {
+        base_len: ob.len() as u64,
+        base_check: strong_checksum(old),
+        target_len: nb.len() as u64,
+        target_check: strong_checksum(new),
+        block_size: block_size as u64,
+        ops,
+    }
+}
+
+/// Reconstruct the target body from `old` and a delta encoded against
+/// it. Verifies the base checksum before doing any work and the target
+/// checksum after, so a successful return is the exact body the
+/// encoder saw.
+pub fn apply(old: &str, delta: &Delta) -> Result<String, DeltaError> {
+    let actual = strong_checksum(old);
+    if actual != delta.base_check || old.len() as u64 != delta.base_len {
+        return Err(DeltaError::BaseMismatch {
+            expected: delta.base_check,
+            actual,
+        });
+    }
+    let ob = old.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(delta.target_len as usize);
+    for op in &delta.ops {
+        match op {
+            DeltaOp::Copy { off, len } => {
+                let end = off.checked_add(*len).unwrap_or(u64::MAX);
+                if end > ob.len() as u64 {
+                    return Err(DeltaError::CopyOutOfRange {
+                        off: *off,
+                        len: *len,
+                        base_len: ob.len() as u64,
+                    });
+                }
+                out.extend_from_slice(&ob[*off as usize..end as usize]);
+            }
+            DeltaOp::Insert(text) => out.extend_from_slice(text.as_bytes()),
+        }
+    }
+    let text = String::from_utf8(out).map_err(|_| DeltaError::InvalidUtf8)?;
+    let check = strong_checksum(&text);
+    if check != delta.target_check || text.len() as u64 != delta.target_len {
+        return Err(DeltaError::TargetMismatch {
+            expected: delta.target_check,
+            actual: check,
+        });
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(old: &str, new: &str, block_size: usize) -> Delta {
+        let delta = encode_with_block_size(old, new, block_size);
+        assert_eq!(
+            apply(old, &delta).expect("apply"),
+            new,
+            "round trip failed (old {:?} new {:?} bs {block_size})",
+            &old[..old.len().min(80)],
+            &new[..new.len().min(80)]
+        );
+        delta
+    }
+
+    fn lines(n: usize, tag: &str) -> String {
+        (0..n).fold(String::new(), |mut s, i| {
+            s.push_str(&format!("@@||site{i}.example.com^$document,{tag}\n"));
+            s
+        })
+    }
+
+    #[test]
+    fn identical_bodies_are_one_copy() {
+        let body = lines(100, "ident");
+        let delta = round_trip(&body, &body, 64);
+        let copies = delta
+            .ops
+            .iter()
+            .filter(|op| matches!(op, DeltaOp::Copy { .. }))
+            .count();
+        assert_eq!(copies, 1, "sequential matches must coalesce: {delta:?}");
+        // Only the sub-block tail is shipped literally.
+        assert!(delta.insert_bytes() < 64, "{delta:?}");
+    }
+
+    #[test]
+    fn empty_base_is_all_insert() {
+        let body = lines(10, "fresh");
+        let delta = round_trip("", &body, 64);
+        assert_eq!(delta.copied_bytes(), 0);
+        assert_eq!(delta.insert_bytes(), body.len() as u64);
+    }
+
+    #[test]
+    fn empty_target() {
+        let delta = round_trip(&lines(10, "gone"), "", 64);
+        assert!(delta.ops.is_empty());
+    }
+
+    #[test]
+    fn interior_edit_ships_little() {
+        let old = lines(2000, "steady");
+        let mut parts: Vec<&str> = old.lines().collect();
+        parts[1000] = "@@||replacement.example.com^$document";
+        let new = parts.join("\n") + "\n";
+        let delta = round_trip(&old, &new, 64);
+        assert!(
+            delta.insert_bytes() < new.len() as u64 / 10,
+            "one-line edit shipped {} of {} bytes",
+            delta.insert_bytes(),
+            new.len()
+        );
+    }
+
+    #[test]
+    fn prepend_and_append_reuse_the_base() {
+        let old = lines(500, "core");
+        let new = format!("! prepended header\n{old}! appended footer\n");
+        let delta = round_trip(&old, &new, 64);
+        assert!(
+            delta.copied_bytes() as usize > old.len() * 9 / 10,
+            "expected most of the base reused, copied {} of {}",
+            delta.copied_bytes(),
+            old.len()
+        );
+    }
+
+    #[test]
+    fn base_mismatch_is_detected() {
+        let old = lines(50, "v1");
+        let new = lines(50, "v2");
+        let delta = encode(&old, &new);
+        let err = apply("something else entirely", &delta).unwrap_err();
+        assert!(matches!(err, DeltaError::BaseMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupt_copy_is_detected() {
+        let old = lines(50, "v1");
+        let delta = Delta {
+            base_len: old.len() as u64,
+            base_check: strong_checksum(&old),
+            target_len: 4,
+            target_check: 0,
+            block_size: 64,
+            ops: vec![DeltaOp::Copy {
+                off: old.len() as u64,
+                len: 64,
+            }],
+        };
+        let err = apply(&old, &delta).unwrap_err();
+        assert!(matches!(err, DeltaError::CopyOutOfRange { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupt_target_is_detected() {
+        let old = lines(50, "v1");
+        let mut delta = encode(&old, &lines(50, "v2"));
+        if let Some(DeltaOp::Insert(text)) = delta.ops.last_mut() {
+            text.push('x');
+        } else {
+            delta.ops.push(DeltaOp::Insert("x".to_string()));
+        }
+        let err = apply(&old, &delta).unwrap_err();
+        assert!(matches!(err, DeltaError::TargetMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn multibyte_bodies_round_trip() {
+        let old = "règle-αβγ-☃\n".repeat(40);
+        let new = format!("préfixe-日本語\n{}suffixe-émoji-🎛\n", &old[18..]);
+        for bs in [3, 7, 16, 64] {
+            round_trip(&old, &new, bs);
+        }
+    }
+
+    #[test]
+    fn rolling_sum_matches_from_scratch() {
+        let data: Vec<u8> = (0u16..400).map(|i| (i % 251) as u8).collect();
+        let bs = 32;
+        let mut sum = RollingSum::of(&data[0..bs]);
+        for pos in 1..(data.len() - bs) {
+            sum.roll(data[pos - 1], data[pos + bs - 1], bs);
+            let fresh = RollingSum::of(&data[pos..pos + bs]);
+            assert_eq!(sum.digest(), fresh.digest(), "drift at pos {pos}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A plausible filter-list-ish line.
+    fn line() -> impl Strategy<Value = String> {
+        "[a-z]{1,12}\\.[a-z]{2,3}".prop_map(|d| format!("@@||{d}^$document"))
+    }
+
+    fn body() -> impl Strategy<Value = String> {
+        prop::collection::vec(line(), 0..60).prop_map(|ls| {
+            let mut s = ls.join("\n");
+            if !s.is_empty() {
+                s.push('\n');
+            }
+            s
+        })
+    }
+
+    proptest! {
+        /// Adversarial line-level churn: delete and insert random
+        /// lines of a base body, at several block sizes.
+        #[test]
+        fn churned_bodies_round_trip(
+            base in body(),
+            extra in prop::collection::vec(line(), 0..10),
+            kill in prop::collection::vec(0usize..10_000, 0..6),
+            bs in prop::sample::select(&[4usize, 16, 64]),
+        ) {
+            let mut lines: Vec<String> = base.lines().map(String::from).collect();
+            for idx in &kill {
+                if !lines.is_empty() {
+                    let i = idx % lines.len();
+                    lines.remove(i);
+                }
+            }
+            for (i, l) in extra.iter().enumerate() {
+                let at = (i * 7) % (lines.len() + 1);
+                lines.insert(at, l.clone());
+            }
+            let mut new = lines.join("\n");
+            if !new.is_empty() { new.push('\n'); }
+            let delta = encode_with_block_size(&base, &new, bs);
+            prop_assert_eq!(apply(&base, &delta).unwrap(), new);
+        }
+
+        /// Arbitrary (including multibyte) strings round-trip, and the
+        /// prepend/append/identical/empty corners fall out of the
+        /// generator ranges.
+        #[test]
+        fn arbitrary_strings_round_trip(
+            old in ".{0,200}",
+            new in ".{0,200}",
+            bs in prop::sample::select(&[1usize, 3, 8, 32]),
+        ) {
+            let delta = encode_with_block_size(&old, &new, bs);
+            prop_assert_eq!(apply(&old, &delta).unwrap(), new.clone());
+            // Self-delta and cross checks on the same inputs.
+            let ident = encode_with_block_size(&new, &new, bs);
+            prop_assert_eq!(apply(&new, &ident).unwrap(), new.clone());
+            let prepended = format!("{old}{new}");
+            let d2 = encode_with_block_size(&new, &prepended, bs);
+            prop_assert_eq!(apply(&new, &d2).unwrap(), prepended);
+        }
+
+        /// Applying against the wrong base either reports BaseMismatch
+        /// or (when the bodies happen to be equal) succeeds exactly.
+        #[test]
+        fn wrong_base_never_yields_wrong_bytes(
+            old in body(),
+            other in body(),
+            new in body(),
+        ) {
+            let delta = encode(&old, &new);
+            match apply(&other, &delta) {
+                Ok(text) => {
+                    prop_assert_eq!(&other, &old);
+                    prop_assert_eq!(text, new);
+                }
+                Err(DeltaError::BaseMismatch { .. }) => prop_assert_ne!(&other, &old),
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+    }
+}

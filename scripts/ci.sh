@@ -70,4 +70,17 @@ fi
     --append-availability BENCH_service.json --shutdown
 wait "$CHAOS_PID"
 
+echo "==> fleet stage (3 shards + router, 988-revision delta replay, chaos kill/respawn, writes BENCH_fleet.json)"
+# Replays the whole corpus whitelist history through the router as
+# ReloadDelta patches (full-reload fallback on base mismatch),
+# asserting every shard converges to the same serving checksum and
+# that deltas ship <=20% of full-body reload bytes (measured: ~1.5%).
+# Then drives pipelined load with one shard killed and respawned
+# mid-run: availability must stay >=99% and every healthy shard must
+# answer traffic. All orchestration is in-process in abpd-load, so one
+# command is the whole stage.
+./target/release/abpd-load --fleet 3 --fleet-chaos --replay-revisions 988 \
+    --decisions 200000 --batch 256 --pipeline 4 --connections 2 \
+    --max-error-rate 0.01 --max-delta-ratio 0.2 --out BENCH_fleet.json
+
 echo "==> ci green"
