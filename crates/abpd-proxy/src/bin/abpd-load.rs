@@ -3,8 +3,10 @@
 //! ```text
 //! abpd-load [--addr HOST:PORT] [--decisions N] [--batch N]
 //!           [--connections N] [--pipeline N] [--seed N]
+//!           [--server-mode blocking|event] [--io-threads N]
 //!           [--reply-timeout-ms N] [--max-error-rate F]
 //!           [--out PATH] [--append-availability PATH] [--shutdown]
+//!           [--scaling LIST] [--append-scaling PATH]
 //!           [--fleet N] [--fleet-chaos] [--replay-revisions N]
 //!           [--max-delta-ratio F]
 //! ```
@@ -31,6 +33,20 @@
 //! the availability numbers into an existing report (the chaos CI
 //! stage appends them to `BENCH_service.json`).
 //!
+//! # Scaling mode
+//!
+//! `--scaling 1,2,4` measures the event-driven server's core-scaling
+//! curve: for each listed reactor count it boots a fresh in-process
+//! `--server-mode event` server, drives it with `2 × reactors`
+//! pipelined connections, and records sustained decisions/sec. The
+//! committed baseline (`service_scaling_baseline.json`) carries the
+//! pre-reactor single-core number plus two regression bars: the
+//! single-reactor run must stay within 10% of it, and — **only on
+//! hosts with ≥ 4 cores**, since the ratio is meaningless without the
+//! parallelism — the 4-reactor run must clear 2.5× the 1-reactor run.
+//! `--append-scaling PATH` merges the curve into an existing report
+//! (the CI scaling stage appends it to `BENCH_service.json`).
+//!
 //! # Fleet mode
 //!
 //! `--fleet N` spawns N in-process shards plus an
@@ -52,7 +68,7 @@ use abpd::client::ItemAnswer;
 use abpd::protocol::{ReloadDeltaList, ReloadList};
 use abpd::{
     wire, Client, DecisionRequest, ReloadDeltaOutcome, RetryClient, RetryPolicy, Server,
-    ServerConfig,
+    ServerConfig, ServerMode,
 };
 use abpd_proxy::{Proxy, ProxyConfig};
 use serde::Serialize;
@@ -362,8 +378,10 @@ fn main() {
         eprintln!(
             "usage: abpd-load [--addr HOST:PORT] [--decisions N] [--batch N] \
              [--connections N] [--pipeline N] [--seed N] \
+             [--server-mode blocking|event] [--io-threads N] \
              [--reply-timeout-ms N] [--max-error-rate F] \
              [--out PATH] [--append-availability PATH] [--shutdown] \
+             [--scaling LIST] [--append-scaling PATH] \
              [--fleet N] [--fleet-chaos] [--replay-revisions N] \
              [--max-delta-ratio F]"
         );
@@ -372,6 +390,10 @@ fn main() {
 
     if args.iter().any(|a| a == "--fleet") {
         fleet_main(&args);
+        return;
+    }
+    if args.iter().any(|a| a == "--scaling") {
+        scaling_main(&args);
         return;
     }
 
@@ -400,12 +422,19 @@ fn main() {
     let (addr, local_server) = match parse_flag::<String>(&args, "--addr") {
         Some(addr) => (addr, None),
         None => {
-            eprintln!("abpd-load: no --addr, starting in-process server (seed {seed})...");
-            let server = Server::start(abpd::corpus_engine(seed), &ServerConfig::default())
-                .unwrap_or_else(|e| {
-                    eprintln!("abpd-load: cannot start server: {e}");
-                    std::process::exit(1);
-                });
+            let config = ServerConfig {
+                mode: parse_flag(&args, "--server-mode").unwrap_or_default(),
+                io_threads: parse_flag(&args, "--io-threads").unwrap_or(0),
+                ..ServerConfig::default()
+            };
+            eprintln!(
+                "abpd-load: no --addr, starting in-process server (seed {seed}, {:?} mode)...",
+                config.mode
+            );
+            let server = Server::start(abpd::corpus_engine(seed), &config).unwrap_or_else(|e| {
+                eprintln!("abpd-load: cannot start server: {e}");
+                std::process::exit(1);
+            });
             (server.local_addr().to_string(), Some(server))
         }
     };
@@ -511,6 +540,254 @@ fn main() {
         eprintln!(
             "abpd-load: FAIL: error rate {error_rate:.4} exceeds --max-error-rate {max_error_rate}"
         );
+        std::process::exit(1);
+    }
+}
+
+/// One measured point of the reactor scaling curve.
+#[derive(Debug, Clone, Serialize)]
+struct ScalingPoint {
+    /// Reactor threads serving the wire.
+    io_threads: usize,
+    /// Client connections that drove this point.
+    connections: usize,
+    /// Decisions actually answered.
+    decisions: u64,
+    /// Wall-clock seconds for the measured window.
+    elapsed_secs: f64,
+    /// Sustained decisions per second.
+    decisions_per_sec: f64,
+    /// Answered share of all requests sent, in [0, 1].
+    availability: f64,
+}
+
+/// `--scaling 1,2,4`: boot a fresh in-process event-mode server per
+/// reactor count, drive it with `2 × reactors` pipelined connections,
+/// and gate the resulting curve against the committed baseline. The
+/// 4-vs-1 scaling bar only arms on hosts with at least 4 cores — on a
+/// smaller box extra reactors have nothing to run on and the ratio
+/// measures the scheduler, not the server.
+fn scaling_main(args: &[String]) {
+    let spec: String = parse_flag(args, "--scaling").unwrap_or_else(|| "1,2,4".to_string());
+    let reactor_counts: Vec<usize> = spec
+        .split(',')
+        .map(|s| {
+            s.trim().parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("bad --scaling entry {s:?} (want e.g. 1,2,4)");
+                std::process::exit(2);
+            })
+        })
+        .filter(|&n| n > 0)
+        .collect();
+    if reactor_counts.is_empty() {
+        eprintln!("--scaling needs at least one reactor count");
+        std::process::exit(2);
+    }
+    let decisions: usize = parse_flag(args, "--decisions").unwrap_or(200_000);
+    let batch: usize = parse_flag(args, "--batch").unwrap_or(256).max(1);
+    let pipeline: usize = parse_flag(args, "--pipeline").unwrap_or(8).max(1);
+    let seed: u64 = parse_flag(args, "--seed").unwrap_or(2015);
+    let reply_timeout = Duration::from_millis(
+        parse_flag::<u64>(args, "--reply-timeout-ms")
+            .unwrap_or(abpd::client::DEFAULT_REPLY_TIMEOUT.as_millis() as u64)
+            .max(1),
+    );
+    let max_error_rate: f64 = parse_flag(args, "--max-error-rate").unwrap_or(0.0);
+    let out_path: Option<String> = parse_flag(args, "--out");
+    let append_path: Option<String> = parse_flag(args, "--append-scaling");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!("abpd-load: generating corpus (seed {seed})...");
+    let corpus = corpus::Corpus::generate(seed);
+    let lists = vec![
+        ReloadList {
+            source: abp::ListSource::EasyList,
+            content: corpus.easylist.to_text(),
+        },
+        ReloadList {
+            source: abp::ListSource::AcceptableAds,
+            content: corpus.whitelist.to_text(),
+        },
+    ];
+
+    let mut points: Vec<ScalingPoint> = Vec::new();
+    let mut failed = false;
+    for &io in &reactor_counts {
+        let connections = (io * 2).max(2);
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            mode: ServerMode::Event,
+            io_threads: io,
+            ..ServerConfig::default()
+        };
+        let server = Server::start_with_lists(lists.clone(), &config).unwrap_or_else(|e| {
+            eprintln!("abpd-load: cannot start {io}-reactor server: {e}");
+            std::process::exit(1);
+        });
+        let addr = server.local_addr().to_string();
+        let streams = synth_streams(seed, decisions, connections);
+        let requested: usize = streams.iter().map(Vec::len).sum();
+        eprintln!(
+            "abpd-load: scaling point: {io} reactor(s), {connections} connections, \
+             batch {batch}, pipeline {pipeline}..."
+        );
+        let (t, retry, elapsed) = drive_load(
+            &addr,
+            &streams,
+            batch,
+            pipeline,
+            reply_timeout,
+            seed,
+            None::<fn()>,
+        );
+        print_run_summary(&t, &retry, requested, elapsed);
+        let mut client = Client::connect(&*addr).expect("connect for shutdown");
+        client.shutdown_server().expect("shutdown scaling server");
+        drop(client);
+        server.join();
+
+        let errors = t.rejected + t.failed;
+        let availability = t.ok as f64 / requested.max(1) as f64;
+        let error_rate = (t.shed + errors) as f64 / requested.max(1) as f64;
+        if error_rate > max_error_rate {
+            eprintln!(
+                "abpd-load: FAIL: {io}-reactor error rate {error_rate:.4} exceeds \
+                 --max-error-rate {max_error_rate}"
+            );
+            failed = true;
+        }
+        points.push(ScalingPoint {
+            io_threads: io,
+            connections,
+            decisions: t.ok as u64,
+            elapsed_secs: (elapsed.as_secs_f64() * 1000.0).round() / 1000.0,
+            decisions_per_sec: (t.ok as f64 / elapsed.as_secs_f64()).round(),
+            availability: (availability * 10_000.0).round() / 10_000.0,
+        });
+    }
+
+    // ---- gates against the committed baseline --------------------------
+    let baseline_path = "crates/bench/baselines/service_scaling_baseline.json";
+    let baseline = std::fs::read_to_string(baseline_path)
+        .ok()
+        .and_then(|text| serde_json::parse_value(&text).ok());
+    let base_rate = baseline
+        .as_ref()
+        .and_then(|b| b.get("single_core_decisions_per_sec"))
+        .and_then(|v| v.as_f64());
+    let min_ratio = baseline
+        .as_ref()
+        .and_then(|b| b.get("min_single_core_ratio"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.9);
+    let min_4x = baseline
+        .as_ref()
+        .and_then(|b| b.get("min_4x_scaling"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(2.5);
+
+    let rate_at = |io: usize| {
+        points
+            .iter()
+            .find(|p| p.io_threads == io)
+            .map(|p| p.decisions_per_sec)
+    };
+    if let (Some(one), Some(base)) = (rate_at(1), base_rate) {
+        let floor = base * min_ratio;
+        if one < floor {
+            eprintln!(
+                "abpd-load: FAIL: 1-reactor throughput {one:.0}/s regressed below \
+                 {floor:.0}/s ({min_ratio}x the committed {base:.0}/s baseline)"
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "abpd-load: 1-reactor throughput {one:.0}/s clears the {floor:.0}/s floor \
+                 ({:.2}x baseline)",
+                one / base
+            );
+        }
+    }
+    let scaling_4x = match (rate_at(1), rate_at(4)) {
+        (Some(one), Some(four)) if one > 0.0 => Some(four / one),
+        _ => None,
+    };
+    if let Some(ratio) = scaling_4x {
+        if host_cores >= 4 {
+            if ratio < min_4x {
+                eprintln!(
+                    "abpd-load: FAIL: 4-reactor scaling {ratio:.2}x below the {min_4x}x bar \
+                     ({host_cores} cores available)"
+                );
+                failed = true;
+            } else {
+                eprintln!("abpd-load: 4-reactor scaling {ratio:.2}x clears the {min_4x}x bar");
+            }
+        } else {
+            eprintln!(
+                "abpd-load: 4-reactor scaling {ratio:.2}x recorded; {min_4x}x bar skipped \
+                 (host has {host_cores} core(s), need >= 4 for the ratio to mean anything)"
+            );
+        }
+    }
+
+    // ---- report --------------------------------------------------------
+    let scaling_value = |points: &[ScalingPoint]| {
+        let mut entries = vec![
+            (
+                "host_cores".to_string(),
+                serde_json::Value::F64(host_cores as f64),
+            ),
+            ("batch".to_string(), serde_json::Value::F64(batch as f64)),
+            (
+                "pipeline".to_string(),
+                serde_json::Value::F64(pipeline as f64),
+            ),
+            (
+                "scaling_gate_armed".to_string(),
+                serde_json::Value::Bool(host_cores >= 4),
+            ),
+            (
+                "points".to_string(),
+                serde_json::to_value(points).expect("points serialize"),
+            ),
+        ];
+        if let Some(ratio) = scaling_4x {
+            entries.push((
+                "scaling_4x_vs_1".to_string(),
+                serde_json::Value::F64((ratio * 100.0).round() / 100.0),
+            ));
+        }
+        if let Some(base) = base_rate {
+            entries.push((
+                "baseline_single_core_decisions_per_sec".to_string(),
+                serde_json::Value::F64(base),
+            ));
+        }
+        serde_json::Value::Map(entries)
+    };
+
+    if let Some(path) = &out_path {
+        let mut json =
+            serde_json::to_string_pretty(&scaling_value(&points)).expect("report serializes");
+        json.push('\n');
+        std::fs::write(path, json).expect("write scaling report");
+        eprintln!("abpd-load: wrote {path}");
+    }
+    if let Some(path) = &append_path {
+        let text = std::fs::read_to_string(path).expect("read report to append to");
+        let mut value = serde_json::parse_value(&text).expect("parse report to append to");
+        if let serde_json::Value::Map(entries) = &mut value {
+            entries.retain(|(k, _)| k != "scaling");
+            entries.push(("scaling".to_string(), scaling_value(&points)));
+        }
+        let mut json = serde_json::to_string_pretty(&value).expect("report serializes");
+        json.push('\n');
+        std::fs::write(path, json).expect("append scaling curve");
+        eprintln!("abpd-load: appended scaling curve to {path}");
+    }
+
+    if failed {
         std::process::exit(1);
     }
 }

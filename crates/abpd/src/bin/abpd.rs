@@ -4,11 +4,20 @@
 //! abpd [--addr HOST:PORT] [--shards N] [--queue-depth N]
 //!      [--cache-capacity N] [--max-line-bytes N] [--seed N]
 //!      [--deadline-ms N] [--shed-watermark F]
+//!      [--server-mode blocking|event] [--io-threads N]
+//!      [--inline-batch-max N] [--no-reuseport]
 //!      [--watch FILE] [--watch-interval-ms N]
 //! ```
 //!
 //! Serves ad-blocking decisions for the generated corpus (EasyList +
 //! Acceptable Ads whitelist) until a client sends the `Shutdown` verb.
+//!
+//! `--server-mode event` swaps the thread-per-connection wire path for
+//! thread-per-core epoll reactors (`--io-threads`, default one per
+//! core) with `SO_REUSEPORT` listeners, shard-local decision caches,
+//! and inline evaluation of batches up to `--inline-batch-max`
+//! (larger ones escalate to the worker pool). Linux-only; elsewhere it
+//! falls back to blocking mode.
 //!
 //! `--deadline-ms` bounds per-request evaluation time (late requests
 //! fail with a `DeadlineExceeded` error instead of queuing forever);
@@ -26,7 +35,7 @@
 //! `abpd::faults`).
 
 use abpd::protocol::{ReloadDeltaList, ReloadList};
-use abpd::{Client, FaultConfig, ReloadDeltaOutcome, Server, ServerConfig};
+use abpd::{Client, FaultConfig, ReloadDeltaOutcome, Server, ServerConfig, ServerMode};
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -154,6 +163,8 @@ fn main() {
             "usage: abpd [--addr HOST:PORT] [--shards N] [--queue-depth N] \
              [--cache-capacity N] [--max-line-bytes N] [--seed N] \
              [--deadline-ms N] [--shed-watermark F] \
+             [--server-mode blocking|event] [--io-threads N] \
+             [--inline-batch-max N] [--no-reuseport] \
              [--watch FILE] [--watch-interval-ms N]"
         );
         return;
@@ -172,6 +183,18 @@ fn main() {
     }
     if let Some(n) = parse_flag(&args, "--max-line-bytes") {
         config.max_line_bytes = n;
+    }
+    if let Some(mode) = parse_flag::<ServerMode>(&args, "--server-mode") {
+        config.mode = mode;
+    }
+    if let Some(n) = parse_flag(&args, "--io-threads") {
+        config.io_threads = n;
+    }
+    if let Some(n) = parse_flag::<usize>(&args, "--inline-batch-max") {
+        config.inline_batch_max = n.max(1);
+    }
+    if args.iter().any(|a| a == "--no-reuseport") {
+        config.reuseport = false;
     }
     if let Some(ms) = parse_flag::<u64>(&args, "--deadline-ms") {
         config.service.deadline = Some(Duration::from_millis(ms.max(1)));
@@ -212,10 +235,11 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!(
-        "abpd: listening on {} ({} filters, {} shards)",
+        "abpd: listening on {} ({} filters, {} shards, {:?} wire path)",
         server.local_addr(),
         server.filter_count(),
-        server.shard_count()
+        server.shard_count(),
+        config.mode
     );
     if let Some(path) = watch {
         let addr = server.local_addr();

@@ -15,6 +15,7 @@
 //! miss path) and a hit verifies it field-by-field before the cached
 //! outcome is trusted; a colliding digest is just a miss.
 
+use crate::metrics::CacheAligned;
 use abp::{RequestOutcome, ResourceType};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -265,7 +266,11 @@ struct Entry {
     outcome: RequestOutcome,
 }
 
-type Shard = Mutex<LruCache<u64, Entry, FnvBuildHasher>>;
+/// Padded so one shard's lock word never shares a cache line with its
+/// neighbour's: shard mutexes are the hottest shared words in the
+/// blocking server, and unpadded they sit adjacent in one `Vec`
+/// allocation.
+type Shard = CacheAligned<Mutex<LruCache<u64, Entry, FnvBuildHasher>>>;
 
 /// The service's decision cache: N independent LRU shards indexed by
 /// the precomputed request digest, verified against the stored key on
@@ -289,7 +294,7 @@ impl DecisionCache {
         let per_shard = (total_capacity / shards).max(1);
         DecisionCache {
             shards: (0..shards)
-                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .map(|_| CacheAligned(Mutex::new(LruCache::new(per_shard))))
                 .collect(),
             per_shard,
         }
@@ -369,6 +374,87 @@ impl DecisionCache {
     /// Whether every shard is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// A single-threaded decision cache for one reactor: the same
+/// digest-indexed, generation-stamped, collision-verified LRU as
+/// [`DecisionCache`], minus the mutexes — the owning reactor thread is
+/// the only one that ever touches it, so a lookup is a plain method
+/// call on owned state and the steady-state wire path never takes a
+/// lock. Generation fencing is identical: an entry stamped by another
+/// engine generation reads as a miss, and the owner clears the cache
+/// wholesale when it observes a new generation.
+pub struct LocalDecisionCache {
+    lru: LruCache<u64, Entry, FnvBuildHasher>,
+    cap: usize,
+}
+
+impl LocalDecisionCache {
+    /// A cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> LocalDecisionCache {
+        let cap = capacity.max(1);
+        LocalDecisionCache {
+            lru: LruCache::new(cap),
+            cap,
+        }
+    }
+
+    /// Look up a decision by digest, promoting it on a hit; the full
+    /// fields and the generation are verified exactly like
+    /// [`DecisionCache::get`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn get(
+        &mut self,
+        key_hash: u64,
+        generation: u64,
+        url: &str,
+        document: &str,
+        resource_type: ResourceType,
+        sitekey: Option<&str>,
+    ) -> Option<RequestOutcome> {
+        let entry = self.lru.get(&key_hash)?;
+        if entry.generation == generation
+            && entry.key.matches(url, document, resource_type, sitekey)
+        {
+            Some(entry.outcome.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Memoize a decision under its digest.
+    pub fn insert(
+        &mut self,
+        key_hash: u64,
+        key: StoredKey,
+        generation: u64,
+        outcome: RequestOutcome,
+    ) {
+        self.lru.insert(
+            key_hash,
+            Entry {
+                key,
+                generation,
+                outcome,
+            },
+        );
+    }
+
+    /// Drop every entry (on generation change, so superseded decisions
+    /// don't squat on LRU capacity).
+    pub fn clear(&mut self) {
+        self.lru = LruCache::new(self.cap);
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
     }
 }
 
@@ -531,6 +617,49 @@ mod tests {
         assert_eq!(
             cache.get(shard, h, 1, "u", "d", ResourceType::Script, None),
             None
+        );
+    }
+
+    #[test]
+    fn local_cache_mirrors_shared_semantics() {
+        let mut cache = LocalDecisionCache::new(8);
+        let outcome = RequestOutcome {
+            decision: abp::Decision::Block,
+            activations: vec![],
+        };
+        let h = request_key_hash("u", "d", ResourceType::Script, None);
+        cache.insert(
+            h,
+            StoredKey::new("u", "d", ResourceType::Script, None),
+            3,
+            outcome.clone(),
+        );
+        // Collision (same digest, other fields) and stale generation
+        // both read as misses; the exact key at the exact generation
+        // hits.
+        assert_eq!(
+            cache.get(h, 3, "other", "d", ResourceType::Script, None),
+            None
+        );
+        assert_eq!(cache.get(h, 4, "u", "d", ResourceType::Script, None), None);
+        assert_eq!(
+            cache.get(h, 3, "u", "d", ResourceType::Script, None),
+            Some(outcome)
+        );
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_shard_locks_are_cache_line_isolated() {
+        assert_eq!(std::mem::align_of::<Shard>(), 64);
+        let cache = DecisionCache::new(4, 64);
+        let a = &cache.shards[0] as *const _ as usize;
+        let b = &cache.shards[1] as *const _ as usize;
+        assert!(
+            b - a >= 64,
+            "adjacent shard locks {a:#x}/{b:#x} share a line"
         );
     }
 

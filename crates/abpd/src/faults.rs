@@ -10,10 +10,14 @@
 //! ```
 //!
 //! Rates are **per million** draws (so `panic=10000` is 1%). Each
-//! injection site draws from a [`FaultPlan`]: a shared atomic counter
-//! hashed through splitmix64 with the configured seed, making a fault
-//! schedule reproducible for a given seed and draw order while still
-//! looking random. Four fault kinds are modeled:
+//! injection site draws from a [`FaultPlan`]: a per-slot atomic
+//! counter hashed through splitmix64 with the configured seed and the
+//! slot id, making a fault schedule reproducible for a given seed,
+//! slot, and draw order while still looking random. Slots exist so
+//! concurrent drawers (worker shards, reactor threads, connection
+//! write paths) each bump their own cache-line-padded counter instead
+//! of contending on one shared line; [`FaultPlan::draws`] merges them
+//! on demand. Four fault kinds are modeled:
 //!
 //! * **eval panics** — a worker thread panics mid-evaluation
 //!   (exercises supervision and the batch `Error` path);
@@ -24,6 +28,7 @@
 //! * **disconnects** — the server drops the connection before writing
 //!   (exercises client retry/reconnect).
 
+use crate::metrics::CacheAligned;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -148,10 +153,16 @@ pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A live fault schedule: the config plus the shared draw counter.
+/// Independent draw-counter slots. Drawers pick a stable slot (worker
+/// shard index, reactor index, connection id) and only ever contend
+/// with other drawers folded onto the same slot modulo this count.
+const SLOTS: usize = 64;
+
+/// A live fault schedule: the config plus per-slot draw counters, each
+/// on its own cache line.
 pub struct FaultPlan {
     cfg: FaultConfig,
-    counter: AtomicU64,
+    counters: Vec<CacheAligned<AtomicU64>>,
 }
 
 impl FaultPlan {
@@ -159,7 +170,9 @@ impl FaultPlan {
     pub fn new(cfg: FaultConfig) -> FaultPlan {
         FaultPlan {
             cfg,
-            counter: AtomicU64::new(0),
+            counters: (0..SLOTS)
+                .map(|_| CacheAligned(AtomicU64::new(0)))
+                .collect(),
         }
     }
 
@@ -168,19 +181,32 @@ impl FaultPlan {
         &self.cfg
     }
 
-    fn draw(&self) -> u64 {
-        let n = self.counter.fetch_add(1, Ordering::Relaxed);
-        splitmix64(self.cfg.seed ^ n.wrapping_mul(0x2545_F491_4F6C_DD1D)) % PER_MILLION
+    /// Total draws across every slot — the merged view of the padded
+    /// per-slot counters, for chaos-run accounting and tests.
+    pub fn draws(&self) -> u64 {
+        self.counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Draw for one engine evaluation.
-    pub fn eval_fault(&self) -> EvalFault {
+    fn draw(&self, slot: usize) -> u64 {
+        let slot = slot % SLOTS;
+        let n = self.counters[slot].fetch_add(1, Ordering::Relaxed);
+        let mixed = self.cfg.seed
+            ^ (slot as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ n.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        splitmix64(mixed) % PER_MILLION
+    }
+
+    /// Draw for one engine evaluation on `slot`.
+    pub fn eval_fault(&self, slot: usize) -> EvalFault {
         let panic = u64::from(self.cfg.eval_panic_per_million);
         let delay = u64::from(self.cfg.eval_delay_per_million);
         if panic == 0 && delay == 0 {
             return EvalFault::None;
         }
-        let roll = self.draw();
+        let roll = self.draw(slot);
         if roll < panic {
             EvalFault::Panic
         } else if roll < panic + delay {
@@ -190,14 +216,14 @@ impl FaultPlan {
         }
     }
 
-    /// Draw for one reply-burst write.
-    pub fn write_fault(&self) -> WriteFault {
+    /// Draw for one reply-burst write on `slot`.
+    pub fn write_fault(&self, slot: usize) -> WriteFault {
         let torn = u64::from(self.cfg.torn_write_per_million);
         let disconnect = u64::from(self.cfg.disconnect_per_million);
         if torn == 0 && disconnect == 0 {
             return WriteFault::None;
         }
-        let roll = self.draw();
+        let roll = self.draw(slot);
         if roll < torn {
             WriteFault::Torn
         } else if roll < torn + disconnect {
@@ -239,7 +265,7 @@ mod tests {
         });
         let (mut panics, mut delays) = (0u32, 0u32);
         for _ in 0..10_000 {
-            match plan.eval_fault() {
+            match plan.eval_fault(0) {
                 EvalFault::Panic => panics += 1,
                 EvalFault::Delay(d) => {
                     assert_eq!(d, Duration::from_millis(3));
@@ -257,15 +283,15 @@ mod tests {
     #[test]
     fn zero_rates_never_fire_and_skip_the_draw() {
         let plan = FaultPlan::new(FaultConfig::default());
-        for _ in 0..100 {
-            assert_eq!(plan.eval_fault(), EvalFault::None);
-            assert_eq!(plan.write_fault(), WriteFault::None);
+        for slot in 0..100 {
+            assert_eq!(plan.eval_fault(slot), EvalFault::None);
+            assert_eq!(plan.write_fault(slot), WriteFault::None);
         }
-        assert_eq!(plan.counter.load(Ordering::Relaxed), 0);
+        assert_eq!(plan.draws(), 0);
     }
 
     #[test]
-    fn same_seed_same_schedule() {
+    fn same_seed_same_schedule_per_slot() {
         let cfg = FaultConfig {
             eval_panic_per_million: 50_000,
             eval_delay_per_million: 50_000,
@@ -274,8 +300,34 @@ mod tests {
         };
         let a = FaultPlan::new(cfg.clone());
         let b = FaultPlan::new(cfg);
-        for _ in 0..1000 {
-            assert_eq!(a.eval_fault(), b.eval_fault());
+        for slot in [0usize, 1, 7, 63] {
+            for _ in 0..250 {
+                assert_eq!(a.eval_fault(slot), b.eval_fault(slot));
+            }
         }
+        assert_eq!(a.draws(), 4 * 250);
+        // Slots interleave without disturbing each other's schedules:
+        // draws on slot 1 must not shift slot 0's sequence.
+        let c = FaultPlan::new(a.config().clone());
+        let d = FaultPlan::new(a.config().clone());
+        let solo: Vec<EvalFault> = (0..100).map(|_| c.eval_fault(0)).collect();
+        let interleaved: Vec<EvalFault> = (0..100)
+            .map(|_| {
+                let _ = d.eval_fault(1);
+                d.eval_fault(0)
+            })
+            .collect();
+        assert_eq!(solo, interleaved);
+    }
+
+    #[test]
+    fn slots_get_distinct_schedules() {
+        let plan = FaultPlan::new(FaultConfig {
+            eval_panic_per_million: 500_000,
+            ..FaultConfig::default()
+        });
+        let s0: Vec<EvalFault> = (0..64).map(|_| plan.eval_fault(0)).collect();
+        let s1: Vec<EvalFault> = (0..64).map(|_| plan.eval_fault(1)).collect();
+        assert_ne!(s0, s1, "slot schedules should not be identical");
     }
 }

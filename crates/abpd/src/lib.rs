@@ -16,14 +16,18 @@
 //! The load generator (`abpd-load`) and the fleet router
 //! (`abpd-proxy`) live in the `abpd-proxy` crate.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the epoll shim in [`poll`] is the one
+// module allowed to opt back in for its FFI declarations.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
 pub mod faults;
 pub mod metrics;
+pub mod poll;
 pub mod protocol;
+pub(crate) mod reactor;
 pub mod server;
 pub mod service;
 pub mod wire;
@@ -31,7 +35,7 @@ pub mod wire;
 pub use client::{Client, ReloadDeltaOutcome, RetryClient, RetryPolicy};
 pub use faults::FaultConfig;
 pub use protocol::{DecisionRequest, DecisionResponse, HealthReport, HealthState, StatsReport};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ServerMode};
 pub use service::{serving_checksum, ReloadDeltaError, Service, ServiceConfig, ServiceError};
 
 use websim::ecosystem::LoadKind;

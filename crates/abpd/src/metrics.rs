@@ -4,6 +4,29 @@
 use crate::protocol::{ShardStats, StatsReport};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Pads and aligns its contents to a 64-byte cache line so adjacent
+/// slots in a `Vec` never share a line. `ShardMetrics` is ~56 bytes;
+/// without this, shard 0's `requests` and shard 1's `cache_hits` land
+/// on one line and every increment from different cores ping-pongs it.
+/// `Deref` keeps call sites unchanged.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CacheAligned<T>(pub T);
+
+impl<T> std::ops::Deref for CacheAligned<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CacheAligned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
 /// Histogram bucket layout (microseconds): 1µs resolution below 100µs,
 /// 100µs resolution to 10ms, 1ms resolution to 100ms, one overflow
 /// bucket. Fixed boundaries keep recording a single atomic increment.
@@ -85,7 +108,7 @@ impl Histogram {
     }
 
     /// Fold another histogram's counts into an owned copy of this one.
-    fn merged(&self, other: &Histogram) -> Histogram {
+    pub(crate) fn merged(&self, other: &Histogram) -> Histogram {
         let out = Histogram::default();
         for (i, b) in out.buckets.iter().enumerate() {
             b.store(
@@ -132,7 +155,8 @@ impl ShardMetrics {
 /// frozen wire shape (byte-identity is property-tested) and gaining
 /// fields would break it.
 pub struct Metrics {
-    shards: Vec<ShardMetrics>,
+    /// Padded so two shards' counters never share a cache line.
+    shards: Vec<CacheAligned<ShardMetrics>>,
     /// Batches refused with `Overloaded` by the queue watermark.
     pub sheds: AtomicU64,
     /// Batches failed because their evaluation deadline passed.
@@ -144,7 +168,7 @@ impl Metrics {
     pub fn new(shards: usize) -> Self {
         Metrics {
             shards: (0..shards.max(1))
-                .map(|_| ShardMetrics::default())
+                .map(|_| CacheAligned(ShardMetrics::default()))
                 .collect(),
             sheds: AtomicU64::new(0),
             deadline_timeouts: AtomicU64::new(0),
@@ -158,9 +182,24 @@ impl Metrics {
 
     /// Snapshot everything into a wire-format report.
     pub fn report(&self) -> StatsReport {
-        let shards: Vec<ShardStats> = self.shards.iter().map(ShardMetrics::snapshot).collect();
-        let merged = self
+        self.report_with_extra(&[])
+    }
+
+    /// Snapshot into a wire-format report with `extra` shard counters
+    /// (the event-driven server's per-reactor metrics) appended after
+    /// the worker shards and folded into the totals. The merge happens
+    /// here, at report time, precisely so the hot path never has to
+    /// touch a shared line: reactors write their own padded counters
+    /// and only a `Stats` request pays for summing them.
+    pub fn report_with_extra(&self, extra: &[&ShardMetrics]) -> StatsReport {
+        let all: Vec<&ShardMetrics> = self
             .shards
+            .iter()
+            .map(|s| &s.0)
+            .chain(extra.iter().copied())
+            .collect();
+        let shards: Vec<ShardStats> = all.iter().map(|s| s.snapshot()).collect();
+        let merged = all
             .iter()
             .map(|s| &s.latency)
             .fold(Histogram::default(), |acc, h| acc.merged(h));
@@ -174,6 +213,20 @@ impl Metrics {
             shards,
         }
     }
+}
+
+/// One reactor thread's counters, merged into `Stats`/`Health` replies
+/// on demand. The decision counters live in a padded [`ShardMetrics`]
+/// the owning reactor alone increments; `eval_panics` counts inline
+/// evaluations that panicked (injected or real) and were caught
+/// without killing the reactor — the event-mode analogue of a worker
+/// restart, appended to `HealthReport::shard_restarts`.
+#[derive(Default)]
+pub struct ReactorMetrics {
+    /// Decision counters for work evaluated inline on this reactor.
+    pub shard: CacheAligned<ShardMetrics>,
+    /// Caught inline-evaluation panics (survived, not respawned).
+    pub eval_panics: AtomicU64,
 }
 
 #[cfg(test)]
@@ -228,5 +281,34 @@ mod tests {
         assert_eq!(r.cache_hits, 2);
         assert_eq!(r.shards.len(), 2);
         assert!(r.p99_us >= 400);
+    }
+
+    #[test]
+    fn shard_slots_are_cache_line_isolated() {
+        assert_eq!(std::mem::align_of::<CacheAligned<ShardMetrics>>(), 64);
+        assert_eq!(std::mem::size_of::<CacheAligned<ShardMetrics>>() % 64, 0);
+        let m = Metrics::new(4);
+        let a = m.shard(0) as *const _ as usize;
+        let b = m.shard(1) as *const _ as usize;
+        assert!(b - a >= 64, "adjacent shards {a:#x}/{b:#x} share a line");
+    }
+
+    #[test]
+    fn extra_shards_merge_into_totals_and_tail() {
+        let m = Metrics::new(1);
+        m.shard(0).requests.fetch_add(10, Ordering::Relaxed);
+        m.shard(0).latency.record_us(5);
+        let r0 = ReactorMetrics::default();
+        r0.shard.requests.fetch_add(7, Ordering::Relaxed);
+        r0.shard.blocks.fetch_add(2, Ordering::Relaxed);
+        r0.shard.latency.record_us(50_000);
+        let r = m.report_with_extra(&[&r0.shard]);
+        assert_eq!(r.requests, 17);
+        assert_eq!(r.blocks, 2);
+        assert_eq!(r.shards.len(), 2);
+        assert_eq!(r.shards[1].requests, 7);
+        assert!(r.p99_us >= 50_000, "extra latency must merge: {}", r.p99_us);
+        // Plain report is unchanged by reactors existing elsewhere.
+        assert_eq!(m.report().requests, 10);
     }
 }

@@ -439,6 +439,7 @@ mod pipelining {
                         cache_capacity: 64,
                         ..ServiceConfig::default()
                     },
+                    ..ServerConfig::default()
                 },
             )
             .unwrap();

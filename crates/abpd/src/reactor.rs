@@ -1,0 +1,932 @@
+//! The event-driven server mode: N reactor threads, each owning an
+//! epoll instance, a `SO_REUSEPORT` listener (or a dispatch channel
+//! when reuseport is unavailable), its nonblocking connections, and
+//! all the hot state a decision touches — read/write buffers,
+//! [`BatchScratch`], a [`LocalEval`] with its unsynchronized decision
+//! cache, and cache-line-padded metrics.
+//!
+//! A connection is accepted by exactly one reactor and never migrates:
+//! parse → evaluate → corked reply all run on that core, so the steady
+//! state shares no cache line between cores. Oversized `DecideBatch`
+//! work escalates to the sharded worker pool through
+//! [`Service::decide_batch_local`], keeping the pool's shed, deadline,
+//! and supervision semantics; `Reload`/`ReloadDelta`/`Health`/`Stats`
+//! answer on the reactor, with `Stats`/`Health` merging the
+//! per-reactor counters on demand.
+//!
+//! Replies stay corked per readiness burst: every line parsed from one
+//! drained read burst appends to the connection's write buffer, which
+//! is flushed once at burst end (and incrementally past 64 KiB). When
+//! the peer stops draining, the buffer caps at
+//! [`WRITE_BACKPRESSURE_BYTES`]: the reactor stops reading and parsing
+//! for that connection, arms `EPOLLOUT`, and resumes where it left off
+//! once the kernel accepts the backlog — one slow reader never holds
+//! buffers or the reactor hostage.
+
+use crate::faults::{FaultPlan, WriteFault};
+use crate::metrics::ReactorMetrics;
+use crate::poll::{self, Poller, WakeFd};
+use crate::protocol::ReloadList;
+use crate::server::{write_batch_error, ServerConfig};
+use crate::service::{BatchScratch, LocalEval, ReloadDeltaError, Service};
+use crate::wire::{self, ClientMessageRef};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Flush the corked reply buffer once it holds this many bytes even if
+/// more parsed input is pending (same cap as the blocking server).
+const CORK_FLUSH_BYTES: usize = 64 * 1024;
+
+/// Stop reading and parsing a connection whose corked replies the peer
+/// is not draining once this many bytes are pending; resume when the
+/// kernel accepts the backlog.
+pub(crate) const WRITE_BACKPRESSURE_BYTES: usize = 256 * 1024;
+
+/// Fault-plan slot base for reactor eval draws, keeping their
+/// schedules disjoint from the worker shards' low slots.
+const EVAL_SLOT_BASE: usize = 32;
+
+const TOKEN_WAKE: u64 = 0;
+const TOKEN_LISTEN: u64 = 1;
+const TOKEN_CONN_BASE: u64 = 2;
+
+/// State shared by the reactors, the fallback acceptor, and the
+/// [`EventServer`] handle.
+pub(crate) struct EventShared {
+    pub(crate) service: Service,
+    running: AtomicBool,
+    kill: AtomicBool,
+    max_line_bytes: usize,
+    write_faults: Option<FaultPlan>,
+    /// One padded metrics block per reactor, merged into
+    /// `Stats`/`Health` replies on demand.
+    reactors: Vec<Arc<ReactorMetrics>>,
+    /// Each reactor's eventfd, for waking it out of `epoll_wait`.
+    wakers: Vec<Arc<WakeFd>>,
+    local_addr: SocketAddr,
+    /// Whether the round-robin dispatch acceptor is running (and needs
+    /// a poke connection to notice `running` flipped).
+    dispatch: bool,
+}
+
+/// The running event-mode server: reactor threads plus (in dispatch
+/// mode) the acceptor.
+pub(crate) struct EventServer {
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) shared: Arc<EventShared>,
+    threads: Vec<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl EventServer {
+    /// Bind listeners, spawn `io_threads` reactors, and start serving.
+    pub(crate) fn start(service: Service, config: &ServerConfig) -> io::Result<EventServer> {
+        let n = if config.io_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get().clamp(1, 16))
+        } else {
+            config.io_threads.min(64)
+        };
+
+        // Per-reactor listeners via SO_REUSEPORT: the kernel hashes
+        // incoming connections across the accept queues, so no thread
+        // ever touches another's connections. Falls back to one
+        // blocking acceptor round-robining accepted sockets over
+        // dispatch channels when reuseport can't be had.
+        let mut listeners: Vec<TcpListener> = Vec::new();
+        let mut local_addr = None;
+        if config.reuseport && poll::supported() {
+            if let Some(addr) = config.addr.to_socket_addrs()?.next() {
+                if let Ok(first) = poll::listen_reuseport(addr) {
+                    let resolved = first.local_addr()?;
+                    listeners.push(first);
+                    for _ in 1..n {
+                        listeners.push(poll::listen_reuseport(resolved)?);
+                    }
+                    local_addr = Some(resolved);
+                }
+            }
+        }
+        let dispatch_listener = if listeners.is_empty() {
+            let l = std::net::TcpListener::bind(&config.addr)?;
+            local_addr = Some(l.local_addr()?);
+            Some(l)
+        } else {
+            None
+        };
+        let local_addr = local_addr.expect("either reuseport or dispatch bound");
+
+        let mut wakers = Vec::with_capacity(n);
+        let mut pollers = Vec::with_capacity(n);
+        for _ in 0..n {
+            wakers.push(Arc::new(WakeFd::new()?));
+            pollers.push(Poller::new()?);
+        }
+        let reactors: Vec<Arc<ReactorMetrics>> = (0..n)
+            .map(|_| Arc::new(ReactorMetrics::default()))
+            .collect();
+        let write_faults = config
+            .service
+            .faults
+            .as_ref()
+            .filter(|c| c.torn_write_per_million > 0 || c.disconnect_per_million > 0)
+            .cloned()
+            .map(FaultPlan::new);
+        let shared = Arc::new(EventShared {
+            service,
+            running: AtomicBool::new(true),
+            kill: AtomicBool::new(false),
+            max_line_bytes: config.max_line_bytes.max(64),
+            write_faults,
+            reactors,
+            wakers,
+            local_addr,
+            dispatch: dispatch_listener.is_some(),
+        });
+
+        // Dispatch channels only exist in fallback mode.
+        let mut incoming_rx: Vec<Option<Receiver<TcpStream>>> = (0..n).map(|_| None).collect();
+        let mut incoming_tx: Vec<Sender<TcpStream>> = Vec::new();
+        if dispatch_listener.is_some() {
+            for rx in incoming_rx.iter_mut() {
+                let (tx, r) = bounded::<TcpStream>(1024);
+                incoming_tx.push(tx);
+                *rx = Some(r);
+            }
+        }
+
+        let cache_capacity = (config.service.cache_capacity / n).max(1);
+        let mut threads = Vec::with_capacity(n);
+        let mut listeners = listeners.into_iter();
+        for (idx, rx) in incoming_rx.into_iter().enumerate() {
+            let local = shared.service.local_eval(
+                EVAL_SLOT_BASE + idx,
+                cache_capacity,
+                config.inline_batch_max.max(1),
+                shared.reactors[idx].clone(),
+            );
+            let reactor = Reactor {
+                idx,
+                shared: shared.clone(),
+                poller: pollers.pop().expect("one poller per reactor"),
+                wake: shared.wakers[idx].clone(),
+                listener: listeners.next(),
+                incoming: rx,
+                conns: Vec::new(),
+                free: Vec::new(),
+                open: 0,
+                scratch: shared.service.scratch(),
+                local,
+                rbuf: vec![0u8; 64 * 1024],
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("abpd-reactor-{idx}"))
+                    .spawn(move || reactor.run())?,
+            );
+        }
+
+        let acceptor = match dispatch_listener {
+            None => None,
+            Some(listener) => {
+                let shared = shared.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("abpd-dispatch".to_string())
+                        .spawn(move || {
+                            let mut rr = 0usize;
+                            for conn in listener.incoming() {
+                                if !shared.running.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                let Ok(stream) = conn else { continue };
+                                let _ = stream.set_nodelay(true);
+                                let mut stream = Some(stream);
+                                for attempt in 0..incoming_tx.len() {
+                                    let t = (rr + attempt) % incoming_tx.len();
+                                    match incoming_tx[t].try_send(stream.take().expect("unsent")) {
+                                        Ok(()) => {
+                                            shared.wakers[t].wake();
+                                            break;
+                                        }
+                                        Err(TrySendError::Full(s))
+                                        | Err(TrySendError::Disconnected(s)) => {
+                                            stream = Some(s);
+                                        }
+                                    }
+                                }
+                                // Every queue full: drop the connection
+                                // (the accept path's load shed).
+                                rr = (rr + 1) % incoming_tx.len().max(1);
+                            }
+                        })?,
+                )
+            }
+        };
+
+        Ok(EventServer {
+            local_addr,
+            shared,
+            threads,
+            acceptor,
+        })
+    }
+
+    fn stop(&self) {
+        if self.shared.running.swap(false, Ordering::SeqCst) {
+            for w in &self.shared.wakers {
+                w.wake();
+            }
+            if self.shared.dispatch {
+                let _ = TcpStream::connect(self.shared.local_addr);
+            }
+        } else {
+            // Already stopping (e.g. via the Shutdown verb); re-wake so
+            // joiners can't race a missed edge.
+            for w in &self.shared.wakers {
+                w.wake();
+            }
+        }
+    }
+
+    fn join_threads(&mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+
+    /// Graceful: stop accepting, serve open connections until their
+    /// peers close, then join.
+    pub(crate) fn shutdown(mut self) {
+        self.stop();
+        self.join_threads();
+    }
+
+    /// Abrupt: stop accepting and slam every open connection shut.
+    pub(crate) fn kill(mut self) {
+        self.shared.kill.store(true, Ordering::SeqCst);
+        self.stop();
+        self.join_threads();
+    }
+
+    /// Block until the server stops (via the `Shutdown` verb).
+    pub(crate) fn join(mut self) {
+        self.join_threads();
+    }
+}
+
+/// One nonblocking connection owned by a reactor.
+struct Conn {
+    sock: TcpStream,
+    /// Unparsed input; a partial line stays here across bursts.
+    buf: Vec<u8>,
+    /// Corked replies; `out[out_pos..]` is the unwritten remainder.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Bytes discarded so far of an oversized line (reply owed at its
+    /// newline).
+    discarding: Option<usize>,
+    /// Input parsing suspended by write backpressure.
+    paused: bool,
+    /// Peer finished sending; close once replies drain.
+    eof: bool,
+    /// Close once replies drain (Shutdown verb answered).
+    close_after_flush: bool,
+    /// A write fault has been drawn for the burst in `out`.
+    fault_drawn: bool,
+    /// Interest currently registered with the poller.
+    cur_read: bool,
+    cur_write: bool,
+}
+
+struct Reactor {
+    idx: usize,
+    shared: Arc<EventShared>,
+    poller: Poller,
+    wake: Arc<WakeFd>,
+    /// Own reuseport listener; `None` in dispatch mode (and after a
+    /// graceful stop parks it).
+    listener: Option<TcpListener>,
+    /// Dispatch-mode handoff from the acceptor thread.
+    incoming: Option<Receiver<TcpStream>>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    open: usize,
+    scratch: BatchScratch,
+    local: LocalEval,
+    rbuf: Vec<u8>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        if self
+            .poller
+            .add(self.wake.raw(), TOKEN_WAKE, true, false)
+            .is_err()
+        {
+            return;
+        }
+        if let Some(l) = &self.listener {
+            if self
+                .poller
+                .add(poll::raw_fd(l), TOKEN_LISTEN, true, false)
+                .is_err()
+            {
+                return;
+            }
+        }
+        let mut events = Vec::new();
+        loop {
+            if self.shared.kill.load(Ordering::SeqCst) {
+                // Slam every socket shut (close mid-burst); peers see
+                // a reset, exactly like a killed process.
+                return;
+            }
+            if !self.shared.running.load(Ordering::SeqCst) {
+                if let Some(l) = self.listener.take() {
+                    let _ = self.poller.delete(poll::raw_fd(&l));
+                    drop(l);
+                }
+                if self.open == 0 {
+                    return;
+                }
+            }
+            // Every state change that matters wakes us via eventfd;
+            // the finite timeout is only a safety net.
+            if self.poller.wait(&mut events, 500).is_err() {
+                return;
+            }
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match ev.token {
+                    TOKEN_WAKE => {
+                        self.wake.drain();
+                        self.accept_dispatched();
+                    }
+                    TOKEN_LISTEN => self.accept_burst(),
+                    t => {
+                        let idx = (t - TOKEN_CONN_BASE) as usize;
+                        self.on_conn_event(idx, ev.readable, ev.writable);
+                    }
+                }
+            }
+            events = batch;
+        }
+    }
+
+    fn accept_burst(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((sock, _)) => self.register(sock),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn accept_dispatched(&mut self) {
+        // Accepting while stopping would strand the socket: the
+        // acceptor only forwards pre-stop connections, but the wake
+        // that delivered them may be the stop signal itself.
+        if !self.shared.running.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(rx) = self.incoming.clone() else {
+            return;
+        };
+        while let Ok(sock) = rx.try_recv() {
+            self.register(sock);
+        }
+    }
+
+    fn register(&mut self, sock: TcpStream) {
+        let _ = sock.set_nodelay(true);
+        if sock.set_nonblocking(true).is_err() {
+            return;
+        }
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let token = idx as u64 + TOKEN_CONN_BASE;
+        if self
+            .poller
+            .add(poll::raw_fd(&sock), token, true, false)
+            .is_err()
+        {
+            self.free.push(idx);
+            return;
+        }
+        self.conns[idx] = Some(Conn {
+            sock,
+            buf: Vec::new(),
+            out: Vec::with_capacity(4096),
+            out_pos: 0,
+            discarding: None,
+            paused: false,
+            eof: false,
+            close_after_flush: false,
+            fault_drawn: false,
+            cur_read: true,
+            cur_write: false,
+        });
+        self.open += 1;
+    }
+
+    fn close(&mut self, idx: usize, conn: Conn) {
+        // Dropping the socket closes the fd, which also deregisters it
+        // from the poller.
+        drop(conn);
+        self.free.push(idx);
+        self.open -= 1;
+    }
+
+    fn on_conn_event(&mut self, idx: usize, readable: bool, writable: bool) {
+        // A connection closed earlier in this event batch can leave a
+        // stale event behind (or its slot may already be reused — in
+        // which case the spurious read below just WouldBlocks).
+        let Some(mut conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        match self.drive(&mut conn, readable, writable) {
+            Ok(false) => {
+                self.update_interest(idx, &mut conn);
+                self.conns[idx] = Some(conn);
+            }
+            Ok(true) | Err(_) => self.close(idx, conn),
+        }
+    }
+
+    /// Progress one connection for one readiness event. `Ok(true)`
+    /// means the connection is finished and should close cleanly.
+    fn drive(&mut self, conn: &mut Conn, readable: bool, writable: bool) -> io::Result<bool> {
+        if writable {
+            self.flush(conn)?;
+        }
+        if readable && !conn.paused && !conn.eof {
+            if self.read_burst(conn)? {
+                conn.eof = true;
+            }
+        }
+        let shutdown = self.process(conn)?;
+        self.flush(conn)?;
+        if shutdown {
+            conn.close_after_flush = true;
+        }
+        let pending = conn.out.len() - conn.out_pos;
+        if pending == 0 && (conn.close_after_flush || (conn.eof && !conn.paused)) {
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Drain the socket into the connection's input buffer. `Ok(true)`
+    /// on EOF. Input is capped per pass; level-triggered epoll re-fires
+    /// for the remainder.
+    fn read_burst(&mut self, conn: &mut Conn) -> io::Result<bool> {
+        let cap = self.shared.max_line_bytes + self.rbuf.len();
+        loop {
+            if conn.buf.len() >= cap {
+                return Ok(false);
+            }
+            match conn.sock.read(&mut self.rbuf) {
+                Ok(0) => return Ok(true),
+                Ok(n) => {
+                    conn.buf.extend_from_slice(&self.rbuf[..n]);
+                    if n < self.rbuf.len() {
+                        return Ok(false);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Parse and answer every complete line buffered for `conn`,
+    /// corking replies into `conn.out`. Honors the oversized-line
+    /// discard protocol, the 64 KiB cork cap, and write backpressure
+    /// (which leaves the remaining input buffered and `paused` set).
+    /// `Ok(true)` when a `Shutdown` verb was answered.
+    fn process(&mut self, conn: &mut Conn) -> io::Result<bool> {
+        let mut consumed = 0usize;
+        let mut shutdown = false;
+        loop {
+            if conn.out.len() - conn.out_pos >= CORK_FLUSH_BYTES {
+                self.flush(conn)?;
+                if conn.out.len() - conn.out_pos >= WRITE_BACKPRESSURE_BYTES {
+                    conn.paused = true;
+                    break;
+                }
+            }
+            conn.paused = false;
+            if let Some(discarded) = conn.discarding {
+                match find_newline(&conn.buf[consumed..]) {
+                    Some(nl) => {
+                        let total = discarded + nl;
+                        wire::write_error(
+                            &format!(
+                                "request line too long: {total} bytes exceeds the {} byte limit",
+                                self.shared.max_line_bytes
+                            ),
+                            &mut conn.out,
+                        );
+                        conn.out.push(b'\n');
+                        consumed += nl + 1;
+                        conn.discarding = None;
+                        continue;
+                    }
+                    None => {
+                        conn.discarding = Some(discarded + (conn.buf.len() - consumed));
+                        consumed = conn.buf.len();
+                        break;
+                    }
+                }
+            }
+            match find_newline(&conn.buf[consumed..]) {
+                None => {
+                    let tail = conn.buf.len() - consumed;
+                    if tail > self.shared.max_line_bytes {
+                        conn.discarding = Some(tail);
+                        consumed = conn.buf.len();
+                    }
+                    break;
+                }
+                Some(nl) => {
+                    let end = consumed + nl;
+                    if nl > self.shared.max_line_bytes {
+                        wire::write_error(
+                            &format!(
+                                "request line too long: {nl} bytes exceeds the {} byte limit",
+                                self.shared.max_line_bytes
+                            ),
+                            &mut conn.out,
+                        );
+                        conn.out.push(b'\n');
+                    } else {
+                        let line_end = if nl > 0 && conn.buf[end - 1] == b'\r' {
+                            end - 1
+                        } else {
+                            end
+                        };
+                        shutdown = self.handle_line_split(conn, consumed, line_end)?;
+                    }
+                    consumed = end + 1;
+                    if shutdown {
+                        // Parity with the blocking server: once the
+                        // shutdown ack is corked, later pipelined
+                        // lines on this connection go unanswered.
+                        break;
+                    }
+                }
+            }
+        }
+        conn.buf.drain(..consumed);
+        Ok(shutdown)
+    }
+
+    /// Borrow-splitting shim: `conn.buf[start..end]` is the request
+    /// line, `conn.out` the reply sink — disjoint fields, but both
+    /// reachable only through `conn` while `self` carries the scratch
+    /// and local-eval state.
+    fn handle_line_split(&mut self, conn: &mut Conn, start: usize, end: usize) -> io::Result<bool> {
+        // Move the buffers out so `self` and the line can be borrowed
+        // together, then restore them.
+        let buf = std::mem::take(&mut conn.buf);
+        let mut out = std::mem::take(&mut conn.out);
+        let result = self.handle_line(&buf[start..end], &mut out);
+        conn.buf = buf;
+        conn.out = out;
+        result
+    }
+
+    /// Answer one request line into `out`. Mirrors the blocking
+    /// server's dispatch, but decisions take the inline
+    /// [`Service::decide_batch_local`] path and `Stats`/`Health` merge
+    /// the per-reactor counters.
+    fn handle_line(&mut self, raw: &[u8], out: &mut Vec<u8>) -> io::Result<bool> {
+        let service = &self.shared.service;
+        let Ok(text) = std::str::from_utf8(raw) else {
+            wire::write_error("unparseable message: request line is not UTF-8", out);
+            out.push(b'\n');
+            return Ok(false);
+        };
+        if text.trim().is_empty() {
+            return Ok(false);
+        }
+        match wire::parse_client_message(text) {
+            Err(e) => wire::write_error(&format!("unparseable message: {e}"), out),
+            Ok(ClientMessageRef::Ping) => wire::write_pong(out),
+            Ok(ClientMessageRef::Stats) => {
+                wire::write_stats_reply(&service.stats_with(&self.shared.reactors), out)
+            }
+            Ok(ClientMessageRef::Decide(req)) => {
+                match service.decide_batch_local(
+                    std::slice::from_ref(&req),
+                    &mut self.scratch,
+                    &mut self.local,
+                ) {
+                    Ok(()) => wire::write_decision_reply(&self.scratch.responses()[0], out),
+                    Err(e) => write_batch_error(&e, out),
+                }
+            }
+            Ok(ClientMessageRef::DecideBatch(reqs)) => {
+                match service.decide_batch_local(&reqs, &mut self.scratch, &mut self.local) {
+                    Ok(()) => wire::write_batch_reply(self.scratch.responses(), out),
+                    Err(e) => write_batch_error(&e, out),
+                }
+            }
+            Ok(ClientMessageRef::Reload(lists)) => {
+                let owned: Vec<ReloadList> = lists
+                    .into_iter()
+                    .map(|l| ReloadList {
+                        source: l.source,
+                        content: l.content.into_owned(),
+                    })
+                    .collect();
+                match service.reload(&owned) {
+                    Ok(report) => wire::write_reloaded(&report, out),
+                    Err(e) => wire::write_error(&e, out),
+                }
+            }
+            Ok(ClientMessageRef::ReloadDelta(deltas)) => match service.reload_delta(&deltas) {
+                Ok(report) => wire::write_reloaded(&report, out),
+                Err(ReloadDeltaError::BaseMismatch {
+                    source,
+                    serving_check,
+                    generation,
+                }) => wire::write_reload_base_mismatch(
+                    &crate::protocol::ReloadMismatch {
+                        source,
+                        serving_check,
+                        generation,
+                    },
+                    out,
+                ),
+                Err(ReloadDeltaError::Rejected(e)) => wire::write_error(&e, out),
+            },
+            Ok(ClientMessageRef::Health) => {
+                wire::write_health_reply(&service.health_with(&self.shared.reactors), out)
+            }
+            Ok(ClientMessageRef::Shutdown) => {
+                service.begin_drain();
+                wire::write_shutting_down(out);
+                out.push(b'\n');
+                self.initiate_stop();
+                return Ok(true);
+            }
+        }
+        out.push(b'\n');
+        Ok(false)
+    }
+
+    fn initiate_stop(&self) {
+        if self.shared.running.swap(false, Ordering::SeqCst) {
+            for w in &self.shared.wakers {
+                w.wake();
+            }
+            if self.shared.dispatch {
+                let _ = TcpStream::connect(self.shared.local_addr);
+            }
+        }
+    }
+
+    /// Write as much of the corked burst as the kernel will take. A
+    /// `WouldBlock` mid-burst returns `Ok` with bytes left pending
+    /// (interest recomputation arms `EPOLLOUT`). The write-fault plan
+    /// is consulted once per fresh burst, mirroring the blocking
+    /// server's per-flush draw.
+    fn flush(&self, conn: &mut Conn) -> io::Result<()> {
+        if conn.out_pos == conn.out.len() {
+            conn.out.clear();
+            conn.out_pos = 0;
+            return Ok(());
+        }
+        if conn.out_pos == 0 && !conn.fault_drawn {
+            conn.fault_drawn = true;
+            if let Some(plan) = &self.shared.write_faults {
+                match plan.write_fault(self.idx) {
+                    WriteFault::Torn => {
+                        let _ = conn.sock.write(&conn.out[..conn.out.len() / 2]);
+                        return Err(io::Error::other("injected torn write"));
+                    }
+                    WriteFault::Disconnect => {
+                        return Err(io::Error::other("injected disconnect"));
+                    }
+                    WriteFault::None => {}
+                }
+            }
+        }
+        loop {
+            match conn.sock.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    conn.out_pos += n;
+                    if conn.out_pos == conn.out.len() {
+                        conn.out.clear();
+                        conn.out_pos = 0;
+                        conn.fault_drawn = false;
+                        return Ok(());
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn update_interest(&self, idx: usize, conn: &mut Conn) {
+        let want_read = !conn.paused && !conn.eof && !conn.close_after_flush;
+        let want_write = conn.out.len() > conn.out_pos;
+        if (want_read, want_write) != (conn.cur_read, conn.cur_write) {
+            let token = idx as u64 + TOKEN_CONN_BASE;
+            if self
+                .poller
+                .modify(poll::raw_fd(&conn.sock), token, want_read, want_write)
+                .is_ok()
+            {
+                conn.cur_read = want_read;
+                conn.cur_write = want_write;
+            }
+        }
+    }
+}
+
+fn find_newline(hay: &[u8]) -> Option<usize> {
+    hay.iter().position(|&b| b == b'\n')
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use crate::server::{Server, ServerConfig, ServerMode};
+    use crate::service::ServiceConfig;
+    use abp::Engine;
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    fn tiny_engine() -> Engine {
+        let list = abp::FilterList::parse(abp::ListSource::EasyList, "||ads.example^\n");
+        Engine::from_lists([&list])
+    }
+
+    fn event_config(io_threads: usize) -> ServerConfig {
+        ServerConfig {
+            mode: ServerMode::Event,
+            io_threads,
+            service: ServiceConfig {
+                shards: 1,
+                ..ServiceConfig::default()
+            },
+            ..ServerConfig::default()
+        }
+    }
+
+    fn connect(server: &Server) -> (TcpStream, BufReader<TcpStream>) {
+        let sock = TcpStream::connect(server.local_addr()).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(sock.try_clone().unwrap());
+        (sock, reader)
+    }
+
+    /// A reply must not stay corked behind a buffered *partial* next
+    /// line, and finishing the line later must yield its own reply.
+    #[test]
+    fn partial_line_reads_reassemble() {
+        let server = Server::start(tiny_engine(), &event_config(1)).unwrap();
+        let (mut sock, mut reader) = connect(&server);
+        sock.write_all(b"\"Ping\"\n\"Pi").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "\"Pong\"");
+        // Drip the rest through byte by byte.
+        for b in b"ng\"\n" {
+            sock.write_all(std::slice::from_ref(b)).unwrap();
+        }
+        reply.clear();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "\"Pong\"");
+        drop((sock, reader));
+        server.shutdown();
+    }
+
+    /// A peer that pipelines far more requests than it drains must hit
+    /// the write-backpressure cap (the reactor pauses reading, arms
+    /// EPOLLOUT, and resumes later) and still receive every reply in
+    /// order once it starts reading.
+    #[test]
+    fn corked_write_backpressure_pauses_and_resumes() {
+        // ~200k pongs ≈ 1.4 MB of replies: far past the 256 KiB cap
+        // plus both kernel socket buffers.
+        const N: usize = 200_000;
+        let server = Server::start(tiny_engine(), &event_config(1)).unwrap();
+        let (sock, mut reader) = connect(&server);
+        let writer = {
+            let mut sock = sock.try_clone().unwrap();
+            std::thread::spawn(move || {
+                let chunk = "\"Ping\"\n".repeat(1000);
+                for _ in 0..(N / 1000) {
+                    sock.write_all(chunk.as_bytes()).unwrap();
+                }
+            })
+        };
+        let mut reply = String::new();
+        for i in 0..N {
+            reply.clear();
+            reader.read_line(&mut reply).unwrap();
+            assert_eq!(reply.trim_end(), "\"Pong\"", "reply {i}");
+        }
+        writer.join().unwrap();
+        drop((sock, reader));
+        server.shutdown();
+    }
+
+    /// A client that dies mid-line must not wedge the reactor or leak
+    /// the connection; the server keeps serving others.
+    #[test]
+    fn mid_line_disconnect_is_dropped_cleanly() {
+        let server = Server::start(tiny_engine(), &event_config(2)).unwrap();
+        for _ in 0..8 {
+            let (mut sock, mut reader) = connect(&server);
+            sock.write_all(b"\"Ping\"\n{\"Decide\":{\"url\":\"http://x")
+                .unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            assert_eq!(reply.trim_end(), "\"Pong\"");
+            drop((sock, reader)); // mid-line EOF
+        }
+        // Server still healthy and answering.
+        let (mut sock, mut reader) = connect(&server);
+        sock.write_all(b"\"Health\"\n\"Ping\"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.contains("\"ok\""),
+            "health after disconnects: {reply}"
+        );
+        reply.clear();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "\"Pong\"");
+        drop((sock, reader));
+        server.shutdown();
+    }
+
+    /// `Server::kill` must slam nonblocking sockets shut: blocked
+    /// client reads fail fast instead of waiting out a drain.
+    #[test]
+    fn kill_slams_open_connections() {
+        let server = Server::start(tiny_engine(), &event_config(2)).unwrap();
+        let mut clients = Vec::new();
+        for _ in 0..4 {
+            let (mut sock, mut reader) = connect(&server);
+            sock.write_all(b"\"Ping\"\n").unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            assert_eq!(reply.trim_end(), "\"Pong\"");
+            clients.push((sock, reader));
+        }
+        server.kill(); // joins the reactors: sockets are already dead
+        for (sock, _reader) in &mut clients {
+            sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut buf = [0u8; 16];
+            match sock.read(&mut buf) {
+                Ok(0) | Err(_) => {} // EOF or reset: the slam
+                Ok(n) => panic!("expected slammed socket, read {n} bytes"),
+            }
+        }
+    }
+
+    /// The dispatch fallback (reuseport disabled) serves the same
+    /// protocol through the round-robin acceptor.
+    #[test]
+    fn dispatch_fallback_round_robins_connections() {
+        let config = ServerConfig {
+            reuseport: false,
+            ..event_config(2)
+        };
+        let server = Server::start(tiny_engine(), &config).unwrap();
+        for _ in 0..6 {
+            let (mut sock, mut reader) = connect(&server);
+            sock.write_all(b"{\"Decide\":{\"url\":\"http://ads.example/a.js\",\"document\":\"news.example\",\"resource_type\":\"Script\"}}\n")
+                .unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            assert!(reply.contains("Block"), "decision over dispatch: {reply}");
+            drop((sock, reader));
+        }
+        server.shutdown();
+    }
+}

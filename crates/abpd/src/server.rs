@@ -21,20 +21,47 @@
 //! with an `Error` naming its byte count, and the stream stays in sync.
 
 use crate::faults::{FaultPlan, WriteFault};
+use crate::poll;
 use crate::protocol::ReloadList;
+use crate::reactor::EventServer;
 use crate::service::{ReloadDeltaError, Service, ServiceConfig, ServiceError};
 use crate::wire::{self, ClientMessageRef, LineRead};
 use abp::Engine;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 /// Flush the write buffer once it holds this many bytes even if more
 /// input is pending, so huge batch bursts don't buffer unboundedly.
 const CORK_FLUSH_BYTES: usize = 64 * 1024;
+
+/// Which wire path serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// One OS thread per connection, blocking reads (the portable
+    /// path, and the only one off Linux).
+    #[default]
+    Blocking,
+    /// Thread-per-core epoll reactors with `SO_REUSEPORT` listeners
+    /// and shard-local hot state (the `reactor` module). Falls back to
+    /// [`ServerMode::Blocking`] where epoll is unavailable.
+    Event,
+}
+
+impl std::str::FromStr for ServerMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<ServerMode, String> {
+        match s {
+            "blocking" => Ok(ServerMode::Blocking),
+            "event" => Ok(ServerMode::Event),
+            other => Err(format!(
+                "unknown server mode {other:?} (expected \"blocking\" or \"event\")"
+            )),
+        }
+    }
+}
 
 /// Server configuration: bind address plus service tuning.
 #[derive(Debug, Clone)]
@@ -44,6 +71,21 @@ pub struct ServerConfig {
     /// Longest accepted request line in bytes; longer lines are
     /// discarded and answered with an `Error`. Default 1 MiB.
     pub max_line_bytes: usize,
+    /// Wire path: blocking thread-per-connection or event-driven
+    /// reactors.
+    pub mode: ServerMode,
+    /// Reactor count for [`ServerMode::Event`]; 0 sizes to the host's
+    /// available parallelism. Ignored in blocking mode.
+    pub io_threads: usize,
+    /// Largest `DecideBatch` evaluated inline on a reactor; bigger
+    /// batches escalate to the sharded worker pool. Ignored in
+    /// blocking mode.
+    pub inline_batch_max: usize,
+    /// Try per-reactor `SO_REUSEPORT` listeners (kernel-side accept
+    /// balancing); when off or unavailable, one acceptor thread
+    /// round-robins connections to the reactors. Ignored in blocking
+    /// mode.
+    pub reuseport: bool,
     /// Worker/cache configuration.
     pub service: ServiceConfig,
 }
@@ -53,6 +95,10 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             max_line_bytes: 1024 * 1024,
+            mode: ServerMode::default(),
+            io_threads: 0,
+            inline_batch_max: 512,
+            reuseport: true,
             service: ServiceConfig::default(),
         }
     }
@@ -61,8 +107,13 @@ impl Default for ServerConfig {
 struct Shared {
     service: Service,
     running: AtomicBool,
-    open_connections: AtomicUsize,
-    /// Monotonic connection ids for the socket registry below.
+    /// Open-connection count plus the condvar the drain loop parks on;
+    /// the last [`ConnGuard`] drop signals it. Event-driven shutdown:
+    /// nobody polls a counter on a sleep loop.
+    open_connections: Mutex<usize>,
+    drained: Condvar,
+    /// Monotonic connection ids for the socket registry below (also
+    /// each connection's write-fault slot).
     conn_seq: AtomicU64,
     /// Duplicate handles for every open connection socket, so
     /// [`Server::kill`] can slam them shut without waiting for the
@@ -74,12 +125,29 @@ struct Shared {
     write_faults: Option<FaultPlan>,
 }
 
+impl Shared {
+    /// Park until every open connection has closed.
+    fn wait_drained(&self) {
+        let mut open = self.open_connections.lock().unwrap();
+        while *open > 0 {
+            open = self.drained.wait(open).unwrap();
+        }
+    }
+}
+
+enum Inner {
+    Blocking {
+        shared: Arc<Shared>,
+        acceptor: Option<JoinHandle<()>>,
+    },
+    Event(EventServer),
+}
+
 /// A running server; dropping the handle does **not** stop it — call
 /// [`Server::shutdown`] or send the `Shutdown` verb.
 pub struct Server {
     local_addr: SocketAddr,
-    shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    inner: Inner,
 }
 
 impl Server {
@@ -103,6 +171,13 @@ impl Server {
     }
 
     fn start_with_service(service: Service, config: &ServerConfig) -> std::io::Result<Server> {
+        if config.mode == ServerMode::Event && poll::supported() {
+            let server = EventServer::start(service, config)?;
+            return Ok(Server {
+                local_addr: server.local_addr,
+                inner: Inner::Event(server),
+            });
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let write_faults = config
@@ -115,7 +190,8 @@ impl Server {
         let shared = Arc::new(Shared {
             service,
             running: AtomicBool::new(true),
-            open_connections: AtomicUsize::new(0),
+            open_connections: Mutex::new(0),
+            drained: Condvar::new(),
             conn_seq: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
             max_line_bytes: config.max_line_bytes.max(64),
@@ -136,7 +212,7 @@ impl Server {
                         // Nagle hold them back.
                         let _ = stream.set_nodelay(true);
                         let shared = shared.clone();
-                        shared.open_connections.fetch_add(1, Ordering::SeqCst);
+                        *shared.open_connections.lock().unwrap() += 1;
                         let conn_id = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
                         if let Ok(dup) = stream.try_clone() {
                             shared.conns.lock().unwrap().push((conn_id, dup));
@@ -146,23 +222,24 @@ impl Server {
                             .spawn(move || {
                                 // Decrement via a guard so a panic in the
                                 // handler can't leak the counter and wedge
-                                // the shutdown drain loop.
+                                // the shutdown drain.
                                 let _open = ConnGuard(&shared, conn_id);
                                 let addr = local_addr;
-                                handle_connection(stream, &shared, addr);
+                                handle_connection(stream, &shared, addr, conn_id);
                             });
                     }
-                    // Stopped accepting; wait for in-flight connections.
-                    while shared.open_connections.load(Ordering::SeqCst) > 0 {
-                        std::thread::sleep(Duration::from_millis(1));
-                    }
+                    // Stopped accepting; park until in-flight
+                    // connections have signaled their exits.
+                    shared.wait_drained();
                 })?
         };
 
         Ok(Server {
             local_addr,
-            shared,
-            acceptor: Some(acceptor),
+            inner: Inner::Blocking {
+                shared,
+                acceptor: Some(acceptor),
+            },
         })
     }
 
@@ -173,12 +250,12 @@ impl Server {
 
     /// Request filters loaded in the engine.
     pub fn filter_count(&self) -> usize {
-        self.shared.service.filter_count()
+        self.service().filter_count()
     }
 
     /// Worker shard count.
     pub fn shard_count(&self) -> usize {
-        self.shared.service.shard_count()
+        self.service().shard_count()
     }
 
     /// The underlying decision service — lets an in-process supervisor
@@ -186,17 +263,28 @@ impl Server {
     /// [`Service::reload`]/[`Service::health`] without a loopback
     /// connection.
     pub fn service(&self) -> &Service {
-        &self.shared.service
+        match &self.inner {
+            Inner::Blocking { shared, .. } => &shared.service,
+            Inner::Event(server) => &server.shared.service,
+        }
     }
 
     /// Stop accepting, wait for open connections and queued work, then
     /// join the workers.
-    pub fn shutdown(mut self) {
-        trigger_stop(&self.shared, self.local_addr);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+    pub fn shutdown(self) {
+        match self.inner {
+            Inner::Blocking {
+                shared,
+                mut acceptor,
+            } => {
+                trigger_stop(&shared, self.local_addr);
+                if let Some(a) = acceptor.take() {
+                    let _ = a.join();
+                }
+                // All connections closed; the service drains on drop.
+            }
+            Inner::Event(server) => server.shutdown(),
         }
-        // All connections closed; the service drains on drop.
     }
 
     /// Abrupt stop for chaos drills: stop accepting, then slam every
@@ -204,22 +292,35 @@ impl Server {
     /// requests die mid-line — from a peer's point of view this is the
     /// process being killed, which is exactly what fleet failover
     /// exercises need from an in-process shard.
-    pub fn kill(mut self) {
-        trigger_stop(&self.shared, self.local_addr);
-        for (_, conn) in self.shared.conns.lock().unwrap().iter() {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
-        }
-        // Connection threads exit on their next (failing) read; the
-        // acceptor's drain loop then sees zero open connections.
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+    pub fn kill(self) {
+        match self.inner {
+            Inner::Blocking {
+                shared,
+                mut acceptor,
+            } => {
+                trigger_stop(&shared, self.local_addr);
+                for (_, conn) in shared.conns.lock().unwrap().iter() {
+                    let _ = conn.shutdown(std::net::Shutdown::Both);
+                }
+                // Connection threads exit on their next (failing) read,
+                // signaling the acceptor's drain condvar down to zero.
+                if let Some(a) = acceptor.take() {
+                    let _ = a.join();
+                }
+            }
+            Inner::Event(server) => server.kill(),
         }
     }
 
     /// Block until the server stops (via the `Shutdown` verb).
-    pub fn join(mut self) {
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+    pub fn join(self) {
+        match self.inner {
+            Inner::Blocking { mut acceptor, .. } => {
+                if let Some(a) = acceptor.take() {
+                    let _ = a.join();
+                }
+            }
+            Inner::Event(server) => server.join(),
         }
     }
 }
@@ -233,12 +334,13 @@ fn flush_burst(
     sock: &mut TcpStream,
     out: &mut Vec<u8>,
     faults: Option<&FaultPlan>,
+    slot: usize,
 ) -> std::io::Result<()> {
     if out.is_empty() {
         return Ok(());
     }
     if let Some(plan) = faults {
-        match plan.write_fault() {
+        match plan.write_fault(slot) {
             WriteFault::Torn => {
                 let _ = sock.write_all(&out[..out.len() / 2]);
                 out.clear();
@@ -269,6 +371,7 @@ fn flush_if_read_would_block(
     sock: &mut TcpStream,
     out: &mut Vec<u8>,
     faults: Option<&FaultPlan>,
+    slot: usize,
 ) -> std::io::Result<()> {
     if out.is_empty() {
         return Ok(());
@@ -278,19 +381,26 @@ fn flush_if_read_would_block(
     sock.set_nonblocking(false)?;
     match probe {
         Ok(_) => Ok(()),
-        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => flush_burst(sock, out, faults),
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            flush_burst(sock, out, faults, slot)
+        }
         Err(e) => Err(e),
     }
 }
 
-/// Drops `open_connections` by one and deregisters the socket when the
-/// connection thread exits, however it exits.
+/// Deregisters the socket and drops `open_connections` by one when the
+/// connection thread exits, however it exits; the last one out signals
+/// the drain condvar.
 struct ConnGuard<'a>(&'a Shared, u64);
 
 impl Drop for ConnGuard<'_> {
     fn drop(&mut self) {
         self.0.conns.lock().unwrap().retain(|(id, _)| *id != self.1);
-        self.0.open_connections.fetch_sub(1, Ordering::SeqCst);
+        let mut open = self.0.open_connections.lock().unwrap();
+        *open -= 1;
+        if *open == 0 {
+            self.0.drained.notify_all();
+        }
     }
 }
 
@@ -303,21 +413,23 @@ fn trigger_stop(shared: &Shared, addr: SocketAddr) {
 
 /// Map a batch failure to its wire reply: shed work answers with the
 /// fast `Overloaded` verb (clients back off and retry), everything
-/// else with `Error`.
-fn write_batch_error(e: &ServiceError, out: &mut Vec<u8>) {
+/// else with `Error`. Shared with the reactor path.
+pub(crate) fn write_batch_error(e: &ServiceError, out: &mut Vec<u8>) {
     match e {
         ServiceError::Overloaded => wire::write_overloaded(out),
         other => wire::write_error(&other.to_string(), out),
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
+fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr, conn_id: u64) {
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = stream;
     let faults = shared.write_faults.as_ref();
+    // Each connection draws write faults from its own plan slot.
+    let slot = conn_id as usize;
     // Per-connection reusable state: the line buffer, the corked write
     // buffer, and the batch scratch. Nothing here is reallocated per
     // request once warmed up.
@@ -328,7 +440,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
     loop {
         let read =
             wire::read_line_limited_flushing(&mut reader, &mut line, shared.max_line_bytes, || {
-                flush_if_read_would_block(&mut writer, &mut out, faults)
+                flush_if_read_would_block(&mut writer, &mut out, faults, slot)
             });
         match read {
             Err(_) | Ok(LineRead::Eof) | Ok(LineRead::EofMidLine) => break,
@@ -429,17 +541,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
         // Cork: replies are flushed by the would-block hook above the
         // moment the reader would sleep on the socket, so here only the
         // size cap matters — don't let a huge burst buffer unboundedly.
-        if out.len() >= CORK_FLUSH_BYTES && flush_burst(&mut writer, &mut out, faults).is_err() {
+        if out.len() >= CORK_FLUSH_BYTES
+            && flush_burst(&mut writer, &mut out, faults, slot).is_err()
+        {
             return;
         }
     }
-    let _ = flush_burst(&mut writer, &mut out, faults);
+    let _ = flush_burst(&mut writer, &mut out, faults, slot);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::io::BufRead;
+    use std::time::Duration;
 
     fn tiny_engine() -> Engine {
         let list = abp::FilterList::parse(abp::ListSource::EasyList, "||ads.example^\n");

@@ -38,9 +38,9 @@
 //! [`ServiceConfig::restart_backoff_cap`]. The in-flight batch whose
 //! worker died gets [`ServiceError::WorkerLost`] instead of a hang.
 
-use crate::cache::{request_key_hash, DecisionCache, StoredKey};
+use crate::cache::{request_key_hash, DecisionCache, LocalDecisionCache, StoredKey};
 use crate::faults::{EvalFault, FaultConfig, FaultPlan};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, ReactorMetrics, ShardMetrics};
 use crate::protocol::{
     DecisionRequest, DecisionResponse, HealthReport, HealthState, ReloadDeltaList, ReloadList,
     ReloadReport, StatsReport,
@@ -311,6 +311,31 @@ impl BatchScratch {
     }
 }
 
+/// Reactor-owned evaluation state for [`Service::decide_batch_local`]:
+/// an unsynchronized decision cache, the reactor's padded metrics, and
+/// the fault-plan slot this thread draws from. One per reactor thread;
+/// nothing in here is shared until `Stats`/`Health` merges the metrics
+/// on demand.
+pub struct LocalEval {
+    cache: LocalDecisionCache,
+    /// Engine generation the local cache's entries belong to; a newer
+    /// snapshot generation clears the cache lazily on first use.
+    generation_seen: u64,
+    metrics: Arc<ReactorMetrics>,
+    slot: usize,
+    /// Batches larger than this escalate to the sharded worker pool
+    /// (shed/deadline/supervision semantics) instead of monopolizing
+    /// the reactor thread.
+    inline_max: usize,
+}
+
+impl LocalEval {
+    /// Entries currently memoized in the local cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
 /// An alloc-free placeholder filled into every response slot before
 /// dispatch (cloning an empty activation list allocates nothing).
 fn placeholder_response() -> DecisionResponse {
@@ -412,7 +437,7 @@ fn spawn_worker(
                         }
                     }
                     if let Some(plan) = &shared.faults {
-                        match plan.eval_fault() {
+                        match plan.eval_fault(job.shard) {
                             EvalFault::Panic => {
                                 panic!("injected eval panic (shard {})", job.shard)
                             }
@@ -897,6 +922,153 @@ impl Service {
         Ok(())
     }
 
+    /// Reactor-local evaluation state drawing faults from `slot`, with
+    /// its own `cache_capacity`-entry cache and `inline_max` escalation
+    /// threshold. The caller supplies (and keeps a handle to) the
+    /// [`ReactorMetrics`] so it can merge them into `Stats`/`Health`.
+    pub fn local_eval(
+        &self,
+        slot: usize,
+        cache_capacity: usize,
+        inline_max: usize,
+        metrics: Arc<ReactorMetrics>,
+    ) -> LocalEval {
+        LocalEval {
+            cache: LocalDecisionCache::new(cache_capacity),
+            generation_seen: self.generation(),
+            metrics,
+            slot,
+            inline_max: inline_max.max(1),
+        }
+    }
+
+    /// Evaluate a batch on the calling thread — the event-driven
+    /// server's hot path. No cross-thread handoff: the cache lookup,
+    /// the engine evaluation, and the metrics increments all touch
+    /// reactor-owned state (`local`), so the steady state contends on
+    /// nothing. Batches larger than the inline threshold escalate to
+    /// [`Service::decide_batch_into`] and keep the worker pool's
+    /// shed/deadline/supervision semantics.
+    ///
+    /// Error semantics mirror the pool path: malformed requests fail
+    /// the batch with [`ServiceError::BadRequest`], a passed deadline
+    /// with [`ServiceError::DeadlineExceeded`], and an evaluation panic
+    /// — injected or real, caught without killing the reactor thread —
+    /// with [`ServiceError::WorkerLost`] (counted in
+    /// [`ReactorMetrics::eval_panics`], which `Health` appends to
+    /// `shard_restarts`).
+    pub fn decide_batch_local(
+        &self,
+        reqs: &[DecisionRequestRef<'_>],
+        scratch: &mut BatchScratch,
+        local: &mut LocalEval,
+    ) -> Result<(), ServiceError> {
+        if reqs.len() > local.inline_max {
+            return self.decide_batch_into(reqs, scratch);
+        }
+        scratch.responses.clear();
+        scratch.responses.resize(reqs.len(), placeholder_response());
+        let deadline = self.deadline.map(|d| Instant::now() + d);
+        // One snapshot per batch: a reload mid-batch keeps the whole
+        // batch on the engine it started with.
+        let snap = self.shared.snapshot.read().clone();
+        if snap.generation != local.generation_seen {
+            // Stale entries are already fenced by the stamp; clearing
+            // stops them squatting on LRU capacity.
+            local.cache.clear();
+            local.generation_seen = snap.generation;
+        }
+        let (mut hits, mut blocks, mut exceptions) = (0u64, 0u64, 0u64);
+        for (index, dr) in reqs.iter().enumerate() {
+            let sitekey = dr.sitekey.as_deref();
+            let key_hash = request_key_hash(&dr.url, &dr.document, dr.resource_type, sitekey);
+            let start = Instant::now();
+            let (outcome, cached) = match local.cache.get(
+                key_hash,
+                snap.generation,
+                &dr.url,
+                &dr.document,
+                dr.resource_type,
+                sitekey,
+            ) {
+                Some(hit) => {
+                    hits += 1;
+                    (hit, true)
+                }
+                None => {
+                    if let Some(dl) = deadline {
+                        if Instant::now() >= dl {
+                            self.shared
+                                .metrics
+                                .deadline_timeouts
+                                .fetch_add(1, Ordering::Relaxed);
+                            return Err(ServiceError::DeadlineExceeded);
+                        }
+                    }
+                    let request =
+                        Request::new(&dr.url, &dr.document, dr.resource_type).map_err(|e| {
+                            ServiceError::BadRequest(format!(
+                                "request {index}: bad url {:?}: {e:?}",
+                                dr.url
+                            ))
+                        })?;
+                    let request = match sitekey {
+                        Some(k) => request.with_sitekey(k),
+                        None => request,
+                    };
+                    if let Some(plan) = &self.shared.faults {
+                        match plan.eval_fault(local.slot) {
+                            EvalFault::Panic => {
+                                // The pool analogue kills a worker and
+                                // answers WorkerLost; inline the panic
+                                // is accounted and the same error
+                                // returned without losing the thread.
+                                local.metrics.eval_panics.fetch_add(1, Ordering::Relaxed);
+                                return Err(ServiceError::WorkerLost(format!(
+                                    "inline eval panicked (reactor slot {})",
+                                    local.slot
+                                )));
+                            }
+                            EvalFault::Delay(d) => std::thread::sleep(d),
+                            EvalFault::None => {}
+                        }
+                    }
+                    let evaled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        snap.engine.match_request(&request)
+                    }));
+                    let Ok(got) = evaled else {
+                        local.metrics.eval_panics.fetch_add(1, Ordering::Relaxed);
+                        return Err(ServiceError::WorkerLost("inline eval panicked".to_string()));
+                    };
+                    local.cache.insert(
+                        key_hash,
+                        StoredKey::new(&dr.url, &dr.document, dr.resource_type, sitekey),
+                        snap.generation,
+                        got.clone(),
+                    );
+                    (got, false)
+                }
+            };
+            local
+                .metrics
+                .shard
+                .latency
+                .record_us(start.elapsed().as_micros() as u64);
+            match outcome.decision {
+                Decision::Block => blocks += 1,
+                Decision::AllowedByException => exceptions += 1,
+                Decision::NoMatch => {}
+            }
+            scratch.responses[index] = DecisionResponse { outcome, cached };
+        }
+        let m = &local.metrics.shard;
+        m.requests.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+        m.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        m.blocks.fetch_add(blocks, Ordering::Relaxed);
+        m.exceptions.fetch_add(exceptions, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Compile the given lists into a new engine generation and swap it
     /// in atomically. On success every subsequent decision — and every
     /// cache lookup — uses the new generation; the decision cache is
@@ -1037,6 +1209,30 @@ impl Service {
     /// Snapshot service statistics.
     pub fn stats(&self) -> StatsReport {
         self.shared.metrics.report()
+    }
+
+    /// Statistics merged with per-reactor counters: worker shards
+    /// first, then one entry per reactor, totals over all of them.
+    /// The wire shape stays the frozen [`StatsReport`]; only the shard
+    /// list grows.
+    pub fn stats_with(&self, reactors: &[Arc<ReactorMetrics>]) -> StatsReport {
+        let extra: Vec<&ShardMetrics> = reactors.iter().map(|r| &r.shard.0).collect();
+        self.shared.metrics.report_with_extra(&extra)
+    }
+
+    /// Health merged with per-reactor counters: each reactor's caught
+    /// inline-panic count is appended to `shard_restarts` after the
+    /// worker shards — the event-mode equivalent of a supervised
+    /// respawn, reported through the same field so dashboards need no
+    /// new wire shape.
+    pub fn health_with(&self, reactors: &[Arc<ReactorMetrics>]) -> HealthReport {
+        let mut report = self.health();
+        report.shard_restarts.extend(
+            reactors
+                .iter()
+                .map(|r| r.eval_panics.load(Ordering::Relaxed)),
+        );
+        report
     }
 
     /// Entries currently memoized.

@@ -43,15 +43,26 @@ echo "==> engine bench (quick mode, writes BENCH_engine.json, enforces anchor sp
 
 echo "==> service bench (pipelined abpd-load, writes BENCH_service.json)"
 ./target/release/abpd-load --decisions 60000 --batch 256 --pipeline 8 \
-    --connections 1 --out BENCH_service.json
+    --connections 2 --out BENCH_service.json
 
-echo "==> chaos smoke (fault-armed server, availability appended to BENCH_service.json)"
-# 1% worker panics + 1% 10ms eval stalls + reply-path torn writes and
-# disconnects; the retrying load client must still land (almost) every
-# decision. --max-error-rate fails the stage if more than 1% of
-# requests end unanswered, shed, or rejected.
+echo "==> scaling bench (event-mode reactors at 1/2/4, curve appended to BENCH_service.json)"
+# Boots a fresh in-process event-mode server per reactor count and
+# drives it with 2x connections. Gates against the committed
+# crates/bench/baselines/service_scaling_baseline.json: the 1-reactor
+# rate must stay within 10% of the blocking-path baseline always; the
+# 2.5x 4-vs-1 bar arms only on hosts with >= 4 cores (on fewer cores
+# extra reactors measure the scheduler, not the server).
+./target/release/abpd-load --scaling 1,2,4 --decisions 200000 \
+    --batch 256 --pipeline 8 --append-scaling BENCH_service.json
+
+echo "==> chaos smoke (fault-armed event-mode server, availability appended to BENCH_service.json)"
+# 1% eval panics + 1% 10ms eval stalls + reply-path torn writes and
+# disconnects, against the reactor wire path; the retrying load client
+# must still land (almost) every decision. --max-error-rate fails the
+# stage if more than 1% of requests end unanswered, shed, or rejected.
 ABPD_FAULTS="panic=10000,delay=10000,delay_ms=10,torn=500,disconnect=500,seed=42" \
-    ./target/release/abpd --addr 127.0.0.1:0 >/tmp/abpd-chaos.log 2>&1 &
+    ./target/release/abpd --addr 127.0.0.1:0 --server-mode event \
+    >/tmp/abpd-chaos.log 2>&1 &
 CHAOS_PID=$!
 ADDR=""
 for _ in $(seq 1 50); do

@@ -11,7 +11,7 @@ use abpd::client::ItemAnswer;
 use abpd::protocol::ReloadList;
 use abpd::{
     Client, DecisionRequest, FaultConfig, HealthState, RetryClient, RetryPolicy, Server,
-    ServerConfig, ServiceConfig,
+    ServerConfig, ServerMode, ServiceConfig,
 };
 
 use abp::{Decision, Engine, FilterList, ListSource, Request, ResourceType};
@@ -57,12 +57,16 @@ fn requests(n: usize) -> Vec<DecisionRequest> {
 /// writes and disconnects on the reply path — and still every request
 /// is answered (decision, typed rejection, or shed), every decision
 /// matches a direct engine evaluation, and the server reports healthy
-/// afterwards.
-#[test]
-fn chaos_run_answers_every_request() {
+/// afterwards. Runs against both wire paths: in event mode the panics
+/// hit the reactors' inline evaluation (accounted as `eval_panics` and
+/// surfaced through the same `shard_restarts` health field) and the
+/// write faults hit the reactors' corked flushes.
+fn chaos_run_answers_every_request(mode: ServerMode) {
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         max_line_bytes: 1024 * 1024,
+        mode,
+        io_threads: 2,
         service: ServiceConfig {
             shards: 4,
             queue_depth: 64,
@@ -78,6 +82,7 @@ fn chaos_run_answers_every_request() {
             }),
             ..ServiceConfig::default()
         },
+        ..ServerConfig::default()
     };
     let server = Server::start(test_engine(), &config).expect("bind server");
     let engine = test_engine();
@@ -137,22 +142,34 @@ fn chaos_run_answers_every_request() {
     server.shutdown();
 }
 
+#[test]
+fn chaos_run_answers_every_request_blocking() {
+    chaos_run_answers_every_request(ServerMode::Blocking);
+}
+
+#[test]
+fn chaos_run_answers_every_request_event() {
+    chaos_run_answers_every_request(ServerMode::Event);
+}
+
 /// Satellite: `Shutdown` sent behind a burst of pipelined
 /// `DecideBatch` lines must drain and answer every queued item — in
 /// order — before the acknowledgement and socket close.
-#[test]
-fn shutdown_mid_batch_drains_every_queued_item() {
+fn shutdown_mid_batch_drains_every_queued_item(mode: ServerMode) {
     let server = Server::start(
         test_engine(),
         &ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             max_line_bytes: 1024 * 1024,
+            mode,
+            io_threads: 2,
             service: ServiceConfig {
                 shards: 2,
                 queue_depth: 16,
                 cache_capacity: 256,
                 ..ServiceConfig::default()
             },
+            ..ServerConfig::default()
         },
     )
     .expect("bind server");
@@ -197,14 +214,23 @@ fn shutdown_mid_batch_drains_every_queued_item() {
     server.join();
 }
 
+#[test]
+fn shutdown_mid_batch_drains_every_queued_item_blocking() {
+    shutdown_mid_batch_drains_every_queued_item(ServerMode::Blocking);
+}
+
+#[test]
+fn shutdown_mid_batch_drains_every_queued_item_event() {
+    shutdown_mid_batch_drains_every_queued_item(ServerMode::Event);
+}
+
 /// The hot-reload gate: dozens of synthetic whitelist revisions (from
 /// the corpus history generator) flow through the `Reload` verb while
 /// pipelined load hammers the server — no request fails, no connection
 /// drops, and a parity-toggled probe proves no pre-reload decision is
 /// ever served from cache. A malformed revision is rejected and rolls
 /// back to the serving engine.
-#[test]
-fn reload_under_load_swaps_cleanly_and_rolls_back() {
+fn reload_under_load_swaps_cleanly_and_rolls_back(mode: ServerMode) {
     let corpus = corpus::Corpus::generate(7);
     let store = corpus::build_history(7, &corpus.final_whitelist);
     assert!(store.len() > 50, "history generator too short");
@@ -214,12 +240,15 @@ fn reload_under_load_swaps_cleanly_and_rolls_back() {
         &ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             max_line_bytes: 8 * 1024 * 1024,
+            mode,
+            io_threads: 2,
             service: ServiceConfig {
                 shards: 2,
                 queue_depth: 64,
                 cache_capacity: 4096,
                 ..ServiceConfig::default()
             },
+            ..ServerConfig::default()
         },
     )
     .expect("bind server");
@@ -315,6 +344,19 @@ fn reload_under_load_swaps_cleanly_and_rolls_back() {
     }
     drop(ctl);
     server.shutdown();
+}
+
+#[test]
+fn reload_under_load_swaps_cleanly_and_rolls_back_blocking() {
+    reload_under_load_swaps_cleanly_and_rolls_back(ServerMode::Blocking);
+}
+
+/// In event mode this additionally proves the per-reactor local caches
+/// notice the generation bump: the parity probe would serve a stale
+/// cached decision otherwise.
+#[test]
+fn reload_under_load_swaps_cleanly_and_rolls_back_event() {
+    reload_under_load_swaps_cleanly_and_rolls_back(ServerMode::Event);
 }
 
 /// Satellite: a dead server must produce a typed timeout, not a hang.

@@ -38,6 +38,7 @@ fn shard_config() -> ServerConfig {
             cache_capacity: 256,
             ..ServiceConfig::default()
         },
+        ..ServerConfig::default()
     }
 }
 

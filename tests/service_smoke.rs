@@ -1,9 +1,15 @@
 //! End-to-end smoke test: a real abpd server over localhost TCP,
 //! driven through the client library with synthesized browsing
 //! traffic, checked against direct engine evaluation.
+//!
+//! Every scenario runs twice — once against the blocking
+//! thread-per-connection wire path and once against the event-driven
+//! reactor path — asserting the two modes are observably equivalent
+//! (on targets without epoll the event run exercises the fallback,
+//! which *is* the blocking path).
 
 use abp::{Engine, FilterList, ListSource, Request, ResourceType};
-use abpd::{Client, DecisionRequest, Server, ServerConfig, ServiceConfig};
+use abpd::{Client, DecisionRequest, Server, ServerConfig, ServerMode, ServiceConfig};
 
 fn test_engine() -> Engine {
     let bl = FilterList::parse(
@@ -17,18 +23,26 @@ fn test_engine() -> Engine {
     Engine::from_lists([&bl, &wl])
 }
 
-fn start_server() -> Server {
+fn start_server(mode: ServerMode) -> Server {
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         max_line_bytes: 1024 * 1024,
+        mode,
+        io_threads: 2,
         service: ServiceConfig {
             shards: 2,
             queue_depth: 64,
             cache_capacity: 1024,
             ..ServiceConfig::default()
         },
+        ..ServerConfig::default()
     };
     Server::start(test_engine(), &config).expect("bind server")
+}
+
+/// Whether `mode` actually gets the reactor path on this target.
+fn is_event(mode: ServerMode) -> bool {
+    mode == ServerMode::Event && abpd::poll::supported()
 }
 
 fn dr(url: &str, doc: &str, rt: ResourceType) -> DecisionRequest {
@@ -40,9 +54,8 @@ fn dr(url: &str, doc: &str, rt: ResourceType) -> DecisionRequest {
     }
 }
 
-#[test]
-fn single_decisions_over_tcp() {
-    let server = start_server();
+fn single_decisions_over_tcp(mode: ServerMode) {
+    let server = start_server(mode);
     let mut client = Client::connect(server.local_addr()).expect("connect");
     client.ping().expect("ping");
 
@@ -71,7 +84,9 @@ fn single_decisions_over_tcp() {
         assert_eq!(resp.outcome, direct);
         assert!(!resp.cached);
     }
-    // Replays hit the cache with identical outcomes.
+    // Replays hit the cache with identical outcomes. (In event mode
+    // that's the reactor's shard-local cache: same connection, same
+    // reactor, so the replay must still hit.)
     for case in &cases {
         let resp = client.decide(case).expect("decide again");
         assert!(resp.cached);
@@ -81,8 +96,17 @@ fn single_decisions_over_tcp() {
 }
 
 #[test]
-fn batches_preserve_order_and_feed_stats() {
-    let server = start_server();
+fn single_decisions_over_tcp_blocking() {
+    single_decisions_over_tcp(ServerMode::Blocking);
+}
+
+#[test]
+fn single_decisions_over_tcp_event() {
+    single_decisions_over_tcp(ServerMode::Event);
+}
+
+fn batches_preserve_order_and_feed_stats(mode: ServerMode) {
+    let server = start_server(mode);
     let mut client = Client::connect(server.local_addr()).expect("connect");
 
     let batch: Vec<DecisionRequest> = (0..40)
@@ -106,11 +130,14 @@ fn batches_preserve_order_and_feed_stats() {
     let resps2 = client.decide_batch(&batch).expect("batch again");
     assert!(resps2.iter().all(|r| r.cached));
 
+    // Totals are identical in both modes; the event path just reports
+    // its two reactor metric shards after the two worker shards.
     let stats = client.stats().expect("stats");
     assert_eq!(stats.requests, 2 * batch.len() as u64);
     assert_eq!(stats.cache_hits, batch.len() as u64);
     assert_eq!(stats.blocks, 2 * batch.len() as u64);
-    assert_eq!(stats.shards.len(), 2);
+    let expected_shards = if is_event(mode) { 2 + 2 } else { 2 };
+    assert_eq!(stats.shards.len(), expected_shards);
     assert_eq!(
         stats.requests,
         stats.shards.iter().map(|s| s.requests).sum::<u64>()
@@ -120,10 +147,19 @@ fn batches_preserve_order_and_feed_stats() {
 }
 
 #[test]
-fn malformed_lines_get_error_replies() {
+fn batches_preserve_order_and_feed_stats_blocking() {
+    batches_preserve_order_and_feed_stats(ServerMode::Blocking);
+}
+
+#[test]
+fn batches_preserve_order_and_feed_stats_event() {
+    batches_preserve_order_and_feed_stats(ServerMode::Event);
+}
+
+fn malformed_lines_get_error_replies(mode: ServerMode) {
     use std::io::{BufRead, BufReader, Write};
 
-    let server = start_server();
+    let server = start_server(mode);
     let stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut writer = stream;
@@ -143,8 +179,17 @@ fn malformed_lines_get_error_replies() {
 }
 
 #[test]
-fn pipelined_decisions_match_lockstep() {
-    let server = start_server();
+fn malformed_lines_get_error_replies_blocking() {
+    malformed_lines_get_error_replies(ServerMode::Blocking);
+}
+
+#[test]
+fn malformed_lines_get_error_replies_event() {
+    malformed_lines_get_error_replies(ServerMode::Event);
+}
+
+fn pipelined_decisions_match_lockstep(mode: ServerMode) {
+    let server = start_server(mode);
     let engine = test_engine();
     let reqs: Vec<DecisionRequest> = (0..60)
         .map(|i| {
@@ -184,18 +229,29 @@ fn pipelined_decisions_match_lockstep() {
 }
 
 #[test]
-fn oversized_lines_get_bounded_error_and_resync() {
+fn pipelined_decisions_match_lockstep_blocking() {
+    pipelined_decisions_match_lockstep(ServerMode::Blocking);
+}
+
+#[test]
+fn pipelined_decisions_match_lockstep_event() {
+    pipelined_decisions_match_lockstep(ServerMode::Event);
+}
+
+fn oversized_lines_get_bounded_error_and_resync(mode: ServerMode) {
     use std::io::{BufRead, BufReader, Write};
 
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         max_line_bytes: 256,
+        mode,
         service: ServiceConfig {
             shards: 1,
             queue_depth: 16,
             cache_capacity: 64,
             ..ServiceConfig::default()
         },
+        ..ServerConfig::default()
     };
     let server = Server::start(test_engine(), &config).expect("bind server");
     let stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
@@ -219,8 +275,17 @@ fn oversized_lines_get_bounded_error_and_resync() {
 }
 
 #[test]
-fn shutdown_verb_stops_the_server() {
-    let server = start_server();
+fn oversized_lines_get_bounded_error_and_resync_blocking() {
+    oversized_lines_get_bounded_error_and_resync(ServerMode::Blocking);
+}
+
+#[test]
+fn oversized_lines_get_bounded_error_and_resync_event() {
+    oversized_lines_get_bounded_error_and_resync(ServerMode::Event);
+}
+
+fn shutdown_verb_stops_the_server(mode: ServerMode) {
+    let server = start_server(mode);
     let addr = server.local_addr();
     let mut client = Client::connect(addr).expect("connect");
     client
@@ -242,8 +307,17 @@ fn shutdown_verb_stops_the_server() {
 }
 
 #[test]
-fn synthesized_traffic_round_trips() {
-    let server = start_server();
+fn shutdown_verb_stops_the_server_blocking() {
+    shutdown_verb_stops_the_server(ServerMode::Blocking);
+}
+
+#[test]
+fn shutdown_verb_stops_the_server_event() {
+    shutdown_verb_stops_the_server(ServerMode::Event);
+}
+
+fn synthesized_traffic_round_trips(mode: ServerMode) {
+    let server = start_server(mode);
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let reqs: Vec<DecisionRequest> = websim::traffic::TrafficGen::new(2015)
         .samples()
@@ -263,4 +337,14 @@ fn synthesized_traffic_round_trips() {
     assert_eq!(stats.requests, reqs.len() as u64);
     drop(client);
     server.shutdown();
+}
+
+#[test]
+fn synthesized_traffic_round_trips_blocking() {
+    synthesized_traffic_round_trips(ServerMode::Blocking);
+}
+
+#[test]
+fn synthesized_traffic_round_trips_event() {
+    synthesized_traffic_round_trips(ServerMode::Event);
 }
