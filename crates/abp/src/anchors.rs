@@ -317,6 +317,18 @@ impl HostLabelTrieBuilder {
 
     /// Register `id` under `domain` (lowercase, dot-separated labels).
     pub fn insert(&mut self, domain: &str, id: u32) {
+        let v = self.walk_or_create(domain);
+        self.nodes[v].ids.push(id);
+    }
+
+    /// Materialize the node path for `domain` without attaching an id.
+    /// Used by tries whose payload lives outside the trie, keyed by
+    /// node index (e.g. the engine's per-suffix hiding plans).
+    pub fn insert_path(&mut self, domain: &str) {
+        self.walk_or_create(domain);
+    }
+
+    fn walk_or_create(&mut self, domain: &str) -> usize {
         let mut v = 0usize;
         for label in domain.rsplit('.') {
             v = match self.nodes[v].edges.iter().find(|(l, _)| l == label) {
@@ -329,7 +341,7 @@ impl HostLabelTrieBuilder {
                 }
             };
         }
-        self.nodes[v].ids.push(id);
+        v
     }
 
     /// Flatten into the immutable query form.
@@ -389,6 +401,37 @@ impl HostLabelTrie {
     /// Whether the trie holds no domains.
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
+    }
+
+    /// Number of nodes, the root included. Node indices returned by
+    /// [`HostLabelTrie::terminal`] are `< node_count()`.
+    pub fn node_count(&self) -> usize {
+        self.edge_starts.len() - 1
+    }
+
+    /// Walk `host_lower`'s labels right to left as far as edges exist
+    /// and return the node where the walk stops (the root, index 0,
+    /// when the first label already has no edge).
+    ///
+    /// Two hosts stopping at the same node are label-aligned-suffix
+    /// matched by exactly the same set of registered domains: a domain
+    /// matches a host iff the host's reversed-label walk passes through
+    /// that domain's node, and the nodes passed are precisely the
+    /// root-to-terminal path. The engine keys its per-suffix hiding
+    /// plans on this index.
+    pub fn terminal(&self, host_lower: &str) -> u32 {
+        let mut v = 0u32;
+        for label in host_lower.rsplit('.') {
+            let lo = self.edge_starts[v as usize] as usize;
+            let hi = self.edge_starts[v as usize + 1] as usize;
+            let found = self.edge_labels[lo..hi]
+                .binary_search_by(|span| self.arena.get(*span).cmp(label.as_bytes()));
+            match found {
+                Ok(i) => v = self.edge_targets[lo + i],
+                Err(_) => return v,
+            }
+        }
+        v
     }
 
     /// Append the id buckets of every registered domain that
@@ -572,6 +615,34 @@ mod tests {
         b.insert("reddit.com", 3);
         let trie = b.build();
         assert_eq!(collect(&trie, "www.reddit.com"), vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn terminal_nodes_partition_hosts_by_matched_domain_set() {
+        let mut b = HostLabelTrieBuilder::new();
+        b.insert("example.com", 1);
+        b.insert("a.example.com", 2);
+        b.insert_path("~only.a.path.net");
+        let trie = b.build();
+        // Same matched set {example.com} → same terminal node.
+        let exact = trie.terminal("example.com");
+        let miss_sub = trie.terminal("b.example.com");
+        assert_eq!(exact, miss_sub);
+        // Matching {example.com, a.example.com} lands deeper.
+        assert_ne!(trie.terminal("a.example.com"), exact);
+        assert_eq!(
+            trie.terminal("x.a.example.com"),
+            trie.terminal("a.example.com")
+        );
+        // Matching nothing lands at the root.
+        assert_eq!(trie.terminal("other.org"), 0);
+        assert_eq!(trie.terminal("notexample.com"), trie.terminal("z.com"));
+        // Path-only inserts materialize nodes without ids.
+        assert_ne!(trie.terminal("~only.a.path.net"), 0);
+        let mut ids = Vec::new();
+        trie.collect("~only.a.path.net", &mut ids);
+        assert!(ids.is_empty());
+        assert!(trie.node_count() > 4);
     }
 
     #[test]

@@ -46,12 +46,13 @@ use crate::anchors::{Automaton, AutomatonBuilder, HostLabelTrie, HostLabelTrieBu
 use crate::filter::{ElementFilter, FilterAction, FilterBody, RequestFilter};
 use crate::intern::IStr;
 use crate::list::{FilterList, ListSource};
+use crate::pattern::Element;
 use crate::request::Request;
 use serde::{Deserialize, Serialize};
-use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// The engine's verdict on a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -217,6 +218,63 @@ const GROUP_BLOCK_TOKEN: u8 = 0;
 const GROUP_ALLOW_TOKEN: u8 = 1;
 const GROUP_BLOCK_TAIL: u8 = 2;
 const GROUP_ALLOW_TAIL: u8 = 3;
+/// Required-literal group: the value is a bit lane (< [`LIT_LANES`]),
+/// and a hit means "some literal bucketed into this lane occurs in the
+/// URL". The same scan that yields candidates also accumulates the
+/// lane mask, so the prefilter costs no extra pass.
+const GROUP_LIT: u8 = 4;
+
+/// Bit width of the required-literal mask. Distinct tail-filter
+/// literals are assigned lanes round-robin (`index % LIT_LANES`), so
+/// lane collisions can only cause false *admits* (two literals sharing
+/// a lane make the mask easier to satisfy), never false rejects — the
+/// prefilter stays sound at any tail size.
+const LIT_LANES: u32 = 128;
+
+/// Monotonic tail-path counters, shared by clones of a compiled
+/// snapshot (relaxed atomics: these feed rates in bench output, not
+/// cross-thread ordering).
+#[derive(Debug, Default)]
+struct TailCounters {
+    prefilter_checked: AtomicU64,
+    prefilter_rejected: AtomicU64,
+    hiding_queries: AtomicU64,
+    hiding_plan_hits: AtomicU64,
+}
+
+/// Snapshot of the engine's tail-optimization counters: how hard the
+/// required-literal prefilter and the per-suffix hiding plans are
+/// working. See [`Engine::tail_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TailStats {
+    /// Untokenized tail candidates that reached the required-literal
+    /// mask check.
+    pub prefilter_checked: u64,
+    /// Of those, candidates rejected by the mask without touching
+    /// `Pattern::matches`.
+    pub prefilter_rejected: u64,
+    /// `hiding_for_domain` / `hiding_refs_for_domain` queries answered.
+    pub hiding_queries: u64,
+    /// Queries served from an already-built per-suffix hiding plan
+    /// (the rest built and memoized one).
+    pub hiding_plan_hits: u64,
+}
+
+/// A compiled per-suffix hiding plan: everything both hiding entry
+/// points return, resolved once for the set of registered domains a
+/// host matches and memoized on the plan-trie node (see
+/// [`HostLabelTrie::terminal`]). The subjects of a hiding outcome are
+/// selectors, not hosts, so the content is host-independent given the
+/// matched-domain set — serving a plan is a trie walk plus refcount
+/// bumps.
+#[derive(Debug, Clone)]
+struct HidingPlan {
+    /// `(rule id, action)` — applicable exceptions first, then
+    /// surviving hide rules: the `hiding_refs_for_domain` order.
+    refs: Arc<Vec<(u32, FilterAction)>>,
+    /// The owned-outcome form served by `hiding_for_domain`.
+    outcome: HidingOutcome,
+}
 
 /// The immutable matching snapshot compiled from the engine's builders:
 /// the merged request anchor automaton, the `$document`/`$elemhide`
@@ -232,9 +290,17 @@ struct Compiled {
     block_untok: Vec<u32>,
     allow_untok: Vec<u32>,
     /// Ranks (not ids) of untokenized filters with no extractable
-    /// anchor: scanned on every request.
+    /// anchor: scanned on every request (subject to the
+    /// required-literal mask below).
     block_always: Vec<u32>,
     allow_always: Vec<u32>,
+    /// Required-literal lane masks, indexed by untokenized rank: every
+    /// literal of the filter's pattern was assigned a lane, and a
+    /// candidate survives only if the URL scan saw all of its lanes
+    /// (`seen & mask == mask`). Anchor-hostile filters whose literals
+    /// never occur are rejected without touching `Pattern::matches`.
+    block_tail_req: Vec<u128>,
+    allow_tail_req: Vec<u128>,
     /// Ids of allow filters carrying `$document` or `$elemhide`, in id
     /// order — the only filters `document_allowlist` must evaluate.
     doc_gate: Vec<u32>,
@@ -258,13 +324,22 @@ struct Compiled {
     /// no per-query selector set needed.
     cancel_starts: Vec<u32>,
     cancel_ids: Vec<u32>,
-    /// Memoized hiding outcome for domains with no scoped candidates.
-    /// Present only when every generic rule is *unconditional* — no
-    /// `domain=~` excludes and, for hide rules, no cancellation links —
-    /// in which case all such domains receive this exact outcome and
-    /// `hiding_for_domain` serves a clone (per-entry refcount bumps,
-    /// no evaluation).
-    generic_proto: Option<HidingOutcome>,
+    /// Plan trie over *every* domain any element rule mentions —
+    /// includes and excludes, hide rules and exceptions alike. Hosts
+    /// whose reversed-label walks terminate at the same node match
+    /// exactly the same registered domains (see
+    /// [`HostLabelTrie::terminal`]), so the hiding outcome is a pure
+    /// function of the terminal node.
+    plan_trie: HostLabelTrie,
+    /// One lazily-built [`HidingPlan`] per plan-trie node. The root
+    /// node's plan generalizes the old all-generic prototype — it also
+    /// covers *conditional* generic rules, since a root-terminated host
+    /// matches no registered domain (excludes included) and therefore
+    /// sees every generic rule's constraint resolve identically.
+    plans: Vec<OnceLock<HidingPlan>>,
+    /// Tail counters (prefilter reject rate, plan hit rate); `Arc` so
+    /// snapshot clones keep one set of running totals.
+    counters: Arc<TailCounters>,
 }
 
 impl Compiled {
@@ -282,8 +357,20 @@ impl Compiled {
                 auto.add(token, GROUP_ALLOW_TOKEN, true, id);
             }
         }
-        // Untokenized tail: anchor what we can, always-scan the rest.
-        let tail = |untok: &[u32], group: u8, auto: &mut AutomatonBuilder| {
+        // Untokenized tail: anchor what we can, always-scan the rest —
+        // and give every tail filter a required-literal lane mask.
+        // Each distinct literal (case-folded: `url_lower` is the scan
+        // subject, and a matching pattern's literals all occur in it
+        // contiguously, even under `match-case`) gets a one-byte-or-
+        // longer automaton pattern in GROUP_LIT carrying its lane; the
+        // filter's mask is the OR of its literals' lanes.
+        let mut lit_bits: HashMap<String, u32> = HashMap::new();
+        let tail = |untok: &[u32],
+                    group: u8,
+                    auto: &mut AutomatonBuilder,
+                    lit_bits: &mut HashMap<String, u32>,
+                    req_masks: &mut Vec<u128>|
+         -> Vec<u32> {
             let mut always = Vec::new();
             for (rank, &id) in untok.iter().enumerate() {
                 let sf = &engine.request_filters[id as usize];
@@ -291,18 +378,37 @@ impl Compiled {
                     Some(a) => auto.add(&a, group, false, rank as u32),
                     None => always.push(rank as u32),
                 }
+                let mut mask = 0u128;
+                for e in &sf.filter.pattern.elements {
+                    if let Element::Literal(lit) = e {
+                        let lower = lit.to_ascii_lowercase();
+                        let next = lit_bits.len() as u32 % LIT_LANES;
+                        let bit = *lit_bits.entry(lower.clone()).or_insert_with(|| {
+                            auto.add(&lower, GROUP_LIT, false, next);
+                            next
+                        });
+                        mask |= 1u128 << bit;
+                    }
+                }
+                req_masks.push(mask);
             }
             always
         };
+        let mut block_tail_req = Vec::new();
+        let mut allow_tail_req = Vec::new();
         let block_always = tail(
             &engine.block_builder.untokenized,
             GROUP_BLOCK_TAIL,
             &mut auto,
+            &mut lit_bits,
+            &mut block_tail_req,
         );
         let allow_always = tail(
             &engine.allow_builder.untokenized,
             GROUP_ALLOW_TAIL,
             &mut auto,
+            &mut lit_bits,
+            &mut allow_tail_req,
         );
 
         // $document/$elemhide gates: prefiltered by their own automaton,
@@ -361,38 +467,26 @@ impl Compiled {
             cancel_starts.push(cancel_ids.len() as u32);
         }
 
-        // Memoize the all-generic outcome when it is domain-independent.
-        let unconditional = elem_generic.iter().all(|&id| {
-            let sr = &engine.element_rules[id as usize];
-            sr.rule.domains.exclude.is_empty()
-                && (sr.rule.action == FilterAction::Allow
-                    || cancel_starts[id as usize] == cancel_starts[id as usize + 1])
-        });
-        let generic_proto = unconditional.then(|| {
-            let mut active = Vec::new();
-            let mut exceptions = Vec::new();
-            for &id in &elem_generic {
-                let sr = &engine.element_rules[id as usize];
-                let (bucket, kind) = match sr.rule.action {
-                    FilterAction::Allow => (&mut exceptions, MatchKind::AllowElement),
-                    FilterAction::Block => (&mut active, MatchKind::HideElement),
-                };
-                bucket.push((
-                    sr.selector.clone(),
-                    Activation {
-                        filter: sr.raw.clone(),
-                        source: sr.source,
-                        kind,
-                        subject: sr.selector.clone(),
-                        donottrack: false,
-                    },
-                ));
+        // Plan trie: every domain any element rule mentions, includes
+        // and excludes alike, so `applies_on` resolves identically for
+        // all hosts sharing a terminal node. Plans themselves build
+        // lazily on first query per node.
+        let mut plan_builder = HostLabelTrieBuilder::new();
+        for sr in &engine.element_rules {
+            for d in sr
+                .rule
+                .domains
+                .include
+                .iter()
+                .chain(sr.rule.domains.exclude.iter())
+            {
+                plan_builder.insert_path(d);
             }
-            HidingOutcome {
-                active: std::sync::Arc::new(active),
-                exceptions: std::sync::Arc::new(exceptions),
-            }
-        });
+        }
+        let plan_trie = plan_builder.build();
+        let plans = (0..plan_trie.node_count())
+            .map(|_| OnceLock::new())
+            .collect();
 
         Compiled {
             request_auto: auto.build(),
@@ -400,6 +494,8 @@ impl Compiled {
             allow_untok: engine.allow_builder.untokenized.clone(),
             block_always,
             allow_always,
+            block_tail_req,
+            allow_tail_req,
             doc_gate,
             doc_auto: doc_auto.build(),
             doc_always,
@@ -407,24 +503,20 @@ impl Compiled {
             elem_scoped: elem_scoped.build(),
             cancel_starts,
             cancel_ids,
-            generic_proto,
+            plan_trie,
+            plans,
+            counters: Arc::new(TailCounters::default()),
         }
     }
 
-    /// Scoped element-rule candidates for a host: the trie buckets,
-    /// sorted to id order with multi-include duplicates removed.
-    fn scoped_elem_candidates(&self, first_party: &str, scoped: &mut Vec<u32>) {
+    /// Scoped element-rule candidates for a host (already lowercased by
+    /// the caller — see [`with_host_lower`]): the trie buckets, sorted
+    /// to id order with multi-include duplicates removed.
+    fn scoped_elem_candidates(&self, host_lower: &str, scoped: &mut Vec<u32>) {
         if self.elem_scoped.is_empty() {
             return;
         }
-        // The trie is keyed by the (lowercased) `domain=` includes;
-        // hosts match domains case-insensitively.
-        let host_lower: Cow<'_, str> = if first_party.bytes().any(|b| b.is_ascii_uppercase()) {
-            Cow::Owned(first_party.to_ascii_lowercase())
-        } else {
-            Cow::Borrowed(first_party)
-        };
-        self.elem_scoped.collect(&host_lower, scoped);
+        self.elem_scoped.collect(host_lower, scoped);
         // A rule listed under several matching include domains appears
         // in several buckets; candidates are id-ordered and distinct
         // after this (generic and scoped are disjoint).
@@ -480,6 +572,28 @@ thread_local! {
     /// hit and stamp allocations across calls, like `match_many` does
     /// within a batch.
     static SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::default());
+
+    /// Per-thread lowercase scratch for first-party hosts on the
+    /// hiding/element paths: normalize once per query and pass borrowed
+    /// slices down (this used to be a per-trie-walk `Cow::Owned`
+    /// allocation).
+    static HOST_SCRATCH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Run `f` on the lowercased form of `host`, borrowing `host` directly
+/// when it is already lowercase (the common case: `Request` lowercases
+/// at construction, and crawl callers pass registrable domains).
+fn with_host_lower<R>(host: &str, f: impl FnOnce(&str) -> R) -> R {
+    if !host.bytes().any(|b| b.is_ascii_uppercase()) {
+        return f(host);
+    }
+    HOST_SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        s.clear();
+        s.push_str(host);
+        s.make_ascii_lowercase();
+        f(&s)
+    })
 }
 
 /// Visit the URL tokens (maximal `[a-z0-9%]` runs of length ≥ 2) of a
@@ -669,23 +783,48 @@ impl Engine {
             stamp,
             generation,
         } = scratch;
+        let mut seen = 0u128;
         compiled
             .request_auto
             .scan(req.url_lower.as_bytes(), |group, value| match group {
                 GROUP_BLOCK_TOKEN => block_hits.push(value),
                 GROUP_ALLOW_TOKEN => allow_hits.push(value),
                 GROUP_BLOCK_TAIL => block_tail.push(value),
-                _ => allow_tail.push(value),
+                GROUP_ALLOW_TAIL => allow_tail.push(value),
+                _ => seen |= 1u128 << value,
             });
         // Tail hits are ranks into the untokenized lists; merging in the
         // always-scan ranks and sorting restores insertion order — the
-        // exact order the old bucket-then-tail chain evaluated.
+        // exact order the old bucket-then-tail chain evaluated. The
+        // required-literal mask then drops candidates missing a literal
+        // (order-preserving, so the evaluation order is unchanged).
         block_tail.extend_from_slice(&compiled.block_always);
         block_tail.sort_unstable();
         block_tail.dedup();
         allow_tail.extend_from_slice(&compiled.allow_always);
         allow_tail.sort_unstable();
         allow_tail.dedup();
+        let (bc, br) = self.prefilter_tail(
+            req,
+            seen,
+            block_tail,
+            &compiled.block_tail_req,
+            &compiled.block_untok,
+        );
+        let (ac, ar) = self.prefilter_tail(
+            req,
+            seen,
+            allow_tail,
+            &compiled.allow_tail_req,
+            &compiled.allow_untok,
+        );
+        if bc + ac > 0 {
+            let c = &compiled.counters;
+            c.prefilter_checked.fetch_add(bc + ac, Ordering::Relaxed);
+            if br + ar > 0 {
+                c.prefilter_rejected.fetch_add(br + ar, Ordering::Relaxed);
+            }
+        }
 
         #[cfg(debug_assertions)]
         {
@@ -779,6 +918,45 @@ impl Engine {
             decision,
             activations,
         }
+    }
+
+    /// Drop tail candidates whose required-literal lanes were not all
+    /// seen in the URL scan. Returns `(checked, rejected)`.
+    ///
+    /// Soundness: every literal of a matching pattern occurs
+    /// (case-folded) contiguously in `url_lower`, so a missing lane
+    /// proves the pattern cannot match; lane collisions only ever make
+    /// a mask easier to satisfy. Debug builds assert the invariant
+    /// directly: a rejected candidate's pattern must not match.
+    fn prefilter_tail(
+        &self,
+        req: &Request,
+        seen: u128,
+        tail: &mut Vec<u32>,
+        req_masks: &[u128],
+        untok: &[u32],
+    ) -> (u64, u64) {
+        #[cfg(not(debug_assertions))]
+        let _ = (req, untok);
+        let before = tail.len() as u64;
+        tail.retain(|&r| {
+            let need = req_masks[r as usize];
+            let pass = seen & need == need;
+            #[cfg(debug_assertions)]
+            if !pass {
+                let sf = &self.request_filters[untok[r as usize] as usize];
+                assert!(
+                    !sf.filter
+                        .pattern
+                        .matches_prepared(&req.url_lower, req.url.as_str()),
+                    "required-literal prefilter rejected a matching pattern {:?} on {:?}",
+                    sf.filter.pattern.raw,
+                    req.url
+                );
+            }
+            pass
+        });
+        (before, before - tail.len() as u64)
     }
 
     /// Debug-build guard for the satellite invariant: the automaton's
@@ -892,30 +1070,89 @@ impl Engine {
     /// Borrowed, allocation-light variant of [`Engine::hiding_for_domain`]
     /// for crawl-scale use: returns `(rule index, selector, action)` for
     /// every element rule applicable on the domain, with exceptions'
-    /// selector cancellation already applied to the hide rules.
+    /// selector cancellation already applied to the hide rules —
+    /// applicable exceptions first, then surviving hide rules.
     ///
-    /// Candidates come from a single merge of the (pre-sorted) generic
-    /// list with the domain trie's buckets — no per-query clone or full
-    /// sort — and hide-rule cancellation walks the precompiled selector
-    /// links instead of building a selector hash set. An exception
-    /// cancels a hide rule exactly when it `applies_on` the domain,
-    /// which also implies it was a candidate, so the link check is
-    /// equivalent to the old candidate-set membership test.
+    /// Served from the same memoized per-suffix plan as
+    /// [`Engine::hiding_for_domain`]: after the first query for a
+    /// suffix, this is a trie walk plus one id→selector map over the
+    /// cached ref list, with no `applies_on` or cancellation work.
     pub fn hiding_refs_for_domain(&self, first_party: &str) -> Vec<(u32, &str, FilterAction)> {
-        let mut out: Vec<(u32, &str, FilterAction)> = Vec::new();
-        let mut hidden: Vec<(u32, &str, FilterAction)> = Vec::new();
-        self.for_each_applicable_element_rule(first_party, |id, sr, action| match action {
-            FilterAction::Allow => out.push((id, sr.rule.selector.as_str(), action)),
-            FilterAction::Block => hidden.push((id, sr.rule.selector.as_str(), action)),
+        let compiled = self.compiled();
+        with_host_lower(first_party, |host| {
+            self.hiding_plan(compiled, host)
+                .refs
+                .iter()
+                .map(|&(id, action)| {
+                    (
+                        id,
+                        self.element_rules[id as usize].rule.selector.as_str(),
+                        action,
+                    )
+                })
+                .collect()
+        })
+    }
+
+    /// The memoized per-suffix hiding plan for a (lowercased) host:
+    /// walk the plan trie to the host's terminal node and serve that
+    /// node's plan, building it on first visit. Hosts sharing a
+    /// terminal node match exactly the same registered domains, so the
+    /// plan is a pure function of the node (see
+    /// [`HostLabelTrie::terminal`]); `OnceLock` makes the memoization
+    /// lock-free after initialization, and a racing duplicate build is
+    /// harmless (both sides compute the identical plan).
+    fn hiding_plan<'a>(&'a self, compiled: &'a Compiled, host_lower: &str) -> &'a HidingPlan {
+        let node = compiled.plan_trie.terminal(host_lower) as usize;
+        let slot = &compiled.plans[node];
+        let c = &compiled.counters;
+        c.hiding_queries.fetch_add(1, Ordering::Relaxed);
+        if let Some(plan) = slot.get() {
+            c.hiding_plan_hits.fetch_add(1, Ordering::Relaxed);
+            return plan;
+        }
+        slot.get_or_init(|| self.build_hiding_plan(compiled, host_lower))
+    }
+
+    /// Resolve the full hiding state for one representative host of a
+    /// plan-trie node: both the ref list and the owned outcome, in one
+    /// pass over the applicable rules.
+    fn build_hiding_plan(&self, compiled: &Compiled, host_lower: &str) -> HidingPlan {
+        let mut refs: Vec<(u32, FilterAction)> = Vec::new();
+        let mut hidden: Vec<(u32, FilterAction)> = Vec::new();
+        let mut active = Vec::with_capacity(compiled.elem_generic.len());
+        let mut exceptions = Vec::new();
+        self.for_each_applicable_element_rule(compiled, host_lower, |id, sr, action| {
+            let (ref_bucket, out_bucket, kind) = match action {
+                FilterAction::Allow => (&mut refs, &mut exceptions, MatchKind::AllowElement),
+                FilterAction::Block => (&mut hidden, &mut active, MatchKind::HideElement),
+            };
+            ref_bucket.push((id, action));
+            out_bucket.push((
+                sr.selector.clone(),
+                Activation {
+                    filter: sr.raw.clone(),
+                    source: sr.source,
+                    kind,
+                    subject: sr.selector.clone(),
+                    donottrack: false,
+                },
+            ));
         });
         // Applicable exceptions first, then surviving hide rules — the
         // order the two-pass formulation produced.
-        out.append(&mut hidden);
-        out
+        refs.append(&mut hidden);
+        HidingPlan {
+            refs: Arc::new(refs),
+            outcome: HidingOutcome {
+                active: Arc::new(active),
+                exceptions: Arc::new(exceptions),
+            },
+        }
     }
 
-    /// Core of both hiding paths: visit every element rule applicable
-    /// on `first_party` — exceptions and surviving (un-cancelled) hide
+    /// Core of plan construction: visit every element rule applicable
+    /// on `host_lower` — exceptions and surviving (un-cancelled) hide
     /// rules — in rule-id order.
     ///
     /// Candidates come from a single merge of the (pre-sorted) generic
@@ -927,12 +1164,12 @@ impl Engine {
     /// equivalent to the old candidate-set membership test.
     fn for_each_applicable_element_rule<'a>(
         &'a self,
-        first_party: &str,
+        compiled: &Compiled,
+        host_lower: &str,
         mut visit: impl FnMut(u32, &'a StoredElementRule, FilterAction),
     ) {
-        let compiled = self.compiled();
         let mut scoped: Vec<u32> = Vec::new();
-        compiled.scoped_elem_candidates(first_party, &mut scoped);
+        compiled.scoped_elem_candidates(host_lower, &mut scoped);
         let generic = &compiled.elem_generic;
         let (mut gi, mut si) = (0usize, 0usize);
         loop {
@@ -957,7 +1194,7 @@ impl Engine {
                 (None, None) => break,
             };
             let sr = &self.element_rules[id as usize];
-            if !sr.rule.applies_on(first_party) {
+            if !sr.rule.applies_on(host_lower) {
                 continue;
             }
             match sr.rule.action {
@@ -965,11 +1202,9 @@ impl Engine {
                 FilterAction::Block => {
                     let lo = compiled.cancel_starts[id as usize] as usize;
                     let hi = compiled.cancel_starts[id as usize + 1] as usize;
-                    let cancelled = compiled.cancel_ids[lo..hi].iter().any(|&aid| {
-                        self.element_rules[aid as usize]
-                            .rule
-                            .applies_on(first_party)
-                    });
+                    let cancelled = compiled.cancel_ids[lo..hi]
+                        .iter()
+                        .any(|&aid| self.element_rules[aid as usize].rule.applies_on(host_lower));
                     if !cancelled {
                         visit(id, sr, FilterAction::Block);
                     }
@@ -1007,43 +1242,30 @@ impl Engine {
     /// Compute the element-hiding state for a first-party domain:
     /// selectors that will hide elements, and the applicable exceptions.
     ///
-    /// Shares [`Engine::hiding_refs_for_domain`]'s evaluation core; the
-    /// owned outcome costs three reference-count bumps per rule
-    /// (interned selector, filter text, activation subject) constructed
-    /// in place — no intermediate refs vector, no selector copies.
+    /// Served from the memoized per-suffix plan: the first query for a
+    /// domain suffix resolves the applicable rules (the old evaluation
+    /// path) and caches the outcome on the suffix's plan-trie node;
+    /// every later query for any host sharing that node is a trie walk
+    /// plus two `Arc` bumps. All hosts on one node share one outcome
+    /// allocation — the generalization of the old all-generic
+    /// prototype, now covering conditional and scoped rules too.
     pub fn hiding_for_domain(&self, first_party: &str) -> HidingOutcome {
         let compiled = self.compiled();
-        if let Some(proto) = &compiled.generic_proto {
-            // Every generic rule is unconditional, so any domain with no
-            // scoped candidates gets a domain-independent outcome — serve
-            // the precomputed one (clone = refcount bumps, no evaluation).
-            let mut scoped: Vec<u32> = Vec::new();
-            compiled.scoped_elem_candidates(first_party, &mut scoped);
-            if scoped.is_empty() {
-                return proto.clone();
-            }
-        }
-        let mut active = Vec::with_capacity(compiled.elem_generic.len());
-        let mut exceptions = Vec::new();
-        self.for_each_applicable_element_rule(first_party, |_id, sr, action| {
-            let (bucket, kind) = match action {
-                FilterAction::Allow => (&mut exceptions, MatchKind::AllowElement),
-                FilterAction::Block => (&mut active, MatchKind::HideElement),
-            };
-            bucket.push((
-                sr.selector.clone(),
-                Activation {
-                    filter: sr.raw.clone(),
-                    source: sr.source,
-                    kind,
-                    subject: sr.selector.clone(),
-                    donottrack: false,
-                },
-            ));
-        });
-        HidingOutcome {
-            active: std::sync::Arc::new(active),
-            exceptions: std::sync::Arc::new(exceptions),
+        with_host_lower(first_party, |host| {
+            self.hiding_plan(compiled, host).outcome.clone()
+        })
+    }
+
+    /// Snapshot the tail-path counters: prefilter checked/rejected and
+    /// hiding queries/plan hits, cumulative since the current compiled
+    /// snapshot was built (clones of an engine share one set).
+    pub fn tail_stats(&self) -> TailStats {
+        let c = &self.compiled().counters;
+        TailStats {
+            prefilter_checked: c.prefilter_checked.load(Ordering::Relaxed),
+            prefilter_rejected: c.prefilter_rejected.load(Ordering::Relaxed),
+            hiding_queries: c.hiding_queries.load(Ordering::Relaxed),
+            hiding_plan_hits: c.hiding_plan_hits.load(Ordering::Relaxed),
         }
     }
 }

@@ -36,7 +36,10 @@
 //! §8 hygiene analysis counts malformed, truncated filters — we must be
 //! able to represent them rather than reject them).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the SSE2 lane in `scan` is the crate's single
+// module-scoped `#[allow(unsafe_code)]` island (same discipline as
+// `abpd::poll`); everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod activation;
@@ -49,9 +52,10 @@ pub mod options;
 pub mod parser;
 pub mod pattern;
 pub mod request;
+pub mod scan;
 
 pub use activation::{Activation, MatchKind};
-pub use engine::{Decision, Engine, RequestOutcome};
+pub use engine::{Decision, Engine, RequestOutcome, TailStats};
 pub use filter::{ElementFilter, Filter, FilterAction, FilterBody, RequestFilter};
 pub use intern::IStr;
 pub use list::{FilterList, ListMetadata, ListSource};

@@ -149,12 +149,16 @@ impl Pattern {
     /// [`Pattern::matches_prepared`]); this convenience method handles
     /// the normalization itself.
     pub fn matches(&self, url: &str) -> bool {
-        if self.match_case {
-            self.matches_prepared(url, url)
-        } else {
-            let lower = url.to_ascii_lowercase();
-            self.matches_prepared(&lower, url)
+        if self.match_case || !url.bytes().any(|b| b.is_ascii_uppercase()) {
+            return self.matches_prepared(url, url);
         }
+        LOWER_SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            s.clear();
+            s.push_str(url);
+            s.make_ascii_lowercase();
+            self.matches_prepared(&s, url)
+        })
     }
 
     /// Match against a pre-normalized URL.
@@ -173,8 +177,23 @@ impl Pattern {
         match self.left {
             LeftAnchor::Start => self.match_elements(bytes, 0),
             LeftAnchor::Hostname => {
-                for start in hostname_anchor_positions(text) {
-                    if self.match_elements(bytes, start) {
+                // Candidate starts: the start of the host, plus the
+                // position after each `.` inside it — walked inline, no
+                // per-call position vector.
+                let Some(scheme_end) = crate::scan::find(bytes, b"://") else {
+                    return false;
+                };
+                let host_start = scheme_end + 3;
+                let host_end = bytes[host_start..]
+                    .iter()
+                    .position(|b| matches!(b, b'/' | b'?' | b'#' | b':'))
+                    .map(|i| host_start + i)
+                    .unwrap_or(bytes.len());
+                if self.match_elements(bytes, host_start) {
+                    return true;
+                }
+                for i in host_start..host_end {
+                    if bytes[i] == b'.' && self.match_elements(bytes, i + 1) {
                         return true;
                     }
                 }
@@ -191,7 +210,7 @@ impl Pattern {
                 match &self.elements[0] {
                     Element::Literal(first) => {
                         let mut from = 0;
-                        while let Some(idx) = find_from(text, first, from) {
+                        while let Some(idx) = find_from(bytes, first.as_bytes(), from) {
                             if self.match_elements(bytes, idx) {
                                 return true;
                             }
@@ -250,11 +269,7 @@ impl Pattern {
                 match &self.elements[elem + 1] {
                     Element::Literal(lit) => {
                         let mut from = pos;
-                        let s = match std::str::from_utf8(&text[..]) {
-                            Ok(s) => s,
-                            Err(_) => return false,
-                        };
-                        while let Some(idx) = find_from(s, lit, from) {
+                        while let Some(idx) = find_from(text, lit.as_bytes(), from) {
                             if self.match_rec(text, idx, elem + 1) {
                                 return true;
                             }
@@ -338,38 +353,25 @@ impl Pattern {
     }
 }
 
-/// Candidate match-start offsets for a `||` hostname anchor: the start of
-/// the host, plus the position after each `.` inside the host.
-fn hostname_anchor_positions(url: &str) -> Vec<usize> {
-    let mut positions = Vec::new();
-    let Some(scheme_end) = url.find("://") else {
-        return positions;
-    };
-    let host_start = scheme_end + 3;
-    let host_end = url[host_start..]
-        .find(['/', '?', '#', ':'])
-        .map(|i| host_start + i)
-        .unwrap_or(url.len());
-    positions.push(host_start);
-    for (i, b) in url.as_bytes()[host_start..host_end].iter().enumerate() {
-        if *b == b'.' {
-            positions.push(host_start + i + 1);
-        }
-    }
-    positions
+thread_local! {
+    /// Per-thread lowercase scratch for the convenience
+    /// [`Pattern::matches`] entry point, so one-off matches of
+    /// mixed-case URLs don't allocate per call. The engine's hot path
+    /// normalizes once per request instead (`Request::url_lower`).
+    static LOWER_SCRATCH: std::cell::RefCell<String> =
+        const { std::cell::RefCell::new(String::new()) };
 }
 
-/// `str::find` starting at byte offset `from`. Offsets landing inside a
-/// multi-byte character (possible when the caller advances byte-wise
-/// through non-ASCII URLs) are snapped forward to the next boundary.
-fn find_from(haystack: &str, needle: &str, mut from: usize) -> Option<usize> {
+/// Byte-level substring search starting at offset `from`, on the
+/// [`crate::scan`] kernel. UTF-8 self-synchronization makes this
+/// decision-identical to `str::find` over valid UTF-8: a valid-UTF-8
+/// needle only ever matches at char boundaries, so no boundary snapping
+/// is needed even when `from` lands mid-character.
+fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
     if from > haystack.len() {
         return None;
     }
-    while from < haystack.len() && !haystack.is_char_boundary(from) {
-        from += 1;
-    }
-    haystack[from..].find(needle).map(|i| i + from)
+    crate::scan::find(&haystack[from..], needle).map(|i| i + from)
 }
 
 #[cfg(test)]

@@ -106,6 +106,48 @@ proptest! {
         let list2 = FilterList::parse(ListSource::Custom, &list.to_text());
         prop_assert_eq!(list.filter_count(), list2.filter_count());
     }
+
+    /// The SWAR/SIMD substring kernel agrees with a naive byte-level
+    /// reference on arbitrary byte strings — empty needles, non-ASCII
+    /// bytes, every length relation — and a needle sliced straight out
+    /// of the haystack (boundary positions included) is always found at
+    /// or before its source offset.
+    #[test]
+    fn scan_find_matches_reference(
+        hay in proptest::collection::vec(any::<u8>(), 0..96),
+        needle in proptest::collection::vec(any::<u8>(), 0..9),
+        pick in 0usize..4096,
+    ) {
+        fn naive(h: &[u8], n: &[u8]) -> Option<usize> {
+            if n.is_empty() {
+                return Some(0);
+            }
+            if n.len() > h.len() {
+                return None;
+            }
+            (0..=h.len() - n.len()).find(|&i| &h[i..i + n.len()] == n)
+        }
+        prop_assert_eq!(crate::scan::find(&hay, &needle), naive(&hay, &needle));
+        if !hay.is_empty() {
+            let start = pick % hay.len();
+            let len = (hay.len() - start).min(needle.len().max(1));
+            let sub: Vec<u8> = hay[start..start + len].to_vec();
+            let got = crate::scan::find(&hay, &sub);
+            prop_assert_eq!(got, naive(&hay, &sub));
+            prop_assert!(got.is_some_and(|p| p <= start));
+        }
+    }
+
+    /// On valid UTF-8 the byte-level kernel is exactly `str::find` —
+    /// the property the pattern matcher's dropped boundary bookkeeping
+    /// rests on.
+    #[test]
+    fn scan_find_matches_str_find(hay in ".{0,60}", needle in ".{0,6}") {
+        prop_assert_eq!(
+            crate::scan::find(hay.as_bytes(), needle.as_bytes()),
+            hay.find(&needle)
+        );
+    }
 }
 
 #[cfg(test)]
@@ -285,9 +327,14 @@ mod differential {
             6 => {
                 // Element rule (possibly an exception, possibly scoped).
                 let sep = if rng.below(4) == 0 { "#@#" } else { "##" };
-                let scope = match rng.below(3) {
+                let scope = match rng.below(5) {
                     0 => String::new(),
                     1 => host.clone(),
+                    // Conditional generic: applies everywhere except on
+                    // the excluded domain (exercises exclude-domain
+                    // resolution in the per-node hiding plans).
+                    2 => format!("~{host}"),
+                    3 => format!("{host},~{}", pool_host(rng)),
                     _ => format!("{host},{}", pool_host(rng)),
                 };
                 return format!("{scope}{sep}.ad-{}", rng.below(5));

@@ -1,0 +1,273 @@
+//! SWAR / SIMD substring-search kernels for the engine's scan tails.
+//!
+//! The always-scan filter tail and the inner literal search inside
+//! wildcard matching used to walk the URL byte-at-a-time through
+//! `str::find` with char-boundary bookkeeping. Both operate on bytes of
+//! URLs that are valid UTF-8, and UTF-8 is self-synchronizing: a
+//! multi-byte needle that is itself valid UTF-8 can only match at a
+//! char boundary, so byte-level search is decision-identical to
+//! `str::find` — no boundary snapping required.
+//!
+//! [`find`] is the memchr-crate "generic SIMD" shape, hand-rolled so the
+//! crate stays dependency-free: broadcast the needle's first and last
+//! bytes, compare a whole lane of candidate windows at once, AND the
+//! two equality masks, and verify only the surviving positions with a
+//! full memcmp. On x86_64 the lane is a 16-byte SSE2 vector (the one
+//! `unsafe` island in this crate, mirroring the `abpd::poll` discipline:
+//! `#![deny(unsafe_code)]` crate-wide, a single `#[allow]`-scoped module
+//! with auditable invariants). Everywhere else a portable 8-byte SWAR
+//! lane does the same thing with the zero-byte trick.
+//!
+//! Candidate masks may carry false positives (the SWAR zero-byte trick
+//! can flag a byte following a true zero after borrow propagation), but
+//! never false negatives — every candidate is verified, so false
+//! positives only cost a memcmp. [`memchr`] needs no verification: a
+//! borrow can only propagate out of a byte that itself matched, so the
+//! lowest set bit is always genuine.
+
+/// Broadcast a byte into every lane of a `u64`.
+#[inline(always)]
+fn broadcast(b: u8) -> u64 {
+    u64::from(b) * 0x0101_0101_0101_0101
+}
+
+/// Per-byte high-bit mask of the zero bytes of `x` (with possible false
+/// positives on bytes directly above a zero byte — callers verify).
+#[inline(always)]
+fn zero_byte_mask(x: u64) -> u64 {
+    x.wrapping_sub(0x0101_0101_0101_0101) & !x & 0x8080_8080_8080_8080
+}
+
+#[inline(always)]
+fn load_u64(hay: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte window"))
+}
+
+/// First offset of byte `b` in `hay`, eight bytes per step.
+#[inline]
+pub fn memchr(b: u8, hay: &[u8]) -> Option<usize> {
+    let bb = broadcast(b);
+    let mut i = 0;
+    while i + 8 <= hay.len() {
+        let m = zero_byte_mask(load_u64(hay, i) ^ bb);
+        if m != 0 {
+            // The lowest set bit is always a true match: a false
+            // positive at byte k needs a borrow out of byte k-1, which
+            // only happens when byte k-1 is itself zero (= a match).
+            return Some(i + (m.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    hay[i..].iter().position(|&x| x == b).map(|p| i + p)
+}
+
+/// First offset where `needle` occurs in `hay`, or `None`.
+///
+/// Matches `str::find` exactly on any byte strings (empty needle →
+/// `Some(0)`, needle longer than haystack → `None`); on valid UTF-8 the
+/// returned offset is therefore always a char boundary when the needle
+/// is valid UTF-8.
+#[inline]
+pub fn find(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    let n = needle.len();
+    if n == 0 {
+        return Some(0);
+    }
+    if n > hay.len() {
+        return None;
+    }
+    if n == 1 {
+        return memchr(needle[0], hay);
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        sse2::find(hay, needle)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        swar_find(hay, needle)
+    }
+}
+
+/// Portable first/last-byte SWAR search. `needle.len() >= 2` and
+/// `needle.len() <= hay.len()` are the caller's (i.e. [`find`]'s)
+/// invariants.
+#[cfg_attr(target_arch = "x86_64", allow(dead_code))]
+fn swar_find(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    let n = needle.len();
+    let end = hay.len() - n; // last valid start offset (inclusive)
+    let bf = broadcast(needle[0]);
+    let bl = broadcast(needle[n - 1]);
+    let mut i = 0;
+    // Window invariant: reading 8 first-bytes at `i` and 8 last-bytes at
+    // `i + n - 1` stays in bounds while `i + 7 <= end`.
+    while i + 8 <= end + 1 {
+        let mut m =
+            zero_byte_mask(load_u64(hay, i) ^ bf) & zero_byte_mask(load_u64(hay, i + n - 1) ^ bl);
+        while m != 0 {
+            let pos = i + (m.trailing_zeros() / 8) as usize;
+            if &hay[pos..pos + n] == needle {
+                return Some(pos);
+            }
+            m &= m - 1;
+        }
+        i += 8;
+    }
+    while i <= end {
+        if hay[i] == needle[0] && hay[i + n - 1] == needle[n - 1] && &hay[i..i + n] == needle {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The crate's one unsafe island: SSE2 16-byte lanes for the first/last
+/// byte search. SSE2 is part of the x86_64 baseline, so no runtime
+/// feature detection is needed.
+///
+/// Safety argument, in one place: the only unsafe operations are
+/// unaligned 16-byte loads (`_mm_loadu_si128`, which permits any
+/// alignment), and every load is bounds-checked by the loop condition —
+/// `i + 16 <= end + 1` with `end = hay.len() - n` gives
+/// `i + n - 1 + 16 <= hay.len()` for the last-byte window and (since
+/// `n >= 2`) `i + 16 <= hay.len()` for the first-byte window.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod sse2 {
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::{
+        __m128i, _mm_and_si128, _mm_cmpeq_epi8, _mm_loadu_si128, _mm_movemask_epi8, _mm_set1_epi8,
+    };
+
+    pub(super) fn find(hay: &[u8], needle: &[u8]) -> Option<usize> {
+        let n = needle.len();
+        let end = hay.len() - n; // last valid start offset (inclusive)
+        let vf = unsafe { _mm_set1_epi8(needle[0] as i8) };
+        let vl = unsafe { _mm_set1_epi8(needle[n - 1] as i8) };
+        let mut i = 0;
+        while i + 16 <= end + 1 {
+            // SAFETY: bounds per the module-level argument; loadu has no
+            // alignment requirement.
+            let m = unsafe {
+                let a = _mm_loadu_si128(hay.as_ptr().add(i) as *const __m128i);
+                let b = _mm_loadu_si128(hay.as_ptr().add(i + n - 1) as *const __m128i);
+                _mm_movemask_epi8(_mm_and_si128(_mm_cmpeq_epi8(a, vf), _mm_cmpeq_epi8(b, vl)))
+                    as u32
+            };
+            let mut m = m;
+            while m != 0 {
+                let pos = i + m.trailing_zeros() as usize;
+                if &hay[pos..pos + n] == needle {
+                    return Some(pos);
+                }
+                m &= m - 1;
+            }
+            i += 16;
+        }
+        while i <= end {
+            if hay[i] == needle[0] && hay[i + n - 1] == needle[n - 1] && &hay[i..i + n] == needle {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(hay: &[u8], needle: &[u8]) -> Option<usize> {
+        if needle.is_empty() {
+            return Some(0);
+        }
+        if needle.len() > hay.len() {
+            return None;
+        }
+        (0..=hay.len() - needle.len()).find(|&i| &hay[i..i + needle.len()] == needle)
+    }
+
+    #[test]
+    fn empty_needle_is_zero() {
+        assert_eq!(find(b"", b""), Some(0));
+        assert_eq!(find(b"abc", b""), Some(0));
+    }
+
+    #[test]
+    fn needle_longer_than_haystack() {
+        assert_eq!(find(b"ab", b"abc"), None);
+    }
+
+    #[test]
+    fn single_byte() {
+        assert_eq!(find(b"hello world", b"o"), Some(4));
+        assert_eq!(memchr(b'z', b"hello world"), None);
+        assert_eq!(memchr(b'd', b"hello world"), Some(10));
+    }
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(find(b"needle in a haystack", b"needle"), Some(0));
+        assert_eq!(find(b"a haystack with a needle", b"needle"), Some(18));
+        assert_eq!(find(b"xx", b"xx"), Some(0));
+    }
+
+    #[test]
+    fn repeated_first_last_bytes() {
+        // Many candidate windows share first/last bytes; only one
+        // survives verification.
+        assert_eq!(find(b"aaaaaaaaaaaaaaaaaaaab", b"aab"), Some(18));
+        assert_eq!(find(b"abababababababababac", b"bac"), Some(17));
+    }
+
+    #[test]
+    fn non_ascii_bytes() {
+        let hay = "héllo wörld héllo".as_bytes();
+        assert_eq!(
+            find(hay, "wörld".as_bytes()),
+            "héllo wörld héllo".find("wörld")
+        );
+        assert_eq!(find(hay, &[0xff]), None);
+        let raw = [0u8, 0xff, 0xfe, 0, 0xff, 0xfe, 0xfd];
+        assert_eq!(find(&raw, &[0xff, 0xfe, 0xfd]), Some(4));
+    }
+
+    #[test]
+    fn matches_reference_exhaustively_on_small_alphabet() {
+        // Every haystack of length 0..=12 would be huge; instead walk a
+        // deterministic pseudo-random sample plus dense tiny cases.
+        let alpha = [b'a', b'b', 0x00, 0xff];
+        let mut hay = Vec::new();
+        let mut state = 0x9e37_79b9_u32;
+        for len in 0..48 {
+            hay.clear();
+            for _ in 0..len {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                hay.push(alpha[(state >> 28) as usize % alpha.len()]);
+            }
+            for nlen in 0..=5 {
+                for start in 0..hay.len().saturating_sub(nlen) {
+                    let needle = hay[start..start + nlen].to_vec();
+                    assert_eq!(find(&hay, &needle), reference(&hay, &needle));
+                }
+                // And a needle that (mostly) does not occur.
+                let needle = vec![b'z'; nlen.max(1)];
+                assert_eq!(find(&hay, &needle), reference(&hay, &needle));
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn swar_agrees_with_sse2() {
+        let hay = b"the quick brown fox jumps over the lazy dog; the end";
+        for nlen in 2..8 {
+            for start in 0..hay.len() - nlen {
+                let needle = &hay[start..start + nlen];
+                assert_eq!(swar_find(hay, needle), sse2::find(hay, needle));
+            }
+        }
+    }
+}

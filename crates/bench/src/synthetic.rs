@@ -108,6 +108,56 @@ pub fn adversarial_untokenized_list(anchored: usize, hostile: usize) -> FilterLi
     FilterList::parse(ListSource::EasyList, &text)
 }
 
+/// A hiding-hostile corpus: the element-hiding worst case rather than
+/// the volume case. Every generic rule carries `~domain` excludes (so
+/// no all-generic fast path applies and each query must test every
+/// rule), the scoped rules sit on deep suffixes with per-subdomain
+/// exception chains (cancellation links walked per query), and the
+/// query population below ([`hiding_hostile_domains`]) is dominated by
+/// near-miss suffixes that walk the scope trie without ever matching.
+pub fn hiding_hostile_lists() -> (FilterList, FilterList) {
+    let mut bl = String::new();
+    let mut wl = String::new();
+    // Conditional generic hides: each excluded on two opt-out hosts.
+    for i in 0..600 {
+        bl.push_str(&format!(
+            "~opt{}.hostile.example,~opt{}.hostile.example##.hh-ad-{i}\n",
+            i % 40,
+            (i + 7) % 40
+        ));
+    }
+    // Scoped hides on deep suffixes, each selector re-allowed on four
+    // subdomains of its scope (deep exception chains).
+    for i in 0..400 {
+        bl.push_str(&format!("s{}.hostile.example###hh-frame-{i}\n", i % 120));
+        for j in 0..4 {
+            wl.push_str(&format!(
+                "x{j}.s{}.hostile.example#@##hh-frame-{i}\n",
+                i % 120
+            ));
+        }
+    }
+    (
+        FilterList::parse(ListSource::EasyList, &bl),
+        FilterList::parse(ListSource::AcceptableAds, &wl),
+    )
+}
+
+/// First-party domains for the hiding-hostile arm: scoped hosts, the
+/// exception subdomains themselves, opt-out hosts carrying the generic
+/// excludes, and a large population of near-miss suffixes that share
+/// the `hostile.example` tail but match no scope.
+pub fn hiding_hostile_domains(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| match i % 4 {
+            0 => format!("s{}.hostile.example", i % 120),
+            1 => format!("x{}.s{}.hostile.example", i % 4, i % 120),
+            2 => format!("miss{}.hostile.example", i % 777),
+            _ => format!("opt{}.hostile.example", i % 40),
+        })
+        .collect()
+}
+
 /// `n` deterministic requests: ~10% hit ad hosts in [`lists_10k`], the
 /// rest benign URLs with varied token vocabularies (the realistic
 /// mostly-miss traffic shape).

@@ -411,12 +411,45 @@ fn main() {
             .iter()
             .map(|(name, secs)| serde_json::json!({ "name": *name, "seconds": secs }))
             .collect();
-        let report = serde_json::json!({
+        let total_seconds = run_started.elapsed().as_secs_f64();
+        let mut report = serde_json::json!({
             "threads": threads,
             "full": full,
-            "total_seconds": run_started.elapsed().as_secs_f64(),
+            "total_seconds": total_seconds,
             "experiments": experiments,
         });
+        // Embed the committed wall-clock baseline (captured just before
+        // the engine-tail optimizations) and the end-to-end delta, when
+        // this run is comparable (same scale, same thread count).
+        let baseline_path = "crates/bench/baselines/repro_timings_baseline.json";
+        if let Ok(text) = std::fs::read_to_string(baseline_path) {
+            if let Ok(base) = serde_json::parse_value(&text) {
+                let comparable = base.get("threads").and_then(|v| v.as_u64())
+                    == Some(threads as u64)
+                    && matches!(base.get("full"), Some(serde_json::Value::Bool(b)) if *b == full);
+                let base_total = base.get("total_seconds").and_then(|v| v.as_f64());
+                if let (true, Some(base_total), serde_json::Value::Map(entries)) =
+                    (comparable, base_total, &mut report)
+                {
+                    let speedup = base_total / total_seconds;
+                    entries.push(("baseline".to_string(), base));
+                    entries.push((
+                        "baseline_delta_seconds".to_string(),
+                        serde_json::Value::F64(
+                            ((total_seconds - base_total) * 1000.0).round() / 1000.0,
+                        ),
+                    ));
+                    entries.push((
+                        "speedup_vs_baseline".to_string(),
+                        serde_json::Value::F64((speedup * 100.0).round() / 100.0),
+                    ));
+                    eprintln!(
+                        "wall-clock vs pre-tail baseline: {total_seconds:.2}s vs \
+                         {base_total:.2}s ({speedup:.2}x)"
+                    );
+                }
+            }
+        }
         let json = serde_json::to_string_pretty(&report).expect("serialize timings");
         std::fs::write("BENCH_repro.json", json).expect("write BENCH_repro.json");
         eprintln!("wrote BENCH_repro.json");
