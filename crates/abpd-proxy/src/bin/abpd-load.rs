@@ -8,7 +8,9 @@
 //!           [--out PATH] [--append-availability PATH] [--shutdown]
 //!           [--scaling LIST] [--append-scaling PATH]
 //!           [--fleet N] [--fleet-chaos] [--replay-revisions N]
-//!           [--max-delta-ratio F]
+//!           [--max-delta-ratio F] [--state-recovery]
+//! abpd-load --admin decide|health|reload|shutdown --addr HOST:PORT
+//!           [--seed N] [--sample N] [--rules TEXT]
 //! ```
 //!
 //! Replays synthetic browsing traffic (the websim page/ecosystem
@@ -63,6 +65,27 @@
 //! zero decisions, or if the replay's delta/full byte ratio exceeds
 //! `--max-delta-ratio`. `--out` writes a fleet report embedding
 //! `crates/bench/baselines/fleet_bench_baseline.json` when present.
+//!
+//! `--state-recovery` (with `--fleet-chaos`) turns the chaos kill into
+//! a durability drill: every shard gets an on-disk state directory, the
+//! victim is killed mid-load, an extra whitelist revision ships through
+//! the router while it is down (healthy-only fan-out), and the victim
+//! is respawned *from its recovered snapshot* — not from the harness's
+//! in-memory lists. The run then asserts the snapshot recovered, the
+//! respawned shard answers the pre-kill probe identically, and the
+//! router caught it up to the fleet head via `ReloadDelta` (delta
+//! bytes > 0, full-body rejoin bytes = 0).
+//!
+//! # Admin mode
+//!
+//! `--admin CMD --addr HOST:PORT` runs one operator command and prints
+//! the server's raw reply line on stdout, so shell scripts (the CI
+//! crash-recovery stage) can compare replies byte for byte: `decide`
+//! sends traffic sample `--sample N` for `--seed N`; `health` fetches
+//! the health report; `reload` ships `--rules TEXT` as a `Custom`-list
+//! reload; `shutdown` stops the server. Exits nonzero when the server
+//! does not answer — which is exactly what a crash-armed snapshot
+//! fault produces.
 
 use abpd::client::ItemAnswer;
 use abpd::protocol::{ReloadDeltaList, ReloadList};
@@ -171,6 +194,18 @@ struct FleetReport {
     delta_to_full_ratio: f64,
     /// Did every shard converge to the expected serving checksum?
     converged: bool,
+    /// Was the chaos kill a durability drill (`--state-recovery`)?
+    state_recovery: bool,
+    /// Did the victim's on-disk snapshot recover after the kill?
+    snapshot_recovered: bool,
+    /// Did the respawned victim answer the pre-kill probe identically?
+    recovery_parity: bool,
+    /// Bytes the router shipped as rejoin catch-up deltas.
+    rejoin_delta_bytes: u64,
+    /// Bytes the router shipped as full-body rejoin reloads.
+    rejoin_full_bytes: u64,
+    /// Decisions the router's hedge budget refused to retry.
+    hedge_denied: u64,
 }
 
 /// Per-thread accounting; folded across connections.
@@ -383,11 +418,17 @@ fn main() {
              [--out PATH] [--append-availability PATH] [--shutdown] \
              [--scaling LIST] [--append-scaling PATH] \
              [--fleet N] [--fleet-chaos] [--replay-revisions N] \
-             [--max-delta-ratio F]"
+             [--max-delta-ratio F] [--state-recovery]\n\
+             abpd-load --admin decide|health|reload|shutdown --addr HOST:PORT \
+             [--seed N] [--sample N] [--rules TEXT]"
         );
         return;
     }
 
+    if args.iter().any(|a| a == "--admin") {
+        admin_main(&args);
+        return;
+    }
     if args.iter().any(|a| a == "--fleet") {
         fleet_main(&args);
         return;
@@ -792,6 +833,61 @@ fn scaling_main(args: &[String]) {
     }
 }
 
+/// `--admin CMD`: one operator command against a running server or
+/// router, the raw reply line on stdout. Shell scripts build recovery
+/// drills out of these: capture a decision before a crash, compare it
+/// byte for byte after the restart.
+fn admin_main(args: &[String]) {
+    let cmd: String = parse_flag(args, "--admin").expect("--admin checked by caller");
+    let addr: String = parse_flag(args, "--addr").unwrap_or_else(|| {
+        eprintln!("--admin needs --addr HOST:PORT");
+        std::process::exit(2);
+    });
+    let mut line = Vec::new();
+    match cmd.as_str() {
+        "decide" => {
+            let seed: u64 = parse_flag(args, "--seed").unwrap_or(2015);
+            let sample: usize = parse_flag(args, "--sample").unwrap_or(0);
+            let req = TrafficGen::new(seed)
+                .samples()
+                .nth(sample)
+                .map(|s| abpd::request_of_sample(&s))
+                .expect("traffic generator is infinite");
+            wire::write_decide(&req, &mut line);
+        }
+        "health" => wire::write_health_request(&mut line),
+        "reload" => {
+            let rules: String = parse_flag(args, "--rules").unwrap_or_else(|| {
+                eprintln!("--admin reload needs --rules TEXT");
+                std::process::exit(2);
+            });
+            let lists = [ReloadList {
+                source: abp::ListSource::Custom,
+                content: rules,
+            }];
+            wire::write_reload(&lists, &mut line);
+        }
+        "shutdown" => wire::write_shutdown(&mut line),
+        other => {
+            eprintln!("unknown --admin command {other:?} (want decide|health|reload|shutdown)");
+            std::process::exit(2);
+        }
+    }
+    let reply = (|| -> std::io::Result<String> {
+        let mut client = Client::connect(&*addr)?;
+        client.max_reply_bytes(4 * 1024 * 1024);
+        client.send_raw(&line)?;
+        Ok(String::from_utf8_lossy(client.read_reply_raw()?).into_owned())
+    })();
+    match reply {
+        Ok(reply) => println!("{reply}"),
+        Err(e) => {
+            eprintln!("abpd-load: --admin {cmd} against {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Verify the router reports the expected fleet-wide serving checksum.
 fn check_convergence(client: &mut Client, expected: u64, when: &str) -> bool {
     match client.health() {
@@ -813,9 +909,15 @@ fn check_convergence(client: &mut Client, expected: u64, when: &str) -> bool {
     }
 }
 
+/// The whitelist revision shipped through the router while the chaos
+/// victim is down: the rejoin catch-up must bridge exactly this edit.
+const REJOIN_MARKER: &str = "\n@@||rejoin-probe.example^$script\n";
+
 fn fleet_main(args: &[String]) {
     let shards: usize = parse_flag(args, "--fleet").unwrap_or(3).max(1);
-    let chaos = args.iter().any(|a| a == "--fleet-chaos");
+    let state_recovery = args.iter().any(|a| a == "--state-recovery");
+    // A durability drill is a chaos run by definition.
+    let chaos = args.iter().any(|a| a == "--fleet-chaos") || state_recovery;
     let replay: usize = parse_flag(args, "--replay-revisions").unwrap_or(0);
     let max_delta_ratio: Option<f64> = parse_flag(args, "--max-delta-ratio");
     let decisions: usize = parse_flag(args, "--decisions").unwrap_or(200_000);
@@ -861,23 +963,36 @@ fn fleet_main(args: &[String]) {
         ]
     };
 
-    let shard_config = ServerConfig {
-        addr: "127.0.0.1:0".to_string(),
-        // Full-body reload lines (easylist + whitelist, JSON-escaped)
-        // brush against the 1 MiB default; give shards headroom.
-        max_line_bytes: 4 * 1024 * 1024,
-        ..ServerConfig::default()
+    // With `--state-recovery`, every shard persists snapshots under a
+    // per-slot directory; the chaos victim respawns from what its
+    // snapshot recovers, not from the harness's in-memory lists.
+    let state_root = state_recovery.then(|| {
+        let root = std::env::temp_dir().join(format!("abpd-load-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    });
+    let shard_config = |slot: usize| {
+        let mut config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            // Full-body reload lines (easylist + whitelist, JSON-escaped)
+            // brush against the 1 MiB default; give shards headroom.
+            max_line_bytes: 4 * 1024 * 1024,
+            ..ServerConfig::default()
+        };
+        if let Some(root) = &state_root {
+            config.service.state_dir = Some(root.join(format!("shard-{slot}")));
+        }
+        config
     };
     eprintln!("abpd-load: starting {shards} shards...");
     let spawned: Vec<Option<Server>> = (0..shards)
-        .map(|_| {
+        .map(|slot| {
             Some(
-                Server::start_with_lists(lists_of(&initial_wl), &shard_config).unwrap_or_else(
-                    |e| {
+                Server::start_with_lists(lists_of(&initial_wl), &shard_config(slot))
+                    .unwrap_or_else(|e| {
                         eprintln!("abpd-load: cannot start shard: {e}");
                         std::process::exit(1);
-                    },
-                ),
+                    }),
             )
         })
         .collect();
@@ -915,6 +1030,14 @@ fn fleet_main(args: &[String]) {
         std::process::exit(1);
     });
     client.max_reply_bytes(4 * 1024 * 1024);
+    // Teach the router the fleet's serving bodies: a converged full
+    // reload primes the retained state that powers prober-driven
+    // rejoin deltas (the shards already serve these exact lists, and
+    // reloads are idempotent).
+    if let Err(e) = client.reload(&lists_of(&current_wl)) {
+        eprintln!("abpd-load: FAIL: priming reload through the router: {e}");
+        std::process::exit(1);
+    }
     if let Some(store) = &store {
         let total = store.len().saturating_sub(1).min(replay);
         eprintln!("abpd-load: replaying {total} whitelist revisions through the router...");
@@ -988,21 +1111,130 @@ fn fleet_main(args: &[String]) {
         if chaos { ", chaos on" } else { "" }
     );
     let victim = shards / 2;
+    // The durability drill's outcome flags, set from the chaos thread
+    // and gated after the run. `final_wl` tracks the whitelist the
+    // fleet should converge on — the drill advances it by one marker
+    // revision while the victim is down.
+    let final_wl = Mutex::new(current_wl);
+    let snapshot_recovered = std::sync::atomic::AtomicBool::new(false);
+    let recovery_parity = std::sync::atomic::AtomicBool::new(false);
+    let probe_req = streams
+        .first()
+        .and_then(|s| s.first())
+        .cloned()
+        .expect("at least one synthesized request");
     let chaos_fn = chaos.then(|| {
         || {
+            use std::sync::atomic::Ordering;
             std::thread::sleep(Duration::from_millis(400));
+            // Pre-kill parity probe, asked of the victim directly so
+            // the answer cannot come from a hedge elsewhere.
+            let pre_answer = state_recovery
+                .then(|| {
+                    let addr = servers.lock().unwrap()[victim]
+                        .as_ref()
+                        .map(|s| s.local_addr().to_string())?;
+                    let outcome = Client::connect(&*addr).ok()?.decide(&probe_req).ok()?;
+                    Some(format!("{:?}", outcome.outcome))
+                })
+                .flatten();
             let killed = servers.lock().unwrap()[victim].take();
             if let Some(s) = killed {
                 eprintln!("abpd-load: chaos: killing shard {victim}");
                 s.kill();
             }
             std::thread::sleep(Duration::from_millis(500));
-            let replacement = Server::start_with_lists(lists_of(&current_wl), &shard_config)
+            if state_recovery {
+                // Move the fleet forward while the victim is down: the
+                // healthy-only fan-out must converge without it, and
+                // the rejoin must later bridge exactly this revision.
+                // Retried until the prober has marked the victim down.
+                let marker_wl = {
+                    let mut wl = final_wl.lock().unwrap();
+                    wl.push_str(REJOIN_MARKER);
+                    wl.clone()
+                };
+                let mut shipped = false;
+                for _ in 0..25 {
+                    let ok = Client::connect(&*proxy_addr)
+                        .ok()
+                        .map(|mut c| {
+                            c.max_reply_bytes(4 * 1024 * 1024);
+                            c.reload(&lists_of(&marker_wl)).is_ok()
+                        })
+                        .unwrap_or(false);
+                    if ok {
+                        shipped = true;
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                if !shipped {
+                    eprintln!(
+                        "abpd-load: FAIL: marker revision never converged while shard \
+                         {victim} was down"
+                    );
+                }
+                // Respawn from whatever the victim's snapshot recovers
+                // — the drill's whole point. A recovery failure falls
+                // back to in-memory lists so the load run can finish
+                // (the gate still fails it).
+                let dir = state_root
+                    .as_ref()
+                    .expect("state root exists in state-recovery mode")
+                    .join(format!("shard-{victim}"));
+                let recovered = match abpd::state::recover(&dir) {
+                    Ok(state) => {
+                        eprintln!(
+                            "abpd-load: chaos: recovered shard {victim} snapshot: \
+                             generation {}, checksum {:016x}, {} lists",
+                            state.generation,
+                            state.list_checksum,
+                            state.lists.len()
+                        );
+                        snapshot_recovered.store(true, Ordering::SeqCst);
+                        Some(state.lists)
+                    }
+                    Err(e) => {
+                        eprintln!("abpd-load: FAIL: shard {victim} snapshot recovery: {e}");
+                        None
+                    }
+                };
+                let lists = recovered.unwrap_or_else(|| lists_of(&final_wl.lock().unwrap()));
+                let replacement = Server::start_with_lists(lists, &shard_config(victim))
+                    .expect("respawn shard from snapshot");
+                let new_addr = replacement.local_addr().to_string();
+                // Post-recovery parity: the respawned shard must answer
+                // the pre-kill probe byte-identically before the router
+                // catches it up.
+                let post_answer = Client::connect(&*new_addr)
+                    .ok()
+                    .and_then(|mut c| c.decide(&probe_req).ok())
+                    .map(|r| format!("{:?}", r.outcome));
+                if pre_answer.is_some() && pre_answer == post_answer {
+                    recovery_parity.store(true, Ordering::SeqCst);
+                } else {
+                    eprintln!(
+                        "abpd-load: FAIL: post-recovery decision parity: \
+                         pre {pre_answer:?} vs post {post_answer:?}"
+                    );
+                }
+                servers.lock().unwrap()[victim] = Some(replacement);
+                proxy.update_backend(victim, &*new_addr);
+                eprintln!(
+                    "abpd-load: chaos: shard {victim} respawned from its snapshot on {new_addr}"
+                );
+            } else {
+                let replacement = Server::start_with_lists(
+                    lists_of(&final_wl.lock().unwrap()),
+                    &shard_config(victim),
+                )
                 .expect("respawn shard");
-            let new_addr = replacement.local_addr().to_string();
-            servers.lock().unwrap()[victim] = Some(replacement);
-            proxy.update_backend(victim, &*new_addr);
-            eprintln!("abpd-load: chaos: shard {victim} respawned on {new_addr}");
+                let new_addr = replacement.local_addr().to_string();
+                servers.lock().unwrap()[victim] = Some(replacement);
+                proxy.update_backend(victim, &*new_addr);
+                eprintln!("abpd-load: chaos: shard {victim} respawned on {new_addr}");
+            }
         }
     });
     let (t, retry, elapsed) = drive_load(
@@ -1032,8 +1264,10 @@ fn fleet_main(args: &[String]) {
     );
 
     // Post-run convergence: chaos respawns must rejoin at the same
-    // serving state the fleet converged to.
-    let expected = abpd::serving_checksum(&lists_of(&current_wl));
+    // serving state the fleet converged to — including the marker
+    // revision a durability drill shipped while the victim was down.
+    let final_wl = final_wl.into_inner().unwrap();
+    let expected = abpd::serving_checksum(&lists_of(&final_wl));
     converged &= check_convergence(&mut client, expected, "after load");
 
     // Per-shard distribution: the ring must spread keys over every
@@ -1060,6 +1294,18 @@ fn fleet_main(args: &[String]) {
     }
     let hedged: u64 = report.iter().map(|b| b.hedged_away).sum();
     let shard_forwarded: Vec<u64> = report.iter().map(|b| b.forwarded).collect();
+    let rejoin_delta: u64 = report.iter().map(|b| b.rejoin_delta_bytes).sum();
+    let rejoin_full: u64 = report.iter().map(|b| b.rejoin_full_bytes).sum();
+    let hedge_denied = proxy.hedge_denied();
+    let snapshot_recovered = snapshot_recovered.load(std::sync::atomic::Ordering::SeqCst);
+    let recovery_parity = recovery_parity.load(std::sync::atomic::Ordering::SeqCst);
+    if state_recovery {
+        println!(
+            "abpd-load: durability drill: snapshot recovered {snapshot_recovered}, \
+             decision parity {recovery_parity}, rejoin {rejoin_delta} delta bytes / \
+             {rejoin_full} full-body bytes, {hedge_denied} hedges denied"
+        );
+    }
 
     if let Some(path) = &out_path {
         let report = FleetReport {
@@ -1086,6 +1332,12 @@ fn fleet_main(args: &[String]) {
             delta_to_full_ratio: (10_000.0 * delta_bytes as f64 / full_bytes.max(1) as f64).round()
                 / 10_000.0,
             converged,
+            state_recovery,
+            snapshot_recovered,
+            recovery_parity,
+            rejoin_delta_bytes: rejoin_delta,
+            rejoin_full_bytes: rejoin_full,
+            hedge_denied,
         };
         write_report(
             &report,
@@ -1130,6 +1382,47 @@ fn fleet_main(args: &[String]) {
             );
             failed = true;
         }
+    }
+    if state_recovery {
+        if !snapshot_recovered {
+            eprintln!("abpd-load: FAIL: the victim's snapshot did not recover");
+            failed = true;
+        }
+        if !recovery_parity {
+            eprintln!("abpd-load: FAIL: the respawned victim lost decision parity");
+            failed = true;
+        }
+        if rejoin_delta == 0 {
+            eprintln!("abpd-load: FAIL: the rejoin shipped no catch-up delta bytes");
+            failed = true;
+        }
+        if rejoin_full > 0 {
+            eprintln!(
+                "abpd-load: FAIL: the rejoin fell back to {rejoin_full} full-body bytes \
+                 (the victim's base should have been in the router's history)"
+            );
+            failed = true;
+        }
+        if let Some(max_ratio) = max_delta_ratio {
+            let mut full_line = Vec::new();
+            wire::write_reload(&lists_of(&final_wl), &mut full_line);
+            let ratio = rejoin_delta as f64 / full_line.len().max(1) as f64;
+            if rejoin_delta > 0 && ratio > max_ratio {
+                eprintln!(
+                    "abpd-load: FAIL: rejoin delta shipped {ratio:.3} of a full-body \
+                     reload, over --max-delta-ratio {max_ratio}"
+                );
+                failed = true;
+            } else if rejoin_delta > 0 {
+                eprintln!(
+                    "abpd-load: rejoin delta shipped {ratio:.3} of a full-body reload \
+                     (bar {max_ratio})"
+                );
+            }
+        }
+    }
+    if let Some(root) = &state_root {
+        let _ = std::fs::remove_dir_all(root);
     }
     if failed {
         std::process::exit(1);

@@ -14,10 +14,21 @@
 //! request that hits a dead, shedding, or timed-out shard is *hedged*
 //! to the next distinct shard on its ring walk.
 //!
-//! `Reload` and `ReloadDelta` lines fan out to every shard and the
-//! reply reports fleet convergence: the proxy re-probes each shard's
-//! serving checksum after the swap and answers `Error` if the fleet
-//! diverged (a client then falls back to a full `Reload`).
+//! `Reload` and `ReloadDelta` lines fan out to every *healthy* shard
+//! and the reply reports fleet convergence: the proxy re-probes each
+//! shard's serving checksum after the swap and answers `Error` if the
+//! fleet diverged (a client then falls back to a full `Reload`). A
+//! shard that was down during a reload rejoins via the prober: when a
+//! probe finds a healthy shard serving a stale checksum, the proxy
+//! ships it a per-list [`abpdelta`] delta from its retained body
+//! history (or a full `Reload` when the stale base is unknown).
+//!
+//! Two overload guards protect the fleet itself: a per-backend
+//! *circuit breaker* (consecutive transport failures open it; an open
+//! slot is skipped outright; after a cooldown a single half-open trial
+//! request decides whether it recloses) and a token-bucket *hedge
+//! budget* that caps failure-triggered retries fleet-wide, so a
+//! flapping shard cannot amplify load onto its neighbours.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,18 +37,19 @@ pub mod ring;
 
 use abpd::client::is_overloaded;
 use abpd::protocol::{
-    DecisionRequest, DecisionResponse, HealthReport, HealthState, ReloadMismatch, ReloadReport,
-    ServerMessage, StatsReport,
+    DecisionRequest, DecisionResponse, HealthReport, HealthState, ReloadDeltaList, ReloadList,
+    ReloadMismatch, ReloadReport, ServerMessage, StatsReport,
 };
 use abpd::wire::{self, ClientMessageRef, LineRead};
-use abpd::Client;
+use abpd::{serving_checksum, Client};
 use ring::HashRing;
+use std::collections::VecDeque;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Router configuration.
 #[derive(Debug, Clone)]
@@ -56,6 +68,20 @@ pub struct ProxyConfig {
     /// Longest accepted line in either direction. Reload lines carry
     /// whole list bodies, so this defaults to 16 MiB.
     pub max_line_bytes: usize,
+    /// Consecutive transport failures that open a slot's circuit
+    /// breaker. An open slot is skipped by routing and fan-out until
+    /// its cooldown elapses.
+    pub breaker_failure_threshold: u32,
+    /// How long an opened breaker rejects work before allowing one
+    /// half-open trial request.
+    pub breaker_open: Duration,
+    /// Token-bucket refill rate for failure-triggered hedge/retry
+    /// attempts, in decisions per second. Routing around a
+    /// breaker-open slot is free; only extra attempts after an actual
+    /// failure draw from the budget.
+    pub hedge_budget_per_sec: f64,
+    /// Token-bucket burst capacity for hedge/retry attempts.
+    pub hedge_budget_burst: f64,
 }
 
 impl Default for ProxyConfig {
@@ -67,6 +93,10 @@ impl Default for ProxyConfig {
             probe_interval: Duration::from_millis(500),
             reply_timeout: Duration::from_secs(10),
             max_line_bytes: 16 * 1024 * 1024,
+            breaker_failure_threshold: 5,
+            breaker_open: Duration::from_millis(500),
+            hedge_budget_per_sec: 500.0,
+            hedge_budget_burst: 1000.0,
         }
     }
 }
@@ -84,6 +114,20 @@ struct BackendState {
     hedged_away: AtomicU64,
     /// Serving checksum seen by the last successful probe.
     last_checksum: AtomicU64,
+    /// Transport failures since the last success; feeds the breaker.
+    consecutive_failures: AtomicU32,
+    /// Breaker state: 0 = closed. Non-zero = open until this many
+    /// milliseconds after the proxy started; once that instant passes
+    /// the breaker is *half-open* until a trial request settles it.
+    open_until_ms: AtomicU64,
+    /// Half-open gate: at most one in-flight trial request at a time.
+    half_open_trial: AtomicBool,
+    /// Times the breaker transitioned closed -> open.
+    breaker_opens: AtomicU64,
+    /// Bytes shipped to this slot as rejoin catch-up deltas.
+    rejoin_delta_bytes: AtomicU64,
+    /// Bytes shipped to this slot as rejoin full-body reloads.
+    rejoin_full_bytes: AtomicU64,
 }
 
 /// A point-in-time snapshot of one shard slot, for reporting.
@@ -99,6 +143,81 @@ pub struct BackendReport {
     pub hedged_away: u64,
     /// Serving checksum at the last successful probe.
     pub last_checksum: u64,
+    /// Is the slot's circuit breaker currently rejecting work?
+    pub breaker_open: bool,
+    /// Times the breaker transitioned closed -> open.
+    pub breaker_opens: u64,
+    /// Bytes shipped to this slot as rejoin catch-up deltas.
+    pub rejoin_delta_bytes: u64,
+    /// Bytes shipped to this slot as rejoin full-body reloads.
+    pub rejoin_full_bytes: u64,
+}
+
+/// How many superseded fleet states the proxy remembers for delta
+/// catch-up. A shard serving any of the last N converged checksums
+/// rejoins on a delta; anything older falls back to a full reload.
+const RETAINED_HISTORY: usize = 16;
+
+/// The list bodies the fleet currently serves, plus a bounded history
+/// of superseded states keyed by serving checksum. Populated by
+/// converged fan-out reloads; consulted by the prober's rejoin path.
+struct RetainedBodies {
+    current: Option<(u64, Arc<Vec<ReloadList>>)>,
+    history: VecDeque<(u64, Arc<Vec<ReloadList>>)>,
+}
+
+impl RetainedBodies {
+    /// The bodies behind `checksum`, current or historical.
+    fn lookup(&self, checksum: u64) -> Option<Arc<Vec<ReloadList>>> {
+        if let Some((c, l)) = &self.current {
+            if *c == checksum {
+                return Some(l.clone());
+            }
+        }
+        self.history
+            .iter()
+            .find(|(c, _)| *c == checksum)
+            .map(|(_, l)| l.clone())
+    }
+
+    /// Make `(checksum, lists)` the current state, demoting the old
+    /// current into the bounded history.
+    fn advance(&mut self, checksum: u64, lists: Arc<Vec<ReloadList>>) {
+        if let Some((old_ck, old)) = self.current.take() {
+            if old_ck != checksum {
+                self.history.retain(|(c, _)| *c != old_ck);
+                self.history.push_back((old_ck, old));
+                while self.history.len() > RETAINED_HISTORY {
+                    self.history.pop_front();
+                }
+            }
+        }
+        self.current = Some((checksum, lists));
+    }
+
+    /// The fleet converged on `checksum` but the proxy could not
+    /// derive the bodies behind it: demote the now-stale current entry
+    /// into history so the prober never "catches a shard up" to a
+    /// state the fleet has already left (a rollback, not a rejoin).
+    fn invalidate_if_stale(&mut self, checksum: u64) {
+        let stale = self.current.as_ref().is_some_and(|(ck, _)| *ck != checksum);
+        if stale {
+            let (old_ck, old) = self.current.take().expect("just checked");
+            self.history.retain(|(c, _)| *c != old_ck);
+            self.history.push_back((old_ck, old));
+            while self.history.len() > RETAINED_HISTORY {
+                self.history.pop_front();
+            }
+        }
+    }
+}
+
+/// The hedge/retry token bucket. One bucket for the whole fleet:
+/// overload is a fleet-level phenomenon, so the guard against retry
+/// amplification is fleet-level too.
+struct HedgeBucket {
+    tokens: f64,
+    last: Instant,
 }
 
 struct Shared {
@@ -108,6 +227,16 @@ struct Shared {
     open_connections: AtomicUsize,
     reply_timeout: Duration,
     max_line_bytes: usize,
+    /// Reference instant for breaker deadlines (`open_until_ms`).
+    started: Instant,
+    breaker_threshold: u32,
+    breaker_open: Duration,
+    hedge: parking_lot::Mutex<HedgeBucket>,
+    hedge_rate: f64,
+    hedge_burst: f64,
+    /// Hedge/retry attempts denied because the budget ran dry.
+    hedge_denied: AtomicU64,
+    retained: parking_lot::Mutex<RetainedBodies>,
 }
 
 impl Shared {
@@ -126,6 +255,93 @@ impl Shared {
         // simply reconnect one time more than strictly needed.
         let epoch = b.epoch.load(Ordering::SeqCst);
         (b.addr.read().clone(), epoch)
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Side-effect-free: is `slot`'s breaker currently rejecting work?
+    /// (Half-open counts as *not* rejecting; the CAS in
+    /// [`Shared::breaker_allows`] limits trials to one at a time.)
+    fn breaker_open_now(&self, slot: usize) -> bool {
+        let open_until = self.backends[slot].open_until_ms.load(Ordering::SeqCst);
+        open_until != 0 && self.now_ms() < open_until
+    }
+
+    /// Routing gate for one attempt: closed lets everything through,
+    /// open rejects, half-open admits exactly one trial request (the
+    /// CAS winner) whose outcome recloses or reopens the breaker.
+    fn breaker_allows(&self, slot: usize) -> bool {
+        let b = &self.backends[slot];
+        let open_until = b.open_until_ms.load(Ordering::SeqCst);
+        if open_until == 0 {
+            return true;
+        }
+        if self.now_ms() < open_until {
+            return false;
+        }
+        b.half_open_trial
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// A transport failure against `slot`: count it, and open (or
+    /// re-open, after a failed half-open trial) the breaker once the
+    /// consecutive-failure threshold is crossed.
+    fn record_failure(&self, slot: usize) {
+        let b = &self.backends[slot];
+        let failures = b.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        let open_until = b.open_until_ms.load(Ordering::SeqCst);
+        let now = self.now_ms();
+        let was_open = open_until != 0;
+        let half_open = was_open && now >= open_until;
+        if failures >= self.breaker_threshold || half_open {
+            // `open_until_ms` of 0 means closed, so floor the deadline
+            // at 1ms past start.
+            let deadline = (now + self.breaker_open.as_millis() as u64).max(1);
+            b.open_until_ms.store(deadline, Ordering::SeqCst);
+            b.half_open_trial.store(false, Ordering::SeqCst);
+            if !was_open {
+                b.breaker_opens.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Any successful exchange with `slot` (forward, probe, or typed
+    /// reply): the transport works, so the breaker closes.
+    fn record_success(&self, slot: usize) {
+        let b = &self.backends[slot];
+        b.consecutive_failures.store(0, Ordering::SeqCst);
+        b.open_until_ms.store(0, Ordering::SeqCst);
+        b.half_open_trial.store(false, Ordering::SeqCst);
+    }
+
+    /// Release a half-open trial slot without settling the breaker
+    /// (the trial ended in `Overloaded`: transport fine, shard busy).
+    fn release_trial(&self, slot: usize) {
+        self.backends[slot]
+            .half_open_trial
+            .store(false, Ordering::SeqCst);
+    }
+
+    /// Draw `n` decisions' worth of hedge budget. Returns false (and
+    /// counts the denial) when the bucket runs dry — the caller sheds
+    /// instead of retrying.
+    fn take_hedge(&self, n: u64) -> bool {
+        let want = n as f64;
+        let mut b = self.hedge.lock();
+        let now = Instant::now();
+        let dt = now.duration_since(b.last).as_secs_f64();
+        b.last = now;
+        b.tokens = (b.tokens + dt * self.hedge_rate).min(self.hedge_burst);
+        if b.tokens >= want {
+            b.tokens -= want;
+            true
+        } else {
+            self.hedge_denied.fetch_add(n, Ordering::Relaxed);
+            false
+        }
     }
 }
 
@@ -158,6 +374,12 @@ impl Proxy {
                 forwarded: AtomicU64::new(0),
                 hedged_away: AtomicU64::new(0),
                 last_checksum: AtomicU64::new(0),
+                consecutive_failures: AtomicU32::new(0),
+                open_until_ms: AtomicU64::new(0),
+                half_open_trial: AtomicBool::new(false),
+                breaker_opens: AtomicU64::new(0),
+                rejoin_delta_bytes: AtomicU64::new(0),
+                rejoin_full_bytes: AtomicU64::new(0),
             })
             .collect();
         let shared = Arc::new(Shared {
@@ -167,6 +389,20 @@ impl Proxy {
             open_connections: AtomicUsize::new(0),
             reply_timeout: config.reply_timeout,
             max_line_bytes: config.max_line_bytes.max(64),
+            started: Instant::now(),
+            breaker_threshold: config.breaker_failure_threshold.max(1),
+            breaker_open: config.breaker_open.max(Duration::from_millis(1)),
+            hedge: parking_lot::Mutex::new(HedgeBucket {
+                tokens: config.hedge_budget_burst.max(0.0),
+                last: Instant::now(),
+            }),
+            hedge_rate: config.hedge_budget_per_sec.max(0.0),
+            hedge_burst: config.hedge_budget_burst.max(0.0),
+            hedge_denied: AtomicU64::new(0),
+            retained: parking_lot::Mutex::new(RetainedBodies {
+                current: None,
+                history: VecDeque::new(),
+            }),
         });
 
         for slot in 0..shared.backends.len() {
@@ -179,14 +415,35 @@ impl Proxy {
             std::thread::Builder::new()
                 .name("abpd-proxy-probe".to_string())
                 .spawn(move || {
+                    // Per-backend due times with deterministic +/-25%
+                    // jitter: a fleet restart must not phase-lock N
+                    // probers into hitting every shard on the same
+                    // tick, and two proxies in front of the same fleet
+                    // drift apart instead of probing in lockstep.
+                    let n = shared.backends.len();
+                    let mut round: u64 = 0;
+                    let start = Instant::now();
+                    let mut due: Vec<Instant> = (0..n)
+                        .map(|slot| start + jittered_interval(interval, slot as u64, 0))
+                        .collect();
                     while shared.running.load(Ordering::SeqCst) {
-                        std::thread::sleep(interval);
-                        if !shared.running.load(Ordering::SeqCst) {
-                            break;
+                        let now = Instant::now();
+                        let mut next = now + interval;
+                        for slot in 0..n {
+                            if now >= due[slot] {
+                                probe_slot(&shared, slot);
+                                round = round.wrapping_add(1);
+                                due[slot] = now + jittered_interval(interval, slot as u64, round);
+                            }
+                            next = next.min(due[slot]);
                         }
-                        for slot in 0..shared.backends.len() {
-                            probe_slot(&shared, slot);
-                        }
+                        // Sleep to the earliest due probe, capped so
+                        // shutdown is noticed promptly.
+                        let nap = next
+                            .saturating_duration_since(Instant::now())
+                            .min(Duration::from_millis(50))
+                            .max(Duration::from_millis(1));
+                        std::thread::sleep(nap);
                     }
                 })?
         };
@@ -237,6 +494,10 @@ impl Proxy {
         let b = &self.shared.backends[slot];
         *b.addr.write() = addr.into();
         b.epoch.fetch_add(1, Ordering::SeqCst);
+        // A swapped-in backend is in an unknown serving state; drop to
+        // unhealthy first so the probe takes the rejoin path and
+        // catches it up if it lags the fleet.
+        self.shared.mark(slot, false);
         probe_slot(&self.shared, slot);
     }
 
@@ -245,14 +506,25 @@ impl Proxy {
         self.shared
             .backends
             .iter()
-            .map(|b| BackendReport {
+            .enumerate()
+            .map(|(slot, b)| BackendReport {
                 addr: b.addr.read().clone(),
                 healthy: b.healthy.load(Ordering::SeqCst),
                 forwarded: b.forwarded.load(Ordering::SeqCst),
                 hedged_away: b.hedged_away.load(Ordering::SeqCst),
                 last_checksum: b.last_checksum.load(Ordering::SeqCst),
+                breaker_open: self.shared.breaker_open_now(slot),
+                breaker_opens: b.breaker_opens.load(Ordering::SeqCst),
+                rejoin_delta_bytes: b.rejoin_delta_bytes.load(Ordering::SeqCst),
+                rejoin_full_bytes: b.rejoin_full_bytes.load(Ordering::SeqCst),
             })
             .collect()
+    }
+
+    /// Hedge/retry attempts denied by the token-bucket budget since
+    /// the proxy started.
+    pub fn hedge_denied(&self) -> u64 {
+        self.shared.hedge_denied.load(Ordering::SeqCst)
     }
 
     /// Stop accepting, wait for open client connections, stop probing.
@@ -292,9 +564,26 @@ fn trigger_stop(shared: &Shared, addr: SocketAddr) {
     }
 }
 
+/// The probe interval for `slot` on probe round `round`: the base
+/// interval scaled into [0.75, 1.25) by a hash of (slot, round).
+/// Deterministic, so probe schedules are reproducible under test, yet
+/// never synchronized across slots or across rounds.
+fn jittered_interval(interval: Duration, slot: u64, round: u64) -> Duration {
+    let h = ring::fnv1a_u64(
+        ring::FNV_BASIS,
+        slot ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    let frac = (h % 1_000) as f64 / 1_000.0;
+    interval.mul_f64(0.75 + 0.5 * frac)
+}
+
 /// One short-lived probe: connect, fetch `Health`, record the serving
 /// checksum. Shards drain open connections on shutdown, so the probe
-/// never keeps a connection alive between ticks.
+/// never keeps a connection alive between ticks. Probes bypass the
+/// breaker gate (they *are* the recovery detector) but feed its
+/// counters: a probe success closes the breaker, a probe failure
+/// counts toward opening it. A healthy shard found serving a stale
+/// checksum is caught up from the proxy's retained bodies.
 fn probe_slot(shared: &Shared, slot: usize) {
     let (addr, _) = shared.addr_of(slot);
     let probed = (|| -> std::io::Result<u64> {
@@ -308,9 +597,129 @@ fn probe_slot(shared: &Shared, slot: usize) {
             shared.backends[slot]
                 .last_checksum
                 .store(checksum, Ordering::SeqCst);
-            shared.mark(slot, true);
+            shared.record_success(slot);
+            let was_healthy = shared.backends[slot].healthy.swap(true, Ordering::SeqCst);
+            // Catch up only on the rejoin edge — a shard coming back
+            // from failure (or a freshly swapped address, which
+            // `update_backend` marks unhealthy first). A steady-state
+            // healthy shard whose checksum drifts is usually *ahead*
+            // of the retained bodies mid-fan-out, and "catching it
+            // up" would roll it backward.
+            if !was_healthy {
+                catch_up(shared, slot, &addr, checksum);
+            }
         }
-        Err(_) => shared.mark(slot, false),
+        Err(_) => {
+            shared.record_failure(slot);
+            shared.mark(slot, false);
+        }
+    }
+}
+
+/// A healthy shard whose serving checksum lags the fleet's converged
+/// state is a rejoiner (it restarted from an on-disk snapshot, or was
+/// down during a reload). Ship it the smallest update that lands it on
+/// the current bodies: per-list deltas when its stale base is in the
+/// retained history, a full `Reload` otherwise (including on a
+/// `ReloadBaseMismatch` answer, which means our history entry does not
+/// match what the shard actually serves).
+fn catch_up(shared: &Shared, slot: usize, addr: &str, seen: u64) {
+    let (current_checksum, current_lists, base) = {
+        let retained = shared.retained.lock();
+        let Some((ck, lists)) = retained.current.clone() else {
+            // The proxy has not yet seen a converged reload, so it has
+            // no bodies to offer; it cannot tell stale from fresh.
+            return;
+        };
+        if ck == seen {
+            return;
+        }
+        (ck, lists, retained.lookup(seen))
+    };
+
+    // First attempt: per-list deltas against the shard's stale base.
+    let mut line = Vec::new();
+    let mut used_delta = false;
+    if let Some(base) = base {
+        let mut deltas: Vec<ReloadDeltaList> = Vec::new();
+        for l in current_lists.iter() {
+            let base_body = base
+                .iter()
+                .find(|b| b.source == l.source)
+                .map(|b| b.content.as_str())
+                .unwrap_or("");
+            if base_body != l.content {
+                deltas.push(ReloadDeltaList {
+                    source: l.source,
+                    delta: abpdelta::encode(base_body, &l.content),
+                });
+            }
+        }
+        // No per-list delta but checksums differ (e.g. a list was
+        // dropped entirely): fall through to the full reload.
+        if !deltas.is_empty() {
+            wire::write_reload_delta(&deltas, &mut line);
+            used_delta = true;
+        }
+    }
+    if !used_delta {
+        wire::write_reload(&current_lists, &mut line);
+    }
+
+    let ship = |line: &[u8]| -> std::io::Result<bool> {
+        let mut c = Client::connect(addr)?;
+        c.reply_timeout(Some(shared.reply_timeout))?;
+        c.max_reply_bytes(shared.max_line_bytes);
+        c.send_raw(line)?;
+        match c.read_reply_raw().and_then(parse_reply_line)? {
+            ServerMessage::Reloaded(_) => Ok(true),
+            ServerMessage::ReloadBaseMismatch(_) => Ok(false),
+            other => Err(std::io::Error::other(format!(
+                "unexpected catch-up reply: {other:?}"
+            ))),
+        }
+    };
+
+    let mut applied = match ship(&line) {
+        Ok(applied) => {
+            if applied && used_delta {
+                shared.backends[slot]
+                    .rejoin_delta_bytes
+                    .fetch_add(line.len() as u64, Ordering::SeqCst);
+            }
+            applied
+        }
+        Err(_) => {
+            // Transport trouble mid-catch-up; the next probe retries.
+            shared.record_failure(slot);
+            shared.mark(slot, false);
+            return;
+        }
+    };
+    if !applied && used_delta {
+        // The shard's actual base diverged from our history entry:
+        // resynchronize with the full bodies (always applies).
+        line.clear();
+        wire::write_reload(&current_lists, &mut line);
+        used_delta = false;
+        applied = match ship(&line) {
+            Ok(applied) => applied,
+            Err(_) => {
+                shared.record_failure(slot);
+                shared.mark(slot, false);
+                return;
+            }
+        };
+    }
+    if applied {
+        if !used_delta {
+            shared.backends[slot]
+                .rejoin_full_bytes
+                .fetch_add(line.len() as u64, Ordering::SeqCst);
+        }
+        shared.backends[slot]
+            .last_checksum
+            .store(current_checksum, Ordering::SeqCst);
     }
 }
 
@@ -419,19 +828,31 @@ fn key_of(req: &DecisionRequest) -> u64 {
 
 /// Drive `req` down its ring walk: the owner first, then each healthy
 /// successor. Every failover bumps the failed slot's `hedged_away`.
+/// Breaker-open slots are skipped without cost; attempts *after* a
+/// failed attempt draw from the fleet hedge budget, and when the
+/// bucket runs dry the request is shed instead of retried.
 fn route_one(conns: &mut BackendConns, shared: &Shared, req: &DecisionRequest, out: &mut Vec<u8>) {
     let walk = shared.ring.walk(key_of(req));
     let mut attempted = false;
+    let mut failed_before = false;
     for (nth, &slot) in walk.iter().enumerate() {
         // The owner is tried even when marked unhealthy (the probe may
         // lag a respawn); later slots must be healthy to be worth a
-        // hop.
+        // hop. The breaker gates every attempt, owner included — that
+        // is the point: a slot failing hard stops eating connections.
         if nth > 0 && !shared.healthy(slot) {
             continue;
+        }
+        if !shared.breaker_allows(slot) {
+            continue;
+        }
+        if failed_before && !shared.take_hedge(1) {
+            break;
         }
         attempted = true;
         match forward_decide(conns, shared, slot, req) {
             Forward::Ok(d) => {
+                shared.record_success(slot);
                 shared.backends[slot]
                     .forwarded
                     .fetch_add(1, Ordering::Relaxed);
@@ -439,25 +860,34 @@ fn route_one(conns: &mut BackendConns, shared: &Shared, req: &DecisionRequest, o
                 return;
             }
             Forward::Rejected(e) => {
+                // A typed answer proves the transport works.
+                shared.record_success(slot);
                 wire::write_error(&e, out);
                 return;
             }
             Forward::Overloaded => {
+                // Busy, not broken: release any half-open trial claim
+                // without settling the breaker either way.
+                shared.release_trial(slot);
                 shared.backends[slot]
                     .hedged_away
                     .fetch_add(1, Ordering::Relaxed);
+                failed_before = true;
             }
             Forward::Transport => {
+                shared.record_failure(slot);
                 shared.mark(slot, false);
                 shared.backends[slot]
                     .hedged_away
                     .fetch_add(1, Ordering::Relaxed);
+                failed_before = true;
             }
         }
     }
-    if attempted {
-        // Every candidate shed or died mid-request; `Overloaded` tells
-        // retrying clients to back off and come again.
+    if attempted || failed_before {
+        // Every candidate shed, died mid-request, or the hedge budget
+        // ran dry; `Overloaded` tells retrying clients to back off and
+        // come again.
         wire::write_overloaded(out);
     } else {
         wire::write_error("no healthy shard for this request", out);
@@ -477,11 +907,14 @@ fn route_batch(
         wire::write_batch_reply(&[], out);
         return;
     }
-    // Group request indices by owning slot.
+    // Group request indices by owning slot. Breaker-open slots are
+    // routed around for free — their keys go to walk successors.
     let nslots = shared.backends.len();
     let mut groups: Vec<Vec<usize>> = vec![Vec::new(); nslots];
     for (i, r) in reqs.iter().enumerate() {
-        match shared.ring.route(key_of(r), |s| shared.healthy(s)) {
+        match shared.ring.route(key_of(r), |s| {
+            shared.healthy(s) && !shared.breaker_open_now(s)
+        }) {
             Some(slot) => groups[slot].push(i),
             None => {
                 // No healthy shard at all: shed the whole batch so
@@ -537,16 +970,23 @@ fn route_batch(
             }
         };
         let answered = match gathered {
-            Forward::Ok(b) => Some((slot, b)),
+            Forward::Ok(b) => {
+                shared.record_success(slot);
+                Some((slot, b))
+            }
             Forward::Rejected(e) => {
+                shared.record_success(slot);
                 rejected.get_or_insert(e);
                 None
             }
             failure => {
                 // Hedge the whole sub-batch down the walk of its first
                 // request; every request in it shares the owner, so
-                // they share the walk successor too.
+                // they share the walk successor too. Each hedge
+                // attempt is a failure-triggered retry, so each draws
+                // the sub-batch's size from the fleet hedge budget.
                 if matches!(failure, Forward::Transport) {
+                    shared.record_failure(slot);
                     shared.mark(slot, false);
                 }
                 shared.backends[slot]
@@ -554,20 +994,28 @@ fn route_batch(
                     .fetch_add(sub[slot].len() as u64, Ordering::Relaxed);
                 let mut answer = None;
                 for &alt in &shared.ring.walk(key_of(&sub[slot][0])) {
-                    if alt == slot || !shared.healthy(alt) {
+                    if alt == slot || !shared.healthy(alt) || shared.breaker_open_now(alt) {
                         continue;
+                    }
+                    if !shared.take_hedge(sub[slot].len() as u64) {
+                        break;
                     }
                     match forward_batch(conns, shared, alt, &sub[slot]) {
                         Forward::Ok(b) => {
+                            shared.record_success(alt);
                             answer = Some((alt, b));
                             break;
                         }
                         Forward::Rejected(e) => {
+                            shared.record_success(alt);
                             rejected.get_or_insert(e);
                             break;
                         }
                         Forward::Overloaded => {}
-                        Forward::Transport => shared.mark(alt, false),
+                        Forward::Transport => {
+                            shared.record_failure(alt);
+                            shared.mark(alt, false);
+                        }
                     }
                 }
                 if answer.is_none() && rejected.is_none() {
@@ -599,6 +1047,44 @@ fn route_batch(
     }
 }
 
+/// The post-reload fleet bodies implied by one client reload line,
+/// derived proxy-side without asking any shard: a full `Reload`
+/// carries them outright; a `ReloadDelta` applies against the
+/// retained current bodies. `None` when the proxy cannot derive them
+/// (no retained base yet, or the delta does not apply to it) — the
+/// fan-out then invalidates the stale retained state instead.
+fn reload_target(shared: &Shared, msg: &ClientMessageRef<'_>) -> Option<Arc<Vec<ReloadList>>> {
+    match msg {
+        ClientMessageRef::Reload(lists) => Some(Arc::new(
+            lists
+                .iter()
+                .map(|l| ReloadList {
+                    source: l.source,
+                    content: l.content.clone().into_owned(),
+                })
+                .collect(),
+        )),
+        ClientMessageRef::ReloadDelta(deltas) => {
+            let current = shared.retained.lock().current.clone()?.1;
+            let mut next: Vec<ReloadList> = current.as_ref().clone();
+            for d in deltas {
+                match next.iter_mut().find(|l| l.source == d.source) {
+                    Some(l) => l.content = abpdelta::apply(&l.content, &d.delta).ok()?,
+                    None => next.push(ReloadList {
+                        // A delta for a list we hold no body for only
+                        // applies if its base is the empty string —
+                        // exactly what the shards will conclude too.
+                        source: d.source,
+                        content: abpdelta::apply("", &d.delta).ok()?,
+                    }),
+                }
+            }
+            Some(Arc::new(next))
+        }
+        _ => None,
+    }
+}
+
 fn parse_reply_line(line: &[u8]) -> std::io::Result<ServerMessage> {
     let text = std::str::from_utf8(line)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
@@ -613,23 +1099,47 @@ enum FanoutOutcome {
     Failed(String),
 }
 
-/// Ship the client's raw `Reload`/`ReloadDelta` line to every shard
-/// (scatter first, gather after, so the engine compiles overlap), then
-/// verify the fleet converged to one serving checksum.
-fn fanout_reload(conns: &mut BackendConns, shared: &Shared, raw_line: &[u8]) -> FanoutOutcome {
+/// Ship the client's raw `Reload`/`ReloadDelta` line to every
+/// *healthy* shard (scatter first, gather after, so the engine
+/// compiles overlap), then verify the reached shards converged to one
+/// serving checksum. Down or breaker-open shards are skipped rather
+/// than failing the fleet reload — they rejoin through the prober's
+/// [`catch_up`] path once they answer probes again.
+///
+/// `target` carries the proxy's own copy of the post-reload bodies
+/// (when it could derive them from the client line); on convergence it
+/// becomes the retained current state that powers rejoin deltas.
+fn fanout_reload(
+    conns: &mut BackendConns,
+    shared: &Shared,
+    raw_line: &[u8],
+    target: Option<Arc<Vec<ReloadList>>>,
+) -> FanoutOutcome {
     let nslots = shared.backends.len();
     let mut sent: Vec<bool> = vec![false; nslots];
-    for (slot, sent) in sent.iter_mut().enumerate() {
-        *sent = match conns.get(shared, slot) {
+    let mut tried: Vec<bool> = vec![false; nslots];
+    for slot in 0..nslots {
+        if !shared.healthy(slot) || shared.breaker_open_now(slot) {
+            continue;
+        }
+        tried[slot] = true;
+        sent[slot] = match conns.get(shared, slot) {
             Ok(c) => c.send_raw(raw_line).is_ok(),
             Err(_) => false,
         };
+    }
+    if !tried.iter().any(|&t| t) {
+        return FanoutOutcome::Failed("no healthy shard to fan the reload out to".to_string());
     }
     let mut report: Option<ReloadReport> = None;
     let mut mismatch: Option<ReloadMismatch> = None;
     let mut failure: Option<String> = None;
     for slot in 0..nslots {
+        if !tried[slot] {
+            continue;
+        }
         if !sent[slot] {
+            shared.record_failure(slot);
             shared.mark(slot, false);
             failure.get_or_insert_with(|| format!("shard {slot} unreachable during reload"));
             continue;
@@ -638,10 +1148,12 @@ fn fanout_reload(conns: &mut BackendConns, shared: &Shared, raw_line: &[u8]) -> 
         let res = client.read_reply_raw().and_then(parse_reply_line);
         if client.is_broken() {
             conns.drop_slot(slot);
+            shared.record_failure(slot);
             shared.mark(slot, false);
         }
         match res {
             Ok(ServerMessage::Reloaded(r)) => {
+                shared.record_success(slot);
                 report = Some(match report.take() {
                     // Report the fleet floor: the *lowest* generation
                     // any shard is serving.
@@ -650,6 +1162,7 @@ fn fanout_reload(conns: &mut BackendConns, shared: &Shared, raw_line: &[u8]) -> 
                 });
             }
             Ok(ServerMessage::ReloadBaseMismatch(m)) => {
+                shared.record_success(slot);
                 mismatch.get_or_insert(m);
             }
             Ok(ServerMessage::Error(e)) => {
@@ -674,9 +1187,13 @@ fn fanout_reload(conns: &mut BackendConns, shared: &Shared, raw_line: &[u8]) -> 
     if let Some(e) = failure {
         return FanoutOutcome::Failed(e);
     }
-    // Every shard applied: verify they converged to one checksum.
+    // Every reached shard applied: verify they converged to one
+    // checksum.
     let mut checksum: Option<u64> = None;
     for slot in 0..nslots {
+        if !tried[slot] {
+            continue;
+        }
         let probed = conns
             .get(shared, slot)
             .and_then(|c| c.health())
@@ -703,6 +1220,19 @@ fn fanout_reload(conns: &mut BackendConns, shared: &Shared, raw_line: &[u8]) -> 
                     "shard {slot} unreachable during convergence check: {e}"
                 ));
             }
+        }
+    }
+    // The fan-out converged: retain the bodies behind the new serving
+    // checksum so shards that were skipped (or die later) can rejoin
+    // on a delta. The checksum cross-check guards against a proxy-side
+    // delta-apply bug ever poisoning the retained state; when the
+    // bodies could not be derived at all, the stale current entry is
+    // demoted so the prober cannot roll rejoining shards back to it.
+    if let Some(c) = checksum {
+        let mut retained = shared.retained.lock();
+        match target {
+            Some(lists) if serving_checksum(&lists) == c => retained.advance(c, lists),
+            _ => retained.invalidate_if_stale(c),
         }
     }
     FanoutOutcome::Converged(report.expect("at least one shard reloaded"))
@@ -845,11 +1375,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
                             reqs.iter().map(|r| r.to_owned_request()).collect();
                         route_batch(&mut conns, shared, &owned, &mut out);
                     }
-                    Ok(ClientMessageRef::Reload(_)) | Ok(ClientMessageRef::ReloadDelta(_)) => {
+                    Ok(msg @ (ClientMessageRef::Reload(_) | ClientMessageRef::ReloadDelta(_))) => {
                         // Forward the client's bytes verbatim — reload
                         // lines carry whole list bodies and re-encoding
-                        // them would double the copy.
-                        match fanout_reload(&mut conns, shared, &line) {
+                        // them would double the copy. The proxy also
+                        // derives the resulting bodies for itself, so a
+                        // converged fan-out can retain them for rejoins.
+                        let target = reload_target(shared, &msg);
+                        match fanout_reload(&mut conns, shared, &line, target) {
                             FanoutOutcome::Converged(r) => wire::write_reloaded(&r, &mut out),
                             FanoutOutcome::Mismatch(m) => {
                                 wire::write_reload_base_mismatch(&m, &mut out)

@@ -12,8 +12,9 @@
 //! on the walk is the natural *hedge* target — the same shard every
 //! time, so its cache warms for the keys it backs up.
 
-/// FNV-1a over one u64, mixed byte by byte.
-fn fnv1a_u64(seed: u64, v: u64) -> u64 {
+/// FNV-1a over one u64, mixed byte by byte. Shared with the prober's
+/// deterministic probe-interval jitter.
+pub(crate) fn fnv1a_u64(seed: u64, v: u64) -> u64 {
     let mut h = seed;
     for b in v.to_le_bytes() {
         h ^= b as u64;
@@ -22,7 +23,7 @@ fn fnv1a_u64(seed: u64, v: u64) -> u64 {
     h
 }
 
-const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// A fixed ring over `slots` logical shards.
 #[derive(Debug, Clone)]

@@ -6,7 +6,7 @@
 //!      [--deadline-ms N] [--shed-watermark F]
 //!      [--server-mode blocking|event] [--io-threads N]
 //!      [--inline-batch-max N] [--no-reuseport]
-//!      [--watch FILE] [--watch-interval-ms N]
+//!      [--watch FILE] [--watch-interval-ms N] [--state-dir DIR]
 //! ```
 //!
 //! Serves ad-blocking decisions for the generated corpus (EasyList +
@@ -33,6 +33,17 @@
 //! way and the old engine keeps serving. The `ABPD_FAULTS` environment
 //! variable arms deterministic fault injection for chaos runs (see
 //! `abpd::faults`).
+//!
+//! `--state-dir DIR` makes the serving state durable: the daemon
+//! persists an atomic, checksummed snapshot of its list bodies after
+//! boot and after every acked `Reload`/`ReloadDelta` (including
+//! `--watch` applies), and on startup boots straight from that
+//! snapshot — skipping corpus generation and the full-body reship —
+//! falling back to seed lists on any snapshot defect (missing, torn,
+//! truncated, bit-flipped, stale format version). The recovered
+//! whitelist body doubles as `--watch`'s delta base, so watch mode
+//! ships deltas from the first post-restart change instead of a full
+//! reload.
 
 use abpd::protocol::{ReloadDeltaList, ReloadList};
 use abpd::{Client, FaultConfig, ReloadDeltaOutcome, Server, ServerConfig, ServerMode};
@@ -165,7 +176,7 @@ fn main() {
              [--deadline-ms N] [--shed-watermark F] \
              [--server-mode blocking|event] [--io-threads N] \
              [--inline-batch-max N] [--no-reuseport] \
-             [--watch FILE] [--watch-interval-ms N]"
+             [--watch FILE] [--watch-interval-ms N] [--state-dir DIR]"
         );
         return;
     }
@@ -213,27 +224,87 @@ fn main() {
     let seed: u64 = parse_flag(&args, "--seed").unwrap_or(2015);
     let watch: Option<String> = parse_flag(&args, "--watch");
     let watch_interval: u64 = parse_flag(&args, "--watch-interval-ms").unwrap_or(2000);
+    let state_dir: Option<String> = parse_flag(&args, "--state-dir");
 
-    eprintln!("abpd: generating corpus (seed {seed})...");
-    let corpus = corpus::Corpus::generate(seed);
-    let easylist = corpus.easylist.to_text();
-    let whitelist = corpus.whitelist.to_text();
+    // The recovery ladder: a verified snapshot boots the exact serving
+    // state; any snapshot defect falls back to freshly generated seed
+    // lists — stated loudly, never served silently.
+    let mut recovered: Option<abpd::PersistedState> = None;
+    if let Some(dir) = &state_dir {
+        config.service.state_dir = Some(std::path::PathBuf::from(dir));
+        match abpd::state::recover(dir) {
+            Ok(state) => {
+                eprintln!(
+                    "abpd: recovered snapshot from {dir}: generation {}, \
+                     checksum {:016x}, {} lists",
+                    state.generation,
+                    state.list_checksum,
+                    state.lists.len()
+                );
+                recovered = Some(state);
+            }
+            Err(abpd::SnapshotError::Missing) => {
+                eprintln!("abpd: no snapshot in {dir}; starting from seed lists");
+            }
+            Err(e) => {
+                eprintln!("abpd: snapshot in {dir} unusable ({e}); falling back to seed lists");
+            }
+        }
+    }
+
     // Keep the list bodies server-side so `ReloadDelta` has a base to
     // patch and `Health` reports the serving checksum.
-    let lists = vec![
-        ReloadList {
-            source: abp::ListSource::EasyList,
-            content: easylist.clone(),
-        },
-        ReloadList {
-            source: abp::ListSource::AcceptableAds,
-            content: whitelist.clone(),
-        },
-    ];
-    let server = Server::start_with_lists(lists, &config).unwrap_or_else(|e| {
-        eprintln!("abpd: cannot bind {}: {e}", config.addr);
-        std::process::exit(1);
+    let seed_boot = |seed: u64| {
+        eprintln!("abpd: generating corpus (seed {seed})...");
+        let corpus = corpus::Corpus::generate(seed);
+        let easylist = corpus.easylist.to_text();
+        let whitelist = corpus.whitelist.to_text();
+        let lists = vec![
+            ReloadList {
+                source: abp::ListSource::EasyList,
+                content: easylist.clone(),
+            },
+            ReloadList {
+                source: abp::ListSource::AcceptableAds,
+                content: whitelist.clone(),
+            },
+        ];
+        (lists, easylist, whitelist)
+    };
+    let snapshot_boot = recovered.map(|state| {
+        let body_of = |src: abp::ListSource| {
+            state
+                .lists
+                .iter()
+                .find(|l| l.source == src)
+                .map(|l| l.content.clone())
+                .unwrap_or_default()
+        };
+        let easylist = body_of(abp::ListSource::EasyList);
+        let whitelist = body_of(abp::ListSource::AcceptableAds);
+        (state.lists, easylist, whitelist)
     });
+    let mut from_snapshot = snapshot_boot.is_some();
+    let (mut lists, mut easylist, mut whitelist) = snapshot_boot.unwrap_or_else(|| seed_boot(seed));
+    let server = loop {
+        match Server::start_with_lists(lists, &config) {
+            Ok(s) => break s,
+            Err(e) if from_snapshot => {
+                // The snapshot verified but its lists no longer
+                // compile (e.g. written by a build with different
+                // validation); last rung of the ladder.
+                eprintln!(
+                    "abpd: cannot serve the recovered snapshot ({e}); falling back to seed lists"
+                );
+                from_snapshot = false;
+                (lists, easylist, whitelist) = seed_boot(seed);
+            }
+            Err(e) => {
+                eprintln!("abpd: cannot bind {}: {e}", config.addr);
+                std::process::exit(1);
+            }
+        }
+    };
     eprintln!(
         "abpd: listening on {} ({} filters, {} shards, {:?} wire path)",
         server.local_addr(),

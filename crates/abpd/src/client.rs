@@ -588,9 +588,13 @@ impl RetryClient {
         self.stats
     }
 
-    /// Sleep `[backoff/2, backoff]` where backoff doubles with
-    /// `consecutive` (capped), jittered so a fleet of retrying clients
-    /// does not stampede in lockstep.
+    /// Sleep a uniform `[0, backoff]` where backoff doubles with
+    /// `consecutive` (capped) — *full* jitter, not `backoff/2 +
+    /// jitter/2`: when a shard dies under N pipelined load threads,
+    /// every thread hits the same failure in the same instant, and
+    /// half-jitter still concentrates their reconnects in the back
+    /// half of the window. Spreading over the whole window keeps the
+    /// respawned shard from eating a synchronized reconnect storm.
     fn sleep_backoff(&mut self, consecutive: u32) {
         let exp = consecutive.min(10);
         let backoff = self
@@ -599,9 +603,9 @@ impl RetryClient {
             .saturating_mul(2u32.saturating_pow(exp))
             .min(self.policy.max_backoff);
         self.rng = splitmix64(self.rng);
-        let half = backoff.as_micros() as u64 / 2;
-        let jitter = if half == 0 { 0 } else { self.rng % (half + 1) };
-        std::thread::sleep(backoff / 2 + Duration::from_micros(jitter));
+        let span = backoff.as_micros() as u64;
+        let jitter = if span == 0 { 0 } else { self.rng % (span + 1) };
+        std::thread::sleep(Duration::from_micros(jitter));
     }
 
     /// A usable connection, reconnecting (with backoff) if the current

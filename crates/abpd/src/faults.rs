@@ -17,7 +17,7 @@
 //! concurrent drawers (worker shards, reactor threads, connection
 //! write paths) each bump their own cache-line-padded counter instead
 //! of contending on one shared line; [`FaultPlan::draws`] merges them
-//! on demand. Four fault kinds are modeled:
+//! on demand. The modeled fault kinds:
 //!
 //! * **eval panics** — a worker thread panics mid-evaluation
 //!   (exercises supervision and the batch `Error` path);
@@ -26,7 +26,17 @@
 //! * **torn writes** — the server writes half a reply burst and drops
 //!   the connection (exercises client truncated-line handling);
 //! * **disconnects** — the server drops the connection before writing
-//!   (exercises client retry/reconnect).
+//!   (exercises client retry/reconnect);
+//! * **snapshot io errors** (`io_error=`) — persisting the serving
+//!   state fails like a full disk (exercises the reload path's
+//!   best-effort durability accounting);
+//! * **torn snapshots** (`torn_snapshot=`) — a half-written snapshot
+//!   is renamed into place (exercises recovery's corruption
+//!   detection);
+//! * **crashes** (`crash=`) — the process aborts mid-snapshot-write,
+//!   `kill -9` style (exercises the atomic-rename protocol end to
+//!   end). Only meaningful for standalone daemons: the abort takes the
+//!   whole process, so in-process test harnesses never arm it.
 
 use crate::metrics::CacheAligned;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,6 +57,15 @@ pub struct FaultConfig {
     /// Probability (per million reply flushes) of dropping the
     /// connection without writing anything.
     pub disconnect_per_million: u32,
+    /// Probability (per million snapshot saves) of the write failing
+    /// like a full disk: the previous snapshot survives untouched.
+    pub snapshot_io_error_per_million: u32,
+    /// Probability (per million snapshot saves) of a torn write that
+    /// still renames into place — recovery must detect it.
+    pub torn_snapshot_per_million: u32,
+    /// Probability (per million snapshot saves) of aborting the whole
+    /// process mid-write (`kill -9` style). Standalone daemons only.
+    pub crash_per_million: u32,
     /// Seed for the deterministic draw sequence.
     pub seed: u64,
 }
@@ -58,12 +77,15 @@ impl FaultConfig {
             && self.eval_delay_per_million == 0
             && self.torn_write_per_million == 0
             && self.disconnect_per_million == 0
+            && self.snapshot_io_error_per_million == 0
+            && self.torn_snapshot_per_million == 0
+            && self.crash_per_million == 0
     }
 
     /// Parse a `key=value,key=value` spec (the `ABPD_FAULTS` format).
     /// Keys: `panic`, `delay`, `delay_ms`, `torn`, `disconnect`,
-    /// `seed`. Unknown keys are an error so typos don't silently
-    /// disable a fault.
+    /// `io_error`, `torn_snapshot`, `crash`, `seed`. Unknown keys are
+    /// an error so typos don't silently disable a fault.
     pub fn parse(spec: &str) -> Result<FaultConfig, String> {
         let mut cfg = FaultConfig {
             eval_delay_ms: 10,
@@ -87,6 +109,9 @@ impl FaultConfig {
                 "delay" => cfg.eval_delay_per_million = parse_u32()?,
                 "torn" => cfg.torn_write_per_million = parse_u32()?,
                 "disconnect" => cfg.disconnect_per_million = parse_u32()?,
+                "io_error" => cfg.snapshot_io_error_per_million = parse_u32()?,
+                "torn_snapshot" => cfg.torn_snapshot_per_million = parse_u32()?,
+                "crash" => cfg.crash_per_million = parse_u32()?,
                 "delay_ms" => {
                     cfg.eval_delay_ms = value
                         .parse::<u64>()
@@ -143,6 +168,25 @@ pub enum WriteFault {
     /// Drop the connection without writing.
     Disconnect,
 }
+
+/// What a snapshot-save draw decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateFault {
+    /// Proceed normally.
+    None,
+    /// Fail the write like a full disk; nothing is renamed.
+    IoError,
+    /// Rename a half-written snapshot into place (a lying disk).
+    Torn,
+    /// Abort the process mid-write (`kill -9` style).
+    Crash,
+}
+
+/// The dedicated fault-plan slot for snapshot saves. Persistence is
+/// serialized under the reload lock, so one slot suffices — and
+/// keeping it fixed makes crash schedules reproducible independent of
+/// how many worker shards drew eval faults first.
+pub const STATE_SLOT: usize = 63;
 
 const PER_MILLION: u64 = 1_000_000;
 
@@ -216,6 +260,26 @@ impl FaultPlan {
         }
     }
 
+    /// Draw for one snapshot save on `slot` (use [`STATE_SLOT`]).
+    pub fn state_fault(&self, slot: usize) -> StateFault {
+        let crash = u64::from(self.cfg.crash_per_million);
+        let io = u64::from(self.cfg.snapshot_io_error_per_million);
+        let torn = u64::from(self.cfg.torn_snapshot_per_million);
+        if crash == 0 && io == 0 && torn == 0 {
+            return StateFault::None;
+        }
+        let roll = self.draw(slot);
+        if roll < crash {
+            StateFault::Crash
+        } else if roll < crash + io {
+            StateFault::IoError
+        } else if roll < crash + io + torn {
+            StateFault::Torn
+        } else {
+            StateFault::None
+        }
+    }
+
     /// Draw for one reply-burst write on `slot`.
     pub fn write_fault(&self, slot: usize) -> WriteFault {
         let torn = u64::from(self.cfg.torn_write_per_million);
@@ -253,6 +317,49 @@ mod tests {
         assert!(FaultConfig::parse("panic").is_err());
         assert!(FaultConfig::parse("panic=lots").is_err());
         assert!(FaultConfig::parse("").unwrap().is_noop());
+
+        // The snapshot arms parse and arm the plan on their own.
+        let cfg = FaultConfig::parse("io_error=5,torn_snapshot=6,crash=7").unwrap();
+        assert_eq!(cfg.snapshot_io_error_per_million, 5);
+        assert_eq!(cfg.torn_snapshot_per_million, 6);
+        assert_eq!(cfg.crash_per_million, 7);
+        assert!(!cfg.is_noop());
+        assert!(!FaultConfig::parse("crash=1000000").unwrap().is_noop());
+    }
+
+    #[test]
+    fn state_fault_rates_are_roughly_honored() {
+        let plan = FaultPlan::new(FaultConfig {
+            snapshot_io_error_per_million: 100_000, // 10%
+            torn_snapshot_per_million: 100_000,     // 10%
+            ..FaultConfig::default()
+        });
+        let (mut io, mut torn, mut crashes) = (0u32, 0u32, 0u32);
+        for _ in 0..10_000 {
+            match plan.state_fault(STATE_SLOT) {
+                StateFault::IoError => io += 1,
+                StateFault::Torn => torn += 1,
+                StateFault::Crash => crashes += 1,
+                StateFault::None => {}
+            }
+        }
+        assert!((500..2000).contains(&io), "io errors: {io}");
+        assert!((500..2000).contains(&torn), "torn snapshots: {torn}");
+        assert_eq!(crashes, 0, "crash rate is zero, nothing may abort");
+    }
+
+    #[test]
+    fn zero_state_rates_skip_the_draw() {
+        // A plan armed only with eval faults must not burn draws (and
+        // shift schedules) on the snapshot path.
+        let plan = FaultPlan::new(FaultConfig {
+            eval_panic_per_million: 10_000,
+            ..FaultConfig::default()
+        });
+        for _ in 0..100 {
+            assert_eq!(plan.state_fault(STATE_SLOT), StateFault::None);
+        }
+        assert_eq!(plan.draws(), 0);
     }
 
     #[test]

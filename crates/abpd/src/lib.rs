@@ -30,6 +30,7 @@ pub mod protocol;
 pub(crate) mod reactor;
 pub mod server;
 pub mod service;
+pub mod state;
 pub mod wire;
 
 pub use client::{Client, ReloadDeltaOutcome, RetryClient, RetryPolicy};
@@ -37,6 +38,7 @@ pub use faults::FaultConfig;
 pub use protocol::{DecisionRequest, DecisionResponse, HealthReport, HealthState, StatsReport};
 pub use server::{Server, ServerConfig, ServerMode};
 pub use service::{serving_checksum, ReloadDeltaError, Service, ServiceConfig, ServiceError};
+pub use state::{PersistedState, SnapshotError, StateStore};
 
 use websim::ecosystem::LoadKind;
 use websim::traffic::TrafficSample;

@@ -39,7 +39,7 @@
 //! worker died gets [`ServiceError::WorkerLost`] instead of a hang.
 
 use crate::cache::{request_key_hash, DecisionCache, LocalDecisionCache, StoredKey};
-use crate::faults::{EvalFault, FaultConfig, FaultPlan};
+use crate::faults::{EvalFault, FaultConfig, FaultPlan, StateFault, STATE_SLOT};
 use crate::metrics::{Metrics, ReactorMetrics, ShardMetrics};
 use crate::protocol::{
     DecisionRequest, DecisionResponse, HealthReport, HealthState, ReloadDeltaList, ReloadList,
@@ -84,6 +84,12 @@ pub struct ServiceConfig {
     pub restart_backoff_cap: Duration,
     /// Fault injection plan (chaos tests only; `None` in production).
     pub faults: Option<FaultConfig>,
+    /// Directory for the crash-safe serving snapshot. When set, the
+    /// service persists its list bodies + generation + checksum after
+    /// boot and after every acked reload (see [`crate::state`]), so a
+    /// restart can recover the exact serving state without a full
+    /// body reship. `None` disables persistence.
+    pub state_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -98,6 +104,7 @@ impl Default for ServiceConfig {
             restart_backoff: Duration::from_millis(10),
             restart_backoff_cap: Duration::from_secs(1),
             faults: None,
+            state_dir: None,
         }
     }
 }
@@ -377,6 +384,37 @@ struct ServiceShared {
     /// Set once shutdown begins; `Health` reports `draining`.
     draining: std::sync::atomic::AtomicBool,
     faults: Option<FaultPlan>,
+    /// Crash-safe snapshot store (`None` when persistence is off or
+    /// the state dir could not be opened).
+    state: Option<crate::state::StateStore>,
+    /// Snapshot saves that failed (disk full, injected io error).
+    /// Persistence is best effort: a failed save never fails the
+    /// reload that triggered it, it is just counted here.
+    snapshot_failures: AtomicU64,
+}
+
+impl ServiceShared {
+    /// Persist the serving snapshot, best effort. `fault` is the chaos
+    /// hook for the save itself; pass [`StateFault::None`] on the boot
+    /// path — a deterministic crash schedule restarts its draw counter
+    /// on respawn, so a boot-time crash draw would loop the daemon
+    /// forever instead of proving anything.
+    fn persist_snapshot(&self, fault: StateFault) {
+        let Some(store) = &self.state else { return };
+        let snap = self.snapshot.read().clone();
+        if snap.lists.is_empty() {
+            return; // no bodies to recover to; nothing worth writing
+        }
+        let state = crate::state::PersistedState {
+            generation: snap.generation,
+            list_checksum: snap.list_checksum,
+            lists: snap.lists.as_ref().clone(),
+        };
+        if let Err(e) = store.save(&state, fault) {
+            self.snapshot_failures.fetch_add(1, Ordering::Relaxed);
+            eprintln!("abpd: snapshot persist failed (serving unaffected): {e}");
+        }
+    }
 }
 
 /// Notifies the supervisor when the worker thread exits, flagging
@@ -627,7 +665,24 @@ impl Service {
             reload_lock: Mutex::new(()),
             draining: std::sync::atomic::AtomicBool::new(false),
             faults: config.faults.clone().map(FaultPlan::new),
+            state: config.state_dir.as_ref().and_then(|dir| {
+                match crate::state::StateStore::open(dir) {
+                    Ok(store) => Some(store),
+                    Err(e) => {
+                        eprintln!(
+                            "abpd: cannot open state dir {}: {e}; persistence disabled",
+                            dir.display()
+                        );
+                        None
+                    }
+                }
+            }),
+            snapshot_failures: AtomicU64::new(0),
         });
+        // Persist the boot state immediately: a shard that crashes
+        // before its first reload must still recover to the lists it
+        // was serving, not to nothing.
+        shared.persist_snapshot(StateFault::None);
 
         let queue_depth = config.queue_depth.max(1);
         let (notify_tx, notify_rx) = bounded::<WorkerEvent>(shards * 4);
@@ -1152,6 +1207,16 @@ impl Service {
         // their memory and keeps the cache from filling with dead keys.
         self.shared.cache.clear();
         self.shared.reloads.fetch_add(1, Ordering::Relaxed);
+        // Persist *after* the swap, *before* the ack is sent: if the
+        // process dies mid-save, the caller never saw a success, so
+        // recovering to the previous snapshot is consistent with what
+        // the fleet believes this shard acked.
+        let fault = self
+            .shared
+            .faults
+            .as_ref()
+            .map_or(StateFault::None, |p| p.state_fault(STATE_SLOT));
+        self.shared.persist_snapshot(fault);
         Ok(ReloadReport {
             generation,
             filters: filter_count as u64,
@@ -1167,6 +1232,12 @@ impl Service {
     /// [`serving_checksum`] of the serving list bodies (0 when none).
     pub fn list_checksum(&self) -> u64 {
         self.shared.snapshot.read().list_checksum
+    }
+
+    /// Snapshot saves that failed since startup (persistence is best
+    /// effort; failures are counted, not propagated).
+    pub fn snapshot_failures(&self) -> u64 {
+        self.shared.snapshot_failures.load(Ordering::Relaxed)
     }
 
     /// Snapshot service health: liveness state plus resilience
@@ -1741,5 +1812,68 @@ mod tests {
         }
         assert!(shed, "a saturated queue must shed");
         assert!(svc.health().shed >= 1);
+    }
+
+    #[test]
+    fn reloads_persist_a_recoverable_snapshot() {
+        let dir = std::env::temp_dir().join(format!("abpd-svc-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let lists = vec![
+            ReloadList {
+                source: ListSource::EasyList,
+                content: "||doubleclick.net^\n".to_string(),
+            },
+            ReloadList {
+                source: ListSource::AcceptableAds,
+                content: "@@||adzerk.net/reddit/$subdocument\n".to_string(),
+            },
+        ];
+        let mut cfg = config();
+        cfg.state_dir = Some(dir.clone());
+        let svc = Service::start_with_lists(lists.clone(), &cfg).unwrap();
+
+        // Boot persists generation 0 with the boot bodies.
+        let store = crate::state::StateStore::open(&dir).unwrap();
+        let boot = store.load().expect("boot snapshot must exist");
+        assert_eq!(boot.generation, 0);
+        assert_eq!(boot.lists, lists);
+        assert_eq!(boot.list_checksum, serving_checksum(&lists));
+
+        // Every acked reload replaces the snapshot.
+        let mut next = lists.clone();
+        next[1].content.push_str("@@||extra.example^$script\n");
+        svc.reload(&next).expect("reload");
+        let after = store.load().expect("post-reload snapshot");
+        assert_eq!(after.generation, 1);
+        assert_eq!(after.lists, next);
+        assert_eq!(after.list_checksum, svc.list_checksum());
+        assert_eq!(svc.snapshot_failures(), 0);
+
+        // A second service recovering from the snapshot serves
+        // byte-identical decisions (double-probe parity).
+        let mut cfg2 = config();
+        cfg2.state_dir = None;
+        let recovered = store.load().unwrap();
+        let svc2 = Service::start_with_lists(recovered.lists, &cfg2).unwrap();
+        assert_eq!(svc2.list_checksum(), svc.list_checksum());
+        for req in [
+            dr(
+                "http://x.doubleclick.net/u.js",
+                "a.example",
+                ResourceType::Script,
+            ),
+            dr(
+                "http://cdn.extra.example/u.js",
+                "a.example",
+                ResourceType::Script,
+            ),
+        ] {
+            let a = svc.decide(&req).unwrap();
+            let b = svc2.decide(&req).unwrap();
+            assert_eq!(a.outcome, b.outcome, "recovery parity for {}", req.url);
+        }
+        svc.shutdown();
+        svc2.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

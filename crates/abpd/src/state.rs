@@ -1,0 +1,535 @@
+//! Crash-safe persistence of the serving list state.
+//!
+//! A shard's most precious state is *which list revision it last
+//! acked*: lose it and a restart costs a full multi-megabyte body
+//! reship plus a cold recompile, and the fleet has to treat the shard
+//! as brand new. [`StateStore`] keeps that state on disk as a single
+//! binary snapshot — the serving list bodies, the engine generation
+//! that compiled them, and their [`serving_checksum`] — written with
+//! the classic atomic protocol: serialize to a temp file in the same
+//! directory, `fsync` the file, `rename` over the live name, `fsync`
+//! the directory. A reader therefore sees either the previous complete
+//! snapshot or the new complete snapshot, never a mix.
+//!
+//! Because disks lie anyway, the snapshot ends in a strong FNV-1a
+//! checksum over every preceding byte, and [`StateStore::load`]
+//! classifies everything that can be wrong with a file — missing,
+//! truncated, foreign magic, stale version, flipped bits, nonsense
+//! structure — as a typed [`SnapshotError`]. Callers fall back to seed
+//! lists on any of them; no variant is ever worth serving garbage for.
+//!
+//! [`serving_checksum`]: crate::service::serving_checksum
+
+use crate::faults::StateFault;
+use crate::protocol::ReloadList;
+use abp::ListSource;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// First eight bytes of every snapshot file.
+const MAGIC: &[u8; 8] = b"ABPDSNAP";
+
+/// Format version; bump on any layout change so an old daemon never
+/// misparses a new snapshot (or vice versa) into a serving engine.
+const VERSION: u32 = 1;
+
+/// Live snapshot file name inside the state directory.
+const SNAPSHOT_NAME: &str = "serving.snap";
+
+/// Temp name the atomic write goes through.
+const SNAPSHOT_TMP: &str = "serving.snap.tmp";
+
+/// What one snapshot preserves across a crash: enough to rebuild the
+/// exact serving engine and to negotiate a delta rejoin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistedState {
+    /// Engine generation that was serving when the snapshot was taken.
+    pub generation: u64,
+    /// [`crate::service::serving_checksum`] of `lists`.
+    pub list_checksum: u64,
+    /// The serving list bodies themselves.
+    pub lists: Vec<ReloadList>,
+}
+
+/// Why a snapshot could not be recovered. Every variant means the same
+/// thing to the boot path — fall back to seed lists — but operators
+/// need to know *which* failure happened, so each is distinct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// No snapshot file exists (first boot, or the dir was wiped).
+    Missing,
+    /// The file could not be read at all.
+    Io(String),
+    /// The file ends before its declared content does (torn write or
+    /// truncation).
+    Truncated {
+        /// Bytes the parser needed next.
+        need: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// The first eight bytes are not the snapshot magic — not ours.
+    BadMagic,
+    /// The snapshot was written by a different format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The trailing strong checksum does not match the content
+    /// (bit flip, partial overwrite, lying disk).
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum recomputed over the content.
+        actual: u64,
+    },
+    /// The structure is self-inconsistent (bad list tag, impossible
+    /// length, non-UTF-8 body).
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Missing => write!(f, "no snapshot file"),
+            SnapshotError::Io(e) => write!(f, "snapshot unreadable: {e}"),
+            SnapshotError::Truncated { need, have } => write!(
+                f,
+                "snapshot truncated: needed {need} more bytes, found {have}"
+            ),
+            SnapshotError::BadMagic => write!(f, "snapshot has foreign magic bytes"),
+            SnapshotError::VersionMismatch { found } => write!(
+                f,
+                "snapshot format version {found} (this build writes {VERSION})"
+            ),
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: recorded {expected:#018x}, content hashes to {actual:#018x}"
+            ),
+            SnapshotError::Corrupt(e) => write!(f, "snapshot corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A state directory holding (at most) one serving snapshot.
+pub struct StateStore {
+    dir: PathBuf,
+}
+
+fn source_tag(source: ListSource) -> u8 {
+    // Same tag bytes as `serving_checksum`: 0 stays free as "invalid".
+    source as u8 + 1
+}
+
+fn source_from_tag(tag: u8) -> Option<ListSource> {
+    match tag {
+        1 => Some(ListSource::EasyList),
+        2 => Some(ListSource::AcceptableAds),
+        3 => Some(ListSource::Custom),
+        _ => None,
+    }
+}
+
+/// A bounds-checked little-endian reader over the snapshot bytes.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let have = self.buf.len() - self.pos;
+        if have < n {
+            return Err(SnapshotError::Truncated { need: n, have });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl StateStore {
+    /// Open (creating if needed) a state directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<StateStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(StateStore { dir })
+    }
+
+    /// Path of the live snapshot file.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_NAME)
+    }
+
+    fn tmp_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_TMP)
+    }
+
+    /// Serialize `state` into the snapshot byte layout (checksum
+    /// trailer included).
+    fn serialize(state: &PersistedState) -> Vec<u8> {
+        let body_bytes: usize = state.lists.iter().map(|l| l.content.len() + 9).sum();
+        let mut buf = Vec::with_capacity(40 + body_bytes);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&state.generation.to_le_bytes());
+        buf.extend_from_slice(&state.list_checksum.to_le_bytes());
+        buf.extend_from_slice(&(state.lists.len() as u32).to_le_bytes());
+        for l in &state.lists {
+            buf.push(source_tag(l.source));
+            buf.extend_from_slice(&(l.content.len() as u64).to_le_bytes());
+            buf.extend_from_slice(l.content.as_bytes());
+        }
+        let mut h = abpdelta::StrongHasher::new();
+        h.update(&buf);
+        let check = h.finish();
+        buf.extend_from_slice(&check.to_le_bytes());
+        buf
+    }
+
+    /// Atomically persist `state`: temp write, fsync, rename, dir
+    /// fsync. `fault` is the chaos hook — [`StateFault::IoError`] fails
+    /// the write like a full disk, [`StateFault::Torn`] renames a
+    /// half-written file into place (a lying disk; [`StateStore::load`]
+    /// must catch it), and [`StateFault::Crash`] aborts the process
+    /// mid-write like `kill -9`.
+    pub fn save(&self, state: &PersistedState, fault: StateFault) -> io::Result<()> {
+        let bytes = Self::serialize(state);
+        let tmp = self.tmp_path();
+        match fault {
+            StateFault::None => {}
+            StateFault::IoError => {
+                // Simulated ENOSPC: the temp write fails partway and
+                // nothing is renamed — the previous snapshot survives.
+                let _ = fs::write(&tmp, &bytes[..bytes.len() / 2]);
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "injected snapshot io error (disk full)",
+                ));
+            }
+            StateFault::Torn => {
+                // A torn write that still gets renamed into place: the
+                // checksum trailer is missing, so recovery must reject
+                // the file instead of serving half a list.
+                fs::write(&tmp, &bytes[..bytes.len() / 2])?;
+                fs::rename(&tmp, self.snapshot_path())?;
+                return Ok(());
+            }
+            StateFault::Crash => {
+                // kill -9 mid-write: leave a partial temp file behind
+                // and die without ever reaching the rename, exactly the
+                // window the atomic protocol protects.
+                let _ = fs::write(&tmp, &bytes[..bytes.len() / 2]);
+                std::process::abort();
+            }
+        }
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.snapshot_path())?;
+        // Make the rename itself durable; a directory fsync failing is
+        // not worth crashing over (some filesystems refuse it).
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Load and verify the snapshot. Any defect — missing file, torn
+    /// write, truncation, foreign magic, stale version, checksum
+    /// mismatch, structural nonsense — comes back as a typed
+    /// [`SnapshotError`]; the caller falls back to seed lists.
+    pub fn load(&self) -> Result<PersistedState, SnapshotError> {
+        let path = self.snapshot_path();
+        let buf = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(SnapshotError::Missing),
+            Err(e) => return Err(SnapshotError::Io(e.to_string())),
+        };
+        Self::deserialize(&buf)
+    }
+
+    fn deserialize(buf: &[u8]) -> Result<PersistedState, SnapshotError> {
+        // Verify the end-to-end checksum first: it catches truncation
+        // and bit flips in one test, and everything after it can trust
+        // the bytes it parses.
+        if buf.len() < MAGIC.len() + 4 {
+            return Err(SnapshotError::Truncated {
+                need: MAGIC.len() + 4,
+                have: buf.len(),
+            });
+        }
+        if &buf[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(buf[MAGIC.len()..MAGIC.len() + 4].try_into().unwrap());
+        if version != VERSION {
+            return Err(SnapshotError::VersionMismatch { found: version });
+        }
+        if buf.len() < MAGIC.len() + 4 + 8 {
+            return Err(SnapshotError::Truncated {
+                need: 8,
+                have: buf.len() - MAGIC.len() - 4,
+            });
+        }
+        let (content, trailer) = buf.split_at(buf.len() - 8);
+        let expected = u64::from_le_bytes(trailer.try_into().unwrap());
+        let mut h = abpdelta::StrongHasher::new();
+        h.update(content);
+        let actual = h.finish();
+        if actual != expected {
+            return Err(SnapshotError::ChecksumMismatch { expected, actual });
+        }
+
+        let mut c = Cursor {
+            buf: content,
+            pos: MAGIC.len() + 4,
+        };
+        let generation = c.u64()?;
+        let list_checksum = c.u64()?;
+        let count = c.u32()? as usize;
+        if count > 64 {
+            return Err(SnapshotError::Corrupt(format!(
+                "implausible list count {count}"
+            )));
+        }
+        let mut lists = Vec::with_capacity(count);
+        for i in 0..count {
+            let tag = c.take(1)?[0];
+            let source = source_from_tag(tag)
+                .ok_or_else(|| SnapshotError::Corrupt(format!("list {i} has bad tag {tag}")))?;
+            let len = c.u64()? as usize;
+            let body = c.take(len)?;
+            let content = std::str::from_utf8(body)
+                .map_err(|e| SnapshotError::Corrupt(format!("list {i} is not UTF-8: {e}")))?
+                .to_string();
+            lists.push(ReloadList { source, content });
+        }
+        if c.pos != c.buf.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after the last list",
+                c.buf.len() - c.pos
+            )));
+        }
+        Ok(PersistedState {
+            generation,
+            list_checksum,
+            lists,
+        })
+    }
+}
+
+/// Load a snapshot from `dir` without keeping the store around — the
+/// boot-time recovery ladder in one call. `Ok` is a verified snapshot;
+/// `Err` names exactly why the caller must fall back to seed lists.
+pub fn recover(dir: impl AsRef<Path>) -> Result<PersistedState, SnapshotError> {
+    let store = StateStore {
+        dir: dir.as_ref().to_path_buf(),
+    };
+    store.load()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::serving_checksum;
+
+    /// A unique, auto-cleaned temp dir per test.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir =
+                std::env::temp_dir().join(format!("abpd-state-test-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sample_state() -> PersistedState {
+        let lists = vec![
+            ReloadList {
+                source: ListSource::EasyList,
+                content: "||doubleclick.net^\n||adzerk.net^$third-party\n".to_string(),
+            },
+            ReloadList {
+                source: ListSource::AcceptableAds,
+                content: "@@||adzerk.net/reddit/$subdocument,domain=reddit.com\n".to_string(),
+            },
+        ];
+        PersistedState {
+            generation: 7,
+            list_checksum: serving_checksum(&lists),
+            lists,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let tmp = TempDir::new("roundtrip");
+        let store = StateStore::open(&tmp.0).unwrap();
+        let state = sample_state();
+        store.save(&state, StateFault::None).unwrap();
+        assert_eq!(store.load().unwrap(), state);
+
+        // Overwrite with a new generation: the old snapshot is
+        // replaced atomically, not appended to.
+        let mut next = state.clone();
+        next.generation = 8;
+        next.lists[1].content.push_str("@@||extra.example^\n");
+        next.list_checksum = serving_checksum(&next.lists);
+        store.save(&next, StateFault::None).unwrap();
+        assert_eq!(store.load().unwrap(), next);
+    }
+
+    #[test]
+    fn missing_dir_and_missing_file_are_typed() {
+        let tmp = TempDir::new("missing");
+        assert_eq!(
+            recover(tmp.0.join("never-created")),
+            Err(SnapshotError::Missing)
+        );
+        let store = StateStore::open(&tmp.0).unwrap();
+        assert_eq!(store.load(), Err(SnapshotError::Missing));
+    }
+
+    #[test]
+    fn corruption_matrix_every_defect_is_detected() {
+        let tmp = TempDir::new("matrix");
+        let store = StateStore::open(&tmp.0).unwrap();
+        let state = sample_state();
+        store.save(&state, StateFault::None).unwrap();
+        let good = fs::read(store.snapshot_path()).unwrap();
+
+        // Truncated at every interesting boundary: header, body, the
+        // checksum trailer itself.
+        for cut in [0, 4, 11, 20, good.len() / 2, good.len() - 1] {
+            fs::write(store.snapshot_path(), &good[..cut]).unwrap();
+            let err = store.load().unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+
+        // Single-bit flips anywhere in the content or the trailer.
+        for pos in [8, 12, 25, good.len() / 2, good.len() - 3] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x10;
+            fs::write(store.snapshot_path(), &bad).unwrap();
+            let err = store.load().unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::ChecksumMismatch { .. } | SnapshotError::VersionMismatch { .. }
+                ),
+                "flip at {pos} gave {err:?}"
+            );
+        }
+
+        // A stale (future or past) version header.
+        let mut stale = good.clone();
+        stale[8..12].copy_from_slice(&99u32.to_le_bytes());
+        // Re-seal the checksum so version mismatch is what's detected,
+        // not the checksum guard in front of it.
+        let mut h = abpdelta::StrongHasher::new();
+        h.update(&stale[..stale.len() - 8]);
+        let reseal = h.finish().to_le_bytes();
+        let n = stale.len();
+        stale[n - 8..].copy_from_slice(&reseal);
+        fs::write(store.snapshot_path(), &stale).unwrap();
+        assert_eq!(
+            store.load(),
+            Err(SnapshotError::VersionMismatch { found: 99 })
+        );
+
+        // Foreign file contents entirely.
+        fs::write(store.snapshot_path(), b"<html>not a snapshot</html>").unwrap();
+        assert_eq!(store.load(), Err(SnapshotError::BadMagic));
+
+        // A structurally corrupt but correctly-checksummed file: bad
+        // list tag behind a valid trailer.
+        let mut bad_tag = good.clone();
+        let tag_pos = MAGIC.len() + 4 + 8 + 8 + 4;
+        bad_tag[tag_pos] = 0xEE;
+        let mut h = abpdelta::StrongHasher::new();
+        h.update(&bad_tag[..bad_tag.len() - 8]);
+        let reseal = h.finish().to_le_bytes();
+        let n = bad_tag.len();
+        bad_tag[n - 8..].copy_from_slice(&reseal);
+        fs::write(store.snapshot_path(), &bad_tag).unwrap();
+        assert!(matches!(store.load(), Err(SnapshotError::Corrupt(_))));
+
+        // After every defect, a fresh save fully recovers the store.
+        store.save(&state, StateFault::None).unwrap();
+        assert_eq!(store.load().unwrap(), state);
+    }
+
+    #[test]
+    fn injected_io_error_keeps_the_previous_snapshot() {
+        let tmp = TempDir::new("ioerr");
+        let store = StateStore::open(&tmp.0).unwrap();
+        let state = sample_state();
+        store.save(&state, StateFault::None).unwrap();
+
+        let mut next = state.clone();
+        next.generation = 99;
+        let err = store.save(&next, StateFault::IoError).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        // The failed write must not have touched the live snapshot.
+        assert_eq!(store.load().unwrap(), state);
+    }
+
+    #[test]
+    fn injected_torn_write_is_caught_on_load() {
+        let tmp = TempDir::new("torn");
+        let store = StateStore::open(&tmp.0).unwrap();
+        let state = sample_state();
+        store.save(&state, StateFault::Torn).unwrap();
+        let err = store.load().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. } | SnapshotError::ChecksumMismatch { .. }
+            ),
+            "torn snapshot gave {err:?}"
+        );
+    }
+
+    #[test]
+    fn partial_temp_file_never_shadows_the_live_snapshot() {
+        // The on-disk picture after a crash mid-write: an intact live
+        // snapshot plus a partial temp file. Recovery must read the
+        // live one and ignore the temp.
+        let tmp = TempDir::new("crashdisk");
+        let store = StateStore::open(&tmp.0).unwrap();
+        let state = sample_state();
+        store.save(&state, StateFault::None).unwrap();
+        let bytes = StateStore::serialize(&state);
+        fs::write(store.tmp_path(), &bytes[..bytes.len() / 3]).unwrap();
+        assert_eq!(store.load().unwrap(), state);
+    }
+}

@@ -86,16 +86,108 @@ fi
     --append-availability BENCH_service.json --shutdown
 wait "$CHAOS_PID"
 
-echo "==> fleet stage (3 shards + router, 988-revision delta replay, chaos kill/respawn, writes BENCH_fleet.json)"
+echo "==> crash-recovery smoke (crash-armed snapshot write, restart from --state-dir)"
+# Drives the real abpd binary through the durability contract with
+# single-shot --admin commands. Stage A arms crash=1000000: the first
+# snapshot save after boot (the reload's) aborts the process mid-write,
+# exactly like a power cut. The previous snapshot must survive the torn
+# write, and the restarted daemon must serve the pre-reload state byte
+# for byte. Stage B does a clean reload + restart: the reloaded state
+# must come back, not the seed.
+STATE_DIR="/tmp/abpd-ci-state.$$"
+rm -rf "$STATE_DIR"
+
+scrape_addr() {
+    # $1 = log file, $2 = pid to reap if the address never appears.
+    _addr=""
+    for _ in $(seq 1 50); do
+        _addr=$(sed -n 's/^abpd: listening on \([^ ]*\).*$/\1/p' "$1")
+        [ -n "$_addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$_addr" ]; then
+        echo "abpd never reported its address:" >&2
+        cat "$1" >&2
+        kill "$2" 2>/dev/null || true
+        exit 1
+    fi
+    echo "$_addr"
+}
+
+health_checksum() {
+    ./target/release/abpd-load --admin health --addr "$1" \
+        | sed -n 's/.*"list_checksum":\([0-9]*\).*/\1/p'
+}
+
+ABPD_FAULTS="crash=1000000,seed=7" ./target/release/abpd --addr 127.0.0.1:0 \
+    --state-dir "$STATE_DIR" >/tmp/abpd-crash.log 2>&1 &
+CRASH_PID=$!
+ADDR=$(scrape_addr /tmp/abpd-crash.log "$CRASH_PID")
+L0=$(./target/release/abpd-load --admin decide --addr "$ADDR" --sample 7)
+C0=$(health_checksum "$ADDR")
+# The armed crash aborts the daemon inside this reload's snapshot save;
+# the command fails on the severed connection, which is the point.
+./target/release/abpd-load --admin reload --addr "$ADDR" \
+    --rules "||crash-test.example^" >/dev/null 2>&1 || true
+wait "$CRASH_PID" 2>/dev/null || true
+
+./target/release/abpd --addr 127.0.0.1:0 --state-dir "$STATE_DIR" \
+    >/tmp/abpd-recover.log 2>&1 &
+RECOVER_PID=$!
+ADDR=$(scrape_addr /tmp/abpd-recover.log "$RECOVER_PID")
+R0=$(./target/release/abpd-load --admin decide --addr "$ADDR" --sample 7)
+RC0=$(health_checksum "$ADDR")
+if [ "$L0" != "$R0" ] || [ "$C0" != "$RC0" ]; then
+    echo "crash recovery diverged from the pre-crash state:" >&2
+    echo "  decide  pre '$L0'" >&2
+    echo "  decide post '$R0'" >&2
+    echo "  checksum pre=$C0 post=$RC0" >&2
+    exit 1
+fi
+
+./target/release/abpd-load --admin reload --addr "$ADDR" \
+    --rules "||crash-test.example^" >/dev/null
+C1=$(health_checksum "$ADDR")
+if [ "$C1" = "$C0" ]; then
+    echo "clean reload did not change the serving checksum ($C1)" >&2
+    exit 1
+fi
+L1=$(./target/release/abpd-load --admin decide --addr "$ADDR" --sample 7)
+./target/release/abpd-load --admin shutdown --addr "$ADDR" >/dev/null
+wait "$RECOVER_PID"
+
+./target/release/abpd --addr 127.0.0.1:0 --state-dir "$STATE_DIR" \
+    >/tmp/abpd-reboot.log 2>&1 &
+REBOOT_PID=$!
+ADDR=$(scrape_addr /tmp/abpd-reboot.log "$REBOOT_PID")
+R1=$(./target/release/abpd-load --admin decide --addr "$ADDR" --sample 7)
+RC1=$(health_checksum "$ADDR")
+if [ "$L1" != "$R1" ] || [ "$C1" != "$RC1" ]; then
+    echo "restart lost the reloaded state:" >&2
+    echo "  decide  pre '$L1'" >&2
+    echo "  decide post '$R1'" >&2
+    echo "  checksum pre=$C1 post=$RC1" >&2
+    exit 1
+fi
+./target/release/abpd-load --admin shutdown --addr "$ADDR" >/dev/null
+wait "$REBOOT_PID"
+rm -rf "$STATE_DIR"
+
+echo "==> fleet stage (3 shards + router, 988-revision delta replay, crash/recover/rejoin drill, writes BENCH_fleet.json)"
 # Replays the whole corpus whitelist history through the router as
 # ReloadDelta patches (full-reload fallback on base mismatch),
 # asserting every shard converges to the same serving checksum and
 # that deltas ship <=20% of full-body reload bytes (measured: ~1.5%).
-# Then drives pipelined load with one shard killed and respawned
-# mid-run: availability must stay >=99% and every healthy shard must
-# answer traffic. All orchestration is in-process in abpd-load, so one
-# command is the whole stage.
-./target/release/abpd-load --fleet 3 --fleet-chaos --replay-revisions 988 \
+# --state-recovery turns the mid-run chaos kill into a durability
+# drill: the victim is crash-armed, killed mid-reload, respawned from
+# its on-disk snapshot, checked for decision parity against its
+# pre-kill answers, and must rejoin the fleet's serving state via a
+# ReloadDelta catch-up (<= --max-delta-ratio of full-body bytes, no
+# full-reload fallback). Availability must stay >=99% throughout and
+# every healthy shard must answer traffic. All orchestration is
+# in-process in abpd-load, so one command is the whole stage.
+./target/release/abpd-load --fleet 3 --fleet-chaos --state-recovery \
+    --replay-revisions 988 \
     --decisions 200000 --batch 256 --pipeline 4 --connections 2 \
     --max-error-rate 0.01 --max-delta-ratio 0.2 --out BENCH_fleet.json
 

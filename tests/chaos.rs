@@ -79,6 +79,7 @@ fn chaos_run_answers_every_request(mode: ServerMode) {
                 torn_write_per_million: 500,
                 disconnect_per_million: 500,
                 seed: 20_150_815,
+                ..FaultConfig::default()
             }),
             ..ServiceConfig::default()
         },
@@ -357,6 +358,159 @@ fn reload_under_load_swaps_cleanly_and_rolls_back_blocking() {
 #[test]
 fn reload_under_load_swaps_cleanly_and_rolls_back_event() {
     reload_under_load_swaps_cleanly_and_rolls_back(ServerMode::Event);
+}
+
+const STATE_WL_V1: &str = "@@||adzerk.net/reddit/$subdocument,domain=reddit.com\n";
+const STATE_WL_V2: &str = "@@||adzerk.net/reddit/$subdocument,domain=reddit.com\n\
+                           @@||doubleclick.net^$script,domain=ok.example\n";
+
+fn state_lists(wl: &str) -> Vec<ReloadList> {
+    vec![
+        ReloadList {
+            source: ListSource::EasyList,
+            content: "||doubleclick.net^\n||adzerk.net^$third-party\n/banner/ads/*\n".to_string(),
+        },
+        ReloadList {
+            source: ListSource::AcceptableAds,
+            content: wl.to_string(),
+        },
+    ]
+}
+
+fn state_config(dir: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_line_bytes: 1024 * 1024,
+        service: ServiceConfig {
+            shards: 2,
+            queue_depth: 64,
+            cache_capacity: 256,
+            state_dir: Some(dir.to_path_buf()),
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+/// The durability gate: kill a serving daemon abruptly (socket-slam,
+/// no drain, no shutdown) after a hot reload, then bring it back from
+/// its on-disk snapshot. The respawn must serve the *reloaded* state —
+/// checksum-equal and decision-identical to the pre-kill server — not
+/// the seed lists it originally booted with.
+#[test]
+fn killed_server_recovers_reloaded_state_from_snapshot() {
+    let dir = std::env::temp_dir().join(format!("abpd-chaos-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = state_config(&dir);
+    let server = Server::start_with_lists(state_lists(STATE_WL_V1), &config).expect("start");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let probe = dr(
+        "http://ad.doubleclick.net/x.js",
+        "ok.example",
+        ResourceType::Script,
+    );
+    assert_eq!(
+        client.decide(&probe).expect("probe v1").outcome.decision,
+        Decision::Block
+    );
+    client
+        .reload(&state_lists(STATE_WL_V2))
+        .expect("reload to v2");
+    assert_eq!(
+        client.decide(&probe).expect("probe v2").outcome.decision,
+        Decision::AllowedByException
+    );
+    let reqs = requests(500);
+    let before: Vec<_> = reqs
+        .iter()
+        .map(|r| client.decide(r).expect("decide pre-kill").outcome)
+        .collect();
+
+    // Abrupt death: no drain, the acked reload must already be on disk.
+    drop(client);
+    server.kill();
+
+    let recovered = abpd::state::recover(&dir).expect("snapshot must recover after a kill");
+    assert_eq!(
+        recovered.list_checksum,
+        abpd::serving_checksum(&state_lists(STATE_WL_V2)),
+        "snapshot must hold the acked v2 state, not the boot state"
+    );
+    let respawn = Server::start_with_lists(recovered.lists, &config).expect("respawn");
+    let mut client = Client::connect(respawn.local_addr()).expect("reconnect");
+    assert_eq!(
+        client
+            .decide(&probe)
+            .expect("probe respawn")
+            .outcome
+            .decision,
+        Decision::AllowedByException,
+        "the reloaded exception must survive the crash"
+    );
+    let after: Vec<_> = reqs
+        .iter()
+        .map(|r| client.decide(r).expect("decide post-recovery").outcome)
+        .collect();
+    assert_eq!(before, after, "recovered decisions diverge from pre-kill");
+    assert_eq!(
+        client.health().expect("health").list_checksum,
+        abpd::serving_checksum(&state_lists(STATE_WL_V2))
+    );
+    drop(client);
+    respawn.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted snapshot must be *detected* (typed error, never a panic
+/// or a silently-wrong engine) and the documented fallback — booting
+/// from seed lists — must serve; the boot immediately reseals a good
+/// snapshot over the corrupt file.
+#[test]
+fn corrupt_snapshot_is_rejected_and_seed_boot_reseals() {
+    let dir = std::env::temp_dir().join(format!("abpd-chaos-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = state_config(&dir);
+    let server = Server::start_with_lists(state_lists(STATE_WL_V1), &config).expect("start");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .reload(&state_lists(STATE_WL_V2))
+        .expect("reload to v2");
+    drop(client);
+    server.kill();
+
+    // One flipped bit anywhere breaks the end-to-end checksum.
+    let path = dir.join("serving.snap");
+    let mut bytes = std::fs::read(&path).expect("snapshot exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("corrupt snapshot");
+    match abpd::state::recover(&dir).expect_err("corruption must be detected") {
+        abpd::SnapshotError::ChecksumMismatch { .. } | abpd::SnapshotError::Corrupt(_) => {}
+        other => panic!("wrong error for a flipped bit: {other}"),
+    }
+
+    // The daemon's recovery ladder lands on seed lists and keeps
+    // serving; its boot snapshot replaces the corrupt file.
+    let fallback = Server::start_with_lists(state_lists(STATE_WL_V1), &config).expect("seed boot");
+    let mut client = Client::connect(fallback.local_addr()).expect("connect fallback");
+    let probe = dr(
+        "http://ad.doubleclick.net/x.js",
+        "ok.example",
+        ResourceType::Script,
+    );
+    assert_eq!(
+        client.decide(&probe).expect("seed decide").outcome.decision,
+        Decision::Block,
+        "seed fallback must serve seed decisions"
+    );
+    let resealed = abpd::state::recover(&dir).expect("boot persist reseals the snapshot");
+    assert_eq!(
+        resealed.list_checksum,
+        abpd::serving_checksum(&state_lists(STATE_WL_V1))
+    );
+    drop(client);
+    fallback.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Satellite: a dead server must produce a typed timeout, not a hang.

@@ -45,10 +45,20 @@ fn shard_config() -> ServerConfig {
 /// N shards serving `wl` plus a router in front of them. Shards sit in
 /// `Option`s so tests can take one out and kill it.
 fn start_fleet(n: usize, wl: &str) -> (Vec<Option<Server>>, Proxy) {
+    start_fleet_cfg(n, wl, |_| {})
+}
+
+/// Like [`start_fleet`], but lets the test turn the router's knobs
+/// (breaker threshold, hedge budget, probe cadence) before it starts.
+fn start_fleet_cfg(
+    n: usize,
+    wl: &str,
+    tweak: impl Fn(&mut ProxyConfig),
+) -> (Vec<Option<Server>>, Proxy) {
     let shards: Vec<Option<Server>> = (0..n)
         .map(|_| Some(Server::start_with_lists(lists(wl), &shard_config()).expect("start shard")))
         .collect();
-    let proxy = Proxy::start(&ProxyConfig {
+    let mut config = ProxyConfig {
         addr: "127.0.0.1:0".to_string(),
         backends: shards
             .iter()
@@ -57,9 +67,21 @@ fn start_fleet(n: usize, wl: &str) -> (Vec<Option<Server>>, Proxy) {
         probe_interval: Duration::from_millis(50),
         reply_timeout: Duration::from_secs(5),
         ..ProxyConfig::default()
-    })
-    .expect("start proxy");
+    };
+    tweak(&mut config);
+    let proxy = Proxy::start(&config).expect("start proxy");
     (shards, proxy)
+}
+
+/// Poll `cond` for up to five seconds; panic with `what` on timeout.
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    for _ in 0..200 {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    panic!("timed out waiting for {what}");
 }
 
 /// `Shutdown` through the router fans out to every shard; joining
@@ -300,5 +322,174 @@ fn killed_shard_hedges_and_respawned_shard_rejoins() {
         health.list_checksum,
         abpd::serving_checksum(&lists(WHITELIST_V1))
     );
+    shutdown_fleet(shards, proxy, client);
+}
+
+#[test]
+fn breaker_opens_on_dead_shard_and_recloses_on_recovery() {
+    let (mut shards, proxy) = start_fleet(3, WHITELIST_V1);
+    let mut client = Client::connect(proxy.local_addr()).expect("connect");
+    let reqs = sample_requests();
+
+    // The 50ms prober hammers the dead socket; five consecutive
+    // failures trip the default breaker with zero client traffic.
+    // Poll the transition *counter*, not the `breaker_open` flag —
+    // the flag legitimately flickers false during half-open trials.
+    shards[1].take().unwrap().kill();
+    wait_until(
+        || proxy.backend_report()[1].breaker_opens >= 1,
+        "the dead shard's breaker to open",
+    );
+
+    // An open breaker is routed around for free: every request is
+    // still answered, and none of them had to fail first.
+    for req in &reqs {
+        client.decide(req).expect("decide with breaker open");
+    }
+    let report = proxy.backend_report();
+    assert!(!report[1].healthy, "dead shard still marked healthy");
+    assert!(report[1].breaker_opens >= 1);
+
+    // Respawn on a fresh port. `update_backend` probes synchronously,
+    // and a single successful exchange fully recloses the breaker —
+    // no cooldown to wait out.
+    let replacement =
+        Server::start_with_lists(lists(WHITELIST_V1), &shard_config()).expect("respawn shard");
+    let new_addr = replacement.local_addr().to_string();
+    shards[1] = Some(replacement);
+    proxy.update_backend(1, new_addr);
+    let report = proxy.backend_report();
+    assert!(report[1].healthy, "respawned shard not probed healthy");
+    assert!(
+        !report[1].breaker_open,
+        "breaker still open after a successful probe"
+    );
+
+    let before = report[1].forwarded;
+    for req in &reqs {
+        client.decide(req).expect("decide after breaker reclosed");
+    }
+    assert!(
+        proxy.backend_report()[1].forwarded > before,
+        "reclosed slot gets no traffic"
+    );
+    shutdown_fleet(shards, proxy, client);
+}
+
+#[test]
+fn exhausted_hedge_budget_sheds_load_as_typed_overload() {
+    let (mut shards, proxy) = start_fleet_cfg(2, WHITELIST_V1, |c| {
+        // Freeze every adaptive layer: the prober never notices the
+        // death, the breaker never opens, and the hedge budget is dry
+        // from the start. Each failure must then surface as a typed
+        // overload instead of fueling a retry storm.
+        c.probe_interval = Duration::from_secs(3600);
+        c.breaker_failure_threshold = 1_000_000;
+        c.hedge_budget_per_sec = 0.0;
+        c.hedge_budget_burst = 0.0;
+    });
+    let mut client = Client::connect(proxy.local_addr()).expect("connect");
+    client.ping().expect("ping");
+
+    shards[1].take().unwrap().kill();
+    let (mut served, mut shed) = (0usize, 0usize);
+    for req in &sample_requests() {
+        match client.decide(req) {
+            Ok(_) => served += 1,
+            Err(e) => {
+                assert!(
+                    abpd::client::is_overloaded(&e),
+                    "budget denial must be a typed overload, got: {e}"
+                );
+                shed += 1;
+            }
+        }
+    }
+    assert!(served > 0, "the live shard's keys must still be served");
+    assert!(shed > 0, "the dead shard's keys must be shed");
+    assert!(
+        proxy.hedge_denied() > 0,
+        "denied hedges must be accounted for"
+    );
+
+    // Shard 1 is gone and never respawned, so tear down by hand:
+    // stop the router, then shut the survivor down directly.
+    drop(client);
+    proxy.shutdown();
+    let mut direct =
+        Client::connect(shards[0].as_ref().unwrap().local_addr()).expect("connect survivor");
+    direct.shutdown_server().expect("shutdown survivor");
+    drop(direct);
+    shards[0].take().unwrap().join();
+}
+
+#[test]
+fn stale_respawn_rejoins_via_delta_catch_up() {
+    let (mut shards, proxy) = start_fleet(3, WHITELIST_V1);
+    let mut client = Client::connect(proxy.local_addr()).expect("connect");
+
+    // Teach the router the serving bodies: an idempotent full reload
+    // of the state the fleet already serves.
+    client.reload(&lists(WHITELIST_V1)).expect("prime reload");
+
+    // Kill shard 1 and wait for the prober to notice so the next
+    // reload legitimately skips it.
+    shards[1].take().unwrap().kill();
+    wait_until(
+        || !proxy.backend_report()[1].healthy,
+        "the prober to mark the dead shard",
+    );
+
+    // The fleet moves to v2 without the dead shard.
+    client.reload(&lists(WHITELIST_V2)).expect("reload v2");
+
+    // The respawn comes back serving *stale* v1 — exactly what a
+    // snapshot-recovered shard looks like after missing a reload. The
+    // synchronous probe in `update_backend` must spot the checksum
+    // drift and catch it up with a delta, not a full-body reload.
+    let replacement =
+        Server::start_with_lists(lists(WHITELIST_V1), &shard_config()).expect("respawn shard");
+    let new_addr = replacement.local_addr().to_string();
+    shards[1] = Some(replacement);
+    proxy.update_backend(1, new_addr);
+
+    let v2 = abpd::serving_checksum(&lists(WHITELIST_V2));
+    let report = proxy.backend_report();
+    assert!(report[1].healthy, "respawned shard not probed healthy");
+    assert!(
+        report[1].rejoin_delta_bytes > 0,
+        "catch-up must ship a delta"
+    );
+    assert_eq!(
+        report[1].rejoin_full_bytes, 0,
+        "catch-up fell back to a full reload although v1 is retained"
+    );
+    assert_eq!(
+        report[1].last_checksum, v2,
+        "shard did not land on the fleet's serving state"
+    );
+
+    // The shard really serves v2 now — ask it directly, not via the
+    // router, so a hedge can't mask a stale answer.
+    let mut direct =
+        Client::connect(shards[1].as_ref().unwrap().local_addr()).expect("connect respawn");
+    assert_eq!(
+        direct
+            .decide(&dr(
+                "http://ad.doubleclick.net/x.js",
+                "ok.example",
+                ResourceType::Script,
+            ))
+            .expect("direct decide")
+            .outcome
+            .decision,
+        Decision::AllowedByException,
+        "respawned shard still serves stale v1"
+    );
+    drop(direct);
+
+    // And aggregated health converges on v2 across the whole fleet.
+    let health = client.health().expect("health");
+    assert_eq!(health.list_checksum, v2, "fleet did not converge on v2");
     shutdown_fleet(shards, proxy, client);
 }
