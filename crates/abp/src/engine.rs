@@ -33,8 +33,11 @@
 //!   set, so untokenized filters are scanned only when their longest
 //!   literal actually occurs (filters with no extractable anchor stay
 //!   in a tiny always-scan tail);
-//! * candidate dedup uses a generation-stamped dense array keyed by
-//!   filter id (O(1) per candidate) instead of a linear `seen` scan;
+//! * candidates canonicalize to ascending filter-id (list insertion)
+//!   order — one sort+dedup of a short id vector — so evaluation order
+//!   is a pure function of the subscribed lists, not of index layout,
+//!   and a masked subscription subset sees exactly the order its own
+//!   compiled engine would produce;
 //! * `$document`/`$elemhide` page gates get their own prebuilt id list
 //!   behind a second anchor automaton, and `domain=`-scoped element
 //!   rules live in a reversed-label [`HostLabelTrie`] with precompiled
@@ -526,51 +529,35 @@ impl Compiled {
 }
 
 /// Reusable per-thread allocations for `match_request` evaluations: the
-/// automaton hit buffers and the generation-stamped dedup array.
-///
-/// `stamp[id] == generation` marks filter id as already evaluated for
-/// the current request; bumping `generation` resets the whole array in
-/// O(1). The array is sized to the engine's filter count on first use
-/// and only grows.
+/// automaton hit buffers. Both sides canonicalize to sorted, deduped
+/// filter-id order before evaluation, so no separate dedup state is
+/// needed.
 #[derive(Debug, Default)]
 struct MatchScratch {
-    /// Whole-token automaton hits (filter ids), scan order.
+    /// Whole-token automaton hits (filter ids), scan order; after the
+    /// canonicalization step, the merged id-ordered candidate list.
     block_hits: Vec<u32>,
     allow_hits: Vec<u32>,
     /// Tail automaton hits (ranks into the untokenized lists); merged
     /// with the always-scan ranks, then sorted back to insertion order.
     block_tail: Vec<u32>,
     allow_tail: Vec<u32>,
-    stamp: Vec<u32>,
-    generation: u32,
 }
 
 impl MatchScratch {
-    /// Start a new request: clears hit buffers, advances the generation,
-    /// and ensures the stamp array covers `filters` ids.
-    fn begin(&mut self, filters: usize) {
+    /// Start a new request: clears the hit buffers.
+    fn begin(&mut self) {
         self.block_hits.clear();
         self.allow_hits.clear();
         self.block_tail.clear();
         self.allow_tail.clear();
-        if self.stamp.len() < filters {
-            self.stamp.resize(filters, 0);
-        }
-        if self.generation >= u32::MAX - 2 {
-            // Nearing wrap (each request burns two generations: one per
-            // candidate stream): hard-reset the stamps so stale marks
-            // can never alias.
-            self.stamp.fill(0);
-            self.generation = 0;
-        }
-        self.generation += 1;
     }
 }
 
 thread_local! {
     /// Per-thread scratch so single `match_request` calls reuse the
-    /// hit and stamp allocations across calls, like `match_many` does
-    /// within a batch.
+    /// hit allocations across calls, like `match_many` does within a
+    /// batch.
     static SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::default());
 
     /// Per-thread lowercase scratch for first-party hosts on the
@@ -771,17 +758,13 @@ impl Engine {
 
     fn match_request_with(&self, req: &Request, scratch: &mut MatchScratch) -> RequestOutcome {
         let compiled = self.compiled();
-        scratch.begin(self.request_filters.len());
+        scratch.begin();
         // One pass over the lowercased URL fills all four hit buffers.
-        // Destructured so the scan's borrow of the hit vectors doesn't
-        // conflict with stamping `stamp` in the evaluation loops below.
         let MatchScratch {
             block_hits,
             allow_hits,
             block_tail,
             allow_tail,
-            stamp,
-            generation,
         } = scratch;
         let mut seen = 0u128;
         compiled
@@ -794,8 +777,7 @@ impl Engine {
                 _ => seen |= 1u128 << value,
             });
         // Tail hits are ranks into the untokenized lists; merging in the
-        // always-scan ranks and sorting restores insertion order — the
-        // exact order the old bucket-then-tail chain evaluated. The
+        // always-scan ranks and sorting restores insertion order. The
         // required-literal mask then drops candidates missing a literal
         // (order-preserving, so the evaluation order is unchanged).
         block_tail.extend_from_slice(&compiled.block_always);
@@ -844,6 +826,20 @@ impl Engine {
             );
         }
 
+        // Canonicalize both candidate streams to ascending filter-id
+        // order: map tail ranks to ids, merge with the whole-token hits,
+        // sort, dedup. Id order is list insertion order, so activations
+        // replay the subscribed lists exactly as written — and a masked
+        // (multi-tenant) evaluation of any subscription subset yields an
+        // ordered subsequence of the full-engine order, which is what
+        // makes one compiled core byte-equivalent to a per-tenant build.
+        block_hits.extend(block_tail.iter().map(|&r| compiled.block_untok[r as usize]));
+        block_hits.sort_unstable();
+        block_hits.dedup();
+        allow_hits.extend(allow_tail.iter().map(|&r| compiled.allow_untok[r as usize]));
+        allow_hits.sort_unstable();
+        allow_hits.dedup();
+
         let mut activations = Vec::new();
         // The subject URL is interned once per request and shared by all
         // of its activations — and not allocated at all on the no-match
@@ -852,16 +848,7 @@ impl Engine {
         let mut any_block = false;
         let mut any_allow = false;
 
-        let block_candidates = block_hits
-            .iter()
-            .copied()
-            .chain(block_tail.iter().map(|&r| compiled.block_untok[r as usize]));
-        for id in block_candidates {
-            let slot = &mut stamp[id as usize];
-            if *slot == *generation {
-                continue;
-            }
-            *slot = *generation;
+        for &id in block_hits.iter() {
             let sf = &self.request_filters[id as usize];
             if sf.filter.matches(req) {
                 any_block = true;
@@ -875,19 +862,7 @@ impl Engine {
                 });
             }
         }
-        // Fresh generation for the allow side: the stamp dedups within
-        // one candidate stream, not across the two.
-        *generation += 1;
-        let allow_candidates = allow_hits
-            .iter()
-            .copied()
-            .chain(allow_tail.iter().map(|&r| compiled.allow_untok[r as usize]));
-        for id in allow_candidates {
-            let slot = &mut stamp[id as usize];
-            if *slot == *generation {
-                continue;
-            }
-            *slot = *generation;
+        for &id in allow_hits.iter() {
             let sf = &self.request_filters[id as usize];
             if sf.filter.matches(req) {
                 any_allow = true;
@@ -1616,10 +1591,12 @@ reddit.com#@##siteTable_organic
     }
 
     #[test]
-    fn automaton_candidates_preserve_bucket_then_tail_order() {
-        // Filters crafted so one URL activates tokenized buckets (in URL
-        // token order) and the untokenized tail (in insertion order):
-        // activation order must replay the old chain exactly.
+    fn activations_replay_list_insertion_order() {
+        // Filters crafted so one URL activates tokenized buckets and the
+        // untokenized tail: the merged candidates must canonicalize to
+        // filter-id (list insertion) order regardless of which index
+        // each filter landed in — the order a per-list linear scan would
+        // produce, and the order masked tenant subsets inherit.
         let list = FilterList::parse(
             ListSource::EasyList,
             "*tailtwo*\n||first.example^\n*tailone*\n/second/x/\n",
@@ -1633,12 +1610,9 @@ reddit.com#@##siteTable_organic
         let out = e.match_request(&r);
         assert_eq!(out.decision, Decision::Block);
         let order: Vec<&str> = out.activations.iter().map(|a| a.filter.as_str()).collect();
-        // Bucket hits first (URL token order: "first" before "second"),
-        // then the untokenized tail in insertion order (*tailtwo* was
-        // added before *tailone*).
         assert_eq!(
             order,
-            vec!["||first.example^", "/second/x/", "*tailtwo*", "*tailone*"]
+            vec!["*tailtwo*", "||first.example^", "*tailone*", "/second/x/"]
         );
     }
 
@@ -1736,7 +1710,7 @@ reddit.com#@##siteTable_organic
     #[test]
     fn duplicate_url_tokens_do_not_duplicate_activations() {
         // A URL repeating the filter's bucket token visits that CSR
-        // bucket twice; the stamp dedup must keep one activation.
+        // bucket twice; the candidate dedup must keep one activation.
         let list = FilterList::parse(ListSource::EasyList, "||ads.example^\n");
         let e = Engine::from_lists([&list]);
         let r = req(

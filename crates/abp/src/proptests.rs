@@ -560,10 +560,14 @@ mod differential {
                     "case {case}: decision diverged for {} on lists:\n{bl_text}{wl_text}",
                     req.url.as_str()
                 );
+                // Exact ordered equality: the engine canonicalizes
+                // candidates to filter-id (list insertion) order, so
+                // its activation sequence must replay the linear
+                // reference byte for byte, not merely as a multiset.
                 assert_eq!(
-                    multiset(&got.activations),
-                    multiset(&want.activations),
-                    "case {case}: activation multiset diverged for {}",
+                    got.activations,
+                    want.activations,
+                    "case {case}: activation sequence diverged for {}",
                     req.url.as_str()
                 );
                 // Ordering guarantee: all blocking activations precede
@@ -653,12 +657,10 @@ mod differential {
             let req = random_request(&mut rng);
             let got = engine.match_request(&req);
             let want = reference_match(&lists, &req);
-            if got.activations == want.activations {
-                assert_eq!(
-                    serde_json::to_string(&got).unwrap(),
-                    serde_json::to_string(&want).unwrap()
-                );
-            }
+            assert_eq!(
+                serde_json::to_string(&got).unwrap(),
+                serde_json::to_string(&want).unwrap()
+            );
             // And the outcome round-trips losslessly.
             let json = serde_json::to_string(&got).unwrap();
             let back: RequestOutcome = serde_json::from_str(&json).unwrap();
