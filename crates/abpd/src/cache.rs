@@ -1,19 +1,23 @@
 //! The sharded LRU decision cache.
 //!
 //! A decision is a pure function of `(url, document domain, resource
-//! type, sitekey)` for a fixed engine, so outcomes can be memoized.
-//! The cache is split into shards, each behind its own mutex; a key's
-//! shard is derived from its hash, and the service routes the *same*
-//! key to the same worker shard, so a shard's mutex is only contended
-//! between connection handlers looking up and that shard's worker
-//! inserting.
+//! type, sitekey, tenant)` for a fixed engine, so outcomes can be
+//! memoized. The tenant — the requester's subscription bitmask — is a
+//! first-class key field: two tenants with different masks can get
+//! different decisions for byte-identical requests, so a cached
+//! decision must never cross a tenant boundary. The cache is split
+//! into shards, each behind its own mutex; a key's shard is derived
+//! from its hash, and the service routes the *same* key to the same
+//! worker shard, so a shard's mutex is only contended between
+//! connection handlers looking up and that shard's worker inserting.
 //!
 //! Lookups are allocation-free: a request is reduced to a 64-bit
 //! per-process-seeded FNV-1a digest of its borrowed fields
 //! ([`request_key_hash`]) — no `String` clones on the read path. Because 64 bits can collide, each
 //! entry stores the full owned key ([`StoredKey`], built once on the
-//! miss path) and a hit verifies it field-by-field before the cached
-//! outcome is trusted; a colliding digest is just a miss.
+//! miss path) and a hit verifies it field-by-field — tenant included —
+//! before the cached outcome is trusted; a colliding digest is just a
+//! miss.
 
 use crate::metrics::CacheAligned;
 use abp::{RequestOutcome, ResourceType};
@@ -73,12 +77,15 @@ fn process_seed() -> u64 {
 /// never appears in UTF-8 text) so `("ab", "c")` and `("a", "bc")`
 /// digest differently, and the sitekey is prefixed with a
 /// present/absent discriminator so `None` differs from `Some("")`.
+/// The tenant subscription mask is mixed in as a fixed 8-byte field,
+/// so tenants with different masks digest apart by construction.
 /// Stable within a process, deliberately not across processes.
 pub fn request_key_hash(
     url: &str,
     document: &str,
     resource_type: ResourceType,
     sitekey: Option<&str>,
+    tenant: u64,
 ) -> u64 {
     let mut h = FnvHasher(FNV_OFFSET);
     h.write(&process_seed().to_le_bytes());
@@ -86,6 +93,8 @@ pub fn request_key_hash(
     h.write(&[0xFF]);
     h.write(document.as_bytes());
     h.write(&[0xFF, resource_type as u8, 0xFF]);
+    h.write(&tenant.to_le_bytes());
+    h.write(&[0xFF]);
     match sitekey {
         None => h.write(&[0]),
         Some(k) => {
@@ -104,6 +113,10 @@ pub struct StoredKey {
     document: String,
     resource_type: ResourceType,
     sitekey: Option<String>,
+    /// The requester's subscription bitmask. Verified on every hit:
+    /// even a full 64-bit digest collision between two tenants reads
+    /// as a miss, so a decision can never leak across configurations.
+    tenant: u64,
 }
 
 impl StoredKey {
@@ -113,12 +126,14 @@ impl StoredKey {
         document: &str,
         resource_type: ResourceType,
         sitekey: Option<&str>,
+        tenant: u64,
     ) -> StoredKey {
         StoredKey {
             url: url.to_string(),
             document: document.to_string(),
             resource_type,
             sitekey: sitekey.map(str::to_string),
+            tenant,
         }
     }
 
@@ -129,8 +144,10 @@ impl StoredKey {
         document: &str,
         resource_type: ResourceType,
         sitekey: Option<&str>,
+        tenant: u64,
     ) -> bool {
         self.resource_type == resource_type
+            && self.tenant == tenant
             && self.url == url
             && self.document == document
             && self.sitekey.as_deref() == sitekey
@@ -311,8 +328,9 @@ impl DecisionCache {
     }
 
     /// Look up a decision by digest, promoting it on a hit. The
-    /// borrowed request fields are checked against the stored key so a
-    /// digest collision reads as a miss, never a wrong answer — and
+    /// borrowed request fields — tenant mask included — are checked
+    /// against the stored key so a digest collision reads as a miss,
+    /// never a wrong answer (and never another tenant's answer) — and
     /// the entry's generation must equal `generation`, so a decision
     /// made by a pre-reload engine reads as a miss too.
     #[allow(clippy::too_many_arguments)]
@@ -325,11 +343,12 @@ impl DecisionCache {
         document: &str,
         resource_type: ResourceType,
         sitekey: Option<&str>,
+        tenant: u64,
     ) -> Option<RequestOutcome> {
         let mut shard = self.shards[shard].lock();
         let entry = shard.get(&key_hash)?;
         if entry.generation == generation
-            && entry.key.matches(url, document, resource_type, sitekey)
+            && entry.key.matches(url, document, resource_type, sitekey, tenant)
         {
             Some(entry.outcome.clone())
         } else {
@@ -412,10 +431,11 @@ impl LocalDecisionCache {
         document: &str,
         resource_type: ResourceType,
         sitekey: Option<&str>,
+        tenant: u64,
     ) -> Option<RequestOutcome> {
         let entry = self.lru.get(&key_hash)?;
         if entry.generation == generation
-            && entry.key.matches(url, document, resource_type, sitekey)
+            && entry.key.matches(url, document, resource_type, sitekey, tenant)
         {
             Some(entry.outcome.clone())
         } else {
@@ -526,38 +546,48 @@ mod tests {
         assert_eq!(c.get(&(19u64.wrapping_mul(0x9e37_79b9))), Some(&19));
     }
 
+    /// The union tenant (every subscription bit set): what legacy
+    /// clients without a `tenant` field resolve to.
+    const ALL: u64 = u64::MAX;
+
     #[test]
     fn key_hash_separates_fields() {
         let rt = ResourceType::Script;
         // Field-boundary shifts must not collide.
         assert_ne!(
-            request_key_hash("ab", "c", rt, None),
-            request_key_hash("a", "bc", rt, None)
+            request_key_hash("ab", "c", rt, None, ALL),
+            request_key_hash("a", "bc", rt, None, ALL)
         );
         // None vs Some("") must not collide.
         assert_ne!(
-            request_key_hash("u", "d", rt, None),
-            request_key_hash("u", "d", rt, Some(""))
+            request_key_hash("u", "d", rt, None, ALL),
+            request_key_hash("u", "d", rt, Some(""), ALL)
         );
         // Resource type participates.
         assert_ne!(
-            request_key_hash("u", "d", ResourceType::Script, None),
-            request_key_hash("u", "d", ResourceType::Image, None)
+            request_key_hash("u", "d", ResourceType::Script, None, ALL),
+            request_key_hash("u", "d", ResourceType::Image, None, ALL)
+        );
+        // The tenant mask participates: distinct configs digest apart.
+        assert_ne!(
+            request_key_hash("u", "d", rt, None, 0b01),
+            request_key_hash("u", "d", rt, None, 0b11)
         );
         // Deterministic.
         assert_eq!(
-            request_key_hash("u", "d", rt, Some("k")),
-            request_key_hash("u", "d", rt, Some("k"))
+            request_key_hash("u", "d", rt, Some("k"), ALL),
+            request_key_hash("u", "d", rt, Some("k"), ALL)
         );
     }
 
     #[test]
     fn stored_key_verifies_fields() {
-        let k = StoredKey::new("u", "d", ResourceType::Script, Some("sk"));
-        assert!(k.matches("u", "d", ResourceType::Script, Some("sk")));
-        assert!(!k.matches("u", "d", ResourceType::Script, None));
-        assert!(!k.matches("u", "d", ResourceType::Image, Some("sk")));
-        assert!(!k.matches("u", "x", ResourceType::Script, Some("sk")));
+        let k = StoredKey::new("u", "d", ResourceType::Script, Some("sk"), ALL);
+        assert!(k.matches("u", "d", ResourceType::Script, Some("sk"), ALL));
+        assert!(!k.matches("u", "d", ResourceType::Script, None, ALL));
+        assert!(!k.matches("u", "d", ResourceType::Image, Some("sk"), ALL));
+        assert!(!k.matches("u", "x", ResourceType::Script, Some("sk"), ALL));
+        assert!(!k.matches("u", "d", ResourceType::Script, Some("sk"), 0b1));
     }
 
     #[test]
@@ -567,22 +597,75 @@ mod tests {
             decision: abp::Decision::Block,
             activations: vec![],
         };
-        let h = request_key_hash("u", "d", ResourceType::Script, None);
+        let h = request_key_hash("u", "d", ResourceType::Script, None, ALL);
         cache.insert(
             0,
             h,
-            StoredKey::new("u", "d", ResourceType::Script, None),
+            StoredKey::new("u", "d", ResourceType::Script, None, ALL),
             0,
             outcome.clone(),
         );
         // Same digest, different request fields: must miss, not lie.
         assert_eq!(
-            cache.get(0, h, 0, "other", "d", ResourceType::Script, None),
+            cache.get(0, h, 0, "other", "d", ResourceType::Script, None, ALL),
             None
         );
         assert_eq!(
-            cache.get(0, h, 0, "u", "d", ResourceType::Script, None),
+            cache.get(0, h, 0, "u", "d", ResourceType::Script, None, ALL),
             Some(outcome)
+        );
+    }
+
+    #[test]
+    fn cross_tenant_digest_collision_reads_as_miss() {
+        // The poisoning scenario the tenant-aware key exists to kill:
+        // tenant A's decision is cached, and tenant B's lookup arrives
+        // with the *same 64-bit digest* (simulated by reusing A's
+        // digest verbatim — a genuine collision is just this, minus
+        // the astronomically unlikely hash step). B must miss on the
+        // full-key verify; a cached decision can never cross configs,
+        // on either the shared or the reactor-local cache.
+        let tenant_a = 0b01u64; // EasyList only
+        let tenant_b = 0b11u64; // EasyList + Acceptable Ads
+        let outcome_a = RequestOutcome {
+            decision: abp::Decision::Block,
+            activations: vec![],
+        };
+        let h = request_key_hash("u", "d", ResourceType::Script, None, tenant_a);
+
+        let cache = DecisionCache::new(1, 8);
+        cache.insert(
+            0,
+            h,
+            StoredKey::new("u", "d", ResourceType::Script, None, tenant_a),
+            0,
+            outcome_a.clone(),
+        );
+        // Identical request fields, identical digest, different tenant:
+        // must read as a miss, not as tenant A's Block.
+        assert_eq!(
+            cache.get(0, h, 0, "u", "d", ResourceType::Script, None, tenant_b),
+            None
+        );
+        assert_eq!(
+            cache.get(0, h, 0, "u", "d", ResourceType::Script, None, tenant_a),
+            Some(outcome_a.clone())
+        );
+
+        let mut local = LocalDecisionCache::new(8);
+        local.insert(
+            h,
+            StoredKey::new("u", "d", ResourceType::Script, None, tenant_a),
+            0,
+            outcome_a.clone(),
+        );
+        assert_eq!(
+            local.get(h, 0, "u", "d", ResourceType::Script, None, tenant_b),
+            None
+        );
+        assert_eq!(
+            local.get(h, 0, "u", "d", ResourceType::Script, None, tenant_a),
+            Some(outcome_a)
         );
     }
 
@@ -593,29 +676,29 @@ mod tests {
             decision: abp::Decision::Block,
             activations: vec![],
         };
-        let h = request_key_hash("u", "d", ResourceType::Script, None);
+        let h = request_key_hash("u", "d", ResourceType::Script, None, ALL);
         let shard = cache.shard_of(h);
         cache.insert(
             shard,
             h,
-            StoredKey::new("u", "d", ResourceType::Script, None),
+            StoredKey::new("u", "d", ResourceType::Script, None, ALL),
             1,
             outcome.clone(),
         );
         // Wrong generation: a decision from engine generation 1 must
         // never answer a generation-2 lookup.
         assert_eq!(
-            cache.get(shard, h, 2, "u", "d", ResourceType::Script, None),
+            cache.get(shard, h, 2, "u", "d", ResourceType::Script, None, ALL),
             None
         );
         assert_eq!(
-            cache.get(shard, h, 1, "u", "d", ResourceType::Script, None),
+            cache.get(shard, h, 1, "u", "d", ResourceType::Script, None, ALL),
             Some(outcome)
         );
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(
-            cache.get(shard, h, 1, "u", "d", ResourceType::Script, None),
+            cache.get(shard, h, 1, "u", "d", ResourceType::Script, None, ALL),
             None
         );
     }
@@ -627,10 +710,10 @@ mod tests {
             decision: abp::Decision::Block,
             activations: vec![],
         };
-        let h = request_key_hash("u", "d", ResourceType::Script, None);
+        let h = request_key_hash("u", "d", ResourceType::Script, None, ALL);
         cache.insert(
             h,
-            StoredKey::new("u", "d", ResourceType::Script, None),
+            StoredKey::new("u", "d", ResourceType::Script, None, ALL),
             3,
             outcome.clone(),
         );
@@ -638,12 +721,15 @@ mod tests {
         // both read as misses; the exact key at the exact generation
         // hits.
         assert_eq!(
-            cache.get(h, 3, "other", "d", ResourceType::Script, None),
+            cache.get(h, 3, "other", "d", ResourceType::Script, None, ALL),
             None
         );
-        assert_eq!(cache.get(h, 4, "u", "d", ResourceType::Script, None), None);
         assert_eq!(
-            cache.get(h, 3, "u", "d", ResourceType::Script, None),
+            cache.get(h, 4, "u", "d", ResourceType::Script, None, ALL),
+            None
+        );
+        assert_eq!(
+            cache.get(h, 3, "u", "d", ResourceType::Script, None, ALL),
             Some(outcome)
         );
         assert_eq!(cache.len(), 1);
@@ -672,7 +758,7 @@ mod tests {
             resource_type: abp::ResourceType::Script,
             sitekey: None,
         };
-        let h = request_key_hash(&req.url, &req.document, req.resource_type, None);
+        let h = request_key_hash(&req.url, &req.document, req.resource_type, None, ALL);
         let shard = cache.shard_of(h);
         assert_eq!(
             shard,
@@ -680,7 +766,8 @@ mod tests {
                 &req.url,
                 &req.document,
                 req.resource_type,
-                None
+                None,
+                ALL
             ))
         );
         let outcome = RequestOutcome {
@@ -690,7 +777,7 @@ mod tests {
         cache.insert(
             shard,
             h,
-            StoredKey::new(&req.url, &req.document, req.resource_type, None),
+            StoredKey::new(&req.url, &req.document, req.resource_type, None, ALL),
             0,
             outcome.clone(),
         );
@@ -702,7 +789,8 @@ mod tests {
                 &req.url,
                 &req.document,
                 req.resource_type,
-                None
+                None,
+                ALL
             ),
             Some(outcome)
         );

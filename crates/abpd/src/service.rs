@@ -793,7 +793,11 @@ impl Service {
         let mut dispatched = 0usize;
         for (index, dr) in reqs.iter().enumerate() {
             let sitekey = dr.sitekey.as_deref();
-            let key_hash = request_key_hash(&dr.url, &dr.document, dr.resource_type, sitekey);
+            // Wire requests without a tenant resolve to the union mask
+            // (every subscription bit): the legacy single-config view.
+            let tenant = u64::MAX;
+            let key_hash =
+                request_key_hash(&dr.url, &dr.document, dr.resource_type, sitekey, tenant);
             let shard = self.shared.cache.shard_of(key_hash);
             scratch.shard_of.push(shard);
             let lookup_start = Instant::now();
@@ -805,6 +809,7 @@ impl Service {
                 &dr.document,
                 dr.resource_type,
                 sitekey,
+                tenant,
             ) {
                 let m = self.shared.metrics.shard(shard);
                 m.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -832,7 +837,7 @@ impl Service {
                     Some(k) => request.with_sitekey(k),
                     None => request,
                 };
-                let key = StoredKey::new(&dr.url, &dr.document, dr.resource_type, sitekey);
+                let key = StoredKey::new(&dr.url, &dr.document, dr.resource_type, sitekey, tenant);
                 scratch.misses[shard].push(MissItem {
                     index,
                     request,
@@ -1036,7 +1041,11 @@ impl Service {
         let (mut hits, mut blocks, mut exceptions) = (0u64, 0u64, 0u64);
         for (index, dr) in reqs.iter().enumerate() {
             let sitekey = dr.sitekey.as_deref();
-            let key_hash = request_key_hash(&dr.url, &dr.document, dr.resource_type, sitekey);
+            // Wire requests without a tenant resolve to the union mask
+            // (every subscription bit): the legacy single-config view.
+            let tenant = u64::MAX;
+            let key_hash =
+                request_key_hash(&dr.url, &dr.document, dr.resource_type, sitekey, tenant);
             let start = Instant::now();
             let (outcome, cached) = match local.cache.get(
                 key_hash,
@@ -1045,6 +1054,7 @@ impl Service {
                 &dr.document,
                 dr.resource_type,
                 sitekey,
+                tenant,
             ) {
                 Some(hit) => {
                     hits += 1;
@@ -1097,7 +1107,7 @@ impl Service {
                     };
                     local.cache.insert(
                         key_hash,
-                        StoredKey::new(&dr.url, &dr.document, dr.resource_type, sitekey),
+                        StoredKey::new(&dr.url, &dr.document, dr.resource_type, sitekey, tenant),
                         snap.generation,
                         got.clone(),
                     );
