@@ -55,7 +55,7 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The engine's verdict on a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -162,6 +162,9 @@ struct StoredRequestFilter {
     /// Interned verbatim filter line, shared with every activation.
     raw: IStr,
     source: ListSource,
+    /// Subscription-set bitmask: which list slots carry this filter.
+    /// A filter is visible to a tenant iff `mask & tenant != 0`.
+    mask: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -172,6 +175,8 @@ struct StoredElementRule {
     /// Interned selector (activation subject), shared likewise.
     selector: IStr,
     source: ListSource,
+    /// Subscription-set bitmask, as on [`StoredRequestFilter`].
+    mask: u64,
 }
 
 /// Mutable token-bucketed index over request filters, used while filters
@@ -233,6 +238,19 @@ const GROUP_LIT: u8 = 4;
 /// a lane make the mask easier to satisfy), never false rejects — the
 /// prefilter stays sound at any tail size.
 const LIT_LANES: u32 = 128;
+
+/// Process-wide count of [`Compiled::build`] runs: how many times any
+/// engine actually compiled its automatons. The multi-tenant benches
+/// and the survey repro assert on this — one compiled core serving N
+/// tenant masks must bump it exactly once.
+static COMPILE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Total engine compilations in this process so far (see
+/// [`COMPILE_COUNT`]). Monotonic; diff two readings to count the
+/// compiles a code path performed.
+pub fn engine_compile_count() -> u64 {
+    COMPILE_COUNT.load(Ordering::Relaxed)
+}
 
 /// Monotonic tail-path counters, shared by clones of a compiled
 /// snapshot (relaxed atomics: these feed rates in bench output, not
@@ -340,6 +358,18 @@ struct Compiled {
     /// matches no registered domain (excludes included) and therefore
     /// sees every generic rule's constraint resolve identically.
     plans: Vec<OnceLock<HidingPlan>>,
+    /// Union of every element rule's subscription mask. A tenant's
+    /// hiding *class* is `tenant & elem_mask_union`: tenants that agree
+    /// on the element-rule-carrying bits share hiding plans verbatim,
+    /// and the full class routes to the lock-free `plans` fast path.
+    elem_mask_union: u64,
+    /// Hiding plans for partial mask classes, keyed by
+    /// `(plan-trie node, class)`. Built lazily like `plans`; behind an
+    /// `Arc` so snapshot clones share one memo (a racing duplicate
+    /// build computes the identical plan and is harmless). A plain
+    /// `Mutex` suffices: the lock guards a memo lookup/insert, and the
+    /// full-mask hot path never takes it.
+    masked_plans: Arc<Mutex<HashMap<(u32, u64), HidingPlan>>>,
     /// Tail counters (prefilter reject rate, plan hit rate); `Arc` so
     /// snapshot clones keep one set of running totals.
     counters: Arc<TailCounters>,
@@ -347,6 +377,7 @@ struct Compiled {
 
 impl Compiled {
     fn build(engine: &Engine) -> Compiled {
+        COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
         let mut auto = AutomatonBuilder::new();
         // Tokenized side: each bucket token is one whole-token pattern
         // per filter in the bucket, preserving bucket insertion order.
@@ -490,6 +521,7 @@ impl Compiled {
         let plans = (0..plan_trie.node_count())
             .map(|_| OnceLock::new())
             .collect();
+        let elem_mask_union = engine.element_rules.iter().fold(0u64, |m, sr| m | sr.mask);
 
         Compiled {
             request_auto: auto.build(),
@@ -508,6 +540,8 @@ impl Compiled {
             cancel_ids,
             plan_trie,
             plans,
+            elem_mask_union,
+            masked_plans: Arc::new(Mutex::new(HashMap::new())),
             counters: Arc::new(TailCounters::default()),
         }
     }
@@ -634,6 +668,15 @@ pub struct Engine {
     element_rules: Vec<StoredElementRule>,
     block_builder: TokenIndexBuilder,
     allow_builder: TokenIndexBuilder,
+    /// Subscription slots assigned so far: each `add_list` call (and
+    /// each run of standalone `add_filter` calls) claims the next bit.
+    /// Slots past 63 all share bit 63 — see [`Engine::list_bit`].
+    next_slot: u32,
+    /// Whether a standalone-`add_filter` slot is currently open (the
+    /// next `add_filter` joins it; an `add_list` closes it).
+    loose_open: bool,
+    /// The mask of the open standalone slot.
+    loose_mask: u64,
     /// Lazily-compiled matching snapshot; reset whenever a filter is
     /// added (adding requires `&mut self`, so no query can be holding
     /// a reference into the old snapshot).
@@ -647,6 +690,9 @@ impl Clone for Engine {
             element_rules: self.element_rules.clone(),
             block_builder: self.block_builder.clone(),
             allow_builder: self.allow_builder.clone(),
+            next_slot: self.next_slot,
+            loose_open: self.loose_open,
+            loose_mask: self.loose_mask,
             // Carry the snapshot over when it exists; otherwise the
             // clone recompiles on first use.
             compiled: match self.compiled.get() {
@@ -677,16 +723,48 @@ impl Engine {
         e
     }
 
-    /// Add every filter of a list.
+    /// The subscription-mask bit for list slot `index` (the `index`-th
+    /// `add_list` call): bit `index`, saturating at bit 63 — engines
+    /// with more than 64 slots share the last bit, so masking degrades
+    /// to coarser granularity, never to a missed filter.
+    pub fn list_bit(index: usize) -> u64 {
+        1u64 << index.min(63)
+    }
+
+    /// Subscription slots assigned so far (one per `add_list` call plus
+    /// one per run of standalone `add_filter` calls).
+    pub fn subscription_slots(&self) -> u32 {
+        self.next_slot
+    }
+
+    /// Claim the next subscription slot's mask.
+    fn claim_slot(&mut self) -> u64 {
+        let mask = Engine::list_bit(self.next_slot as usize);
+        self.next_slot = self.next_slot.saturating_add(1);
+        mask
+    }
+
+    /// Add every filter of a list. Each call claims the next
+    /// subscription slot: the list's filters are visible to exactly the
+    /// tenants whose mask has that slot's bit set.
     pub fn add_list(&mut self, list: &FilterList) {
+        let mask = self.claim_slot();
+        self.loose_open = false;
         for f in list.filters() {
-            self.add_filter_body(&f.body, &f.raw, list.source);
+            self.add_filter_body(&f.body, &f.raw, list.source, mask);
         }
     }
 
-    /// Add a single parsed filter.
+    /// Add a single parsed filter. Consecutive standalone adds group
+    /// into one implicit subscription slot (a custom-rules "list");
+    /// the next `add_list` closes it.
     pub fn add_filter(&mut self, filter: &crate::Filter, source: ListSource) {
-        self.add_filter_body(&filter.body, &filter.raw, source);
+        if !self.loose_open {
+            self.loose_mask = self.claim_slot();
+            self.loose_open = true;
+        }
+        let mask = self.loose_mask;
+        self.add_filter_body(&filter.body, &filter.raw, source, mask);
     }
 
     /// Eagerly compile the matching snapshot. Optional: the first query
@@ -700,7 +778,7 @@ impl Engine {
         self.compiled.get_or_init(|| Compiled::build(self))
     }
 
-    fn add_filter_body(&mut self, body: &FilterBody, raw: &str, source: ListSource) {
+    fn add_filter_body(&mut self, body: &FilterBody, raw: &str, source: ListSource, mask: u64) {
         // Invalidate the compiled snapshot; it re-materializes lazily.
         self.compiled = OnceLock::new();
         match body {
@@ -715,6 +793,7 @@ impl Engine {
                     filter: rf.clone(),
                     raw: IStr::from(raw),
                     source,
+                    mask,
                 });
             }
             FilterBody::Element(ef) => {
@@ -723,6 +802,7 @@ impl Engine {
                     raw: IStr::from(raw),
                     selector: IStr::from(ef.selector.as_str()),
                     source,
+                    mask,
                 });
             }
         }
@@ -740,7 +820,25 @@ impl Engine {
 
     /// Evaluate a request, returning the decision and all activations.
     pub fn match_request(&self, req: &Request) -> RequestOutcome {
-        SCRATCH.with(|s| self.match_request_with(req, &mut s.borrow_mut()))
+        self.match_request_masked(req, u64::MAX)
+    }
+
+    /// Evaluate a request as one tenant: only filters whose
+    /// subscription mask intersects `tenant` participate. The outcome
+    /// is byte-identical to what an engine compiled from exactly the
+    /// tenant's subscribed lists (in the same order) would return —
+    /// candidates canonicalize to list-insertion order, and masking
+    /// selects an ordered subsequence. `tenant == u64::MAX` is the
+    /// union view (every list), `tenant == 0` is "no blocker".
+    pub fn match_request_masked(&self, req: &Request, tenant: u64) -> RequestOutcome {
+        if tenant == 0 {
+            // No subscriptions: nothing can match, skip the scan.
+            return RequestOutcome {
+                decision: Decision::NoMatch,
+                activations: Vec::new(),
+            };
+        }
+        SCRATCH.with(|s| self.match_request_with(req, tenant, &mut s.borrow_mut()))
     }
 
     /// Evaluate a batch of requests in order. Produces exactly the
@@ -751,12 +849,17 @@ impl Engine {
         SCRATCH.with(|s| {
             let scratch = &mut s.borrow_mut();
             reqs.iter()
-                .map(|req| self.match_request_with(req, scratch))
+                .map(|req| self.match_request_with(req, u64::MAX, scratch))
                 .collect()
         })
     }
 
-    fn match_request_with(&self, req: &Request, scratch: &mut MatchScratch) -> RequestOutcome {
+    fn match_request_with(
+        &self,
+        req: &Request,
+        tenant: u64,
+        scratch: &mut MatchScratch,
+    ) -> RequestOutcome {
         let compiled = self.compiled();
         scratch.begin();
         // One pass over the lowercased URL fills all four hit buffers.
@@ -850,7 +953,7 @@ impl Engine {
 
         for &id in block_hits.iter() {
             let sf = &self.request_filters[id as usize];
-            if sf.filter.matches(req) {
+            if sf.mask & tenant != 0 && sf.filter.matches(req) {
                 any_block = true;
                 let subject = subject.get_or_insert_with(|| IStr::from(req.url.as_str()));
                 activations.push(Activation {
@@ -864,7 +967,7 @@ impl Engine {
         }
         for &id in allow_hits.iter() {
             let sf = &self.request_filters[id as usize];
-            if sf.filter.matches(req) {
+            if sf.mask & tenant != 0 && sf.filter.matches(req) {
                 any_allow = true;
                 let kind = if sf.filter.is_sitekey() {
                     MatchKind::SitekeyAllow
@@ -994,8 +1097,18 @@ impl Engine {
     /// ones whose literal anchor occurs in the document URL (plus the
     /// anchorless always-scan few, e.g. pure sitekey gates).
     pub fn document_allowlist(&self, doc_req: &Request) -> DocumentStatus {
-        let compiled = self.compiled();
+        self.document_allowlist_masked(doc_req, u64::MAX)
+    }
+
+    /// [`Engine::document_allowlist`] restricted to one tenant's
+    /// subscribed lists: gates outside the tenant's mask are invisible,
+    /// exactly as if the engine had been compiled without them.
+    pub fn document_allowlist_masked(&self, doc_req: &Request, tenant: u64) -> DocumentStatus {
         let mut status = DocumentStatus::default();
+        if tenant == 0 {
+            return status;
+        }
+        let compiled = self.compiled();
         let mut subject: Option<IStr> = None;
         let mut ranks: Vec<u32> = Vec::with_capacity(compiled.doc_always.len());
         compiled
@@ -1011,7 +1124,7 @@ impl Engine {
         for &rank in &ranks {
             let id = compiled.doc_gate[rank as usize];
             let sf = &self.request_filters[id as usize];
-            if !sf.filter.matches_ignoring_type(doc_req) {
+            if sf.mask & tenant == 0 || !sf.filter.matches_ignoring_type(doc_req) {
                 continue;
             }
             let kind = if sf.filter.is_sitekey() {
@@ -1053,9 +1166,20 @@ impl Engine {
     /// suffix, this is a trie walk plus one id→selector map over the
     /// cached ref list, with no `applies_on` or cancellation work.
     pub fn hiding_refs_for_domain(&self, first_party: &str) -> Vec<(u32, &str, FilterAction)> {
+        self.hiding_refs_for_domain_masked(first_party, u64::MAX)
+    }
+
+    /// [`Engine::hiding_refs_for_domain`] restricted to one tenant's
+    /// subscribed lists (element rules *and* the exceptions that cancel
+    /// them are both mask-gated).
+    pub fn hiding_refs_for_domain_masked(
+        &self,
+        first_party: &str,
+        tenant: u64,
+    ) -> Vec<(u32, &str, FilterAction)> {
         let compiled = self.compiled();
         with_host_lower(first_party, |host| {
-            self.hiding_plan(compiled, host)
+            self.hiding_plan_masked(compiled, host, tenant)
                 .refs
                 .iter()
                 .map(|&(id, action)| {
@@ -1086,18 +1210,49 @@ impl Engine {
             c.hiding_plan_hits.fetch_add(1, Ordering::Relaxed);
             return plan;
         }
-        slot.get_or_init(|| self.build_hiding_plan(compiled, host_lower))
+        slot.get_or_init(|| self.build_hiding_plan(compiled, host_lower, u64::MAX))
+    }
+
+    /// The memoized hiding plan for `(host, tenant)`. Tenants reduce to
+    /// their *class* — `tenant & elem_mask_union` — since bits carrying
+    /// no element rules cannot change hiding. The full class serves
+    /// from the lock-free per-node `plans` slots (the single-config hot
+    /// path, untouched); partial classes memoize in the shared
+    /// `(node, class)` map. Returns by clone: a plan is four `Arc`
+    /// bumps, not a selector copy.
+    fn hiding_plan_masked(&self, compiled: &Compiled, host_lower: &str, tenant: u64) -> HidingPlan {
+        let class = tenant & compiled.elem_mask_union;
+        if class == compiled.elem_mask_union {
+            return self.hiding_plan(compiled, host_lower).clone();
+        }
+        let node = compiled.plan_trie.terminal(host_lower);
+        let c = &compiled.counters;
+        c.hiding_queries.fetch_add(1, Ordering::Relaxed);
+        if let Some(plan) = compiled.masked_plans.lock().unwrap().get(&(node, class)) {
+            c.hiding_plan_hits.fetch_add(1, Ordering::Relaxed);
+            return plan.clone();
+        }
+        // Build outside the lock (plan construction can be heavy); a
+        // racing duplicate computes the identical plan, and the second
+        // insert just overwrites it with an equal value.
+        let plan = self.build_hiding_plan(compiled, host_lower, class);
+        compiled
+            .masked_plans
+            .lock()
+            .unwrap()
+            .insert((node, class), plan.clone());
+        plan
     }
 
     /// Resolve the full hiding state for one representative host of a
     /// plan-trie node: both the ref list and the owned outcome, in one
     /// pass over the applicable rules.
-    fn build_hiding_plan(&self, compiled: &Compiled, host_lower: &str) -> HidingPlan {
+    fn build_hiding_plan(&self, compiled: &Compiled, host_lower: &str, mask: u64) -> HidingPlan {
         let mut refs: Vec<(u32, FilterAction)> = Vec::new();
         let mut hidden: Vec<(u32, FilterAction)> = Vec::new();
         let mut active = Vec::with_capacity(compiled.elem_generic.len());
         let mut exceptions = Vec::new();
-        self.for_each_applicable_element_rule(compiled, host_lower, |id, sr, action| {
+        self.for_each_applicable_element_rule(compiled, host_lower, mask, |id, sr, action| {
             let (ref_bucket, out_bucket, kind) = match action {
                 FilterAction::Allow => (&mut refs, &mut exceptions, MatchKind::AllowElement),
                 FilterAction::Block => (&mut hidden, &mut active, MatchKind::HideElement),
@@ -1134,13 +1289,15 @@ impl Engine {
     /// list with the domain trie's buckets — no per-query clone or full
     /// sort — and hide-rule cancellation walks the precompiled selector
     /// links instead of building a selector hash set. An exception
-    /// cancels a hide rule exactly when it `applies_on` the domain,
-    /// which also implies it was a candidate, so the link check is
-    /// equivalent to the old candidate-set membership test.
+    /// cancels a hide rule exactly when it `applies_on` the domain
+    /// *and* is visible under `mask`, which also implies it was a
+    /// candidate, so the link check is equivalent to the old
+    /// candidate-set membership test on the masked rule subset.
     fn for_each_applicable_element_rule<'a>(
         &'a self,
         compiled: &Compiled,
         host_lower: &str,
+        mask: u64,
         mut visit: impl FnMut(u32, &'a StoredElementRule, FilterAction),
     ) {
         let mut scoped: Vec<u32> = Vec::new();
@@ -1169,7 +1326,7 @@ impl Engine {
                 (None, None) => break,
             };
             let sr = &self.element_rules[id as usize];
-            if !sr.rule.applies_on(host_lower) {
+            if sr.mask & mask == 0 || !sr.rule.applies_on(host_lower) {
                 continue;
             }
             match sr.rule.action {
@@ -1177,9 +1334,10 @@ impl Engine {
                 FilterAction::Block => {
                     let lo = compiled.cancel_starts[id as usize] as usize;
                     let hi = compiled.cancel_starts[id as usize + 1] as usize;
-                    let cancelled = compiled.cancel_ids[lo..hi]
-                        .iter()
-                        .any(|&aid| self.element_rules[aid as usize].rule.applies_on(host_lower));
+                    let cancelled = compiled.cancel_ids[lo..hi].iter().any(|&aid| {
+                        let ar = &self.element_rules[aid as usize];
+                        ar.mask & mask != 0 && ar.rule.applies_on(host_lower)
+                    });
                     if !cancelled {
                         visit(id, sr, FilterAction::Block);
                     }
@@ -1228,6 +1386,17 @@ impl Engine {
         let compiled = self.compiled();
         with_host_lower(first_party, |host| {
             self.hiding_plan(compiled, host).outcome.clone()
+        })
+    }
+
+    /// [`Engine::hiding_for_domain`] restricted to one tenant's
+    /// subscribed lists. Byte-identical to an engine compiled from
+    /// exactly the tenant's lists; served from the `(node, mask-class)`
+    /// plan memo, so repeat queries are a trie walk plus `Arc` bumps.
+    pub fn hiding_for_domain_masked(&self, first_party: &str, tenant: u64) -> HidingOutcome {
+        let compiled = self.compiled();
+        with_host_lower(first_party, |host| {
+            self.hiding_plan_masked(compiled, host, tenant).outcome
         })
     }
 
@@ -1755,5 +1924,178 @@ reddit.com#@##siteTable_organic
         assert_eq!(h.active.len(), 1);
         let refs = e.hiding_refs_for_domain("www.reddit.com");
         assert_eq!(refs.len(), 1);
+    }
+
+    // ---- multi-tenant masking ------------------------------------------
+
+    #[test]
+    fn list_bit_is_sequential_and_saturates() {
+        assert_eq!(Engine::list_bit(0), 1);
+        assert_eq!(Engine::list_bit(1), 2);
+        assert_eq!(Engine::list_bit(62), 1 << 62);
+        assert_eq!(Engine::list_bit(63), 1 << 63);
+        // Lists past the mask width share the last bit instead of
+        // wrapping or panicking.
+        assert_eq!(Engine::list_bit(64), 1 << 63);
+        assert_eq!(Engine::list_bit(1000), 1 << 63);
+    }
+
+    #[test]
+    fn masked_request_match_equals_subset_compiled_engine() {
+        let union = engine(); // easylist = bit 0, whitelist = bit 1
+        assert_eq!(union.subscription_slots(), 2);
+        let easy_only = Engine::from_lists([&easylist()]);
+        let aa_only = Engine::from_lists([&whitelist()]);
+
+        let requests = [
+            req(
+                "http://static.adzerk.net/reddit/ads.html",
+                "www.reddit.com",
+                ResourceType::Subdocument,
+            ),
+            req(
+                "http://ad.doubleclick.net/x.js",
+                "example.com",
+                ResourceType::Script,
+            ),
+            req(
+                "https://stats.g.doubleclick.net/t.gif",
+                "news.example",
+                ResourceType::Image,
+            ),
+            req(
+                "https://example.com/style.css",
+                "example.com",
+                ResourceType::Stylesheet,
+            ),
+        ];
+        for r in &requests {
+            // Full mask == legacy union view.
+            let masked = union.match_request_masked(r, u64::MAX);
+            let legacy = union.match_request(r);
+            assert_eq!(masked.decision, legacy.decision);
+            assert_eq!(masked.activations, legacy.activations);
+
+            // Bit 0 only == engine compiled from EasyList alone.
+            let masked = union.match_request_masked(r, 0b01);
+            let want = easy_only.match_request(r);
+            assert_eq!(masked.decision, want.decision, "easylist-only on {r:?}");
+            assert_eq!(masked.activations, want.activations);
+
+            // Bit 1 only == exceptions-only engine.
+            let masked = union.match_request_masked(r, 0b10);
+            let want = aa_only.match_request(r);
+            assert_eq!(masked.decision, want.decision, "aa-only on {r:?}");
+            assert_eq!(masked.activations, want.activations);
+
+            // Empty mask: the "no blocker" tenant never matches.
+            let masked = union.match_request_masked(r, 0);
+            assert_eq!(masked.decision, Decision::NoMatch);
+            assert!(masked.activations.is_empty());
+        }
+    }
+
+    #[test]
+    fn masked_document_gate_respects_tenant() {
+        let union = engine();
+        let doc = req("http://reddit.cm/", "reddit.cm", ResourceType::Document)
+            .with_sitekey("MFwwTESTKEY");
+        // Sitekey gate lives in the whitelist (bit 1).
+        assert!(union
+            .document_allowlist_masked(&doc, u64::MAX)
+            .whole_page_allowed());
+        assert!(union
+            .document_allowlist_masked(&doc, 0b10)
+            .whole_page_allowed());
+        assert!(!union
+            .document_allowlist_masked(&doc, 0b01)
+            .whole_page_allowed());
+        let empty = union.document_allowlist_masked(&doc, 0);
+        assert!(!empty.whole_page_allowed());
+        assert!(!empty.hiding_disabled());
+        assert!(empty.document_allow.is_empty());
+    }
+
+    #[test]
+    fn masked_hiding_equals_subset_compiled_engine() {
+        let union = engine();
+        let easy_only = Engine::from_lists([&easylist()]);
+
+        // Full mask reuses the legacy plan path.
+        let full = union.hiding_for_domain_masked("www.reddit.com", u64::MAX);
+        let legacy = union.hiding_for_domain("www.reddit.com");
+        assert_eq!(full.active, legacy.active);
+        assert_eq!(full.exceptions, legacy.exceptions);
+
+        // EasyList-only tenant sees #siteTable_organic active again:
+        // the whitelist's `#@#` exception is outside its mask.
+        let masked = union.hiding_for_domain_masked("www.reddit.com", 0b01);
+        let want = easy_only.hiding_for_domain("www.reddit.com");
+        assert_eq!(masked.active, want.active);
+        assert_eq!(masked.exceptions, want.exceptions);
+        let active: Vec<&str> = masked.active.iter().map(|(s, _)| s.as_str()).collect();
+        assert!(active.contains(&"#siteTable_organic"));
+
+        // Repeat query is served from the (node, class) memo and stays equal.
+        let again = union.hiding_for_domain_masked("www.reddit.com", 0b01);
+        assert_eq!(again.active, masked.active);
+
+        // Empty mask hides nothing.
+        let none = union.hiding_for_domain_masked("www.reddit.com", 0);
+        assert!(none.active.is_empty());
+        assert!(none.exceptions.is_empty());
+    }
+
+    #[test]
+    fn loose_filters_share_one_slot_until_next_list() {
+        let mut e = Engine::new();
+        let f = |line: &str| crate::parser::parse_filter(line).unwrap();
+        e.add_filter(&f("||a.example^"), ListSource::Custom); // loose slot: bit 0
+        e.add_filter(&f("||b.example^"), ListSource::Custom); // same loose slot
+        assert_eq!(e.subscription_slots(), 1);
+        e.add_list(&FilterList::parse(ListSource::EasyList, "||c.example^\n")); // bit 1
+        e.add_filter(&f("||d.example^"), ListSource::Custom); // new loose slot: bit 2
+        assert_eq!(e.subscription_slots(), 3);
+
+        let r = |host: &str| {
+            req(
+                &format!("http://{host}/x.js"),
+                "news.example",
+                ResourceType::Script,
+            )
+        };
+        // Bit 0 covers both early loose filters and nothing else.
+        assert_eq!(e.match_request_masked(&r("a.example"), 1).decision, Decision::Block);
+        assert_eq!(e.match_request_masked(&r("b.example"), 1).decision, Decision::Block);
+        assert_eq!(e.match_request_masked(&r("c.example"), 1).decision, Decision::NoMatch);
+        assert_eq!(e.match_request_masked(&r("d.example"), 1).decision, Decision::NoMatch);
+        // Bit 1 is the list; bit 2 the post-list loose filter.
+        assert_eq!(e.match_request_masked(&r("c.example"), 2).decision, Decision::Block);
+        assert_eq!(e.match_request_masked(&r("d.example"), 4).decision, Decision::Block);
+    }
+
+    #[test]
+    fn compile_count_bumps_once_per_build() {
+        let e = engine();
+        let before = engine_compile_count();
+        // Many masked queries against one engine never recompile.
+        for tenant in [u64::MAX, 0b01, 0b10, 0] {
+            let _ = e.match_request_masked(
+                &req(
+                    "http://ad.doubleclick.net/x.js",
+                    "example.com",
+                    ResourceType::Script,
+                ),
+                tenant,
+            );
+            let _ = e.hiding_for_domain_masked("www.reddit.com", tenant);
+        }
+        assert_eq!(engine_compile_count(), before);
+        let _ = Engine::from_lists([&easylist()]).match_request(&req(
+            "http://ad.doubleclick.net/x.js",
+            "example.com",
+            ResourceType::Script,
+        ));
+        assert_eq!(engine_compile_count(), before + 1);
     }
 }
