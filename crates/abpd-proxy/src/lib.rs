@@ -823,6 +823,7 @@ fn key_of(req: &DecisionRequest) -> u64 {
         &req.document,
         req.resource_type,
         req.sitekey.as_deref(),
+        req.tenant.unwrap_or(u64::MAX),
     )
 }
 

@@ -91,14 +91,16 @@ impl HashRing {
 
 /// The deterministic routing key for one decision request: FNV-1a over
 /// the fields that make a decision a pure function (url, document,
-/// resource type, sitekey), with separators so field boundaries can't
-/// alias. Stable across processes — unlike the server's seeded cache
-/// hash — so every router in front of the same fleet agrees.
+/// resource type, sitekey, tenant mask), with separators so field
+/// boundaries can't alias. Stable across processes — unlike the
+/// server's seeded cache hash — so every router in front of the same
+/// fleet agrees.
 pub fn route_key(
     url: &str,
     document: &str,
     resource_type: abp::ResourceType,
     sitekey: Option<&str>,
+    tenant: u64,
 ) -> u64 {
     let mut h = abpdelta::StrongHasher::new();
     h.update(url.as_bytes());
@@ -110,6 +112,8 @@ pub fn route_key(
         .position(|t| *t == resource_type)
         .unwrap_or(usize::MAX) as u8;
     h.update(&[rt, 0xff]);
+    h.update(&tenant.to_le_bytes());
+    h.update(&[0xff]);
     if let Some(k) = sitekey {
         h.update(&[1]);
         h.update(k.as_bytes());
@@ -184,11 +188,13 @@ mod tests {
 
     #[test]
     fn route_key_separates_fields_and_ignores_nothing() {
+        const ALL: u64 = u64::MAX;
         let base = route_key(
             "http://a.example/x",
             "doc.example",
             abp::ResourceType::Script,
             None,
+            ALL,
         );
         assert_ne!(
             base,
@@ -196,7 +202,8 @@ mod tests {
                 "http://a.example/y",
                 "doc.example",
                 abp::ResourceType::Script,
-                None
+                None,
+                ALL,
             )
         );
         assert_ne!(
@@ -205,7 +212,8 @@ mod tests {
                 "http://a.example/x",
                 "other.example",
                 abp::ResourceType::Script,
-                None
+                None,
+                ALL,
             )
         );
         assert_ne!(
@@ -214,7 +222,8 @@ mod tests {
                 "http://a.example/x",
                 "doc.example",
                 abp::ResourceType::Image,
-                None
+                None,
+                ALL,
             )
         );
         assert_ne!(
@@ -223,13 +232,25 @@ mod tests {
                 "http://a.example/x",
                 "doc.example",
                 abp::ResourceType::Script,
-                Some("KEY")
+                Some("KEY"),
+                ALL,
+            )
+        );
+        // Two tenants never share a routing key for the same request.
+        assert_ne!(
+            base,
+            route_key(
+                "http://a.example/x",
+                "doc.example",
+                abp::ResourceType::Script,
+                None,
+                0b01,
             )
         );
         // Field boundaries cannot alias.
         assert_ne!(
-            route_key("ab", "c", abp::ResourceType::Script, None),
-            route_key("a", "bc", abp::ResourceType::Script, None)
+            route_key("ab", "c", abp::ResourceType::Script, None, ALL),
+            route_key("a", "bc", abp::ResourceType::Script, None, ALL)
         );
     }
 

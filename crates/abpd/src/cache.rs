@@ -757,6 +757,7 @@ mod tests {
             document: "news.example".into(),
             resource_type: abp::ResourceType::Script,
             sitekey: None,
+            tenant: None,
         };
         let h = request_key_hash(&req.url, &req.document, req.resource_type, None, ALL);
         let shard = cache.shard_of(h);

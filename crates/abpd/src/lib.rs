@@ -60,6 +60,7 @@ pub fn request_of_sample(s: &TrafficSample) -> DecisionRequest {
         document: s.first_party.clone(),
         resource_type: resource_type_of(s.load),
         sitekey: None,
+        tenant: None,
     }
 }
 

@@ -95,6 +95,7 @@ proptest! {
             document: document.to_string(),
             resource_type,
             sitekey: sitekey.map(str::to_string),
+            tenant: None,
         };
         let direct = direct_outcome(&engine, &dr);
         let direct_bytes = serde_json::to_string(&direct).unwrap();
@@ -125,6 +126,7 @@ proptest! {
                 document: format!("{h}.example"),
                 resource_type,
                 sitekey: None,
+                tenant: None,
             };
             let resp = svc.decide(&dr).unwrap();
             let direct = direct_outcome(&engine, &dr);
@@ -192,6 +194,13 @@ mod wire_equivalence {
                 Some("\tkey\nwith controls\u{7f}"),
                 Some(""),
             ][..]),
+            tenant in prop::sample::select(&[
+                None,
+                Some(0u64),
+                Some(1),
+                Some(0b1011),
+                Some(u64::MAX),
+            ][..]),
             single in any::<bool>(),
         ) {
             let reqs: Vec<DecisionRequest> = urls
@@ -201,6 +210,7 @@ mod wire_equivalence {
                     document: document.clone(),
                     resource_type,
                     sitekey: sitekey.map(str::to_string),
+                    tenant,
                 })
                 .collect();
             let msg = match (single, reqs.first()) {
@@ -456,6 +466,7 @@ mod pipelining {
                     document: format!("{h}.example"),
                     resource_type,
                     sitekey: None,
+                    tenant: None,
                 })
                 .collect();
 
@@ -511,6 +522,7 @@ mod reload {
                     document: format!("{h}.example"),
                     resource_type: ResourceType::Script,
                     sitekey: None,
+                    tenant: None,
                 })
                 .collect();
             // Warm the cache with blocked decisions under the seed

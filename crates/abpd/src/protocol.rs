@@ -28,6 +28,11 @@ pub struct DecisionRequest {
     /// Verified sitekey presented by the document, if any.
     #[serde(default)]
     pub sitekey: Option<String>,
+    /// Subscription-set bitmask identifying the requesting tenant's
+    /// filter-list configuration. Absent (or `null`) means the union
+    /// of every loaded list: the legacy single-config view.
+    #[serde(default)]
+    pub tenant: Option<u64>,
 }
 
 /// The server's verdict for one [`DecisionRequest`].
@@ -264,6 +269,7 @@ mod tests {
                 document: "news.example".into(),
                 resource_type: ResourceType::Script,
                 sitekey: None,
+                tenant: None,
             }),
             ClientMessage::DecideBatch(vec![]),
             ClientMessage::Stats,

@@ -225,6 +225,7 @@ struct MissItem {
     request: Request,
     key_hash: u64,
     key: StoredKey,
+    tenant: u64,
 }
 
 /// A worker's answer: the shard id (so the scratch returns the vectors
@@ -484,7 +485,7 @@ fn spawn_worker(
                         }
                     }
                     let eval_start = Instant::now();
-                    let outcome = snap.engine.match_request(&item.request);
+                    let outcome = snap.engine.match_request_masked(&item.request, item.tenant);
                     shared.cache.insert(
                         job.shard,
                         item.key_hash,
@@ -795,7 +796,7 @@ impl Service {
             let sitekey = dr.sitekey.as_deref();
             // Wire requests without a tenant resolve to the union mask
             // (every subscription bit): the legacy single-config view.
-            let tenant = u64::MAX;
+            let tenant = dr.tenant.unwrap_or(u64::MAX);
             let key_hash =
                 request_key_hash(&dr.url, &dr.document, dr.resource_type, sitekey, tenant);
             let shard = self.shared.cache.shard_of(key_hash);
@@ -843,6 +844,7 @@ impl Service {
                     request,
                     key_hash,
                     key,
+                    tenant,
                 });
                 dispatched += 1;
             }
@@ -1043,7 +1045,7 @@ impl Service {
             let sitekey = dr.sitekey.as_deref();
             // Wire requests without a tenant resolve to the union mask
             // (every subscription bit): the legacy single-config view.
-            let tenant = u64::MAX;
+            let tenant = dr.tenant.unwrap_or(u64::MAX);
             let key_hash =
                 request_key_hash(&dr.url, &dr.document, dr.resource_type, sitekey, tenant);
             let start = Instant::now();
@@ -1099,7 +1101,7 @@ impl Service {
                         }
                     }
                     let evaled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        snap.engine.match_request(&request)
+                        snap.engine.match_request_masked(&request, tenant)
                     }));
                     let Ok(got) = evaled else {
                         local.metrics.eval_panics.fetch_add(1, Ordering::Relaxed);
@@ -1377,6 +1379,7 @@ mod tests {
             document: doc.into(),
             resource_type: rt,
             sitekey: None,
+            tenant: None,
         }
     }
 
@@ -1414,6 +1417,43 @@ mod tests {
             assert_eq!(first.outcome, second.outcome);
             assert!(second.cached);
         }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn tenant_masked_decisions_stay_isolated() {
+        let svc = service();
+        // EasyList blocks adzerk everywhere; the AA exception (bit 1)
+        // un-blocks the reddit frame. Same request, three tenants.
+        let base = dr(
+            "http://static.adzerk.net/reddit/a.html",
+            "www.reddit.com",
+            ResourceType::Subdocument,
+        );
+        let with = |tenant| DecisionRequest {
+            tenant: Some(tenant),
+            ..base.clone()
+        };
+        let reqs = vec![with(0b01), with(0b11), with(0)];
+        let got = svc.decide_batch(&reqs).unwrap();
+        assert_eq!(got[0].outcome.decision, abp::Decision::Block);
+        assert_eq!(got[1].outcome.decision, abp::Decision::AllowedByException);
+        assert_eq!(got[2].outcome.decision, abp::Decision::NoMatch);
+        // First sight: nothing can be served from another tenant's
+        // cache entry, even though url/document/type are identical.
+        for resp in &got {
+            assert!(!resp.cached, "cross-tenant cache hit");
+        }
+        // Each tenant re-hits its own entry with its own verdict.
+        let again = svc.decide_batch(&reqs).unwrap();
+        for (first, second) in got.iter().zip(&again) {
+            assert_eq!(first.outcome, second.outcome);
+            assert!(second.cached);
+        }
+        // The tenantless request is the union view: same verdict as
+        // the all-bits mask but a distinct cache identity.
+        let union = svc.decide(&base).unwrap();
+        assert_eq!(union.outcome.decision, abp::Decision::AllowedByException);
         svc.shutdown();
     }
 

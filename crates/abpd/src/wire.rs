@@ -48,6 +48,9 @@ pub struct DecisionRequestRef<'a> {
     pub resource_type: ResourceType,
     /// Verified sitekey presented by the document, if any.
     pub sitekey: Option<Cow<'a, str>>,
+    /// Subscription-set bitmask for the requesting tenant; absent
+    /// means the union of every loaded list.
+    pub tenant: Option<u64>,
 }
 
 impl DecisionRequestRef<'_> {
@@ -58,6 +61,7 @@ impl DecisionRequestRef<'_> {
             document: self.document.clone().into_owned(),
             resource_type: self.resource_type,
             sitekey: self.sitekey.clone().map(Cow::into_owned),
+            tenant: self.tenant,
         }
     }
 }
@@ -70,6 +74,7 @@ impl DecisionRequest {
             document: Cow::Borrowed(&self.document),
             resource_type: self.resource_type,
             sitekey: self.sitekey.as_deref().map(Cow::Borrowed),
+            tenant: self.tenant,
         }
     }
 }
@@ -224,6 +229,7 @@ fn write_request_parts(
     document: &str,
     resource_type: ResourceType,
     sitekey: Option<&str>,
+    tenant: Option<u64>,
     out: &mut Vec<u8>,
 ) {
     push_str(out, "{\"url\":");
@@ -237,6 +243,11 @@ fn write_request_parts(
         Some(k) => write_escaped_str(k, out),
         None => push_str(out, "null"),
     }
+    push_str(out, ",\"tenant\":");
+    match tenant {
+        Some(t) => push_u64(out, t),
+        None => push_str(out, "null"),
+    }
     out.push(b'}');
 }
 
@@ -248,6 +259,7 @@ pub fn write_decide(req: &DecisionRequest, out: &mut Vec<u8>) {
         &req.document,
         req.resource_type,
         req.sitekey.as_deref(),
+        req.tenant,
         out,
     );
     out.push(b'}');
@@ -265,6 +277,7 @@ pub fn write_decide_batch(reqs: &[DecisionRequest], out: &mut Vec<u8>) {
             &req.document,
             req.resource_type,
             req.sitekey.as_deref(),
+            req.tenant,
             out,
         );
     }
@@ -833,6 +846,7 @@ impl<'a> Scan<'a> {
         let mut document = None;
         let mut resource_type = None;
         let mut sitekey = None;
+        let mut tenant = None;
         self.object(|s, key| {
             match key {
                 "url" => url = Some(s.string()?),
@@ -853,6 +867,15 @@ impl<'a> Scan<'a> {
                         sitekey = Some(s.string()?);
                     }
                 }
+                "tenant" => {
+                    if s.peek() == Some(b'n') {
+                        if !s.eat_literal("null") {
+                            return Err(format!("expected null at offset {}", s.pos));
+                        }
+                    } else {
+                        tenant = Some(s.u64_number()?);
+                    }
+                }
                 _ => s.skip_value()?,
             }
             Ok(())
@@ -862,6 +885,7 @@ impl<'a> Scan<'a> {
             document: document.ok_or("missing field `document`")?,
             resource_type: resource_type.ok_or("missing field `resource_type`")?,
             sitekey,
+            tenant,
         })
     }
 
@@ -1401,6 +1425,7 @@ mod tests {
             document: "news.example".to_string(),
             resource_type: ResourceType::Script,
             sitekey: sitekey.map(str::to_string),
+            tenant: None,
         }
     }
 
@@ -1470,6 +1495,14 @@ mod tests {
             req("http://ads.example/x.js", None),
             req("http://q.example/\"quoted\"\npath", Some("KEY")),
             req("http://é😀.example/", Some("")),
+            DecisionRequest {
+                tenant: Some(0b1011),
+                ..req("http://t.example/x.js", None)
+            },
+            DecisionRequest {
+                tenant: Some(u64::MAX),
+                ..req("http://t.example/y.js", Some("KEY"))
+            },
         ] {
             let mut buf = Vec::new();
             write_decide(&r, &mut buf);
@@ -1531,7 +1564,27 @@ mod tests {
                 assert_eq!(p.url, "http://u.example/");
                 assert!(matches!(p.url, Cow::Owned(_)));
                 assert_eq!(p.sitekey, None);
+                assert_eq!(p.tenant, None, "missing tenant defaults to None");
             }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Tenant: explicit number, explicit null, any field position.
+        let line = r#"{"Decide":{"tenant":11,"url":"http://u.example/","document":"d","resource_type":"Other"}}"#;
+        match parse_client_message(line).unwrap() {
+            ClientMessageRef::Decide(p) => assert_eq!(p.tenant, Some(11)),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let line = format!(
+            r#"{{"Decide":{{"url":"http://u.example/","document":"d","resource_type":"Other","tenant":{}}}}}"#,
+            u64::MAX
+        );
+        match parse_client_message(&line).unwrap() {
+            ClientMessageRef::Decide(p) => assert_eq!(p.tenant, Some(u64::MAX)),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let line = r#"{"Decide":{"url":"http://u.example/","document":"d","resource_type":"Other","tenant":null}}"#;
+        match parse_client_message(line).unwrap() {
+            ClientMessageRef::Decide(p) => assert_eq!(p.tenant, None),
             other => panic!("wrong variant: {other:?}"),
         }
     }

@@ -78,6 +78,7 @@ fn bench_cache_latency(c: &mut Criterion) {
                 document: "news.example".to_string(),
                 resource_type: abp::ResourceType::Script,
                 sitekey: None,
+                tenant: None,
             };
             black_box(svc.decide(&req).expect("miss"))
         })
@@ -104,6 +105,7 @@ fn bench_pipeline(c: &mut Criterion) {
             document: r.first_party.clone(),
             resource_type: r.resource_type,
             sitekey: None,
+            tenant: None,
         })
         .collect();
     client.decide_batch(&hot).expect("warm the cache");
@@ -120,6 +122,7 @@ fn bench_pipeline(c: &mut Criterion) {
                         document: format!("news{}.example", fresh % 1_000),
                         resource_type: abp::ResourceType::Script,
                         sitekey: None,
+                        tenant: None,
                     }
                 }
             })

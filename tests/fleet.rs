@@ -103,6 +103,7 @@ fn dr(url: &str, doc: &str, rt: ResourceType) -> DecisionRequest {
         document: doc.into(),
         resource_type: rt,
         sitekey: None,
+        tenant: None,
     }
 }
 
