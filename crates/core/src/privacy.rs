@@ -46,15 +46,13 @@ pub fn run_privacy_conflict(
     top_n: u32,
     threads: usize,
 ) -> PrivacyConflictReport {
+    // One compiled core: EasyList bit 0, EasyPrivacy bit 1, whitelist
+    // bit 2. The two configurations are masks over it.
+    let union = std::sync::Arc::new(Engine::from_lists([easylist, easyprivacy, whitelist]));
+    let selectors = std::sync::Arc::new(crawler::selcache::SelectorCache::build(&union));
     let engines = vec![
-        NamedEngine::new(
-            CONFIG_WITH_PRIVACY,
-            Engine::from_lists([easylist, easyprivacy]),
-        ),
-        NamedEngine::new(
-            CONFIG_ALL,
-            Engine::from_lists([easylist, easyprivacy, whitelist]),
-        ),
+        NamedEngine::shared(CONFIG_WITH_PRIVACY, &union, &selectors, 0b011),
+        NamedEngine::shared(CONFIG_ALL, &union, &selectors, 0b111),
     ];
     let ranks: Vec<u32> = (1..=top_n).collect();
     let visits = crawl_ranks(web, &engines, &ranks, threads);

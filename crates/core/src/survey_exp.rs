@@ -17,6 +17,19 @@ use websim::Web;
 pub const CONFIG_BOTH: &str = "whitelist+easylist";
 /// Configuration label: EasyList only (whitelist disabled).
 pub const CONFIG_EASYLIST_ONLY: &str = "easylist-only";
+/// Configuration label: no blocker installed at all.
+pub const CONFIG_NO_BLOCKER: &str = "no-blocker";
+/// Configuration label: whitelist exceptions without any block list.
+pub const CONFIG_EXCEPTIONS_ONLY: &str = "exceptions-only";
+
+/// Tenant mask per survey configuration over the shared compiled
+/// engine (EasyList = bit 0, whitelist = bit 1).
+pub const SURVEY_TENANTS: [(&str, u64); 4] = [
+    (CONFIG_NO_BLOCKER, 0),
+    (CONFIG_EASYLIST_ONLY, 0b01),
+    (CONFIG_BOTH, 0b11),
+    (CONFIG_EXCEPTIONS_ONLY, 0b10),
+];
 
 /// Survey parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -258,10 +271,15 @@ pub fn run_site_survey(
     whitelist: &abp::FilterList,
     config: &SiteSurveyConfig,
 ) -> SiteSurveyReport {
-    let engines = vec![
-        NamedEngine::new(CONFIG_BOTH, Engine::from_lists([easylist, whitelist])),
-        NamedEngine::new(CONFIG_EASYLIST_ONLY, Engine::from_lists([easylist])),
-    ];
+    // One compiled core for all four paper configurations: EasyList
+    // claims bit 0, the whitelist bit 1, and each configuration is a
+    // tenant mask over the shared engine instead of its own compile.
+    let union = std::sync::Arc::new(Engine::from_lists([easylist, whitelist]));
+    let selectors = std::sync::Arc::new(crawler::selcache::SelectorCache::build(&union));
+    let engines: Vec<NamedEngine> = SURVEY_TENANTS
+        .iter()
+        .map(|&(name, tenant)| NamedEngine::shared(name, &union, &selectors, tenant))
+        .collect();
 
     let top_ranks: Vec<u32> = (1..=config.top_n).collect();
     let top_visits = crawl_ranks(web, &engines, &top_ranks, config.threads);
@@ -325,6 +343,47 @@ mod tests {
         assert!((0.60..=0.95).contains(&any), "any-rate {any}");
         assert!((0.40..=0.85).contains(&wl), "whitelist-rate {wl}");
         assert!(wl <= any);
+    }
+
+    #[test]
+    fn four_configs_ride_one_compiled_engine() {
+        // The report build compiles exactly one engine for its four
+        // configurations; the masked views behave like the paper's
+        // separate installs.
+        let c = testutil::corpus();
+        let cfg = SiteSurveyConfig {
+            top_n: 40,
+            stratum_sample: 5,
+            threads: 4,
+            seed: testutil::SEED,
+        };
+        let before = abp::engine_compile_count();
+        let union = std::sync::Arc::new(Engine::from_lists([&c.easylist, &c.whitelist]));
+        let selectors = std::sync::Arc::new(crawler::selcache::SelectorCache::build(&union));
+        let engines: Vec<NamedEngine> = SURVEY_TENANTS
+            .iter()
+            .map(|&(name, tenant)| NamedEngine::shared(name, &union, &selectors, tenant))
+            .collect();
+        let ranks: Vec<u32> = (1..=cfg.top_n).collect();
+        let visits = crawl_ranks(testutil::web(), &engines, &ranks, cfg.threads);
+        assert_eq!(
+            abp::engine_compile_count(),
+            before + 1,
+            "four survey configs must cost one compile"
+        );
+        for v in &visits {
+            let none = v.record(CONFIG_NO_BLOCKER).unwrap();
+            assert!(none.activations.is_empty(), "{}: no blocker, no filters", v.domain);
+            assert_eq!(none.blocked_requests, 0);
+            assert_eq!(none.hidden_elements, 0);
+            let exc = v.record(CONFIG_EXCEPTIONS_ONLY).unwrap();
+            assert_eq!(exc.blocked_requests, 0, "{}: exceptions never block", v.domain);
+            assert!(
+                exc.activations.iter().all(|a| a.kind.is_exception()),
+                "{}: exceptions-only activations are all exception kinds",
+                v.domain
+            );
+        }
     }
 
     #[test]

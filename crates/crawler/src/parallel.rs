@@ -8,27 +8,56 @@ use crate::selcache::SelectorCache;
 use crate::visit::{visit_site, EngineConfig, SiteVisit};
 use abp::Engine;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use websim::Web;
 
 /// A named engine for parallel crawls (owned variant of
 /// [`EngineConfig`], shareable across threads).
+///
+/// Several configurations can share one compiled engine (and one
+/// selector cache) and differ only by subscription mask — the paper's
+/// four survey configurations compile once this way instead of four
+/// times.
 pub struct NamedEngine {
     /// Configuration label.
     pub name: &'static str,
-    /// The engine.
-    pub engine: Engine,
+    /// The engine (possibly shared with other configs).
+    pub engine: Arc<Engine>,
     /// Selector cache built once for the engine.
-    pub selectors: SelectorCache,
+    pub selectors: Arc<SelectorCache>,
+    /// Subscription mask this configuration evaluates under.
+    pub tenant: u64,
 }
 
 impl NamedEngine {
-    /// Build a named engine, pre-parsing its element selectors.
+    /// Build a named engine owning its compiled core, pre-parsing its
+    /// element selectors. Sees every compiled list.
     pub fn new(name: &'static str, engine: Engine) -> Self {
-        let selectors = SelectorCache::build(&engine);
+        let engine = Arc::new(engine);
+        let selectors = Arc::new(SelectorCache::build(&engine));
         NamedEngine {
             name,
             engine,
             selectors,
+            tenant: u64::MAX,
+        }
+    }
+
+    /// A masked view over a shared compiled engine: costs one Arc bump
+    /// per handle instead of a compile. The selector cache is shared
+    /// too — it is keyed by selector text, a superset of what any mask
+    /// can activate.
+    pub fn shared(
+        name: &'static str,
+        engine: &Arc<Engine>,
+        selectors: &Arc<SelectorCache>,
+        tenant: u64,
+    ) -> Self {
+        NamedEngine {
+            name,
+            engine: Arc::clone(engine),
+            selectors: Arc::clone(selectors),
+            tenant,
         }
     }
 }
@@ -57,6 +86,7 @@ pub fn crawl_ranks(
             name: e.name,
             engine: &e.engine,
             selectors: Some(&e.selectors),
+            tenant: e.tenant,
         })
         .collect();
     let configs = &configs[..];
@@ -116,6 +146,34 @@ mod tests {
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a, b, "rank {} differs across thread counts", a.rank);
         }
+    }
+
+    #[test]
+    fn shared_masked_engine_equals_per_config_compiles() {
+        let web = Web::build(WebConfig {
+            seed: 2015,
+            scale: Scale::Smoke,
+        });
+        let el = FilterList::parse(
+            ListSource::EasyList,
+            "||doubleclick.net^\n||googleadservices.com^$third-party\n",
+        );
+        let wl = FilterList::parse(
+            ListSource::AcceptableAds,
+            "@@||stats.g.doubleclick.net^$script,image\n",
+        );
+        // One compiled core: el = bit 0, wl = bit 1.
+        let union = Arc::new(Engine::from_lists([&el, &wl]));
+        let selectors = Arc::new(crate::selcache::SelectorCache::build(&union));
+        let masked = vec![
+            NamedEngine::shared("both", &union, &selectors, 0b11),
+            NamedEngine::shared("easylist-only", &union, &selectors, 0b01),
+        ];
+        let separate = engines();
+        let ranks: Vec<u32> = (1..=40).collect();
+        let a = crawl_ranks(&web, &masked, &ranks, 4);
+        let b = crawl_ranks(&web, &separate, &ranks, 4);
+        assert_eq!(a, b, "masked views must equal per-config compiles");
     }
 
     #[test]

@@ -23,15 +23,31 @@ pub struct EngineConfig<'e> {
     /// throwaway cache per visit (fine for single visits, wasteful for
     /// crawls).
     pub selectors: Option<&'e SelectorCache>,
+    /// Subscription-set bitmask this configuration evaluates under.
+    /// `u64::MAX` is the union of every list compiled into the engine,
+    /// so several configs can share one compiled engine and differ
+    /// only by mask.
+    pub tenant: u64,
 }
 
 impl<'e> EngineConfig<'e> {
-    /// Config without a pre-built cache.
+    /// Config without a pre-built cache, seeing every compiled list.
     pub fn simple(name: &'static str, engine: &'e Engine) -> Self {
         EngineConfig {
             name,
             engine,
             selectors: None,
+            tenant: u64::MAX,
+        }
+    }
+
+    /// Config restricted to one subscription mask of a shared engine.
+    pub fn masked(name: &'static str, engine: &'e Engine, tenant: u64) -> Self {
+        EngineConfig {
+            name,
+            engine,
+            selectors: None,
+            tenant,
         }
     }
 }
@@ -133,7 +149,7 @@ fn evaluate(
     if let Some(key) = &page.verified_sitekey {
         doc_req.verified_sitekey = Some(key.clone());
     }
-    let doc_status = engine.document_allowlist(&doc_req);
+    let doc_status = engine.document_allowlist_masked(&doc_req, config.tenant);
     record
         .activations
         .extend(doc_status.document_allow.iter().cloned());
@@ -154,7 +170,7 @@ fn evaluate(
             record.allowed_requests += 1;
             continue;
         }
-        let outcome = engine.match_request(&req);
+        let outcome = engine.match_request_masked(&req, config.tenant);
         if outcome.is_allowed() {
             record.allowed_requests += 1;
         } else {
@@ -174,7 +190,9 @@ fn evaluate(
             }
         };
         let vocab = PageVocab::of(&page.dom);
-        for (idx, selector_text, action) in engine.hiding_refs_for_domain(&host) {
+        for (idx, selector_text, action) in
+            engine.hiding_refs_for_domain_masked(&host, config.tenant)
+        {
             let Some(cached) = cache.get(selector_text) else {
                 continue; // invalid selector: blockers skip these
             };

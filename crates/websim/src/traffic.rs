@@ -134,6 +134,84 @@ impl TrafficGen {
 /// page-content draws (which use `ecosystem::site_rng`).
 const TRAFFIC_DOMAIN: u64 = 0x9d3a_77c1_5b2e_f064;
 
+/// Domain-separation constant for per-user subscription draws.
+const TENANT_DOMAIN: u64 = 0x4c6f_9b82_d131_aa57;
+
+/// A rank-stratified population of user filter configurations,
+/// modelling the heterogeneity real deployments serve: everyone runs
+/// the base block list, most keep Acceptable Ads enabled (the paper's
+/// ~25% opt-out tail), regional lists follow a Zipf-style decay, and a
+/// sparse tail of users carries custom-rule subscriptions in the high
+/// bits. Masks are a pure function of `(seed, user)`, so a population
+/// of millions costs nothing to hold and any user's mask can be
+/// recomputed anywhere (load generator, bench, assertions) without
+/// coordination.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantPopulation {
+    seed: u64,
+    size: u64,
+}
+
+/// Subscription-slot layout the population draws over.
+impl TenantPopulation {
+    /// Bit for the base block list (EasyList): every user has it.
+    pub const BASE_BIT: u64 = 1 << 0;
+    /// Bit for the Acceptable Ads exception list.
+    pub const AA_BIT: u64 = 1 << 1;
+    /// First of the Zipf-decaying regional-list bits (2..=9).
+    pub const REGIONAL_BIT0: u32 = 2;
+    /// First of the sparse custom-subscription bits (10..=63).
+    pub const CUSTOM_BIT0: u32 = 10;
+
+    /// A population of `size` distinct users for a world seed.
+    pub fn new(seed: u64, size: u64) -> Self {
+        TenantPopulation {
+            seed,
+            size: size.max(1),
+        }
+    }
+
+    /// Number of distinct users in the population.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The subscription mask of user `user % size`. Pure and
+    /// deterministic: the same `(seed, user)` always yields the same
+    /// mask, with no per-user state anywhere.
+    pub fn mask_for(&self, user: u64) -> u64 {
+        let user = user % self.size;
+        let mut rng = SplitMix64::new(
+            self.seed ^ TENANT_DOMAIN ^ user.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        // Everyone subscribes to the base block list.
+        let mut mask = Self::BASE_BIT;
+        // Acceptable Ads ships enabled; about a quarter opt out.
+        if rng.below(100) < 75 {
+            mask |= Self::AA_BIT;
+        }
+        // Regional lists: membership decays Zipf-style with list rank
+        // (the first regional list is common, the eighth rare).
+        const REGIONAL_PCT: [u64; 8] = [30, 18, 11, 7, 5, 3, 2, 1];
+        for (i, pct) in REGIONAL_PCT.iter().enumerate() {
+            if rng.below(100) < *pct {
+                mask |= 1u64 << (Self::REGIONAL_BIT0 + i as u32);
+            }
+        }
+        // A sparse tail of users carries a custom-rule subscription
+        // somewhere in the high bits.
+        if rng.below(100) < 5 {
+            mask |= 1u64 << rng.range_inclusive(Self::CUSTOM_BIT0 as u64, 63);
+        }
+        mask
+    }
+
+    /// Iterate every user's mask once, in user order.
+    pub fn masks(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.size).map(move |u| self.mask_for(u))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +259,50 @@ mod tests {
         }
         assert!(top5k > 100, "top stratum dominates visits: {top5k}");
         assert!(tail > 5, "tail still visited: {tail}");
+    }
+
+    #[test]
+    fn tenant_population_is_deterministic_and_stratified() {
+        let pop = TenantPopulation::new(2015, 100_000);
+        assert_eq!(pop.mask_for(42), pop.mask_for(42));
+        assert_eq!(pop.mask_for(42), TenantPopulation::new(2015, 100_000).mask_for(42));
+        // Users beyond the population wrap.
+        assert_eq!(pop.mask_for(100_042), pop.mask_for(42));
+
+        let masks: Vec<u64> = pop.masks().take(20_000).collect();
+        // Everyone runs the base list.
+        assert!(masks.iter().all(|m| m & TenantPopulation::BASE_BIT != 0));
+        // AA opt-out sits near the paper's quarter.
+        let aa = masks
+            .iter()
+            .filter(|m| *m & TenantPopulation::AA_BIT != 0)
+            .count() as f64
+            / masks.len() as f64;
+        assert!((0.70..=0.80).contains(&aa), "AA share {aa}");
+        // Regional membership decays down the bit ranks.
+        let count_bit = |b: u32| masks.iter().filter(|m| *m & (1u64 << b) != 0).count();
+        assert!(count_bit(2) > count_bit(4));
+        assert!(count_bit(4) > count_bit(8));
+        // The custom tail is sparse but present.
+        let custom = masks
+            .iter()
+            .filter(|m| *m >> TenantPopulation::CUSTOM_BIT0 != 0)
+            .count() as f64
+            / masks.len() as f64;
+        assert!((0.01..=0.10).contains(&custom), "custom share {custom}");
+        // Mask cardinalities mix: plenty of 1-, 2- and 3+-list users.
+        let by_card = |lo: u32, hi: u32| {
+            masks
+                .iter()
+                .filter(|m| (lo..=hi).contains(&m.count_ones()))
+                .count()
+        };
+        assert!(by_card(1, 1) > 500);
+        assert!(by_card(2, 2) > 5_000);
+        assert!(by_card(3, 64) > 2_000);
+        // The population is genuinely heterogeneous.
+        let distinct: std::collections::HashSet<u64> = masks.iter().copied().collect();
+        assert!(distinct.len() > 50, "distinct masks: {}", distinct.len());
     }
 
     #[test]
