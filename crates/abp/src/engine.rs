@@ -2065,13 +2065,31 @@ reddit.com#@##siteTable_organic
             )
         };
         // Bit 0 covers both early loose filters and nothing else.
-        assert_eq!(e.match_request_masked(&r("a.example"), 1).decision, Decision::Block);
-        assert_eq!(e.match_request_masked(&r("b.example"), 1).decision, Decision::Block);
-        assert_eq!(e.match_request_masked(&r("c.example"), 1).decision, Decision::NoMatch);
-        assert_eq!(e.match_request_masked(&r("d.example"), 1).decision, Decision::NoMatch);
+        assert_eq!(
+            e.match_request_masked(&r("a.example"), 1).decision,
+            Decision::Block
+        );
+        assert_eq!(
+            e.match_request_masked(&r("b.example"), 1).decision,
+            Decision::Block
+        );
+        assert_eq!(
+            e.match_request_masked(&r("c.example"), 1).decision,
+            Decision::NoMatch
+        );
+        assert_eq!(
+            e.match_request_masked(&r("d.example"), 1).decision,
+            Decision::NoMatch
+        );
         // Bit 1 is the list; bit 2 the post-list loose filter.
-        assert_eq!(e.match_request_masked(&r("c.example"), 2).decision, Decision::Block);
-        assert_eq!(e.match_request_masked(&r("d.example"), 4).decision, Decision::Block);
+        assert_eq!(
+            e.match_request_masked(&r("c.example"), 2).decision,
+            Decision::Block
+        );
+        assert_eq!(
+            e.match_request_masked(&r("d.example"), 4).decision,
+            Decision::Block
+        );
     }
 
     #[test]

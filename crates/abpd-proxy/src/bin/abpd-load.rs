@@ -6,6 +6,8 @@
 //!           [--server-mode blocking|event] [--io-threads N]
 //!           [--reply-timeout-ms N] [--max-error-rate F]
 //!           [--out PATH] [--append-availability PATH] [--shutdown]
+//!           [--tenants N] [--append-tenants PATH]
+//!           [--min-tenant-ratio F]
 //!           [--scaling LIST] [--append-scaling PATH]
 //!           [--fleet N] [--fleet-chaos] [--replay-revisions N]
 //!           [--max-delta-ratio F] [--state-recovery]
@@ -34,6 +36,22 @@
 //! lost decision fails the run). `--append-availability PATH` merges
 //! the availability numbers into an existing report (the chaos CI
 //! stage appends them to `BENCH_service.json`).
+//!
+//! # Tenant mode
+//!
+//! `--tenants N` stamps every synthesized request with a subscription
+//! mask drawn from a [`websim::traffic::TenantPopulation`] of N users,
+//! so one run exercises the engine's multi-config fan-out: millions of
+//! user configurations served by the single compiled core, each with
+//! its own cache identity. Before the measured window the run probes
+//! cross-tenant cache isolation (the same request under distinct masks
+//! must never be answered from another mask's entry) and fails on any
+//! violation. `--append-tenants PATH` merges a `tenant` entry — the
+//! population size, the server's distinct-mask estimate, throughput,
+//! and the isolation-probe counts — into an existing report (the
+//! tenant CI stage appends it to `BENCH_service.json`), and
+//! `--min-tenant-ratio F` fails the run when tenant-striped throughput
+//! drops below `F ×` the committed single-config baseline.
 //!
 //! # Scaling mode
 //!
@@ -97,7 +115,7 @@ use abpd_proxy::{Proxy, ProxyConfig};
 use serde::Serialize;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use websim::traffic::TrafficGen;
+use websim::traffic::{TenantPopulation, TrafficGen};
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     let i = args.iter().position(|a| a == flag)?;
@@ -232,18 +250,56 @@ impl Totals {
 }
 
 /// Pre-synthesize each connection's request stream so generation cost
-/// stays out of the measured window.
-fn synth_streams(seed: u64, decisions: usize, connections: usize) -> Vec<Vec<DecisionRequest>> {
+/// stays out of the measured window. With a tenant population, each
+/// request is stamped with the mask of a rolling user id — the stream
+/// then looks like many differently-configured users browsing at once.
+fn synth_streams(
+    seed: u64,
+    decisions: usize,
+    connections: usize,
+    tenants: Option<&TenantPopulation>,
+) -> Vec<Vec<DecisionRequest>> {
     let per_conn = decisions.div_ceil(connections);
     (0..connections)
         .map(|c| {
             TrafficGen::new(seed.wrapping_add(c as u64))
                 .samples()
                 .take(per_conn)
-                .map(|s| abpd::request_of_sample(&s))
+                .enumerate()
+                .map(|(i, s)| {
+                    let mut req = abpd::request_of_sample(&s);
+                    if let Some(pop) = tenants {
+                        req.tenant = Some(pop.mask_for((c * per_conn + i) as u64));
+                    }
+                    req
+                })
                 .collect()
         })
         .collect()
+}
+
+/// Cross-tenant isolation probe, run before the measured window: the
+/// same request sent under each distinct mask must be a cache miss on
+/// first sight (no other tenant's entry can answer it) and a hit on
+/// the second (its own entry can). Returns (cross-tenant hits,
+/// affinity misses) — both must be zero.
+fn probe_tenant_isolation(addr: &str, req: &DecisionRequest, masks: &[u64]) -> (u64, u64) {
+    let mut client = Client::connect(addr).expect("connect for tenant probe");
+    let mut cross = 0u64;
+    let mut affinity = 0u64;
+    for &mask in masks {
+        let probe = DecisionRequest {
+            tenant: Some(mask),
+            ..req.clone()
+        };
+        if client.decide(&probe).expect("tenant probe").cached {
+            cross += 1;
+        }
+        if !client.decide(&probe).expect("tenant probe").cached {
+            affinity += 1;
+        }
+    }
+    (cross, affinity)
 }
 
 /// Drive the pre-synthesized streams at `addr` through pipelined
@@ -458,6 +514,12 @@ fn main() {
     let out_path: Option<String> = parse_flag(&args, "--out");
     let append_path: Option<String> = parse_flag(&args, "--append-availability");
     let shutdown = args.iter().any(|a| a == "--shutdown");
+    let tenants: Option<u64> = parse_flag(&args, "--tenants");
+    let append_tenants_path: Option<String> = parse_flag(&args, "--append-tenants");
+    let min_tenant_ratio: Option<f64> = parse_flag(&args, "--min-tenant-ratio");
+    let population = tenants
+        .filter(|&n| n > 0)
+        .map(|n| TenantPopulation::new(seed, n));
 
     // Target: given address, or an in-process server on a free port.
     let (addr, local_server) = match parse_flag::<String>(&args, "--addr") {
@@ -481,8 +543,39 @@ fn main() {
     };
 
     eprintln!("abpd-load: synthesizing {decisions} decisions from browsing traffic...");
-    let streams = synth_streams(seed, decisions, connections);
+    if let Some(pop) = &population {
+        eprintln!(
+            "abpd-load: striping requests over a {}-user tenant population",
+            pop.size()
+        );
+    }
+    let streams = synth_streams(seed, decisions, connections, population.as_ref());
     let requested: usize = streams.iter().map(Vec::len).sum();
+
+    // Cross-tenant isolation probe before the measured window: a
+    // handful of distinct masks (survey-style pairs plus population
+    // draws), each sent twice against a cold cache.
+    let (cross_tenant_hits, affinity_misses) = match &population {
+        Some(pop) => {
+            let probe_req = streams
+                .first()
+                .and_then(|s| s.first())
+                .cloned()
+                .expect("at least one synthesized request");
+            let mut masks: Vec<u64> = vec![0b01, 0b10, 0b11];
+            masks.extend(pop.masks().take(16));
+            masks.sort_unstable();
+            masks.dedup();
+            let (cross, affinity) = probe_tenant_isolation(&addr, &probe_req, &masks);
+            eprintln!(
+                "abpd-load: tenant isolation probe: {} masks, {cross} cross-tenant \
+                 cache hits, {affinity} affinity misses",
+                masks.len()
+            );
+            (cross, affinity)
+        }
+        None => (0, 0),
+    };
 
     eprintln!(
         "abpd-load: driving {addr} ({connections} connections, batch {batch}, pipeline {pipeline})..."
@@ -513,6 +606,15 @@ fn main() {
         stats.p99_us,
         stats.shards.len()
     );
+    if population.is_some() {
+        println!(
+            "abpd-load: server estimates {} distinct tenant masks; requests by list \
+             count {:?}, hits {:?}",
+            stats.distinct_tenants,
+            stats.tenant_requests_by_lists,
+            stats.tenant_cache_hits_by_lists
+        );
+    }
 
     if let Some(path) = out_path {
         let report = LoadReport {
@@ -569,11 +671,103 @@ fn main() {
         eprintln!("abpd-load: appended availability to {path}");
     }
 
+    let baseline_rate =
+        std::fs::read_to_string("crates/bench/baselines/service_bench_baseline.json")
+            .ok()
+            .and_then(|text| serde_json::parse_value(&text).ok())
+            .and_then(|b| b.get("decisions_per_sec").and_then(|v| v.as_f64()));
+    if let (Some(pop), Some(path)) = (&population, &append_tenants_path) {
+        // Merge this run's tenant fan-out numbers into an existing
+        // report (the tenant CI stage appends them to
+        // BENCH_service.json).
+        let text = std::fs::read_to_string(path).expect("read report to append to");
+        let mut value = serde_json::parse_value(&text).expect("parse report to append to");
+        if let serde_json::Value::Map(entries) = &mut value {
+            entries.retain(|(k, _)| k != "tenant");
+            let mut tenant_entries = vec![
+                (
+                    "population".to_string(),
+                    serde_json::Value::F64(pop.size() as f64),
+                ),
+                (
+                    "distinct_mask_estimate".to_string(),
+                    serde_json::Value::F64(stats.distinct_tenants as f64),
+                ),
+                ("decisions".to_string(), serde_json::Value::F64(sent as f64)),
+                (
+                    "decisions_per_sec".to_string(),
+                    serde_json::Value::F64(rate.round()),
+                ),
+                (
+                    "cached_pct".to_string(),
+                    serde_json::Value::F64(
+                        (1000.0 * t.cached as f64 / sent.max(1) as f64).round() / 10.0,
+                    ),
+                ),
+                (
+                    "cross_tenant_cache_hits".to_string(),
+                    serde_json::Value::F64(cross_tenant_hits as f64),
+                ),
+                (
+                    "affinity_misses".to_string(),
+                    serde_json::Value::F64(affinity_misses as f64),
+                ),
+            ];
+            if let Some(base) = baseline_rate {
+                tenant_entries.push((
+                    "ratio_vs_single_config_baseline".to_string(),
+                    serde_json::Value::F64((100.0 * rate / base).round() / 100.0),
+                ));
+            }
+            entries.push(("tenant".to_string(), serde_json::Value::Map(tenant_entries)));
+        }
+        let mut json = serde_json::to_string_pretty(&value).expect("report serializes");
+        json.push('\n');
+        std::fs::write(path, json).expect("append tenant entry");
+        eprintln!("abpd-load: appended tenant entry to {path}");
+    }
+
     if shutdown || local_server.is_some() {
         client.shutdown_server().expect("shutdown");
     }
     if let Some(server) = local_server {
         server.join();
+    }
+
+    let mut failed = false;
+    if population.is_some() {
+        if cross_tenant_hits > 0 {
+            eprintln!(
+                "abpd-load: FAIL: {cross_tenant_hits} cross-tenant cache hits — masks \
+                 must never share cache entries"
+            );
+            failed = true;
+        }
+        if affinity_misses > 0 {
+            eprintln!(
+                "abpd-load: FAIL: {affinity_misses} tenant affinity misses — a tenant \
+                 must re-hit its own cache entry"
+            );
+            failed = true;
+        }
+        if let (Some(min_ratio), Some(base)) = (min_tenant_ratio, baseline_rate) {
+            let ratio = rate / base;
+            if ratio < min_ratio {
+                eprintln!(
+                    "abpd-load: FAIL: tenant-striped throughput {rate:.0}/s is {ratio:.2}x \
+                     the single-config baseline {base:.0}/s, below the {min_tenant_ratio:?}x bar"
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "abpd-load: tenant-striped throughput {rate:.0}/s holds {ratio:.2}x of \
+                     the single-config baseline (bar {min_ratio}x)"
+                );
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 
     let error_rate = (t.shed + errors) as f64 / requested.max(1) as f64;
@@ -666,7 +860,7 @@ fn scaling_main(args: &[String]) {
             std::process::exit(1);
         });
         let addr = server.local_addr().to_string();
-        let streams = synth_streams(seed, decisions, connections);
+        let streams = synth_streams(seed, decisions, connections, None);
         let requested: usize = streams.iter().map(Vec::len).sum();
         eprintln!(
             "abpd-load: scaling point: {io} reactor(s), {connections} connections, \
@@ -1102,7 +1296,7 @@ fn fleet_main(args: &[String]) {
 
     // ---- load phase (with optional chaos) ------------------------------
     eprintln!("abpd-load: synthesizing {decisions} decisions from browsing traffic...");
-    let streams = synth_streams(seed, decisions, connections);
+    let streams = synth_streams(seed, decisions, connections, None);
     let requested: usize = streams.iter().map(Vec::len).sum();
 
     eprintln!(

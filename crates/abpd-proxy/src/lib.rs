@@ -1252,6 +1252,7 @@ fn aggregate_health(conns: &mut BackendConns, shared: &Shared) -> HealthReport {
         shed: 0,
         deadline_timeouts: 0,
         list_checksum: 0,
+        distinct_tenants: 0,
     };
     let mut checksum: Option<u64> = None;
     let mut diverged = false;
@@ -1266,6 +1267,10 @@ fn aggregate_health(conns: &mut BackendConns, shared: &Shared) -> HealthReport {
                 agg.shard_restarts.extend(h.shard_restarts);
                 agg.shed += h.shed;
                 agg.deadline_timeouts += h.deadline_timeouts;
+                // The ring routes a tenant's different URLs to many
+                // shards, so the per-shard mask sets overlap heavily;
+                // the largest one is the honest fleet lower bound.
+                agg.distinct_tenants = agg.distinct_tenants.max(h.distinct_tenants);
                 match checksum {
                     None => checksum = Some(h.list_checksum),
                     Some(prev) if prev == h.list_checksum => {}
@@ -1315,6 +1320,9 @@ fn aggregate_stats(conns: &mut BackendConns, shared: &Shared) -> StatsReport {
         p50_us: 0,
         p99_us: 0,
         shards: Vec::new(),
+        distinct_tenants: 0,
+        tenant_requests_by_lists: Vec::new(),
+        tenant_cache_hits_by_lists: Vec::new(),
     };
     for slot in 0..shared.backends.len() {
         if let Ok(s) = conns.get(shared, slot).and_then(|c| c.stats()) {
@@ -1325,9 +1333,31 @@ fn aggregate_stats(conns: &mut BackendConns, shared: &Shared) -> StatsReport {
             agg.p50_us = agg.p50_us.max(s.p50_us);
             agg.p99_us = agg.p99_us.max(s.p99_us);
             agg.shards.extend(s.shards);
+            // Mask sets overlap across backends (same tenant, many
+            // URLs); the largest is the honest fleet lower bound. The
+            // cardinality-bucket counters are disjoint and sum.
+            agg.distinct_tenants = agg.distinct_tenants.max(s.distinct_tenants);
+            sum_into(
+                &mut agg.tenant_requests_by_lists,
+                &s.tenant_requests_by_lists,
+            );
+            sum_into(
+                &mut agg.tenant_cache_hits_by_lists,
+                &s.tenant_cache_hits_by_lists,
+            );
         }
     }
     agg
+}
+
+/// Element-wise sum, growing `acc` to the longer length.
+fn sum_into(acc: &mut Vec<u64>, add: &[u64]) {
+    if acc.len() < add.len() {
+        acc.resize(add.len(), 0);
+    }
+    for (a, v) in acc.iter_mut().zip(add) {
+        *a += v;
+    }
 }
 
 fn handle_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {

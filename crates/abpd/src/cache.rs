@@ -348,7 +348,9 @@ impl DecisionCache {
         let mut shard = self.shards[shard].lock();
         let entry = shard.get(&key_hash)?;
         if entry.generation == generation
-            && entry.key.matches(url, document, resource_type, sitekey, tenant)
+            && entry
+                .key
+                .matches(url, document, resource_type, sitekey, tenant)
         {
             Some(entry.outcome.clone())
         } else {
@@ -435,7 +437,9 @@ impl LocalDecisionCache {
     ) -> Option<RequestOutcome> {
         let entry = self.lru.get(&key_hash)?;
         if entry.generation == generation
-            && entry.key.matches(url, document, resource_type, sitekey, tenant)
+            && entry
+                .key
+                .matches(url, document, resource_type, sitekey, tenant)
         {
             Some(entry.outcome.clone())
         } else {

@@ -5,10 +5,10 @@ use crate::protocol::{ShardStats, StatsReport};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Pads and aligns its contents to a 64-byte cache line so adjacent
-/// slots in a `Vec` never share a line. `ShardMetrics` is ~56 bytes;
-/// without this, shard 0's `requests` and shard 1's `cache_hits` land
-/// on one line and every increment from different cores ping-pongs it.
-/// `Deref` keeps call sites unchanged.
+/// slots in a `Vec` never start on a shared line; without this, shard
+/// 0's trailing counters and shard 1's `requests` land on one line and
+/// every increment from different cores ping-pongs it. `Deref` keeps
+/// call sites unchanged.
 #[derive(Debug, Default)]
 #[repr(align(64))]
 pub struct CacheAligned<T>(pub T);
@@ -120,6 +120,46 @@ impl Histogram {
     }
 }
 
+/// Tenant-population accounting buckets, by subscription-mask
+/// cardinality (`popcount`): 0–1 lists, 2 lists, 3–4, 5–8, 9+. The
+/// legacy union view (`u64::MAX`, all 64 bits) lands in the top
+/// bucket, so a single-config deployment reports everything there.
+pub const TENANT_CARD_BUCKETS: usize = 5;
+
+/// Words in the distinct-mask linear-counting bitmap (1024 bits).
+const TENANT_BITMAP_WORDS: usize = 16;
+const TENANT_BITMAP_BITS: u64 = (TENANT_BITMAP_WORDS as u64) * 64;
+
+/// Which cardinality bucket a subscription mask falls in.
+fn tenant_card_bucket(mask: u64) -> usize {
+    match mask.count_ones() {
+        0 | 1 => 0,
+        2 => 1,
+        3 | 4 => 2,
+        5..=8 => 3,
+        _ => 4,
+    }
+}
+
+/// SplitMix64 finalizer: spreads correlated masks (neighbouring bit
+/// patterns) uniformly over the bitmap.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Linear-counting estimate of distinct values from an m-bit bitmap:
+/// `m * ln(m / zeros)`, saturating at `m` when every bit is set.
+fn linear_count(bitmap: &[u64; TENANT_BITMAP_WORDS]) -> u64 {
+    let zeros: u64 = bitmap.iter().map(|w| w.count_zeros() as u64).sum();
+    if zeros == 0 {
+        return TENANT_BITMAP_BITS;
+    }
+    let m = TENANT_BITMAP_BITS as f64;
+    (m * (m / zeros as f64).ln()).round() as u64
+}
+
 /// One shard's counters.
 #[derive(Default)]
 pub struct ShardMetrics {
@@ -133,9 +173,51 @@ pub struct ShardMetrics {
     pub exceptions: AtomicU64,
     /// Decision latency.
     pub latency: Histogram,
+    /// Linear-counting bitmap of subscription masks seen by this shard.
+    tenant_seen: [AtomicU64; TENANT_BITMAP_WORDS],
+    /// Decisions per mask-cardinality bucket.
+    tenant_requests: [AtomicU64; TENANT_CARD_BUCKETS],
+    /// Cache hits per mask-cardinality bucket.
+    tenant_hits: [AtomicU64; TENANT_CARD_BUCKETS],
 }
 
 impl ShardMetrics {
+    /// Account one decision against its tenant's subscription mask.
+    pub fn record_tenant(&self, mask: u64, cached: bool) {
+        let bucket = tenant_card_bucket(mask);
+        self.tenant_requests[bucket].fetch_add(1, Ordering::Relaxed);
+        if cached {
+            self.tenant_hits[bucket].fetch_add(1, Ordering::Relaxed);
+        }
+        let bit = mix64(mask) % TENANT_BITMAP_BITS;
+        let word = &self.tenant_seen[(bit / 64) as usize];
+        let m = 1u64 << (bit % 64);
+        // Check before the RMW: the steady state (mask already seen)
+        // stays a plain load on a shard-owned line.
+        if word.load(Ordering::Relaxed) & m == 0 {
+            word.fetch_or(m, Ordering::Relaxed);
+        }
+    }
+
+    /// OR this shard's mask bitmap and add its bucket counters into
+    /// the accumulators (report-time merge).
+    fn fold_tenants(
+        &self,
+        bitmap: &mut [u64; TENANT_BITMAP_WORDS],
+        requests: &mut [u64; TENANT_CARD_BUCKETS],
+        hits: &mut [u64; TENANT_CARD_BUCKETS],
+    ) {
+        for (acc, w) in bitmap.iter_mut().zip(&self.tenant_seen) {
+            *acc |= w.load(Ordering::Relaxed);
+        }
+        for (acc, c) in requests.iter_mut().zip(&self.tenant_requests) {
+            *acc += c.load(Ordering::Relaxed);
+        }
+        for (acc, c) in hits.iter_mut().zip(&self.tenant_hits) {
+            *acc += c.load(Ordering::Relaxed);
+        }
+    }
+
     fn snapshot(&self) -> ShardStats {
         ShardStats {
             requests: self.requests.load(Ordering::Relaxed),
@@ -203,6 +285,12 @@ impl Metrics {
             .iter()
             .map(|s| &s.latency)
             .fold(Histogram::default(), |acc, h| acc.merged(h));
+        let mut bitmap = [0u64; TENANT_BITMAP_WORDS];
+        let mut tenant_requests = [0u64; TENANT_CARD_BUCKETS];
+        let mut tenant_hits = [0u64; TENANT_CARD_BUCKETS];
+        for s in &all {
+            s.fold_tenants(&mut bitmap, &mut tenant_requests, &mut tenant_hits);
+        }
         StatsReport {
             requests: shards.iter().map(|s| s.requests).sum(),
             cache_hits: shards.iter().map(|s| s.cache_hits).sum(),
@@ -211,7 +299,27 @@ impl Metrics {
             p50_us: merged.quantile_us(0.50),
             p99_us: merged.quantile_us(0.99),
             shards,
+            distinct_tenants: linear_count(&bitmap),
+            tenant_requests_by_lists: tenant_requests.to_vec(),
+            tenant_cache_hits_by_lists: tenant_hits.to_vec(),
         }
+    }
+
+    /// Linear-counting estimate of distinct subscription masks served,
+    /// over the worker shards plus any `extra` (reactor) counters.
+    pub fn distinct_tenants_with(&self, extra: &[&ShardMetrics]) -> u64 {
+        let mut bitmap = [0u64; TENANT_BITMAP_WORDS];
+        let mut requests = [0u64; TENANT_CARD_BUCKETS];
+        let mut hits = [0u64; TENANT_CARD_BUCKETS];
+        for s in self
+            .shards
+            .iter()
+            .map(|s| &s.0)
+            .chain(extra.iter().copied())
+        {
+            s.fold_tenants(&mut bitmap, &mut requests, &mut hits);
+        }
+        linear_count(&bitmap)
     }
 }
 
@@ -281,6 +389,54 @@ mod tests {
         assert_eq!(r.cache_hits, 2);
         assert_eq!(r.shards.len(), 2);
         assert!(r.p99_us >= 400);
+    }
+
+    #[test]
+    fn tenant_counters_bucket_and_estimate() {
+        let m = Metrics::new(2);
+        // Three distinct masks across two shards: a 1-list user, a
+        // 2-list user (hit + miss), and the legacy union view.
+        m.shard(0).record_tenant(0b01, false);
+        m.shard(0).record_tenant(0b11, false);
+        m.shard(1).record_tenant(0b11, true);
+        m.shard(1).record_tenant(u64::MAX, true);
+        let r = m.report();
+        assert_eq!(r.tenant_requests_by_lists, vec![1, 2, 0, 0, 1]);
+        assert_eq!(r.tenant_cache_hits_by_lists, vec![0, 1, 0, 0, 1]);
+        // Small cardinalities are exact under linear counting.
+        assert_eq!(r.distinct_tenants, 3);
+        assert_eq!(m.distinct_tenants_with(&[]), 3);
+        // Reactor counters merge like worker shards.
+        let extra = ReactorMetrics::default();
+        extra.shard.record_tenant(0b10, true);
+        assert_eq!(m.distinct_tenants_with(&[&extra.shard]), 4);
+        assert_eq!(
+            m.report_with_extra(&[&extra.shard])
+                .tenant_cache_hits_by_lists,
+            vec![1, 1, 0, 0, 1]
+        );
+        // Untouched metrics report zero distinct tenants.
+        assert_eq!(Metrics::new(1).report().distinct_tenants, 0);
+    }
+
+    #[test]
+    fn tenant_estimate_tracks_large_populations() {
+        let m = Metrics::new(1);
+        for mask in 0..400u64 {
+            m.shard(0).record_tenant(mask | 1, false);
+        }
+        let est = m.report().distinct_tenants;
+        // ~200 distinct masks (odd-bit collapse halves the range);
+        // linear counting over 1024 bits stays within ~15%.
+        let truth = (0..400u64)
+            .map(|m| m | 1)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        let truth = truth as f64;
+        assert!(
+            (est as f64) > truth * 0.85 && (est as f64) < truth * 1.15,
+            "estimate {est} vs true {truth}"
+        );
     }
 
     #[test]

@@ -360,6 +360,9 @@ mod wire_equivalence {
                     };
                     batch_len
                 ],
+                distinct_tenants: counters[2],
+                tenant_requests_by_lists: counters[..batch_len.min(5)].to_vec(),
+                tenant_cache_hits_by_lists: counters[..5 - batch_len.min(5)].to_vec(),
             };
             let cases: Vec<ServerMessage> = vec![
                 ServerMessage::Decision(resp.clone()),
@@ -378,6 +381,7 @@ mod wire_equivalence {
                     shed: counters[4],
                     deadline_timeouts: counters[0],
                     list_checksum: counters[1],
+                    distinct_tenants: counters[2],
                 }),
                 ServerMessage::ReloadBaseMismatch(ReloadMismatch {
                     source,

@@ -78,6 +78,21 @@ pub struct StatsReport {
     pub p99_us: u64,
     /// Per-shard breakdown, indexed by shard id.
     pub shards: Vec<ShardStats>,
+    /// Estimated distinct tenant subscription masks served (linear
+    /// counting over a 1024-bit sketch; exact for small populations).
+    /// Appended after the original fields so pre-tenant readers keep
+    /// parsing the prefix they know.
+    #[serde(default)]
+    pub distinct_tenants: u64,
+    /// Decisions bucketed by the tenant mask's subscription count:
+    /// 0–1 lists, 2, 3–4, 5–8, 9+ (the union view lands in the top
+    /// bucket). Dividing `tenant_cache_hits_by_lists` by this gives
+    /// the hit rate per configuration size.
+    #[serde(default)]
+    pub tenant_requests_by_lists: Vec<u64>,
+    /// Cache hits in the same cardinality buckets.
+    #[serde(default)]
+    pub tenant_cache_hits_by_lists: Vec<u64>,
 }
 
 /// One filter list shipped in a `Reload`: the subscription it stands
@@ -198,6 +213,11 @@ pub struct HealthReport {
     /// server was started from a pre-compiled engine and has no
     /// bodies to checksum.
     pub list_checksum: u64,
+    /// Estimated distinct tenant subscription masks served (the same
+    /// sketch `Stats` reports). Trailing append: pre-tenant readers
+    /// keep parsing the prefix they know.
+    #[serde(default)]
+    pub distinct_tenants: u64,
 }
 
 /// Every message a client can send.
@@ -360,6 +380,7 @@ mod tests {
                 shed: 17,
                 deadline_timeouts: 4,
                 list_checksum: 0xfeed_beef_cafe_f00d,
+                distinct_tenants: 12,
             }),
             ServerMessage::Overloaded,
         ];

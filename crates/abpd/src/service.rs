@@ -968,9 +968,10 @@ impl Service {
         // Account per-shard counters; latency was already recorded at
         // the point each decision was actually made (hit lookups above,
         // miss evaluations in the workers).
-        for (resp, &shard) in scratch.responses.iter().zip(&scratch.shard_of) {
+        for ((resp, &shard), dr) in scratch.responses.iter().zip(&scratch.shard_of).zip(reqs) {
             let m = self.shared.metrics.shard(shard);
             m.requests.fetch_add(1, Ordering::Relaxed);
+            m.record_tenant(dr.tenant.unwrap_or(u64::MAX), resp.cached);
             match resp.outcome.decision {
                 Decision::Block => {
                     m.blocks.fetch_add(1, Ordering::Relaxed);
@@ -1126,6 +1127,7 @@ impl Service {
                 Decision::AllowedByException => exceptions += 1,
                 Decision::NoMatch => {}
             }
+            local.metrics.shard.record_tenant(tenant, cached);
             scratch.responses[index] = DecisionResponse { outcome, cached };
         }
         let m = &local.metrics.shard;
@@ -1280,6 +1282,7 @@ impl Service {
                 .deadline_timeouts
                 .load(Ordering::Relaxed),
             list_checksum: self.list_checksum(),
+            distinct_tenants: self.shared.metrics.distinct_tenants_with(&[]),
         }
     }
 
@@ -1315,6 +1318,8 @@ impl Service {
                 .iter()
                 .map(|r| r.eval_panics.load(Ordering::Relaxed)),
         );
+        let extra: Vec<&ShardMetrics> = reactors.iter().map(|r| &r.shard.0).collect();
+        report.distinct_tenants = self.shared.metrics.distinct_tenants_with(&extra);
         report
     }
 
@@ -1454,6 +1459,18 @@ mod tests {
         // the all-bits mask but a distinct cache identity.
         let union = svc.decide(&base).unwrap();
         assert_eq!(union.outcome.decision, abp::Decision::AllowedByException);
+
+        // Population counters: four distinct masks were served (0b01,
+        // 0b11, 0, and the tenantless union), bucketed by list count.
+        let stats = svc.stats();
+        assert_eq!(stats.distinct_tenants, 4);
+        assert_eq!(svc.health().distinct_tenants, 4);
+        // 0b01 and 0 land in bucket 0 (≤1 list), 0b11 in bucket 1
+        // (2 lists), the union view in the top bucket — twice each
+        // for the replayed batch, once for the union decide.
+        assert_eq!(stats.tenant_requests_by_lists, vec![4, 2, 0, 0, 1]);
+        // Only the second batch hit the cache.
+        assert_eq!(stats.tenant_cache_hits_by_lists, vec![2, 1, 0, 0, 0]);
         svc.shutdown();
     }
 

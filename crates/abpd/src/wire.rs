@@ -461,7 +461,24 @@ pub fn write_stats_reply(r: &StatsReport, out: &mut Vec<u8>) {
         }
         write_shard_stats(s, out);
     }
-    push_str(out, "]}}");
+    push_str(out, "],\"distinct_tenants\":");
+    push_u64(out, r.distinct_tenants);
+    push_str(out, ",\"tenant_requests_by_lists\":");
+    write_u64_array(&r.tenant_requests_by_lists, out);
+    push_str(out, ",\"tenant_cache_hits_by_lists\":");
+    write_u64_array(&r.tenant_cache_hits_by_lists, out);
+    push_str(out, "}}");
+}
+
+fn write_u64_array(values: &[u64], out: &mut Vec<u8>) {
+    out.push(b'[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        push_u64(out, *v);
+    }
+    out.push(b']');
 }
 
 /// Append the `Pong` reply.
@@ -510,6 +527,8 @@ pub fn write_health_reply(h: &HealthReport, out: &mut Vec<u8>) {
     push_u64(out, h.deadline_timeouts);
     push_str(out, ",\"list_checksum\":");
     push_u64(out, h.list_checksum);
+    push_str(out, ",\"distinct_tenants\":");
+    push_u64(out, h.distinct_tenants);
     push_str(out, "}}");
 }
 
@@ -1131,6 +1150,7 @@ impl<'a> Scan<'a> {
             shed: 0,
             deadline_timeouts: 0,
             list_checksum: 0,
+            distinct_tenants: 0,
         };
         self.object(|s, key| {
             match key {
@@ -1152,6 +1172,7 @@ impl<'a> Scan<'a> {
                 "shed" => report.shed = s.u64_number()?,
                 "deadline_timeouts" => report.deadline_timeouts = s.u64_number()?,
                 "list_checksum" => report.list_checksum = s.u64_number()?,
+                "distinct_tenants" => report.distinct_tenants = s.u64_number()?,
                 _ => s.skip_value()?,
             }
             Ok(())
@@ -1190,6 +1211,19 @@ impl<'a> Scan<'a> {
                 "shards" => {
                     s.array(|s| {
                         report.shards.push(s.shard_stats()?);
+                        Ok(())
+                    })?;
+                }
+                "distinct_tenants" => report.distinct_tenants = s.u64_number()?,
+                "tenant_requests_by_lists" => {
+                    s.array(|s| {
+                        report.tenant_requests_by_lists.push(s.u64_number()?);
+                        Ok(())
+                    })?;
+                }
+                "tenant_cache_hits_by_lists" => {
+                    s.array(|s| {
+                        report.tenant_cache_hits_by_lists.push(s.u64_number()?);
                         Ok(())
                     })?;
                 }

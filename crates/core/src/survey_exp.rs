@@ -373,11 +373,19 @@ mod tests {
         );
         for v in &visits {
             let none = v.record(CONFIG_NO_BLOCKER).unwrap();
-            assert!(none.activations.is_empty(), "{}: no blocker, no filters", v.domain);
+            assert!(
+                none.activations.is_empty(),
+                "{}: no blocker, no filters",
+                v.domain
+            );
             assert_eq!(none.blocked_requests, 0);
             assert_eq!(none.hidden_elements, 0);
             let exc = v.record(CONFIG_EXCEPTIONS_ONLY).unwrap();
-            assert_eq!(exc.blocked_requests, 0, "{}: exceptions never block", v.domain);
+            assert_eq!(
+                exc.blocked_requests, 0,
+                "{}: exceptions never block",
+                v.domain
+            );
             assert!(
                 exc.activations.iter().all(|a| a.kind.is_exception()),
                 "{}: exceptions-only activations are all exception kinds",

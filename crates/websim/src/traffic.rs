@@ -181,9 +181,8 @@ impl TenantPopulation {
     /// mask, with no per-user state anywhere.
     pub fn mask_for(&self, user: u64) -> u64 {
         let user = user % self.size;
-        let mut rng = SplitMix64::new(
-            self.seed ^ TENANT_DOMAIN ^ user.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        );
+        let mut rng =
+            SplitMix64::new(self.seed ^ TENANT_DOMAIN ^ user.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         // Everyone subscribes to the base block list.
         let mut mask = Self::BASE_BIT;
         // Acceptable Ads ships enabled; about a quarter opt out.
@@ -265,7 +264,10 @@ mod tests {
     fn tenant_population_is_deterministic_and_stratified() {
         let pop = TenantPopulation::new(2015, 100_000);
         assert_eq!(pop.mask_for(42), pop.mask_for(42));
-        assert_eq!(pop.mask_for(42), TenantPopulation::new(2015, 100_000).mask_for(42));
+        assert_eq!(
+            pop.mask_for(42),
+            TenantPopulation::new(2015, 100_000).mask_for(42)
+        );
         // Users beyond the population wrap.
         assert_eq!(pop.mask_for(100_042), pop.mask_for(42));
 

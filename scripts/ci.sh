@@ -50,6 +50,17 @@ echo "==> service bench (pipelined abpd-load, writes BENCH_service.json)"
 ./target/release/abpd-load --decisions 60000 --batch 256 --pipeline 8 \
     --connections 2 --out BENCH_service.json
 
+echo "==> tenant bench (1M-user population striped over one engine, appended to BENCH_service.json)"
+# Stripes the same traffic over a million-user subscription population
+# so nearly every request carries a distinct tenant mask, then gates on
+# the multi-tenant contract: zero cross-tenant cache hits, zero tenant
+# affinity misses, and throughput >= 0.9x the committed single-config
+# baseline (crates/bench/baselines/service_bench_baseline.json) even
+# though tenant fan-out guts the cache hit rate.
+./target/release/abpd-load --decisions 60000 --batch 256 --pipeline 8 \
+    --tenants 1000000 --append-tenants BENCH_service.json \
+    --min-tenant-ratio 0.9
+
 echo "==> scaling bench (event-mode reactors at 1/2/4, curve appended to BENCH_service.json)"
 # Boots a fresh in-process event-mode server per reactor count and
 # drives it with 2x connections. Gates against the committed
