@@ -854,6 +854,31 @@ impl Engine {
         })
     }
 
+    /// Evaluate one request per tenant in order — the multi-tenant
+    /// analogue of [`Engine::match_many`]. `reqs` and `tenants` must
+    /// be the same length; element `i` is evaluated exactly as
+    /// [`Engine::match_request_masked`] with `tenants[i]` would, with
+    /// the scratch allocations reused across the batch.
+    pub fn match_many_masked(&self, reqs: &[Request], tenants: &[u64]) -> Vec<RequestOutcome> {
+        assert_eq!(reqs.len(), tenants.len(), "one tenant mask per request");
+        SCRATCH.with(|s| {
+            let scratch = &mut s.borrow_mut();
+            reqs.iter()
+                .zip(tenants)
+                .map(|(req, &tenant)| {
+                    if tenant == 0 {
+                        RequestOutcome {
+                            decision: Decision::NoMatch,
+                            activations: Vec::new(),
+                        }
+                    } else {
+                        self.match_request_with(req, tenant, scratch)
+                    }
+                })
+                .collect()
+        })
+    }
+
     fn match_request_with(
         &self,
         req: &Request,
@@ -2090,6 +2115,27 @@ reddit.com#@##siteTable_organic
             e.match_request_masked(&r("d.example"), 4).decision,
             Decision::Block
         );
+    }
+
+    #[test]
+    fn match_many_masked_equals_per_request_masked_path() {
+        let e = engine();
+        let reqs: Vec<Request> = [
+            "https://ads.example.com/banner.png",
+            "https://cdn.site.example/app.js",
+            "https://tracker.example.net/pixel.gif",
+            "https://site.example/index.html",
+        ]
+        .iter()
+        .map(|u| Request::new(u, "https://site.example/", ResourceType::Image).unwrap())
+        .collect();
+        let tenants = [u64::MAX, 0b01, 0, 0b10];
+        let batch = e.match_many_masked(&reqs, &tenants);
+        for ((req, &tenant), got) in reqs.iter().zip(&tenants).zip(&batch) {
+            let want = e.match_request_masked(req, tenant);
+            assert_eq!(want.decision, got.decision);
+            assert_eq!(want.activations, got.activations);
+        }
     }
 
     #[test]

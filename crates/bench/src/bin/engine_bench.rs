@@ -13,7 +13,8 @@
 //! Usage: `engine-bench [--out PATH] [--quick]
 //!                      [--min-untokenized-speedup X]
 //!                      [--min-anchor-hostile-speedup X]
-//!                      [--min-hiding-speedup X]`
+//!                      [--min-hiding-speedup X]
+//!                      [--min-tenant-ratio X]`
 //!
 //! `--min-untokenized-speedup` compares `match_untokenized` against the
 //! committed anchor baseline
@@ -28,12 +29,24 @@
 //! that fails if `match_10k` or `document_gate` drops below 90% of that
 //! baseline. All bars exit nonzero on miss, so CI enforces the tail
 //! wins without parsing JSON in shell.
+//!
+//! `--min-tenant-ratio` gates the multi-tenant serving contract:
+//! `match_tenant` drives the whole 1M-user subscription population
+//! (mixed mask cardinalities, see `websim::traffic::TenantPopulation`)
+//! through the one shared compiled engine and must hold the given
+//! fraction of the union-path throughput timed interleaved over the
+//! identical inputs in the same run, with
+//! the engine compiled exactly once and per-tenant incremental state
+//! at most 64 bytes (it is the caller-held u64 mask). A committed
+//! snapshot (`crates/bench/baselines/engine_tenant_baseline.json`) is
+//! embedded for trending.
 
 use abp::{Engine, Request};
 use bench::synthetic;
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
+use websim::traffic::TenantPopulation;
 
 /// One measured path.
 #[derive(Debug, Clone, Serialize)]
@@ -69,6 +82,24 @@ struct BenchReport {
     urls: usize,
     /// Request matching over the mixed (mostly tokenized) URL set.
     match_10k: PathStats,
+    /// The same URL mix matched through the tenant-mask path, one
+    /// distinct user configuration per request, walking the whole
+    /// synthetic subscription population once.
+    match_tenant: PathStats,
+    /// The union (tenantless) path over the identical inputs, timed
+    /// interleaved with `match_tenant` chunk for chunk — the paired
+    /// denominator for the masking-overhead ratio CI gates on.
+    match_union_paired: PathStats,
+    /// Distinct user configurations in the tenant population.
+    tenant_population: u64,
+    /// Engine compiles observed from before the shared engine was
+    /// built through the end of the tenant walk. The multi-tenant
+    /// contract is exactly 1: one compile serves every configuration.
+    tenant_engine_compiles: u64,
+    /// Incremental state per additional tenant, in bytes — the
+    /// caller-held u64 subscription mask. The engine itself holds no
+    /// per-tenant state.
+    tenant_bytes_per_tenant: u64,
     /// Request matching against an engine of only untokenized
     /// (wildcard-heavy) filters — the index's worst case. The corpus is
     /// adversarial: mostly anchorable wildcard needles plus a small
@@ -128,6 +159,7 @@ fn main() {
     let mut min_untokenized_speedup: Option<f64> = None;
     let mut min_anchor_hostile_speedup: Option<f64> = None;
     let mut min_hiding_speedup: Option<f64> = None;
+    let mut min_tenant_ratio: Option<f64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -163,6 +195,15 @@ fn main() {
                         .expect("--min-hiding-speedup must be a number"),
                 );
             }
+            "--min-tenant-ratio" => {
+                i += 1;
+                min_tenant_ratio = Some(
+                    args.get(i)
+                        .expect("--min-tenant-ratio needs a number")
+                        .parse()
+                        .expect("--min-tenant-ratio must be a number"),
+                );
+            }
             other => {
                 eprintln!("unknown arg {other}");
                 std::process::exit(2);
@@ -172,6 +213,7 @@ fn main() {
     }
 
     let (bl, wl) = synthetic::lists_10k();
+    let compiles_before_build = abp::engine_compile_count();
     let engine = Engine::from_lists([&bl, &wl]);
     let n_urls = if quick { 20_000 } else { 100_000 };
     let reqs = synthetic::requests(n_urls);
@@ -188,6 +230,60 @@ fn main() {
     eprintln!(
         "  match_10k            {:>12.0} ops/s  {:>8.0} ns/op",
         match_10k.ops_per_sec, match_10k.ns_per_op
+    );
+
+    // Multi-tenant serving: the one engine compiled above answers for
+    // a million distinct user configurations. The only per-tenant
+    // state anywhere is the caller-held u64 subscription mask; the
+    // measured loop walks the whole population exactly once, pairing
+    // each user with a URL from the same sample `match_10k` used. The
+    // union path runs interleaved chunk by chunk over the same inputs,
+    // so host noise lands on both sides and the masked/union ratio CI
+    // gates on stays paired rather than comparing sections measured
+    // seconds apart.
+    let population = TenantPopulation::new(2015, 1_000_000);
+    let masks: Vec<u64> = population.masks().collect();
+    let tenant_bytes_per_tenant = (std::mem::size_of_val(masks.as_slice()) / masks.len()) as u64;
+    let warm = reqs.len().min(2_000);
+    black_box(engine.match_many_masked(&reqs[..warm], &masks[..warm]));
+    let mut decisions = 0u64;
+    let mut tenant_ns = 0u64;
+    let mut union_ns = 0u64;
+    // 2k-request chunks keep each timed slice around a millisecond so
+    // a scheduler preemption can't land wholly on one side of the
+    // pair; 2_000 divides both URL sample sizes and the population.
+    let chunk = 2_000.min(reqs.len());
+    let req_chunks: Vec<&[Request]> = reqs.chunks(chunk).collect();
+    for (i, mask_chunk) in masks.chunks(chunk).enumerate() {
+        let chunk_reqs = &req_chunks[i % req_chunks.len()][..mask_chunk.len()];
+        // Each side runs twice per chunk and keeps its faster pass: a
+        // preemption spike inflates one pass, not the chunk's time.
+        let mut best_tenant = u64::MAX;
+        let mut best_union = u64::MAX;
+        for _ in 0..2 {
+            let start = Instant::now();
+            let outcomes = engine.match_many_masked(chunk_reqs, black_box(mask_chunk));
+            best_tenant = best_tenant.min(start.elapsed().as_nanos() as u64);
+            black_box(&outcomes);
+            let start = Instant::now();
+            let union = engine.match_many(black_box(chunk_reqs));
+            best_union = best_union.min(start.elapsed().as_nanos() as u64);
+            black_box(&union);
+        }
+        tenant_ns += best_tenant;
+        union_ns += best_union;
+        decisions += mask_chunk.len() as u64;
+    }
+    let match_tenant = stats(decisions, tenant_ns);
+    let match_union_paired = stats(decisions, union_ns);
+    let tenant_engine_compiles = abp::engine_compile_count() - compiles_before_build;
+    eprintln!(
+        "  match_tenant         {:>12.0} ops/s  {:>8.0} ns/op  ({} tenants, {} compile(s), {}B/tenant)",
+        match_tenant.ops_per_sec,
+        match_tenant.ns_per_op,
+        masks.len(),
+        tenant_engine_compiles,
+        tenant_bytes_per_tenant
     );
 
     // Untokenized worst case: every filter lands outside the token
@@ -265,6 +361,11 @@ fn main() {
         element_rules: engine.element_rule_count(),
         urls: reqs.len(),
         match_10k,
+        match_tenant,
+        match_union_paired,
+        tenant_population: masks.len() as u64,
+        tenant_engine_compiles,
+        tenant_bytes_per_tenant,
         match_untokenized,
         match_anchor_hostile,
         document_gate,
@@ -292,6 +393,36 @@ fn main() {
                         serde_json::Value::F64((s * 100.0).round() / 100.0),
                     ));
                     eprintln!("  match_10k speedup vs baseline: {s:.2}x");
+                }
+            }
+        }
+    }
+    // The paired tenant/union ratio CI gates on, plus the committed
+    // tenant snapshot (trend only — the contract is the same-run ratio).
+    let tenant_ratio = report.match_tenant.ops_per_sec / report.match_union_paired.ops_per_sec;
+    if let serde_json::Value::Map(entries) = &mut value {
+        entries.push((
+            "match_tenant_ratio_vs_union".to_string(),
+            serde_json::Value::F64((tenant_ratio * 100.0).round() / 100.0),
+        ));
+        eprintln!("  match_tenant ratio vs paired union path: {tenant_ratio:.2}x");
+    }
+    let tenant_baseline_path = "crates/bench/baselines/engine_tenant_baseline.json";
+    if let Ok(text) = std::fs::read_to_string(tenant_baseline_path) {
+        if let Ok(base) = serde_json::parse_value(&text) {
+            let speedup = base
+                .get("match_tenant")
+                .and_then(|m| m.get("ops_per_sec"))
+                .and_then(|v| v.as_f64())
+                .map(|b| report.match_tenant.ops_per_sec / b);
+            if let serde_json::Value::Map(entries) = &mut value {
+                entries.push(("tenant_baseline".to_string(), base));
+                if let Some(s) = speedup {
+                    entries.push((
+                        "match_tenant_speedup_vs_tenant_baseline".to_string(),
+                        serde_json::Value::F64((s * 100.0).round() / 100.0),
+                    ));
+                    eprintln!("  match_tenant speedup vs tenant baseline: {s:.2}x");
                 }
             }
         }
@@ -488,6 +619,39 @@ fn main() {
                     failed = true;
                 }
             }
+        }
+    }
+    if let Some(bar) = min_tenant_ratio {
+        if tenant_ratio >= bar {
+            eprintln!(
+                "  match_tenant ratio bar: {tenant_ratio:.2}x >= {bar:.2}x of the paired union path OK"
+            );
+        } else {
+            eprintln!(
+                "  FAIL: match_tenant held only {tenant_ratio:.2}x of the paired union path (< {bar:.2}x)"
+            );
+            failed = true;
+        }
+        if report.tenant_engine_compiles == 1 {
+            eprintln!("  tenant compile guard: exactly 1 compile served the population OK");
+        } else {
+            eprintln!(
+                "  FAIL: serving the tenant population took {} engine compiles (must be 1)",
+                report.tenant_engine_compiles
+            );
+            failed = true;
+        }
+        if report.tenant_bytes_per_tenant <= 64 {
+            eprintln!(
+                "  tenant memory guard: {}B incremental per tenant <= 64B OK",
+                report.tenant_bytes_per_tenant
+            );
+        } else {
+            eprintln!(
+                "  FAIL: {}B incremental per tenant exceeds the 64B bar",
+                report.tenant_bytes_per_tenant
+            );
+            failed = true;
         }
     }
     if failed {
