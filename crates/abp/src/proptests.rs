@@ -641,6 +641,117 @@ mod differential {
         }
     }
 
+    /// Multi-tenant differential arm: the union-compiled engine
+    /// answering through a subscription mask must be byte-identical to
+    /// an engine independently compiled from exactly the tenant's
+    /// subscribed lists, in the same order — decisions, the full
+    /// activation sequence, document gates, hiding outcomes, and the
+    /// serialized JSON. Every random engine is probed under the empty
+    /// mask, the all-lists mask, and random masks in between; 1,200
+    /// (engine, mask) pairs total.
+    #[test]
+    fn masked_union_engine_matches_independently_compiled_subsets() {
+        use crate::engine::RequestOutcome;
+
+        const SOURCES: [ListSource; 5] = [
+            ListSource::EasyList,
+            ListSource::AcceptableAds,
+            ListSource::Custom,
+            ListSource::Custom,
+            ListSource::Custom,
+        ];
+        let mut rng = TestRng::deterministic("engine_tenant_differential_v1");
+        let mut pairs = 0usize;
+        while pairs < CASES {
+            let n_lists = rng.usize_in(2, SOURCES.len() + 1);
+            let lists: Vec<FilterList> = (0..n_lists)
+                .map(|i| {
+                    let text: String = (0..rng.usize_in(0, 15))
+                        .map(|_| filter_line(&mut rng) + "\n")
+                        .collect();
+                    FilterList::parse(SOURCES[i], &text)
+                })
+                .collect();
+            let refs: Vec<&FilterList> = lists.iter().collect();
+            let union = Engine::from_lists(refs.iter().copied());
+            let full_mask = (1u64 << n_lists) - 1;
+
+            // Empty and all-lists masks always; random masks after.
+            let mut masks = vec![0u64, full_mask];
+            for _ in 0..4 {
+                masks.push(rng.usize_in(0, (full_mask + 1) as usize) as u64);
+            }
+            masks.dedup();
+
+            for mask in masks {
+                let subset_lists: Vec<&FilterList> = refs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & Engine::list_bit(*i) != 0)
+                    .map(|(_, l)| *l)
+                    .collect();
+                let subset = Engine::from_lists(subset_lists.iter().copied());
+
+                let reqs: Vec<Request> = (0..3).map(|_| random_request(&mut rng)).collect();
+                let tenants = vec![mask; reqs.len()];
+                let batched = union.match_many_masked(&reqs, &tenants);
+                for (req, from_batch) in reqs.iter().zip(&batched) {
+                    let got = union.match_request_masked(req, mask);
+                    let want = subset.match_request(req);
+                    assert_eq!(
+                        got,
+                        want,
+                        "pair {pairs}: mask {mask:#b} diverged from the subset compile for {}",
+                        req.url.as_str()
+                    );
+                    assert_eq!(
+                        *from_batch, got,
+                        "pair {pairs}: match_many_masked diverged from per-request path"
+                    );
+                    // Byte-identical on the wire, not merely Eq.
+                    assert_eq!(
+                        serde_json::to_string(&got).unwrap(),
+                        serde_json::to_string(&want).unwrap(),
+                        "pair {pairs}: serialized outcome diverged under mask {mask:#b}"
+                    );
+                    let json = serde_json::to_string(&got).unwrap();
+                    let back: RequestOutcome = serde_json::from_str(&json).unwrap();
+                    assert_eq!(back, got, "pair {pairs}: outcome did not round-trip");
+                }
+
+                // Page-level gates under the mask equal the subset's.
+                let doc = Request::document(&format!("http://{}/", pool_host(&mut rng))).unwrap();
+                let got_doc = union.document_allowlist_masked(&doc, mask);
+                let want_doc = subset.document_allowlist(&doc);
+                assert_eq!(
+                    multiset(&got_doc.document_allow),
+                    multiset(&want_doc.document_allow),
+                    "pair {pairs}: document_allow diverged under mask {mask:#b}"
+                );
+                assert_eq!(
+                    multiset(&got_doc.elemhide_allow),
+                    multiset(&want_doc.elemhide_allow),
+                    "pair {pairs}: elemhide_allow diverged under mask {mask:#b}"
+                );
+
+                // Hiding under the mask equals the subset's, exactly.
+                let fp = pool_host(&mut rng);
+                let got_h = union.hiding_for_domain_masked(&fp, mask);
+                let want_h = subset.hiding_for_domain(&fp);
+                assert_eq!(
+                    got_h.active, want_h.active,
+                    "pair {pairs}: hiding selectors diverged on {fp} under mask {mask:#b}"
+                );
+                assert_eq!(
+                    got_h.exceptions, want_h.exceptions,
+                    "pair {pairs}: hiding exceptions diverged on {fp} under mask {mask:#b}"
+                );
+
+                pairs += 1;
+            }
+        }
+    }
+
     /// Outcomes round-trip through JSON byte-identically to the
     /// reference representation (interning must be invisible on the
     /// wire — the abpd decision cache depends on this).
